@@ -1,0 +1,33 @@
+//! Figure 6: per-simulator cycle throughput on one mid-size design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim::{Compiler, Preset};
+use gsim_workloads::Profile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_overall");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let params = gsim_designs::SynthParams::for_target("Rocket", 4_000);
+    let graph = gsim_designs::synth_core(&params);
+    for preset in [
+        Preset::Verilator,
+        Preset::VerilatorMt(4),
+        Preset::Essent,
+        Preset::Arcilator,
+        Preset::Gsim,
+    ] {
+        let (mut sim, _) = Compiler::new(&graph).preset(preset).build().unwrap();
+        let mut stim = Profile::coremark().stimulus(1, 7);
+        group.bench_function(preset.name(), |b| {
+            b.iter(|| {
+                let ops = stim.next_cycle();
+                let _ = sim.poke_u64("op_in_0", ops[0]);
+                sim.run(8);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

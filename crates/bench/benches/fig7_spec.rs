@@ -1,0 +1,28 @@
+//! Figure 7: GSIM throughput across SPEC-checkpoint stimulus profiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim::{Compiler, Preset};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_spec");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let params = gsim_designs::SynthParams::for_target("XiangShan", 8_000);
+    let graph = gsim_designs::synth_core(&params);
+    let (mut sim, _) = Compiler::new(&graph).preset(Preset::Gsim).build().unwrap();
+    for profile in gsim_workloads::spec_profiles().into_iter().take(4) {
+        let mut stim = profile.stimulus(6, 3);
+        group.bench_function(profile.name, |b| {
+            b.iter(|| {
+                let ops = stim.next_cycle();
+                for (l, &op) in ops.iter().enumerate() {
+                    let _ = sim.poke_u64(&format!("op_in_{l}"), op);
+                }
+                sim.run(4);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 8: throughput at each step of the optimization staircase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim::{Compiler, OptOptions};
+use gsim_workloads::Profile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_breakdown");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let params = gsim_designs::SynthParams::for_target("BOOM", 5_000);
+    let graph = gsim_designs::synth_core(&params);
+    for (name, opts) in OptOptions::staircase() {
+        let (mut sim, _) = Compiler::new(&graph).options(opts).build().unwrap();
+        let mut stim = Profile::coremark().stimulus(3, 11);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ops = stim.next_cycle();
+                for (l, &op) in ops.iter().enumerate() {
+                    let _ = sim.poke_u64(&format!("op_in_{l}"), op);
+                }
+                sim.run(4);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 9: throughput vs maximum supernode size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim::{Compiler, OptOptions};
+use gsim_workloads::Profile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_supernode_size");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let params = gsim_designs::SynthParams::for_target("Rocket", 5_000);
+    let graph = gsim_designs::synth_core(&params);
+    for size in [1usize, 10, 30, 100, 400] {
+        let mut opts = OptOptions::all();
+        opts.max_supernode_size = size;
+        let (mut sim, _) = Compiler::new(&graph).options(opts).build().unwrap();
+        let mut stim = Profile::coremark().stimulus(1, 13);
+        group.bench_function(format!("max_size_{size}"), |b| {
+            b.iter(|| {
+                let ops = stim.next_cycle();
+                let _ = sim.poke_u64("op_in_0", ops[0]);
+                sim.run(4);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table I: baseline full-cycle simulation speed vs design scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim::{Compiler, Preset};
+use gsim_bench::WorkloadKind;
+use gsim_workloads::Profile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_scaling");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for design in gsim_designs::paper_suite(0.005) {
+        let (mut sim, _) = Compiler::new(&design.graph)
+            .preset(Preset::Verilator)
+            .build()
+            .unwrap();
+        let wl = WorkloadKind::Stimulus(Profile::linux());
+        let mut stim = match &wl {
+            WorkloadKind::Stimulus(p) => p.stimulus(8, 1),
+            _ => unreachable!(),
+        };
+        group.bench_function(design.name, |b| {
+            b.iter(|| {
+                let ops = stim.next_cycle();
+                for (l, &op) in ops.iter().enumerate() {
+                    let _ = sim.poke_u64(&format!("op_in_{l}"), op);
+                }
+                sim.run(8);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

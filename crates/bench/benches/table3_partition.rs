@@ -1,0 +1,33 @@
+//! Table III: partition construction cost per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim_partition::{build, Algorithm, PartitionOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_partition");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let params = gsim_designs::SynthParams::for_target("BOOM", 8_000);
+    let graph = gsim_designs::synth_core(&params);
+    for alg in [
+        Algorithm::None,
+        Algorithm::Kernighan,
+        Algorithm::MffcBased,
+        Algorithm::Gsim,
+    ] {
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                build(
+                    &graph,
+                    &PartitionOptions {
+                        algorithm: alg,
+                        max_size: 30,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

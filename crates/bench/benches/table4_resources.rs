@@ -1,0 +1,22 @@
+//! Table IV: code emission cost per simulator style.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim_codegen::{emit, Style};
+use gsim_partition::PartitionOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_resources");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let params = gsim_designs::SynthParams::for_target("Rocket", 5_000);
+    let graph = gsim_designs::synth_core(&params);
+    group.bench_function("emit_full_cycle", |b| {
+        b.iter(|| emit(&graph, Style::FullCycle, &PartitionOptions::default()))
+    });
+    group.bench_function("emit_essential", |b| {
+        b.iter(|| emit(&graph, Style::Essential, &PartitionOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! `ablate` — per-technique ablation on a Rocket-class core: prints
+//! speed and cost counters for GSIM variants with one feature removed.
+use gsim::{OptOptions, SupernodeChoice};
+use gsim_bench::harness::{measure_options, WorkloadKind};
+use gsim_workloads::Profile;
+
+fn main() {
+    let params = gsim_designs::SynthParams::for_target("Rocket", 2348);
+    let graph = gsim_designs::synth_core(&params);
+    let wl = WorkloadKind::Stimulus(Profile::coremark());
+    let cycles = 20_000;
+    let mut variants: Vec<(&str, OptOptions)> = Vec::new();
+    variants.push(("full-gsim", OptOptions::all()));
+    let mut v = OptOptions::all(); v.bit_split = false;
+    variants.push(("no-bitsplit", v));
+    let mut v = OptOptions::all(); v.node_extract = false;
+    variants.push(("no-extract", v));
+    let mut v = OptOptions::all(); v.node_inline = false;
+    variants.push(("no-inline", v));
+    let mut v = OptOptions::all(); v.activation_cost_model = false;
+    variants.push(("no-actmodel", v));
+    let mut v = OptOptions::all(); v.check_multiple_bits = false;
+    variants.push(("no-wordskip", v));
+    let mut v = OptOptions::all(); v.supernode = SupernodeChoice::Mffc;
+    variants.push(("gsim+mffc", v));
+    let mut v = OptOptions::all();
+    v.expression_simplify = false; v.redundant_elim = false; v.node_inline = false;
+    v.node_extract = false; v.bit_split = false;
+    variants.push(("no-passes", v));
+    // essent preset equivalent
+    let mut v = OptOptions::none();
+    v.redundant_elim = true; v.supernode = SupernodeChoice::Mffc;
+    variants.push(("essent-like", v));
+    for (name, opts) in variants {
+        let s = measure_options(&graph, opts, &wl, cycles);
+        let c = s.counters;
+        println!(
+            "{:<12} hz={:>10.0} nodes={}->{} instr/cyc={:>7.0} evals/cyc={:>6.1} aexam/cyc={:>7.1} actops/cyc={:>6.1} sn={}",
+            name, s.hz, s.report.nodes_before, s.report.nodes_after,
+            c.instrs_executed as f64 / c.cycles as f64,
+            c.node_evals as f64 / c.cycles as f64,
+            c.aexam_checks as f64 / c.cycles as f64,
+            c.activation_ops as f64 / c.cycles as f64,
+            s.report.supernodes,
+        );
+    }
+}

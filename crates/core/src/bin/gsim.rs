@@ -1,0 +1,149 @@
+//! `gsim` — command-line front end, mirroring the paper's tool:
+//! compile a FIRRTL design, report optimization statistics, optionally
+//! simulate and/or emit C++.
+//!
+//! ```text
+//! gsim design.fir [--preset gsim|verilator|essent|arcilator]
+//!                 [--max-supernode-size N]     # the paper's CLI knob
+//!                 [--cycles N]                 # simulate (zero inputs)
+//!                 [--emit-cpp out.cc]
+//! ```
+
+use gsim::{Compiler, Preset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut preset = Preset::Gsim;
+    let mut max_size: Option<usize> = None;
+    let mut cycles: u64 = 0;
+    let mut emit_cpp: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--preset" => {
+                preset = match it.next().map(String::as_str) {
+                    Some("gsim") => Preset::Gsim,
+                    Some("verilator") => Preset::Verilator,
+                    Some("essent") => Preset::Essent,
+                    Some("arcilator") => Preset::Arcilator,
+                    other => die(&format!("unknown preset {other:?}")),
+                };
+            }
+            "--max-supernode-size" => {
+                max_size = Some(parse(it.next(), "--max-supernode-size"));
+            }
+            "--cycles" => cycles = parse(it.next(), "--cycles"),
+            "--emit-cpp" => emit_cpp = it.next().cloned(),
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other if !other.starts_with('-') => input = Some(other.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(path) = input else {
+        usage();
+        std::process::exit(2);
+    };
+
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let graph = gsim_firrtl::compile(&src).unwrap_or_else(|e| die(&e));
+
+    let mut compiler = Compiler::new(&graph).preset(preset);
+    if let Some(n) = max_size {
+        compiler = compiler.max_supernode_size(n);
+    }
+    let (mut sim, report) = compiler.build().unwrap_or_else(|e| die(&e));
+
+    eprintln!("design   : {} ({})", graph.name(), path);
+    eprintln!("preset   : {}", preset.name());
+    eprintln!(
+        "nodes    : {} -> {} ({} edges -> {})",
+        report.nodes_before, report.nodes_after, report.edges_before, report.edges_after
+    );
+    eprintln!("supernodes: {}", report.supernodes);
+    eprintln!(
+        "compile  : {:.1} ms (partition {:.1} ms), {} instrs, {} B state",
+        report.compile_time.as_secs_f64() * 1e3,
+        report.partition_time.as_secs_f64() * 1e3,
+        report.instrs,
+        report.state_bytes
+    );
+
+    if cycles > 0 {
+        let start = std::time::Instant::now();
+        sim.run(cycles);
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!(
+            "simulated {} cycles in {:.3} s ({:.1} kHz)",
+            cycles,
+            secs,
+            cycles as f64 / secs / 1e3
+        );
+        for &out in graph.outputs() {
+            let name = graph.display_name(out);
+            if let Some(v) = sim.peek(&name) {
+                println!("{name} = {v}");
+            }
+        }
+        let c = sim.counters();
+        eprintln!(
+            "activity factor: {:.2}%",
+            c.activity_factor(report.nodes_after) * 100.0
+        );
+    }
+
+    if let Some(out_path) = emit_cpp {
+        let style = match preset {
+            Preset::Verilator | Preset::VerilatorMt(_) | Preset::Arcilator => {
+                gsim_codegen::Style::FullCycle
+            }
+            _ => gsim_codegen::Style::Essential,
+        };
+        let opts = preset.options();
+        let (optimized, _) = gsim_passes::run(
+            graph.clone(),
+            &gsim::PassOptions {
+                expression_simplify: opts.expression_simplify,
+                redundant_elim: opts.redundant_elim,
+                node_inline: opts.node_inline,
+                node_extract: opts.node_extract,
+                bit_split: opts.bit_split,
+                reset_slow_path: opts.reset_slow_path,
+            },
+        );
+        let emitted = gsim_codegen::emit(
+            &optimized,
+            style,
+            &gsim_partition::PartitionOptions::default(),
+        );
+        std::fs::write(&out_path, &emitted.code)
+            .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+        eprintln!(
+            "emitted  : {out_path} ({} bytes, {:.1} ms)",
+            emitted.code_bytes,
+            emitted.emit_time.as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+fn usage() {
+    println!(
+        "gsim <design.fir> [--preset gsim|verilator|essent|arcilator] \
+         [--max-supernode-size N] [--cycles N] [--emit-cpp out.cc]"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,92 @@
+//! Design substrates for the GSIM evaluation.
+//!
+//! The paper evaluates on four RISC-V processors (Table I): stuCore
+//! (a student-built in-order single-issue core), Rocket, BOOM, and
+//! XiangShan. This crate provides their stand-ins:
+//!
+//! * [`stu_core`] — a real, working single-cycle RV32I-subset CPU
+//!   written in FIRRTL text (exercising the whole front end). It fetches
+//!   from an instruction memory, executes real machine code produced by
+//!   `gsim-workloads`' assembler, and halts on `ecall`.
+//! * [`synth`] — a parameterized generator of processor-shaped netlists
+//!   used for the larger cores, reproducing the structural features the
+//!   paper's optimizations exploit: one-hot decoders, gated
+//!   functional-unit clusters (low activity factor), concatenation
+//!   buses sliced by consumers (bit-splitting fodder), register files,
+//!   cache-like tag/data memories, and a handful of reset fan-outs.
+//! * [`paper_suite`] — the four designs at paper scale or scaled down
+//!   by a factor for tractable benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stucore;
+pub mod synth;
+
+pub use stucore::{stu_core, stu_core_firrtl};
+pub use synth::{synth_core, SynthParams};
+
+use gsim_graph::Graph;
+
+/// Paper Table I node counts, used as generator targets.
+pub const PAPER_NODE_COUNTS: [(&str, usize); 4] = [
+    ("stuCore", 9_933),
+    ("Rocket", 234_807),
+    ("BOOM", 571_038),
+    ("XiangShan", 6_218_427),
+];
+
+/// One design of the evaluation suite.
+#[derive(Debug)]
+pub struct SuiteDesign {
+    /// Paper name (`stuCore`, `Rocket`, `BOOM`, `XiangShan`).
+    pub name: &'static str,
+    /// The circuit.
+    pub graph: Graph,
+    /// Node count the paper reports for the real design.
+    pub paper_nodes: usize,
+}
+
+/// Builds the four-design evaluation suite at `scale` (1.0 = paper-size
+/// node counts; benchmarks default to a smaller scale so runs finish).
+///
+/// stuCore is always the real CPU; the other three are synthetic cores
+/// sized to `paper_nodes × scale`.
+pub fn paper_suite(scale: f64) -> Vec<SuiteDesign> {
+    let mut out = Vec::with_capacity(4);
+    out.push(SuiteDesign {
+        name: "stuCore",
+        graph: stu_core(),
+        paper_nodes: PAPER_NODE_COUNTS[0].1,
+    });
+    for &(name, nodes) in &PAPER_NODE_COUNTS[1..] {
+        let target = ((nodes as f64 * scale) as usize).max(2_000);
+        let params = SynthParams::for_target(name, target);
+        out.push(SuiteDesign {
+            name,
+            graph: synth_core(&params),
+            paper_nodes: nodes,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_scales_roughly_to_target() {
+        let suite = paper_suite(0.01);
+        assert_eq!(suite.len(), 4);
+        for d in &suite[1..] {
+            let target = (d.paper_nodes as f64 * 0.01).max(2000.0);
+            let actual = d.graph.num_nodes() as f64;
+            assert!(
+                actual > target * 0.5 && actual < target * 2.5,
+                "{}: {actual} nodes vs target {target}",
+                d.name
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Abstract syntax tree for the supported FIRRTL subset.
+
+use gsim_value::Value;
+
+/// A whole FIRRTL circuit: a list of modules, one of which (named after
+/// the circuit) is the top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    /// Circuit (and top module) name.
+    pub name: String,
+    /// All modules, in source order.
+    pub modules: Vec<Module>,
+}
+
+impl Circuit {
+    /// The top module (the one named after the circuit).
+    pub fn top(&self) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == self.name)
+    }
+
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// A FIRRTL module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Body statements in source order.
+    pub body: Vec<Stmt>,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// Ground types of the LoFIRRTL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// `UInt<w>`
+    UInt(u32),
+    /// `SInt<w>`
+    SInt(u32),
+    /// `Clock` (not represented in the graph; single implicit clock).
+    Clock,
+    /// `Reset` / `AsyncReset`, treated as `UInt<1>`.
+    Reset,
+}
+
+impl Type {
+    /// Width in bits (`Clock`/`Reset` are 1).
+    pub fn width(self) -> u32 {
+        match self {
+            Type::UInt(w) | Type::SInt(w) => w,
+            Type::Clock | Type::Reset => 1,
+        }
+    }
+
+    /// `true` for `SInt`.
+    pub fn is_signed(self) -> bool {
+        matches!(self, Type::SInt(_))
+    }
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Ground type.
+    pub ty: Type,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `wire name : type`
+    Wire {
+        /// Wire name.
+        name: String,
+        /// Wire type.
+        ty: Type,
+    },
+    /// `reg name : type, clock [with : (reset => (cond, init))]`
+    Reg {
+        /// Register name.
+        name: String,
+        /// Register type.
+        ty: Type,
+        /// Clock expression (parsed, assumed to be the global clock).
+        clock: Expr,
+        /// Optional `(reset condition, init value)`.
+        reset: Option<(Expr, Expr)>,
+    },
+    /// `node name = expr`
+    Node {
+        /// Node name.
+        name: String,
+        /// Defining expression.
+        value: Expr,
+    },
+    /// `loc <= expr`
+    Connect {
+        /// Target reference (possibly dotted).
+        loc: Expr,
+        /// Driven value.
+        value: Expr,
+    },
+    /// `loc is invalid` (reads as zero in this simulator).
+    Invalidate {
+        /// Target reference.
+        loc: Expr,
+    },
+    /// `inst name of module`
+    Inst {
+        /// Instance name.
+        name: String,
+        /// Instantiated module name.
+        module: String,
+    },
+    /// `mem name : <fields>`
+    Mem(MemDecl),
+    /// `when cond : ... [else : ...]`
+    When {
+        /// Condition (1-bit).
+        cond: Expr,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements (possibly another `when`).
+        else_body: Vec<Stmt>,
+    },
+    /// `stop(clock, cond, code)` — parsed, not simulated.
+    Stop {
+        /// Halt condition.
+        cond: Expr,
+        /// Exit code.
+        code: u64,
+    },
+    /// `printf(clock, cond, "fmt", args...)` — parsed, not simulated.
+    Printf {
+        /// Print condition.
+        cond: Expr,
+        /// Format string.
+        fmt: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `skip`
+    Skip,
+}
+
+/// A memory declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemDecl {
+    /// Memory name.
+    pub name: String,
+    /// Element type.
+    pub data_type: Type,
+    /// Number of elements.
+    pub depth: u64,
+    /// 0 (combinational) or 1 (registered address).
+    pub read_latency: u32,
+    /// Always 1 in this subset.
+    pub write_latency: u32,
+    /// Reader port names.
+    pub readers: Vec<String>,
+    /// Writer port names.
+    pub writers: Vec<String>,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference, possibly dotted (`inst.port`, `mem.port.field`).
+    Ref(Vec<String>),
+    /// `UInt<w>(lit)` or `SInt<w>(lit)`.
+    Lit {
+        /// Literal value (two's complement for SInt).
+        value: Value,
+        /// `true` for `SInt` literals.
+        signed: bool,
+    },
+    /// Primitive operation; integer arguments (shift amounts, bit
+    /// indices) are in `params`.
+    Prim {
+        /// FIRRTL op name (`add`, `bits`, `mux`, ...).
+        op: String,
+        /// Expression operands.
+        args: Vec<Expr>,
+        /// Integer parameters.
+        params: Vec<u64>,
+    },
+    /// `validif(cond, value)` — this simulator passes `value` through.
+    ValidIf {
+        /// Validity condition (ignored at lowering).
+        cond: Box<Expr>,
+        /// The value.
+        value: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a simple (undotted) reference.
+    pub fn simple_ref(name: impl Into<String>) -> Expr {
+        Expr::Ref(vec![name.into()])
+    }
+
+    /// The dotted path if this is a reference.
+    pub fn as_path(&self) -> Option<&[String]> {
+        match self {
+            Expr::Ref(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_widths() {
+        assert_eq!(Type::UInt(8).width(), 8);
+        assert_eq!(Type::SInt(3).width(), 3);
+        assert_eq!(Type::Clock.width(), 1);
+        assert_eq!(Type::Reset.width(), 1);
+        assert!(Type::SInt(3).is_signed());
+        assert!(!Type::UInt(3).is_signed());
+    }
+
+    #[test]
+    fn circuit_lookup() {
+        let c = Circuit {
+            name: "Top".into(),
+            modules: vec![
+                Module {
+                    name: "Sub".into(),
+                    ports: vec![],
+                    body: vec![],
+                },
+                Module {
+                    name: "Top".into(),
+                    ports: vec![],
+                    body: vec![],
+                },
+            ],
+        };
+        assert_eq!(c.top().unwrap().name, "Top");
+        assert_eq!(c.module("Sub").unwrap().name, "Sub");
+        assert!(c.module("Nope").is_none());
+    }
+}

@@ -1,0 +1,440 @@
+//! Indentation-aware FIRRTL lexer.
+//!
+//! FIRRTL delimits blocks by indentation (like Python). The lexer turns
+//! source text into a token stream with explicit [`Tok::Indent`] /
+//! [`Tok::Dedent`] pairs, strips comments (`;` to end of line) and
+//! source locators (`@[...]`), and classifies identifiers, integers,
+//! and string literals.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (FIRRTL keywords are context-sensitive).
+    Id(String),
+    /// Unsigned integer literal (decimal in source).
+    Int(u64),
+    /// Negative integer literal (e.g. `-3` in `SInt<4>(-3)`).
+    NegInt(i64),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Connect,
+    /// `=>`
+    FatArrow,
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// Increase of indentation (block start).
+    Indent,
+    /// Decrease of indentation (block end).
+    Dedent,
+    /// End of a logical line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Id(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::NegInt(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::Lt => f.write_str("<"),
+            Tok::Gt => f.write_str(">"),
+            Tok::Connect => f.write_str("<="),
+            Tok::FatArrow => f.write_str("=>"),
+            Tok::Eq => f.write_str("="),
+            Tok::Colon => f.write_str(":"),
+            Tok::Comma => f.write_str(","),
+            Tok::Dot => f.write_str("."),
+            Tok::Indent => f.write_str("<indent>"),
+            Tok::Dedent => f.write_str("<dedent>"),
+            Tok::Newline => f.write_str("<newline>"),
+            Tok::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Error produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_id_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_id_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '$'
+}
+
+/// Tokenizes FIRRTL source.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed input (bad characters, unterminated
+/// strings, inconsistent dedents, integer overflow).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out: Vec<SpannedTok> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    for (line_idx, raw_line) in src.lines().enumerate() {
+        let line_no = line_idx as u32 + 1;
+        // Strip comments before measuring content (but not inside strings).
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        let cur = *indents.last().expect("indent stack nonempty");
+        if indent > cur {
+            indents.push(indent);
+            out.push(SpannedTok {
+                tok: Tok::Indent,
+                line: line_no,
+            });
+        } else if indent < cur {
+            while *indents.last().expect("stack") > indent {
+                indents.pop();
+                out.push(SpannedTok {
+                    tok: Tok::Dedent,
+                    line: line_no,
+                });
+            }
+            if *indents.last().expect("stack") != indent {
+                return Err(LexError {
+                    msg: format!("inconsistent indentation of {indent} columns"),
+                    line: line_no,
+                });
+            }
+        }
+        lex_line(line.trim_start(), line_no, &mut out)?;
+        out.push(SpannedTok {
+            tok: Tok::Newline,
+            line: line_no,
+        });
+    }
+    let last = src.lines().count() as u32;
+    while indents.len() > 1 {
+        indents.pop();
+        out.push(SpannedTok {
+            tok: Tok::Dedent,
+            line: last,
+        });
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line: last,
+    });
+    Ok(out)
+}
+
+/// Removes a `;` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn lex_line(s: &str, line: u32, out: &mut Vec<SpannedTok>) -> Result<(), LexError> {
+    let mut chars = s.char_indices().peekable();
+    let push = |out: &mut Vec<SpannedTok>, tok: Tok| out.push(SpannedTok { tok, line });
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '@' => {
+                // Source locator `@[...]` — skip to closing bracket.
+                for (_, c2) in chars.by_ref() {
+                    if c2 == ']' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                push(out, Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push(out, Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                push(out, Tok::Comma);
+            }
+            '.' => {
+                chars.next();
+                push(out, Tok::Dot);
+            }
+            ':' => {
+                chars.next();
+                push(out, Tok::Colon);
+            }
+            '>' => {
+                chars.next();
+                push(out, Tok::Gt);
+            }
+            '<' => {
+                chars.next();
+                if matches!(chars.peek(), Some((_, '='))) {
+                    chars.next();
+                    push(out, Tok::Connect);
+                } else if matches!(chars.peek(), Some((_, '-'))) {
+                    // `<-` partial connect: treat as connect.
+                    chars.next();
+                    push(out, Tok::Connect);
+                } else {
+                    push(out, Tok::Lt);
+                }
+            }
+            '=' => {
+                chars.next();
+                if matches!(chars.peek(), Some((_, '>'))) {
+                    chars.next();
+                    push(out, Tok::FatArrow);
+                } else {
+                    push(out, Tok::Eq);
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut text = String::new();
+                let mut closed = false;
+                while let Some((_, c2)) = chars.next() {
+                    match c2 {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            let esc = chars.next().map(|(_, e)| e).unwrap_or('\\');
+                            text.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                        }
+                        other => text.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(LexError {
+                        msg: "unterminated string literal".into(),
+                        line,
+                    });
+                }
+                push(out, Tok::Str(text));
+            }
+            '-' => {
+                chars.next();
+                let start = chars.peek().map(|&(j, _)| j).unwrap_or(s.len());
+                let mut end = start;
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_digit() {
+                        end = j + 1;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if end == start {
+                    return Err(LexError {
+                        msg: "dangling '-'".into(),
+                        line,
+                    });
+                }
+                let n: i64 = s[start..end].parse().map_err(|_| LexError {
+                    msg: format!("integer {} out of range", &s[start..end]),
+                    line,
+                })?;
+                push(out, Tok::NegInt(-n));
+            }
+            d if d.is_ascii_digit() => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_digit() {
+                        end = j + 1;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: u64 = s[start..end].parse().map_err(|_| LexError {
+                    msg: format!("integer {} out of range", &s[start..end]),
+                    line,
+                })?;
+                push(out, Tok::Int(n));
+            }
+            c if is_id_start(c) => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c2)) = chars.peek() {
+                    if is_id_char(c2) {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else if c2 == '-' {
+                        // Hyphenated keywords (`data-type`, `read-latency`):
+                        // consume the hyphen only when a letter follows.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if matches!(ahead.peek(), Some(&(_, c3)) if c3.is_ascii_alphabetic()) {
+                            end = j + 1;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                push(out, Tok::Id(s[start..end].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character {other:?}"),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = toks("node x = add(a, UInt<8>(255))");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Id("node".into()),
+                Tok::Id("x".into()),
+                Tok::Eq,
+                Tok::Id("add".into()),
+                Tok::LParen,
+                Tok::Id("a".into()),
+                Tok::Comma,
+                Tok::Id("UInt".into()),
+                Tok::Lt,
+                Tok::Int(8),
+                Tok::Gt,
+                Tok::LParen,
+                Tok::Int(255),
+                Tok::RParen,
+                Tok::RParen,
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = toks("circuit A :\n  module A :\n    skip\n  module B :\n    skip\n");
+        let indents = t.iter().filter(|t| **t == Tok::Indent).count();
+        let dedents = t.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(indents, 3); // circuit body, module A body, module B body
+        assert_eq!(dedents, 3);
+    }
+
+    #[test]
+    fn comments_and_locators_stripped() {
+        let t = toks("node x = a ; a comment\nnode y = b @[file.scala 10:4]\n");
+        assert!(!t.iter().any(|t| matches!(t, Tok::Str(_))));
+        assert_eq!(t.iter().filter(|t| **t == Tok::Eq).count(), 2);
+    }
+
+    #[test]
+    fn connect_vs_lt() {
+        let t = toks("x <= y\na < b");
+        assert!(t.contains(&Tok::Connect));
+        assert!(t.contains(&Tok::Lt));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = toks(r#"printf(clock, c, "v=%d\n", x)"#);
+        assert!(t.contains(&Tok::Str("v=%d\n".into())));
+    }
+
+    #[test]
+    fn negative_int() {
+        let t = toks("SInt<4>(-3)");
+        assert!(t.contains(&Tok::NegInt(-3)));
+    }
+
+    #[test]
+    fn semicolon_inside_string_kept() {
+        let t = toks(r#"printf(clock, c, "a;b")"#);
+        assert!(t.contains(&Tok::Str("a;b".into())));
+    }
+
+    #[test]
+    fn inconsistent_dedent_rejected() {
+        let err = lex("a :\n    b\n  c\n").unwrap_err();
+        assert!(err.to_string().contains("indentation"));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let t = toks("a\n\n\nb\n");
+        assert_eq!(t.iter().filter(|t| **t == Tok::Newline).count(), 2);
+    }
+}

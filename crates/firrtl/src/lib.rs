@@ -1,0 +1,73 @@
+//! FIRRTL front end for the GSIM RTL simulator.
+//!
+//! GSIM (the paper, §III-D) accepts circuits in FIRRTL, the intermediate
+//! representation that Chisel designs are compiled through. This crate
+//! implements the front end for the *lowered* (LoFIRRTL) subset that
+//! compiled simulators consume: ground types only (`UInt`/`SInt`/
+//! `Clock`/`Reset`), modules, instances, wires, nodes, registers (with
+//! reset), memories, `when` blocks, and the full primitive-op set.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! text --lexer--> tokens --parser--> ast --lower--> gsim_graph::Graph
+//!                                     ^
+//!                                     `--printer--> text (round trips)
+//! ```
+//!
+//! Semantics handled in [`mod@lower`]:
+//!
+//! * **Instance flattening** — the module hierarchy is inlined into one
+//!   flat graph; node names keep their hierarchical path (`cpu.alu.sum`).
+//! * **Last-connect + `when`** — conditional connects become mux trees
+//!   following FIRRTL's last-connect-wins rule.
+//! * **Registers** — `reg ... with : (reset => (sig, init))` and
+//!   `regreset` produce registers with an explicit reset so GSIM's
+//!   reset-handling optimization can move reset off the fast path;
+//!   non-constant init values fall back to a mux in the next-value
+//!   expression.
+//! * **Memories** — combinational-read memories map directly to
+//!   read/write port nodes; `read-latency => 1` memories get a pipelined
+//!   address register.
+//! * `stop`/`printf` statements are parsed and counted but not lowered
+//!   (designs in this repo signal halts via output ports instead).
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! circuit Adder :
+//!   module Adder :
+//!     input a : UInt<8>
+//!     input b : UInt<8>
+//!     output sum : UInt<9>
+//!     sum <= add(a, b)
+//! "#;
+//! let circuit = gsim_firrtl::parse(src).unwrap();
+//! let graph = gsim_firrtl::lower(&circuit).unwrap();
+//! assert_eq!(graph.inputs().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{Circuit, Module};
+pub use lower::{lower, LowerError};
+pub use parser::{parse, ParseError};
+pub use printer::print_circuit;
+
+/// Parses FIRRTL text and lowers it to a circuit graph in one call.
+///
+/// # Errors
+///
+/// Returns a parse or lowering error as a string diagnostic.
+pub fn compile(src: &str) -> Result<gsim_graph::Graph, String> {
+    let circuit = parse(src).map_err(|e| e.to_string())?;
+    lower(&circuit).map_err(|e| e.to_string())
+}

@@ -1,0 +1,992 @@
+//! Lowering: FIRRTL AST → flat circuit graph.
+//!
+//! Responsibilities (per module instance, recursively):
+//!
+//! 1. **Declaration pass** — create graph nodes for every wire, register,
+//!    node, memory port and instance port. Instance bodies are elaborated
+//!    (flattened) inline during this pass, with hierarchical names like
+//!    `core.alu.sum`.
+//! 2. **Connect pass** — resolve FIRRTL's conditional last-connect
+//!    semantics into a single driver expression per location: `when`
+//!    blocks become scope overlays merged with muxes.
+//! 3. **Finalize** — install drivers (undriven wires read as zero,
+//!    undriven registers hold their value), attach register resets
+//!    (constant init values become explicit [`gsim_graph::RegReset`]s so GSIM's reset
+//!    optimization can act on them; non-constant inits fall back to a mux
+//!    in the next-value expression).
+
+use crate::ast::{self, Circuit, Dir, MemDecl, Module, Stmt, Type};
+use gsim_graph::{Expr, GraphBuilder, NodeId, PrimOp};
+use gsim_value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// The circuit has no module matching its name.
+    MissingTop(String),
+    /// An `inst` references an unknown module.
+    UnknownModule(String),
+    /// The instance hierarchy is cyclic.
+    RecursiveInstance(String),
+    /// A reference did not resolve to a declared signal.
+    UnknownRef(String),
+    /// Connecting to something that is not connectable.
+    NotConnectable(String),
+    /// A primitive operation failed width inference.
+    Width(String),
+    /// Unsupported construct.
+    Unsupported(String),
+    /// The lowered graph failed validation (indicates a lowering bug).
+    Graph(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::MissingTop(n) => write!(f, "no top module named `{n}`"),
+            LowerError::UnknownModule(n) => write!(f, "instance of unknown module `{n}`"),
+            LowerError::RecursiveInstance(n) => write!(f, "recursive instantiation of `{n}`"),
+            LowerError::UnknownRef(n) => write!(f, "reference to undeclared signal `{n}`"),
+            LowerError::NotConnectable(n) => write!(f, "cannot connect to `{n}`"),
+            LowerError::Width(m) => write!(f, "{m}"),
+            LowerError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            LowerError::Graph(m) => write!(f, "lowered graph invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Statistics from lowering (constructs parsed but not simulated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Number of `stop` statements dropped.
+    pub stops: usize,
+    /// Number of `printf` statements dropped.
+    pub printfs: usize,
+}
+
+/// Lowers a parsed circuit to a validated graph.
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn lower(circuit: &Circuit) -> Result<gsim_graph::Graph, LowerError> {
+    lower_with_stats(circuit).map(|(g, _)| g)
+}
+
+/// Lowers a circuit, also returning [`LowerStats`].
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn lower_with_stats(
+    circuit: &Circuit,
+) -> Result<(gsim_graph::Graph, LowerStats), LowerError> {
+    let top = circuit
+        .top()
+        .ok_or_else(|| LowerError::MissingTop(circuit.name.clone()))?;
+    let mut ctx = Lowerer {
+        circuit,
+        builder: GraphBuilder::new(circuit.name.clone()),
+        stats: LowerStats::default(),
+        instance_stack: vec![top.name.clone()],
+    };
+
+    // Top-level ports: inputs are input nodes; outputs are pending.
+    let mut env = Env::default();
+    for p in &top.ports {
+        let (w, s) = (p.ty.width(), p.ty.is_signed());
+        let node = match p.dir {
+            Dir::Input => ctx.builder.input(p.name.clone(), w, s),
+            Dir::Output => ctx.builder.pending_output(p.name.clone(), w, s),
+        };
+        env.insert(
+            p.name.clone(),
+            Signal {
+                node,
+                width: w,
+                signed: s,
+                connectable: matches!(p.dir, Dir::Output),
+            },
+        );
+    }
+    ctx.elaborate(top, "", &mut env)?;
+
+    // Any still-pending wires/outputs read as zero.
+    let pending: Vec<NodeId> = ctx
+        .builder
+        .graph()
+        .node_ids()
+        .filter(|&id| {
+            ctx.builder.is_pending(id)
+                && !matches!(ctx.builder.graph().node(id).kind, gsim_graph::NodeKind::Input)
+        })
+        .collect();
+    for id in pending {
+        let node = ctx.builder.graph().node(id);
+        if node.kind.is_reg() {
+            // undriven register: holds its value
+            let (w, s) = (node.width, node.signed);
+            ctx.builder.set_reg_next(id, Expr::reference(id, w, s));
+        } else {
+            let (w, s) = (node.width, node.signed);
+            let zero = const_of(w, s);
+            ctx.builder.set_driver(id, zero);
+        }
+    }
+
+    let stats = ctx.stats;
+    let graph = ctx
+        .builder
+        .finish()
+        .map_err(|e| LowerError::Graph(e.to_string()))?;
+    Ok((graph, stats))
+}
+
+fn const_of(width: u32, signed: bool) -> Expr {
+    if signed {
+        Expr::constant_signed(Value::zero(width))
+    } else {
+        Expr::constant(Value::zero(width))
+    }
+}
+
+/// A declared signal visible to references.
+#[derive(Debug, Clone, Copy)]
+struct Signal {
+    node: NodeId,
+    width: u32,
+    signed: bool,
+    /// `false` for things that must not be connected to (top inputs,
+    /// `node` definitions).
+    connectable: bool,
+}
+
+#[derive(Debug, Default)]
+struct Env {
+    map: HashMap<String, Signal>,
+}
+
+impl Env {
+    fn insert(&mut self, name: String, sig: Signal) {
+        self.map.insert(name, sig);
+    }
+
+    fn get(&self, name: &str) -> Option<Signal> {
+        self.map.get(name).copied()
+    }
+}
+
+struct Lowerer<'c> {
+    circuit: &'c Circuit,
+    builder: GraphBuilder,
+    stats: LowerStats,
+    instance_stack: Vec<String>,
+}
+
+impl Lowerer<'_> {
+    /// Elaborates one module instance: declares everything, resolves
+    /// connects, installs drivers. `prefix` is the hierarchical name
+    /// prefix (`""` for top, `"core."` for instance `core`).
+    fn elaborate(&mut self, module: &Module, prefix: &str, env: &mut Env) -> Result<(), LowerError> {
+        // Registers needing a mux-based reset fallback: (reg, cond, init).
+        let mut mux_resets: Vec<(NodeId, Expr, Expr)> = Vec::new();
+        self.declare_stmts(&module.body, prefix, env, &mut mux_resets)?;
+
+        let mut drivers: HashMap<NodeId, Expr> = HashMap::new();
+        self.connect_stmts(&module.body, env, &mut Vec::new(), &mut drivers)?;
+
+        // Install drivers for everything this module drove.
+        for (node, expr) in drivers {
+            let n = self.builder.graph().node(node);
+            if n.kind.is_reg() {
+                let (w, s) = (n.width, n.signed);
+                let mut next = fit(expr, w, s)?;
+                if let Some(pos) = mux_resets.iter().position(|(r, _, _)| *r == node) {
+                    let (_, cond, init) = mux_resets.remove(pos);
+                    let init = fit(init, w, s)?;
+                    next = Expr::prim(PrimOp::Mux, vec![cond, init, next], vec![])
+                        .map_err(|e| LowerError::Width(e.to_string()))?;
+                }
+                self.builder.set_reg_next(node, next);
+            } else {
+                let (w, s) = (n.width, n.signed);
+                let fitted = fit(expr, w, s)?;
+                self.builder.set_driver(node, fitted);
+            }
+        }
+        // Registers with mux resets but no connect: hold value under mux.
+        for (reg, cond, init) in mux_resets {
+            let n = self.builder.graph().node(reg);
+            let (w, s) = (n.width, n.signed);
+            let hold = Expr::reference(reg, w, s);
+            let init = fit(init, w, s)?;
+            let next = Expr::prim(PrimOp::Mux, vec![cond, init, hold], vec![])
+                .map_err(|e| LowerError::Width(e.to_string()))?;
+            self.builder.set_reg_next(reg, next);
+        }
+        Ok(())
+    }
+
+    /// Declaration pass (recurses into `when` bodies; order matters for
+    /// def-before-use of `node` expressions).
+    fn declare_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        prefix: &str,
+        env: &mut Env,
+        mux_resets: &mut Vec<(NodeId, Expr, Expr)>,
+    ) -> Result<(), LowerError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Wire { name, ty } => {
+                    let (w, s) = (ty.width(), ty.is_signed());
+                    let node = self.builder.wire(format!("{prefix}{name}"), w, s);
+                    env.insert(
+                        name.clone(),
+                        Signal {
+                            node,
+                            width: w,
+                            signed: s,
+                            connectable: true,
+                        },
+                    );
+                }
+                Stmt::Node { name, value } => {
+                    let expr = self.lower_expr(value, env)?;
+                    let (w, s) = (expr.width, expr.signed);
+                    let node = self.builder.comb(format!("{prefix}{name}"), expr);
+                    env.insert(
+                        name.clone(),
+                        Signal {
+                            node,
+                            width: w,
+                            signed: s,
+                            connectable: false,
+                        },
+                    );
+                }
+                Stmt::Reg {
+                    name,
+                    ty,
+                    clock: _,
+                    reset,
+                } => {
+                    let (w, s) = (ty.width(), ty.is_signed());
+                    let full = format!("{prefix}{name}");
+                    let node = match reset {
+                        None => self.builder.reg(full, w, s),
+                        Some((cond, init)) => {
+                            let cond_e = self.lower_expr(cond, env)?;
+                            let init_e = self.lower_expr(init, env)?;
+                            match init_e.as_const() {
+                                Some(v) if cond_e.width == 1 => {
+                                    // Constant init: explicit reset metadata.
+                                    let init_v = fit_value(v, w, init_e.signed && s);
+                                    let signal = self.materialize(cond_e, prefix);
+                                    self.builder.reg_with_reset(full, w, s, signal, init_v)
+                                }
+                                _ => {
+                                    let r = self.builder.reg(full, w, s);
+                                    mux_resets.push((r, cond_e, init_e));
+                                    r
+                                }
+                            }
+                        }
+                    };
+                    env.insert(
+                        name.clone(),
+                        Signal {
+                            node,
+                            width: w,
+                            signed: s,
+                            connectable: true,
+                        },
+                    );
+                }
+                Stmt::Mem(decl) => self.declare_mem(decl, prefix, env)?,
+                Stmt::Inst { name, module } => {
+                    let child = self
+                        .circuit
+                        .module(module)
+                        .ok_or_else(|| LowerError::UnknownModule(module.clone()))?;
+                    if self.instance_stack.contains(module) {
+                        return Err(LowerError::RecursiveInstance(module.clone()));
+                    }
+                    // Create shared port wires visible to both sides.
+                    let mut child_env = Env::default();
+                    for p in &child.ports {
+                        let (w, s) = (p.ty.width(), p.ty.is_signed());
+                        let node = self
+                            .builder
+                            .wire(format!("{prefix}{name}.{}", p.name), w, s);
+                        let sig = Signal {
+                            node,
+                            width: w,
+                            signed: s,
+                            connectable: true,
+                        };
+                        env.insert(format!("{name}.{}", p.name), sig);
+                        child_env.insert(p.name.clone(), sig);
+                    }
+                    self.instance_stack.push(module.clone());
+                    self.elaborate(child, &format!("{prefix}{name}."), &mut child_env)?;
+                    self.instance_stack.pop();
+                }
+                Stmt::When {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    self.declare_stmts(then_body, prefix, env, mux_resets)?;
+                    self.declare_stmts(else_body, prefix, env, mux_resets)?;
+                }
+                Stmt::Stop { .. } => self.stats.stops += 1,
+                Stmt::Printf { .. } => self.stats.printfs += 1,
+                Stmt::Connect { .. } | Stmt::Invalidate { .. } | Stmt::Skip => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_mem(&mut self, decl: &MemDecl, prefix: &str, env: &mut Env) -> Result<(), LowerError> {
+        if matches!(decl.data_type, Type::Clock) {
+            return Err(LowerError::Unsupported("Clock-typed memory".into()));
+        }
+        let width = decl.data_type.width();
+        let mem = self
+            .builder
+            .mem(format!("{prefix}{}", decl.name), decl.depth, width);
+        let addr_width = (64 - (decl.depth.max(2) - 1).leading_zeros()).max(1);
+        let field_wire = |this: &mut Self, port: &str, field: &str, w: u32, env: &mut Env| {
+            let node = this
+                .builder
+                .wire(format!("{prefix}{}.{port}.{field}", decl.name), w, false);
+            env.insert(
+                format!("{}.{port}.{field}", decl.name),
+                Signal {
+                    node,
+                    width: w,
+                    signed: false,
+                    connectable: true,
+                },
+            );
+            node
+        };
+        for r in &decl.readers {
+            let addr = field_wire(self, r, "addr", addr_width, env);
+            let _en = field_wire(self, r, "en", 1, env);
+            let _clk = field_wire(self, r, "clk", 1, env);
+            // read-latency 1 pipelines the address through a register.
+            let addr_src = if decl.read_latency == 1 {
+                let pipe = self.builder.reg(
+                    format!("{prefix}{}.{r}.addr_pipe", decl.name),
+                    addr_width,
+                    false,
+                );
+                self.builder
+                    .set_reg_next(pipe, Expr::reference(addr, addr_width, false));
+                pipe
+            } else {
+                addr
+            };
+            let data = self.builder.mem_read(
+                format!("{prefix}{}.{r}.data", decl.name),
+                mem,
+                Expr::reference(addr_src, addr_width, false),
+            );
+            env.insert(
+                format!("{}.{r}.data", decl.name),
+                Signal {
+                    node: data,
+                    width,
+                    signed: decl.data_type.is_signed(),
+                    connectable: false,
+                },
+            );
+        }
+        for w_port in &decl.writers {
+            let addr = field_wire(self, w_port, "addr", addr_width, env);
+            let en = field_wire(self, w_port, "en", 1, env);
+            let _clk = field_wire(self, w_port, "clk", 1, env);
+            let data = field_wire(self, w_port, "data", width, env);
+            let mask = field_wire(self, w_port, "mask", 1, env);
+            // Ground-typed memories have a single mask bit; effective
+            // enable is en AND mask. Undriven masks default to 1 so
+            // mask-less FIRRTL keeps working.
+            self.builder.set_driver(mask, Expr::const_u64(1, 1));
+            let en_expr = Expr::prim(
+                PrimOp::And,
+                vec![Expr::reference(en, 1, false), Expr::reference(mask, 1, false)],
+                vec![],
+            )
+            .map_err(|e| LowerError::Width(e.to_string()))?;
+            self.builder.mem_write(
+                mem,
+                Expr::reference(addr, addr_width, false),
+                Expr::reference(data, width, false),
+                en_expr,
+            );
+        }
+        Ok(())
+    }
+
+    /// Connect pass with scope overlays for `when`.
+    fn connect_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        env: &Env,
+        scopes: &mut Vec<HashMap<NodeId, Expr>>,
+        base: &mut HashMap<NodeId, Expr>,
+    ) -> Result<(), LowerError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Connect { loc, value } => {
+                    let path = loc
+                        .as_path()
+                        .ok_or_else(|| LowerError::NotConnectable(format!("{loc:?}")))?;
+                    let key = path.join(".");
+                    let sig = env
+                        .get(&key)
+                        .ok_or_else(|| LowerError::UnknownRef(key.clone()))?;
+                    if !sig.connectable {
+                        return Err(LowerError::NotConnectable(key));
+                    }
+                    let expr = self.lower_expr(value, env)?;
+                    let fitted = fit(expr, sig.width, sig.signed)?;
+                    set_current(scopes, base, sig.node, fitted);
+                }
+                Stmt::Invalidate { loc } => {
+                    if let Some(path) = loc.as_path() {
+                        let key = path.join(".");
+                        if let Some(sig) = env.get(&key) {
+                            if sig.connectable {
+                                set_current(scopes, base, sig.node, const_of(sig.width, sig.signed));
+                            }
+                        }
+                    }
+                }
+                Stmt::When {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let cond_e = self.lower_expr(cond, env)?;
+                    let cond_e = fit(cond_e, 1, false)?;
+
+                    scopes.push(HashMap::new());
+                    self.connect_stmts(then_body, env, scopes, base)?;
+                    let then_scope = scopes.pop().expect("pushed");
+
+                    scopes.push(HashMap::new());
+                    self.connect_stmts(else_body, env, scopes, base)?;
+                    let else_scope = scopes.pop().expect("pushed");
+
+                    let mut keys: Vec<NodeId> = then_scope.keys().chain(else_scope.keys()).copied().collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    for node in keys {
+                        let fallback = current(scopes, base, node)
+                            .unwrap_or_else(|| self.default_driver(node));
+                        let t = then_scope.get(&node).cloned().unwrap_or_else(|| fallback.clone());
+                        let e = else_scope.get(&node).cloned().unwrap_or(fallback);
+                        let merged = Expr::prim(PrimOp::Mux, vec![cond_e.clone(), t, e], vec![])
+                            .map_err(|er| LowerError::Width(er.to_string()))?;
+                        let n = self.builder.graph().node(node);
+                        let merged = fit(merged, n.width, n.signed)?;
+                        set_current(scopes, base, node, merged);
+                    }
+                }
+                // Declarations were handled in the declare pass; nothing
+                // to do here except recursing, which `When` covers.
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The value a location has when never connected on a path:
+    /// registers hold their value; wires/outputs read zero.
+    fn default_driver(&self, node: NodeId) -> Expr {
+        let n = self.builder.graph().node(node);
+        if n.kind.is_reg() {
+            Expr::reference(node, n.width, n.signed)
+        } else {
+            const_of(n.width, n.signed)
+        }
+    }
+
+    /// Materializes an expression as a node (for register reset signals
+    /// that must be plain node references).
+    fn materialize(&mut self, e: Expr, prefix: &str) -> NodeId {
+        if let Some(id) = e.as_ref_node() {
+            return id;
+        }
+        let n = self.builder.graph().num_nodes();
+        self.builder.comb(format!("{prefix}_reset_sig{n}"), e)
+    }
+
+    fn lower_expr(&mut self, e: &ast::Expr, env: &Env) -> Result<Expr, LowerError> {
+        match e {
+            ast::Expr::Ref(path) => {
+                let key = path.join(".");
+                let sig = env.get(&key).ok_or(LowerError::UnknownRef(key))?;
+                Ok(Expr::reference(sig.node, sig.width, sig.signed))
+            }
+            ast::Expr::Lit { value, signed } => Ok(if *signed {
+                Expr::constant_signed(value.clone())
+            } else {
+                Expr::constant(value.clone())
+            }),
+            ast::Expr::ValidIf { value, .. } => self.lower_expr(value, env),
+            ast::Expr::Prim { op, args, params } => {
+                // Clock-domain casts are identities in this subset.
+                if matches!(op.as_str(), "asClock" | "asAsyncReset") {
+                    let inner = self.lower_expr(&args[0], env)?;
+                    return Expr::prim(PrimOp::AsUInt, vec![inner], vec![])
+                        .map_err(|e| LowerError::Width(e.to_string()));
+                }
+                let pop = PrimOp::from_name(op)
+                    .ok_or_else(|| LowerError::Unsupported(format!("primitive op `{op}`")))?;
+                let mut lowered = Vec::with_capacity(args.len());
+                for a in args {
+                    lowered.push(self.lower_expr(a, env)?);
+                }
+                // FIRRTL requires matching operand signedness; Chisel
+                // emits casts, but hand-written code sometimes mixes a
+                // literal in — coerce constants to the other operand.
+                if lowered.len() == 2 && pop != PrimOp::Dshl && pop != PrimOp::Dshr {
+                    coerce_const_sign(&mut lowered);
+                }
+                let params: Vec<u32> = params.iter().map(|&p| p as u32).collect();
+                Expr::prim(pop, lowered, params).map_err(|e| LowerError::Width(e.to_string()))
+            }
+        }
+    }
+}
+
+/// If exactly one of two operands is a constant with mismatched
+/// signedness, reinterpret the constant.
+fn coerce_const_sign(args: &mut [Expr]) {
+    if args[0].signed == args[1].signed {
+        return;
+    }
+    let (c, other_signed) = if args[0].is_const() {
+        (0usize, args[1].signed)
+    } else if args[1].is_const() {
+        (1, args[0].signed)
+    } else {
+        return;
+    };
+    args[c].signed = other_signed;
+}
+
+/// Adapts `e` to exactly (`width`, `signed`): pad/sign-extend when
+/// narrower, truncate when wider, cast signedness last.
+fn fit(e: Expr, width: u32, signed: bool) -> Result<Expr, LowerError> {
+    let map_err = |e: gsim_graph::WidthError| LowerError::Width(e.to_string());
+    let mut cur = e;
+    if cur.width < width {
+        cur = Expr::prim(PrimOp::Pad, vec![cur], vec![width]).map_err(map_err)?;
+    } else if cur.width > width {
+        // Truncation loses the sign, recover it below if needed.
+        cur = Expr::prim(PrimOp::Bits, vec![cur], vec![width - 1, 0]).map_err(map_err)?;
+    }
+    if cur.signed != signed {
+        let op = if signed { PrimOp::AsSInt } else { PrimOp::AsUInt };
+        cur = Expr::prim(op, vec![cur], vec![]).map_err(map_err)?;
+    }
+    Ok(cur)
+}
+
+/// Adapts a constant to (`width`, `signed`).
+fn fit_value(v: &Value, width: u32, signed: bool) -> Value {
+    if signed {
+        v.sext_or_trunc(width)
+    } else {
+        v.zext_or_trunc(width)
+    }
+}
+
+fn set_current(
+    scopes: &mut [HashMap<NodeId, Expr>],
+    base: &mut HashMap<NodeId, Expr>,
+    node: NodeId,
+    expr: Expr,
+) {
+    match scopes.last_mut() {
+        Some(top) => {
+            top.insert(node, expr);
+        }
+        None => {
+            base.insert(node, expr);
+        }
+    }
+}
+
+fn current(
+    scopes: &[HashMap<NodeId, Expr>],
+    base: &HashMap<NodeId, Expr>,
+    node: NodeId,
+) -> Option<Expr> {
+    for scope in scopes.iter().rev() {
+        if let Some(e) = scope.get(&node) {
+            return Some(e.clone());
+        }
+    }
+    base.get(&node).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use gsim_graph::interp::RefInterp;
+
+    fn compile(src: &str) -> gsim_graph::Graph {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lowers_counter_with_reset() {
+        let g = compile(
+            r#"
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    output out : UInt<8>
+    reg count : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    count <= tail(add(count, UInt<8>(1)), 1)
+    out <= count
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.run(10);
+        assert_eq!(sim.peek_u64("out"), Some(9));
+        sim.poke_u64("reset", 1).unwrap();
+        sim.run(2);
+        sim.poke_u64("reset", 0).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("out"), Some(0));
+    }
+
+    #[test]
+    fn when_last_connect_semantics() {
+        let g = compile(
+            r#"
+circuit W :
+  module W :
+    input s : UInt<1>
+    input a : UInt<4>
+    input b : UInt<4>
+    output y : UInt<4>
+    y <= a
+    when s :
+      y <= b
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.poke_u64("a", 3).unwrap();
+        sim.poke_u64("b", 9).unwrap();
+        sim.poke_u64("s", 0).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("y"), Some(3));
+        sim.poke_u64("s", 1).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("y"), Some(9));
+    }
+
+    #[test]
+    fn nested_when_with_else_chain() {
+        let g = compile(
+            r#"
+circuit N :
+  module N :
+    input s : UInt<2>
+    output y : UInt<4>
+    y <= UInt<4>(0)
+    when eq(s, UInt<2>(1)) :
+      y <= UInt<4>(10)
+    else when eq(s, UInt<2>(2)) :
+      y <= UInt<4>(11)
+    else :
+      y <= UInt<4>(12)
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        for (s, want) in [(0u64, 12u64), (1, 10), (2, 11), (3, 12)] {
+            sim.poke_u64("s", s).unwrap();
+            sim.step();
+            assert_eq!(sim.peek_u64("y"), Some(want), "selector {s}");
+        }
+    }
+
+    #[test]
+    fn register_holds_when_unconnected_in_branch() {
+        let g = compile(
+            r#"
+circuit H :
+  module H :
+    input clock : Clock
+    input en : UInt<1>
+    input d : UInt<8>
+    output q : UInt<8>
+    reg r : UInt<8>, clock
+    when en :
+      r <= d
+    q <= r
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.poke_u64("en", 1).unwrap();
+        sim.poke_u64("d", 42).unwrap();
+        sim.step();
+        sim.poke_u64("en", 0).unwrap();
+        sim.poke_u64("d", 99).unwrap();
+        sim.run(5);
+        assert_eq!(sim.peek_u64("q"), Some(42));
+    }
+
+    #[test]
+    fn instances_flatten_with_hierarchy() {
+        let g = compile(
+            r#"
+circuit Top :
+  module Inv :
+    input x : UInt<4>
+    output y : UInt<4>
+    y <= not(x)
+  module Top :
+    input a : UInt<4>
+    output b : UInt<4>
+    inst i0 of Inv
+    inst i1 of Inv
+    i0.x <= a
+    i1.x <= i0.y
+    b <= i1.y
+"#,
+        );
+        assert!(g.node_by_name("i0.x").is_some());
+        assert!(g.node_by_name("i1.y").is_some());
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.poke_u64("a", 0b1010).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("b"), Some(0b1010)); // double inversion
+        assert_eq!(sim.peek_u64("i0.y"), Some(0b0101));
+    }
+
+    #[test]
+    fn memory_with_latency_one() {
+        let g = compile(
+            r#"
+circuit M :
+  module M :
+    input clock : Clock
+    input addr : UInt<2>
+    output q : UInt<8>
+    mem ram :
+      data-type => UInt<8>
+      depth => 4
+      read-latency => 1
+      write-latency => 1
+      reader => r
+      writer => w
+    ram.r.addr <= addr
+    ram.r.en <= UInt<1>(1)
+    ram.w.addr <= addr
+    ram.w.data <= UInt<8>(7)
+    ram.w.en <= UInt<1>(0)
+    q <= ram.r.data
+"#,
+        );
+        // The pipeline register for the read address must exist.
+        assert!(g.node_by_name("ram.r.addr_pipe").is_some());
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.run(2);
+        assert_eq!(sim.peek_u64("q"), Some(0));
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let g = compile(
+            r#"
+circuit M :
+  module M :
+    input clock : Clock
+    input waddr : UInt<2>
+    input wdata : UInt<8>
+    input wen : UInt<1>
+    input raddr : UInt<2>
+    output q : UInt<8>
+    mem ram :
+      data-type => UInt<8>
+      depth => 4
+      read-latency => 0
+      write-latency => 1
+      reader => r
+      writer => w
+    ram.r.addr <= raddr
+    ram.r.en <= UInt<1>(1)
+    ram.w.addr <= waddr
+    ram.w.data <= wdata
+    ram.w.en <= wen
+    ram.w.mask <= UInt<1>(1)
+    q <= ram.r.data
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.poke_u64("waddr", 2).unwrap();
+        sim.poke_u64("wdata", 0x5a).unwrap();
+        sim.poke_u64("wen", 1).unwrap();
+        sim.step();
+        sim.poke_u64("wen", 0).unwrap();
+        sim.poke_u64("raddr", 2).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("q"), Some(0x5a));
+    }
+
+    #[test]
+    fn undriven_wire_reads_zero() {
+        let g = compile(
+            r#"
+circuit U :
+  module U :
+    output y : UInt<8>
+    wire w : UInt<8>
+    w is invalid
+    y <= w
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("y"), Some(0));
+    }
+
+    #[test]
+    fn connect_truncates_and_pads() {
+        let g = compile(
+            r#"
+circuit F :
+  module F :
+    input a : UInt<8>
+    output narrow : UInt<4>
+    output wide : UInt<12>
+    narrow <= a
+    wide <= a
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.poke_u64("a", 0xAB).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("narrow"), Some(0xB));
+        assert_eq!(sim.peek_u64("wide"), Some(0xAB));
+    }
+
+    #[test]
+    fn signed_arithmetic_flows_through() {
+        let g = compile(
+            r#"
+circuit S :
+  module S :
+    input a : SInt<8>
+    input b : SInt<8>
+    output y : SInt<9>
+    output neg : UInt<1>
+    y <= add(a, b)
+    neg <= lt(a, SInt<8>(0))
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.poke("a", Value::from_i64(-5, 8)).unwrap();
+        sim.poke("b", Value::from_i64(3, 8)).unwrap();
+        sim.step();
+        assert_eq!(sim.peek("y").unwrap().to_i128(), Some(-2));
+        assert_eq!(sim.peek_u64("neg"), Some(1));
+    }
+
+    #[test]
+    fn unknown_ref_is_reported() {
+        let err = lower(
+            &parse(
+                r#"
+circuit E :
+  module E :
+    output y : UInt<1>
+    y <= nonexistent
+"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::UnknownRef(n) if n == "nonexistent"));
+    }
+
+    #[test]
+    fn recursive_instance_is_reported() {
+        let err = lower(
+            &parse(
+                r#"
+circuit R :
+  module R :
+    input a : UInt<1>
+    inst r of R
+    r.a <= a
+"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::RecursiveInstance(_)));
+    }
+
+    #[test]
+    fn stats_count_dropped_statements() {
+        let (_, stats) = lower_with_stats(
+            &parse(
+                r#"
+circuit P :
+  module P :
+    input clock : Clock
+    input c : UInt<1>
+    stop(clock, c, 1)
+    printf(clock, c, "hi")
+    printf(clock, c, "x=%d", c)
+"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(stats.stops, 1);
+        assert_eq!(stats.printfs, 2);
+    }
+
+    #[test]
+    fn non_constant_reset_falls_back_to_mux() {
+        let g = compile(
+            r#"
+circuit V :
+  module V :
+    input clock : Clock
+    input reset : UInt<1>
+    input base : UInt<8>
+    output q : UInt<8>
+    reg r : UInt<8>, clock with : (reset => (reset, base))
+    r <= tail(add(r, UInt<8>(1)), 1)
+    q <= r
+"#,
+        );
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.poke_u64("base", 100).unwrap();
+        sim.poke_u64("reset", 1).unwrap();
+        sim.step();
+        sim.poke_u64("reset", 0).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("q"), Some(100));
+        sim.step();
+        assert_eq!(sim.peek_u64("q"), Some(101));
+    }
+}

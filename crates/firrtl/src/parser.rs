@@ -1,0 +1,904 @@
+//! Recursive-descent parser for the FIRRTL subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, SpannedTok, Tok};
+use gsim_value::Value;
+use std::fmt;
+
+/// Parse error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            msg: e.to_string(),
+            line: e.line,
+        }
+    }
+}
+
+/// Parses FIRRTL source text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line number on malformed input.
+pub fn parse(src: &str) -> Result<Circuit, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.circuit()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn accept(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.accept(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_id(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Id(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseError> {
+        match self.bump() {
+            Tok::Int(n) => Ok(n),
+            other => self.err(format!("expected integer, found {other}")),
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Id(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.peek()))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    fn circuit(&mut self) -> Result<Circuit, ParseError> {
+        self.skip_newlines();
+        // Optional "FIRRTL version x.y.z" header.
+        if matches!(self.peek(), Tok::Id(s) if s == "FIRRTL") {
+            while !matches!(self.peek(), Tok::Newline | Tok::Eof) {
+                self.bump();
+            }
+            self.skip_newlines();
+        }
+        self.expect_keyword("circuit")?;
+        let name = self.expect_id()?;
+        self.expect(&Tok::Colon)?;
+        self.expect(&Tok::Newline)?;
+        self.expect(&Tok::Indent)?;
+        let mut modules = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Tok::Dedent | Tok::Eof => break,
+                _ => modules.push(self.module()?),
+            }
+        }
+        Ok(Circuit { name, modules })
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        self.expect_keyword("module")?;
+        let name = self.expect_id()?;
+        self.expect(&Tok::Colon)?;
+        self.expect(&Tok::Newline)?;
+        self.expect(&Tok::Indent)?;
+        let mut ports = Vec::new();
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Tok::Dedent => {
+                    self.bump();
+                    break;
+                }
+                Tok::Eof => break,
+                Tok::Id(s) if s == "input" || s == "output" => {
+                    let dir = if s == "input" { Dir::Input } else { Dir::Output };
+                    self.bump();
+                    let pname = self.expect_id()?;
+                    self.expect(&Tok::Colon)?;
+                    let ty = self.ty()?;
+                    ports.push(Port {
+                        name: pname,
+                        dir,
+                        ty,
+                    });
+                    self.expect(&Tok::Newline)?;
+                }
+                _ => body.push(self.stmt()?),
+            }
+        }
+        Ok(Module { name, ports, body })
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let kind = self.expect_id()?;
+        match kind.as_str() {
+            "Clock" => Ok(Type::Clock),
+            "Reset" | "AsyncReset" => Ok(Type::Reset),
+            "UInt" | "SInt" => {
+                if self.accept(&Tok::Lt) {
+                    let w = self.expect_int()?;
+                    self.expect(&Tok::Gt)?;
+                    let w = u32::try_from(w)
+                        .map_err(|_| ParseError {
+                            msg: format!("width {w} too large"),
+                            line: self.line(),
+                        })?;
+                    Ok(if kind == "UInt" {
+                        Type::UInt(w)
+                    } else {
+                        Type::SInt(w)
+                    })
+                } else {
+                    self.err(format!("{kind} requires an explicit width in this subset"))
+                }
+            }
+            other => self.err(format!("unsupported type `{other}` (ground types only)")),
+        }
+    }
+
+    /// Parses the statements of an indented block (or a single inline
+    /// statement after a colon).
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.accept(&Tok::Newline) {
+            self.expect(&Tok::Indent)?;
+            let mut stmts = Vec::new();
+            loop {
+                self.skip_newlines();
+                match self.peek() {
+                    Tok::Dedent => {
+                        self.bump();
+                        break;
+                    }
+                    Tok::Eof => break,
+                    _ => stmts.push(self.stmt()?),
+                }
+            }
+            Ok(stmts)
+        } else {
+            // single inline statement
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Id(kw) => match kw.as_str() {
+                "skip" => {
+                    self.bump();
+                    self.end_of_stmt()?;
+                    Ok(Stmt::Skip)
+                }
+                "wire" => {
+                    self.bump();
+                    let name = self.expect_id()?;
+                    self.expect(&Tok::Colon)?;
+                    let ty = self.ty()?;
+                    self.end_of_stmt()?;
+                    Ok(Stmt::Wire { name, ty })
+                }
+                "node" => {
+                    self.bump();
+                    let name = self.expect_id()?;
+                    self.expect(&Tok::Eq)?;
+                    let value = self.expr()?;
+                    self.end_of_stmt()?;
+                    Ok(Stmt::Node { name, value })
+                }
+                "inst" => {
+                    self.bump();
+                    let name = self.expect_id()?;
+                    self.expect_keyword("of")?;
+                    let module = self.expect_id()?;
+                    self.end_of_stmt()?;
+                    Ok(Stmt::Inst { name, module })
+                }
+                "reg" => self.reg_stmt(),
+                "regreset" => self.regreset_stmt(),
+                "mem" => self.mem_stmt(),
+                "when" => self.when_stmt(),
+                "stop" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let _clock = self.expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let cond = self.expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let code = self.expect_int()?;
+                    self.expect(&Tok::RParen)?;
+                    // optional result name `: name`
+                    if self.accept(&Tok::Colon) {
+                        let _ = self.expect_id()?;
+                    }
+                    self.end_of_stmt()?;
+                    Ok(Stmt::Stop { cond, code })
+                }
+                "printf" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let _clock = self.expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let cond = self.expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let fmt = match self.bump() {
+                        Tok::Str(s) => s,
+                        other => return self.err(format!("expected format string, found {other}")),
+                    };
+                    let mut args = Vec::new();
+                    while self.accept(&Tok::Comma) {
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    if self.accept(&Tok::Colon) {
+                        let _ = self.expect_id()?;
+                    }
+                    self.end_of_stmt()?;
+                    Ok(Stmt::Printf { cond, fmt, args })
+                }
+                _ => self.connect_like(),
+            },
+            _ => self.connect_like(),
+        }
+    }
+
+    fn end_of_stmt(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Newline => {
+                self.bump();
+                Ok(())
+            }
+            Tok::Eof | Tok::Dedent => Ok(()),
+            other => {
+                let other = other.clone();
+                self.err(format!("expected end of statement, found {other}"))
+            }
+        }
+    }
+
+    /// `ref <= expr` or `ref is invalid`.
+    fn connect_like(&mut self) -> Result<Stmt, ParseError> {
+        let loc = self.reference()?;
+        match self.peek() {
+            Tok::Connect => {
+                self.bump();
+                let value = self.expr()?;
+                self.end_of_stmt()?;
+                Ok(Stmt::Connect { loc, value })
+            }
+            Tok::Id(s) if s == "is" => {
+                self.bump();
+                self.expect_keyword("invalid")?;
+                self.end_of_stmt()?;
+                Ok(Stmt::Invalidate { loc })
+            }
+            other => {
+                let other = other.clone();
+                self.err(format!("expected `<=` or `is invalid`, found {other}"))
+            }
+        }
+    }
+
+    fn reg_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("reg")?;
+        let name = self.expect_id()?;
+        self.expect(&Tok::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&Tok::Comma)?;
+        let clock = self.expr()?;
+        let mut reset = None;
+        if self.accept_keyword("with") {
+            self.expect(&Tok::Colon)?;
+            // Either `(reset => (cond, init))` inline or an indented block.
+            let parenthesized = self.accept(&Tok::LParen);
+            if !parenthesized {
+                self.expect(&Tok::Newline)?;
+                self.expect(&Tok::Indent)?;
+            }
+            self.expect_keyword("reset")?;
+            self.expect(&Tok::FatArrow)?;
+            self.expect(&Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Tok::Comma)?;
+            let init = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            reset = Some((cond, init));
+            if parenthesized {
+                self.expect(&Tok::RParen)?;
+                self.end_of_stmt()?;
+            } else {
+                self.expect(&Tok::Newline)?;
+                self.expect(&Tok::Dedent)?;
+            }
+        } else {
+            self.end_of_stmt()?;
+        }
+        Ok(Stmt::Reg {
+            name,
+            ty,
+            clock,
+            reset,
+        })
+    }
+
+    /// FIRRTL 2.0+ `regreset name : type, clock, resetSignal, initValue`.
+    fn regreset_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("regreset")?;
+        let name = self.expect_id()?;
+        self.expect(&Tok::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&Tok::Comma)?;
+        let clock = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let cond = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let init = self.expr()?;
+        self.end_of_stmt()?;
+        Ok(Stmt::Reg {
+            name,
+            ty,
+            clock,
+            reset: Some((cond, init)),
+        })
+    }
+
+    fn mem_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("mem")?;
+        let name = self.expect_id()?;
+        self.expect(&Tok::Colon)?;
+        self.expect(&Tok::Newline)?;
+        self.expect(&Tok::Indent)?;
+        let mut decl = MemDecl {
+            name,
+            data_type: Type::UInt(1),
+            depth: 0,
+            read_latency: 0,
+            write_latency: 1,
+            readers: Vec::new(),
+            writers: Vec::new(),
+        };
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Tok::Dedent => {
+                    self.bump();
+                    break;
+                }
+                Tok::Eof => break,
+                _ => {}
+            }
+            let field = self.expect_id()?;
+            self.expect(&Tok::FatArrow)?;
+            match field.as_str() {
+                "data-type" => decl.data_type = self.ty()?,
+                "depth" => decl.depth = self.expect_int()?,
+                "read-latency" => decl.read_latency = self.expect_int()? as u32,
+                "write-latency" => decl.write_latency = self.expect_int()? as u32,
+                "reader" => decl.readers.push(self.expect_id()?),
+                "writer" => decl.writers.push(self.expect_id()?),
+                "read-under-write" => {
+                    let _ = self.expect_id()?;
+                }
+                "readwriter" => {
+                    return self.err("readwrite memory ports are not supported");
+                }
+                other => return self.err(format!("unknown mem field `{other}`")),
+            }
+            self.end_of_stmt()?;
+        }
+        if decl.depth == 0 {
+            return self.err(format!("mem `{}` missing depth", decl.name));
+        }
+        if decl.write_latency != 1 {
+            return self.err("write-latency must be 1");
+        }
+        if decl.read_latency > 1 {
+            return self.err("read-latency must be 0 or 1");
+        }
+        Ok(Stmt::Mem(decl))
+    }
+
+    fn when_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("when")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::Colon)?;
+        let then_body = self.block()?;
+        let mut else_body = Vec::new();
+        // `else` may follow at the same indentation.
+        self.skip_newlines();
+        if matches!(self.peek(), Tok::Id(s) if s == "else") {
+            self.bump();
+            if matches!(self.peek(), Tok::Id(s) if s == "when") {
+                // `else when ...` chains.
+                else_body.push(self.when_stmt()?);
+            } else {
+                self.expect(&Tok::Colon)?;
+                else_body = self.block()?;
+            }
+        }
+        Ok(Stmt::When {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn reference(&mut self) -> Result<Expr, ParseError> {
+        let first = self.expect_id()?;
+        let mut path = vec![first];
+        while self.accept(&Tok::Dot) {
+            path.push(self.expect_id()?);
+        }
+        Ok(Expr::Ref(path))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Id(head) => {
+                match head.as_str() {
+                    "UInt" | "SInt" => {
+                        // Could be a literal `UInt<8>(...)` / `UInt(...)`.
+                        if matches!(self.peek2(), Tok::Lt | Tok::LParen) {
+                            return self.literal(head == "SInt");
+                        }
+                        self.reference()
+                    }
+                    "mux" => {
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let sel = self.expr()?;
+                        self.expect(&Tok::Comma)?;
+                        let t = self.expr()?;
+                        self.expect(&Tok::Comma)?;
+                        let f = self.expr()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::Prim {
+                            op: "mux".into(),
+                            args: vec![sel, t, f],
+                            params: vec![],
+                        })
+                    }
+                    "validif" => {
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let cond = self.expr()?;
+                        self.expect(&Tok::Comma)?;
+                        let value = self.expr()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(Expr::ValidIf {
+                            cond: Box::new(cond),
+                            value: Box::new(value),
+                        })
+                    }
+                    _ if matches!(self.peek2(), Tok::LParen) => {
+                        // primitive op call
+                        self.bump();
+                        self.expect(&Tok::LParen)?;
+                        let mut args = Vec::new();
+                        let mut params = Vec::new();
+                        if !self.accept(&Tok::RParen) {
+                            loop {
+                                match self.peek() {
+                                    Tok::Int(n) => {
+                                        params.push(*n);
+                                        self.bump();
+                                    }
+                                    _ => args.push(self.expr()?),
+                                }
+                                if !self.accept(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&Tok::RParen)?;
+                        }
+                        Ok(Expr::Prim {
+                            op: head,
+                            args,
+                            params,
+                        })
+                    }
+                    _ => self.reference(),
+                }
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+
+    fn literal(&mut self, signed: bool) -> Result<Expr, ParseError> {
+        self.bump(); // UInt / SInt
+        let mut width = None;
+        if self.accept(&Tok::Lt) {
+            let w = self.expect_int()?;
+            self.expect(&Tok::Gt)?;
+            width = Some(w as u32);
+        }
+        self.expect(&Tok::LParen)?;
+        let line = self.line();
+        let make_err = |msg: String| ParseError { msg, line };
+        let value = match self.bump() {
+            Tok::Int(n) => {
+                let min_width = min_width_for(n as i64, signed, false);
+                let w = width.unwrap_or(min_width);
+                if w < min_width {
+                    return Err(make_err(format!("literal {n} does not fit in {w} bits")));
+                }
+                Value::from_u64(n, w)
+            }
+            Tok::NegInt(n) => {
+                if !signed {
+                    return Err(make_err("negative UInt literal".into()));
+                }
+                let min_width = min_width_for(n, true, true);
+                let w = width.unwrap_or(min_width);
+                if w < min_width {
+                    return Err(make_err(format!("literal {n} does not fit in {w} bits")));
+                }
+                Value::from_i64(n, w)
+            }
+            Tok::Str(s) => {
+                let (radix, body) = match s.chars().next() {
+                    Some('h') => (16, &s[1..]),
+                    Some('o') => (8, &s[1..]),
+                    Some('b') => (2, &s[1..]),
+                    _ => (10, s.as_str()),
+                };
+                // Width defaults to the bit-length of the literal body.
+                let probe = Value::from_str_radix(body, radix, gsim_value::MAX_WIDTH)
+                    .map_err(|e| make_err(e.to_string()))?;
+                let min_width = gsim_value::words::top_bit(probe.words())
+                    .map_or(1, |b| b + 1)
+                    + (signed && !body.starts_with('-')) as u32;
+                let w = width.unwrap_or(min_width);
+                Value::from_str_radix(body, radix, w).map_err(|e| make_err(e.to_string()))?
+            }
+            other => return Err(make_err(format!("expected literal value, found {other}"))),
+        };
+        self.expect(&Tok::RParen)?;
+        Ok(Expr::Lit { value, signed })
+    }
+}
+
+/// Minimal width to represent `n` (two's complement when `signed`).
+fn min_width_for(n: i64, signed: bool, negative: bool) -> u32 {
+    if negative {
+        // bits needed for n in two's complement
+        (64 - (!(n)).leading_zeros()).max(0) + 1
+    } else {
+        let base = 64 - (n as u64).leading_zeros();
+        base.max(1) + signed as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+circuit Top :
+  module Top :
+    input clock : Clock
+    input reset : UInt<1>
+    input a : UInt<8>
+    output y : UInt<8>
+    wire t : UInt<8>
+    node doubled = tail(add(a, a), 1)
+    t <= doubled
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    r <= t
+    y <= r
+"#;
+
+    #[test]
+    fn parses_small_module() {
+        let c = parse(SMALL).unwrap();
+        assert_eq!(c.name, "Top");
+        let m = c.top().unwrap();
+        assert_eq!(m.ports.len(), 4);
+        // wire, node, connect, reg, connect, connect
+        assert_eq!(m.body.len(), 6);
+        assert!(matches!(&m.body[1], Stmt::Node { name, .. } if name == "doubled"));
+        match &m.body[3] {
+            Stmt::Reg { name, reset, .. } => {
+                assert_eq!(name, "r");
+                assert!(reset.is_some());
+            }
+            other => panic!("expected reg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_when_else() {
+        let src = r#"
+circuit C :
+  module C :
+    input c : UInt<1>
+    input a : UInt<4>
+    output y : UInt<4>
+    y <= a
+    when c :
+      y <= not(a)
+    else :
+      skip
+"#;
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        match &m.body[1] {
+            Stmt::When {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected when, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_else_when_chain() {
+        let src = r#"
+circuit C :
+  module C :
+    input s : UInt<2>
+    output y : UInt<2>
+    y <= UInt<2>(0)
+    when eq(s, UInt<2>(1)) :
+      y <= UInt<2>(1)
+    else when eq(s, UInt<2>(2)) :
+      y <= UInt<2>(2)
+    else :
+      y <= UInt<2>(3)
+"#;
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        match &m.body[1] {
+            Stmt::When { else_body, .. } => {
+                assert!(matches!(&else_body[0], Stmt::When { .. }));
+            }
+            other => panic!("expected when, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mem() {
+        let src = r#"
+circuit M :
+  module M :
+    input addr : UInt<4>
+    output q : UInt<8>
+    mem ram :
+      data-type => UInt<8>
+      depth => 16
+      read-latency => 0
+      write-latency => 1
+      reader => r
+      writer => w
+      read-under-write => undefined
+    ram.r.addr <= addr
+    ram.r.en <= UInt<1>(1)
+    q <= ram.r.data
+"#;
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        match &m.body[0] {
+            Stmt::Mem(decl) => {
+                assert_eq!(decl.depth, 16);
+                assert_eq!(decl.readers, vec!["r"]);
+                assert_eq!(decl.writers, vec!["w"]);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+        assert!(matches!(&m.body[1], Stmt::Connect { loc: Expr::Ref(p), .. } if p.len() == 3));
+    }
+
+    #[test]
+    fn parses_instances() {
+        let src = r#"
+circuit Top :
+  module Child :
+    input x : UInt<4>
+    output y : UInt<4>
+    y <= x
+  module Top :
+    input a : UInt<4>
+    output b : UInt<4>
+    inst c of Child
+    c.x <= a
+    b <= c.y
+"#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.modules.len(), 2);
+        let top = c.top().unwrap();
+        assert!(matches!(&top.body[0], Stmt::Inst { name, module } if name == "c" && module == "Child"));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let src = r#"
+circuit L :
+  module L :
+    output a : UInt<8>
+    output b : SInt<4>
+    output c : UInt<16>
+    a <= UInt<8>("hff")
+    b <= SInt<4>(-3)
+    c <= UInt<16>("b1010")
+"#;
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        match &m.body[0] {
+            Stmt::Connect {
+                value: Expr::Lit { value, .. },
+                ..
+            } => assert_eq!(value.to_u64(), Some(0xff)),
+            other => panic!("{other:?}"),
+        }
+        match &m.body[1] {
+            Stmt::Connect {
+                value: Expr::Lit { value, signed },
+                ..
+            } => {
+                assert!(*signed);
+                assert_eq!(value.to_i128(), Some(-3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stop_and_printf() {
+        let src = r#"
+circuit S :
+  module S :
+    input clock : Clock
+    input c : UInt<1>
+    input v : UInt<8>
+    stop(clock, c, 1)
+    printf(clock, c, "v=%d\n", v)
+"#;
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        assert!(matches!(&m.body[0], Stmt::Stop { code: 1, .. }));
+        assert!(matches!(&m.body[1], Stmt::Printf { args, .. } if args.len() == 1));
+    }
+
+    #[test]
+    fn parses_regreset() {
+        let src = r#"
+circuit R :
+  module R :
+    input clock : Clock
+    input reset : UInt<1>
+    output q : UInt<8>
+    regreset r : UInt<8>, clock, reset, UInt<8>(42)
+    r <= q
+    q <= r
+"#;
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        assert!(matches!(&m.body[0], Stmt::Reg { reset: Some(_), .. }));
+    }
+
+    #[test]
+    fn parses_reg_with_block_reset() {
+        let src = "circuit R :\n  module R :\n    input clock : Clock\n    input reset : UInt<1>\n    reg x : UInt<4>, clock with :\n      reset => (reset, UInt<4>(7))\n    x <= x\n";
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        assert!(matches!(&m.body[0], Stmt::Reg { reset: Some(_), .. }));
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let err = parse("circuit X :\n  module X :\n    wire w UInt<4>\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let err = parse("circuit X :\n  module X :\n    wire w : Analog<4>\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported type"));
+    }
+
+    #[test]
+    fn parses_validif_and_invalidate() {
+        let src = r#"
+circuit V :
+  module V :
+    input c : UInt<1>
+    input a : UInt<4>
+    output y : UInt<4>
+    wire w : UInt<4>
+    w is invalid
+    y <= validif(c, a)
+"#;
+        let c = parse(src).unwrap();
+        let m = c.top().unwrap();
+        assert!(matches!(&m.body[1], Stmt::Invalidate { .. }));
+        assert!(matches!(
+            &m.body[2],
+            Stmt::Connect {
+                value: Expr::ValidIf { .. },
+                ..
+            }
+        ));
+    }
+}

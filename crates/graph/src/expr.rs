@@ -1,0 +1,742 @@
+//! Width-inferred expression trees over graph nodes.
+//!
+//! Every combinational node, register next-value, and memory-port operand
+//! in the graph is an [`Expr`]: a tree of FIRRTL primitive operations
+//! whose leaves are constants or references to other nodes. Each tree
+//! node carries its width and signedness, computed at construction time
+//! by the FIRRTL specification's width-inference rules, so passes never
+//! have to re-derive types.
+
+use crate::node::NodeId;
+use gsim_value::{ops, Value, MAX_WIDTH};
+use std::fmt;
+
+/// FIRRTL primitive operations (plus `Mux`, which FIRRTL treats as an
+/// expression form rather than a primop — one enum keeps passes uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PrimOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Leq,
+    Gt,
+    Geq,
+    Eq,
+    Neq,
+    /// `pad(a, n)` — widen to at least `n` bits.
+    Pad,
+    AsUInt,
+    AsSInt,
+    /// `shl(a, n)` — static left shift.
+    Shl,
+    /// `shr(a, n)` — static right shift (arithmetic for `SInt`).
+    Shr,
+    Dshl,
+    Dshr,
+    /// `cvt(a)` — convert to signed.
+    Cvt,
+    Neg,
+    Not,
+    And,
+    Or,
+    Xor,
+    Andr,
+    Orr,
+    Xorr,
+    Cat,
+    /// `bits(a, hi, lo)` — inclusive bit extraction.
+    Bits,
+    /// `head(a, n)` — `n` most-significant bits.
+    Head,
+    /// `tail(a, n)` — drop `n` most-significant bits.
+    Tail,
+    /// `mux(sel, t, f)`.
+    Mux,
+}
+
+impl PrimOp {
+    /// Number of expression operands the op takes.
+    pub fn arity(self) -> usize {
+        use PrimOp::*;
+        match self {
+            Add | Sub | Mul | Div | Rem | Lt | Leq | Gt | Geq | Eq | Neq | Dshl | Dshr | And
+            | Or | Xor | Cat => 2,
+            Pad | AsUInt | AsSInt | Shl | Shr | Cvt | Neg | Not | Andr | Orr | Xorr | Bits
+            | Head | Tail => 1,
+            Mux => 3,
+        }
+    }
+
+    /// Number of integer parameters (e.g. shift amounts, bit indices).
+    pub fn num_params(self) -> usize {
+        use PrimOp::*;
+        match self {
+            Pad | Shl | Shr | Head | Tail => 1,
+            Bits => 2,
+            _ => 0,
+        }
+    }
+
+    /// The FIRRTL surface syntax name of the op.
+    pub fn name(self) -> &'static str {
+        use PrimOp::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            Lt => "lt",
+            Leq => "leq",
+            Gt => "gt",
+            Geq => "geq",
+            Eq => "eq",
+            Neq => "neq",
+            Pad => "pad",
+            AsUInt => "asUInt",
+            AsSInt => "asSInt",
+            Shl => "shl",
+            Shr => "shr",
+            Dshl => "dshl",
+            Dshr => "dshr",
+            Cvt => "cvt",
+            Neg => "neg",
+            Not => "not",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Andr => "andr",
+            Orr => "orr",
+            Xorr => "xorr",
+            Cat => "cat",
+            Bits => "bits",
+            Head => "head",
+            Tail => "tail",
+            Mux => "mux",
+        }
+    }
+
+    /// Looks an op up by its FIRRTL surface name.
+    pub fn from_name(name: &str) -> Option<PrimOp> {
+        use PrimOp::*;
+        Some(match name {
+            "add" => Add,
+            "sub" => Sub,
+            "mul" => Mul,
+            "div" => Div,
+            "rem" => Rem,
+            "lt" => Lt,
+            "leq" => Leq,
+            "gt" => Gt,
+            "geq" => Geq,
+            "eq" => Eq,
+            "neq" => Neq,
+            "pad" => Pad,
+            "asUInt" => AsUInt,
+            "asSInt" => AsSInt,
+            "shl" => Shl,
+            "shr" => Shr,
+            "dshl" => Dshl,
+            "dshr" => Dshr,
+            "cvt" => Cvt,
+            "neg" => Neg,
+            "not" => Not,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "andr" => Andr,
+            "orr" => Orr,
+            "xorr" => Xorr,
+            "cat" => Cat,
+            "bits" => Bits,
+            "head" => Head,
+            "tail" => Tail,
+            "mux" => Mux,
+            _ => return None,
+        })
+    }
+
+    /// An estimate of the evaluation cost of this op in abstract
+    /// "operator units", used by the node-level inline/extract cost model
+    /// (§III-B of the paper counts operators).
+    pub fn cost(self) -> u32 {
+        use PrimOp::*;
+        match self {
+            Mul => 3,
+            Div | Rem => 8,
+            Mux => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The payload of an [`Expr`] tree node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExprKind {
+    /// A literal value.
+    Const(Value),
+    /// A reference to another graph node's value.
+    Ref(NodeId),
+    /// A primitive operation over sub-expressions, with integer
+    /// parameters (shift amounts / bit indices) where the op needs them.
+    Prim(PrimOp, Vec<Expr>, Vec<u32>),
+}
+
+/// A width- and sign-annotated expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Expr {
+    /// The expression payload.
+    pub kind: ExprKind,
+    /// Result width in bits, per FIRRTL inference rules.
+    pub width: u32,
+    /// Whether the result is an `SInt`.
+    pub signed: bool,
+}
+
+/// Error from constructing an expression with inconsistent operand types
+/// or out-of-range parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthError {
+    msg: String,
+}
+
+impl WidthError {
+    fn new(msg: impl Into<String>) -> Self {
+        WidthError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "width error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for WidthError {}
+
+impl Expr {
+    /// A constant expression (unsigned).
+    pub fn constant(v: Value) -> Expr {
+        Expr {
+            width: v.width(),
+            signed: false,
+            kind: ExprKind::Const(v),
+        }
+    }
+
+    /// A signed constant expression.
+    pub fn constant_signed(v: Value) -> Expr {
+        Expr {
+            width: v.width(),
+            signed: true,
+            kind: ExprKind::Const(v),
+        }
+    }
+
+    /// Shorthand for an unsigned constant from a `u64`.
+    pub fn const_u64(x: u64, width: u32) -> Expr {
+        Expr::constant(Value::from_u64(x, width))
+    }
+
+    /// A reference to node `id` of the given type.
+    pub fn reference(id: NodeId, width: u32, signed: bool) -> Expr {
+        Expr {
+            kind: ExprKind::Ref(id),
+            width,
+            signed,
+        }
+    }
+
+    /// Builds a primitive-op expression, inferring the result width and
+    /// signedness from the operands per the FIRRTL specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] when the arity or parameter count is wrong,
+    /// operand signedness is inconsistent, parameters are out of range,
+    /// or the result width would exceed [`MAX_WIDTH`].
+    pub fn prim(op: PrimOp, args: Vec<Expr>, params: Vec<u32>) -> Result<Expr, WidthError> {
+        if args.len() != op.arity() {
+            return Err(WidthError::new(format!(
+                "{op} expects {} operands, got {}",
+                op.arity(),
+                args.len()
+            )));
+        }
+        if params.len() != op.num_params() {
+            return Err(WidthError::new(format!(
+                "{op} expects {} parameters, got {}",
+                op.num_params(),
+                params.len()
+            )));
+        }
+        let (width, signed) = infer(op, &args, &params)?;
+        if width > MAX_WIDTH {
+            return Err(WidthError::new(format!(
+                "{op} result width {width} exceeds maximum {MAX_WIDTH}"
+            )));
+        }
+        Ok(Expr {
+            kind: ExprKind::Prim(op, args, params),
+            width,
+            signed,
+        })
+    }
+
+    /// Convenience: `add(a, b)` with both operands of signedness `signed`.
+    pub fn add(a: Expr, b: Expr, signed: bool) -> Result<Expr, WidthError> {
+        let _ = signed;
+        Expr::prim(PrimOp::Add, vec![a, b], vec![])
+    }
+
+    /// Convenience: `mux(sel, t, f)`.
+    pub fn mux(sel: Expr, t: Expr, f: Expr) -> Result<Expr, WidthError> {
+        Expr::prim(PrimOp::Mux, vec![sel, t, f], vec![])
+    }
+
+    /// Convenience: `bits(e, hi, lo)`.
+    pub fn bits(e: Expr, hi: u32, lo: u32) -> Result<Expr, WidthError> {
+        Expr::prim(PrimOp::Bits, vec![e], vec![hi, lo])
+    }
+
+    /// Truncates or keeps `e` at exactly `width` bits (unsigned result).
+    ///
+    /// This is the common "fit a result back into a register" helper:
+    /// `tail`-like, but tolerant of `e` already being narrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn truncate(e: Expr, width: u32) -> Expr {
+        assert!(width > 0, "cannot truncate to zero width");
+        if e.width == width && !e.signed {
+            return e;
+        }
+        if e.width >= width {
+            Expr::prim(PrimOp::Bits, vec![e], vec![width - 1, 0]).expect("bits in range")
+        } else {
+            Expr::prim(PrimOp::Pad, vec![Expr::prim(PrimOp::AsUInt, vec![e], vec![]).unwrap()], vec![width])
+                .expect("pad in range")
+        }
+    }
+
+    /// Iterates over the node references in this expression tree.
+    pub fn refs(&self) -> RefIter<'_> {
+        RefIter { stack: vec![self] }
+    }
+
+    /// Calls `f` on every sub-expression (preorder, including `self`).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        if let ExprKind::Prim(_, args, _) = &self.kind {
+            for a in args {
+                a.visit(f);
+            }
+        }
+    }
+
+    /// Calls `f` on every sub-expression mutably (postorder).
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        if let ExprKind::Prim(_, args, _) = &mut self.kind {
+            for a in args {
+                a.visit_mut(f);
+            }
+        }
+        f(self);
+    }
+
+    /// Counts operators in the tree, the paper's cost metric for the
+    /// inline/extract decision.
+    pub fn op_cost(&self) -> u32 {
+        let mut cost = 0;
+        self.visit(&mut |e| {
+            if let ExprKind::Prim(op, ..) = &e.kind {
+                cost += op.cost();
+            }
+        });
+        cost
+    }
+
+    /// Total number of tree nodes (size metric).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// `true` if the expression is a constant leaf.
+    pub fn is_const(&self) -> bool {
+        matches!(self.kind, ExprKind::Const(_))
+    }
+
+    /// The constant value if this is a constant leaf.
+    pub fn as_const(&self) -> Option<&Value> {
+        match &self.kind {
+            ExprKind::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The referenced node if this is a plain reference leaf.
+    pub fn as_ref_node(&self) -> Option<NodeId> {
+        match &self.kind {
+            ExprKind::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the expression given a resolver for node values.
+    ///
+    /// This is the reference semantics used by the golden-model
+    /// interpreter and by constant folding (where `lookup` returns
+    /// `None` for non-constant nodes).
+    pub fn eval(&self, lookup: &mut impl FnMut(NodeId) -> Option<Value>) -> Option<Value> {
+        match &self.kind {
+            ExprKind::Const(v) => Some(v.clone()),
+            ExprKind::Ref(id) => lookup(*id),
+            ExprKind::Prim(op, args, params) => {
+                let signed = args[0].signed;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(lookup)?);
+                }
+                Some(eval_prim(*op, &vals, params, signed, args))
+            }
+        }
+    }
+}
+
+/// Applies a primitive op to already-evaluated operand values.
+///
+/// `signed` is the signedness of the first operand; `args` supplies
+/// per-operand signedness where ops need it.
+pub fn eval_prim(op: PrimOp, vals: &[Value], params: &[u32], signed: bool, args: &[Expr]) -> Value {
+    use PrimOp::*;
+    match op {
+        Add => ops::add(&vals[0], &vals[1], signed),
+        Sub => ops::sub(&vals[0], &vals[1], signed),
+        Mul => ops::mul(&vals[0], &vals[1], signed),
+        Div => ops::div(&vals[0], &vals[1], signed),
+        Rem => ops::rem(&vals[0], &vals[1], signed),
+        Lt => ops::lt(&vals[0], &vals[1], signed),
+        Leq => ops::leq(&vals[0], &vals[1], signed),
+        Gt => ops::gt(&vals[0], &vals[1], signed),
+        Geq => ops::geq(&vals[0], &vals[1], signed),
+        Eq => ops::eq(&vals[0], &vals[1], signed),
+        Neq => ops::neq(&vals[0], &vals[1], signed),
+        Pad => ops::pad(&vals[0], params[0], signed),
+        AsUInt | AsSInt => vals[0].clone(),
+        Shl => ops::shl(&vals[0], params[0]),
+        Shr => ops::shr(&vals[0], params[0], signed),
+        Dshl => ops::dshl(&vals[0], &vals[1]),
+        Dshr => ops::dshr(&vals[0], &vals[1], signed),
+        Cvt => ops::cvt(&vals[0], signed),
+        Neg => ops::neg(&vals[0], signed),
+        Not => ops::not(&vals[0]),
+        And => ops::and(&vals[0], &vals[1], signed),
+        Or => ops::or(&vals[0], &vals[1], signed),
+        Xor => ops::xor(&vals[0], &vals[1], signed),
+        Andr => ops::andr(&vals[0]),
+        Orr => ops::orr(&vals[0]),
+        Xorr => ops::xorr(&vals[0]),
+        Cat => ops::cat(&vals[0], &vals[1]),
+        Bits => ops::bits(&vals[0], params[0], params[1]),
+        Head => ops::head(&vals[0], params[0]),
+        Tail => ops::tail(&vals[0], params[0]),
+        Mux => {
+            // mux arms may have differing signedness only via lowering
+            // bugs; trust the arm type recorded in args.
+            let arm_signed = args.get(1).map(|a| a.signed).unwrap_or(signed);
+            ops::mux(&vals[0], &vals[1], &vals[2], arm_signed)
+        }
+    }
+}
+
+/// Width/sign inference per the FIRRTL spec.
+fn infer(op: PrimOp, args: &[Expr], params: &[u32]) -> Result<(u32, bool), WidthError> {
+    use PrimOp::*;
+    let w = |i: usize| args[i].width;
+    let s = |i: usize| args[i].signed;
+    let same_sign2 = || -> Result<bool, WidthError> {
+        if s(0) != s(1) {
+            Err(WidthError::new(format!(
+                "{op} operand signedness mismatch ({} vs {})",
+                if s(0) { "SInt" } else { "UInt" },
+                if s(1) { "SInt" } else { "UInt" },
+            )))
+        } else {
+            Ok(s(0))
+        }
+    };
+    Ok(match op {
+        Add | Sub => (w(0).max(w(1)) + 1, same_sign2()?),
+        Mul => (w(0) + w(1), same_sign2()?),
+        Div => (w(0) + s(0) as u32, same_sign2()?),
+        Rem => (w(0).min(w(1)), same_sign2()?),
+        Lt | Leq | Gt | Geq | Eq | Neq => {
+            same_sign2()?;
+            (1, false)
+        }
+        Pad => (w(0).max(params[0]), s(0)),
+        AsUInt => (w(0), false),
+        AsSInt => (w(0), true),
+        Shl => (w(0) + params[0], s(0)),
+        Shr => (ops::shr_width(w(0), params[0]), s(0)),
+        Dshl => {
+            if s(1) {
+                return Err(WidthError::new("dshl shift amount must be UInt"));
+            }
+            if w(1) >= 32 {
+                return Err(WidthError::new("dshl shift-amount width too large"));
+            }
+            let width = w(0) as u64 + (1u64 << w(1)) - 1;
+            if width > MAX_WIDTH as u64 {
+                return Err(WidthError::new(format!(
+                    "dshl result width {width} exceeds maximum {MAX_WIDTH}"
+                )));
+            }
+            (width as u32, s(0))
+        }
+        Dshr => {
+            if s(1) {
+                return Err(WidthError::new("dshr shift amount must be UInt"));
+            }
+            (w(0), s(0))
+        }
+        Cvt => (w(0) + (!s(0)) as u32, true),
+        Neg => (w(0) + 1, true),
+        Not => (w(0), false),
+        And | Or | Xor => (w(0).max(w(1)), {
+            same_sign2()?;
+            false
+        }),
+        Andr | Orr | Xorr => (1, false),
+        Cat => (w(0) + w(1), false),
+        Bits => {
+            let (hi, lo) = (params[0], params[1]);
+            if hi < lo {
+                return Err(WidthError::new(format!("bits hi {hi} < lo {lo}")));
+            }
+            if hi >= w(0) {
+                return Err(WidthError::new(format!(
+                    "bits hi {hi} out of range for width {}",
+                    w(0)
+                )));
+            }
+            (hi - lo + 1, false)
+        }
+        Head => {
+            let n = params[0];
+            if n == 0 || n > w(0) {
+                return Err(WidthError::new(format!("head n {n} out of range for width {}", w(0))));
+            }
+            (n, false)
+        }
+        Tail => {
+            let n = params[0];
+            if n >= w(0) {
+                return Err(WidthError::new(format!("tail n {n} out of range for width {}", w(0))));
+            }
+            (w(0) - n, false)
+        }
+        Mux => {
+            if w(0) != 1 || s(0) {
+                return Err(WidthError::new("mux selector must be UInt<1>"));
+            }
+            if s(1) != s(2) {
+                return Err(WidthError::new("mux arm signedness mismatch"));
+            }
+            (w(1).max(w(2)), s(1))
+        }
+    })
+}
+
+/// Iterator over node references in an expression tree.
+pub struct RefIter<'a> {
+    stack: Vec<&'a Expr>,
+}
+
+impl Iterator for RefIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while let Some(e) = self.stack.pop() {
+            match &e.kind {
+                ExprKind::Ref(id) => return Some(*id),
+                ExprKind::Prim(_, args, _) => self.stack.extend(args.iter()),
+                ExprKind::Const(_) => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i as usize)
+    }
+
+    #[test]
+    fn width_inference_basics() {
+        let a = Expr::reference(n(0), 8, false);
+        let b = Expr::reference(n(1), 4, false);
+        let e = Expr::prim(PrimOp::Add, vec![a.clone(), b.clone()], vec![]).unwrap();
+        assert_eq!((e.width, e.signed), (9, false));
+        let e = Expr::prim(PrimOp::Mul, vec![a.clone(), b.clone()], vec![]).unwrap();
+        assert_eq!(e.width, 12);
+        let e = Expr::prim(PrimOp::Cat, vec![a.clone(), b.clone()], vec![]).unwrap();
+        assert_eq!(e.width, 12);
+        let e = Expr::prim(PrimOp::Eq, vec![a.clone(), b.clone()], vec![]).unwrap();
+        assert_eq!(e.width, 1);
+        let e = Expr::prim(PrimOp::Bits, vec![a.clone()], vec![7, 4]).unwrap();
+        assert_eq!(e.width, 4);
+    }
+
+    #[test]
+    fn width_inference_signed() {
+        let a = Expr::reference(n(0), 8, true);
+        let e = Expr::prim(PrimOp::Neg, vec![a.clone()], vec![]).unwrap();
+        assert_eq!((e.width, e.signed), (9, true));
+        let e = Expr::prim(PrimOp::Cvt, vec![a.clone()], vec![]).unwrap();
+        assert_eq!((e.width, e.signed), (8, true));
+        let u = Expr::reference(n(1), 8, false);
+        let e = Expr::prim(PrimOp::Cvt, vec![u.clone()], vec![]).unwrap();
+        assert_eq!((e.width, e.signed), (9, true));
+        let e = Expr::prim(PrimOp::AsUInt, vec![a.clone()], vec![]).unwrap();
+        assert_eq!((e.width, e.signed), (8, false));
+        let e = Expr::prim(PrimOp::Div, vec![a.clone(), a.clone()], vec![]).unwrap();
+        assert_eq!((e.width, e.signed), (9, true));
+    }
+
+    #[test]
+    fn width_inference_rejects_mixed_signs() {
+        let a = Expr::reference(n(0), 8, false);
+        let b = Expr::reference(n(1), 8, true);
+        assert!(Expr::prim(PrimOp::Add, vec![a.clone(), b.clone()], vec![]).is_err());
+        assert!(Expr::prim(PrimOp::Lt, vec![a.clone(), b.clone()], vec![]).is_err());
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let a = Expr::reference(n(0), 8, false);
+        assert!(Expr::prim(PrimOp::Bits, vec![a.clone()], vec![3, 5]).is_err());
+        assert!(Expr::prim(PrimOp::Bits, vec![a.clone()], vec![8, 0]).is_err());
+        assert!(Expr::prim(PrimOp::Head, vec![a.clone()], vec![9]).is_err());
+        assert!(Expr::prim(PrimOp::Tail, vec![a.clone()], vec![8]).is_err());
+        assert!(Expr::prim(PrimOp::Add, vec![a.clone()], vec![]).is_err());
+        let sel = Expr::reference(n(2), 2, false);
+        assert!(Expr::prim(PrimOp::Mux, vec![sel, a.clone(), a.clone()], vec![]).is_err());
+    }
+
+    #[test]
+    fn refs_iterates_all_leaves() {
+        let a = Expr::reference(n(0), 8, false);
+        let b = Expr::reference(n(1), 8, false);
+        let c = Expr::const_u64(3, 8);
+        let e = Expr::prim(
+            PrimOp::Add,
+            vec![
+                Expr::prim(PrimOp::Xor, vec![a, c], vec![]).unwrap(),
+                b,
+            ],
+            vec![],
+        )
+        .unwrap();
+        let mut ids: Vec<_> = e.refs().map(|r| r.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn eval_against_lookup() {
+        let a = Expr::reference(n(0), 8, false);
+        let b = Expr::const_u64(10, 8);
+        let e = Expr::prim(PrimOp::Add, vec![a, b], vec![]).unwrap();
+        let v = e
+            .eval(&mut |id| (id == n(0)).then(|| Value::from_u64(5, 8)))
+            .unwrap();
+        assert_eq!(v.to_u64(), Some(15));
+        // unknown ref -> None
+        assert!(e.eval(&mut |_| None).is_none());
+    }
+
+    #[test]
+    fn truncate_helper() {
+        let a = Expr::reference(n(0), 12, false);
+        let t = Expr::truncate(a.clone(), 8);
+        assert_eq!(t.width, 8);
+        let t = Expr::truncate(a.clone(), 12);
+        assert_eq!(t.width, 12);
+        let t = Expr::truncate(a, 16);
+        assert_eq!(t.width, 16);
+    }
+
+    #[test]
+    fn cost_counts_operators() {
+        let a = Expr::reference(n(0), 8, false);
+        let b = Expr::reference(n(1), 8, false);
+        let e = Expr::prim(
+            PrimOp::Mul,
+            vec![Expr::prim(PrimOp::Add, vec![a, b.clone()], vec![]).unwrap(), b],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(e.op_cost(), PrimOp::Mul.cost() + PrimOp::Add.cost());
+        // tree nodes: mul, add, ref a, ref b, ref b
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn primop_name_roundtrip() {
+        for op in [
+            PrimOp::Add,
+            PrimOp::Sub,
+            PrimOp::Mul,
+            PrimOp::Div,
+            PrimOp::Rem,
+            PrimOp::Lt,
+            PrimOp::Leq,
+            PrimOp::Gt,
+            PrimOp::Geq,
+            PrimOp::Eq,
+            PrimOp::Neq,
+            PrimOp::Pad,
+            PrimOp::AsUInt,
+            PrimOp::AsSInt,
+            PrimOp::Shl,
+            PrimOp::Shr,
+            PrimOp::Dshl,
+            PrimOp::Dshr,
+            PrimOp::Cvt,
+            PrimOp::Neg,
+            PrimOp::Not,
+            PrimOp::And,
+            PrimOp::Or,
+            PrimOp::Xor,
+            PrimOp::Andr,
+            PrimOp::Orr,
+            PrimOp::Xorr,
+            PrimOp::Cat,
+            PrimOp::Bits,
+            PrimOp::Head,
+            PrimOp::Tail,
+            PrimOp::Mux,
+        ] {
+            assert_eq!(PrimOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(PrimOp::from_name("bogus"), None);
+    }
+}

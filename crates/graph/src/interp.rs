@@ -1,0 +1,397 @@
+//! Tree-walking reference interpreter (the golden model).
+//!
+//! This interpreter trades all speed for obviousness: it re-evaluates
+//! every node every cycle, directly on owned [`Value`]s, in topological
+//! order. Its one job is to define the simulation semantics that the
+//! optimized bytecode engines must reproduce bit-for-bit; the
+//! differential tests across the workspace compare against it.
+//!
+//! Semantics fixed here (and documented for the whole simulator):
+//!
+//! * Registers commit at the end of [`RefInterp::step`]; next values are
+//!   computed from pre-edge operand values.
+//! * Register reset is synchronous: when the reset signal is 1 at the
+//!   edge, the register loads its init value instead of its next value.
+//! * Memory reads are combinational; an out-of-range address reads 0.
+//! * Memory writes commit at the edge; out-of-range writes are ignored;
+//!   when several write ports hit the same address, the port declared
+//!   last wins.
+
+use crate::graph::Graph;
+use crate::node::{MemId, NodeId, NodeKind};
+use crate::topo::{toposort, CombLoopError};
+use gsim_value::Value;
+
+/// The reference interpreter. See the module docs for semantics.
+///
+/// # Example
+///
+/// ```
+/// use gsim_graph::{GraphBuilder, Expr, interp::RefInterp};
+///
+/// let mut b = GraphBuilder::new("inc");
+/// let a = b.input("a", 8, false);
+/// let sum = Expr::add(Expr::reference(a, 8, false), Expr::const_u64(1, 8), false).unwrap();
+/// b.output("y", sum);
+/// let g = b.finish().unwrap();
+///
+/// let mut sim = RefInterp::new(&g).unwrap();
+/// sim.poke_u64("a", 41).unwrap();
+/// sim.step();
+/// assert_eq!(sim.peek_u64("y"), Some(42));
+/// ```
+#[derive(Debug)]
+pub struct RefInterp<'g> {
+    g: &'g Graph,
+    order: Vec<NodeId>,
+    values: Vec<Value>,
+    mems: Vec<Vec<Value>>,
+    cycle: u64,
+}
+
+impl<'g> RefInterp<'g> {
+    /// Builds an interpreter for `g`. All state starts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombLoopError`] if the graph has a combinational cycle.
+    pub fn new(g: &'g Graph) -> Result<Self, CombLoopError> {
+        let order = toposort(g)?;
+        let values = g
+            .node_ids()
+            .map(|id| Value::zero(g.node(id).width))
+            .collect();
+        let mems = g
+            .mems()
+            .iter()
+            .map(|m| vec![Value::zero(m.width); m.depth as usize])
+            .collect();
+        Ok(RefInterp {
+            g,
+            order,
+            values,
+            mems,
+            cycle: 0,
+        })
+    }
+
+    /// Sets a top-level input (by node id) for subsequent cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an input node.
+    pub fn set_input(&mut self, id: NodeId, v: Value) {
+        assert!(
+            matches!(self.g.node(id).kind, NodeKind::Input),
+            "{id} is not an input"
+        );
+        let w = self.g.node(id).width;
+        self.values[id.index()] = v.zext_or_trunc(w);
+    }
+
+    /// Sets an input by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if no input has that name.
+    pub fn poke(&mut self, name: &str, v: Value) -> Result<(), String> {
+        let id = self
+            .g
+            .node_by_name(name)
+            .ok_or_else(|| format!("no node named {name:?}"))?;
+        self.set_input(id, v);
+        Ok(())
+    }
+
+    /// Sets an input by name from a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if no input has that name.
+    pub fn poke_u64(&mut self, name: &str, x: u64) -> Result<(), String> {
+        let id = self
+            .g
+            .node_by_name(name)
+            .ok_or_else(|| format!("no node named {name:?}"))?;
+        let w = self.g.node(id).width;
+        self.set_input(id, Value::from_u64(x, w));
+        Ok(())
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, id: NodeId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Current value of a named node, if it exists.
+    pub fn peek(&self, name: &str) -> Option<&Value> {
+        self.g.node_by_name(name).map(|id| self.value(id))
+    }
+
+    /// Current value of a named node as `u64` (None if missing or wide).
+    pub fn peek_u64(&self, name: &str) -> Option<u64> {
+        self.peek(name).and_then(|v| v.to_u64())
+    }
+
+    /// Number of completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Loads a memory image (word `i` into address `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if no memory has that name or the image exceeds
+    /// the memory depth.
+    pub fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), String> {
+        let id = self
+            .g
+            .mem_by_name(name)
+            .ok_or_else(|| format!("no memory named {name:?}"))?;
+        let mem = self.g.mem(id);
+        if image.len() as u64 > mem.depth {
+            return Err(format!(
+                "image of {} words exceeds depth {} of {name:?}",
+                image.len(),
+                mem.depth
+            ));
+        }
+        let width = mem.width;
+        for (i, &word) in image.iter().enumerate() {
+            self.mems[id.index()][i] = Value::from_u64(word, width);
+        }
+        Ok(())
+    }
+
+    /// Reads one memory word.
+    pub fn mem_word(&self, mem: MemId, addr: u64) -> Option<&Value> {
+        self.mems[mem.index()].get(addr as usize)
+    }
+
+    /// Reads one memory word by memory name.
+    pub fn mem_word_by_name(&self, name: &str, addr: u64) -> Option<&Value> {
+        self.g
+            .mem_by_name(name)
+            .and_then(|id| self.mem_word(id, addr))
+    }
+
+    fn eval_node(&self, id: NodeId) -> Value {
+        let node = self.g.node(id);
+        match &node.kind {
+            NodeKind::MemRead { mem } => {
+                let addr_expr = node.expr.as_ref().expect("read port has address");
+                let addr = self.eval_expr(addr_expr);
+                let a = addr.to_u64().unwrap_or(u64::MAX);
+                self.mems[mem.index()]
+                    .get(a as usize)
+                    .cloned()
+                    .unwrap_or_else(|| Value::zero(node.width))
+            }
+            _ => {
+                let e = node.expr.as_ref().expect("node has expression");
+                self.eval_expr(e)
+            }
+        }
+    }
+
+    fn eval_expr(&self, e: &crate::expr::Expr) -> Value {
+        e.eval(&mut |id| Some(self.values[id.index()].clone()))
+            .expect("all refs resolvable")
+    }
+
+    /// Advances one clock cycle.
+    pub fn step(&mut self) {
+        // Phase 1: combinational evaluation in topological order.
+        for i in 0..self.order.len() {
+            let id = self.order[i];
+            if self.g.node(id).kind.is_comb_like() {
+                self.values[id.index()] = self.eval_node(id);
+            }
+        }
+        // Phase 2: compute register next values & capture memory writes.
+        let mut reg_next: Vec<(NodeId, Value)> = Vec::new();
+        let mut writes: Vec<(MemId, u64, Value)> = Vec::new();
+        for (id, node) in self.g.iter() {
+            match &node.kind {
+                NodeKind::Reg { reset } => {
+                    let next = self.eval_expr(node.expr.as_ref().expect("reg next"));
+                    let committed = match reset {
+                        Some(r) if !self.values[r.signal.index()].is_zero() => r.init.clone(),
+                        _ => next,
+                    };
+                    reg_next.push((id, committed));
+                }
+                NodeKind::MemWrite { mem } => {
+                    let w = node.mem_write_operands().expect("write operands");
+                    if !self.eval_expr(&w.en).is_zero() {
+                        let addr = self.eval_expr(&w.addr).to_u64().unwrap_or(u64::MAX);
+                        let data = self.eval_expr(&w.data);
+                        writes.push((*mem, addr, data));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Phase 3: commit.
+        for (id, v) in reg_next {
+            self.values[id.index()] = v;
+        }
+        for (mem, addr, data) in writes {
+            let width = self.g.mem(mem).width;
+            if let Some(slot) = self.mems[mem.index()].get_mut(addr as usize) {
+                *slot = data.zext_or_trunc(width);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, PrimOp};
+    use crate::graph::GraphBuilder;
+
+    fn counter_graph() -> Graph {
+        let mut b = GraphBuilder::new("counter");
+        let rst = b.input("rst", 1, false);
+        let r = b.reg_with_reset("count", 8, false, rst, Value::zero(8));
+        let next = Expr::truncate(
+            Expr::prim(
+                PrimOp::Add,
+                vec![Expr::reference(r, 8, false), Expr::const_u64(1, 8)],
+                vec![],
+            )
+            .unwrap(),
+            8,
+        );
+        b.set_reg_next(r, next);
+        b.output("out", Expr::reference(r, 8, false));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let g = counter_graph();
+        let mut sim = RefInterp::new(&g).unwrap();
+        // Outputs are computed before the edge, so after N steps the
+        // visible count is N - 1 (the register's pre-edge value).
+        sim.run(5);
+        assert_eq!(sim.peek_u64("out"), Some(4));
+        // wrap-around: after 257 steps the pre-edge value is 256 % 256
+        sim.run(252);
+        assert_eq!(sim.peek_u64("out"), Some(0));
+        sim.run(3);
+        assert_eq!(sim.peek_u64("out"), Some(3));
+        // synchronous reset: the edge after asserting rst loads 0; the
+        // output shows it on the following evaluation.
+        sim.poke_u64("rst", 1).unwrap();
+        sim.step();
+        sim.poke_u64("rst", 0).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("out"), Some(0));
+        sim.step();
+        assert_eq!(sim.peek_u64("out"), Some(1));
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let mut b = GraphBuilder::new("ram");
+        let addr = b.input("addr", 4, false);
+        let wdata = b.input("wdata", 8, false);
+        let wen = b.input("wen", 1, false);
+        let m = b.mem("ram", 16, 8);
+        let rd = b.mem_read("rd", m, Expr::reference(addr, 4, false));
+        b.mem_write(
+            m,
+            Expr::reference(addr, 4, false),
+            Expr::reference(wdata, 8, false),
+            Expr::reference(wen, 1, false),
+        );
+        b.output("q", Expr::reference(rd, 8, false));
+        let g = b.finish().unwrap();
+        let mut sim = RefInterp::new(&g).unwrap();
+
+        sim.poke_u64("addr", 3).unwrap();
+        sim.poke_u64("wdata", 0xab).unwrap();
+        sim.poke_u64("wen", 1).unwrap();
+        sim.step();
+        // Write landed at the edge; combinational read sees it next cycle.
+        sim.poke_u64("wen", 0).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("q"), Some(0xab));
+        // Unwritten address reads zero.
+        sim.poke_u64("addr", 9).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("q"), Some(0));
+    }
+
+    #[test]
+    fn load_mem_and_read() {
+        let mut b = GraphBuilder::new("rom");
+        let addr = b.input("addr", 2, false);
+        let m = b.mem("rom", 4, 16);
+        let rd = b.mem_read("rd", m, Expr::reference(addr, 2, false));
+        b.output("q", Expr::reference(rd, 16, false));
+        let g = b.finish().unwrap();
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.load_mem("rom", &[10, 20, 30, 40]).unwrap();
+        for (a, want) in [(0u64, 10u64), (1, 20), (2, 30), (3, 40)] {
+            sim.poke_u64("addr", a).unwrap();
+            sim.step();
+            assert_eq!(sim.peek_u64("q"), Some(want));
+        }
+        assert!(sim.load_mem("rom", &[0; 5]).is_err());
+        assert!(sim.load_mem("nope", &[0]).is_err());
+    }
+
+    #[test]
+    fn last_write_port_wins() {
+        let mut b = GraphBuilder::new("dual");
+        let m = b.mem("m", 4, 8);
+        let one = Expr::const_u64(1, 1);
+        let addr = Expr::const_u64(2, 2);
+        b.mem_write(m, addr.clone(), Expr::const_u64(11, 8), one.clone());
+        b.mem_write(m, addr.clone(), Expr::const_u64(22, 8), one.clone());
+        let rd = b.mem_read("rd", m, addr);
+        b.output("q", Expr::reference(rd, 8, false));
+        let g = b.finish().unwrap();
+        let mut sim = RefInterp::new(&g).unwrap();
+        sim.step();
+        sim.step();
+        assert_eq!(sim.peek_u64("q"), Some(22));
+    }
+
+    #[test]
+    fn register_chain_delays() {
+        let mut b = GraphBuilder::new("pipe");
+        let a = b.input("a", 8, false);
+        let r1 = b.reg("r1", 8, false);
+        let r2 = b.reg("r2", 8, false);
+        b.set_reg_next(r1, Expr::reference(a, 8, false));
+        b.set_reg_next(r2, Expr::reference(r1, 8, false));
+        b.output("y", Expr::reference(r2, 8, false));
+        let g = b.finish().unwrap();
+        let mut sim = RefInterp::new(&g).unwrap();
+        // Two registers of delay; output is evaluated pre-edge, so the
+        // value poked in cycle 1 is visible after the third step.
+        sim.poke_u64("a", 7).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("y"), Some(0));
+        sim.poke_u64("a", 9).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_u64("y"), Some(0));
+        sim.step();
+        assert_eq!(sim.peek_u64("y"), Some(7));
+        sim.step();
+        assert_eq!(sim.peek_u64("y"), Some(9));
+    }
+}

@@ -1,0 +1,47 @@
+//! Circuit graph IR for the GSIM RTL simulator.
+//!
+//! The graph is the representation every optimization pass and every
+//! simulation engine operates on, mirroring the paper's "RTL graph":
+//! each node is a register, logic unit, memory port, or top-level port;
+//! each edge is a signal dependency.
+//!
+//! * [`expr`] — width-inferred expression trees (FIRRTL primitive ops).
+//! * [`node`] — nodes, node kinds, registers with reset, memories.
+//! * [`graph`] — the [`Graph`] container and [`GraphBuilder`].
+//! * [`topo`] — topological order, combinational-loop detection, level
+//!   assignment for the multithreaded engine.
+//! * [`uses`] — successor (fan-out) lists in CSR form, the basis of
+//!   activation in essential-signal simulation.
+//! * [`interp`] — a deliberately simple tree-walking reference
+//!   interpreter used as the golden model in differential tests.
+//!
+//! # Example
+//!
+//! ```
+//! use gsim_graph::{GraphBuilder, Expr};
+//!
+//! let mut b = GraphBuilder::new("counter");
+//! let reg = b.reg("count", 8, false);
+//! let one = Expr::const_u64(1, 8);
+//! let next = Expr::add(Expr::reference(reg, 8, false), one, false).unwrap();
+//! b.set_reg_next(reg, Expr::truncate(next, 8));
+//! b.output("out", Expr::reference(reg, 8, false));
+//! let graph = b.finish().unwrap();
+//! assert_eq!(graph.num_nodes(), 2); // register + output
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod graph;
+pub mod interp;
+pub mod node;
+pub mod topo;
+pub mod uses;
+
+pub use expr::{Expr, ExprKind, PrimOp, WidthError};
+pub use graph::{Graph, GraphBuilder, GraphError};
+pub use node::{Mem, MemId, Node, NodeId, NodeKind, RegReset};
+pub use topo::{CombLoopError, Levels};
+pub use uses::Uses;

@@ -1,0 +1,265 @@
+//! Kernighan's optimal sequential partition (JACM 1971), adapted to
+//! supernode construction.
+//!
+//! Given items in a fixed (topological) order, cut the sequence into
+//! contiguous intervals whose total node weight respects `max_size`,
+//! minimizing the number of graph edges crossing interval boundaries.
+//! Dynamic programming over cut positions is optimal for a fixed order —
+//! this is exactly the paper's "original Kernighan's Algorithm" baseline,
+//! and also the final step of GSIM's enhanced algorithm (run over
+//! pre-grouped clusters instead of raw nodes).
+//!
+//! Because intervals of a topological order are contracted, the
+//! resulting supernode graph is automatically acyclic.
+
+use crate::Partition;
+use gsim_graph::{Graph, NodeId, Uses};
+
+/// Partitions a sequence of items (each item = one or more nodes,
+/// already topologically ordered) into intervals of total weight at most
+/// `max_size`, minimizing cut edges. Returns the assembled partition.
+///
+/// # Panics
+///
+/// Panics if any single item exceeds `max_size` (callers cap cluster
+/// sizes during pre-grouping) or if `max_size` is zero.
+pub fn partition_sequence(
+    graph: &Graph,
+    uses: &Uses,
+    items: Vec<Vec<NodeId>>,
+    max_size: usize,
+) -> Partition {
+    assert!(max_size > 0, "max_size must be positive");
+    let m = items.len();
+    if m == 0 {
+        return crate::from_groups(graph, items);
+    }
+
+    // Item index per node.
+    let mut item_of = vec![u32::MAX; graph.num_nodes()];
+    for (ix, members) in items.iter().enumerate() {
+        for &n in members {
+            item_of[n.index()] = ix as u32;
+        }
+    }
+    let weight: Vec<u32> = items.iter().map(|it| it.len() as u32).collect();
+    for (&w, it) in weight.iter().zip(&items) {
+        assert!(
+            (w as usize) <= max_size,
+            "item with {w} nodes exceeds max size {max_size}: first node {}",
+            it[0]
+        );
+    }
+
+    // Edges between items, as (min_pos, max_pos) pairs; parallel edges
+    // keep their multiplicity (each represents real activation traffic).
+    // Adjacency lists sorted for the incremental DP update.
+    let mut in_later: Vec<Vec<u32>> = vec![Vec::new(); m]; // key: max_pos -> min_pos list
+    let mut out_earlier: Vec<Vec<u32>> = vec![Vec::new(); m]; // key: min_pos -> max_pos list
+    for id in graph.node_ids() {
+        let a = item_of[id.index()];
+        for &succ in uses.fanout(id) {
+            let b = item_of[succ.index()];
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            in_later[hi as usize].push(lo);
+            out_earlier[lo as usize].push(hi);
+        }
+    }
+    for v in &mut out_earlier {
+        v.sort_unstable();
+    }
+
+    // DP: best[i] = minimal cut cost of partitioning items [0, i).
+    // Transition: best[i] = min over window j of best[j] + cut(j, i)
+    // where cut(j, i) counts edges whose later endpoint lies in [j, i)
+    // and earlier endpoint before j.
+    const INF: u64 = u64::MAX / 2;
+    let mut best = vec![INF; m + 1];
+    let mut parent = vec![0usize; m + 1];
+    best[0] = 0;
+    for i in 1..=m {
+        // Walk j downward from i-1, maintaining cut(j, i) incrementally.
+        let mut cut: u64 = 0;
+        let mut weight_sum: u64 = 0;
+        let mut j = i;
+        while j > 0 {
+            let jj = j - 1; // item being added to the interval
+            weight_sum += weight[jj] as u64;
+            if weight_sum > max_size as u64 {
+                break;
+            }
+            // Edges whose later endpoint is jj: become cut (earlier
+            // endpoint is outside, to the left).
+            cut += in_later[jj].len() as u64;
+            // Edges from jj to items inside [jj+1, i): no longer cut.
+            // out_earlier[jj] is sorted by the later endpoint.
+            let inside = out_earlier[jj]
+                .iter()
+                .take_while(|&&hi| (hi as usize) < i)
+                .filter(|&&hi| (hi as usize) >= j)
+                .count();
+            cut -= inside as u64;
+            j = jj;
+            let cand = best[j].saturating_add(cut);
+            if cand < best[i] {
+                best[i] = cand;
+                parent[i] = j;
+            }
+        }
+        debug_assert!(best[i] < INF, "window must admit at least one cut");
+    }
+
+    // Reconstruct boundaries.
+    let mut bounds = Vec::new();
+    let mut i = m;
+    while i > 0 {
+        bounds.push((parent[i], i));
+        i = parent[i];
+    }
+    bounds.reverse();
+
+    let groups: Vec<Vec<NodeId>> = bounds
+        .into_iter()
+        .map(|(lo, hi)| items[lo..hi].iter().flatten().copied().collect())
+        .collect();
+    crate::from_groups(graph, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_graph::{Expr, GraphBuilder, PrimOp};
+
+    /// Two independent chains: the optimal 2-way split with max_size 4
+    /// cuts between the chains, not across one.
+    #[test]
+    fn dp_prefers_cutting_between_components() {
+        let mut b = GraphBuilder::new("two_chains");
+        let a = b.input("a", 8, false);
+        let c = b.input("c", 8, false);
+        let mut prev = a;
+        let mut chain1 = vec![];
+        for i in 0..3 {
+            prev = b.comb(
+                format!("x{i}"),
+                Expr::truncate(
+                    Expr::prim(
+                        PrimOp::Xor,
+                        vec![Expr::reference(prev, 8, false), Expr::const_u64(i, 8)],
+                        vec![],
+                    )
+                    .unwrap(),
+                    8,
+                ),
+            );
+            chain1.push(prev);
+        }
+        b.output("o1", Expr::reference(prev, 8, false));
+        let mut prev2 = c;
+        for i in 0..3 {
+            prev2 = b.comb(
+                format!("y{i}"),
+                Expr::truncate(
+                    Expr::prim(
+                        PrimOp::Xor,
+                        vec![Expr::reference(prev2, 8, false), Expr::const_u64(i, 8)],
+                        vec![],
+                    )
+                    .unwrap(),
+                    8,
+                ),
+            );
+        }
+        b.output("o2", Expr::reference(prev2, 8, false));
+        let g = b.finish().unwrap();
+
+        let order = gsim_graph::topo::toposort(&g).unwrap();
+        let uses = Uses::build(&g);
+        let items: Vec<Vec<NodeId>> = order.iter().map(|&id| vec![id]).collect();
+        let p = partition_sequence(&g, &uses, items, 5);
+        p.assert_valid(&g);
+
+        // No supernode should mix x-chain and y-chain logic: with
+        // max_size 5, grouping each chain (input + 3 nodes + output = 5)
+        // separately achieves zero cut within chains.
+        for sn in &p.supernodes {
+            let has_x = sn.iter().any(|&n| g.node(n).name.starts_with('x'));
+            let has_y = sn.iter().any(|&n| g.node(n).name.starts_with('y'));
+            assert!(
+                !(has_x && has_y),
+                "supernode mixes independent chains: {sn:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_max_size_exactly() {
+        let mut b = GraphBuilder::new("chain");
+        let a = b.input("a", 4, false);
+        let mut prev = a;
+        for i in 0..20 {
+            prev = b.comb(
+                format!("n{i}"),
+                Expr::truncate(
+                    Expr::prim(
+                        PrimOp::Xor,
+                        vec![Expr::reference(prev, 4, false), Expr::const_u64(i, 4)],
+                        vec![],
+                    )
+                    .unwrap(),
+                    4,
+                ),
+            );
+        }
+        b.output("o", Expr::reference(prev, 4, false));
+        let g = b.finish().unwrap();
+        let order = gsim_graph::topo::toposort(&g).unwrap();
+        let uses = Uses::build(&g);
+        let items: Vec<Vec<NodeId>> = order.iter().map(|&id| vec![id]).collect();
+        for max in [1usize, 3, 7, 22, 100] {
+            let p = partition_sequence(&g, &uses, items.clone(), max);
+            p.assert_valid(&g);
+            assert!(p.max_supernode_size() <= max);
+        }
+        // A straight chain with a huge budget should become 1 supernode.
+        let p = partition_sequence(&g, &uses, items, 100);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn weighted_items_respect_budget() {
+        let mut b = GraphBuilder::new("w");
+        let a = b.input("a", 4, false);
+        let mut nodes = vec![a];
+        for i in 0..6 {
+            let n = b.comb(
+                format!("n{i}"),
+                Expr::truncate(
+                    Expr::prim(
+                        PrimOp::Xor,
+                        vec![Expr::reference(a, 4, false), Expr::const_u64(i, 4)],
+                        vec![],
+                    )
+                    .unwrap(),
+                    4,
+                ),
+            );
+            nodes.push(n);
+        }
+        let g = b.finish().unwrap();
+        let uses = Uses::build(&g);
+        // Pre-grouped clusters of size 2, 2, 3 (plus the input).
+        let items = vec![
+            vec![nodes[0]],
+            vec![nodes[1], nodes[2]],
+            vec![nodes[3], nodes[4]],
+            vec![nodes[5], nodes[6]],
+        ];
+        let p = partition_sequence(&g, &uses, items, 4);
+        p.assert_valid(&g);
+        assert!(p.max_supernode_size() <= 4);
+    }
+}

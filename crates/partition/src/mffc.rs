@@ -1,0 +1,189 @@
+//! MFFC-based partitioning (the ESSENT baseline of Table III).
+//!
+//! Maximum fanout-free cones: every sink (output, memory write), every
+//! register, and every node with consumers in different zones roots a
+//! zone; a combinational node whose consumers all live in one zone joins
+//! it. Each zone is therefore a cone whose internal nodes fan out only
+//! within the zone — the classic technology-mapping structure ESSENT
+//! builds its partitions from.
+//!
+//! Inter-zone edges leave only through zone roots, which makes the
+//! contracted zone graph acyclic (an inter-zone cycle would imply a
+//! combinational cycle between the roots).
+
+use crate::Partition;
+use gsim_graph::{Graph, NodeId, Uses};
+
+/// Builds an MFFC-based partition. `max_size` caps zone sizes; an
+/// overfull zone is split along the topological order of its members.
+pub fn partition(graph: &Graph, uses: &Uses, order: &[NodeId], max_size: usize) -> Partition {
+    let n = graph.num_nodes();
+    let mut zone: Vec<u32> = vec![u32::MAX; n];
+    let mut zone_size: Vec<u32> = Vec::new();
+    let mut next_zone = 0u32;
+    let mut alloc_zone = |zone_size: &mut Vec<u32>| {
+        let z = next_zone;
+        next_zone += 1;
+        zone_size.push(0);
+        z
+    };
+
+    // Reverse topological sweep: consumers are assigned before their
+    // operands, so "all consumers in one zone" is decidable.
+    for &id in order.iter().rev() {
+        let node = graph.node(id);
+        // Roots: anything that is not plain combinational logic.
+        let is_root = !matches!(node.kind, gsim_graph::NodeKind::Comb);
+        let mut target = None;
+        if !is_root {
+            let mut consumers = uses.fanout(id).iter();
+            if let Some(&first) = consumers.next() {
+                let z = zone[first.index()];
+                if z != u32::MAX && consumers.all(|&c| zone[c.index()] == z) {
+                    target = Some(z);
+                }
+            }
+        }
+        let assigned = match target {
+            Some(z) if (zone_size[z as usize] as usize) < max_size => z,
+            _ => alloc_zone(&mut zone_size),
+        };
+        zone[id.index()] = assigned;
+        zone_size[assigned as usize] += 1;
+    }
+
+    // Group members per zone in topological order, splitting any zone
+    // that still exceeds the cap (defensive; the sweep already caps).
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); next_zone as usize];
+    for &id in order {
+        members[zone[id.index()] as usize].push(id);
+    }
+    // Zones must be emitted in a topological order of the zone DAG.
+    // Every member of a cone is a predecessor of its root, so the root
+    // is the zone's maximum topo position. For an inter-zone edge
+    // u (in W) -> m (in Z): pos(root W) = pos(u) < pos(m) <= pos(root Z),
+    // hence sorting zones by root position yields a valid schedule.
+    let mut root_pos = vec![0usize; next_zone as usize];
+    let mut pos_of = vec![0usize; n];
+    for (i, &id) in order.iter().enumerate() {
+        pos_of[id.index()] = i;
+    }
+    for (z, ms) in members.iter().enumerate() {
+        if let Some(&last) = ms.last() {
+            root_pos[z] = pos_of[last.index()];
+        }
+    }
+    let mut zone_order: Vec<usize> = (0..next_zone as usize)
+        .filter(|&z| !members[z].is_empty())
+        .collect();
+    zone_order.sort_by_key(|&z| root_pos[z]);
+
+    let mut groups = Vec::with_capacity(zone_order.len());
+    for z in zone_order {
+        let ms = std::mem::take(&mut members[z]);
+        if ms.len() <= max_size {
+            groups.push(ms);
+        } else {
+            for chunk in ms.chunks(max_size) {
+                groups.push(chunk.to_vec());
+            }
+        }
+    }
+    crate::from_groups(graph, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_firrtl::compile;
+    use gsim_graph::topo::toposort;
+
+    #[test]
+    fn cone_logic_shares_a_zone_with_its_register() {
+        // A register fed by a private cone of logic: the whole cone
+        // should land in one supernode with the register.
+        let g = compile(
+            r#"
+circuit C :
+  module C :
+    input clock : Clock
+    input a : UInt<8>
+    output q : UInt<8>
+    node t1 = not(a)
+    node t2 = xor(t1, UInt<8>(3))
+    node t3 = and(t2, UInt<8>(127))
+    reg r : UInt<8>, clock
+    r <= t3
+    q <= r
+"#,
+        )
+        .unwrap();
+        let order = toposort(&g).unwrap();
+        let uses = Uses::build(&g);
+        let p = partition(&g, &uses, &order, 16);
+        p.assert_valid(&g);
+        let r = g.node_by_name("r").unwrap();
+        let zone_r = p.assignment[r.index()];
+        for name in ["t1", "t2", "t3"] {
+            let id = g.node_by_name(name).unwrap();
+            assert_eq!(
+                p.assignment[id.index()],
+                zone_r,
+                "{name} should be in the register's cone"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_node_roots_its_own_zone() {
+        // s feeds two different register cones, so it cannot join either.
+        let g = compile(
+            r#"
+circuit S :
+  module S :
+    input clock : Clock
+    input a : UInt<8>
+    output x : UInt<8>
+    output y : UInt<8>
+    node s = not(a)
+    reg r1 : UInt<8>, clock
+    reg r2 : UInt<8>, clock
+    r1 <= xor(s, UInt<8>(1))
+    r2 <= xor(s, UInt<8>(2))
+    x <= r1
+    y <= r2
+"#,
+        )
+        .unwrap();
+        let order = toposort(&g).unwrap();
+        let uses = Uses::build(&g);
+        let p = partition(&g, &uses, &order, 16);
+        p.assert_valid(&g);
+        let s = g.node_by_name("s").unwrap();
+        let r1 = g.node_by_name("r1").unwrap();
+        let r2 = g.node_by_name("r2").unwrap();
+        assert_ne!(p.assignment[s.index()], p.assignment[r1.index()]);
+        assert_ne!(p.assignment[s.index()], p.assignment[r2.index()]);
+    }
+
+    #[test]
+    fn size_cap_respected() {
+        // Long chain into one register: the cone would be huge; the cap
+        // must split it.
+        let mut src = String::from(
+            "circuit L :\n  module L :\n    input clock : Clock\n    input a : UInt<8>\n    output q : UInt<8>\n",
+        );
+        src.push_str("    node t0 = not(a)\n");
+        for i in 1..40 {
+            src.push_str(&format!("    node t{i} = not(t{})\n", i - 1));
+        }
+        src.push_str("    reg r : UInt<8>, clock\n    r <= t39\n    q <= r\n");
+        let g = compile(&src).unwrap();
+        let order = toposort(&g).unwrap();
+        let uses = Uses::build(&g);
+        let p = partition(&g, &uses, &order, 8);
+        p.assert_valid(&g);
+        assert!(p.max_supernode_size() <= 8);
+        assert!(p.len() >= 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: partition invariants on randomly generated DAGs.
+//!
+//! Every algorithm, on every random circuit, must produce a partition
+//! where (a) each node is in exactly one supernode, (b) the size cap
+//! holds, and (c) the supernode order is a valid evaluation schedule —
+//! the invariant the engines' correctness rests on (checked by
+//! `Partition::assert_valid`).
+
+use gsim_graph::{Expr, Graph, GraphBuilder, NodeId, PrimOp};
+use gsim_partition::{build, Algorithm, PartitionOptions};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct GraphPlan {
+    ops: Vec<(u8, u16, u16)>,
+    n_inputs: u8,
+    regs_every: u8,
+}
+
+fn plan() -> impl Strategy<Value = GraphPlan> {
+    (
+        proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 4..60),
+        1u8..4,
+        2u8..8,
+    )
+        .prop_map(|(ops, n_inputs, regs_every)| GraphPlan {
+            ops,
+            n_inputs,
+            regs_every,
+        })
+}
+
+fn build_graph(p: &GraphPlan) -> Graph {
+    let mut b = GraphBuilder::new("rand");
+    let mut pool: Vec<NodeId> = Vec::new();
+    for i in 0..p.n_inputs {
+        pool.push(b.input(format!("in{i}"), 8, false));
+    }
+    for (i, &(op, s1, s2)) in p.ops.iter().enumerate() {
+        let a = pool[s1 as usize % pool.len()];
+        let c = pool[s2 as usize % pool.len()];
+        let e = match op % 4 {
+            0 => Expr::truncate(
+                Expr::prim(
+                    PrimOp::Add,
+                    vec![Expr::reference(a, 8, false), Expr::reference(c, 8, false)],
+                    vec![],
+                )
+                .unwrap(),
+                8,
+            ),
+            1 => Expr::prim(
+                PrimOp::Xor,
+                vec![Expr::reference(a, 8, false), Expr::reference(c, 8, false)],
+                vec![],
+            )
+            .unwrap(),
+            2 => Expr::prim(PrimOp::Not, vec![Expr::reference(a, 8, false)], vec![]).unwrap(),
+            _ => Expr::truncate(
+                Expr::prim(
+                    PrimOp::Mul,
+                    vec![Expr::reference(a, 8, false), Expr::reference(c, 8, false)],
+                    vec![],
+                )
+                .unwrap(),
+                8,
+            ),
+        };
+        if op % p.regs_every.max(2) == 0 {
+            let r = b.reg(format!("r{i}"), 8, false);
+            b.set_reg_next(r, e);
+            pool.push(r);
+        } else {
+            pool.push(b.comb(format!("c{i}"), e));
+        }
+    }
+    let last = *pool.last().unwrap();
+    b.output("out", Expr::reference(last, 8, false));
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn partitions_always_valid(p in plan(), max_size in 1usize..40) {
+        let g = build_graph(&p);
+        for alg in [
+            Algorithm::None,
+            Algorithm::Kernighan,
+            Algorithm::MffcBased,
+            Algorithm::Gsim,
+        ] {
+            let part = build(&g, &PartitionOptions { algorithm: alg, max_size });
+            part.assert_valid(&g);
+            prop_assert!(
+                part.max_supernode_size() <= max_size,
+                "{alg:?} violated size cap"
+            );
+        }
+    }
+
+    #[test]
+    fn grouping_never_worse_than_singletons(p in plan()) {
+        let g = build_graph(&p);
+        let singles = build(&g, &PartitionOptions { algorithm: Algorithm::None, max_size: 1 });
+        for alg in [Algorithm::Kernighan, Algorithm::MffcBased, Algorithm::Gsim] {
+            let part = build(&g, &PartitionOptions { algorithm: alg, max_size: 30 });
+            prop_assert!(part.len() <= singles.len());
+        }
+    }
+}

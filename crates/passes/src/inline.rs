@@ -1,0 +1,487 @@
+//! Node inlining and extraction (paper §III-B, Figure 3).
+//!
+//! Two directions of the same trade-off between node count `N` and
+//! evaluation cost `E`:
+//!
+//! * [`inline_cheap`] — a node `f` whose evaluation is cheap relative to
+//!   the bookkeeping of keeping it as a separate node is substituted
+//!   into its consumers. The paper's criterion: keep `f` extracted only
+//!   when `cost(f) × #refs > cost(f) + cost_node`.
+//! * [`extract_common`] — the inverse: subexpressions appearing several
+//!   times (after inlining or straight from the front end) whose
+//!   duplicated evaluation costs more than a shared node are hoisted
+//!   into new nodes.
+
+use gsim_graph::{Expr, ExprKind, Graph, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Abstract cost of having a node at all (active-bit bookkeeping,
+/// activation, storage) in the same "operator" units as
+/// [`gsim_graph::PrimOp::cost`]. The paper calls this `cost_node`.
+pub const COST_NODE: u32 = 2;
+
+/// Upper bound on the evaluation cost of an expression we are willing
+/// to inline. The paper's model compares only evaluation cost against
+/// node bookkeeping; in an essential-signal engine a node is *also* a
+/// change-detection cut point, and folding a long chain into one giant
+/// expression forfeits the early cut-off when an intermediate value is
+/// unchanged. Bounding inlined-expression size keeps the node-count
+/// reduction where it pays without destroying activity granularity.
+pub const MAX_INLINE_COST: u32 = 6;
+
+/// Inlines nodes whose shared evaluation does not pay for itself.
+/// Returns the number of nodes inlined.
+pub fn inline_cheap(graph: &mut Graph) -> usize {
+    let n = graph.num_nodes();
+    // Nodes that must stay: everything that is not plain comb logic,
+    // plus register reset signals (the engine needs them as nodes).
+    let mut must_stay = vec![false; n];
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Comb => {}
+            _ => must_stay[id.index()] = true,
+        }
+        if let NodeKind::Reg { reset: Some(r) } = &node.kind {
+            must_stay[r.signal.index()] = true;
+        }
+    }
+
+    // Textual reference counts (occurrences, not distinct users):
+    // duplicated evaluation is per occurrence.
+    let mut refcount = vec![0u32; n];
+    for (_, node) in graph.iter() {
+        for dep in node.dep_refs() {
+            refcount[dep.index()] += 1;
+        }
+    }
+
+    // Decide in forward topological order, tracking each candidate's
+    // *effective* cost — its own operators plus the effective cost of
+    // every already-inlined operand. Chains therefore stop inlining
+    // once the accumulated expression reaches the granularity bound,
+    // instead of collapsing one cheap step at a time.
+    let order = gsim_graph::topo::toposort(graph).expect("valid graph");
+    let mut inline = vec![false; n];
+    let mut eff_cost = vec![0u32; n];
+    for &id in order.iter() {
+        let node = graph.node(id);
+        let Some(expr) = &node.expr else { continue };
+        let mut cost = expr.op_cost().max(1);
+        for dep in expr.refs() {
+            if inline[dep.index()] {
+                cost = cost.saturating_add(eff_cost[dep.index()]);
+            }
+        }
+        eff_cost[id.index()] = cost;
+        if must_stay[id.index()] {
+            continue;
+        }
+        let refs = refcount[id.index()];
+        if refs == 0 {
+            continue; // dead; redundant elimination's job
+        }
+        // Extract (keep the node) when sharing wins; inline otherwise,
+        // but never build expressions past the granularity bound.
+        let keep = (cost as u64) * (refs as u64) > (cost + COST_NODE) as u64
+            || cost > MAX_INLINE_COST;
+        if !keep {
+            inline[id.index()] = true;
+            // Every reference inside f now occurs `refs` times.
+            let extra = refs - 1;
+            if extra > 0 {
+                for dep in expr.refs() {
+                    refcount[dep.index()] += extra;
+                }
+            }
+        }
+    }
+
+    let inlined = inline.iter().filter(|&&b| b).count();
+    if inlined == 0 {
+        return 0;
+    }
+
+    // Substitute in topological order (operands before users) so each
+    // inlined node's final expression is ready when consumers need it.
+    let mut final_expr: Vec<Option<Expr>> = vec![None; n];
+    let subst = |e: &Expr, final_expr: &[Option<Expr>], inline: &[bool]| -> Expr {
+        let mut out = e.clone();
+        out.visit_mut(&mut |sub| {
+            if let ExprKind::Ref(r) = &sub.kind {
+                if inline[r.index()] {
+                    *sub = final_expr[r.index()]
+                        .clone()
+                        .expect("inlined operand processed before user");
+                }
+            }
+        });
+        out
+    };
+    for &id in &order {
+        let node = graph.node(id);
+        if let Some(e) = &node.expr {
+            let new = subst(e, &final_expr, &inline);
+            final_expr[id.index()] = Some(new);
+        }
+    }
+    // Install substituted expressions everywhere.
+    let ids: Vec<NodeId> = graph.node_ids().collect();
+    for id in ids {
+        if let Some(e) = final_expr[id.index()].take() {
+            graph.node_mut(id).expr = Some(e);
+        }
+        let node = graph.node(id);
+        if let Some(w) = node.write.clone() {
+            let mut w = w;
+            // final_expr entries were taken; recompute lazily for writes.
+            w.addr = subst_into(&w.addr, graph, &inline);
+            w.data = subst_into(&w.data, graph, &inline);
+            w.en = subst_into(&w.en, graph, &inline);
+            graph.node_mut(id).write = Some(w);
+        }
+    }
+    // Inlined nodes are now unreferenced; drop them.
+    let keep: Vec<bool> = (0..n).map(|i| !inline[i]).collect();
+    *graph = crate::rebuild::retain_nodes(graph, &keep);
+    inlined
+}
+
+/// Recursive substitution that reads final expressions straight from the
+/// (already substituted) graph.
+fn subst_into(e: &Expr, graph: &Graph, inline: &[bool]) -> Expr {
+    let mut out = e.clone();
+    out.visit_mut(&mut |sub| {
+        if let ExprKind::Ref(r) = &sub.kind {
+            if inline[r.index()] {
+                let inner = graph
+                    .node(*r)
+                    .expr
+                    .clone()
+                    .expect("inlined node has expression");
+                *sub = subst_into(&inner, graph, inline);
+            }
+        }
+    });
+    out
+}
+
+/// Extracts common subexpressions whose duplicated evaluation costs more
+/// than a shared node (`cost × count > cost + cost_node`). Returns the
+/// number of new nodes created.
+pub fn extract_common(graph: &mut Graph) -> usize {
+    // Count structurally identical subexpressions across the graph.
+    let mut counts: HashMap<Expr, u32> = HashMap::new();
+    for (_, node) in graph.iter() {
+        let mut record = |e: &Expr| {
+            e.visit(&mut |sub| {
+                if matches!(sub.kind, ExprKind::Prim(..)) && sub.op_cost() >= 2 {
+                    *counts.entry(sub.clone()).or_insert(0) += 1;
+                }
+            });
+        };
+        if let Some(e) = &node.expr {
+            record(e);
+        }
+        if let Some(w) = &node.write {
+            record(&w.addr);
+            record(&w.data);
+            record(&w.en);
+        }
+    }
+
+    // Candidates by descending cost so larger shared trees win first.
+    let mut candidates: Vec<(Expr, u32)> = counts
+        .into_iter()
+        .filter(|(e, c)| {
+            let cost = e.op_cost() as u64;
+            *c >= 2 && cost * (*c as u64) > cost + COST_NODE as u64
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        (b.0.op_cost(), b.1)
+            .cmp(&(a.0.op_cost(), a.1))
+            .then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)))
+    });
+
+    let mut created = 0;
+    for (expr, _) in candidates {
+        // Recheck the count: earlier extractions may have absorbed this.
+        let mut occurrences = 0;
+        for (_, node) in graph.iter() {
+            let mut count_in = |e: &Expr| {
+                e.visit(&mut |sub| {
+                    if *sub == expr {
+                        occurrences += 1;
+                    }
+                });
+            };
+            if let Some(e) = &node.expr {
+                count_in(e);
+            }
+            if let Some(w) = &node.write {
+                count_in(&w.addr);
+                count_in(&w.data);
+                count_in(&w.en);
+            }
+        }
+        let cost = expr.op_cost() as u64;
+        if occurrences < 2 || cost * occurrences <= cost + COST_NODE as u64 {
+            continue;
+        }
+        // Hoist: new node; replace each occurrence by a reference.
+        let name = format!("_cse{}", graph.num_nodes());
+        let new_id = graph.push_node(gsim_graph::Node {
+            name,
+            kind: NodeKind::Comb,
+            width: expr.width,
+            signed: expr.signed,
+            expr: Some(expr.clone()),
+            write: None,
+        });
+        let reference = Expr::reference(new_id, expr.width, expr.signed);
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        for id in ids {
+            if id == new_id {
+                continue;
+            }
+            let replace = |e: &mut Expr| {
+                e.visit_mut(&mut |sub| {
+                    if *sub == expr {
+                        *sub = reference.clone();
+                    }
+                });
+            };
+            let node = graph.node_mut(id);
+            if let Some(e) = &mut node.expr {
+                replace(e);
+            }
+            if let Some(w) = &mut node.write {
+                replace(&mut w.addr);
+                replace(&mut w.data);
+                replace(&mut w.en);
+            }
+        }
+        created += 1;
+    }
+    created
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_firrtl::compile;
+    use gsim_graph::interp::RefInterp;
+
+    fn check_equiv(g1: &Graph, g2: &Graph, inputs: &[&str], outputs: &[&str]) {
+        let mut s1 = RefInterp::new(g1).unwrap();
+        let mut s2 = RefInterp::new(g2).unwrap();
+        for round in 0..10u64 {
+            for (i, name) in inputs.iter().enumerate() {
+                let v = round.wrapping_mul(0x9e3779b9).rotate_left(i as u32) ^ round;
+                s1.poke_u64(name, v).unwrap();
+                s2.poke_u64(name, v).unwrap();
+            }
+            s1.step();
+            s2.step();
+            for o in outputs {
+                assert_eq!(s1.peek(o), s2.peek(o), "{o} diverged at cycle {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_use_node_inlined() {
+        let g1 = compile(
+            r#"
+circuit I :
+  module I :
+    input a : UInt<8>
+    output y : UInt<8>
+    node t = not(a)
+    y <= not(t)
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        let n = inline_cheap(&mut g2);
+        assert!(n >= 1);
+        assert!(g2.node_by_name("t").is_none());
+        g2.validate().unwrap();
+        check_equiv(&g1, &g2, &["a"], &["y"]);
+    }
+
+    #[test]
+    fn expensive_shared_node_kept() {
+        // f = a * b used 4 times: cost(mul)=3, 3*4=12 > 3+2 -> keep.
+        let g1 = compile(
+            r#"
+circuit K :
+  module K :
+    input a : UInt<8>
+    input b : UInt<8>
+    output w : UInt<16>
+    output x : UInt<16>
+    output y : UInt<16>
+    output z : UInt<16>
+    node f = mul(a, b)
+    w <= f
+    x <= not(f)
+    y <= and(f, UInt<16>(255))
+    z <= or(f, UInt<16>(1))
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        inline_cheap(&mut g2);
+        assert!(
+            g2.node_by_name("f").is_some(),
+            "multiply shared 4 ways must stay extracted"
+        );
+        check_equiv(&g1, &g2, &["a", "b"], &["w", "x", "y", "z"]);
+    }
+
+    #[test]
+    fn cheap_shared_node_inlined() {
+        // f = not(a): cost 1, 2 refs: 1*2 <= 1+2 -> inline.
+        let g1 = compile(
+            r#"
+circuit C :
+  module C :
+    input a : UInt<8>
+    output x : UInt<8>
+    output y : UInt<8>
+    node f = not(a)
+    x <= f
+    y <= and(f, UInt<8>(15))
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        let n = inline_cheap(&mut g2);
+        assert!(n >= 1);
+        assert!(g2.node_by_name("f").is_none());
+        check_equiv(&g1, &g2, &["a"], &["x", "y"]);
+    }
+
+    #[test]
+    fn registers_never_inlined() {
+        let g1 = compile(
+            r#"
+circuit R :
+  module R :
+    input clock : Clock
+    input a : UInt<8>
+    output y : UInt<8>
+    reg r : UInt<8>, clock
+    r <= a
+    y <= r
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        inline_cheap(&mut g2);
+        assert!(g2.node_by_name("r").is_some());
+        check_equiv(&g1, &g2, &["a"], &["y"]);
+    }
+
+    #[test]
+    fn chain_inlining_never_duplicates_expensive_work() {
+        // g = not(f), used twice; f = a*b. Whatever gets inlined where,
+        // the multiply must be evaluated exactly once in the final
+        // graph (it may legally migrate into the shared node g).
+        let g1 = compile(
+            r#"
+circuit M :
+  module M :
+    input a : UInt<4>
+    input b : UInt<4>
+    output x : UInt<8>
+    output y : UInt<8>
+    node f = mul(a, b)
+    node g = not(f)
+    x <= g
+    y <= and(g, UInt<8>(60))
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        inline_cheap(&mut g2);
+        let mut muls = 0;
+        for (_, node) in g2.iter() {
+            if let Some(e) = &node.expr {
+                e.visit(&mut |sub| {
+                    if matches!(sub.kind, ExprKind::Prim(gsim_graph::PrimOp::Mul, ..)) {
+                        muls += 1;
+                    }
+                });
+            }
+        }
+        assert_eq!(muls, 1, "multiply must not be duplicated");
+        check_equiv(&g1, &g2, &["a", "b"], &["x", "y"]);
+    }
+
+    #[test]
+    fn extraction_hoists_repeated_multiplies() {
+        let g1 = compile(
+            r#"
+circuit E :
+  module E :
+    input a : UInt<8>
+    input b : UInt<8>
+    output x : UInt<16>
+    output y : UInt<16>
+    output z : UInt<16>
+    x <= mul(a, b)
+    y <= not(mul(a, b))
+    z <= and(mul(a, b), UInt<16>(4095))
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        let n = extract_common(&mut g2);
+        assert!(n >= 1, "mul(a,b) x3 must be extracted");
+        g2.validate().unwrap();
+        check_equiv(&g1, &g2, &["a", "b"], &["x", "y", "z"]);
+    }
+
+    #[test]
+    fn extraction_skips_cheap_duplicates() {
+        let g1 = compile(
+            r#"
+circuit S :
+  module S :
+    input a : UInt<8>
+    output x : UInt<8>
+    output y : UInt<8>
+    x <= not(a)
+    y <= not(a)
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        let n = extract_common(&mut g2);
+        assert_eq!(n, 0, "cost 1 x2 does not beat cost 1 + cost_node 2");
+    }
+
+    #[test]
+    fn reset_signal_survives_inlining() {
+        let g1 = compile(
+            r#"
+circuit P :
+  module P :
+    input clock : Clock
+    input reset : UInt<1>
+    input a : UInt<8>
+    output y : UInt<8>
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(7)))
+    r <= a
+    y <= r
+"#,
+        )
+        .unwrap();
+        let mut g2 = g1.clone();
+        inline_cheap(&mut g2);
+        g2.validate().unwrap();
+        check_equiv(&g1, &g2, &["a"], &["y"]);
+    }
+}

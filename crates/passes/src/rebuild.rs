@@ -1,0 +1,178 @@
+//! Graph rebuilding with node-id remapping (shared by elimination and
+//! splitting passes).
+
+use gsim_graph::{Expr, ExprKind, Graph, Mem, MemId, Node, NodeId, NodeKind};
+
+/// Rebuilds `graph`, keeping only nodes where `keep[i]` is true, and
+/// remapping all references. Memories with no surviving ports are
+/// dropped.
+///
+/// # Panics
+///
+/// Panics if a kept node references a dropped node (pass bug).
+pub fn retain_nodes(graph: &Graph, keep: &[bool]) -> Graph {
+    assert_eq!(keep.len(), graph.num_nodes());
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.num_nodes()];
+    let mut new_index = 0usize;
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            remap[i] = Some(NodeId::from_index(new_index));
+            new_index += 1;
+        }
+    }
+
+    // Figure out which memories survive (any port kept).
+    let mut mem_used = vec![false; graph.mems().len()];
+    for (id, node) in graph.iter() {
+        if !keep[id.index()] {
+            continue;
+        }
+        match node.kind {
+            NodeKind::MemRead { mem } | NodeKind::MemWrite { mem } => {
+                mem_used[mem.index()] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut mem_remap: Vec<Option<MemId>> = vec![None; graph.mems().len()];
+    let mut new_mems: Vec<Mem> = Vec::new();
+    for (i, used) in mem_used.iter().enumerate() {
+        if *used {
+            mem_remap[i] = Some(MemId::from_index(new_mems.len()));
+            new_mems.push(graph.mems()[i].clone());
+        }
+    }
+
+    let remap_expr = |e: &Expr| -> Expr {
+        let mut out = e.clone();
+        out.visit_mut(&mut |sub| {
+            if let ExprKind::Ref(id) = &mut sub.kind {
+                *id = remap[id.index()]
+                    .unwrap_or_else(|| panic!("kept node references dropped node {id}"));
+            }
+        });
+        out
+    };
+
+    let mut out = Graph::default();
+    out.set_name(graph.name());
+    for m in new_mems {
+        out.push_mem(m);
+    }
+    for (id, node) in graph.iter() {
+        if !keep[id.index()] {
+            continue;
+        }
+        let kind = match &node.kind {
+            NodeKind::Reg { reset } => NodeKind::Reg {
+                reset: reset.as_ref().map(|r| gsim_graph::RegReset {
+                    signal: remap[r.signal.index()]
+                        .expect("reset signal of kept register must survive"),
+                    init: r.init.clone(),
+                }),
+            },
+            NodeKind::MemRead { mem } => NodeKind::MemRead {
+                mem: mem_remap[mem.index()].expect("port mem survives"),
+            },
+            NodeKind::MemWrite { mem } => NodeKind::MemWrite {
+                mem: mem_remap[mem.index()].expect("port mem survives"),
+            },
+            other => other.clone(),
+        };
+        out.push_node(Node {
+            name: node.name.clone(),
+            kind,
+            width: node.width,
+            signed: node.signed,
+            expr: node.expr.as_ref().map(remap_expr),
+            write: node.write.as_ref().map(|w| {
+                Box::new(gsim_graph::node::MemWriteOperands {
+                    addr: remap_expr(&w.addr),
+                    data: remap_expr(&w.data),
+                    en: remap_expr(&w.en),
+                })
+            }),
+        });
+    }
+    out
+}
+
+/// Replaces every reference to `from` with a reference to `to`
+/// throughout the graph (alias forwarding). Also fixes register reset
+/// signals.
+pub fn redirect_refs(graph: &mut Graph, forward: &[Option<NodeId>]) {
+    let resolve = |mut id: NodeId| -> NodeId {
+        // Follow forwarding chains (alias of alias).
+        let mut hops = 0;
+        while let Some(next) = forward[id.index()] {
+            id = next;
+            hops += 1;
+            assert!(hops <= forward.len(), "alias cycle");
+        }
+        id
+    };
+    let ids: Vec<NodeId> = graph.node_ids().collect();
+    for id in ids {
+        let node = graph.node_mut(id);
+        if let Some(e) = &mut node.expr {
+            e.visit_mut(&mut |sub| {
+                if let ExprKind::Ref(r) = &mut sub.kind {
+                    *r = resolve(*r);
+                }
+            });
+        }
+        if let Some(w) = &mut node.write {
+            for e in [&mut w.addr, &mut w.data, &mut w.en] {
+                e.visit_mut(&mut |sub| {
+                    if let ExprKind::Ref(r) = &mut sub.kind {
+                        *r = resolve(*r);
+                    }
+                });
+            }
+        }
+        if let NodeKind::Reg { reset: Some(r) } = &mut node.kind {
+            r.signal = resolve(r.signal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_graph::{Expr, GraphBuilder};
+
+    #[test]
+    fn retain_drops_and_remaps() {
+        let mut b = GraphBuilder::new("t");
+        let a = b.input("a", 4, false);
+        let dead = b.comb("dead", Expr::reference(a, 4, false));
+        let alive = b.comb("alive", Expr::reference(a, 4, false));
+        b.output("y", Expr::reference(alive, 4, false));
+        let g = b.finish().unwrap();
+
+        let mut keep = vec![true; g.num_nodes()];
+        keep[dead.index()] = false;
+        let g2 = retain_nodes(&g, &keep);
+        assert_eq!(g2.num_nodes(), 3);
+        g2.validate().unwrap();
+        assert!(g2.node_by_name("dead").is_none());
+        assert!(g2.node_by_name("alive").is_some());
+    }
+
+    #[test]
+    fn redirect_follows_chains() {
+        let mut b = GraphBuilder::new("t");
+        let a = b.input("a", 4, false);
+        let al1 = b.comb("al1", Expr::reference(a, 4, false));
+        let al2 = b.comb("al2", Expr::reference(al1, 4, false));
+        b.output("y", Expr::reference(al2, 4, false));
+        let mut g = b.finish().unwrap();
+
+        let mut fwd = vec![None; g.num_nodes()];
+        fwd[al2.index()] = Some(al1);
+        fwd[al1.index()] = Some(a);
+        redirect_refs(&mut g, &fwd);
+        let y = g.node_by_name("y").unwrap();
+        assert_eq!(g.node(y).expr.as_ref().unwrap().as_ref_node(), Some(a));
+    }
+}

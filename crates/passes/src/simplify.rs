@@ -1,0 +1,597 @@
+//! Expression simplification (paper §III-B "Expression simplification").
+//!
+//! Bottom-up rewriting of every expression in the graph:
+//!
+//! * constant folding (all-constant operand trees collapse),
+//! * algebraic identities (`x & 0`, `x | 0`, `x ^ 0`, `mux` with a
+//!   constant selector, double negation, nested `bits`, full-width
+//!   `bits`, shifts by zero, ...),
+//! * the paper's one-hot pattern: a node `B = dshl(1, A)` consumed as
+//!   `bits(B, k, k)` rewrites to `eq(A, k)`, eliminating the dynamic
+//!   shift from the hot path of decoder logic.
+
+use gsim_graph::{Expr, ExprKind, Graph, NodeId, PrimOp};
+use gsim_value::Value;
+
+/// Simplifies all expressions in the graph, including cross-node
+/// constant propagation (a node that folds to a constant is substituted
+/// into its users). Returns the number of rewrites applied.
+pub fn simplify(graph: &mut Graph) -> usize {
+    let mut total = 0;
+    // Iterate: folding node A to a constant can unlock folding in its
+    // users on the next round. Bounded to keep worst cases linear.
+    for _ in 0..8 {
+        let n = simplify_round(graph) + propagate_constants(graph);
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Substitutes references to constant-valued combinational nodes with
+/// their constant. Returns the number of substitutions.
+fn propagate_constants(graph: &mut Graph) -> usize {
+    let consts: Vec<Option<Expr>> = graph
+        .node_ids()
+        .map(|id| {
+            let node = graph.node(id);
+            // Only plain comb logic: registers hold state, memory reads
+            // are port semantics, outputs are sinks.
+            if !matches!(node.kind, gsim_graph::NodeKind::Comb) {
+                return None;
+            }
+            let e = node.expr.as_ref()?;
+            e.is_const().then(|| e.clone())
+        })
+        .collect();
+    if consts.iter().all(Option::is_none) {
+        return 0;
+    }
+    let mut count = 0;
+    let ids: Vec<NodeId> = graph.node_ids().collect();
+    for id in ids {
+        let replace = |e: &mut Expr, count: &mut usize| {
+            e.visit_mut(&mut |sub| {
+                if let ExprKind::Ref(r) = &sub.kind {
+                    if let Some(c) = &consts[r.index()] {
+                        if r.index() != id.index() {
+                            *sub = c.clone();
+                            *count += 1;
+                        }
+                    }
+                }
+            });
+        };
+        let node = graph.node(id);
+        if node.expr.is_some() {
+            let mut e = graph.node(id).expr.clone().expect("checked");
+            replace(&mut e, &mut count);
+            graph.node_mut(id).expr = Some(e);
+        }
+        let node = graph.node(id);
+        if node.write.is_some() {
+            let mut w = graph.node(id).write.clone().expect("checked");
+            replace(&mut w.addr, &mut count);
+            replace(&mut w.data, &mut count);
+            replace(&mut w.en, &mut count);
+            graph.node_mut(id).write = Some(w);
+        }
+    }
+    count
+}
+
+fn simplify_round(graph: &mut Graph) -> usize {
+    let mut total = 0;
+    // Snapshot node exprs for cross-node patterns (one-hot detection
+    // looks through references at their *pre-pass* definitions, which is
+    // safe because both forms are equivalent).
+    let defs: Vec<Option<Expr>> = graph
+        .node_ids()
+        .map(|id| graph.node(id).expr.clone())
+        .collect();
+    let ids: Vec<NodeId> = graph.node_ids().collect();
+    for id in ids {
+        let node = graph.node(id);
+        let kind_is_mem_read = matches!(node.kind, gsim_graph::NodeKind::MemRead { .. });
+        if let Some(e) = node.expr.clone() {
+            let (e2, n) = rewrite(e, &defs);
+            total += n;
+            if n > 0 {
+                if kind_is_mem_read {
+                    // address expression; width may legally differ
+                    graph.node_mut(id).expr = Some(e2);
+                } else {
+                    debug_assert_eq!(e2.width, graph.node(id).width);
+                    graph.node_mut(id).expr = Some(e2);
+                }
+            }
+        }
+        let node = graph.node(id);
+        if let Some(w) = node.write.clone() {
+            let mut w = w;
+            let mut n = 0;
+            let (addr, n1) = rewrite(w.addr, &defs);
+            let (data, n2) = rewrite(w.data, &defs);
+            let (en, n3) = rewrite(w.en, &defs);
+            n += n1 + n2 + n3;
+            if n > 0 {
+                w.addr = addr;
+                w.data = data;
+                w.en = en;
+                graph.node_mut(id).write = Some(w);
+            }
+            total += n;
+        }
+    }
+    total
+}
+
+/// Rewrites one expression bottom-up. Returns the new expression and the
+/// number of rewrites applied. The result always has the same width and
+/// signedness as the input.
+fn rewrite(e: Expr, defs: &[Option<Expr>]) -> (Expr, usize) {
+    let (width, signed) = (e.width, e.signed);
+    match e.kind {
+        ExprKind::Const(_) | ExprKind::Ref(_) => (e, 0),
+        ExprKind::Prim(op, args, params) => {
+            let mut count = 0;
+            let mut new_args = Vec::with_capacity(args.len());
+            for a in args {
+                let (a2, n) = rewrite(a, defs);
+                count += n;
+                new_args.push(a2);
+            }
+            match try_rules(op, &new_args, &params, width, signed, defs) {
+                Some(better) => {
+                    debug_assert_eq!(
+                        (better.width, better.signed),
+                        (width, signed),
+                        "rule for {op} changed type"
+                    );
+                    (better, count + 1)
+                }
+                None => (
+                    Expr {
+                        kind: ExprKind::Prim(op, new_args, params),
+                        width,
+                        signed,
+                    },
+                    count,
+                ),
+            }
+        }
+    }
+}
+
+/// Wraps `e` so its (width, signed) matches the target exactly, used when
+/// a rule result is narrower than the original expression.
+fn coerce(e: Expr, width: u32, signed: bool) -> Expr {
+    let mut cur = e;
+    if cur.width < width {
+        cur = Expr::prim(PrimOp::Pad, vec![cur], vec![width]).expect("pad");
+    } else if cur.width > width {
+        cur = Expr::prim(PrimOp::Bits, vec![cur], vec![width - 1, 0]).expect("bits");
+        // Bits yields unsigned; sign restored below.
+    }
+    if cur.signed != signed {
+        let op = if signed { PrimOp::AsSInt } else { PrimOp::AsUInt };
+        cur = Expr::prim(op, vec![cur], vec![]).expect("cast");
+    }
+    cur
+}
+
+fn all_const(args: &[Expr]) -> Option<Vec<Value>> {
+    args.iter().map(|a| a.as_const().cloned()).collect()
+}
+
+fn is_zero_const(e: &Expr) -> bool {
+    e.as_const().is_some_and(Value::is_zero)
+}
+
+fn is_ones_const(e: &Expr) -> bool {
+    e.as_const()
+        .is_some_and(|v| *v == Value::ones(v.width()))
+}
+
+/// Looks through a `Ref` to its defining expression (for cross-node
+/// patterns). Returns `None` for non-refs or expression-less nodes.
+fn def_of<'a>(e: &Expr, defs: &'a [Option<Expr>]) -> Option<&'a Expr> {
+    match e.kind {
+        ExprKind::Ref(id) => defs.get(id.index()).and_then(|d| d.as_ref()),
+        _ => None,
+    }
+}
+
+fn try_rules(
+    op: PrimOp,
+    args: &[Expr],
+    params: &[u32],
+    width: u32,
+    signed: bool,
+    defs: &[Option<Expr>],
+) -> Option<Expr> {
+    use PrimOp::*;
+
+    // Constant folding handles every op uniformly.
+    if let Some(vals) = all_const(args) {
+        let v = gsim_graph::expr::eval_prim(op, &vals, params, args[0].signed, args);
+        debug_assert_eq!(v.width(), width, "folded width mismatch for {op}");
+        return Some(if signed {
+            Expr::constant_signed(v)
+        } else {
+            Expr::constant(v)
+        });
+    }
+
+    match op {
+        And => {
+            if is_zero_const(&args[0]) || is_zero_const(&args[1]) {
+                return Some(coerce(Expr::constant(Value::zero(width)), width, signed));
+            }
+            // x & ones(width of x) == x, when widths already agree
+            if is_ones_const(&args[1]) && args[0].width == width {
+                return Some(coerce(args[0].clone(), width, signed));
+            }
+            if is_ones_const(&args[0]) && args[1].width == width {
+                return Some(coerce(args[1].clone(), width, signed));
+            }
+            None
+        }
+        Or | Xor => {
+            if is_zero_const(&args[1]) && args[0].width == width {
+                return Some(coerce(args[0].clone(), width, signed));
+            }
+            if is_zero_const(&args[0]) && args[1].width == width {
+                return Some(coerce(args[1].clone(), width, signed));
+            }
+            None
+        }
+        Add => {
+            // add(x, 0) widens by one bit; still worth removing the add.
+            if is_zero_const(&args[1]) {
+                return Some(coerce(args[0].clone(), width, signed));
+            }
+            if is_zero_const(&args[0]) {
+                return Some(coerce(args[1].clone(), width, signed));
+            }
+            None
+        }
+        Sub => {
+            if is_zero_const(&args[1]) {
+                return Some(coerce(args[0].clone(), width, signed));
+            }
+            None
+        }
+        Mul => {
+            if is_zero_const(&args[0]) || is_zero_const(&args[1]) {
+                return Some(coerce(Expr::constant(Value::zero(width)), width, signed));
+            }
+            None
+        }
+        Shl if params[0] == 0 => Some(coerce(args[0].clone(), width, signed)),
+        Shr if params[0] == 0 && args[0].width > 1 => {
+            Some(coerce(args[0].clone(), width, signed))
+        }
+        Pad if args[0].width >= params[0] => Some(coerce(args[0].clone(), width, signed)),
+        Not => {
+            // not(not(x)) == x (as UInt)
+            if let ExprKind::Prim(Not, inner, _) = &args[0].kind {
+                return Some(coerce(inner[0].clone(), width, signed));
+            }
+            None
+        }
+        AsUInt | AsSInt => {
+            if args[0].signed == signed {
+                return Some(args[0].clone());
+            }
+            // collapse double casts
+            if let ExprKind::Prim(AsUInt | AsSInt, inner, _) = &args[0].kind {
+                return Some(coerce(inner[0].clone(), width, signed));
+            }
+            None
+        }
+        Mux => {
+            if let Some(sel) = args[0].as_const() {
+                let arm = if sel.is_zero() { &args[1 + 1] } else { &args[1] };
+                return Some(coerce(arm.clone(), width, signed));
+            }
+            if args[1] == args[2] {
+                return Some(coerce(args[1].clone(), width, signed));
+            }
+            None
+        }
+        Bits => {
+            let (hi, lo) = (params[0], params[1]);
+            // Full-width slice of an unsigned value is the identity.
+            if lo == 0 && hi + 1 == args[0].width && !args[0].signed {
+                return Some(args[0].clone());
+            }
+            // bits(bits(x, h1, l1), h2, l2) = bits(x, l1+h2, l1+l2)
+            if let ExprKind::Prim(Bits, inner, ip) = &args[0].kind {
+                let l1 = ip[1];
+                return Some(
+                    Expr::prim(Bits, vec![inner[0].clone()], vec![l1 + hi, l1 + lo])
+                        .expect("nested bits in range"),
+                );
+            }
+            // bits(cat(a, b), ...) contained in one operand narrows to it.
+            if let ExprKind::Prim(Cat, inner, _) = &args[0].kind {
+                let lo_w = inner[1].width;
+                if hi < lo_w {
+                    return Some(
+                        coerce(
+                            Expr::prim(Bits, vec![inner[1].clone()], vec![hi, lo])
+                                .expect("cat-low slice"),
+                            width,
+                            signed,
+                        ),
+                    );
+                }
+                if lo >= lo_w {
+                    return Some(coerce(
+                        Expr::prim(Bits, vec![inner[0].clone()], vec![hi - lo_w, lo - lo_w])
+                            .expect("cat-high slice"),
+                        width,
+                        signed,
+                    ));
+                }
+            }
+            // One-hot pattern (paper): bits(B, k, k) where B = dshl(1, A)
+            // becomes eq(A, k) — also matched through a node reference.
+            if hi == lo {
+                let shifted = match &args[0].kind {
+                    ExprKind::Prim(Dshl, inner, _) => Some(inner),
+                    _ => def_of(&args[0], defs).and_then(|d| match &d.kind {
+                        ExprKind::Prim(Dshl, inner, _) => Some(inner),
+                        _ => None,
+                    }),
+                };
+                if let Some(inner) = shifted {
+                    let base_is_one = inner[0].as_const().is_some_and(|v| v.to_u64() == Some(1));
+                    if base_is_one && !inner[1].signed {
+                        let k = hi;
+                        let amt = inner[1].clone();
+                        let kconst = Expr::constant(Value::from_u64(k as u64, amt.width.max(1)));
+                        // eq requires equal-width reasoning handled by ops
+                        let eq = Expr::prim(Eq, vec![amt, kconst], vec![]).expect("eq");
+                        return Some(coerce(eq, width, signed));
+                    }
+                }
+            }
+            None
+        }
+        Cat => {
+            // cat with zero-width operand is the other operand.
+            if args[0].width == 0 {
+                return Some(coerce(args[1].clone(), width, signed));
+            }
+            if args[1].width == 0 {
+                return Some(coerce(args[0].clone(), width, signed));
+            }
+            None
+        }
+        Dshl => {
+            if let Some(sh) = args[1].as_const() {
+                let n = sh.to_u64().unwrap_or(0) as u32;
+                let shl = Expr::prim(Shl, vec![args[0].clone()], vec![n]).expect("shl");
+                return Some(coerce(shl, width, signed));
+            }
+            None
+        }
+        Dshr => {
+            if let Some(sh) = args[1].as_const() {
+                let n = sh.to_u64().unwrap_or(0) as u32;
+                // dshr keeps the operand width; shr shrinks — coerce back.
+                let shr = Expr::prim(Shr, vec![args[0].clone()], vec![n.min(args[0].width)])
+                    .expect("shr");
+                return Some(coerce(shr, width, signed));
+            }
+            None
+        }
+        Eq => {
+            if args[0] == args[1] {
+                return Some(coerce(Expr::const_u64(1, 1), width, signed));
+            }
+            None
+        }
+        Neq => {
+            if args[0] == args[1] {
+                return Some(coerce(Expr::const_u64(0, 1), width, signed));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Folds an expression to a constant if possible (public helper used by
+/// other passes and tests).
+pub fn fold_const(e: &Expr) -> Option<Value> {
+    e.eval(&mut |_| None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_graph::interp::RefInterp;
+    use gsim_graph::GraphBuilder;
+
+    fn simplified(src: &str) -> (Graph, Graph, usize) {
+        let g = gsim_firrtl::compile(src).unwrap();
+        let mut g2 = g.clone();
+        let n = simplify(&mut g2);
+        g2.validate().unwrap();
+        (g, g2, n)
+    }
+
+    fn equivalent(g1: &Graph, g2: &Graph, inputs: &[(&str, u64)], outputs: &[&str]) {
+        let mut s1 = RefInterp::new(g1).unwrap();
+        let mut s2 = RefInterp::new(g2).unwrap();
+        for round in 0..8u64 {
+            for (name, base) in inputs {
+                let v = base.wrapping_mul(round + 1) ^ round;
+                s1.poke_u64(name, v).unwrap();
+                s2.poke_u64(name, v).unwrap();
+            }
+            s1.step();
+            s2.step();
+            for o in outputs {
+                assert_eq!(s1.peek(o), s2.peek(o), "output {o} diverged at {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_folding_collapses() {
+        let (g1, g2, n) = simplified(
+            r#"
+circuit C :
+  module C :
+    output y : UInt<8>
+    node a = add(UInt<4>(3), UInt<4>(4))
+    node b = mul(a, UInt<4>(2))
+    y <= bits(b, 7, 0)
+"#,
+        );
+        assert!(n > 0);
+        let y = g2.node_by_name("y").unwrap();
+        assert_eq!(
+            fold_const(g2.node(y).expr.as_ref().unwrap()).unwrap().to_u64(),
+            Some(14)
+        );
+        equivalent(&g1, &g2, &[], &["y"]);
+    }
+
+    #[test]
+    fn identities_removed() {
+        let (g1, g2, n) = simplified(
+            r#"
+circuit I :
+  module I :
+    input x : UInt<8>
+    output y : UInt<8>
+    node a = and(x, UInt<8>(255))
+    node b = or(a, UInt<8>(0))
+    node c = xor(b, UInt<8>(0))
+    node d = not(not(c))
+    y <= d
+"#,
+        );
+        assert!(n >= 4);
+        equivalent(&g1, &g2, &[("x", 0xa5)], &["y"]);
+    }
+
+    #[test]
+    fn mux_constant_selector() {
+        let (g1, g2, n) = simplified(
+            r#"
+circuit M :
+  module M :
+    input a : UInt<4>
+    input b : UInt<4>
+    output y : UInt<4>
+    output z : UInt<4>
+    y <= mux(UInt<1>(1), a, b)
+    z <= mux(UInt<1>(0), a, b)
+"#,
+        );
+        assert!(n >= 2);
+        let y = g2.node_by_name("y").unwrap();
+        assert!(g2.node(y).expr.as_ref().unwrap().as_ref_node().is_some());
+        equivalent(&g1, &g2, &[("a", 5), ("b", 9)], &["y", "z"]);
+    }
+
+    #[test]
+    fn one_hot_pattern_within_tree() {
+        // C = bits(dshl(1, A), 3, 3)  ==>  C = eq(A, 3)
+        let (g1, g2, n) = simplified(
+            r#"
+circuit O :
+  module O :
+    input a : UInt<3>
+    output c : UInt<1>
+    node b = dshl(UInt<1>(1), a)
+    c <= bits(b, 3, 3)
+"#,
+        );
+        assert!(n > 0);
+        let c = g2.node_by_name("c").unwrap();
+        let mut saw_eq = false;
+        g2.node(c).expr.as_ref().unwrap().visit(&mut |e| {
+            if let ExprKind::Prim(PrimOp::Eq, ..) = e.kind {
+                saw_eq = true;
+            }
+        });
+        assert!(saw_eq, "one-hot pattern should rewrite to eq");
+        equivalent(&g1, &g2, &[("a", 3)], &["c"]);
+    }
+
+    #[test]
+    fn nested_bits_flatten() {
+        let (g1, g2, n) = simplified(
+            r#"
+circuit B :
+  module B :
+    input x : UInt<16>
+    output y : UInt<2>
+    y <= bits(bits(x, 11, 4), 5, 4)
+"#,
+        );
+        assert!(n > 0);
+        let y = g2.node_by_name("y").unwrap();
+        match &g2.node(y).expr.as_ref().unwrap().kind {
+            ExprKind::Prim(PrimOp::Bits, _, p) => assert_eq!(p, &vec![9, 8]),
+            other => panic!("expected flattened bits, got {other:?}"),
+        }
+        equivalent(&g1, &g2, &[("x", 0xbeef)], &["y"]);
+    }
+
+    #[test]
+    fn bits_through_cat() {
+        let (g1, g2, _) = simplified(
+            r#"
+circuit K :
+  module K :
+    input a : UInt<8>
+    input b : UInt<8>
+    output lo : UInt<8>
+    output hi : UInt<4>
+    node c = cat(a, b)
+    lo <= bits(c, 7, 0)
+    hi <= bits(c, 15, 12)
+"#,
+        );
+        equivalent(&g1, &g2, &[("a", 0x12), ("b", 0x34)], &["lo", "hi"]);
+    }
+
+    #[test]
+    fn dshl_by_constant_becomes_static() {
+        let (g1, g2, n) = simplified(
+            r#"
+circuit D :
+  module D :
+    input x : UInt<8>
+    output y : UInt<11>
+    y <= dshl(x, UInt<2>(3))
+"#,
+        );
+        assert!(n > 0);
+        equivalent(&g1, &g2, &[("x", 0x7f)], &["y"]);
+    }
+
+    #[test]
+    fn width_and_sign_preserved_by_coercion() {
+        let mut b = GraphBuilder::new("w");
+        let x = b.input("x", 8, false);
+        // pad(x, 4) is a no-op pad (width already >= 4)
+        let e = Expr::prim(PrimOp::Pad, vec![Expr::reference(x, 8, false)], vec![4]).unwrap();
+        let c = b.comb("c", e);
+        b.output("y", Expr::reference(c, 8, false));
+        let mut g = b.finish().unwrap();
+        let n = simplify(&mut g);
+        assert!(n > 0);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the full pass pipeline preserves cycle-accurate
+//! behaviour on randomly generated circuits (outputs compared against
+//! the unoptimized graph in the reference interpreter).
+
+use gsim_graph::interp::RefInterp;
+use gsim_graph::{Expr, Graph, GraphBuilder, NodeId, PrimOp};
+use gsim_passes::{run, PassOptions};
+use gsim_value::Value;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Plan {
+    ops: Vec<(u8, u16, u16, u8)>,
+    stimulus: Vec<u64>,
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (
+        proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()), 4..40),
+        proptest::collection::vec(any::<u64>(), 6..16),
+    )
+        .prop_map(|(ops, stimulus)| Plan { ops, stimulus })
+}
+
+/// Builds a random but always-valid circuit with slicing/concat shapes
+/// (bit-split fodder), constants (folding fodder), shared subtrees
+/// (inline/extract fodder), and registers with reset (reset-pass
+/// fodder).
+fn build_graph(p: &Plan) -> Graph {
+    let mut b = GraphBuilder::new("rand");
+    let rst = b.input("rst", 1, false);
+    let a = b.input("a", 16, false);
+    let c = b.input("c", 16, false);
+    let mut pool: Vec<(NodeId, u32)> = vec![(a, 16), (c, 16)];
+    for (i, &(op, s1, s2, k)) in p.ops.iter().enumerate() {
+        let (x, wx) = pool[s1 as usize % pool.len()];
+        let (y, wy) = pool[s2 as usize % pool.len()];
+        let rx = Expr::reference(x, wx, false);
+        let ry = Expr::reference(y, wy, false);
+        let e = match op % 8 {
+            0 => Expr::prim(PrimOp::Cat, vec![rx, ry], vec![]).unwrap(),
+            1 => {
+                let hi = k as u32 % wx;
+                Expr::prim(PrimOp::Bits, vec![rx], vec![hi, hi.min(hi / 2)]).unwrap()
+            }
+            2 => Expr::prim(PrimOp::Xor, vec![rx, ry], vec![]).unwrap(),
+            3 => Expr::prim(
+                PrimOp::And,
+                vec![rx, Expr::constant(Value::from_u64(k as u64, wx))],
+                vec![],
+            )
+            .unwrap(),
+            4 => Expr::truncate(Expr::prim(PrimOp::Add, vec![rx, ry], vec![]).unwrap(), 16),
+            5 => Expr::prim(PrimOp::Not, vec![rx], vec![]).unwrap(),
+            6 => {
+                let sel = Expr::prim(PrimOp::Orr, vec![rx], vec![]).unwrap();
+                Expr::prim(PrimOp::Mux, vec![sel, ry.clone(), ry], vec![]).unwrap()
+            }
+            _ => Expr::prim(PrimOp::Orr, vec![rx], vec![]).unwrap(),
+        };
+        let w = e.width;
+        if op.is_multiple_of(5) && w <= 64 {
+            let r = b.reg_with_reset(format!("r{i}"), w, false, rst, Value::from_u64(k as u64, w));
+            b.set_reg_next(r, e);
+            pool.push((r, w));
+        } else {
+            pool.push((b.comb(format!("n{i}"), e), w));
+        }
+    }
+    for (i, &(id, w)) in pool.iter().rev().take(3).enumerate() {
+        b.output(format!("out{i}"), Expr::reference(id, w, false));
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_pipeline_preserves_behaviour(p in plan()) {
+        let original = build_graph(&p);
+        let (optimized, _) = run(original.clone(), &PassOptions::all());
+        optimized.validate().unwrap();
+
+        let mut ref_sim = RefInterp::new(&original).unwrap();
+        let mut opt_sim = RefInterp::new(&optimized).unwrap();
+        for (cycle, &stim) in p.stimulus.iter().enumerate() {
+            for sim in [&mut ref_sim, &mut opt_sim] {
+                sim.poke_u64("a", stim & 0xffff).unwrap();
+                sim.poke_u64("c", stim >> 16 & 0xffff).unwrap();
+                sim.poke_u64("rst", u64::from(stim % 11 == 0)).unwrap();
+                sim.step();
+            }
+            for o in ["out0", "out1", "out2"] {
+                prop_assert_eq!(
+                    ref_sim.peek(o),
+                    opt_sim.peek(o),
+                    "{} diverged at cycle {} ({} -> {} nodes)",
+                    o, cycle, original.num_nodes(), optimized.num_nodes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn listing5_and_listing6_reset_forms_agree(p in plan()) {
+        // reset in the fast path (mux) vs metadata for the slow path
+        let graph = build_graph(&p);
+        let (fast, _) = run(graph.clone(), &PassOptions { reset_slow_path: false, ..PassOptions::all() });
+        let (slow, _) = run(graph, &PassOptions { reset_slow_path: true, ..PassOptions::all() });
+        let mut s_fast = RefInterp::new(&fast).unwrap();
+        let mut s_slow = RefInterp::new(&slow).unwrap();
+        for &stim in &p.stimulus {
+            for sim in [&mut s_fast, &mut s_slow] {
+                sim.poke_u64("a", stim & 0xffff).unwrap();
+                sim.poke_u64("c", stim >> 16 & 0xffff).unwrap();
+                sim.poke_u64("rst", u64::from(stim % 3 == 0)).unwrap();
+                sim.step();
+            }
+            for o in ["out0", "out1", "out2"] {
+                prop_assert_eq!(s_fast.peek(o), s_slow.peek(o));
+            }
+        }
+    }
+}

@@ -1,0 +1,912 @@
+//! The [`Simulator`]: compiled-design execution engines.
+
+use crate::compile::{self, Compiled, Task, TaskKind};
+use crate::counters::Counters;
+use crate::exec::{self, AtomicMem, AtomicMems, Ctx};
+use crate::storage::{AtomicStateRef, MemArena, Slot, Space};
+use crate::{CompileError, EngineKind, SimOptions};
+use gsim_graph::Graph;
+use gsim_value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// A compiled, runnable simulation.
+///
+/// See the crate docs for the engine families. All engines share this
+/// interface; behaviour is bit-identical across engines (pinned by
+/// differential tests against the reference interpreter).
+pub struct Simulator {
+    c: Compiled,
+    opts: SimOptions,
+    state: Vec<u64>,
+    scratch: Vec<u64>,
+    mems: Vec<MemArena>,
+    /// Supernode active bits (essential engine).
+    flags: Vec<u64>,
+    /// Supernodes evaluated this cycle (for register commit).
+    fired: Vec<u32>,
+    /// Register-info indices per supernode.
+    supernode_regs: Vec<Vec<u32>>,
+    dirty_mems: Vec<bool>,
+    counters: Counters,
+    cycle: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("engine", &self.opts.engine)
+            .field("supernodes", &self.c.num_supernodes)
+            .field("state_words", &self.c.state_words)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Compiles `graph` for execution under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] for invalid graphs or a zero thread
+    /// count.
+    pub fn compile(graph: &Graph, opts: &SimOptions) -> Result<Simulator, CompileError> {
+        let mut c = compile::compile(graph, opts)?;
+        let mems = std::mem::take(&mut c.mems);
+        let state = vec![0u64; c.state_words];
+        let scratch = vec![0u64; c.scratch_words.max(1)];
+        let flag_words = c.num_supernodes.div_ceil(64);
+        let mut flags = vec![0u64; flag_words.max(1)];
+        // Everything starts active: the first cycle evaluates the whole
+        // design, establishing the baseline values.
+        for (i, w) in flags.iter_mut().enumerate() {
+            let base = i * 64;
+            let valid = c.num_supernodes.saturating_sub(base).min(64);
+            *w = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+        }
+        let mut supernode_regs = vec![Vec::new(); c.supernode_tasks.len()];
+        for (sn, &(lo, hi)) in c.supernode_tasks.iter().enumerate() {
+            for task in &c.tasks[lo as usize..hi as usize] {
+                if matches!(task.kind, TaskKind::Reg) {
+                    if let Some(ri) = c.reg_infos.iter().position(|r| r.node == task.node) {
+                        supernode_regs[sn].push(ri as u32);
+                    }
+                }
+            }
+        }
+        let dirty_mems = vec![false; mems.len()];
+        Ok(Simulator {
+            c,
+            opts: *opts,
+            state,
+            scratch,
+            mems,
+            flags,
+            fired: Vec::new(),
+            supernode_regs,
+            dirty_mems,
+            counters: Counters::default(),
+            cycle: 0,
+        })
+    }
+
+    /// Completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Runtime cost counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Resets the cost counters (not the simulation state).
+    pub fn reset_counters(&mut self) {
+        self.counters = Counters::default();
+    }
+
+    /// Number of supernodes in the compiled schedule.
+    pub fn num_supernodes(&self) -> usize {
+        self.c.num_supernodes
+    }
+
+    /// Number of bytecode instructions in the compiled design (a code
+    /// size proxy for Table IV).
+    pub fn num_instrs(&self) -> usize {
+        self.c.tasks.iter().map(|t| t.instrs.len()).sum()
+    }
+
+    /// Bytes of mutable signal state (Table IV's "data size"; memories
+    /// excluded, as in the paper).
+    pub fn state_bytes(&self) -> usize {
+        self.c.state_words * 8
+    }
+
+    /// Time spent building the supernode partition.
+    pub fn partition_time(&self) -> std::time::Duration {
+        self.c.partition_time
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<u32> {
+        self.c.names.get(name).copied()
+    }
+
+    /// Sets a top-level input by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the name is unknown or not an input.
+    pub fn poke(&mut self, name: &str, v: Value) -> Result<(), String> {
+        let id = self
+            .node_by_name(name)
+            .ok_or_else(|| format!("no node named {name:?}"))?;
+        let (_, _, is_input) = self.c.node_meta[id as usize];
+        if !is_input {
+            return Err(format!("{name:?} is not an input"));
+        }
+        let slot = self.c.node_slot[id as usize];
+        let fitted = v.zext_or_trunc(slot.width);
+        let mut changed = false;
+        for (i, &w) in fitted.words().iter().enumerate() {
+            let off = slot.off as usize + i;
+            if self.state[off] != w {
+                self.state[off] = w;
+                changed = true;
+            }
+        }
+        if changed {
+            if let Some(&(lo, hi)) = self.c.input_act.get(&id) {
+                for &sn in &self.c.act_list[lo as usize..hi as usize] {
+                    self.flags[(sn >> 6) as usize] |= 1u64 << (sn & 63);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets a top-level input by name from a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the name is unknown or not an input.
+    pub fn poke_u64(&mut self, name: &str, x: u64) -> Result<(), String> {
+        let id = self
+            .node_by_name(name)
+            .ok_or_else(|| format!("no node named {name:?}"))?;
+        let w = self.c.node_meta[id as usize].0;
+        self.poke(name, Value::from_u64(x, w))
+    }
+
+    /// Reads any named node's current value.
+    pub fn peek(&self, name: &str) -> Option<Value> {
+        let id = self.node_by_name(name)?;
+        let slot = self.c.node_slot[id as usize];
+        let mut ws = vec![0u64; slot.words as usize];
+        for (i, w) in ws.iter_mut().enumerate() {
+            *w = self.state[slot.off as usize + i];
+        }
+        Some(Value::from_words(ws, slot.width))
+    }
+
+    /// Reads a named node as `u64` (`None` if missing or too wide).
+    pub fn peek_u64(&self, name: &str) -> Option<u64> {
+        self.peek(name).and_then(|v| v.to_u64())
+    }
+
+    /// Loads a memory image (entry `i` at address `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for unknown memories or oversized images.
+    pub fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), String> {
+        let mem = self
+            .mems
+            .iter_mut()
+            .find(|m| m.name == name)
+            .ok_or_else(|| format!("no memory named {name:?}"))?;
+        mem.load_image(image)
+    }
+
+    /// Reads one memory entry.
+    pub fn read_mem(&self, name: &str, addr: u64) -> Option<Value> {
+        let mem = self.mems.iter().find(|m| m.name == name)?;
+        mem.entry(addr)
+            .map(|ws| Value::from_words(ws.to_vec(), mem.width))
+    }
+
+    /// Advances one clock cycle.
+    pub fn step(&mut self) {
+        self.run(1);
+    }
+
+    /// Advances `n` clock cycles.
+    pub fn run(&mut self, n: u64) {
+        match self.opts.engine {
+            EngineKind::FullCycle => {
+                for _ in 0..n {
+                    self.step_full();
+                }
+            }
+            EngineKind::Essential => {
+                for _ in 0..n {
+                    self.step_essential();
+                }
+            }
+            EngineKind::FullCycleMt { threads } => self.run_mt(n, threads.max(1)),
+        }
+    }
+
+    // ----- sequential full-cycle (Listing 1) -----
+
+    fn step_full(&mut self) {
+        let mut instrs_run = 0u64;
+        let mut evals = 0u64;
+        {
+            let mut ctx = Ctx {
+                state: &mut self.state[..],
+                scratch: &mut self.scratch[..],
+                consts: &self.c.consts,
+                mems: &self.mems[..],
+            };
+            for task in &self.c.tasks {
+                if matches!(task.kind, TaskKind::Input) {
+                    continue;
+                }
+                exec::run_instrs(&mut ctx, &task.instrs);
+                instrs_run += task.instrs.len() as u64;
+                evals += 1;
+            }
+        }
+        self.counters.node_evals += evals;
+        self.counters.instrs_executed += instrs_run;
+        self.commit_full();
+        self.cycle += 1;
+        self.counters.cycles += 1;
+    }
+
+    fn commit_full(&mut self) {
+        // Registers: unconditional shadow -> current.
+        for ri in 0..self.c.reg_infos.len() {
+            let (cur, shadow) = {
+                let r = &self.c.reg_infos[ri];
+                (r.cur, r.shadow)
+            };
+            for i in 0..cur.words as usize {
+                self.state[cur.off as usize + i] = self.state[shadow.off as usize + i];
+            }
+        }
+        // Slow-path reset (when the graph still carries metadata).
+        for gi in 0..self.c.reset_groups.len() {
+            self.counters.reset_checks += 1;
+            let signal = self.c.reset_groups[gi].signal;
+            if self.state[signal.off as usize] == 0 {
+                continue;
+            }
+            let regs = self.c.reset_groups[gi].regs.clone();
+            for ri in regs {
+                let (cur, init) = {
+                    let r = &self.c.reg_infos[ri as usize];
+                    (r.cur, r.init.expect("reset reg has init"))
+                };
+                for i in 0..cur.words as usize {
+                    self.state[cur.off as usize + i] = self.c.consts[init.off as usize + i];
+                }
+            }
+        }
+        // Memory writes (every enabled port, every cycle, port order).
+        self.apply_writes(false);
+    }
+
+    /// Applies all enabled write ports; when `track` is set, memories
+    /// whose content changed get their read-port supernodes activated.
+    fn apply_writes(&mut self, track: bool) {
+        for p in 0..self.c.write_ports.len() {
+            let (mem, en, addr, data) = {
+                let w = &self.c.write_ports[p];
+                (w.mem, w.en, w.addr, w.data)
+            };
+            if self.state[en.off as usize] == 0 && en.words <= 1 {
+                continue;
+            }
+            if en.words > 1 {
+                let all_zero = (0..en.words as usize)
+                    .all(|i| self.state[en.off as usize + i] == 0);
+                if all_zero {
+                    continue;
+                }
+            }
+            let a = self.state[addr.off as usize];
+            let high_zero = (1..addr.words as usize)
+                .all(|i| self.state[addr.off as usize + i] == 0);
+            let a = if high_zero { a } else { u64::MAX };
+            let arena = &mut self.mems[mem as usize];
+            let width = arena.width;
+            if let Some(entry) = arena.entry_mut(a) {
+                let mut changed = false;
+                for (i, slot_word) in entry.iter_mut().enumerate() {
+                    let mut v = if i < data.words as usize {
+                        self.state[data.off as usize + i]
+                    } else {
+                        0
+                    };
+                    // mask the top word to the memory width
+                    let top_bits = width as usize - i * 64;
+                    if top_bits < 64 {
+                        v &= (1u64 << top_bits) - 1;
+                    }
+                    if *slot_word != v {
+                        *slot_word = v;
+                        changed = true;
+                    }
+                }
+                if changed && track {
+                    self.dirty_mems[mem as usize] = true;
+                }
+            }
+        }
+    }
+
+    // ----- essential-signal engine (Listings 2-4) -----
+
+    fn step_essential(&mut self) {
+        self.fired.clear();
+        let num_sn = self.c.num_supernodes;
+        let word_skip = self.opts.check_multiple_bits;
+        // Combinational activation only ever points forward in the
+        // supernode topo order, but "forward" can land in the word
+        // currently being drained — both modes therefore re-check bits
+        // set while processing (clearing each bit before evaluation).
+        for w in 0..self.flags.len() {
+            if word_skip {
+                // Listing 4: one condition covers 64 active bits. Always
+                // take the lowest *fresh* set bit so evaluation stays in
+                // strict supernode-topo order even when processing a bit
+                // activates a lower-numbered bit's successor in the same
+                // word — a stale snapshot would evaluate out of order and
+                // redo work.
+                self.counters.aexam_checks += 1;
+                loop {
+                    let bits = self.flags[w];
+                    if bits == 0 {
+                        break;
+                    }
+                    let t = bits.trailing_zeros();
+                    self.flags[w] &= !(1u64 << t);
+                    self.counters.aexam_checks += 1;
+                    self.eval_supernode((w * 64) + t as usize);
+                }
+            } else {
+                // ESSENT: one branch per supernode flag, ascending, so
+                // forward activations in this word are seen below.
+                let base = w * 64;
+                let hi = (base + 64).min(num_sn);
+                for sn in base..hi {
+                    self.counters.aexam_checks += 1;
+                    if self.flags[w] >> (sn - base) & 1 == 1 {
+                        self.flags[w] &= !(1u64 << (sn - base));
+                        self.eval_supernode(sn);
+                    }
+                }
+            }
+        }
+        self.commit_essential();
+        self.cycle += 1;
+        self.counters.cycles += 1;
+    }
+
+    fn eval_supernode(&mut self, sn: usize) {
+        self.fired.push(sn as u32);
+        self.counters.supernode_evals += 1;
+        let (lo, hi) = self.c.supernode_tasks[sn];
+        for ti in lo..hi {
+            let task: &Task = &self.c.tasks[ti as usize];
+            if matches!(task.kind, TaskKind::Input) {
+                continue;
+            }
+            // Copy the small task header so `self` is free to mutate.
+            let (kind, result, out, act, branchless, n_instrs) = (
+                task.kind,
+                task.result,
+                task.out,
+                task.act,
+                task.branchless,
+                task.instrs.len() as u64,
+            );
+            self.counters.node_evals += 1;
+            self.counters.instrs_executed += n_instrs;
+            {
+                let task: &Task = &self.c.tasks[ti as usize];
+                let mut ctx = Ctx {
+                    state: &mut self.state[..],
+                    scratch: &mut self.scratch[..],
+                    consts: &self.c.consts,
+                    mems: &self.mems[..],
+                };
+                exec::run_instrs(&mut ctx, &task.instrs);
+            }
+            if matches!(kind, TaskKind::Comb) {
+                // Compare & store & activate.
+                let changed = self.store_if_changed(result, out);
+                if changed {
+                    self.counters.value_changes += 1;
+                }
+                self.activate(act, branchless, changed);
+            }
+        }
+    }
+
+    /// Compares `result` against `out`; on difference copies and
+    /// returns `true`.
+    fn store_if_changed(&mut self, result: Slot, out: Slot) -> bool {
+        if result == out {
+            // value computed in place (pure-alias tasks): treat as
+            // changed so successors stay conservative-correct.
+            return true;
+        }
+        let n = out.words as usize;
+        let mut changed = false;
+        for i in 0..n {
+            let new = match result.space {
+                Space::State => self.state[result.off as usize + i],
+                Space::Scratch => self.scratch[result.off as usize + i],
+                Space::Const => self.c.consts[result.off as usize + i],
+            };
+            let off = out.off as usize + i;
+            if self.state[off] != new {
+                self.state[off] = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    #[inline]
+    fn activate(&mut self, act: (u32, u32), branchless: bool, changed: bool) {
+        let (lo, hi) = act;
+        if lo == hi {
+            return;
+        }
+        let list = &self.c.act_list[lo as usize..hi as usize];
+        if branchless {
+            // ESSENT-style: unconditional ORs with a change mask.
+            let mask = (changed as u64).wrapping_neg();
+            for &sn in list {
+                self.flags[(sn >> 6) as usize] |= (1u64 << (sn & 63)) & mask;
+            }
+            self.counters.activation_ops += list.len() as u64;
+            if changed {
+                self.counters.activations += list.len() as u64;
+            }
+        } else {
+            // Branchy: skip all work when unchanged.
+            self.counters.activation_ops += 1;
+            if changed {
+                for &sn in list {
+                    self.flags[(sn >> 6) as usize] |= 1u64 << (sn & 63);
+                }
+                self.counters.activation_ops += list.len() as u64;
+                self.counters.activations += list.len() as u64;
+            }
+        }
+    }
+
+    fn commit_essential(&mut self) {
+        // Registers of fired supernodes: commit on change, waking
+        // readers next cycle.
+        for fi in 0..self.fired.len() {
+            let sn = self.fired[fi] as usize;
+            for k in 0..self.supernode_regs[sn].len() {
+                let ri = self.supernode_regs[sn][k] as usize;
+                let (cur, shadow, act) = {
+                    let r = &self.c.reg_infos[ri];
+                    (r.cur, r.shadow, r.act)
+                };
+                let mut changed = false;
+                for i in 0..cur.words as usize {
+                    let new = self.state[shadow.off as usize + i];
+                    let off = cur.off as usize + i;
+                    if self.state[off] != new {
+                        self.state[off] = new;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.counters.value_changes += 1;
+                    self.activate(act, false, true);
+                }
+            }
+        }
+        // Listing 6 slow path: one check per distinct reset signal.
+        for gi in 0..self.c.reset_groups.len() {
+            self.counters.reset_checks += 1;
+            let signal = self.c.reset_groups[gi].signal;
+            if self.state[signal.off as usize] == 0 {
+                continue;
+            }
+            for k in 0..self.c.reset_groups[gi].regs.len() {
+                let ri = self.c.reset_groups[gi].regs[k] as usize;
+                let (cur, init, act) = {
+                    let r = &self.c.reg_infos[ri];
+                    (r.cur, r.init.expect("init"), r.act)
+                };
+                let mut changed = false;
+                for i in 0..cur.words as usize {
+                    let new = self.c.consts[init.off as usize + i];
+                    let off = cur.off as usize + i;
+                    if self.state[off] != new {
+                        self.state[off] = new;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.activate(act, false, true);
+                }
+            }
+        }
+        // Memory writes; activate read ports of changed memories.
+        self.apply_writes(true);
+        for m in 0..self.dirty_mems.len() {
+            if !self.dirty_mems[m] {
+                continue;
+            }
+            self.dirty_mems[m] = false;
+            for i in 0..self.c.mem_read_act[m].len() {
+                let sn = self.c.mem_read_act[m][i];
+                self.flags[(sn >> 6) as usize] |= 1u64 << (sn & 63);
+            }
+        }
+    }
+
+    // ----- levelized multithreaded full-cycle -----
+
+    fn run_mt(&mut self, n: u64, threads: usize) {
+        // Copy state and memories into shared atomics for the run.
+        let atomic_state: Vec<AtomicU64> = self.state.iter().map(|&w| AtomicU64::new(w)).collect();
+        let atomic_mems = AtomicMems {
+            arenas: self
+                .mems
+                .iter()
+                .map(|m| AtomicMem {
+                    depth: m.depth,
+                    width: m.width,
+                    words_per_entry: gsim_value::words_for(m.width).max(1),
+                    data: {
+                        let mut v = Vec::new();
+                        for a in 0..m.depth {
+                            v.extend(m.entry(a).expect("in range").iter().map(|&w| AtomicU64::new(w)));
+                        }
+                        v
+                    },
+                })
+                .collect(),
+        };
+        // Chunk each level across threads.
+        let chunks: Vec<Vec<(u32, u32)>> = self
+            .c
+            .level_tasks
+            .iter()
+            .map(|&(lo, hi)| {
+                let len = (hi - lo) as usize;
+                let per = len.div_ceil(threads).max(1);
+                (0..threads)
+                    .map(|t| {
+                        let s = (lo as usize + t * per).min(hi as usize);
+                        let e = (s + per).min(hi as usize);
+                        (s as u32, e as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+        let barrier = Barrier::new(threads);
+        let c = &self.c;
+        let mems_ref = &atomic_mems;
+        let state_ref = &atomic_state[..];
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let chunks = &chunks;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut scratch = vec![0u64; c.scratch_words.max(1)];
+                    for _ in 0..n {
+                        for level in chunks {
+                            let (lo, hi) = level[t];
+                            {
+                                let mut ctx = Ctx {
+                                    state: AtomicStateRef(state_ref),
+                                    scratch: &mut scratch[..],
+                                    consts: &c.consts,
+                                    mems: mems_ref,
+                                };
+                                for ti in lo..hi {
+                                    let task = &c.tasks[ti as usize];
+                                    if matches!(task.kind, TaskKind::Input) {
+                                        continue;
+                                    }
+                                    exec::run_instrs(&mut ctx, &task.instrs);
+                                }
+                            }
+                            barrier.wait();
+                        }
+                        if t == 0 {
+                            commit_mt(c, state_ref, mems_ref);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        // Copy results back.
+        for (i, w) in self.state.iter_mut().enumerate() {
+            *w = atomic_state[i].load(Ordering::Relaxed);
+        }
+        for (m, arena) in self.mems.iter_mut().enumerate() {
+            let src = &atomic_mems.arenas[m];
+            for a in 0..arena.depth {
+                let entry = arena.entry_mut(a).expect("in range");
+                let base = a as usize * src.words_per_entry;
+                for (i, w) in entry.iter_mut().enumerate() {
+                    *w = src.data[base + i].load(Ordering::Relaxed);
+                }
+            }
+        }
+        // Analytic counters: full-cycle evaluates everything.
+        let evals: u64 = self
+            .c
+            .tasks
+            .iter()
+            .filter(|t| !matches!(t.kind, TaskKind::Input))
+            .count() as u64;
+        let instrs: u64 = self.c.tasks.iter().map(|t| t.instrs.len() as u64).sum();
+        self.counters.node_evals += evals * n;
+        self.counters.instrs_executed += instrs * n;
+        self.counters.cycles += n;
+        self.cycle += n;
+    }
+}
+
+/// Commit phase of the multithreaded engine (runs on thread 0 between
+/// barriers; all traffic goes through atomics, ordered by the barriers).
+fn commit_mt(c: &Compiled, state: &[AtomicU64], mems: &AtomicMems) {
+    let load = |s: Slot, i: usize| state[s.off as usize + i].load(Ordering::Relaxed);
+    let store = |s: Slot, i: usize, v: u64| state[s.off as usize + i].store(v, Ordering::Relaxed);
+    for r in &c.reg_infos {
+        for i in 0..r.cur.words as usize {
+            store(r.cur, i, load(r.shadow, i));
+        }
+    }
+    for g in &c.reset_groups {
+        if load(g.signal, 0) == 0 {
+            continue;
+        }
+        for &ri in &g.regs {
+            let r = &c.reg_infos[ri as usize];
+            let init = r.init.expect("init");
+            for i in 0..r.cur.words as usize {
+                store(r.cur, i, c.consts[init.off as usize + i]);
+            }
+        }
+    }
+    for w in &c.write_ports {
+        let en_zero = (0..w.en.words as usize).all(|i| load(w.en, i) == 0);
+        if en_zero {
+            continue;
+        }
+        let mut addr = load(w.addr, 0);
+        if (1..w.addr.words as usize).any(|i| load(w.addr, i) != 0) {
+            addr = u64::MAX;
+        }
+        let arena = &mems.arenas[w.mem as usize];
+        if addr >= arena.depth {
+            continue;
+        }
+        let base = addr as usize * arena.words_per_entry;
+        for i in 0..arena.words_per_entry {
+            let mut v = if i < w.data.words as usize { load(w.data, i) } else { 0 };
+            let top_bits = arena.width as usize - i * 64;
+            if top_bits < 64 {
+                v &= (1u64 << top_bits) - 1;
+            }
+            arena.data[base + i].store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = r#"
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output out : UInt<8>
+    reg c : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    when en :
+      c <= tail(add(c, UInt<8>(1)), 1)
+    out <= c
+"#;
+
+    fn engines() -> Vec<(&'static str, SimOptions)> {
+        vec![
+            ("full", SimOptions::full_cycle()),
+            ("mt2", SimOptions::full_cycle_mt(2)),
+            ("essent", SimOptions::essent_like()),
+            ("gsim", SimOptions::default()),
+        ]
+    }
+
+    #[test]
+    fn counter_counts_on_all_engines() {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        for (name, opts) in engines() {
+            let mut sim = Simulator::compile(&g, &opts).unwrap();
+            sim.poke_u64("en", 1).unwrap();
+            sim.run(10);
+            assert_eq!(sim.peek_u64("out"), Some(9), "engine {name}");
+            sim.poke_u64("en", 0).unwrap();
+            sim.run(5);
+            assert_eq!(sim.peek_u64("out"), Some(10), "engine {name} hold");
+            sim.poke_u64("reset", 1).unwrap();
+            sim.step();
+            sim.poke_u64("reset", 0).unwrap();
+            sim.step();
+            assert_eq!(sim.peek_u64("out"), Some(0), "engine {name} reset");
+        }
+    }
+
+    #[test]
+    fn essential_skips_idle_supernodes() {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        let mut sim = Simulator::compile(&g, &SimOptions::default()).unwrap();
+        // Idle (en=0, after settling): the counter logic must not be
+        // evaluated every cycle.
+        sim.run(3); // settle
+        sim.reset_counters();
+        sim.run(100);
+        let evals = sim.counters().node_evals;
+        assert!(
+            evals < 100,
+            "idle circuit should evaluate almost nothing, saw {evals}"
+        );
+        // Enable: activity returns.
+        sim.poke_u64("en", 1).unwrap();
+        sim.reset_counters();
+        sim.run(10);
+        assert!(sim.counters().node_evals > 0);
+        assert_eq!(sim.peek_u64("out").is_some(), true);
+    }
+
+    #[test]
+    fn counters_distinguish_examination_modes() {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        let mut word_mode = Simulator::compile(&g, &SimOptions::default()).unwrap();
+        let mut flag_mode = Simulator::compile(
+            &g,
+            &SimOptions {
+                check_multiple_bits: false,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        word_mode.run(50);
+        flag_mode.run(50);
+        assert!(
+            word_mode.counters().aexam_checks < flag_mode.counters().aexam_checks,
+            "word-skip must examine fewer active bits ({} vs {})",
+            word_mode.counters().aexam_checks,
+            flag_mode.counters().aexam_checks
+        );
+    }
+
+    #[test]
+    fn memory_behaviour_matches_reference() {
+        let src = r#"
+circuit M :
+  module M :
+    input clock : Clock
+    input waddr : UInt<3>
+    input wdata : UInt<16>
+    input wen : UInt<1>
+    input raddr : UInt<3>
+    output q : UInt<16>
+    mem ram :
+      data-type => UInt<16>
+      depth => 8
+      read-latency => 0
+      write-latency => 1
+      reader => r
+      writer => w
+    ram.r.addr <= raddr
+    ram.r.en <= UInt<1>(1)
+    ram.w.addr <= waddr
+    ram.w.data <= wdata
+    ram.w.en <= wen
+    q <= ram.r.data
+"#;
+        let g = gsim_firrtl::compile(src).unwrap();
+        for (name, opts) in engines() {
+            let mut sim = Simulator::compile(&g, &opts).unwrap();
+            let mut reference = gsim_graph::interp::RefInterp::new(&g).unwrap();
+            let stim = [
+                (1u64, 0xaaaau64, 1u64, 0u64),
+                (1, 0xbbbb, 0, 1),
+                (2, 0x1234, 1, 1),
+                (2, 0x9999, 0, 2),
+                (1, 0x5555, 1, 1),
+                (1, 0, 0, 1),
+            ];
+            for (wa, wd, we, ra) in stim {
+                sim.poke_u64("waddr", wa).unwrap();
+                sim.poke_u64("wdata", wd).unwrap();
+                sim.poke_u64("wen", we).unwrap();
+                sim.poke_u64("raddr", ra).unwrap();
+                reference.poke_u64("waddr", wa).unwrap();
+                reference.poke_u64("wdata", wd).unwrap();
+                reference.poke_u64("wen", we).unwrap();
+                reference.poke_u64("raddr", ra).unwrap();
+                sim.step();
+                reference.step();
+                assert_eq!(
+                    sim.peek_u64("q"),
+                    reference.peek_u64("q"),
+                    "engine {name} diverged"
+                );
+            }
+            // Load-mem API.
+            sim.load_mem("ram", &[7; 8]).unwrap();
+            assert_eq!(sim.read_mem("ram", 3).unwrap().to_u64(), Some(7));
+            assert!(sim.load_mem("nope", &[1]).is_err());
+        }
+    }
+
+    #[test]
+    fn wide_signals_work_on_all_engines() {
+        let src = r#"
+circuit W :
+  module W :
+    input a : UInt<100>
+    input b : UInt<100>
+    output sum : UInt<101>
+    output prod_lo : UInt<64>
+    output catted : UInt<200>
+    sum <= add(a, b)
+    prod_lo <= bits(mul(a, b), 63, 0)
+    catted <= cat(a, b)
+"#;
+        let g = gsim_firrtl::compile(src).unwrap();
+        let a = Value::from_str_radix("fffffffffffffffffffffffff", 16, 100).unwrap();
+        let b = Value::from_u64(0x1234_5678_9abc_def0, 100);
+        for (name, opts) in engines() {
+            let mut sim = Simulator::compile(&g, &opts).unwrap();
+            sim.poke("a", a.clone()).unwrap();
+            sim.poke("b", b.clone()).unwrap();
+            sim.step();
+            let expect_sum = gsim_value::ops::add(&a, &b, false);
+            assert_eq!(sim.peek("sum"), Some(expect_sum), "engine {name} sum");
+            let expect_cat = gsim_value::ops::cat(&a, &b);
+            assert_eq!(sim.peek("catted"), Some(expect_cat), "engine {name} cat");
+            let prod = gsim_value::ops::mul(&a, &b, false);
+            let expect_lo = gsim_value::ops::bits(&prod, 63, 0);
+            assert_eq!(sim.peek("prod_lo"), Some(expect_lo), "engine {name} mul");
+        }
+    }
+
+    #[test]
+    fn state_bytes_and_instr_counts_reported() {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        let sim = Simulator::compile(&g, &SimOptions::default()).unwrap();
+        assert!(sim.state_bytes() > 0);
+        assert!(sim.num_instrs() > 0);
+        assert!(sim.num_supernodes() > 0);
+    }
+
+    #[test]
+    fn poke_rejects_non_inputs() {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        let mut sim = Simulator::compile(&g, &SimOptions::default()).unwrap();
+        assert!(sim.poke_u64("out", 1).is_err());
+        assert!(sim.poke_u64("missing", 1).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Value storage: slot references, state arenas, memory arenas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which arena a [`Slot`] lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Space {
+    /// Persistent signal state (node values, register shadows).
+    State,
+    /// Per-evaluation scratch (expression temporaries).
+    Scratch,
+    /// Read-only constant pool.
+    Const,
+}
+
+/// A reference to a value slot: arena + word offset + type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Slot {
+    pub space: Space,
+    /// Word offset within the arena.
+    pub off: u32,
+    /// Number of words.
+    pub words: u16,
+    /// Logical width in bits (canonical form: upper bits zero).
+    pub width: u32,
+    /// Signed interpretation.
+    pub signed: bool,
+}
+
+impl Slot {
+    pub(crate) fn state(off: u32, width: u32, signed: bool) -> Slot {
+        Slot {
+            space: Space::State,
+            off,
+            words: gsim_value::words_for(width) as u16,
+            width,
+            signed,
+        }
+    }
+
+    pub(crate) fn scratch(off: u32, width: u32, signed: bool) -> Slot {
+        Slot {
+            space: Space::Scratch,
+            off,
+            words: gsim_value::words_for(width) as u16,
+            width,
+            signed,
+        }
+    }
+
+    pub(crate) fn constant(off: u32, width: u32, signed: bool) -> Slot {
+        Slot {
+            space: Space::Const,
+            off,
+            words: gsim_value::words_for(width) as u16,
+            width,
+            signed,
+        }
+    }
+}
+
+/// Abstraction over the persistent state arena so the same interpreter
+/// runs single-threaded (plain `u64` words, zero overhead) and
+/// multithreaded (relaxed atomics; barriers between levels provide the
+/// ordering).
+pub(crate) trait StateStore {
+    fn load(&self, i: usize) -> u64;
+    fn store(&mut self, i: usize, v: u64);
+}
+
+impl StateStore for &mut [u64] {
+    #[inline(always)]
+    fn load(&self, i: usize) -> u64 {
+        self[i]
+    }
+
+    #[inline(always)]
+    fn store(&mut self, i: usize, v: u64) {
+        self[i] = v;
+    }
+}
+
+/// Shared-atomic view used by the multithreaded engine. Stores are
+/// Relaxed: each slot is written by exactly one task per cycle and read
+/// only from later levels, with a barrier between levels.
+pub(crate) struct AtomicStateRef<'a>(pub &'a [AtomicU64]);
+
+impl StateStore for AtomicStateRef<'_> {
+    #[inline(always)]
+    fn load(&self, i: usize) -> u64 {
+        self.0[i].load(Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn store(&mut self, i: usize, v: u64) {
+        self.0[i].store(v, Ordering::Relaxed);
+    }
+}
+
+/// A simulated memory: `depth` entries of `width` bits, stored as flat
+/// words.
+#[derive(Debug, Clone)]
+pub struct MemArena {
+    /// Memory name (for the load/peek API).
+    pub name: String,
+    /// Entries.
+    pub depth: u64,
+    /// Entry width in bits.
+    pub width: u32,
+    words_per_entry: usize,
+    data: Vec<u64>,
+}
+
+impl MemArena {
+    pub(crate) fn new(name: String, depth: u64, width: u32) -> MemArena {
+        let words_per_entry = gsim_value::words_for(width).max(1);
+        MemArena {
+            name,
+            depth,
+            width,
+            words_per_entry,
+            data: vec![0; words_per_entry * depth as usize],
+        }
+    }
+
+    /// Words of entry `addr`, or `None` when out of range.
+    #[inline]
+    pub fn entry(&self, addr: u64) -> Option<&[u64]> {
+        if addr >= self.depth {
+            return None;
+        }
+        let base = addr as usize * self.words_per_entry;
+        Some(&self.data[base..base + self.words_per_entry])
+    }
+
+    /// Mutable words of entry `addr`.
+    #[inline]
+    pub(crate) fn entry_mut(&mut self, addr: u64) -> Option<&mut [u64]> {
+        if addr >= self.depth {
+            return None;
+        }
+        let base = addr as usize * self.words_per_entry;
+        Some(&mut self.data[base..base + self.words_per_entry])
+    }
+
+    /// Loads an image of `u64` entries starting at address 0.
+    pub(crate) fn load_image(&mut self, image: &[u64]) -> Result<(), String> {
+        if image.len() as u64 > self.depth {
+            return Err(format!(
+                "image of {} words exceeds depth {} of memory {:?}",
+                image.len(),
+                self.depth,
+                self.name
+            ));
+        }
+        let mask = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        for (i, &w) in image.iter().enumerate() {
+            let base = i * self.words_per_entry;
+            self.data[base] = w & mask;
+            for k in 1..self.words_per_entry {
+                self.data[base + k] = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_arena_bounds() {
+        let mut m = MemArena::new("m".into(), 4, 96);
+        assert_eq!(m.words_per_entry, 2);
+        assert!(m.entry(3).is_some());
+        assert!(m.entry(4).is_none());
+        m.entry_mut(2).unwrap()[0] = 77;
+        assert_eq!(m.entry(2).unwrap()[0], 77);
+    }
+
+    #[test]
+    fn image_masks_to_width() {
+        let mut m = MemArena::new("m".into(), 4, 8);
+        m.load_image(&[0x1ff, 2, 3]).unwrap();
+        assert_eq!(m.entry(0).unwrap()[0], 0xff);
+        assert!(m.load_image(&[0; 5]).is_err());
+    }
+
+    #[test]
+    fn atomic_store_roundtrip() {
+        let cells: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let mut s = AtomicStateRef(&cells);
+        s.store(2, 99);
+        assert_eq!(s.load(2), 99);
+    }
+}

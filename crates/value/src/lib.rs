@@ -1,0 +1,64 @@
+//! Arbitrary-width two's-complement arithmetic for RTL simulation.
+//!
+//! RTL signals have arbitrary bit widths (1 to tens of thousands of bits).
+//! This crate provides the numeric substrate used by every other `gsim`
+//! crate:
+//!
+//! * [`words`] — allocation-free kernels over little-endian `u64` word
+//!   slices. These are the operations the simulation engine's inner loop
+//!   executes, so they avoid heap traffic entirely.
+//! * [`Value`] — an owned, width-tagged bit vector used for constants,
+//!   constant folding, test oracles, and anywhere convenience beats raw
+//!   speed.
+//! * [`ops`] — FIRRTL-semantics operations (`add`, `mul`, `bits`, `cat`,
+//!   ...) over [`Value`]s, producing results at the widths mandated by the
+//!   FIRRTL specification. The optimization passes use these for constant
+//!   folding, and the property tests use them as the reference model for
+//!   the bytecode interpreter.
+//!
+//! # Representation
+//!
+//! A value of width `w` occupies `ceil(w / 64)` words, least-significant
+//! word first. The *canonical form* invariant: all bits at positions
+//! `>= w` are zero, even for signed values. Signed interpretation happens
+//! at the point of use (operations take a `signed` flag and sign-extend
+//! internally). Keeping values zero-masked makes change detection — the
+//! heart of essential-signal simulation — a plain word comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use gsim_value::{Value, ops};
+//!
+//! let a = Value::from_u64(250, 8);
+//! let b = Value::from_u64(10, 8);
+//! // FIRRTL add yields max(wa, wb) + 1 bits, so no overflow is lost.
+//! let sum = ops::add(&a, &b, false);
+//! assert_eq!(sum.width(), 9);
+//! assert_eq!(sum.to_u64(), Some(260));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ops;
+mod value;
+pub mod words;
+
+pub use value::{ParseValueError, Value};
+
+/// Maximum supported signal width in bits.
+///
+/// FIRRTL places no bound on widths, but `dshl` width rules can produce
+/// absurd widths from malformed input; real designs (including XiangShan's
+/// 512-bit cache lines) stay far below this.
+pub const MAX_WIDTH: u32 = 1 << 16;
+
+/// Number of 64-bit words needed to store `width` bits.
+///
+/// Width 0 (a legal FIRRTL width for zero-width wires) occupies zero
+/// words; such values are always zero.
+#[inline]
+pub const fn words_for(width: u32) -> usize {
+    width.div_ceil(64) as usize
+}

@@ -1,0 +1,583 @@
+//! FIRRTL-semantics operations over [`Value`]s.
+//!
+//! Each function implements one FIRRTL primitive operation, producing a
+//! result at the width the FIRRTL specification mandates (e.g. `add`
+//! widens by one bit so overflow is never lost). The `signed` flag states
+//! whether the *operands* are `SInt`; FIRRTL requires both operands of a
+//! binary primitive to have the same type.
+//!
+//! These functions are the semantic reference for the whole simulator:
+//! the optimization passes fold constants with them and the property
+//! tests check the bytecode interpreter against them.
+//!
+//! Division or remainder by zero is left undefined by FIRRTL; this
+//! implementation defines `x / 0 = 0` and `x % 0 = x` (truncated to the
+//! result width) so simulation is deterministic.
+
+use crate::{words, words_for, Value, MAX_WIDTH};
+use std::cmp::Ordering;
+
+/// Result width of FIRRTL `add`/`sub`: `max(wa, wb) + 1`.
+pub fn add_width(wa: u32, wb: u32) -> u32 {
+    wa.max(wb) + 1
+}
+
+/// Result width of FIRRTL `mul`: `wa + wb`.
+pub fn mul_width(wa: u32, wb: u32) -> u32 {
+    wa + wb
+}
+
+/// Result width of FIRRTL `div`: `wa + 1` for signed, `wa` for unsigned.
+pub fn div_width(wa: u32, signed: bool) -> u32 {
+    wa + signed as u32
+}
+
+/// Result width of FIRRTL `rem`: `min(wa, wb)`.
+pub fn rem_width(wa: u32, wb: u32) -> u32 {
+    wa.min(wb)
+}
+
+/// Result width of FIRRTL `shr`: `max(wa - n, 1)`.
+pub fn shr_width(wa: u32, n: u32) -> u32 {
+    wa.saturating_sub(n).max(1)
+}
+
+/// Result width of FIRRTL `dshl`: `wa + 2^wb - 1`.
+///
+/// # Panics
+///
+/// Panics if the result would exceed [`MAX_WIDTH`]; the graph layer
+/// validates widths before folding ever runs.
+pub fn dshl_width(wa: u32, wb: u32) -> u32 {
+    assert!(wb < 32, "dshl shift-amount width {wb} too large");
+    let w = wa as u64 + (1u64 << wb) - 1;
+    assert!(w <= MAX_WIDTH as u64, "dshl result width {w} exceeds MAX_WIDTH");
+    w as u32
+}
+
+fn extended(v: &Value, signed: bool, width: u32) -> Value {
+    if signed {
+        v.sext_or_trunc(width)
+    } else {
+        v.zext_or_trunc(width)
+    }
+}
+
+fn bool_value(b: bool) -> Value {
+    Value::from_u64(b as u64, 1)
+}
+
+/// FIRRTL `add`: exact sum at `max(wa, wb) + 1` bits.
+pub fn add(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = add_width(a.width(), b.width());
+    let ea = extended(a, signed, w);
+    let eb = extended(b, signed, w);
+    let mut ws = vec![0u64; words_for(w)];
+    words::add(&mut ws, ea.words(), eb.words());
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `sub`: exact difference at `max(wa, wb) + 1` bits
+/// (two's complement; an unsigned underflow wraps at that width).
+pub fn sub(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = add_width(a.width(), b.width());
+    let ea = extended(a, signed, w);
+    let eb = extended(b, signed, w);
+    let mut ws = vec![0u64; words_for(w)];
+    words::sub(&mut ws, ea.words(), eb.words());
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `mul`: exact product at `wa + wb` bits.
+pub fn mul(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = mul_width(a.width(), b.width());
+    if w == 0 {
+        return Value::zero(0);
+    }
+    let ea = extended(a, signed, w);
+    let eb = extended(b, signed, w);
+    let mut ws = vec![0u64; words_for(w)];
+    words::mul(&mut ws, ea.words(), eb.words());
+    Value::from_words(ws, w)
+}
+
+/// Magnitude of a signed canonical value (two's complement at its width).
+fn magnitude(v: &Value) -> (bool, Value) {
+    let w = v.width();
+    if w == 0 || !v.bit(w - 1) {
+        return (false, v.clone());
+    }
+    let mut ws = vec![0u64; v.words().len()];
+    words::neg(&mut ws, v.words());
+    (true, Value::from_words(ws, w))
+}
+
+/// FIRRTL `div` (truncating toward zero for signed operands).
+pub fn div(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = div_width(a.width(), signed);
+    let n = words_for(a.width().max(b.width())).max(1);
+    let (neg_a, ma) = if signed { magnitude(a) } else { (false, a.clone()) };
+    let (neg_b, mb) = if signed { magnitude(b) } else { (false, b.clone()) };
+    let mut aw = ma.words().to_vec();
+    aw.resize(n, 0);
+    let mut bw = mb.words().to_vec();
+    bw.resize(n, 0);
+    let mut q = vec![0u64; n];
+    let mut r = vec![0u64; n];
+    words::udivrem(&mut q, &mut r, &aw, &bw);
+    let quotient = Value::from_words(q, w.min(n as u32 * 64)).zext_or_trunc(w);
+    if signed && (neg_a ^ neg_b) && !b.is_zero() {
+        let mut ws = vec![0u64; quotient.words().len()];
+        words::neg(&mut ws, quotient.words());
+        Value::from_words(ws, w)
+    } else {
+        quotient
+    }
+}
+
+/// FIRRTL `rem` (remainder takes the sign of the dividend).
+pub fn rem(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = rem_width(a.width(), b.width());
+    let n = words_for(a.width().max(b.width())).max(1);
+    let (neg_a, ma) = if signed { magnitude(a) } else { (false, a.clone()) };
+    let (_, mb) = if signed { magnitude(b) } else { (false, b.clone()) };
+    let mut aw = ma.words().to_vec();
+    aw.resize(n, 0);
+    let mut bw = mb.words().to_vec();
+    bw.resize(n, 0);
+    let mut q = vec![0u64; n];
+    let mut r = vec![0u64; n];
+    words::udivrem(&mut q, &mut r, &aw, &bw);
+    let remainder = Value::from_words(r, n as u32 * 64);
+    if signed && neg_a && !remainder.is_zero() {
+        let mut ws = vec![0u64; remainder.words().len()];
+        words::neg(&mut ws, remainder.words());
+        Value::from_words(ws, remainder.width()).zext_or_trunc(w)
+    } else {
+        remainder.zext_or_trunc(w)
+    }
+}
+
+fn compare(a: &Value, b: &Value, signed: bool) -> Ordering {
+    let w = a.width().max(b.width()).max(1);
+    // Extend to full words so the top bit of the top word is the sign.
+    let full = words_for(w) as u32 * 64;
+    let ea = extended(a, signed, w).sext_if(signed, w, full);
+    let eb = extended(b, signed, w).sext_if(signed, w, full);
+    if signed {
+        words::scmp_extended(ea.words(), eb.words())
+    } else {
+        words::ucmp(ea.words(), eb.words())
+    }
+}
+
+impl Value {
+    /// Internal helper: sign-extend from `from` to `to` when `signed`,
+    /// else zero-extend.
+    fn sext_if(&self, signed: bool, from: u32, to: u32) -> Value {
+        let _ = from;
+        if signed {
+            self.sext_or_trunc(to)
+        } else {
+            self.zext_or_trunc(to)
+        }
+    }
+}
+
+/// FIRRTL `lt`.
+pub fn lt(a: &Value, b: &Value, signed: bool) -> Value {
+    bool_value(compare(a, b, signed) == Ordering::Less)
+}
+
+/// FIRRTL `leq`.
+pub fn leq(a: &Value, b: &Value, signed: bool) -> Value {
+    bool_value(compare(a, b, signed) != Ordering::Greater)
+}
+
+/// FIRRTL `gt`.
+pub fn gt(a: &Value, b: &Value, signed: bool) -> Value {
+    bool_value(compare(a, b, signed) == Ordering::Greater)
+}
+
+/// FIRRTL `geq`.
+pub fn geq(a: &Value, b: &Value, signed: bool) -> Value {
+    bool_value(compare(a, b, signed) != Ordering::Less)
+}
+
+/// FIRRTL `eq`.
+pub fn eq(a: &Value, b: &Value, signed: bool) -> Value {
+    bool_value(compare(a, b, signed) == Ordering::Equal)
+}
+
+/// FIRRTL `neq`.
+pub fn neq(a: &Value, b: &Value, signed: bool) -> Value {
+    bool_value(compare(a, b, signed) != Ordering::Equal)
+}
+
+/// FIRRTL `pad`: widen to `max(wa, n)`, sign-extending for `SInt`.
+pub fn pad(a: &Value, n: u32, signed: bool) -> Value {
+    let w = a.width().max(n);
+    extended(a, signed, w)
+}
+
+/// FIRRTL `shl` by a constant: width `wa + n`.
+pub fn shl(a: &Value, n: u32) -> Value {
+    let w = a.width() + n;
+    let wide = a.zext_or_trunc(w);
+    let mut ws = vec![0u64; wide.words().len()];
+    words::shl(&mut ws, wide.words(), n);
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `shr` by a constant: width `max(wa - n, 1)`; arithmetic for
+/// `SInt` operands.
+pub fn shr(a: &Value, n: u32, signed: bool) -> Value {
+    let w = shr_width(a.width(), n);
+    if n >= a.width() {
+        // All bits shifted out: 0 for UInt, sign for SInt.
+        return if signed && a.width() > 0 && a.bit(a.width() - 1) {
+            Value::ones(w)
+        } else {
+            Value::zero(w)
+        };
+    }
+    let mut ws = vec![0u64; a.words().len()];
+    if signed {
+        words::ashr(&mut ws, a.words(), n, a.width());
+    } else {
+        words::lshr(&mut ws, a.words(), n);
+    }
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `dshl`: dynamic left shift, width `wa + 2^wb - 1`.
+pub fn dshl(a: &Value, b: &Value) -> Value {
+    let w = dshl_width(a.width(), b.width());
+    let sh = b.to_u64().unwrap_or(u64::MAX).min(w as u64) as u32;
+    let wide = a.zext_or_trunc(w);
+    let mut ws = vec![0u64; wide.words().len()];
+    words::shl(&mut ws, wide.words(), sh);
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `dshr`: dynamic right shift at width `wa`; arithmetic for `SInt`.
+pub fn dshr(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = a.width();
+    let sh = b.to_u64().unwrap_or(u64::MAX).min(w as u64 + 1) as u32;
+    if sh >= w {
+        return if signed && w > 0 && a.bit(w - 1) {
+            Value::ones(w)
+        } else {
+            Value::zero(w)
+        };
+    }
+    let mut ws = vec![0u64; a.words().len()];
+    if signed {
+        words::ashr(&mut ws, a.words(), sh, w);
+    } else {
+        words::lshr(&mut ws, a.words(), sh);
+    }
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `cvt`: reinterpret as signed, widening unsigned values by one.
+pub fn cvt(a: &Value, signed: bool) -> Value {
+    if signed {
+        a.clone()
+    } else {
+        a.zext_or_trunc(a.width() + 1)
+    }
+}
+
+/// FIRRTL `neg`: arithmetic negation at `wa + 1` bits (signed result).
+pub fn neg(a: &Value, signed: bool) -> Value {
+    let w = a.width() + 1;
+    let ea = extended(a, signed, w);
+    let mut ws = vec![0u64; ea.words().len()];
+    words::neg(&mut ws, ea.words());
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `not`: bitwise complement at width `wa` (UInt result).
+pub fn not(a: &Value) -> Value {
+    let mut ws = vec![0u64; a.words().len()];
+    words::not(&mut ws, a.words(), a.width());
+    Value::from_words(ws, a.width())
+}
+
+/// FIRRTL `and` at width `max(wa, wb)`; `SInt` operands sign-extend.
+pub fn and(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = a.width().max(b.width());
+    let ea = extended(a, signed, w);
+    let eb = extended(b, signed, w);
+    let mut ws = vec![0u64; ea.words().len()];
+    words::and(&mut ws, ea.words(), eb.words());
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `or` at width `max(wa, wb)`; `SInt` operands sign-extend.
+pub fn or(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = a.width().max(b.width());
+    let ea = extended(a, signed, w);
+    let eb = extended(b, signed, w);
+    let mut ws = vec![0u64; ea.words().len()];
+    words::or(&mut ws, ea.words(), eb.words());
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `xor` at width `max(wa, wb)`; `SInt` operands sign-extend.
+pub fn xor(a: &Value, b: &Value, signed: bool) -> Value {
+    let w = a.width().max(b.width());
+    let ea = extended(a, signed, w);
+    let eb = extended(b, signed, w);
+    let mut ws = vec![0u64; ea.words().len()];
+    words::xor(&mut ws, ea.words(), eb.words());
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `andr` (AND-reduce to one bit).
+pub fn andr(a: &Value) -> Value {
+    bool_value(words::andr(a.words(), a.width()))
+}
+
+/// FIRRTL `orr` (OR-reduce to one bit).
+pub fn orr(a: &Value) -> Value {
+    bool_value(words::orr(a.words()))
+}
+
+/// FIRRTL `xorr` (XOR-reduce to one bit).
+pub fn xorr(a: &Value) -> Value {
+    bool_value(words::xorr(a.words()))
+}
+
+/// FIRRTL `cat`: `a` in the high bits, `b` in the low bits.
+pub fn cat(a: &Value, b: &Value) -> Value {
+    let w = a.width() + b.width();
+    let mut ws = vec![0u64; words_for(w)];
+    words::cat(&mut ws, a.words(), b.words(), b.width());
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `bits(a, hi, lo)`: extract an inclusive bit range.
+///
+/// # Panics
+///
+/// Panics if `hi < lo` or `hi >= wa` (the graph layer validates this).
+pub fn bits(a: &Value, hi: u32, lo: u32) -> Value {
+    assert!(hi >= lo, "bits: hi {hi} < lo {lo}");
+    assert!(hi < a.width().max(1), "bits: hi {hi} out of range for width {}", a.width());
+    let w = hi - lo + 1;
+    let mut ws = vec![0u64; words_for(w)];
+    words::extract(&mut ws, a.words(), lo, w);
+    Value::from_words(ws, w)
+}
+
+/// FIRRTL `head(a, n)`: the `n` most-significant bits.
+pub fn head(a: &Value, n: u32) -> Value {
+    assert!(n <= a.width() && n > 0, "head: bad n {n} for width {}", a.width());
+    bits(a, a.width() - 1, a.width() - n)
+}
+
+/// FIRRTL `tail(a, n)`: drop the `n` most-significant bits.
+pub fn tail(a: &Value, n: u32) -> Value {
+    assert!(n < a.width(), "tail: bad n {n} for width {}", a.width());
+    if a.width() - n == 0 {
+        return Value::zero(0);
+    }
+    bits(a, a.width() - n - 1, 0)
+}
+
+/// FIRRTL `mux(sel, t, f)` at width `max(wt, wf)`; narrower operand is
+/// extended per signedness.
+pub fn mux(sel: &Value, t: &Value, f: &Value, signed: bool) -> Value {
+    let w = t.width().max(f.width());
+    if sel.is_zero() {
+        extended(f, signed, w)
+    } else {
+        extended(t, signed, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64, w: u32) -> Value {
+        Value::from_u64(x, w)
+    }
+
+    fn sv(x: i64, w: u32) -> Value {
+        Value::from_i64(x, w)
+    }
+
+    #[test]
+    fn add_widens() {
+        let r = add(&v(255, 8), &v(1, 8), false);
+        assert_eq!((r.width(), r.to_u64()), (9, Some(256)));
+    }
+
+    #[test]
+    fn add_signed_extends() {
+        // -1 (4 bits) + 1 (8 bits) = 0 at 9 bits
+        let r = add(&sv(-1, 4), &sv(1, 8), true);
+        assert_eq!((r.width(), r.to_i128()), (9, Some(0)));
+        let r = add(&sv(-3, 4), &sv(-5, 4), true);
+        assert_eq!(r.to_i128(), Some(-8));
+    }
+
+    #[test]
+    fn sub_unsigned_wraps_at_result_width() {
+        let r = sub(&v(0, 8), &v(1, 8), false);
+        assert_eq!((r.width(), r.to_u64()), (9, Some(0x1ff)));
+        assert_eq!(r.to_i128(), Some(-1));
+    }
+
+    #[test]
+    fn mul_exact() {
+        let r = mul(&v(200, 8), &v(200, 8), false);
+        assert_eq!((r.width(), r.to_u64()), (16, Some(40000)));
+        let r = mul(&sv(-3, 8), &sv(5, 8), true);
+        assert_eq!(r.to_i128(), Some(-15));
+        assert_eq!(r.width(), 16);
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = Value::ones(100);
+        let r = mul(&a, &a, false);
+        assert_eq!(r.width(), 200);
+        // (2^100 - 1)^2 = 2^200 - 2^101 + 1
+        let expect = sub(
+            &add(&shl(&v(1, 1), 200), &v(1, 1), false).zext_or_trunc(201),
+            &shl(&v(1, 1), 101).zext_or_trunc(201),
+            false,
+        );
+        assert_eq!(r.zext_or_trunc(201).words(), expect.zext_or_trunc(201).words());
+    }
+
+    #[test]
+    fn div_semantics() {
+        assert_eq!(div(&v(100, 8), &v(7, 8), false).to_u64(), Some(14));
+        assert_eq!(div(&v(100, 8), &v(0, 8), false).to_u64(), Some(0));
+        // signed: truncate toward zero
+        assert_eq!(div(&sv(-7, 8), &sv(2, 8), true).to_i128(), Some(-3));
+        assert_eq!(div(&sv(7, 8), &sv(-2, 8), true).to_i128(), Some(-3));
+        assert_eq!(div(&sv(-7, 8), &sv(-2, 8), true).to_i128(), Some(3));
+        // signed width is wa+1 so -128/-1 = 128 is representable
+        let r = div(&sv(-128, 8), &sv(-1, 8), true);
+        assert_eq!((r.width(), r.to_i128()), (9, Some(128)));
+    }
+
+    #[test]
+    fn rem_semantics() {
+        assert_eq!(rem(&v(100, 8), &v(7, 8), false).to_u64(), Some(2));
+        assert_eq!(rem(&sv(-7, 8), &sv(2, 8), true).to_i128(), Some(-1));
+        assert_eq!(rem(&sv(7, 8), &sv(-2, 8), true).to_i128(), Some(1));
+        assert_eq!(rem(&v(5, 8), &v(3, 4), false).width(), 4);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(lt(&v(3, 8), &v(5, 8), false).to_u64(), Some(1));
+        assert_eq!(lt(&sv(-3, 8), &sv(2, 8), true).to_u64(), Some(1));
+        assert_eq!(gt(&v(0xff, 8), &v(1, 8), false).to_u64(), Some(1));
+        // 0xff as signed 8-bit is -1, less than 1
+        assert_eq!(gt(&sv(-1, 8), &sv(1, 8), true).to_u64(), Some(0));
+        assert_eq!(eq(&v(7, 8), &v(7, 4), false).to_u64(), Some(1));
+        assert_eq!(neq(&v(7, 8), &v(8, 8), false).to_u64(), Some(1));
+        assert_eq!(leq(&v(7, 8), &v(7, 8), false).to_u64(), Some(1));
+        assert_eq!(geq(&v(7, 8), &v(8, 8), false).to_u64(), Some(0));
+        // differing widths, signed: -1 (4b) == -1 (8b)
+        assert_eq!(eq(&sv(-1, 4), &sv(-1, 8), true).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn shifts() {
+        let r = shl(&v(0b101, 3), 2);
+        assert_eq!((r.width(), r.to_u64()), (5, Some(0b10100)));
+        let r = shr(&v(0b10100, 5), 2, false);
+        assert_eq!((r.width(), r.to_u64()), (3, Some(0b101)));
+        let r = shr(&v(0b111, 3), 5, false);
+        assert_eq!((r.width(), r.to_u64()), (1, Some(0)));
+        // SInt shr keeps sign: -4 >> 1 = -2 at width 2
+        let r = shr(&sv(-4, 3), 1, true);
+        assert_eq!((r.width(), r.to_i128()), (2, Some(-2)));
+        // all bits out for negative yields -1
+        let r = shr(&sv(-1, 3), 10, true);
+        assert_eq!((r.width(), r.to_i128()), (1, Some(-1)));
+    }
+
+    #[test]
+    fn dynamic_shifts() {
+        let r = dshl(&v(1, 4), &v(3, 2));
+        assert_eq!((r.width(), r.to_u64()), (7, Some(8)));
+        let r = dshr(&v(0b1000, 4), &v(3, 2), false);
+        assert_eq!((r.width(), r.to_u64()), (4, Some(1)));
+        let r = dshr(&sv(-8, 4), &v(2, 2), true);
+        assert_eq!(r.to_i128(), Some(-2));
+    }
+
+    #[test]
+    fn cvt_neg() {
+        let r = cvt(&v(0xff, 8), false);
+        assert_eq!((r.width(), r.to_i128()), (9, Some(255)));
+        let r = cvt(&sv(-1, 8), true);
+        assert_eq!((r.width(), r.to_i128()), (8, Some(-1)));
+        let r = neg(&v(255, 8), false);
+        assert_eq!((r.width(), r.to_i128()), (9, Some(-255)));
+        let r = neg(&sv(-128, 8), true);
+        assert_eq!((r.width(), r.to_i128()), (9, Some(128)));
+    }
+
+    #[test]
+    fn bitwise() {
+        assert_eq!(not(&v(0b1010, 4)).to_u64(), Some(0b0101));
+        assert_eq!(and(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(), Some(0b1000));
+        assert_eq!(or(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(), Some(0b1110));
+        assert_eq!(xor(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(), Some(0b0110));
+        // signed operands sign-extend before the bitwise op
+        let r = and(&sv(-1, 4), &v(0xf0, 8).sext_or_trunc(8), true);
+        assert_eq!(r.to_u64(), Some(0xf0));
+    }
+
+    #[test]
+    fn reductions_and_cat() {
+        assert_eq!(andr(&v(0xf, 4)).to_u64(), Some(1));
+        assert_eq!(andr(&v(0x7, 4)).to_u64(), Some(0));
+        assert_eq!(orr(&v(0, 4)).to_u64(), Some(0));
+        assert_eq!(xorr(&v(0b111, 4)).to_u64(), Some(1));
+        let r = cat(&v(0xab, 8), &v(0xcd, 8));
+        assert_eq!((r.width(), r.to_u64()), (16, Some(0xabcd)));
+        let r = cat(&v(1, 1), &Value::zero(0));
+        assert_eq!((r.width(), r.to_u64()), (1, Some(1)));
+    }
+
+    #[test]
+    fn extraction() {
+        let a = v(0xabcd, 16);
+        assert_eq!(bits(&a, 15, 8).to_u64(), Some(0xab));
+        assert_eq!(bits(&a, 7, 0).to_u64(), Some(0xcd));
+        assert_eq!(bits(&a, 3, 3).to_u64(), Some(1));
+        assert_eq!(head(&a, 4).to_u64(), Some(0xa));
+        assert_eq!(tail(&a, 4).to_u64(), Some(0xbcd));
+        assert_eq!(tail(&a, 4).width(), 12);
+    }
+
+    #[test]
+    fn mux_extends() {
+        let r = mux(&v(1, 1), &v(3, 4), &v(200, 8), false);
+        assert_eq!((r.width(), r.to_u64()), (8, Some(3)));
+        let r = mux(&v(0, 1), &v(3, 4), &v(200, 8), false);
+        assert_eq!(r.to_u64(), Some(200));
+        let r = mux(&v(1, 1), &sv(-1, 4), &sv(0, 8), true);
+        assert_eq!(r.to_i128(), Some(-1));
+    }
+
+    #[test]
+    fn pad_behaviour() {
+        assert_eq!(pad(&v(0x80, 8), 16, false).to_u64(), Some(0x80));
+        assert_eq!(pad(&sv(-128, 8), 16, true).to_i128(), Some(-128));
+        // pad to smaller width is identity
+        assert_eq!(pad(&v(0xff, 8), 4, false).width(), 8);
+    }
+}

@@ -1,0 +1,427 @@
+//! Owned, width-tagged bit vectors.
+
+use crate::{words, words_for, MAX_WIDTH};
+use std::fmt;
+use std::str::FromStr;
+
+/// An owned bit vector of fixed width, stored canonically
+/// (zero-masked above the width).
+///
+/// `Value` is the convenience type used for constants, folding, memory
+/// images, and test oracles. The simulation hot path works on raw word
+/// slices instead (see [`crate::words`]).
+///
+/// # Example
+///
+/// ```
+/// use gsim_value::Value;
+///
+/// let v = Value::from_u64(0xabcd, 16);
+/// assert_eq!(v.to_u64(), Some(0xabcd));
+/// assert_eq!(v.width(), 16);
+/// assert_eq!(format!("{v}"), "16'habcd");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Value {
+    width: u32,
+    words: Vec<u64>,
+}
+
+/// Error produced when parsing a [`Value`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    msg: String,
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid value literal: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseValueError {}
+
+impl Value {
+    /// The all-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds [`MAX_WIDTH`].
+    pub fn zero(width: u32) -> Self {
+        assert!(width <= MAX_WIDTH, "width {width} exceeds MAX_WIDTH");
+        Value {
+            width,
+            words: vec![0; words_for(width)],
+        }
+    }
+
+    /// The all-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        let mut v = Value::zero(width);
+        for w in &mut v.words {
+            *w = u64::MAX;
+        }
+        words::mask_in_place(&mut v.words, width);
+        v
+    }
+
+    /// Builds a value from a `u64`, truncating to `width` bits.
+    pub fn from_u64(x: u64, width: u32) -> Self {
+        let mut v = Value::zero(width);
+        if !v.words.is_empty() {
+            v.words[0] = x;
+            words::mask_in_place(&mut v.words, width);
+        }
+        v
+    }
+
+    /// Builds a value from an `i64` in two's complement, truncated/masked
+    /// to `width` bits.
+    pub fn from_i64(x: i64, width: u32) -> Self {
+        let mut v = Value::zero(width);
+        if !v.words.is_empty() {
+            v.words[0] = x as u64;
+            for w in &mut v.words[1..] {
+                *w = if x < 0 { u64::MAX } else { 0 };
+            }
+            words::mask_in_place(&mut v.words, width);
+        }
+        v
+    }
+
+    /// Builds a value from a `u128`, truncating to `width` bits.
+    pub fn from_u128(x: u128, width: u32) -> Self {
+        let mut v = Value::zero(width);
+        if !v.words.is_empty() {
+            v.words[0] = x as u64;
+            if v.words.len() > 1 {
+                v.words[1] = (x >> 64) as u64;
+            }
+            words::mask_in_place(&mut v.words, width);
+        }
+        v
+    }
+
+    /// Builds a value from raw little-endian words, masking to `width`.
+    pub fn from_words(mut ws: Vec<u64>, width: u32) -> Self {
+        ws.resize(words_for(width), 0);
+        let mut v = Value { width, words: ws };
+        words::mask_in_place(&mut v.words, width);
+        v
+    }
+
+    /// Parses a FIRRTL-style literal body in the given radix
+    /// (2, 8, 10, or 16), e.g. `"hff"` body `ff` with radix 16.
+    ///
+    /// A leading `-` negates in two's complement at the target width
+    /// (FIRRTL signed literals).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty bodies, invalid digits, or an
+    /// unsupported radix.
+    pub fn from_str_radix(s: &str, radix: u32, width: u32) -> Result<Self, ParseValueError> {
+        if !matches!(radix, 2 | 8 | 10 | 16) {
+            return Err(ParseValueError {
+                msg: format!("unsupported radix {radix}"),
+            });
+        }
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if body.is_empty() {
+            return Err(ParseValueError {
+                msg: "empty literal".into(),
+            });
+        }
+        let mut v = Value::zero(width.max(1));
+        let nwords = v.words.len();
+        for ch in body.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch.to_digit(radix).ok_or_else(|| ParseValueError {
+                msg: format!("invalid digit {ch:?} for radix {radix}"),
+            })? as u64;
+            // v = v * radix + d
+            let mut carry = d;
+            for w in v.words.iter_mut().take(nwords) {
+                let t = *w as u128 * radix as u128 + carry as u128;
+                *w = t as u64;
+                carry = (t >> 64) as u64;
+            }
+        }
+        if neg {
+            let copy = v.words.clone();
+            words::neg(&mut v.words, &copy);
+        }
+        words::mask_in_place(&mut v.words, width);
+        v.width = width;
+        v.words.truncate(words_for(width));
+        Ok(v)
+    }
+
+    /// The width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The underlying little-endian words (canonical form).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// `true` if every bit is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        words::is_zero(&self.words)
+    }
+
+    /// Bit `i`, reading beyond the width as zero.
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        words::get_bit(&self.words, i)
+    }
+
+    /// The value as a `u64` if it fits, else `None`.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.words.is_empty() {
+            return Some(0);
+        }
+        if self.words[1..].iter().any(|&w| w != 0) {
+            return None;
+        }
+        Some(self.words[0])
+    }
+
+    /// The value as a `u128` if it fits, else `None`.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.words.is_empty() {
+            return Some(0);
+        }
+        if self.words.len() > 2 && self.words[2..].iter().any(|&w| w != 0) {
+            return None;
+        }
+        let lo = self.words[0] as u128;
+        let hi = self.words.get(1).copied().unwrap_or(0) as u128;
+        Some(lo | hi << 64)
+    }
+
+    /// Interprets the value as signed two's complement at its width and
+    /// returns it as `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.width == 0 {
+            return Some(0);
+        }
+        if self.width > 128 {
+            // Only fits if it is a sign-extension of a 128-bit value.
+            let neg = self.bit(self.width - 1);
+            let mut copy = self.clone();
+            // check bits 127..width-1 all equal sign
+            for i in 127..self.width {
+                if self.bit(i) != neg {
+                    return None;
+                }
+            }
+            copy.words.truncate(2);
+            copy.words.resize(2, 0);
+            let raw = copy.words[0] as u128 | (copy.words[1] as u128) << 64;
+            return Some(raw as i128);
+        }
+        let raw = self.to_u128().expect("width <= 128 always fits u128");
+        let shift = 128 - self.width;
+        Some(((raw << shift) as i128) >> shift)
+    }
+
+    /// Re-widths the value: truncates or zero-extends to `new_width`.
+    pub fn zext_or_trunc(&self, new_width: u32) -> Value {
+        let mut v = Value::zero(new_width);
+        words::copy(&mut v.words, &self.words);
+        words::mask_in_place(&mut v.words, new_width);
+        v
+    }
+
+    /// Re-widths the value, sign-extending from the current width.
+    pub fn sext_or_trunc(&self, new_width: u32) -> Value {
+        let mut v = Value::zero(new_width);
+        words::sext_copy(&mut v.words, &self.words, self.width, new_width);
+        v
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::zero(1)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value({self})")
+    }
+}
+
+fn fmt_hex_digits(words: &[u64], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut started = false;
+    for i in (0..words.len()).rev() {
+        if started {
+            write!(f, "{:016x}", words[i])?;
+        } else if words[i] != 0 || i == 0 {
+            write!(f, "{:x}", words[i])?;
+            started = true;
+        }
+    }
+    if !started {
+        write!(f, "0")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Value {
+    /// Formats as `<width>'h<hex>`, e.g. `16'habcd`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width)?;
+        fmt_hex_digits(&self.words, f)
+    }
+}
+
+impl fmt::LowerHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_hex_digits(&self.words, f)
+    }
+}
+
+impl fmt::Binary for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        if self.width == 0 {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Value {
+    type Err = ParseValueError;
+
+    /// Parses `<width>'h<hex>`, `<width>'b<bin>`, `<width>'d<dec>`, or a
+    /// bare decimal number (width inferred as the minimal width).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((w, rest)) = s.split_once('\'') {
+            let width: u32 = w.parse().map_err(|_| ParseValueError {
+                msg: format!("bad width {w:?}"),
+            })?;
+            let (radix, body) = match rest.chars().next() {
+                Some('h') => (16, &rest[1..]),
+                Some('b') => (2, &rest[1..]),
+                Some('o') => (8, &rest[1..]),
+                Some('d') => (10, &rest[1..]),
+                _ => {
+                    return Err(ParseValueError {
+                        msg: format!("bad radix prefix in {rest:?}"),
+                    })
+                }
+            };
+            Value::from_str_radix(body, radix, width)
+        } else {
+            let v = Value::from_str_radix(s, 10, 128)?;
+            let min_width = words::top_bit(v.words()).map_or(1, |b| b + 1);
+            Ok(v.zext_or_trunc(min_width))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_masking() {
+        let v = Value::from_u64(0x1ff, 8);
+        assert_eq!(v.to_u64(), Some(0xff));
+        let v = Value::from_u64(5, 3);
+        assert_eq!(v.to_u64(), Some(5));
+        let v = Value::zero(0);
+        assert_eq!(v.to_u64(), Some(0));
+        assert_eq!(v.words().len(), 0);
+    }
+
+    #[test]
+    fn from_i64_negative() {
+        let v = Value::from_i64(-1, 130);
+        assert_eq!(v.words().len(), 3);
+        assert!(v.bit(129));
+        assert!(!v.bit(130));
+        assert_eq!(v.to_i128(), Some(-1));
+    }
+
+    #[test]
+    fn parse_literals() {
+        let v: Value = "16'habcd".parse().unwrap();
+        assert_eq!(v.to_u64(), Some(0xabcd));
+        let v: Value = "4'b1010".parse().unwrap();
+        assert_eq!(v.to_u64(), Some(0b1010));
+        let v: Value = "8'd200".parse().unwrap();
+        assert_eq!(v.to_u64(), Some(200));
+        let v: Value = "42".parse().unwrap();
+        assert_eq!(v.to_u64(), Some(42));
+        assert_eq!(v.width(), 6);
+        assert!("8'xzz".parse::<Value>().is_err());
+        assert!("8'h".parse::<Value>().is_err());
+    }
+
+    #[test]
+    fn parse_negative_literal_wraps() {
+        let v = Value::from_str_radix("-1", 10, 8).unwrap();
+        assert_eq!(v.to_u64(), Some(0xff));
+        assert_eq!(v.to_i128(), Some(-1));
+    }
+
+    #[test]
+    fn parse_wide_hex() {
+        let v = Value::from_str_radix("ffffffffffffffffffffffffffffffff", 16, 128).unwrap();
+        assert_eq!(v.to_u128(), Some(u128::MAX));
+        assert_eq!(format!("{v:x}"), "ffffffffffffffffffffffffffffffff");
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Value::from_u128(0x1_0000_0000_0000_00ffu128, 72);
+        assert_eq!(format!("{v}"), "72'h100000000000000ff");
+        let v = Value::zero(8);
+        assert_eq!(format!("{v}"), "8'h0");
+        let v = Value::from_u64(0b101, 3);
+        assert_eq!(format!("{v:b}"), "101");
+    }
+
+    #[test]
+    fn to_i128_sign_interprets() {
+        let v = Value::from_u64(0xff, 8);
+        assert_eq!(v.to_i128(), Some(-1));
+        let v = Value::from_u64(0x7f, 8);
+        assert_eq!(v.to_i128(), Some(127));
+        let v = Value::ones(200);
+        assert_eq!(v.to_i128(), Some(-1));
+    }
+
+    #[test]
+    fn widening_ops() {
+        let v = Value::from_u64(0x80, 8);
+        assert_eq!(v.zext_or_trunc(16).to_u64(), Some(0x80));
+        assert_eq!(v.sext_or_trunc(16).to_u64(), Some(0xff80));
+        assert_eq!(v.sext_or_trunc(4).to_u64(), Some(0));
+        let v = Value::from_u64(0x5, 8);
+        assert_eq!(v.sext_or_trunc(16).to_u64(), Some(0x5));
+    }
+
+    #[test]
+    fn ones_masked() {
+        let v = Value::ones(65);
+        assert_eq!(v.words(), &[u64::MAX, 1]);
+    }
+}

@@ -1,0 +1,725 @@
+//! Allocation-free arithmetic kernels over little-endian `u64` word slices.
+//!
+//! These functions are the primitive operations the simulation engine
+//! executes. All of them:
+//!
+//! * treat slices as little-endian (`s[0]` holds bits 0..64),
+//! * operate on *canonical* inputs (bits above the logical width are zero)
+//!   and produce canonical outputs when given the destination width,
+//! * never allocate.
+//!
+//! Destination and source slices may have different lengths where
+//! documented; most binary kernels require equal lengths because the
+//! bytecode compiler legalizes operand widths ahead of time.
+
+use std::cmp::Ordering;
+
+/// Masks bits at positions `>= width` in `w` to zero (canonicalizes).
+///
+/// `width` is interpreted relative to the full slice: `w.len() * 64` bits.
+///
+/// # Panics
+///
+/// Panics if `width` exceeds the slice capacity.
+#[inline]
+pub fn mask_in_place(w: &mut [u64], width: u32) {
+    let nbits = (w.len() * 64) as u32;
+    assert!(width <= nbits, "width {width} exceeds capacity {nbits}");
+    let full = (width / 64) as usize;
+    let rem = width % 64;
+    if rem != 0 {
+        w[full] &= (1u64 << rem) - 1;
+        for word in &mut w[full + 1..] {
+            *word = 0;
+        }
+    } else {
+        for word in &mut w[full..] {
+            *word = 0;
+        }
+    }
+}
+
+/// Returns `true` if every word of `w` is zero.
+#[inline]
+pub fn is_zero(w: &[u64]) -> bool {
+    w.iter().all(|&x| x == 0)
+}
+
+/// Reads bit `i` of `w` (bit 0 is the least significant).
+///
+/// Bits beyond the slice read as zero.
+#[inline]
+pub fn get_bit(w: &[u64], i: u32) -> bool {
+    let word = (i / 64) as usize;
+    if word >= w.len() {
+        return false;
+    }
+    (w[word] >> (i % 64)) & 1 == 1
+}
+
+/// Sets bit `i` of `w` to `v`.
+///
+/// # Panics
+///
+/// Panics if `i` is beyond the slice capacity.
+#[inline]
+pub fn set_bit(w: &mut [u64], i: u32, v: bool) {
+    let word = (i / 64) as usize;
+    let mask = 1u64 << (i % 64);
+    if v {
+        w[word] |= mask;
+    } else {
+        w[word] &= !mask;
+    }
+}
+
+/// Copies `src` into `dst`, zero-extending or truncating to `dst.len()`.
+#[inline]
+pub fn copy(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    dst[..n].copy_from_slice(&src[..n]);
+    for w in &mut dst[n..] {
+        *w = 0;
+    }
+}
+
+/// Copies `src` (canonical at `src_width` bits) into `dst`,
+/// sign-extending from `src_width` and then masking to `dst_width`.
+///
+/// If `src_width` is zero the result is zero.
+pub fn sext_copy(dst: &mut [u64], src: &[u64], src_width: u32, dst_width: u32) {
+    copy(dst, src);
+    if src_width > 0 && src_width < dst_width && get_bit(src, src_width - 1) {
+        // Fill bits [src_width, dst_width) with ones.
+        let lo_word = (src_width / 64) as usize;
+        let lo_rem = src_width % 64;
+        if lo_rem != 0 {
+            dst[lo_word] |= !((1u64 << lo_rem) - 1);
+        } else if lo_word < dst.len() {
+            dst[lo_word] = u64::MAX;
+        }
+        for w in dst.iter_mut().skip(lo_word + 1) {
+            *w = u64::MAX;
+        }
+    }
+    mask_in_place(dst, dst_width);
+}
+
+/// `dst = a + b` (wrapping at the slice length). All slices must have
+/// equal length. Returns the carry out of the top word.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+#[inline]
+pub fn add(dst: &mut [u64], a: &[u64], b: &[u64]) -> bool {
+    assert_eq!(dst.len(), a.len());
+    assert_eq!(dst.len(), b.len());
+    let mut carry = 0u64;
+    for i in 0..dst.len() {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        dst[i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    carry != 0
+}
+
+/// `dst = a - b` (wrapping at the slice length). All slices must have
+/// equal length. Returns `true` if a borrow out occurred (a < b).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+#[inline]
+pub fn sub(dst: &mut [u64], a: &[u64], b: &[u64]) -> bool {
+    assert_eq!(dst.len(), a.len());
+    assert_eq!(dst.len(), b.len());
+    let mut borrow = 0u64;
+    for i in 0..dst.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        dst[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    borrow != 0
+}
+
+/// `dst = a * b` (wrapping at the slice length), schoolbook.
+///
+/// `dst` must not alias `a` or `b`. All slices must have equal length.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn mul(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    assert_eq!(dst.len(), a.len());
+    assert_eq!(dst.len(), b.len());
+    dst.fill(0);
+    let n = dst.len();
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for j in 0..n - i {
+            let t = a[i] as u128 * b[j] as u128 + dst[i + j] as u128 + carry;
+            dst[i + j] = t as u64;
+            carry = t >> 64;
+        }
+    }
+}
+
+/// Unsigned comparison of equal-length canonical slices.
+#[inline]
+pub fn ucmp(a: &[u64], b: &[u64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Signed comparison of equal-length slices that are sign-extended to the
+/// full slice capacity (i.e. the top bit of the top word is the sign).
+#[inline]
+pub fn scmp_extended(a: &[u64], b: &[u64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return Ordering::Equal;
+    }
+    let top = a.len() - 1;
+    let sa = (a[top] as i64) < 0;
+    let sb = (b[top] as i64) < 0;
+    match (sa, sb) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => ucmp(a, b),
+    }
+}
+
+/// `dst = a << sh` (in-slice, bits shifted past the top are lost).
+///
+/// `dst` and `a` must have equal length; `dst` may alias `a` only when the
+/// caller guarantees `dst == a` is the same slice (in-place shift is
+/// supported via copy semantics below — we iterate from the top).
+pub fn shl(dst: &mut [u64], a: &[u64], sh: u32) {
+    assert_eq!(dst.len(), a.len());
+    let n = dst.len();
+    let word_sh = (sh / 64) as usize;
+    let bit_sh = sh % 64;
+    if word_sh >= n {
+        dst.fill(0);
+        return;
+    }
+    if bit_sh == 0 {
+        for i in (word_sh..n).rev() {
+            dst[i] = a[i - word_sh];
+        }
+    } else {
+        for i in (word_sh..n).rev() {
+            let hi = a[i - word_sh] << bit_sh;
+            let lo = if i - word_sh > 0 {
+                a[i - word_sh - 1] >> (64 - bit_sh)
+            } else {
+                0
+            };
+            dst[i] = hi | lo;
+        }
+    }
+    for w in &mut dst[..word_sh] {
+        *w = 0;
+    }
+}
+
+/// `dst = a >> sh` (logical). `dst` and `a` must have equal length.
+pub fn lshr(dst: &mut [u64], a: &[u64], sh: u32) {
+    assert_eq!(dst.len(), a.len());
+    let n = dst.len();
+    let word_sh = (sh / 64) as usize;
+    let bit_sh = sh % 64;
+    if word_sh >= n {
+        dst.fill(0);
+        return;
+    }
+    if bit_sh == 0 {
+        for i in 0..n - word_sh {
+            dst[i] = a[i + word_sh];
+        }
+    } else {
+        for i in 0..n - word_sh {
+            let lo = a[i + word_sh] >> bit_sh;
+            let hi = if i + word_sh + 1 < n {
+                a[i + word_sh + 1] << (64 - bit_sh)
+            } else {
+                0
+            };
+            dst[i] = lo | hi;
+        }
+    }
+    for w in &mut dst[n - word_sh..] {
+        *w = 0;
+    }
+}
+
+/// Arithmetic shift right of `a`, canonical at `width` bits, producing a
+/// canonical result at `width` bits in `dst`.
+///
+/// The sign bit is bit `width - 1` of `a`.
+pub fn ashr(dst: &mut [u64], a: &[u64], sh: u32, width: u32) {
+    if width == 0 {
+        dst.fill(0);
+        return;
+    }
+    let neg = get_bit(a, width - 1);
+    let sh = sh.min(width);
+    lshr(dst, a, sh);
+    if neg {
+        // Fill bits [width - sh, width) with ones.
+        for i in width - sh..width {
+            set_bit(dst, i, true);
+        }
+    }
+}
+
+/// Extracts bits `[lo, lo + dst_width)` of `a` into `dst` (canonical).
+///
+/// `dst_width` is `hi - lo + 1` for a FIRRTL `bits(a, hi, lo)`.
+pub fn extract(dst: &mut [u64], a: &[u64], lo: u32, dst_width: u32) {
+    let word_sh = (lo / 64) as usize;
+    let bit_sh = lo % 64;
+    let n = dst.len();
+    for i in 0..n {
+        let src_i = i + word_sh;
+        let lo_part = if src_i < a.len() { a[src_i] >> bit_sh } else { 0 };
+        let hi_part = if bit_sh != 0 && src_i + 1 < a.len() {
+            a[src_i + 1] << (64 - bit_sh)
+        } else {
+            0
+        };
+        dst[i] = lo_part | hi_part;
+    }
+    mask_in_place(dst, dst_width);
+}
+
+/// Concatenation: `dst = hi_val ## lo_val` where `lo_val` occupies
+/// `lo_width` bits. `dst` must be long enough for the combined value.
+pub fn cat(dst: &mut [u64], hi_val: &[u64], lo_val: &[u64], lo_width: u32) {
+    copy(dst, lo_val);
+    // OR the high part shifted left by lo_width.
+    let word_sh = (lo_width / 64) as usize;
+    let bit_sh = lo_width % 64;
+    for (i, &h) in hi_val.iter().enumerate() {
+        if h == 0 {
+            continue;
+        }
+        let di = i + word_sh;
+        if di < dst.len() {
+            dst[di] |= h << bit_sh;
+        }
+        if bit_sh != 0 && di + 1 < dst.len() {
+            dst[di + 1] |= h >> (64 - bit_sh);
+        }
+    }
+}
+
+/// Bitwise NOT of `a` into `dst`, canonical at `width`.
+#[inline]
+pub fn not(dst: &mut [u64], a: &[u64], width: u32) {
+    assert_eq!(dst.len(), a.len());
+    for i in 0..dst.len() {
+        dst[i] = !a[i];
+    }
+    mask_in_place(dst, width);
+}
+
+/// Bitwise AND. Equal lengths required.
+#[inline]
+pub fn and(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    for i in 0..dst.len() {
+        dst[i] = a[i] & b[i];
+    }
+}
+
+/// Bitwise OR. Equal lengths required.
+#[inline]
+pub fn or(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    for i in 0..dst.len() {
+        dst[i] = a[i] | b[i];
+    }
+}
+
+/// Bitwise XOR. Equal lengths required.
+#[inline]
+pub fn xor(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    for i in 0..dst.len() {
+        dst[i] = a[i] ^ b[i];
+    }
+}
+
+/// AND-reduction of `a`, canonical at `width`: 1 iff all `width` bits set.
+#[inline]
+pub fn andr(a: &[u64], width: u32) -> bool {
+    if width == 0 {
+        return true; // andr of empty set is 1 by FIRRTL convention
+    }
+    let full = (width / 64) as usize;
+    let rem = width % 64;
+    for &w in &a[..full] {
+        if w != u64::MAX {
+            return false;
+        }
+    }
+    if rem != 0 {
+        let mask = (1u64 << rem) - 1;
+        if a[full] & mask != mask {
+            return false;
+        }
+    }
+    true
+}
+
+/// OR-reduction: 1 iff any bit set.
+#[inline]
+pub fn orr(a: &[u64]) -> bool {
+    !is_zero(a)
+}
+
+/// XOR-reduction: parity of set bits.
+#[inline]
+pub fn xorr(a: &[u64]) -> bool {
+    let mut acc = 0u64;
+    for &w in a {
+        acc ^= w;
+    }
+    acc.count_ones() % 2 == 1
+}
+
+/// Counts set bits.
+#[inline]
+pub fn popcount(a: &[u64]) -> u32 {
+    a.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Unsigned long division: computes `q = a / b`, `r = a % b`.
+///
+/// All four slices must have equal length. Division by zero yields
+/// `q = 0, r = a` (documented simulator semantics for an operation FIRRTL
+/// leaves undefined). `q`/`r` must not alias `a`/`b`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn udivrem(q: &mut [u64], r: &mut [u64], a: &[u64], b: &[u64]) {
+    assert_eq!(q.len(), a.len());
+    assert_eq!(r.len(), a.len());
+    assert_eq!(b.len(), a.len());
+    q.fill(0);
+    if is_zero(b) {
+        copy(r, a);
+        return;
+    }
+    // Fast path: single-word operands.
+    if a.len() == 1 {
+        q[0] = a[0] / b[0];
+        r[0] = a[0] % b[0];
+        return;
+    }
+    // Fast path: both values fit in 128 bits.
+    if a.len() == 2 || (a[2..].iter().all(|&w| w == 0) && b[2..].iter().all(|&w| w == 0)) {
+        let av = a[0] as u128 | (a.get(1).copied().unwrap_or(0) as u128) << 64;
+        let bv = b[0] as u128 | (b.get(1).copied().unwrap_or(0) as u128) << 64;
+        let qv = av / bv;
+        let rv = av % bv;
+        q[0] = qv as u64;
+        if q.len() > 1 {
+            q[1] = (qv >> 64) as u64;
+        }
+        r.fill(0);
+        r[0] = rv as u64;
+        if r.len() > 1 {
+            r[1] = (rv >> 64) as u64;
+        }
+        return;
+    }
+    // General case: restoring bit-serial division, MSB first.
+    r.fill(0);
+    let nbits = (a.len() * 64) as u32;
+    let top = top_bit(a).unwrap_or(0);
+    let start = top.min(nbits - 1);
+    // scratch-free: r = (r << 1) | bit, compare/subtract b.
+    for i in (0..=start).rev() {
+        // r <<= 1 in place (from the top down).
+        let mut carry_in = if get_bit(a, i) { 1u64 } else { 0 };
+        for w in r.iter_mut() {
+            let carry_out = *w >> 63;
+            *w = (*w << 1) | carry_in;
+            carry_in = carry_out;
+        }
+        if ucmp(r, b) != Ordering::Less {
+            // r -= b, in place. Safe: separate slices.
+            let mut borrow = 0u64;
+            for j in 0..r.len() {
+                let (d1, b1) = r[j].overflowing_sub(b[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                r[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            set_bit(q, i, true);
+        }
+    }
+}
+
+/// Index of the highest set bit, or `None` if the value is zero.
+#[inline]
+pub fn top_bit(a: &[u64]) -> Option<u32> {
+    for i in (0..a.len()).rev() {
+        if a[i] != 0 {
+            return Some(i as u32 * 64 + 63 - a[i].leading_zeros());
+        }
+    }
+    None
+}
+
+/// Two's complement negation of `a` into `dst` (wrapping at slice length).
+///
+/// `dst` may alias `a`.
+#[inline]
+pub fn neg(dst: &mut [u64], a: &[u64]) {
+    let mut carry = 1u64;
+    for i in 0..dst.len() {
+        let (v, c) = (!a[i]).overflowing_add(carry);
+        dst[i] = v;
+        carry = c as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_clears_top_bits() {
+        let mut w = [u64::MAX, u64::MAX];
+        mask_in_place(&mut w, 70);
+        assert_eq!(w, [u64::MAX, 0x3f]);
+        let mut w = [u64::MAX];
+        mask_in_place(&mut w, 64);
+        assert_eq!(w, [u64::MAX]);
+        let mut w = [u64::MAX];
+        mask_in_place(&mut w, 0);
+        assert_eq!(w, [0]);
+    }
+
+    #[test]
+    fn add_with_carry_across_words() {
+        let a = [u64::MAX, 0];
+        let b = [1, 0];
+        let mut d = [0u64; 2];
+        let c = add(&mut d, &a, &b);
+        assert_eq!(d, [0, 1]);
+        assert!(!c);
+    }
+
+    #[test]
+    fn add_reports_carry_out() {
+        let a = [u64::MAX, u64::MAX];
+        let b = [1, 0];
+        let mut d = [0u64; 2];
+        assert!(add(&mut d, &a, &b));
+        assert_eq!(d, [0, 0]);
+    }
+
+    #[test]
+    fn sub_reports_borrow() {
+        let a = [0u64, 0];
+        let b = [1, 0];
+        let mut d = [0u64; 2];
+        assert!(sub(&mut d, &a, &b));
+        assert_eq!(d, [u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn mul_schoolbook_matches_u128() {
+        let a = [0xdead_beef_1234_5678u64, 0];
+        let b = [0x1_0000_0001u64, 0];
+        let mut d = [0u64; 2];
+        mul(&mut d, &a, &b);
+        let expect = 0xdead_beef_1234_5678u128 * 0x1_0000_0001u128;
+        assert_eq!(d[0], expect as u64);
+        assert_eq!(d[1], (expect >> 64) as u64);
+    }
+
+    #[test]
+    fn shl_across_words() {
+        let a = [0x8000_0000_0000_0001u64, 0];
+        let mut d = [0u64; 2];
+        shl(&mut d, &a, 1);
+        assert_eq!(d, [2, 1]);
+        shl(&mut d, &a, 64);
+        assert_eq!(d, [0, 0x8000_0000_0000_0001]);
+        shl(&mut d, &a, 128);
+        assert_eq!(d, [0, 0]);
+    }
+
+    #[test]
+    fn lshr_across_words() {
+        let a = [0x1u64, 0x8000_0000_0000_0000];
+        let mut d = [0u64; 2];
+        lshr(&mut d, &a, 63);
+        assert_eq!(d, [0, 1]);
+        lshr(&mut d, &a, 127);
+        assert_eq!(d, [1, 0]);
+        lshr(&mut d, &a, 128);
+        assert_eq!(d, [0, 0]);
+    }
+
+    #[test]
+    fn ashr_sign_fills() {
+        // 8-bit value 0b1000_0000 = -128
+        let a = [0x80u64];
+        let mut d = [0u64];
+        ashr(&mut d, &a, 3, 8);
+        assert_eq!(d[0], 0b1111_0000);
+        // shift by >= width saturates to all-ones for negative
+        ashr(&mut d, &a, 100, 8);
+        assert_eq!(d[0], 0xff);
+        // positive value
+        let a = [0x40u64];
+        ashr(&mut d, &a, 3, 8);
+        assert_eq!(d[0], 0x08);
+    }
+
+    #[test]
+    fn extract_spanning_words() {
+        let a = [0xffff_0000_0000_0000u64, 0x0000_0000_0000_ffff];
+        let mut d = [0u64];
+        extract(&mut d, &a, 48, 32);
+        assert_eq!(d[0], 0xffff_ffff);
+        let mut d = [0u64];
+        extract(&mut d, &a, 60, 8);
+        assert_eq!(d[0], 0xff);
+    }
+
+    #[test]
+    fn cat_unaligned() {
+        let hi = [0xabu64];
+        let lo = [0x5u64];
+        let mut d = [0u64];
+        cat(&mut d, &hi, &lo, 3);
+        assert_eq!(d[0], (0xab << 3) | 0x5);
+    }
+
+    #[test]
+    fn cat_across_word_boundary() {
+        let hi = [u64::MAX];
+        let lo = [0u64, 0];
+        let mut d = [0u64; 2];
+        cat(&mut d, &hi, &lo[..1], 32);
+        assert_eq!(d, [0xffff_ffff_0000_0000, 0xffff_ffff]);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(andr(&[u64::MAX], 64));
+        assert!(andr(&[0x7f], 7));
+        assert!(!andr(&[0x7f], 8));
+        assert!(orr(&[0, 1]));
+        assert!(!orr(&[0, 0]));
+        assert!(xorr(&[0b100]));
+        assert!(!xorr(&[0b101]));
+        assert!(xorr(&[0b110, 0b1]));
+    }
+
+    #[test]
+    fn udivrem_single_word() {
+        let a = [100u64];
+        let b = [7u64];
+        let (mut q, mut r) = ([0u64], [0u64]);
+        udivrem(&mut q, &mut r, &a, &b);
+        assert_eq!((q[0], r[0]), (14, 2));
+    }
+
+    #[test]
+    fn udivrem_by_zero_defined() {
+        let a = [100u64, 5];
+        let b = [0u64, 0];
+        let (mut q, mut r) = ([1u64, 1], [0u64, 0]);
+        udivrem(&mut q, &mut r, &a, &b);
+        assert_eq!(q, [0, 0]);
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn udivrem_multiword() {
+        // (2^128 + 5) / 3 computed over 3 words
+        let a = [5u64, 0, 1];
+        let b = [3u64, 0, 0];
+        let (mut q, mut r) = ([0u64; 3], [0u64; 3]);
+        udivrem(&mut q, &mut r, &a, &b);
+        // 2^128 = 3 * q0 + rem; 2^128 mod 3 = 1, so (2^128+5) mod 3 = 0
+        assert_eq!(r, [0, 0, 0]);
+        // verify q * 3 == a
+        let mut check = [0u64; 3];
+        mul(&mut check, &q, &b);
+        assert_eq!(check, a);
+    }
+
+    #[test]
+    fn sext_copy_extends_negative() {
+        // 4-bit value 0b1010 (-6) extended to 8 bits = 0b1111_1010
+        let src = [0b1010u64];
+        let mut d = [0u64];
+        sext_copy(&mut d, &src, 4, 8);
+        assert_eq!(d[0], 0b1111_1010);
+        // positive stays
+        let src = [0b0010u64];
+        sext_copy(&mut d, &src, 4, 8);
+        assert_eq!(d[0], 0b0000_0010);
+    }
+
+    #[test]
+    fn sext_copy_across_words() {
+        let src = [0x8000_0000_0000_0000u64, 0];
+        let mut d = [0u64; 2];
+        sext_copy(&mut d, &src[..1], 64, 128);
+        assert_eq!(d, [0x8000_0000_0000_0000, u64::MAX]);
+    }
+
+    #[test]
+    fn neg_wraps() {
+        let a = [1u64, 0];
+        let mut d = [0u64; 2];
+        neg(&mut d, &a);
+        assert_eq!(d, [u64::MAX, u64::MAX]);
+        let a = [0u64, 0];
+        neg(&mut d, &a);
+        assert_eq!(d, [0, 0]);
+    }
+
+    #[test]
+    fn cmp_orderings() {
+        assert_eq!(ucmp(&[1, 2], &[5, 1]), Ordering::Greater);
+        assert_eq!(ucmp(&[5, 1], &[1, 2]), Ordering::Less);
+        assert_eq!(ucmp(&[7, 7], &[7, 7]), Ordering::Equal);
+        // -1 < 1 when sign-extended
+        assert_eq!(scmp_extended(&[u64::MAX], &[1]), Ordering::Less);
+        assert_eq!(scmp_extended(&[1], &[u64::MAX]), Ordering::Greater);
+    }
+
+    #[test]
+    fn top_bit_positions() {
+        assert_eq!(top_bit(&[0, 0]), None);
+        assert_eq!(top_bit(&[1, 0]), Some(0));
+        assert_eq!(top_bit(&[0, 1]), Some(64));
+        assert_eq!(top_bit(&[0, 0x8000_0000_0000_0000]), Some(127));
+    }
+
+    #[test]
+    fn popcount_counts() {
+        assert_eq!(popcount(&[0b1011, 0b1]), 4);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests: `gsim_value::ops` against a 128-bit reference model.
+//!
+//! For operand widths up to 60 bits, every FIRRTL op has an obvious exact
+//! reference implementation on `i128`/`u128`. These tests pin the word-
+//! slice kernels to that reference across random operands and widths.
+
+use gsim_value::{ops, Value};
+use proptest::prelude::*;
+
+/// A random (value, width) pair with width in 1..=60.
+fn operand() -> impl Strategy<Value = (u64, u32)> {
+    (1u32..=60).prop_flat_map(|w| {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        (any::<u64>().prop_map(move |x| x & mask), Just(w))
+    })
+}
+
+fn as_i128(x: u64, w: u32) -> i128 {
+    let shift = 128 - w;
+    (((x as u128) << shift) as i128) >> shift
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_matches_reference(((a, wa), (b, wb)) in (operand(), operand()), signed: bool) {
+        let va = Value::from_u64(a, wa);
+        let vb = Value::from_u64(b, wb);
+        let r = ops::add(&va, &vb, signed);
+        if signed {
+            prop_assert_eq!(r.to_i128().unwrap(), as_i128(a, wa) + as_i128(b, wb));
+        } else {
+            prop_assert_eq!(r.to_u128().unwrap(), (a as u128) + (b as u128));
+        }
+    }
+
+    #[test]
+    fn sub_matches_reference(((a, wa), (b, wb)) in (operand(), operand())) {
+        let va = Value::from_u64(a, wa);
+        let vb = Value::from_u64(b, wb);
+        // Signed subtraction is exact at max+1 bits.
+        let r = ops::sub(&va, &vb, true);
+        prop_assert_eq!(r.to_i128().unwrap(), as_i128(a, wa) - as_i128(b, wb));
+    }
+
+    #[test]
+    fn mul_matches_reference(((a, wa), (b, wb)) in (operand(), operand()), signed: bool) {
+        let va = Value::from_u64(a, wa);
+        let vb = Value::from_u64(b, wb);
+        let r = ops::mul(&va, &vb, signed);
+        if signed {
+            prop_assert_eq!(r.to_i128().unwrap(), as_i128(a, wa) * as_i128(b, wb));
+        } else {
+            prop_assert_eq!(r.to_u128().unwrap(), (a as u128) * (b as u128));
+        }
+    }
+
+    #[test]
+    fn divrem_matches_reference(((a, wa), (b, wb)) in (operand(), operand()), signed: bool) {
+        let va = Value::from_u64(a, wa);
+        let vb = Value::from_u64(b, wb);
+        let q = ops::div(&va, &vb, signed);
+        let r = ops::rem(&va, &vb, signed);
+        if signed {
+            let (sa, sb) = (as_i128(a, wa), as_i128(b, wb));
+            if sb != 0 {
+                prop_assert_eq!(q.to_i128().unwrap(), sa / sb);
+                // rem result width is min(wa,wb); value fits because
+                // |rem| < |b| <= 2^(wb-1) and takes a's sign
+                let expect_r = sa % sb;
+                let w = wa.min(wb);
+                let masked = ((expect_r as u128) & ((1u128 << w) - 1)) as u64;
+                prop_assert_eq!(r.to_u64().unwrap(), masked);
+            } else {
+                prop_assert_eq!(q.to_i128().unwrap(), 0);
+            }
+        } else if b != 0 {
+            prop_assert_eq!(q.to_u64().unwrap(), a / b);
+            prop_assert_eq!(r.to_u64().unwrap(), (a % b) & low_mask(wa.min(wb)));
+        } else {
+            prop_assert_eq!(q.to_u64().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn comparisons_match_reference(((a, wa), (b, wb)) in (operand(), operand()), signed: bool) {
+        let va = Value::from_u64(a, wa);
+        let vb = Value::from_u64(b, wb);
+        let (ra, rb) = if signed {
+            (as_i128(a, wa), as_i128(b, wb))
+        } else {
+            (a as i128, b as i128)
+        };
+        prop_assert_eq!(ops::lt(&va, &vb, signed).to_u64(), Some((ra < rb) as u64));
+        prop_assert_eq!(ops::leq(&va, &vb, signed).to_u64(), Some((ra <= rb) as u64));
+        prop_assert_eq!(ops::gt(&va, &vb, signed).to_u64(), Some((ra > rb) as u64));
+        prop_assert_eq!(ops::geq(&va, &vb, signed).to_u64(), Some((ra >= rb) as u64));
+        prop_assert_eq!(ops::eq(&va, &vb, signed).to_u64(), Some((ra == rb) as u64));
+        prop_assert_eq!(ops::neq(&va, &vb, signed).to_u64(), Some((ra != rb) as u64));
+    }
+
+    #[test]
+    fn bitwise_matches_reference(((a, wa), (b, wb)) in (operand(), operand())) {
+        let va = Value::from_u64(a, wa);
+        let vb = Value::from_u64(b, wb);
+        let w = wa.max(wb);
+        prop_assert_eq!(ops::and(&va, &vb, false).to_u64(), Some(a & b));
+        prop_assert_eq!(ops::or(&va, &vb, false).to_u64(), Some(a | b));
+        prop_assert_eq!(ops::xor(&va, &vb, false).to_u64(), Some(a ^ b));
+        prop_assert_eq!(ops::not(&va).to_u64(), Some(!a & low_mask(wa)));
+        let _ = w;
+    }
+
+    #[test]
+    fn shifts_match_reference((a, wa) in operand(), n in 0u32..70) {
+        let va = Value::from_u64(a, wa);
+        let r = ops::shl(&va, n.min(30));
+        prop_assert_eq!(r.to_u128().unwrap(), (a as u128) << n.min(30));
+        let r = ops::shr(&va, n, false);
+        let expect = if n >= 64 { 0 } else { a >> n };
+        prop_assert_eq!(r.to_u64().unwrap(), expect);
+        // arithmetic shift
+        let r = ops::shr(&va, n, true);
+        let sa = as_i128(a, wa);
+        let expect = sa >> n.min(127);
+        let w = wa.saturating_sub(n).max(1);
+        prop_assert_eq!(r.to_i128().unwrap(), {
+            let shift = 128 - w;
+            ((expect << shift) >> shift)
+        });
+    }
+
+    #[test]
+    fn cat_bits_roundtrip(((a, wa), (b, wb)) in (operand(), operand())) {
+        let va = Value::from_u64(a, wa);
+        let vb = Value::from_u64(b, wb);
+        let c = ops::cat(&va, &vb);
+        prop_assert_eq!(c.width(), wa + wb);
+        prop_assert_eq!(ops::bits(&c, wa + wb - 1, wb).to_u64(), Some(a));
+        prop_assert_eq!(ops::bits(&c, wb - 1, 0).to_u64(), Some(b));
+        prop_assert_eq!(ops::head(&c, wa).to_u64(), Some(a));
+        if wa > 0 {
+            prop_assert_eq!(ops::tail(&c, wa).to_u64(), Some(b));
+        }
+    }
+
+    #[test]
+    fn reductions_match_reference((a, wa) in operand()) {
+        let va = Value::from_u64(a, wa);
+        let all = low_mask(wa);
+        prop_assert_eq!(ops::andr(&va).to_u64(), Some((a == all) as u64));
+        prop_assert_eq!(ops::orr(&va).to_u64(), Some((a != 0) as u64));
+        prop_assert_eq!(ops::xorr(&va).to_u64(), Some((a.count_ones() % 2) as u64));
+    }
+
+    #[test]
+    fn wide_values_roundtrip_through_parse(ws in proptest::collection::vec(any::<u64>(), 1..5)) {
+        let width = ws.len() as u32 * 64;
+        let v = Value::from_words(ws, width);
+        let s = format!("{v}");
+        let parsed: Value = s.parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn wide_mul_div_consistent(ws in proptest::collection::vec(any::<u64>(), 1..4),
+                               d in 1u64..u64::MAX) {
+        // (a * d) / d == a for values well inside the result width
+        let width = ws.len() as u32 * 64;
+        let a = Value::from_words(ws, width);
+        let dv = Value::from_u64(d, 64);
+        let prod = ops::mul(&a, &dv, false);
+        let q = ops::div(&prod, &dv.zext_or_trunc(prod.width()), false);
+        prop_assert_eq!(q.zext_or_trunc(width), a);
+    }
+}
+
+fn low_mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}

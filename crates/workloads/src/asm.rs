@@ -1,0 +1,529 @@
+//! Two-pass RV32I-subset assembler.
+//!
+//! Supports exactly the instructions stuCore executes, plus labels and
+//! the common pseudo-instructions. Syntax follows the GNU assembler:
+//!
+//! ```text
+//! start:  addi t0, zero, 10      # comment
+//!         li   t1, 1234
+//! loop:   addi t0, t0, -1
+//!         bne  t0, zero, loop
+//!         ecall
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Parses a register name (`x0`-`x31` or ABI names).
+fn reg(name: &str, line: usize) -> Result<u32, AsmError> {
+    let aliases: [(&str, u32); 33] = [
+        ("zero", 0),
+        ("ra", 1),
+        ("sp", 2),
+        ("gp", 3),
+        ("tp", 4),
+        ("t0", 5),
+        ("t1", 6),
+        ("t2", 7),
+        ("s0", 8),
+        ("fp", 8),
+        ("s1", 9),
+        ("a0", 10),
+        ("a1", 11),
+        ("a2", 12),
+        ("a3", 13),
+        ("a4", 14),
+        ("a5", 15),
+        ("a6", 16),
+        ("a7", 17),
+        ("s2", 18),
+        ("s3", 19),
+        ("s4", 20),
+        ("s5", 21),
+        ("s6", 22),
+        ("s7", 23),
+        ("s8", 24),
+        ("s9", 25),
+        ("s10", 26),
+        ("s11", 27),
+        ("t3", 28),
+        ("t4", 29),
+        ("t5", 30),
+        ("t6", 31),
+    ];
+    if let Some(rest) = name.strip_prefix('x') {
+        if let Ok(n) = rest.parse::<u32>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    aliases
+        .iter()
+        .find(|(a, _)| *a == name)
+        .map(|&(_, n)| n)
+        .ok_or_else(|| AsmError {
+            msg: format!("unknown register {name:?}"),
+            line,
+        })
+}
+
+fn imm(s: &str, labels: &HashMap<String, i64>, pc: i64, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    if let Some(v) = labels.get(s) {
+        return Ok(v - pc); // pc-relative by default (branch/jump use)
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError {
+        msg: format!("bad immediate {s:?}"),
+        line,
+    })?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Absolute value of a label or literal (for `li`-style uses).
+fn abs_imm(s: &str, labels: &HashMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+    if let Some(v) = labels.get(s.trim()) {
+        return Ok(*v);
+    }
+    imm(s, labels, 0, line)
+}
+
+fn enc_r(f7: u32, rs2: u32, rs1: u32, f3: u32, rd: u32, op: u32) -> u32 {
+    (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+}
+
+fn enc_i(immv: i64, rs1: u32, f3: u32, rd: u32, op: u32) -> u32 {
+    ((immv as u32 & 0xfff) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+}
+
+fn enc_s(immv: i64, rs2: u32, rs1: u32, f3: u32, op: u32) -> u32 {
+    let i = immv as u32;
+    ((i >> 5 & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((i & 0x1f) << 7) | op
+}
+
+fn enc_b(immv: i64, rs2: u32, rs1: u32, f3: u32, op: u32) -> u32 {
+    let i = immv as u32;
+    ((i >> 12 & 1) << 31)
+        | ((i >> 5 & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | ((i >> 1 & 0xf) << 8)
+        | ((i >> 11 & 1) << 7)
+        | op
+}
+
+fn enc_u(immv: i64, rd: u32, op: u32) -> u32 {
+    (immv as u32 & 0xffff_f000) | (rd << 7) | op
+}
+
+fn enc_j(immv: i64, rd: u32, op: u32) -> u32 {
+    let i = immv as u32;
+    ((i >> 20 & 1) << 31)
+        | ((i >> 1 & 0x3ff) << 21)
+        | ((i >> 11 & 1) << 20)
+        | ((i >> 12 & 0xff) << 12)
+        | (rd << 7)
+        | op
+}
+
+/// Splits an `offset(base)` operand.
+fn mem_operand(s: &str, line: usize) -> Result<(String, String), AsmError> {
+    let open = s.find('(').ok_or_else(|| AsmError {
+        msg: format!("expected offset(base), got {s:?}"),
+        line,
+    })?;
+    let close = s.rfind(')').ok_or_else(|| AsmError {
+        msg: "missing ')'".into(),
+        line,
+    })?;
+    Ok((s[..open].trim().to_string(), s[open + 1..close].trim().to_string()))
+}
+
+/// Expanded source line (post-pseudo-expansion word count).
+fn words_for_line(mnemonic: &str) -> usize {
+    match mnemonic {
+        "li" => 2, // worst case lui+addi; pass 2 always emits 2 for stability
+        _ => 1,
+    }
+}
+
+/// Assembles source into 32-bit instruction words (origin 0).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for unknown mnemonics, bad operands, or
+/// out-of-range immediates.
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: label addresses.
+    let mut labels: HashMap<String, i64> = HashMap::new();
+    let mut pc = 0i64;
+    for (ln, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !label.is_empty() {
+                labels.insert(label.to_string(), pc);
+                rest = after[1..].trim();
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mnemonic = rest.split_whitespace().next().unwrap_or("");
+        pc += 4 * words_for_line(mnemonic) as i64;
+        let _ = ln;
+    }
+
+    // Pass 2: encode.
+    let mut out: Vec<u32> = Vec::new();
+    let mut pc = 0i64;
+    for (ln, raw) in src.lines().enumerate() {
+        let lineno = ln + 1;
+        let mut text = strip_comment(raw).trim();
+        while let Some(colon) = text.find(':') {
+            let (label, after) = text.split_at(colon);
+            if label.trim().chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !label.trim().is_empty()
+            {
+                text = after[1..].trim();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, args_text) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let args: Vec<String> = if args_text.is_empty() {
+            vec![]
+        } else {
+            args_text.split(',').map(|a| a.trim().to_string()).collect()
+        };
+        let nargs = args.len();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if nargs != n {
+                Err(AsmError {
+                    msg: format!("{mnemonic} expects {n} operands, got {nargs}"),
+                    line: lineno,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let rg = |i: usize| reg(&args[i], lineno);
+        match mnemonic {
+            // R-type
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" => {
+                need(3)?;
+                let (rd, rs1, rs2) = (rg(0)?, rg(1)?, rg(2)?);
+                let (f3, f7) = match mnemonic {
+                    "add" => (0, 0),
+                    "sub" => (0, 0x20),
+                    "sll" => (1, 0),
+                    "slt" => (2, 0),
+                    "sltu" => (3, 0),
+                    "xor" => (4, 0),
+                    "srl" => (5, 0),
+                    "sra" => (5, 0x20),
+                    "or" => (6, 0),
+                    _ => (7, 0),
+                };
+                out.push(enc_r(f7, rs2, rs1, f3, rd, 0x33));
+                pc += 4;
+            }
+            // I-type ALU
+            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+                need(3)?;
+                let (rd, rs1) = (rg(0)?, rg(1)?);
+                let iv = imm(&args[2], &HashMap::new(), 0, lineno)?;
+                check_range(iv, -2048, 2047, lineno)?;
+                let f3 = match mnemonic {
+                    "addi" => 0,
+                    "slti" => 2,
+                    "sltiu" => 3,
+                    "xori" => 4,
+                    "ori" => 6,
+                    _ => 7,
+                };
+                out.push(enc_i(iv, rs1, f3, rd, 0x13));
+                pc += 4;
+            }
+            "slli" | "srli" | "srai" => {
+                need(3)?;
+                let (rd, rs1) = (rg(0)?, rg(1)?);
+                let sh = imm(&args[2], &HashMap::new(), 0, lineno)?;
+                check_range(sh, 0, 31, lineno)?;
+                let (f3, f7) = match mnemonic {
+                    "slli" => (1, 0),
+                    "srli" => (5, 0),
+                    _ => (5, 0x20),
+                };
+                out.push(enc_r(f7, sh as u32, rs1, f3, rd, 0x13));
+                pc += 4;
+            }
+            "lw" => {
+                need(2)?;
+                let rd = rg(0)?;
+                let (off, base) = mem_operand(&args[1], lineno)?;
+                let iv = imm(&off, &HashMap::new(), 0, lineno)?;
+                let rs1 = reg(&base, lineno)?;
+                out.push(enc_i(iv, rs1, 2, rd, 0x03));
+                pc += 4;
+            }
+            "sw" => {
+                need(2)?;
+                let rs2 = rg(0)?;
+                let (off, base) = mem_operand(&args[1], lineno)?;
+                let iv = imm(&off, &HashMap::new(), 0, lineno)?;
+                let rs1 = reg(&base, lineno)?;
+                out.push(enc_s(iv, rs2, rs1, 2, 0x23));
+                pc += 4;
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let (rs1, rs2) = (rg(0)?, rg(1)?);
+                let target = imm(&args[2], &labels, pc, lineno)?;
+                check_range(target, -4096, 4095, lineno)?;
+                let f3 = match mnemonic {
+                    "beq" => 0,
+                    "bne" => 1,
+                    "blt" => 4,
+                    "bge" => 5,
+                    "bltu" => 6,
+                    _ => 7,
+                };
+                out.push(enc_b(target, rs2, rs1, f3, 0x63));
+                pc += 4;
+            }
+            "lui" => {
+                need(2)?;
+                let rd = rg(0)?;
+                let iv = abs_imm(&args[1], &labels, lineno)?;
+                out.push(enc_u(iv << 12, rd, 0x37));
+                pc += 4;
+            }
+            "auipc" => {
+                need(2)?;
+                let rd = rg(0)?;
+                let iv = abs_imm(&args[1], &labels, lineno)?;
+                out.push(enc_u(iv << 12, rd, 0x17));
+                pc += 4;
+            }
+            "jal" => {
+                // jal rd, label  |  jal label (rd = ra)
+                let (rd, target) = if nargs == 2 {
+                    (rg(0)?, imm(&args[1], &labels, pc, lineno)?)
+                } else {
+                    need(1)?;
+                    (1, imm(&args[0], &labels, pc, lineno)?)
+                };
+                out.push(enc_j(target, rd, 0x6f));
+                pc += 4;
+            }
+            "jalr" => {
+                // jalr rd, offset(rs1) | jalr rs1
+                if nargs == 1 {
+                    let rs1 = rg(0)?;
+                    out.push(enc_i(0, rs1, 0, 1, 0x67));
+                } else {
+                    need(2)?;
+                    let rd = rg(0)?;
+                    let (off, base) = mem_operand(&args[1], lineno)?;
+                    let iv = imm(&off, &HashMap::new(), 0, lineno)?;
+                    let rs1 = reg(&base, lineno)?;
+                    out.push(enc_i(iv, rs1, 0, rd, 0x67));
+                }
+                pc += 4;
+            }
+            "ecall" => {
+                need(0)?;
+                out.push(0x0000_0073);
+                pc += 4;
+            }
+            // pseudo-instructions
+            "nop" => {
+                need(0)?;
+                out.push(enc_i(0, 0, 0, 0, 0x13));
+                pc += 4;
+            }
+            "mv" => {
+                need(2)?;
+                let (rd, rs) = (rg(0)?, rg(1)?);
+                out.push(enc_i(0, rs, 0, rd, 0x13));
+                pc += 4;
+            }
+            "j" => {
+                need(1)?;
+                let target = imm(&args[0], &labels, pc, lineno)?;
+                out.push(enc_j(target, 0, 0x6f));
+                pc += 4;
+            }
+            "ret" => {
+                need(0)?;
+                out.push(enc_i(0, 1, 0, 0, 0x67));
+                pc += 4;
+            }
+            "beqz" | "bnez" => {
+                need(2)?;
+                let rs1 = rg(0)?;
+                let target = imm(&args[1], &labels, pc, lineno)?;
+                let f3 = if mnemonic == "beqz" { 0 } else { 1 };
+                out.push(enc_b(target, 0, rs1, f3, 0x63));
+                pc += 4;
+            }
+            "li" => {
+                // Always two words (lui+addi) so label addresses from
+                // pass 1 stay correct.
+                need(2)?;
+                let rd = rg(0)?;
+                let v = abs_imm(&args[1], &labels, lineno)? as i32;
+                let lo = (v << 20) >> 20; // sign-extended low 12
+                let hi = (v as i64 - lo as i64) >> 12;
+                out.push(enc_u((hi << 12) as i64, rd, 0x37));
+                out.push(enc_i(lo as i64, rd, 0, rd, 0x13));
+                pc += 8;
+            }
+            other => {
+                return Err(AsmError {
+                    msg: format!("unknown mnemonic {other:?}"),
+                    line: lineno,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn check_range(v: i64, lo: i64, hi: i64, line: usize) -> Result<(), AsmError> {
+    if v < lo || v > hi {
+        return Err(AsmError {
+            msg: format!("immediate {v} out of range [{lo}, {hi}]"),
+            line,
+        });
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Assembled words as `u64`s (the simulator memory-image type).
+pub fn assemble_u64(src: &str) -> Result<Vec<u64>, AsmError> {
+    Ok(assemble(src)?.into_iter().map(u64::from).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_instructions() {
+        // cross-checked against GNU as output
+        assert_eq!(assemble("addi x1, x0, 5").unwrap(), vec![0x0050_0093]);
+        assert_eq!(assemble("add x10, x1, x2").unwrap(), vec![0x0020_8533]);
+        assert_eq!(assemble("ecall").unwrap(), vec![0x0000_0073]);
+        assert_eq!(assemble("sw x1, 0(x2)").unwrap(), vec![0x0011_2023]);
+        assert_eq!(assemble("lw x10, 0(x2)").unwrap(), vec![0x0001_2503]);
+        assert_eq!(assemble("sub x3, x4, x5").unwrap(), vec![0x4052_01b3]);
+        assert_eq!(assemble("srai x1, x1, 3").unwrap(), vec![0x4030_d093]);
+        assert_eq!(assemble("lui x5, 0x12345").unwrap(), vec![0x1234_52b7]);
+    }
+
+    #[test]
+    fn branch_offsets_resolve() {
+        let code = assemble(
+            "addi x1, x0, 3\nloop: addi x1, x1, -1\nbne x1, x0, loop\necall",
+        )
+        .unwrap();
+        assert_eq!(code[2], 0xfe00_9ee3); // bne x1, x0, -4
+    }
+
+    #[test]
+    fn forward_branches_resolve() {
+        let code = assemble("beq x0, x0, done\nnop\ndone: ecall").unwrap();
+        // offset +8
+        assert_eq!(code[0], enc_b(8, 0, 0, 0, 0x63));
+    }
+
+    #[test]
+    fn li_expands_to_two_words() {
+        let code = assemble("li a0, 0x12345678").unwrap();
+        assert_eq!(code.len(), 2);
+        // lui sets the (rounded) upper part; addi adds the low part.
+        let upper = code[0] & 0xffff_f000;
+        let low = (code[1] as i32) >> 20;
+        let value = (upper as i64 + low as i64) as u32;
+        assert_eq!(value, 0x1234_5678);
+        // negative low half rounds the lui up
+        let code = assemble("li a0, 0x12345fff").unwrap();
+        let upper = code[0] & 0xffff_f000;
+        let low = (code[1] as i32) >> 20;
+        assert_eq!((upper as i64 + low as i64) as u32, 0x1234_5fff);
+    }
+
+    #[test]
+    fn abi_names_work() {
+        let a = assemble("add a0, t0, s1").unwrap();
+        let b = assemble("add x10, x5, x9").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus x1, x2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+        let err = assemble("addi x1, x0, 99999").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        let err = assemble("add x32, x0, x0").unwrap_err();
+        assert!(err.to_string().contains("register"));
+    }
+
+    #[test]
+    fn labels_on_own_line() {
+        let code = assemble("start:\n  addi x1, x0, 1\n  j start\n").unwrap();
+        assert_eq!(code.len(), 2);
+        assert_eq!(code[1], enc_j(-4, 0, 0x6f));
+    }
+}

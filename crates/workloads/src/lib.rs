@@ -1,0 +1,27 @@
+//! Software workloads for the GSIM evaluation.
+//!
+//! The paper runs CoreMark, Linux boot, and SPEC CPU2006 SimPoint
+//! checkpoints. This crate provides their stand-ins at two levels:
+//!
+//! * [`asm`] — an RV32I-subset assembler (two-pass, labels, ABI
+//!   register names) producing machine code for the real `stuCore` CPU.
+//! * [`programs`] — real programs assembled for stuCore:
+//!   `coremark_mini` (hot arithmetic/branch/memory loop with a
+//!   checksum, mirroring CoreMark's hot-spot profile), `linux_boot_mini`
+//!   (irregular pointer-chasing over a large working set, mirroring
+//!   Linux boot's flat profile), plus smaller kernels (`fib`,
+//!   `bubble_sort`, `memcpy`).
+//! * [`stimulus`] — opcode-stream profiles for the synthetic cores:
+//!   hot-loop (CoreMark-like), irregular (Linux-like), and 12
+//!   SPEC-CPU2006-checkpoint personalities with distinct
+//!   activity/locality/mix parameters (Figure 7's x-axis).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod programs;
+pub mod stimulus;
+
+pub use asm::{assemble, AsmError};
+pub use stimulus::{spec_profiles, Profile, Stimulus};

@@ -1,0 +1,65 @@
+//! Compare every simulator preset on the same design and workload —
+//! a miniature of the paper's Figure 6.
+//!
+//! ```sh
+//! cargo run --release --example compare_simulators
+//! ```
+
+use gsim::{Compiler, Preset};
+use gsim_designs::SynthParams;
+use gsim_workloads::Profile;
+use std::time::Instant;
+
+fn main() {
+    // A Rocket-class synthetic core (~6k nodes) under a CoreMark-like
+    // instruction stream.
+    let params = SynthParams::for_target("Rocket", 6_000);
+    let graph = gsim_designs::synth_core(&params);
+    println!(
+        "design: {} nodes, {} edges\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let cycles = 5_000u64;
+    let presets = [
+        Preset::Verilator,
+        Preset::VerilatorMt(2),
+        Preset::VerilatorMt(4),
+        Preset::Essent,
+        Preset::Arcilator,
+        Preset::Gsim,
+    ];
+
+    let mut baseline_hz = None;
+    println!(
+        "{:<16} {:>10} {:>9} {:>10} {:>12}",
+        "simulator", "speed", "speedup", "af", "signature"
+    );
+    for preset in presets {
+        let (mut sim, report) = Compiler::new(&graph).preset(preset).build().unwrap();
+        let mut stim = Profile::coremark().stimulus(1, 99);
+        sim.poke_u64("reset", 1).unwrap();
+        sim.run(2);
+        sim.poke_u64("reset", 0).unwrap();
+        sim.reset_counters();
+        let start = Instant::now();
+        for _ in 0..cycles {
+            let ops = stim.next_cycle();
+            sim.poke_u64("op_in_0", ops[0]).unwrap();
+            sim.step();
+        }
+        let hz = cycles as f64 / start.elapsed().as_secs_f64();
+        let base = *baseline_hz.get_or_insert(hz);
+        // All presets must agree bit-for-bit on the design state.
+        let signature = sim.peek_u64("signature").unwrap();
+        println!(
+            "{:<16} {:>7.1} kHz {:>8.2}x {:>9.1}% {:>12x}",
+            preset.name(),
+            hz / 1e3,
+            hz / base,
+            sim.counters().activity_factor(report.nodes_after) * 100.0,
+            signature
+        );
+    }
+}

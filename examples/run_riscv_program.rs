@@ -1,0 +1,77 @@
+//! Run real RISC-V machine code on the stuCore CPU under GSIM.
+//!
+//! Assembles an RV32I program with the bundled assembler, loads it into
+//! stuCore's instruction memory, and simulates until `ecall`.
+//!
+//! ```sh
+//! cargo run --release --example run_riscv_program
+//! ```
+
+use gsim::{Compiler, Preset};
+use gsim_workloads::asm;
+
+const PROGRAM: &str = r#"
+        # sum of squares 1..20, computed with shift-and-add multiply
+        li   s0, 20          # n
+        li   a0, 0           # accumulator
+        li   t0, 1           # i
+outer:  mv   t1, t0          # multiplicand
+        mv   t2, t0          # multiplier
+        li   t3, 0           # product
+mul:    andi t4, t2, 1
+        beqz t4, shift
+        add  t3, t3, t1
+shift:  slli t1, t1, 1
+        srli t2, t2, 1
+        bnez t2, mul
+        add  a0, a0, t3
+        addi t0, t0, 1
+        bge  s0, t0, outer
+        ecall
+"#;
+
+fn main() {
+    let image = asm::assemble_u64(PROGRAM).expect("assembles");
+    println!("assembled {} instructions", image.len());
+
+    let graph = gsim_designs::stu_core();
+    let (mut sim, report) = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build()
+        .expect("stuCore compiles");
+    println!(
+        "stuCore: {} nodes optimized to {}, {} supernodes",
+        report.nodes_before, report.nodes_after, report.supernodes
+    );
+
+    sim.load_mem("imem", &image).unwrap();
+    sim.poke_u64("reset", 1).unwrap();
+    sim.run(2);
+    sim.poke_u64("reset", 0).unwrap();
+
+    let start = std::time::Instant::now();
+    let mut cycles = 0u64;
+    while sim.peek_u64("halt") != Some(1) && cycles < 100_000 {
+        sim.run(64);
+        cycles += 64;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(sim.peek_u64("halt"), Some(1), "program must halt");
+
+    let result = sim.peek_u64("result").unwrap();
+    let expected: u64 = (1..=20u64).map(|i| i * i).sum();
+    println!(
+        "a0 = {result} (expected {expected}), {} cycles at {:.0} kHz",
+        sim.cycle(),
+        sim.cycle() as f64 / secs / 1e3
+    );
+    assert_eq!(result, expected);
+
+    // Registers are architecturally visible through the memory API.
+    for r in [5u64, 6, 10] {
+        println!(
+            "  x{r:<2} = {}",
+            sim.read_mem("regfile", r).unwrap().to_u64().unwrap()
+        );
+    }
+}

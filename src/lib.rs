@@ -1,0 +1,1 @@
+//! Root facade; see the `gsim` crate for the public API.
