@@ -5,7 +5,9 @@ use gsim::{Compiler, Preset};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_spec");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let params = gsim_designs::SynthParams::for_target("XiangShan", 8_000);
     let graph = gsim_designs::synth_core(&params);
     let (mut sim, _) = Compiler::new(&graph).preset(Preset::Gsim).build().unwrap();

@@ -6,7 +6,9 @@ use gsim_workloads::Profile;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_breakdown");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let params = gsim_designs::SynthParams::for_target("BOOM", 5_000);
     let graph = gsim_designs::synth_core(&params);
     for (name, opts) in OptOptions::staircase() {

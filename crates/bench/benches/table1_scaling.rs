@@ -7,7 +7,9 @@ use gsim_workloads::Profile;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_scaling");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     for design in gsim_designs::paper_suite(0.005) {
         let (mut sim, _) = Compiler::new(&design.graph)
             .preset(Preset::Verilator)

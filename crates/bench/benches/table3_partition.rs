@@ -5,7 +5,9 @@ use gsim_partition::{build, Algorithm, PartitionOptions};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_partition");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let params = gsim_designs::SynthParams::for_target("BOOM", 8_000);
     let graph = gsim_designs::synth_core(&params);
     for alg in [

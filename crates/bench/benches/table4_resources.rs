@@ -6,7 +6,9 @@ use gsim_partition::PartitionOptions;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_resources");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let params = gsim_designs::SynthParams::for_target("Rocket", 5_000);
     let graph = gsim_designs::synth_core(&params);
     group.bench_function("emit_full_cycle", |b| {

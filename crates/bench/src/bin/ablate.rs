@@ -11,25 +11,35 @@ fn main() {
     let cycles = 20_000;
     let mut variants: Vec<(&str, OptOptions)> = Vec::new();
     variants.push(("full-gsim", OptOptions::all()));
-    let mut v = OptOptions::all(); v.bit_split = false;
+    let mut v = OptOptions::all();
+    v.bit_split = false;
     variants.push(("no-bitsplit", v));
-    let mut v = OptOptions::all(); v.node_extract = false;
+    let mut v = OptOptions::all();
+    v.node_extract = false;
     variants.push(("no-extract", v));
-    let mut v = OptOptions::all(); v.node_inline = false;
+    let mut v = OptOptions::all();
+    v.node_inline = false;
     variants.push(("no-inline", v));
-    let mut v = OptOptions::all(); v.activation_cost_model = false;
+    let mut v = OptOptions::all();
+    v.activation_cost_model = false;
     variants.push(("no-actmodel", v));
-    let mut v = OptOptions::all(); v.check_multiple_bits = false;
+    let mut v = OptOptions::all();
+    v.check_multiple_bits = false;
     variants.push(("no-wordskip", v));
-    let mut v = OptOptions::all(); v.supernode = SupernodeChoice::Mffc;
+    let mut v = OptOptions::all();
+    v.supernode = SupernodeChoice::Mffc;
     variants.push(("gsim+mffc", v));
     let mut v = OptOptions::all();
-    v.expression_simplify = false; v.redundant_elim = false; v.node_inline = false;
-    v.node_extract = false; v.bit_split = false;
+    v.expression_simplify = false;
+    v.redundant_elim = false;
+    v.node_inline = false;
+    v.node_extract = false;
+    v.bit_split = false;
     variants.push(("no-passes", v));
     // essent preset equivalent
     let mut v = OptOptions::none();
-    v.redundant_elim = true; v.supernode = SupernodeChoice::Mffc;
+    v.redundant_elim = true;
+    v.supernode = SupernodeChoice::Mffc;
     variants.push(("essent-like", v));
     for (name, opts) in variants {
         let s = measure_options(&graph, opts, &wl, cycles);

@@ -85,7 +85,10 @@ pub fn table1(suite: &[SuiteDesign], cfg: &Config) -> Vec<Table1Row> {
 /// Prints Table I.
 pub fn print_table1(rows: &[Table1Row]) {
     println!("Table I: Verilator-like (single thread) simulation speed");
-    println!("{:<12} {:>10} {:>10} {:>14}", "Name", "IR node", "IR edge", "Speed");
+    println!(
+        "{:<12} {:>10} {:>10} {:>14}",
+        "Name", "IR node", "IR edge", "Speed"
+    );
     for r in rows {
         println!(
             "{:<12} {:>10} {:>10} {:>12}",
@@ -200,7 +203,10 @@ pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
 /// Prints Figure 7.
 pub fn print_fig7(rows: &[Fig7Row]) {
     println!("Figure 7: SPEC CPU2006 checkpoints on XiangShan-like core");
-    println!("{:<22} {:>12} {:>12} {:>8}", "checkpoint", "Verilator-4T", "Verilator-8T", "GSIM");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}",
+        "checkpoint", "Verilator-4T", "Verilator-8T", "GSIM"
+    );
     for r in rows {
         println!(
             "{:<22} {:>12.2} {:>12.2} {:>8.2}",

@@ -59,7 +59,10 @@ pub fn measure_options(
     workload: &WorkloadKind,
     cycles: u64,
 ) -> RunStats {
-    let (mut sim, report) = Compiler::new(graph).options(opts).build().expect("compiles");
+    let (mut sim, report) = Compiler::new(graph)
+        .options(opts)
+        .build()
+        .expect("compiles");
     drive(&mut sim, report, workload, cycles)
 }
 
@@ -74,7 +77,10 @@ pub fn measure_preset(
     workload: &WorkloadKind,
     cycles: u64,
 ) -> RunStats {
-    let (mut sim, report) = Compiler::new(graph).preset(preset).build().expect("compiles");
+    let (mut sim, report) = Compiler::new(graph)
+        .preset(preset)
+        .build()
+        .expect("compiles");
     drive(&mut sim, report, workload, cycles)
 }
 

@@ -49,8 +49,8 @@ fn main() {
         std::process::exit(2);
     };
 
-    let src = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let graph = gsim_firrtl::compile(&src).unwrap_or_else(|e| die(&e));
 
     let mut compiler = Compiler::new(&graph).preset(preset);

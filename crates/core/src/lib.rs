@@ -339,11 +339,12 @@ impl<'g> Compiler<'g> {
         let start = Instant::now();
         let nodes_before = self.graph.num_nodes();
         let edges_before = self.graph.num_edges();
-        let (optimized, pass_stats) = gsim_passes::run(self.graph.clone(), &self.opts.pass_options());
+        let (optimized, pass_stats) =
+            gsim_passes::run(self.graph.clone(), &self.opts.pass_options());
         let nodes_after = optimized.num_nodes();
         let edges_after = optimized.num_edges();
-        let sim = Simulator::compile(&optimized, &self.opts.sim_options())
-            .map_err(|e| e.to_string())?;
+        let sim =
+            Simulator::compile(&optimized, &self.opts.sim_options()).map_err(|e| e.to_string())?;
         let report = CompileReport {
             nodes_before,
             edges_before,
@@ -432,7 +433,10 @@ circuit R :
         // the whole design folds to an alias: zero instructions is legal
         assert!(report.supernodes > 0);
         assert!(report.state_bytes > 0);
-        let (_, raw) = Compiler::new(&graph).preset(Preset::Verilator).build().unwrap();
+        let (_, raw) = Compiler::new(&graph)
+            .preset(Preset::Verilator)
+            .build()
+            .unwrap();
         assert_eq!(raw.nodes_after, raw.nodes_before);
     }
 

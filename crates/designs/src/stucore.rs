@@ -279,10 +279,7 @@ mod tests {
             }
         }
         assert_eq!(sim.peek_u64("result"), Some(42));
-        assert_eq!(
-            sim.mem_word_by_name("dmem", 16).unwrap().to_u64(),
-            Some(42)
-        );
+        assert_eq!(sim.mem_word_by_name("dmem", 16).unwrap().to_u64(), Some(42));
     }
 
     /// Branch loop: count down from 3.

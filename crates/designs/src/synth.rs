@@ -153,8 +153,12 @@ pub fn synth_core(params: &SynthParams) -> Graph {
         for f in 0..params.fus_per_lane {
             let is_f_raw = b.comb(
                 format!("l{lane}.fu{f}.sel"),
-                Expr::prim(PrimOp::Bits, vec![r(onehot, onehot_w)], vec![f as u32, f as u32])
-                    .expect("onehot bit"),
+                Expr::prim(
+                    PrimOp::Bits,
+                    vec![r(onehot, onehot_w)],
+                    vec![f as u32, f as u32],
+                )
+                .expect("onehot bit"),
             );
             let en = b.comb(
                 format!("l{lane}.fu{f}.en"),
@@ -164,8 +168,12 @@ pub fn synth_core(params: &SynthParams) -> Graph {
             let hold = b.reg(format!("l{lane}.fu{f}.in"), 32, false);
             b.set_reg_next(
                 hold,
-                Expr::prim(PrimOp::Mux, vec![r(en, 1), r(opnd, 32), r(hold, 32)], vec![])
-                    .expect("mux"),
+                Expr::prim(
+                    PrimOp::Mux,
+                    vec![r(en, 1), r(opnd, 32), r(hold, 32)],
+                    vec![],
+                )
+                .expect("mux"),
             );
             // Logic chains.
             let mut chain_ends: Vec<NodeId> = Vec::new();
@@ -315,11 +323,7 @@ pub fn synth_core(params: &SynthParams) -> Graph {
             )
             .expect("mux"),
         );
-        lane_signatures.push(trunc32(p2(
-            PrimOp::Xor,
-            r(retire, 32),
-            r(miss_ctr, 32),
-        )));
+        lane_signatures.push(trunc32(p2(PrimOp::Xor, r(retire, 32), r(miss_ctr, 32))));
     }
 
     // Outputs: fold lane signatures so everything is live.
@@ -340,7 +344,11 @@ mod tests {
 
     #[test]
     fn generator_hits_target_sizes() {
-        for (name, target) in [("Rocket", 6_000usize), ("BOOM", 12_000), ("XiangShan", 25_000)] {
+        for (name, target) in [
+            ("Rocket", 6_000usize),
+            ("BOOM", 12_000),
+            ("XiangShan", 25_000),
+        ] {
             let p = SynthParams::for_target(name, target);
             let g = synth_core(&p);
             g.validate().unwrap();

@@ -1,0 +1,584 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate (API subset).
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the surface its property tests use: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, [`any`], [`strategy::Just`], range
+//! and tuple strategies, [`collection::vec`], the [`proptest!`] macro
+//! (with `#![proptest_config(..)]`), and `prop_assert!`/
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test RNG and failures are **not shrunk** — the
+//! failing input is printed as-is. Set `PROPTEST_CASES` to override the
+//! case count, and `PROPTEST_SEED` to reproduce a specific run.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+
+/// Runtime configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error produced by a failing `prop_assert*!`.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type threaded through `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The random source handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A recipe for generating random values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply draws a fresh value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> strategy::FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        strategy::FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> strategy::Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        strategy::Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.whence)
+        }
+    }
+
+    /// Equal-weight choice among boxed strategies; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        variants: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the variant list. Panics if empty.
+        pub fn new(variants: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof!: no variants");
+            Union { variants }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_range(0..self.variants.len());
+            self.variants[idx].new_value(rng)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+/// Types with a canonical "uniform-ish" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T`, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive length bounds for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Just;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+    use rand::SeedableRng;
+
+    /// Derive the per-test seed: `PROPTEST_SEED` env override, else a
+    /// stable hash of the test name.
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        // FNV-1a over the test name keeps runs deterministic but
+        // de-correlates tests from one another.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Number of cases: `PROPTEST_CASES` env override, else the config.
+    pub fn cases_for(config: &ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases)
+    }
+
+    /// Run one test body across `cases` random inputs.
+    pub fn run<I: std::fmt::Debug>(
+        test_name: &str,
+        config: &ProptestConfig,
+        gen_input: impl Fn(&mut TestRng) -> I,
+        body: impl Fn(I) -> Result<(), TestCaseError>,
+    ) {
+        let seed = seed_for(test_name);
+        let mut rng = TestRng::seed_from_u64(seed);
+        for case in 0..cases_for(config) {
+            let input = gen_input(&mut rng);
+            let repr = format!("{input:?}");
+            if let Err(e) = body(input) {
+                panic!(
+                    "proptest: {test_name} failed at case {case} (seed {seed}):\n  \
+                     input: {repr}\n  {e}"
+                );
+            }
+        }
+    }
+}
+
+/// Equal-weight choice among strategies with a common value type,
+/// mirroring `proptest::prop_oneof!` (weighted variants unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ::std::boxed::Box::new($strat), )+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, returning a
+/// `TestCaseError` (not panicking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Supported argument forms: `pattern in strategy_expr` and
+/// `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional config attribute, then test fns.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests [$config] $($rest)*);
+    };
+    (#[test] $($rest:tt)*) => {
+        $crate::proptest!(@tests [$crate::ProptestConfig::default()] #[test] $($rest)*);
+    };
+
+    // One test fn at a time.
+    (@tests [$config:expr]) => {};
+    (@tests [$config:expr]
+     #[test]
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::proptest!(@parse config, stringify!($name), $body, [] [] $($args)*);
+        }
+        $crate::proptest!(@tests [$config] $($rest)*);
+    };
+
+    // Argument muncher: accumulate [patterns] [strategies].
+    (@parse $config:ident, $tname:expr, $body:block, [$($pats:pat_param,)*] [$($strats:expr,)*]) => {
+        $crate::__rt::run(
+            $tname,
+            &$config,
+            |rng| {
+                use $crate::Strategy as _;
+                ( $( ($strats).new_value(rng), )* )
+            },
+            |( $($pats,)* )| { $body Ok(()) },
+        );
+    };
+    (@parse $config:ident, $tname:expr, $body:block, [$($pats:pat_param,)*] [$($strats:expr,)*]
+     $name:ident : $ty:ty) => {
+        $crate::proptest!(@parse $config, $tname, $body,
+            [$($pats,)* $name,] [$($strats,)* $crate::any::<$ty>(),]);
+    };
+    (@parse $config:ident, $tname:expr, $body:block, [$($pats:pat_param,)*] [$($strats:expr,)*]
+     $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::proptest!(@parse $config, $tname, $body,
+            [$($pats,)* $name,] [$($strats,)* $crate::any::<$ty>(),] $($rest)*);
+    };
+    (@parse $config:ident, $tname:expr, $body:block, [$($pats:pat_param,)*] [$($strats:expr,)*]
+     $pat:pat_param in $strat:expr) => {
+        $crate::proptest!(@parse $config, $tname, $body,
+            [$($pats,)* $pat,] [$($strats,)* $strat,]);
+    };
+    (@parse $config:ident, $tname:expr, $body:block, [$($pats:pat_param,)*] [$($strats:expr,)*]
+     $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        $crate::proptest!(@parse $config, $tname, $body,
+            [$($pats,)* $pat,] [$($strats,)* $strat,] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u32)> {
+        (1u32..=60).prop_flat_map(|w| {
+            let mask = (1u64 << w) - 1;
+            (any::<u64>().prop_map(move |x| x & mask), Just(w))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn flat_mapped_values_respect_width((x, w) in pair()) {
+            prop_assert!((1..=60).contains(&w));
+            prop_assert_eq!(x & !((1u64 << w) - 1), 0);
+        }
+
+        #[test]
+        fn mixed_args_and_vec_lengths(v in crate::collection::vec(any::<u8>(), 3..7), flag: bool) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_draws_every_variant(picks in crate::collection::vec(prop_oneof![
+            Just(0u8),
+            Just(1u8),
+            Just(2u8),
+        ], 64..=64)) {
+            for p in &picks {
+                prop_assert!(*p <= 2);
+            }
+            // 64 draws from 3 equal variants miss one with prob < 1e-6.
+            for variant in 0u8..3 {
+                prop_assert!(picks.contains(&variant), "variant {} never drawn", variant);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "boom at case")]
+        fn failing_case_is_reported(x in 0u32..10) {
+            prop_assert!(x < 5, "boom at case with x={}", x);
+        }
+    }
+}

@@ -82,9 +82,7 @@ pub fn lower(circuit: &Circuit) -> Result<gsim_graph::Graph, LowerError> {
 /// # Errors
 ///
 /// See [`LowerError`].
-pub fn lower_with_stats(
-    circuit: &Circuit,
-) -> Result<(gsim_graph::Graph, LowerStats), LowerError> {
+pub fn lower_with_stats(circuit: &Circuit) -> Result<(gsim_graph::Graph, LowerStats), LowerError> {
     let top = circuit
         .top()
         .ok_or_else(|| LowerError::MissingTop(circuit.name.clone()))?;
@@ -122,7 +120,10 @@ pub fn lower_with_stats(
         .node_ids()
         .filter(|&id| {
             ctx.builder.is_pending(id)
-                && !matches!(ctx.builder.graph().node(id).kind, gsim_graph::NodeKind::Input)
+                && !matches!(
+                    ctx.builder.graph().node(id).kind,
+                    gsim_graph::NodeKind::Input
+                )
         })
         .collect();
     for id in pending {
@@ -191,7 +192,12 @@ impl Lowerer<'_> {
     /// Elaborates one module instance: declares everything, resolves
     /// connects, installs drivers. `prefix` is the hierarchical name
     /// prefix (`""` for top, `"core."` for instance `core`).
-    fn elaborate(&mut self, module: &Module, prefix: &str, env: &mut Env) -> Result<(), LowerError> {
+    fn elaborate(
+        &mut self,
+        module: &Module,
+        prefix: &str,
+        env: &mut Env,
+    ) -> Result<(), LowerError> {
         // Registers needing a mux-based reset fallback: (reg, cond, init).
         let mut mux_resets: Vec<(NodeId, Expr, Expr)> = Vec::new();
         self.declare_stmts(&module.body, prefix, env, &mut mux_resets)?;
@@ -352,7 +358,12 @@ impl Lowerer<'_> {
         Ok(())
     }
 
-    fn declare_mem(&mut self, decl: &MemDecl, prefix: &str, env: &mut Env) -> Result<(), LowerError> {
+    fn declare_mem(
+        &mut self,
+        decl: &MemDecl,
+        prefix: &str,
+        env: &mut Env,
+    ) -> Result<(), LowerError> {
         if matches!(decl.data_type, Type::Clock) {
             return Err(LowerError::Unsupported("Clock-typed memory".into()));
         }
@@ -420,7 +431,10 @@ impl Lowerer<'_> {
             self.builder.set_driver(mask, Expr::const_u64(1, 1));
             let en_expr = Expr::prim(
                 PrimOp::And,
-                vec![Expr::reference(en, 1, false), Expr::reference(mask, 1, false)],
+                vec![
+                    Expr::reference(en, 1, false),
+                    Expr::reference(mask, 1, false),
+                ],
                 vec![],
             )
             .map_err(|e| LowerError::Width(e.to_string()))?;
@@ -464,7 +478,12 @@ impl Lowerer<'_> {
                         let key = path.join(".");
                         if let Some(sig) = env.get(&key) {
                             if sig.connectable {
-                                set_current(scopes, base, sig.node, const_of(sig.width, sig.signed));
+                                set_current(
+                                    scopes,
+                                    base,
+                                    sig.node,
+                                    const_of(sig.width, sig.signed),
+                                );
                             }
                         }
                     }
@@ -485,13 +504,20 @@ impl Lowerer<'_> {
                     self.connect_stmts(else_body, env, scopes, base)?;
                     let else_scope = scopes.pop().expect("pushed");
 
-                    let mut keys: Vec<NodeId> = then_scope.keys().chain(else_scope.keys()).copied().collect();
+                    let mut keys: Vec<NodeId> = then_scope
+                        .keys()
+                        .chain(else_scope.keys())
+                        .copied()
+                        .collect();
                     keys.sort_unstable();
                     keys.dedup();
                     for node in keys {
                         let fallback = current(scopes, base, node)
                             .unwrap_or_else(|| self.default_driver(node));
-                        let t = then_scope.get(&node).cloned().unwrap_or_else(|| fallback.clone());
+                        let t = then_scope
+                            .get(&node)
+                            .cloned()
+                            .unwrap_or_else(|| fallback.clone());
                         let e = else_scope.get(&node).cloned().unwrap_or(fallback);
                         let merged = Expr::prim(PrimOp::Mux, vec![cond_e.clone(), t, e], vec![])
                             .map_err(|er| LowerError::Width(er.to_string()))?;
@@ -596,7 +622,11 @@ fn fit(e: Expr, width: u32, signed: bool) -> Result<Expr, LowerError> {
         cur = Expr::prim(PrimOp::Bits, vec![cur], vec![width - 1, 0]).map_err(map_err)?;
     }
     if cur.signed != signed {
-        let op = if signed { PrimOp::AsSInt } else { PrimOp::AsUInt };
+        let op = if signed {
+            PrimOp::AsSInt
+        } else {
+            PrimOp::AsUInt
+        };
         cur = Expr::prim(op, vec![cur], vec![]).map_err(map_err)?;
     }
     Ok(cur)

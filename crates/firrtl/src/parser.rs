@@ -171,7 +171,11 @@ impl Parser {
                 }
                 Tok::Eof => break,
                 Tok::Id(s) if s == "input" || s == "output" => {
-                    let dir = if s == "input" { Dir::Input } else { Dir::Output };
+                    let dir = if s == "input" {
+                        Dir::Input
+                    } else {
+                        Dir::Output
+                    };
                     self.bump();
                     let pname = self.expect_id()?;
                     self.expect(&Tok::Colon)?;
@@ -198,11 +202,10 @@ impl Parser {
                 if self.accept(&Tok::Lt) {
                     let w = self.expect_int()?;
                     self.expect(&Tok::Gt)?;
-                    let w = u32::try_from(w)
-                        .map_err(|_| ParseError {
-                            msg: format!("width {w} too large"),
-                            line: self.line(),
-                        })?;
+                    let w = u32::try_from(w).map_err(|_| ParseError {
+                        msg: format!("width {w} too large"),
+                        line: self.line(),
+                    })?;
                     Ok(if kind == "UInt" {
                         Type::UInt(w)
                     } else {
@@ -623,8 +626,7 @@ impl Parser {
                 // Width defaults to the bit-length of the literal body.
                 let probe = Value::from_str_radix(body, radix, gsim_value::MAX_WIDTH)
                     .map_err(|e| make_err(e.to_string()))?;
-                let min_width = gsim_value::words::top_bit(probe.words())
-                    .map_or(1, |b| b + 1)
+                let min_width = gsim_value::words::top_bit(probe.words()).map_or(1, |b| b + 1)
                     + (signed && !body.starts_with('-')) as u32;
                 let w = width.unwrap_or(min_width);
                 Value::from_str_radix(body, radix, w).map_err(|e| make_err(e.to_string()))?
@@ -640,7 +642,7 @@ impl Parser {
 fn min_width_for(n: i64, signed: bool, negative: bool) -> u32 {
     if negative {
         // bits needed for n in two's complement
-        (64 - (!(n)).leading_zeros()).max(0) + 1
+        (64 - (!(n)).leading_zeros()) + 1
     } else {
         let base = 64 - (n as u64).leading_zeros();
         base.max(1) + signed as u32
@@ -788,7 +790,9 @@ circuit Top :
         let c = parse(src).unwrap();
         assert_eq!(c.modules.len(), 2);
         let top = c.top().unwrap();
-        assert!(matches!(&top.body[0], Stmt::Inst { name, module } if name == "c" && module == "Child"));
+        assert!(
+            matches!(&top.body[0], Stmt::Inst { name, module } if name == "c" && module == "Child")
+        );
     }
 
     #[test]

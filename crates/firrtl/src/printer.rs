@@ -136,7 +136,9 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
                 out,
                 "printf(clock, {}, \"{}\"{argstr})",
                 expr_str(cond),
-                fmt.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+                fmt.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
             );
         }
         Stmt::Skip => {

@@ -325,8 +325,12 @@ impl Expr {
         if e.width >= width {
             Expr::prim(PrimOp::Bits, vec![e], vec![width - 1, 0]).expect("bits in range")
         } else {
-            Expr::prim(PrimOp::Pad, vec![Expr::prim(PrimOp::AsUInt, vec![e], vec![]).unwrap()], vec![width])
-                .expect("pad in range")
+            Expr::prim(
+                PrimOp::Pad,
+                vec![Expr::prim(PrimOp::AsUInt, vec![e], vec![]).unwrap()],
+                vec![width],
+            )
+            .expect("pad in range")
         }
     }
 
@@ -538,14 +542,20 @@ fn infer(op: PrimOp, args: &[Expr], params: &[u32]) -> Result<(u32, bool), Width
         Head => {
             let n = params[0];
             if n == 0 || n > w(0) {
-                return Err(WidthError::new(format!("head n {n} out of range for width {}", w(0))));
+                return Err(WidthError::new(format!(
+                    "head n {n} out of range for width {}",
+                    w(0)
+                )));
             }
             (n, false)
         }
         Tail => {
             let n = params[0];
             if n >= w(0) {
-                return Err(WidthError::new(format!("tail n {n} out of range for width {}", w(0))));
+                return Err(WidthError::new(format!(
+                    "tail n {n} out of range for width {}",
+                    w(0)
+                )));
             }
             (w(0) - n, false)
         }
@@ -648,10 +658,7 @@ mod tests {
         let c = Expr::const_u64(3, 8);
         let e = Expr::prim(
             PrimOp::Add,
-            vec![
-                Expr::prim(PrimOp::Xor, vec![a, c], vec![]).unwrap(),
-                b,
-            ],
+            vec![Expr::prim(PrimOp::Xor, vec![a, c], vec![]).unwrap(), b],
             vec![],
         )
         .unwrap();
@@ -690,7 +697,10 @@ mod tests {
         let b = Expr::reference(n(1), 8, false);
         let e = Expr::prim(
             PrimOp::Mul,
-            vec![Expr::prim(PrimOp::Add, vec![a, b.clone()], vec![]).unwrap(), b],
+            vec![
+                Expr::prim(PrimOp::Add, vec![a, b.clone()], vec![]).unwrap(),
+                b,
+            ],
             vec![],
         )
         .unwrap();

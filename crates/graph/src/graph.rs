@@ -228,7 +228,10 @@ impl Graph {
                 }
                 if let ExprKind::Ref(t) = sub.kind {
                     if t.index() >= self.nodes.len() {
-                        result = Err(GraphError::DanglingRef { node: node_id, target: t });
+                        result = Err(GraphError::DanglingRef {
+                            node: node_id,
+                            target: t,
+                        });
                         return;
                     }
                     let target = self.node(t);
@@ -265,7 +268,10 @@ impl Graph {
                     }
                     if let Some(r) = reset {
                         if r.signal.index() >= self.nodes.len() {
-                            return Err(GraphError::DanglingRef { node: id, target: r.signal });
+                            return Err(GraphError::DanglingRef {
+                                node: id,
+                                target: r.signal,
+                            });
                         }
                         if r.init.width() != node.width {
                             return Err(GraphError::ResetInitWidth { node: id });

@@ -103,7 +103,10 @@ impl NodeKind {
     /// `true` for nodes whose evaluation happens combinationally within
     /// a cycle (their value must be produced before their users run).
     pub fn is_comb_like(&self) -> bool {
-        matches!(self, NodeKind::Comb | NodeKind::Output | NodeKind::MemRead { .. })
+        matches!(
+            self,
+            NodeKind::Comb | NodeKind::Output | NodeKind::MemRead { .. }
+        )
     }
 
     /// `true` for sinks that produce no value read by other nodes.
@@ -204,7 +207,10 @@ mod tests {
         assert!(NodeKind::Comb.is_comb_like());
         assert!(NodeKind::Output.is_comb_like());
         assert!(NodeKind::Output.is_sink());
-        assert!(NodeKind::MemWrite { mem: MemId::from_index(0) }.is_sink());
+        assert!(NodeKind::MemWrite {
+            mem: MemId::from_index(0)
+        }
+        .is_sink());
         assert!(!NodeKind::Input.is_comb_like());
     }
 

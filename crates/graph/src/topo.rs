@@ -186,7 +186,10 @@ mod tests {
         for i in 0..n {
             let e = Expr::prim(
                 PrimOp::Xor,
-                vec![Expr::reference(prev, 8, false), Expr::const_u64(i as u64, 8)],
+                vec![
+                    Expr::reference(prev, 8, false),
+                    Expr::const_u64(i as u64, 8),
+                ],
                 vec![],
             )
             .unwrap();

@@ -117,15 +117,17 @@ mod tests {
         let a = b.input("a", 8, false);
         let mut users = Vec::new();
         for i in 0..5 {
-            users.push(b.comb(
-                format!("c{i}"),
-                Expr::prim(
-                    PrimOp::Xor,
-                    vec![Expr::reference(a, 8, false), Expr::const_u64(i, 8)],
-                    vec![],
-                )
-                .unwrap(),
-            ));
+            users.push(
+                b.comb(
+                    format!("c{i}"),
+                    Expr::prim(
+                        PrimOp::Xor,
+                        vec![Expr::reference(a, 8, false), Expr::const_u64(i, 8)],
+                        vec![],
+                    )
+                    .unwrap(),
+                ),
+            );
         }
         for (i, &u) in users.iter().enumerate() {
             b.output(format!("o{i}"), Expr::reference(u, 8, false));

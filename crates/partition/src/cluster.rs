@@ -135,7 +135,10 @@ pub fn pre_group(
     }
     let mut members: HashMap<u32, Vec<NodeId>> = HashMap::new();
     for &id in order {
-        members.entry(dsu.find(id.index() as u32)).or_default().push(id);
+        members
+            .entry(dsu.find(id.index() as u32))
+            .or_default()
+            .push(id);
     }
     // Each rule is safe in isolation, but compositions can produce
     // non-convex clusters: e.g. rule 1 glues a register (or other sink)
@@ -155,7 +158,10 @@ pub fn pre_group(
                 return ordered;
             }
             Err(stuck) => {
-                assert!(repair_round == 0, "cluster repair must converge in one round");
+                assert!(
+                    repair_round == 0,
+                    "cluster repair must converge in one round"
+                );
                 let mut repaired: Vec<Vec<NodeId>> = Vec::with_capacity(clusters.len());
                 for (cx, ms) in clusters.iter().enumerate() {
                     if stuck[cx] {

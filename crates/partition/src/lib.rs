@@ -129,7 +129,11 @@ impl Partition {
             for &m in members {
                 assert!(!seen[m.index()], "node {m} appears twice");
                 seen[m.index()] = true;
-                assert_eq!(self.assignment[m.index()], snx as u32, "assignment mismatch");
+                assert_eq!(
+                    self.assignment[m.index()],
+                    snx as u32,
+                    "assignment mismatch"
+                );
             }
         }
         assert!(seen.iter().all(|&s| s), "some nodes unassigned");

@@ -354,7 +354,9 @@ mod tests {
         let mut s2 = RefInterp::new(g2).unwrap();
         for round in 0..16u64 {
             for (i, name) in inputs.iter().enumerate() {
-                let v = round.wrapping_mul(0x2545f491_4f6cdd1d).rotate_left(i as u32 * 7);
+                let v = round
+                    .wrapping_mul(0x2545f491_4f6cdd1d)
+                    .rotate_left(i as u32 * 7);
                 s1.poke_u64(name, v).unwrap();
                 s2.poke_u64(name, v).unwrap();
             }

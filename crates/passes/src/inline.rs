@@ -82,8 +82,8 @@ pub fn inline_cheap(graph: &mut Graph) -> usize {
         }
         // Extract (keep the node) when sharing wins; inline otherwise,
         // but never build expressions past the granularity bound.
-        let keep = (cost as u64) * (refs as u64) > (cost + COST_NODE) as u64
-            || cost > MAX_INLINE_COST;
+        let keep =
+            (cost as u64) * (refs as u64) > (cost + COST_NODE) as u64 || cost > MAX_INLINE_COST;
         if !keep {
             inline[id.index()] = true;
             // Every reference inside f now occurs `refs` times.

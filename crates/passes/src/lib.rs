@@ -29,8 +29,8 @@
 
 pub mod bitsplit;
 pub mod inline;
-pub mod redundant;
 pub mod rebuild;
+pub mod redundant;
 pub mod reset;
 pub mod simplify;
 

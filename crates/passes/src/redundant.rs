@@ -31,10 +31,11 @@ pub struct ElimStats {
 /// Runs alias forwarding then dead-node elimination, rebuilding the
 /// graph. Top-level inputs and outputs always survive.
 pub fn eliminate(graph: &mut Graph) -> ElimStats {
-    let mut stats = ElimStats::default();
-    stats.aliases = forward_aliases(graph);
-    stats.dead = remove_dead(graph);
-    stats
+    // Alias forwarding must run before dead-node removal: forwarding
+    // strands the alias nodes, which the dead pass then collects.
+    let aliases = forward_aliases(graph);
+    let dead = remove_dead(graph);
+    ElimStats { aliases, dead }
 }
 
 /// Redirects users of pure-alias nodes to the aliased node. The alias

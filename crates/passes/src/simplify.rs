@@ -176,7 +176,11 @@ fn coerce(e: Expr, width: u32, signed: bool) -> Expr {
         // Bits yields unsigned; sign restored below.
     }
     if cur.signed != signed {
-        let op = if signed { PrimOp::AsSInt } else { PrimOp::AsUInt };
+        let op = if signed {
+            PrimOp::AsSInt
+        } else {
+            PrimOp::AsUInt
+        };
         cur = Expr::prim(op, vec![cur], vec![]).expect("cast");
     }
     cur
@@ -191,8 +195,7 @@ fn is_zero_const(e: &Expr) -> bool {
 }
 
 fn is_ones_const(e: &Expr) -> bool {
-    e.as_const()
-        .is_some_and(|v| *v == Value::ones(v.width()))
+    e.as_const().is_some_and(|v| *v == Value::ones(v.width()))
 }
 
 /// Looks through a `Ref` to its defining expression (for cross-node
@@ -271,9 +274,7 @@ fn try_rules(
             None
         }
         Shl if params[0] == 0 => Some(coerce(args[0].clone(), width, signed)),
-        Shr if params[0] == 0 && args[0].width > 1 => {
-            Some(coerce(args[0].clone(), width, signed))
-        }
+        Shr if params[0] == 0 && args[0].width > 1 => Some(coerce(args[0].clone(), width, signed)),
         Pad if args[0].width >= params[0] => Some(coerce(args[0].clone(), width, signed)),
         Not => {
             // not(not(x)) == x (as UInt)
@@ -294,7 +295,11 @@ fn try_rules(
         }
         Mux => {
             if let Some(sel) = args[0].as_const() {
-                let arm = if sel.is_zero() { &args[1 + 1] } else { &args[1] };
+                let arm = if sel.is_zero() {
+                    &args[1 + 1]
+                } else {
+                    &args[1]
+                };
                 return Some(coerce(arm.clone(), width, signed));
             }
             if args[1] == args[2] {
@@ -320,14 +325,12 @@ fn try_rules(
             if let ExprKind::Prim(Cat, inner, _) = &args[0].kind {
                 let lo_w = inner[1].width;
                 if hi < lo_w {
-                    return Some(
-                        coerce(
-                            Expr::prim(Bits, vec![inner[1].clone()], vec![hi, lo])
-                                .expect("cat-low slice"),
-                            width,
-                            signed,
-                        ),
-                    );
+                    return Some(coerce(
+                        Expr::prim(Bits, vec![inner[1].clone()], vec![hi, lo])
+                            .expect("cat-low slice"),
+                        width,
+                        signed,
+                    ));
                 }
                 if lo >= lo_w {
                     return Some(coerce(
@@ -458,7 +461,9 @@ circuit C :
         assert!(n > 0);
         let y = g2.node_by_name("y").unwrap();
         assert_eq!(
-            fold_const(g2.node(y).expr.as_ref().unwrap()).unwrap().to_u64(),
+            fold_const(g2.node(y).expr.as_ref().unwrap())
+                .unwrap()
+                .to_u64(),
             Some(14)
         );
         equivalent(&g1, &g2, &[], &["y"]);

@@ -16,7 +16,10 @@ struct Plan {
 
 fn plan() -> impl Strategy<Value = Plan> {
     (
-        proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()), 4..40),
+        proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()),
+            4..40,
+        ),
         proptest::collection::vec(any::<u64>(), 6..16),
     )
         .prop_map(|(ops, stimulus)| Plan { ops, stimulus })

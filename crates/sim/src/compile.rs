@@ -55,14 +55,43 @@ pub(crate) enum UnOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Instr {
     /// Zero-extending (or truncating) copy, masks to `dst.width`.
-    Copy { dst: Slot, a: Slot },
+    Copy {
+        dst: Slot,
+        a: Slot,
+    },
     /// Sign-extending copy from `a.width` to `dst.width`.
-    Sext { dst: Slot, a: Slot },
-    Bin { op: BinOp, dst: Slot, a: Slot, b: Slot },
-    Un { op: UnOp, dst: Slot, a: Slot, imm: u32 },
-    Mux { dst: Slot, sel: Slot, t: Slot, f: Slot },
-    Cat { dst: Slot, a: Slot, b: Slot },
-    ReadMem { dst: Slot, mem: u32, addr: Slot },
+    Sext {
+        dst: Slot,
+        a: Slot,
+    },
+    Bin {
+        op: BinOp,
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    Un {
+        op: UnOp,
+        dst: Slot,
+        a: Slot,
+        imm: u32,
+    },
+    Mux {
+        dst: Slot,
+        sel: Slot,
+        t: Slot,
+        f: Slot,
+    },
+    Cat {
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+    },
+    ReadMem {
+        dst: Slot,
+        mem: u32,
+        addr: Slot,
+    },
 }
 
 /// What a task is, for engine epilogues.
@@ -412,7 +441,8 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
                     let en_slot = c.alloc_state(w.en.width, false);
                     let addr_slot = c.alloc_state(w.addr.width, false);
                     let data_slot = c.alloc_state(w.data.width, false);
-                    for (expr, slot) in [(&w.en, en_slot), (&w.addr, addr_slot), (&w.data, data_slot)]
+                    for (expr, slot) in
+                        [(&w.en, en_slot), (&w.addr, addr_slot), (&w.data, data_slot)]
                     {
                         let r = c.compile_expr(expr, &mut instrs, &mut scratch);
                         if r != slot {
@@ -753,7 +783,10 @@ circuit C :
         assert!(compiled.num_supernodes >= 1);
         assert!(compiled.state_words >= 2);
         // Counter task exists with at least an add.
-        assert!(compiled.tasks.iter().any(|t| matches!(t.kind, TaskKind::Reg)));
+        assert!(compiled
+            .tasks
+            .iter()
+            .any(|t| matches!(t.kind, TaskKind::Reg)));
     }
 
     #[test]
@@ -771,8 +804,10 @@ circuit C :
 "#,
         )
         .unwrap();
-        let mut opts = SimOptions::default();
-        opts.reset_slow_path = false;
+        let opts = SimOptions {
+            reset_slow_path: false,
+            ..SimOptions::default()
+        };
         let compiled = compile(&g, &opts).unwrap();
         assert!(compiled.reset_groups.is_empty());
         let reg_task = compiled
@@ -781,7 +816,10 @@ circuit C :
             .find(|t| matches!(t.kind, TaskKind::Reg))
             .unwrap();
         assert!(
-            reg_task.instrs.iter().any(|i| matches!(i, Instr::Mux { .. })),
+            reg_task
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Mux { .. })),
             "fast-path reset must compile to a mux"
         );
     }

@@ -62,7 +62,11 @@ impl Simulator {
         for (i, w) in flags.iter_mut().enumerate() {
             let base = i * 64;
             let valid = c.num_supernodes.saturating_sub(base).min(64);
-            *w = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            *w = if valid == 64 {
+                u64::MAX
+            } else {
+                (1u64 << valid) - 1
+            };
         }
         let mut supernode_regs = vec![Vec::new(); c.supernode_tasks.len()];
         for (sn, &(lo, hi)) in c.supernode_tasks.iter().enumerate() {
@@ -309,15 +313,14 @@ impl Simulator {
                 continue;
             }
             if en.words > 1 {
-                let all_zero = (0..en.words as usize)
-                    .all(|i| self.state[en.off as usize + i] == 0);
+                let all_zero = (0..en.words as usize).all(|i| self.state[en.off as usize + i] == 0);
                 if all_zero {
                     continue;
                 }
             }
             let a = self.state[addr.off as usize];
-            let high_zero = (1..addr.words as usize)
-                .all(|i| self.state[addr.off as usize + i] == 0);
+            let high_zero =
+                (1..addr.words as usize).all(|i| self.state[addr.off as usize + i] == 0);
             let a = if high_zero { a } else { u64::MAX };
             let arena = &mut self.mems[mem as usize];
             let width = arena.width;
@@ -573,7 +576,12 @@ impl Simulator {
                     data: {
                         let mut v = Vec::new();
                         for a in 0..m.depth {
-                            v.extend(m.entry(a).expect("in range").iter().map(|&w| AtomicU64::new(w)));
+                            v.extend(
+                                m.entry(a)
+                                    .expect("in range")
+                                    .iter()
+                                    .map(|&w| AtomicU64::new(w)),
+                            );
                         }
                         v
                     },
@@ -701,7 +709,11 @@ fn commit_mt(c: &Compiled, state: &[AtomicU64], mems: &AtomicMems) {
         }
         let base = addr as usize * arena.words_per_entry;
         for i in 0..arena.words_per_entry {
-            let mut v = if i < w.data.words as usize { load(w.data, i) } else { 0 };
+            let mut v = if i < w.data.words as usize {
+                load(w.data, i)
+            } else {
+                0
+            };
             let top_bits = arena.width as usize - i * 64;
             if top_bits < 64 {
                 v &= (1u64 << top_bits) - 1;
@@ -775,7 +787,7 @@ circuit Counter :
         sim.reset_counters();
         sim.run(10);
         assert!(sim.counters().node_evals > 0);
-        assert_eq!(sim.peek_u64("out").is_some(), true);
+        assert!(sim.peek_u64("out").is_some());
     }
 
     #[test]

@@ -99,8 +99,12 @@ impl<S: StateStore, M: MemStore> Ctx<'_, S, M> {
                     *b = self.state.load(r.off as usize + i);
                 }
             }
-            Space::Scratch => buf[..n].copy_from_slice(&self.scratch[r.off as usize..r.off as usize + n]),
-            Space::Const => buf[..n].copy_from_slice(&self.consts[r.off as usize..r.off as usize + n]),
+            Space::Scratch => {
+                buf[..n].copy_from_slice(&self.scratch[r.off as usize..r.off as usize + n])
+            }
+            Space::Const => {
+                buf[..n].copy_from_slice(&self.consts[r.off as usize..r.off as usize + n])
+            }
         }
         for b in buf.iter_mut().skip(n) {
             *b = 0;
@@ -161,7 +165,11 @@ impl<S: StateStore, M: MemStore> Ctx<'_, S, M> {
         if r.words == 0 {
             return;
         }
-        let masked = if r.width >= 64 { v } else { v & ((1u64 << r.width) - 1) };
+        let masked = if r.width >= 64 {
+            v
+        } else {
+            v & ((1u64 << r.width) - 1)
+        };
         match r.space {
             Space::State => self.state.store(r.off as usize, masked),
             Space::Scratch => self.scratch[r.off as usize] = masked,
@@ -187,7 +195,9 @@ impl<S: StateStore, M: MemStore> Ctx<'_, S, M> {
                     self.state.store(r.off as usize + i, *b);
                 }
             }
-            Space::Scratch => self.scratch[r.off as usize..r.off as usize + n].copy_from_slice(&buf[..n]),
+            Space::Scratch => {
+                self.scratch[r.off as usize..r.off as usize + n].copy_from_slice(&buf[..n])
+            }
             Space::Const => unreachable!("write to const pool"),
         }
     }
@@ -296,13 +306,20 @@ fn exec_one<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, instr: &Instr) 
         Instr::ReadMem { dst, mem, addr } => {
             let a = ctx.word_sat(addr);
             let mut buf = wide_buf(dst.words);
-            ctx.mems.read_entry(mem, a, &mut buf.as_mut()[..dst.words as usize]);
+            ctx.mems
+                .read_entry(mem, a, &mut buf.as_mut()[..dst.words as usize]);
             ctx.write_words(dst, buf.as_mut());
         }
     }
 }
 
-fn exec_bin<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: BinOp, dst: Slot, a: Slot, b: Slot) {
+fn exec_bin<S: StateStore, M: MemStore>(
+    ctx: &mut Ctx<'_, S, M>,
+    op: BinOp,
+    dst: Slot,
+    a: Slot,
+    b: Slot,
+) {
     let signed = a.signed;
     if narrow3(a, b, dst) {
         let av = ctx.word_ext(a);
@@ -375,7 +392,13 @@ fn cmp_narrow(av: u64, bv: u64, signed: bool, pick: impl Fn(Ordering) -> bool) -
 }
 
 #[cold]
-fn exec_bin_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: BinOp, dst: Slot, a: Slot, b: Slot) {
+fn exec_bin_wide<S: StateStore, M: MemStore>(
+    ctx: &mut Ctx<'_, S, M>,
+    op: BinOp,
+    dst: Slot,
+    a: Slot,
+    b: Slot,
+) {
     let signed = a.signed;
     let n = dst.words.max(a.words).max(b.words) as usize;
     match op {
@@ -409,7 +432,11 @@ fn exec_bin_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: BinOp,
             ctx.read_ext(a, av.as_mut());
             ctx.read_ext(b, bv.as_mut());
             let mut out = wide_buf(nw as u16);
-            words::mul(&mut out.as_mut()[..nw], &av.as_ref()[..nw], &bv.as_ref()[..nw]);
+            words::mul(
+                &mut out.as_mut()[..nw],
+                &av.as_ref()[..nw],
+                &bv.as_ref()[..nw],
+            );
             ctx.write_words(dst, out.as_mut());
         }
         BinOp::Div | BinOp::Rem => {
@@ -425,7 +452,8 @@ fn exec_bin_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: BinOp,
             let copy = r.words();
             buf.as_mut()[..copy.len().min(dst.words as usize)]
                 .copy_from_slice(&copy[..copy.len().min(dst.words as usize)]);
-            for w in buf.as_mut()[copy.len().min(dst.words as usize)..dst.words as usize].iter_mut() {
+            for w in buf.as_mut()[copy.len().min(dst.words as usize)..dst.words as usize].iter_mut()
+            {
                 *w = 0;
             }
             ctx.write_words(dst, buf.as_mut());
@@ -467,7 +495,12 @@ fn exec_bin_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: BinOp,
             ctx.read_into(a, av.as_mut());
             let mut out = wide_buf(nw as u16);
             if signed {
-                words::ashr(&mut out.as_mut()[..nw], &av.as_ref()[..nw], sh.min(a.width), a.width);
+                words::ashr(
+                    &mut out.as_mut()[..nw],
+                    &av.as_ref()[..nw],
+                    sh.min(a.width),
+                    a.width,
+                );
             } else {
                 words::lshr(&mut out.as_mut()[..nw], &av.as_ref()[..nw], sh);
             }
@@ -476,7 +509,13 @@ fn exec_bin_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: BinOp,
     }
 }
 
-fn exec_un<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: UnOp, dst: Slot, a: Slot, imm: u32) {
+fn exec_un<S: StateStore, M: MemStore>(
+    ctx: &mut Ctx<'_, S, M>,
+    op: UnOp,
+    dst: Slot,
+    a: Slot,
+    imm: u32,
+) {
     if a.words <= 1 && dst.words <= 1 {
         let v = match op {
             UnOp::Not => !ctx.word(a),
@@ -509,7 +548,13 @@ fn exec_un<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: UnOp, dst: S
 }
 
 #[cold]
-fn exec_un_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: UnOp, dst: Slot, a: Slot, imm: u32) {
+fn exec_un_wide<S: StateStore, M: MemStore>(
+    ctx: &mut Ctx<'_, S, M>,
+    op: UnOp,
+    dst: Slot,
+    a: Slot,
+    imm: u32,
+) {
     let na = a.words as usize;
     let nd = dst.words as usize;
     let mut av = wide_buf(a.words.max(dst.words));
@@ -553,9 +598,18 @@ fn exec_un_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: UnOp, d
             let n = na.max(nd);
             let mut out = wide_buf(n as u16);
             if a.signed {
-                words::ashr(&mut out.as_mut()[..na], &av.as_ref()[..na], imm.min(a.width), a.width);
+                words::ashr(
+                    &mut out.as_mut()[..na],
+                    &av.as_ref()[..na],
+                    imm.min(a.width),
+                    a.width,
+                );
             } else {
-                words::lshr(&mut out.as_mut()[..na], &av.as_ref()[..na], imm.min(a.width * 2));
+                words::lshr(
+                    &mut out.as_mut()[..na],
+                    &av.as_ref()[..na],
+                    imm.min(a.width * 2),
+                );
             }
             ctx.write_words(dst, out.as_mut());
         }
@@ -569,6 +623,9 @@ fn exec_un_wide<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, op: UnOp, d
 
 /// A stack buffer for wide values, spilling to the heap past
 /// [`STACK_WORDS`].
+// The outsized stack variant is the point: wide-op temporaries stay
+// allocation-free in the common case, so don't box it away.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum WideBuf {
     Stack([u64; STACK_WORDS], usize),
     Heap(Vec<u64>),
@@ -610,7 +667,7 @@ mod tests {
         (state, vec![0u64; 64], consts)
     }
 
-    fn run(state: &mut Vec<u64>, scratch: &mut Vec<u64>, consts: &[u64], instrs: &[Instr]) {
+    fn run(state: &mut [u64], scratch: &mut [u64], consts: &[u64], instrs: &[Instr]) {
         let mems: Vec<MemArena> = Vec::new();
         let mut ctx = Ctx {
             state: &mut state[..],
@@ -627,7 +684,17 @@ mod tests {
         let a = Slot::state(0, 8, false);
         let b = Slot::state(1, 8, false);
         let dst = Slot::state(2, 9, false);
-        run(&mut st, &mut sc, &cs, &[Instr::Bin { op: BinOp::Add, dst, a, b }]);
+        run(
+            &mut st,
+            &mut sc,
+            &cs,
+            &[Instr::Bin {
+                op: BinOp::Add,
+                dst,
+                a,
+                b,
+            }],
+        );
         assert_eq!(st[2], 260);
     }
 
@@ -638,7 +705,17 @@ mod tests {
         let a = Slot::state(0, 8, true);
         let b = Slot::state(1, 8, true);
         let dst = Slot::state(2, 9, true);
-        run(&mut st, &mut sc, &cs, &[Instr::Bin { op: BinOp::Div, dst, a, b }]);
+        run(
+            &mut st,
+            &mut sc,
+            &cs,
+            &[Instr::Bin {
+                op: BinOp::Div,
+                dst,
+                a,
+                b,
+            }],
+        );
         assert_eq!(st[2] & 0x1ff, 0x1fd); // -3 masked to 9 bits
     }
 
@@ -648,7 +725,17 @@ mod tests {
         let a = Slot::state(0, 65, false);
         let b = Slot::state(2, 65, false);
         let dst = Slot::state(4, 66, false);
-        run(&mut st, &mut sc, &cs, &[Instr::Bin { op: BinOp::Add, dst, a, b }]);
+        run(
+            &mut st,
+            &mut sc,
+            &cs,
+            &[Instr::Bin {
+                op: BinOp::Add,
+                dst,
+                a,
+                b,
+            }],
+        );
         assert_eq!((st[4], st[5]), (0, 1));
     }
 
@@ -692,9 +779,9 @@ mod tests {
     fn mem_read_in_and_out_of_range() {
         let mut mem = MemArena::new("m".into(), 2, 16);
         mem.load_image(&[0x1234, 0x5678]).unwrap();
-        let mems = vec![mem];
-        let mut st = vec![1u64, 0, 5, 0];
-        let mut sc = vec![0u64; 8];
+        let mems = [mem];
+        let mut st = [1u64, 0, 5, 0];
+        let mut sc = [0u64; 8];
         let addr = Slot::state(0, 2, false);
         let dst = Slot::state(1, 16, false);
         let bad_addr = Slot::state(2, 4, false);
@@ -710,7 +797,11 @@ mod tests {
             &mut ctx,
             &[
                 Instr::ReadMem { dst, mem: 0, addr },
-                Instr::ReadMem { dst: dst2, mem: 0, addr: bad_addr },
+                Instr::ReadMem {
+                    dst: dst2,
+                    mem: 0,
+                    addr: bad_addr,
+                },
             ],
         );
         assert_eq!(st[1], 0x5678);
@@ -732,9 +823,24 @@ mod tests {
             &mut sc,
             &cs,
             &[
-                Instr::Un { op: UnOp::Andr, dst: d0, a: a8, imm: 0 },
-                Instr::Un { op: UnOp::Andr, dst: d1, a: wide, imm: 0 },
-                Instr::Un { op: UnOp::Xorr, dst: d2, a: a8, imm: 0 },
+                Instr::Un {
+                    op: UnOp::Andr,
+                    dst: d0,
+                    a: a8,
+                    imm: 0,
+                },
+                Instr::Un {
+                    op: UnOp::Andr,
+                    dst: d1,
+                    a: wide,
+                    imm: 0,
+                },
+                Instr::Un {
+                    op: UnOp::Xorr,
+                    dst: d2,
+                    a: a8,
+                    imm: 0,
+                },
             ],
         );
         assert_eq!((st[3], st[4], st[5]), (1, 1, 0));

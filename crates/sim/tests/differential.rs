@@ -42,7 +42,10 @@ fn plan_strategy() -> impl Strategy<Value = CircuitPlan> {
                     (0u8..5).prop_map(NodePlan::Unary),
                     (0u8..10).prop_map(NodePlan::Binary),
                     Just(NodePlan::MuxOp),
-                    (0u8..8, 0u8..8).prop_map(|(h, l)| NodePlan::BitsOp { hi_frac: h, lo_frac: l }),
+                    (0u8..8, 0u8..8).prop_map(|(h, l)| NodePlan::BitsOp {
+                        hi_frac: h,
+                        lo_frac: l
+                    }),
                     any::<bool>().prop_map(|r| NodePlan::Register { with_reset: r }),
                 ],
                 any::<u16>(),
@@ -55,13 +58,15 @@ fn plan_strategy() -> impl Strategy<Value = CircuitPlan> {
         1u8..4,
         proptest::collection::vec(any::<u64>(), 8..24),
     )
-        .prop_map(|(widths, nodes, n_inputs, n_outputs, stimulus)| CircuitPlan {
-            widths,
-            nodes,
-            n_inputs,
-            n_outputs,
-            stimulus,
-        })
+        .prop_map(
+            |(widths, nodes, n_inputs, n_outputs, stimulus)| CircuitPlan {
+                widths,
+                nodes,
+                n_inputs,
+                n_outputs,
+                stimulus,
+            },
+        )
 }
 
 /// Deterministically builds a valid circuit from a plan. All operands
@@ -84,8 +89,13 @@ fn build_circuit(plan: &CircuitPlan) -> Graph {
         let expr = match node_plan {
             NodePlan::Unary(op) => {
                 let a = pick(*s1, &pool);
-                let op = [PrimOp::Not, PrimOp::Andr, PrimOp::Orr, PrimOp::Xorr, PrimOp::Neg]
-                    [*op as usize % 5];
+                let op = [
+                    PrimOp::Not,
+                    PrimOp::Andr,
+                    PrimOp::Orr,
+                    PrimOp::Xorr,
+                    PrimOp::Neg,
+                ][*op as usize % 5];
                 let e = Expr::prim(op, vec![a], vec![]).expect("unary");
                 if e.signed {
                     Expr::prim(PrimOp::AsUInt, vec![e], vec![]).expect("cast")
@@ -138,7 +148,13 @@ fn build_circuit(plan: &CircuitPlan) -> Graph {
                 let next_src = pick(*s1, &pool);
                 let w = next_src.width;
                 let reg = if *with_reset {
-                    b.reg_with_reset(format!("r{i}"), w, false, rst, Value::from_u64(*s2 as u64, w))
+                    b.reg_with_reset(
+                        format!("r{i}"),
+                        w,
+                        false,
+                        rst,
+                        Value::from_u64(*s2 as u64, w),
+                    )
                 } else {
                     b.reg(format!("r{i}"), w, false)
                 };

@@ -51,7 +51,10 @@ pub fn shr_width(wa: u32, n: u32) -> u32 {
 pub fn dshl_width(wa: u32, wb: u32) -> u32 {
     assert!(wb < 32, "dshl shift-amount width {wb} too large");
     let w = wa as u64 + (1u64 << wb) - 1;
-    assert!(w <= MAX_WIDTH as u64, "dshl result width {w} exceeds MAX_WIDTH");
+    assert!(
+        w <= MAX_WIDTH as u64,
+        "dshl result width {w} exceeds MAX_WIDTH"
+    );
     w as u32
 }
 
@@ -116,8 +119,16 @@ fn magnitude(v: &Value) -> (bool, Value) {
 pub fn div(a: &Value, b: &Value, signed: bool) -> Value {
     let w = div_width(a.width(), signed);
     let n = words_for(a.width().max(b.width())).max(1);
-    let (neg_a, ma) = if signed { magnitude(a) } else { (false, a.clone()) };
-    let (neg_b, mb) = if signed { magnitude(b) } else { (false, b.clone()) };
+    let (neg_a, ma) = if signed {
+        magnitude(a)
+    } else {
+        (false, a.clone())
+    };
+    let (neg_b, mb) = if signed {
+        magnitude(b)
+    } else {
+        (false, b.clone())
+    };
     let mut aw = ma.words().to_vec();
     aw.resize(n, 0);
     let mut bw = mb.words().to_vec();
@@ -139,8 +150,16 @@ pub fn div(a: &Value, b: &Value, signed: bool) -> Value {
 pub fn rem(a: &Value, b: &Value, signed: bool) -> Value {
     let w = rem_width(a.width(), b.width());
     let n = words_for(a.width().max(b.width())).max(1);
-    let (neg_a, ma) = if signed { magnitude(a) } else { (false, a.clone()) };
-    let (_, mb) = if signed { magnitude(b) } else { (false, b.clone()) };
+    let (neg_a, ma) = if signed {
+        magnitude(a)
+    } else {
+        (false, a.clone())
+    };
+    let (_, mb) = if signed {
+        magnitude(b)
+    } else {
+        (false, b.clone())
+    };
     let mut aw = ma.words().to_vec();
     aw.resize(n, 0);
     let mut bw = mb.words().to_vec();
@@ -365,7 +384,11 @@ pub fn cat(a: &Value, b: &Value) -> Value {
 /// Panics if `hi < lo` or `hi >= wa` (the graph layer validates this).
 pub fn bits(a: &Value, hi: u32, lo: u32) -> Value {
     assert!(hi >= lo, "bits: hi {hi} < lo {lo}");
-    assert!(hi < a.width().max(1), "bits: hi {hi} out of range for width {}", a.width());
+    assert!(
+        hi < a.width().max(1),
+        "bits: hi {hi} out of range for width {}",
+        a.width()
+    );
     let w = hi - lo + 1;
     let mut ws = vec![0u64; words_for(w)];
     words::extract(&mut ws, a.words(), lo, w);
@@ -374,7 +397,11 @@ pub fn bits(a: &Value, hi: u32, lo: u32) -> Value {
 
 /// FIRRTL `head(a, n)`: the `n` most-significant bits.
 pub fn head(a: &Value, n: u32) -> Value {
-    assert!(n <= a.width() && n > 0, "head: bad n {n} for width {}", a.width());
+    assert!(
+        n <= a.width() && n > 0,
+        "head: bad n {n} for width {}",
+        a.width()
+    );
     bits(a, a.width() - 1, a.width() - n)
 }
 
@@ -452,7 +479,10 @@ mod tests {
             &shl(&v(1, 1), 101).zext_or_trunc(201),
             false,
         );
-        assert_eq!(r.zext_or_trunc(201).words(), expect.zext_or_trunc(201).words());
+        assert_eq!(
+            r.zext_or_trunc(201).words(),
+            expect.zext_or_trunc(201).words()
+        );
     }
 
     #[test]
@@ -532,9 +562,18 @@ mod tests {
     #[test]
     fn bitwise() {
         assert_eq!(not(&v(0b1010, 4)).to_u64(), Some(0b0101));
-        assert_eq!(and(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(), Some(0b1000));
-        assert_eq!(or(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(), Some(0b1110));
-        assert_eq!(xor(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(), Some(0b0110));
+        assert_eq!(
+            and(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(),
+            Some(0b1000)
+        );
+        assert_eq!(
+            or(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(),
+            Some(0b1110)
+        );
+        assert_eq!(
+            xor(&v(0b1100, 4), &v(0b1010, 4), false).to_u64(),
+            Some(0b0110)
+        );
         // signed operands sign-extend before the bitwise op
         let r = and(&sv(-1, 4), &v(0xf0, 8).sext_or_trunc(8), true);
         assert_eq!(r.to_u64(), Some(0xf0));

@@ -246,9 +246,7 @@ pub fn lshr(dst: &mut [u64], a: &[u64], sh: u32) {
         return;
     }
     if bit_sh == 0 {
-        for i in 0..n - word_sh {
-            dst[i] = a[i + word_sh];
-        }
+        dst[..n - word_sh].copy_from_slice(&a[word_sh..]);
     } else {
         for i in 0..n - word_sh {
             let lo = a[i + word_sh] >> bit_sh;
@@ -291,16 +289,19 @@ pub fn ashr(dst: &mut [u64], a: &[u64], sh: u32, width: u32) {
 pub fn extract(dst: &mut [u64], a: &[u64], lo: u32, dst_width: u32) {
     let word_sh = (lo / 64) as usize;
     let bit_sh = lo % 64;
-    let n = dst.len();
-    for i in 0..n {
+    for (i, d) in dst.iter_mut().enumerate() {
         let src_i = i + word_sh;
-        let lo_part = if src_i < a.len() { a[src_i] >> bit_sh } else { 0 };
+        let lo_part = if src_i < a.len() {
+            a[src_i] >> bit_sh
+        } else {
+            0
+        };
         let hi_part = if bit_sh != 0 && src_i + 1 < a.len() {
             a[src_i + 1] << (64 - bit_sh)
         } else {
             0
         };
-        dst[i] = lo_part | hi_part;
+        *d = lo_part | hi_part;
     }
     mask_in_place(dst, dst_width);
 }

@@ -163,7 +163,10 @@ fn mem_operand(s: &str, line: usize) -> Result<(String, String), AsmError> {
         msg: "missing ')'".into(),
         line,
     })?;
-    Ok((s[..open].trim().to_string(), s[open + 1..close].trim().to_string()))
+    Ok((
+        s[..open].trim().to_string(),
+        s[open + 1..close].trim().to_string(),
+    ))
 }
 
 /// Expanded source line (post-pseudo-expansion word count).
@@ -216,7 +219,10 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
         let mut text = strip_comment(raw).trim();
         while let Some(colon) = text.find(':') {
             let (label, after) = text.split_at(colon);
-            if label.trim().chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            if label
+                .trim()
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
                 && !label.trim().is_empty()
             {
                 text = after[1..].trim();
@@ -416,7 +422,7 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
                 let v = abs_imm(&args[1], &labels, lineno)? as i32;
                 let lo = (v << 20) >> 20; // sign-extended low 12
                 let hi = (v as i64 - lo as i64) >> 12;
-                out.push(enc_u((hi << 12) as i64, rd, 0x37));
+                out.push(enc_u(hi << 12, rd, 0x37));
                 out.push(enc_i(lo as i64, rd, 0, rd, 0x13));
                 pc += 8;
             }
@@ -472,10 +478,8 @@ mod tests {
 
     #[test]
     fn branch_offsets_resolve() {
-        let code = assemble(
-            "addi x1, x0, 3\nloop: addi x1, x1, -1\nbne x1, x0, loop\necall",
-        )
-        .unwrap();
+        let code =
+            assemble("addi x1, x0, 3\nloop: addi x1, x1, -1\nbne x1, x0, loop\necall").unwrap();
         assert_eq!(code[2], 0xfe00_9ee3); // bne x1, x0, -4
     }
 

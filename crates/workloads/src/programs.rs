@@ -114,12 +114,12 @@ fn coremark_mini_expected(iters: u32) -> u64 {
     }
     let mut a0: u64 = 0x5a5a;
     for _ in 0..iters {
-        for i in 0..16usize {
-            let mut t2 = table[i];
+        for t in &mut table {
+            let mut t2 = *t;
             a0 = m(a0 + t2);
             t2 = m(t2 ^ a0);
             t2 = m(t2 + (t2 >> 3));
-            table[i] = t2;
+            *t = t2;
             if a0 & 7 != 0 {
                 a0 = m(a0 + 13);
             }

@@ -122,18 +122,78 @@ impl Stimulus {
 /// with diverse mixes.
 pub fn spec_profiles() -> Vec<Profile> {
     vec![
-        Profile { name: "perlbench_diffmail", activity: 0.62, hot_set: 512, fu_spread: 0.80 },
-        Profile { name: "bzip2_chicken", activity: 0.72, hot_set: 96, fu_spread: 0.45 },
-        Profile { name: "mcf", activity: 0.35, hot_set: 2048, fu_spread: 0.55 },
-        Profile { name: "gobmk_13x13", activity: 0.58, hot_set: 768, fu_spread: 0.85 },
-        Profile { name: "hmmer_retro", activity: 0.82, hot_set: 48, fu_spread: 0.30 },
-        Profile { name: "libquantum", activity: 0.45, hot_set: 64, fu_spread: 0.25 },
-        Profile { name: "h264ref_sss", activity: 0.78, hot_set: 160, fu_spread: 0.50 },
-        Profile { name: "omnetpp", activity: 0.48, hot_set: 1024, fu_spread: 0.75 },
-        Profile { name: "xalancbmk", activity: 0.55, hot_set: 1536, fu_spread: 0.85 },
-        Profile { name: "bwave", activity: 0.50, hot_set: 256, fu_spread: 0.40 },
-        Profile { name: "GemsFDTD", activity: 0.42, hot_set: 512, fu_spread: 0.45 },
-        Profile { name: "lbm", activity: 0.38, hot_set: 128, fu_spread: 0.30 },
+        Profile {
+            name: "perlbench_diffmail",
+            activity: 0.62,
+            hot_set: 512,
+            fu_spread: 0.80,
+        },
+        Profile {
+            name: "bzip2_chicken",
+            activity: 0.72,
+            hot_set: 96,
+            fu_spread: 0.45,
+        },
+        Profile {
+            name: "mcf",
+            activity: 0.35,
+            hot_set: 2048,
+            fu_spread: 0.55,
+        },
+        Profile {
+            name: "gobmk_13x13",
+            activity: 0.58,
+            hot_set: 768,
+            fu_spread: 0.85,
+        },
+        Profile {
+            name: "hmmer_retro",
+            activity: 0.82,
+            hot_set: 48,
+            fu_spread: 0.30,
+        },
+        Profile {
+            name: "libquantum",
+            activity: 0.45,
+            hot_set: 64,
+            fu_spread: 0.25,
+        },
+        Profile {
+            name: "h264ref_sss",
+            activity: 0.78,
+            hot_set: 160,
+            fu_spread: 0.50,
+        },
+        Profile {
+            name: "omnetpp",
+            activity: 0.48,
+            hot_set: 1024,
+            fu_spread: 0.75,
+        },
+        Profile {
+            name: "xalancbmk",
+            activity: 0.55,
+            hot_set: 1536,
+            fu_spread: 0.85,
+        },
+        Profile {
+            name: "bwave",
+            activity: 0.50,
+            hot_set: 256,
+            fu_spread: 0.40,
+        },
+        Profile {
+            name: "GemsFDTD",
+            activity: 0.42,
+            hot_set: 512,
+            fu_spread: 0.45,
+        },
+        Profile {
+            name: "lbm",
+            activity: 0.38,
+            hot_set: 128,
+            fu_spread: 0.30,
+        },
     ]
 }
 
@@ -174,7 +234,11 @@ mod tests {
         for _ in 0..500 {
             seen.insert(s.next_cycle()[0]);
         }
-        assert!(seen.len() <= 8 + 1, "too many distinct patterns: {}", seen.len());
+        assert!(
+            seen.len() <= 8 + 1,
+            "too many distinct patterns: {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ fn main() {
     }
 
     // Detailed pass statistics for the full pipeline.
-    let (_, report) = Compiler::new(&graph).options(OptOptions::all()).build().unwrap();
+    let (_, report) = Compiler::new(&graph)
+        .options(OptOptions::all())
+        .build()
+        .unwrap();
     let s = report.pass_stats;
     println!("\nfull-pipeline pass statistics:");
     println!("  expressions simplified : {}", s.simplified);

@@ -1,1 +1,11 @@
-//! Root facade; see the `gsim` crate for the public API.
+//! Workspace facade: re-exports the [`gsim`] public API so the
+//! top-level `tests/` and `examples/` exercise exactly what downstream
+//! users see.
+//!
+//! The real implementation lives in the `crates/` workspace members;
+//! start at [`gsim`] (the `Compiler`/`Preset` builder) and
+//! `gsim_firrtl::compile` for the front end.
+
+#![forbid(unsafe_code)]
+
+pub use gsim::*;

@@ -6,7 +6,11 @@ use gsim_value::Value;
 
 fn sim_of(src: &str) -> gsim::Simulator {
     let graph = gsim_firrtl::compile(src).expect("compiles");
-    Compiler::new(&graph).preset(Preset::Gsim).build().unwrap().0
+    Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build()
+        .unwrap()
+        .0
 }
 
 #[test]
@@ -61,7 +65,10 @@ circuit Top :
 "#,
     )
     .unwrap();
-    let (mut sim, _) = Compiler::new(&graph).preset(Preset::Verilator).build().unwrap();
+    let (mut sim, _) = Compiler::new(&graph)
+        .preset(Preset::Verilator)
+        .build()
+        .unwrap();
     sim.poke_u64("v", 10).unwrap();
     sim.step();
     assert_eq!(sim.peek_u64("a.x"), Some(10));

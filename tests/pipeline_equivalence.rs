@@ -20,12 +20,7 @@ fn synth_core_equivalent_across_presets_and_reference() {
         Preset::Gsim,
     ]
     .into_iter()
-    .map(|p| {
-        (
-            p.name(),
-            Compiler::new(&graph).preset(p).build().unwrap().0,
-        )
-    })
+    .map(|p| (p.name(), Compiler::new(&graph).preset(p).build().unwrap().0))
     .collect();
 
     let mut stim = Profile::coremark().stimulus(1, 0xA5);
@@ -106,7 +101,10 @@ fn codegen_emits_for_optimized_designs() {
     let params = SynthParams::for_target("stu", 600);
     let graph = gsim_designs::synth_core(&params);
     let (optimized, _) = gsim_passes::run(graph, &gsim_passes::PassOptions::all());
-    for style in [gsim_codegen::Style::FullCycle, gsim_codegen::Style::Essential] {
+    for style in [
+        gsim_codegen::Style::FullCycle,
+        gsim_codegen::Style::Essential,
+    ] {
         let out = gsim_codegen::emit(
             &optimized,
             style,

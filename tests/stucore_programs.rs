@@ -108,7 +108,12 @@ fn dmem_state_matches_across_presets() {
         run_program(&mut sim, &p);
         let dst_base = 6144 / 4;
         let words: Vec<u64> = (0..8)
-            .map(|i| sim.read_mem("dmem", dst_base + i).unwrap().to_u64().unwrap())
+            .map(|i| {
+                sim.read_mem("dmem", dst_base + i)
+                    .unwrap()
+                    .to_u64()
+                    .unwrap()
+            })
             .collect();
         images.push(words);
     }
