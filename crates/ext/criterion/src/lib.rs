@@ -1,0 +1,214 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate (API subset).
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `measurement_time`,
+//! `bench_function`, `finish`), [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock loop: each bench body runs for a
+//! warm-up pass and then `sample_size` timed samples (or until
+//! `measurement_time` elapses, whichever comes first), reporting
+//! min/median/mean per-iteration times. No statistics, plotting, or
+//! baseline comparison — the benches stay runnable and comparable
+//! between commits on the same host, which is all the paper-figure
+//! reproductions need here.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a single benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId(s.clone())
+    }
+}
+
+/// Timing driver handed to each bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `self.iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            measurement_time,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Cap the total time spent sampling one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up: one untimed pass, also used to size iters per sample.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        // Aim for samples of ~measurement_time / sample_size each.
+        let budget = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples.first().copied().unwrap_or(0.0);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        eprintln!(
+            "{}/{}: min {} | median {} | mean {}  ({} samples x {} iters)",
+            self.name,
+            id.0,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            iters,
+        );
+        self
+    }
+
+    /// Close the group (printing nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect bench functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` style filters are not supported;
+            // ignore argv beyond the binary name.
+            $( $group(); )+
+        }
+    };
+}
