@@ -1,11 +1,25 @@
-//! Table I: baseline full-cycle simulation speed vs design scale.
+//! Table I: baseline full-cycle simulation speed vs design scale, plus
+//! the thread-scaling extension for the essential engines.
+//!
+//! Setting `GSIM_BENCH_SMOKE=1` shrinks the run to one tiny design and
+//! a few hundred cycles so CI can execute the multithreaded path in
+//! seconds (the full run takes minutes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gsim::{Compiler, Preset};
+use gsim_bench::experiments::{self, Config};
 use gsim_bench::WorkloadKind;
+use gsim_designs::{SuiteDesign, SynthParams};
 use gsim_workloads::Profile;
 
-fn bench(c: &mut Criterion) {
+fn smoke() -> bool {
+    std::env::var_os("GSIM_BENCH_SMOKE").is_some()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    if smoke() {
+        return; // the thread-scaling group below covers the smoke run
+    }
     let mut group = c.benchmark_group("table1_scaling");
     group
         .sample_size(10)
@@ -33,5 +47,34 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+fn bench_threads(_c: &mut Criterion) {
+    // The thread-scaling rows come from the shared experiment so the
+    // bench and the `repro` binary report identical numbers
+    // (cycles/sec per thread count, low-activity workload).
+    let (target, cycles) = if smoke() {
+        (2_000, 256)
+    } else {
+        (60_000, 2_000)
+    };
+    let params = SynthParams::for_target("XiangShan", target);
+    let design = SuiteDesign {
+        name: "XiangShan",
+        graph: gsim_designs::synth_core(&params),
+        paper_nodes: target,
+    };
+    eprintln!(
+        "\n== table1_threads == ({} nodes, {} cycles{})",
+        design.graph.num_nodes(),
+        cycles,
+        if smoke() { ", smoke" } else { "" }
+    );
+    let cfg = Config {
+        cycles,
+        ..Config::default()
+    };
+    let rows = experiments::table1_threads(&design, &cfg);
+    experiments::print_table1_threads(design.name, &rows);
+}
+
+criterion_group!(benches, bench_scaling, bench_threads);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N]
 //! ```
 //!
@@ -63,6 +63,14 @@ fn main() {
         section("Table I");
         exp::print_table1(&exp::table1(&suite, &cfg));
     }
+    if wants("threads") {
+        section("Table I (thread scaling)");
+        let d = suite
+            .iter()
+            .find(|d| d.name == "XiangShan")
+            .expect("suite contains XiangShan");
+        exp::print_table1_threads(d.name, &exp::table1_threads(d, &cfg));
+    }
     if wants("fig6") {
         section("Figure 6");
         exp::print_fig6(&exp::fig6(&suite, &cfg));
@@ -101,7 +109,8 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|fig6|fig7|fig8|fig9|table3|table4|factors] [--scale F] [--cycles N]"
+        "repro [all|table1|threads|fig6|fig7|fig8|fig9|table3|table4|factors] \
+         [--scale F] [--cycles N]"
     );
 }
 

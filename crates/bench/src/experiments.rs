@@ -5,8 +5,9 @@
 //! line. EXPERIMENTS.md records a full paper-vs-measured comparison.
 
 use crate::harness::{measure_options, measure_preset, RunStats, WorkloadKind, MT_THREADS};
-use gsim::{OptOptions, Preset, SupernodeChoice};
+use gsim::{Compiler, EngineChoice, OptOptions, Preset, SupernodeChoice};
 use gsim_designs::{paper_suite, SuiteDesign};
+use gsim_graph::Graph;
 use gsim_workloads::{programs, spec_profiles, Profile};
 
 /// Shared experiment configuration.
@@ -96,6 +97,114 @@ pub fn print_table1(rows: &[Table1Row]) {
             r.nodes,
             r.edges,
             format_hz(r.hz)
+        );
+    }
+}
+
+// ------------------------------------------- Table I (thread scaling)
+
+/// Thread counts of the essential-engine scaling experiment.
+pub const ESSENTIAL_MT_THREADS: [usize; 3] = [1, 2, 4];
+
+/// One row of the thread-scaling extension of Table I.
+#[derive(Debug)]
+pub struct ThreadScalingRow {
+    /// Engine label.
+    pub engine: String,
+    /// Worker threads (1 for the sequential essential engine).
+    pub threads: usize,
+    /// Simulation speed in cycles per second.
+    pub hz: f64,
+    /// Speedup over the sequential essential engine.
+    pub speedup: f64,
+}
+
+/// A stimulus personality with a low activity factor — the regime where
+/// essential-signal simulation shines and barrier overhead is most
+/// visible.
+pub fn low_activity_profile() -> Profile {
+    Profile {
+        name: "low-activity",
+        activity: 0.15,
+        hot_set: 64,
+        fu_spread: 0.3,
+    }
+}
+
+fn measure_threads(graph: &Graph, engine: EngineChoice, profile: &Profile, cycles: u64) -> f64 {
+    let opts = OptOptions {
+        engine,
+        ..OptOptions::all()
+    };
+    let (mut sim, _) = Compiler::new(graph)
+        .options(opts)
+        .build()
+        .expect("compiles");
+    // Per-cycle stimulus through the driven-run API: the worker team
+    // stays alive for the whole measurement.
+    let handles: Vec<_> = (0..64)
+        .map_while(|l| sim.input_handle(&format!("op_in_{l}")))
+        .collect();
+    let mut stim = profile.stimulus(handles.len().max(1), 0xBEEF);
+    sim.poke_u64("reset", 1).ok();
+    sim.run(2);
+    sim.poke_u64("reset", 0).ok();
+    sim.run(8); // settle
+    let start = std::time::Instant::now();
+    sim.run_driven(cycles, |_, frame| {
+        let ops = stim.next_cycle();
+        for (h, &op) in handles.iter().zip(&ops) {
+            frame.set(*h, op);
+        }
+    });
+    cycles as f64 / start.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Table I extension: thread scaling of the essential engines on a
+/// low-activity workload. Row 0 is the sequential [`Preset::Gsim`]
+/// configuration; the rest run `EssentialMt` at
+/// [`ESSENTIAL_MT_THREADS`]. Scaling past 1.0x requires at least as
+/// many host cores as worker threads.
+pub fn table1_threads(design: &SuiteDesign, cfg: &Config) -> Vec<ThreadScalingRow> {
+    let profile = low_activity_profile();
+    let base = measure_threads(&design.graph, EngineChoice::Essential, &profile, cfg.cycles);
+    let mut rows = vec![ThreadScalingRow {
+        engine: "Essential".into(),
+        threads: 1,
+        hz: base,
+        speedup: 1.0,
+    }];
+    for t in ESSENTIAL_MT_THREADS {
+        let hz = measure_threads(
+            &design.graph,
+            EngineChoice::EssentialMt(t),
+            &profile,
+            cfg.cycles,
+        );
+        rows.push(ThreadScalingRow {
+            engine: format!("EssentialMt-{t}T"),
+            threads: t,
+            hz,
+            speedup: hz / base.max(1e-12),
+        });
+    }
+    rows
+}
+
+/// Prints the thread-scaling extension (speeds are cycles per second).
+pub fn print_table1_threads(design: &str, rows: &[ThreadScalingRow]) {
+    println!("Table I (ext): essential-engine thread scaling on {design}, low-activity workload");
+    println!(
+        "{:<18} {:>8} {:>18} {:>9}",
+        "Engine", "Threads", "Speed (cycles/s)", "Speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>8} {:>18} {:>8.2}x",
+            r.engine,
+            r.threads,
+            format!("{:.0}", r.hz),
+            r.speedup
         );
     }
 }

@@ -131,26 +131,25 @@ fn drive(
             }
         }
         WorkloadKind::Stimulus(profile) => {
-            let lanes = (0..)
-                .take_while(|l| sim.peek_u64(&format!("op_in_{l}")).is_some() || *l == 0)
-                .take(64)
-                .filter(|l| sim.peek(&format!("op_in_{l}")).is_some())
-                .count()
-                .max(1);
-            let mut stim = profile.stimulus(lanes, 0xDEC0DE);
+            let handles: Vec<_> = (0..64)
+                .map_while(|l| sim.input_handle(&format!("op_in_{l}")))
+                .collect();
+            let mut stim = profile.stimulus(handles.len().max(1), 0xDEC0DE);
             // settle out of reset
             sim.poke_u64("reset", 1).ok();
             sim.run(2);
             sim.poke_u64("reset", 0).ok();
             sim.reset_counters();
             let start = Instant::now();
-            for _ in 0..cycles {
+            // Per-cycle stimulus through the driven-run API, which
+            // keeps the multithreaded engines' worker teams alive
+            // across cycles instead of respawning them per step.
+            sim.run_driven(cycles, |_, frame| {
                 let ops = stim.next_cycle();
-                for (l, &op) in ops.iter().enumerate() {
-                    let _ = sim.poke_u64(&format!("op_in_{l}"), op);
+                for (h, &op) in handles.iter().zip(&ops) {
+                    frame.set(*h, op);
                 }
-                sim.step();
-            }
+            });
             let seconds = start.elapsed().as_secs_f64();
             RunStats {
                 cycles,

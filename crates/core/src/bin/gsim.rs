@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! gsim design.fir [--preset gsim|verilator|essent|arcilator]
+//!                 [--threads N]                # parallel engine (gsim/verilator)
 //!                 [--max-supernode-size N]     # the paper's CLI knob
 //!                 [--cycles N]                 # simulate (zero inputs)
 //!                 [--emit-cpp out.cc]
@@ -15,6 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input: Option<String> = None;
     let mut preset = Preset::Gsim;
+    let mut threads: Option<usize> = None;
     let mut max_size: Option<usize> = None;
     let mut cycles: u64 = 0;
     let mut emit_cpp: Option<String> = None;
@@ -30,6 +32,13 @@ fn main() {
                     Some("arcilator") => Preset::Arcilator,
                     other => die(&format!("unknown preset {other:?}")),
                 };
+            }
+            "--threads" => {
+                let n: usize = parse(it.next(), "--threads");
+                if n == 0 {
+                    die("--threads needs at least 1");
+                }
+                threads = Some(n);
             }
             "--max-supernode-size" => {
                 max_size = Some(parse(it.next(), "--max-supernode-size"));
@@ -48,6 +57,17 @@ fn main() {
         usage();
         std::process::exit(2);
     };
+    // `--threads` upgrades a preset to its multithreaded engine.
+    if let Some(n) = threads {
+        preset = match preset {
+            Preset::Gsim | Preset::GsimMt(_) => Preset::GsimMt(n),
+            Preset::Verilator | Preset::VerilatorMt(_) => Preset::VerilatorMt(n),
+            other => die(&format!(
+                "--threads applies to the gsim and verilator presets, not {}",
+                other.name()
+            )),
+        };
+    }
 
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
@@ -139,7 +159,8 @@ fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
 fn usage() {
     println!(
         "gsim <design.fir> [--preset gsim|verilator|essent|arcilator] \
-         [--max-supernode-size N] [--cycles N] [--emit-cpp out.cc]"
+         [--threads N] [--max-supernode-size N] [--cycles N] \
+         [--emit-cpp out.cc]"
     );
 }
 

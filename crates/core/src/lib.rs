@@ -42,7 +42,7 @@
 
 pub use gsim_graph::Graph;
 pub use gsim_passes::{PassOptions, PassStats};
-pub use gsim_sim::{Counters, EngineKind, SimOptions, Simulator};
+pub use gsim_sim::{Counters, EngineKind, InputFrame, InputHandle, SimOptions, Simulator};
 
 use gsim_partition::{Algorithm, PartitionOptions};
 use std::time::{Duration, Instant};
@@ -64,6 +64,10 @@ pub enum Preset {
     Arcilator,
     /// GSIM: everything in the paper's §III.
     Gsim,
+    /// GSIM `--threads N`: the full GSIM configuration with the
+    /// essential-signal sweep parallelized over the supernode
+    /// dependency DAG's levels.
+    GsimMt(usize),
 }
 
 impl Preset {
@@ -75,6 +79,7 @@ impl Preset {
             Preset::Essent => "ESSENT".into(),
             Preset::Arcilator => "Arcilator".into(),
             Preset::Gsim => "GSIM".into(),
+            Preset::GsimMt(n) => format!("GSIM-{n}T"),
         }
     }
 
@@ -104,6 +109,10 @@ impl Preset {
                 ..OptOptions::none()
             },
             Preset::Gsim => OptOptions::all(),
+            Preset::GsimMt(n) => OptOptions {
+                engine: EngineChoice::EssentialMt(n),
+                ..OptOptions::all()
+            },
         }
     }
 }
@@ -117,6 +126,8 @@ pub enum EngineChoice {
     FullCycleMt(usize),
     /// Essential-signal (active bits).
     Essential,
+    /// Essential-signal swept level-parallel across N threads.
+    EssentialMt(usize),
 }
 
 /// Supernode construction selector.
@@ -187,7 +198,7 @@ impl OptOptions {
             check_multiple_bits: false,
             activation_cost_model: false,
             bit_split: false,
-            max_supernode_size: 30,
+            max_supernode_size: PartitionOptions::DEFAULT_MAX_SIZE,
         }
     }
 
@@ -204,7 +215,7 @@ impl OptOptions {
             check_multiple_bits: true,
             activation_cost_model: true,
             bit_split: true,
-            max_supernode_size: 30,
+            max_supernode_size: PartitionOptions::DEFAULT_MAX_SIZE,
         }
     }
 
@@ -253,6 +264,7 @@ impl OptOptions {
                 EngineChoice::FullCycle => EngineKind::FullCycle,
                 EngineChoice::FullCycleMt(n) => EngineKind::FullCycleMt { threads: n },
                 EngineChoice::Essential => EngineKind::Essential,
+                EngineChoice::EssentialMt(n) => EngineKind::EssentialMt { threads: n },
             },
             partition: PartitionOptions {
                 algorithm: self.supernode.algorithm(),
@@ -395,6 +407,8 @@ circuit Counter :
             Preset::Essent,
             Preset::Arcilator,
             Preset::Gsim,
+            Preset::GsimMt(2),
+            Preset::GsimMt(4),
         ] {
             let (mut sim, _) = Compiler::new(&graph).preset(preset).build().unwrap();
             sim.run(500);

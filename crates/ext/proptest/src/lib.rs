@@ -245,6 +245,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, G);
+    impl_tuple_strategy!(A, B, C, D, E, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, G, H, I);
 }
 
 /// Types with a canonical "uniform-ish" strategy, for [`any`].

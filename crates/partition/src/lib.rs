@@ -29,7 +29,10 @@
 
 pub mod cluster;
 pub mod kernighan;
+pub mod levels;
 pub mod mffc;
+
+pub use levels::SupernodeDag;
 
 use gsim_graph::{Graph, NodeId, Uses};
 use std::time::{Duration, Instant};
@@ -70,13 +73,21 @@ pub struct PartitionOptions {
     pub max_size: usize,
 }
 
+impl PartitionOptions {
+    /// The default maximum supernode size, shared by the GSIM and
+    /// ESSENT configurations: the paper's optimal range is 20–50
+    /// members (Figure 9), and ESSENT's published evaluation uses the
+    /// same order of magnitude, so both presets sit at its middle.
+    pub const DEFAULT_MAX_SIZE: usize = 30;
+}
+
 impl Default for PartitionOptions {
-    /// GSIM with maximum size 30 — inside the paper's optimal
-    /// 20–50 range (Figure 9).
+    /// GSIM with [`PartitionOptions::DEFAULT_MAX_SIZE`] — inside the
+    /// paper's optimal 20–50 range (Figure 9).
     fn default() -> Self {
         PartitionOptions {
             algorithm: Algorithm::Gsim,
-            max_size: 30,
+            max_size: PartitionOptions::DEFAULT_MAX_SIZE,
         }
     }
 }

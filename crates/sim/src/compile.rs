@@ -157,10 +157,13 @@ pub(crate) struct WritePortInfo {
 /// A compiled design ready for execution.
 pub(crate) struct Compiled {
     pub tasks: Vec<Task>,
-    /// Task index ranges per supernode (essential engine).
+    /// Task index ranges per supernode (essential engines).
     pub supernode_tasks: Vec<(u32, u32)>,
-    /// Task index ranges per level (multithreaded engine).
+    /// Task index ranges per level (multithreaded full-cycle engine).
     pub level_tasks: Vec<(u32, u32)>,
+    /// Supernode indices per dependency-DAG level (parallel essential
+    /// engine); empty for the other engine kinds.
+    pub supernode_levels: Vec<Vec<u32>>,
     pub consts: Vec<u64>,
     pub state_words: usize,
     pub scratch_words: usize,
@@ -190,7 +193,7 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
     graph
         .validate()
         .map_err(|e| CompileError::InvalidGraph(e.to_string()))?;
-    if let EngineKind::FullCycleMt { threads } = opts.engine {
+    if let EngineKind::FullCycleMt { threads } | EngineKind::EssentialMt { threads } = opts.engine {
         if threads == 0 {
             return Err(CompileError::NoThreads);
         }
@@ -199,7 +202,9 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
     // Schedule: essential uses the partition's supernode order; the
     // full-cycle engines use one supernode per node in topo/level order.
     let (partition, level_bounds) = match opts.engine {
-        EngineKind::Essential => (gsim_partition::build(graph, &opts.partition), Vec::new()),
+        EngineKind::Essential | EngineKind::EssentialMt { .. } => {
+            (gsim_partition::build(graph, &opts.partition), Vec::new())
+        }
         EngineKind::FullCycle => (
             gsim_partition::build(
                 graph,
@@ -227,6 +232,13 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
         }
     };
     let partition_time = partition.build_time;
+    // The parallel essential engine schedules over the supernode
+    // dependency DAG: levels of mutually independent supernodes.
+    let supernode_levels = if matches!(opts.engine, EngineKind::EssentialMt { .. }) {
+        gsim_partition::SupernodeDag::compute(graph, &partition).groups
+    } else {
+        Vec::new()
+    };
 
     let uses = Uses::build(graph);
     let mut c = Compiler {
@@ -296,7 +308,10 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
     }
 
     // Compile tasks in schedule order.
-    let essential = matches!(opts.engine, EngineKind::Essential);
+    let essential = matches!(
+        opts.engine,
+        EngineKind::Essential | EngineKind::EssentialMt { .. }
+    );
     let mut tasks: Vec<Task> = Vec::new();
     let mut supernode_tasks = Vec::with_capacity(partition.supernodes.len());
     let mut reg_infos: Vec<RegInfo> = Vec::new();
@@ -491,6 +506,7 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
         tasks,
         supernode_tasks,
         level_tasks: level_bounds,
+        supernode_levels,
         consts: c.consts,
         state_words: c.state_words,
         scratch_words: c.scratch_high as usize,

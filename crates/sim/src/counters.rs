@@ -35,6 +35,22 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Accumulates `other` into `self` — used by the multithreaded
+    /// engines to merge per-thread counters into the simulator's
+    /// totals (the per-thread sum is deterministic for a fixed thread
+    /// count, so merged stats stay stable run to run).
+    pub fn merge(&mut self, other: &Counters) {
+        self.cycles += other.cycles;
+        self.node_evals += other.node_evals;
+        self.supernode_evals += other.supernode_evals;
+        self.aexam_checks += other.aexam_checks;
+        self.activation_ops += other.activation_ops;
+        self.activations += other.activations;
+        self.value_changes += other.value_changes;
+        self.reset_checks += other.reset_checks;
+        self.instrs_executed += other.instrs_executed;
+    }
+
     /// Activity factor: evaluated nodes / (total nodes × cycles).
     pub fn activity_factor(&self, total_nodes: usize) -> f64 {
         if self.cycles == 0 || total_nodes == 0 {

@@ -1,14 +1,81 @@
 //! The [`Simulator`]: compiled-design execution engines.
+//!
+//! Each engine family is a *thin driver* here — the actual
+//! eval/commit/activation machinery lives in [`crate::executor`] and is
+//! shared between the sequential and parallel paths. The drivers only
+//! decide *what* to sweep (all tasks, activated supernodes, level
+//! slices) and *where* the state lives (plain words or shared atomics).
 
-use crate::compile::{self, Compiled, Task, TaskKind};
+use crate::compile::{self, Compiled, TaskKind};
 use crate::counters::Counters;
-use crate::exec::{self, AtomicMem, AtomicMems, Ctx};
-use crate::storage::{AtomicStateRef, MemArena, Slot, Space};
+use crate::exec::{AtomicMems, Ctx};
+use crate::executor::{self, ActiveBits, NoActivation, SharedBits, SpinBarrier};
+use crate::storage::{AtomicStateRef, MemArena, StateStore};
 use crate::{CompileError, EngineKind, SimOptions};
 use gsim_graph::Graph;
 use gsim_value::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+
+/// A resolved top-level input, for allocation-free per-cycle stimulus
+/// through [`Simulator::run_driven`].
+#[derive(Debug, Clone, Copy)]
+pub struct InputHandle(u32);
+
+/// One cycle's worth of input pokes for [`Simulator::run_driven`].
+#[derive(Debug, Default)]
+pub struct InputFrame {
+    pokes: Vec<(u32, u64)>,
+}
+
+impl InputFrame {
+    /// Schedules `v` to be driven onto `input` this cycle (masked to
+    /// the input's width).
+    pub fn set(&mut self, input: InputHandle, v: u64) {
+        self.pokes.push((input.0, v));
+    }
+}
+
+/// Applies one input frame: write each poked value and activate the
+/// input's reader supernodes on change — [`Simulator::poke`] expressed
+/// over the generic stores, so the parallel engines can drive stimulus
+/// from inside their thread scope.
+fn apply_frame<S: StateStore, A: ActiveBits>(
+    c: &Compiled,
+    st: &mut S,
+    flags: &mut A,
+    frame: &InputFrame,
+) {
+    for &(id, v) in &frame.pokes {
+        let slot = c.node_slot[id as usize];
+        if slot.words == 0 {
+            continue;
+        }
+        let masked = if slot.width >= 64 {
+            v
+        } else {
+            v & ((1u64 << slot.width) - 1)
+        };
+        let mut changed = false;
+        if st.load(slot.off as usize) != masked {
+            st.store(slot.off as usize, masked);
+            changed = true;
+        }
+        for i in 1..slot.words as usize {
+            let off = slot.off as usize + i;
+            if st.load(off) != 0 {
+                st.store(off, 0);
+                changed = true;
+            }
+        }
+        if changed {
+            if let Some(&(lo, hi)) = c.input_act.get(&id) {
+                for &sn in &c.act_list[lo as usize..hi as usize] {
+                    flags.set_bit(sn);
+                }
+            }
+        }
+    }
+}
 
 /// A compiled, runnable simulation.
 ///
@@ -21,10 +88,10 @@ pub struct Simulator {
     state: Vec<u64>,
     scratch: Vec<u64>,
     mems: Vec<MemArena>,
-    /// Supernode active bits (essential engine).
+    /// Supernode active bits (essential engines).
     flags: Vec<u64>,
-    /// Supernodes evaluated this cycle (for register commit).
-    fired: Vec<u32>,
+    /// Supernodes evaluated this cycle, as a bitset (register commit).
+    fired: Vec<u64>,
     /// Register-info indices per supernode.
     supernode_regs: Vec<Vec<u32>>,
     dirty_mems: Vec<bool>,
@@ -68,6 +135,7 @@ impl Simulator {
                 (1u64 << valid) - 1
             };
         }
+        let fired = vec![0u64; flag_words.max(1)];
         let mut supernode_regs = vec![Vec::new(); c.supernode_tasks.len()];
         for (sn, &(lo, hi)) in c.supernode_tasks.iter().enumerate() {
             for task in &c.tasks[lo as usize..hi as usize] {
@@ -86,7 +154,7 @@ impl Simulator {
             scratch,
             mems,
             flags,
-            fired: Vec::new(),
+            fired,
             supernode_regs,
             dirty_mems,
             counters: Counters::default(),
@@ -112,6 +180,12 @@ impl Simulator {
     /// Number of supernodes in the compiled schedule.
     pub fn num_supernodes(&self) -> usize {
         self.c.num_supernodes
+    }
+
+    /// Number of levels in the supernode dependency DAG (barriers per
+    /// cycle of the parallel essential engine; 0 for other engines).
+    pub fn num_supernode_levels(&self) -> usize {
+        self.c.supernode_levels.len()
     }
 
     /// Number of bytecode instructions in the compiled design (a code
@@ -225,26 +299,64 @@ impl Simulator {
 
     /// Advances `n` clock cycles.
     pub fn run(&mut self, n: u64) {
+        self.run_driven(n, |_, _| {});
+    }
+
+    /// Resolves a top-level input to a handle for
+    /// [`Simulator::run_driven`].
+    pub fn input_handle(&self, name: &str) -> Option<InputHandle> {
+        let id = self.node_by_name(name)?;
+        let (_, _, is_input) = self.c.node_meta[id as usize];
+        is_input.then_some(InputHandle(id))
+    }
+
+    /// Advances `n` clock cycles, calling `drive` with the cycle number
+    /// before each one to fill an [`InputFrame`] of pokes.
+    ///
+    /// This is the fast path for per-cycle stimulus: the multithreaded
+    /// engines keep their worker team alive for the whole run and apply
+    /// each frame between cycle barriers, where a `poke`/`run(1)` loop
+    /// would tear the team down and respawn it every cycle.
+    pub fn run_driven<F>(&mut self, n: u64, mut drive: F)
+    where
+        F: FnMut(u64, &mut InputFrame),
+    {
+        if n == 0 {
+            // No cycle runs, so no frame is driven — on any engine.
+            return;
+        }
         match self.opts.engine {
             EngineKind::FullCycle => {
+                let mut frame = InputFrame::default();
                 for _ in 0..n {
+                    frame.pokes.clear();
+                    drive(self.cycle, &mut frame);
+                    let mut st: &mut [u64] = &mut self.state;
+                    apply_frame(&self.c, &mut st, &mut NoActivation, &frame);
                     self.step_full();
                 }
             }
             EngineKind::Essential => {
+                let mut frame = InputFrame::default();
                 for _ in 0..n {
+                    frame.pokes.clear();
+                    drive(self.cycle, &mut frame);
+                    let mut st: &mut [u64] = &mut self.state;
+                    let mut flags: &mut [u64] = &mut self.flags;
+                    apply_frame(&self.c, &mut st, &mut flags, &frame);
                     self.step_essential();
                 }
             }
-            EngineKind::FullCycleMt { threads } => self.run_mt(n, threads.max(1)),
+            EngineKind::FullCycleMt { threads } => self.run_full_mt(n, threads.max(1), &mut drive),
+            EngineKind::EssentialMt { threads } => {
+                self.run_essential_mt(n, threads.max(1), &mut drive)
+            }
         }
     }
 
     // ----- sequential full-cycle (Listing 1) -----
 
     fn step_full(&mut self) {
-        let mut instrs_run = 0u64;
-        let mut evals = 0u64;
         {
             let mut ctx = Ctx {
                 state: &mut self.state[..],
@@ -252,342 +364,69 @@ impl Simulator {
                 consts: &self.c.consts,
                 mems: &self.mems[..],
             };
-            for task in &self.c.tasks {
-                if matches!(task.kind, TaskKind::Input) {
-                    continue;
-                }
-                exec::run_instrs(&mut ctx, &task.instrs);
-                instrs_run += task.instrs.len() as u64;
-                evals += 1;
-            }
+            executor::run_task_range(
+                &mut ctx,
+                &self.c,
+                0,
+                self.c.tasks.len() as u32,
+                &mut self.counters,
+            );
         }
-        self.counters.node_evals += evals;
-        self.counters.instrs_executed += instrs_run;
-        self.commit_full();
+        let mut st: &mut [u64] = &mut self.state;
+        let mut mems: &mut [MemArena] = &mut self.mems;
+        executor::commit_full_cycle(&self.c, &mut st, &mut mems, &mut self.counters);
         self.cycle += 1;
         self.counters.cycles += 1;
-    }
-
-    fn commit_full(&mut self) {
-        // Registers: unconditional shadow -> current.
-        for ri in 0..self.c.reg_infos.len() {
-            let (cur, shadow) = {
-                let r = &self.c.reg_infos[ri];
-                (r.cur, r.shadow)
-            };
-            for i in 0..cur.words as usize {
-                self.state[cur.off as usize + i] = self.state[shadow.off as usize + i];
-            }
-        }
-        // Slow-path reset (when the graph still carries metadata).
-        for gi in 0..self.c.reset_groups.len() {
-            self.counters.reset_checks += 1;
-            let signal = self.c.reset_groups[gi].signal;
-            if self.state[signal.off as usize] == 0 {
-                continue;
-            }
-            let regs = self.c.reset_groups[gi].regs.clone();
-            for ri in regs {
-                let (cur, init) = {
-                    let r = &self.c.reg_infos[ri as usize];
-                    (r.cur, r.init.expect("reset reg has init"))
-                };
-                for i in 0..cur.words as usize {
-                    self.state[cur.off as usize + i] = self.c.consts[init.off as usize + i];
-                }
-            }
-        }
-        // Memory writes (every enabled port, every cycle, port order).
-        self.apply_writes(false);
-    }
-
-    /// Applies all enabled write ports; when `track` is set, memories
-    /// whose content changed get their read-port supernodes activated.
-    fn apply_writes(&mut self, track: bool) {
-        for p in 0..self.c.write_ports.len() {
-            let (mem, en, addr, data) = {
-                let w = &self.c.write_ports[p];
-                (w.mem, w.en, w.addr, w.data)
-            };
-            if self.state[en.off as usize] == 0 && en.words <= 1 {
-                continue;
-            }
-            if en.words > 1 {
-                let all_zero = (0..en.words as usize).all(|i| self.state[en.off as usize + i] == 0);
-                if all_zero {
-                    continue;
-                }
-            }
-            let a = self.state[addr.off as usize];
-            let high_zero =
-                (1..addr.words as usize).all(|i| self.state[addr.off as usize + i] == 0);
-            let a = if high_zero { a } else { u64::MAX };
-            let arena = &mut self.mems[mem as usize];
-            let width = arena.width;
-            if let Some(entry) = arena.entry_mut(a) {
-                let mut changed = false;
-                for (i, slot_word) in entry.iter_mut().enumerate() {
-                    let mut v = if i < data.words as usize {
-                        self.state[data.off as usize + i]
-                    } else {
-                        0
-                    };
-                    // mask the top word to the memory width
-                    let top_bits = width as usize - i * 64;
-                    if top_bits < 64 {
-                        v &= (1u64 << top_bits) - 1;
-                    }
-                    if *slot_word != v {
-                        *slot_word = v;
-                        changed = true;
-                    }
-                }
-                if changed && track {
-                    self.dirty_mems[mem as usize] = true;
-                }
-            }
-        }
     }
 
     // ----- essential-signal engine (Listings 2-4) -----
 
     fn step_essential(&mut self) {
-        self.fired.clear();
-        let num_sn = self.c.num_supernodes;
-        let word_skip = self.opts.check_multiple_bits;
-        // Combinational activation only ever points forward in the
-        // supernode topo order, but "forward" can land in the word
-        // currently being drained — both modes therefore re-check bits
-        // set while processing (clearing each bit before evaluation).
-        for w in 0..self.flags.len() {
-            if word_skip {
-                // Listing 4: one condition covers 64 active bits. Always
-                // take the lowest *fresh* set bit so evaluation stays in
-                // strict supernode-topo order even when processing a bit
-                // activates a lower-numbered bit's successor in the same
-                // word — a stale snapshot would evaluate out of order and
-                // redo work.
-                self.counters.aexam_checks += 1;
-                loop {
-                    let bits = self.flags[w];
-                    if bits == 0 {
-                        break;
-                    }
-                    let t = bits.trailing_zeros();
-                    self.flags[w] &= !(1u64 << t);
-                    self.counters.aexam_checks += 1;
-                    self.eval_supernode((w * 64) + t as usize);
-                }
-            } else {
-                // ESSENT: one branch per supernode flag, ascending, so
-                // forward activations in this word are seen below.
-                let base = w * 64;
-                let hi = (base + 64).min(num_sn);
-                for sn in base..hi {
-                    self.counters.aexam_checks += 1;
-                    if self.flags[w] >> (sn - base) & 1 == 1 {
-                        self.flags[w] &= !(1u64 << (sn - base));
-                        self.eval_supernode(sn);
-                    }
-                }
-            }
+        {
+            let mut ctx = Ctx {
+                state: &mut self.state[..],
+                scratch: &mut self.scratch[..],
+                consts: &self.c.consts,
+                mems: &self.mems[..],
+            };
+            let mut flags: &mut [u64] = &mut self.flags;
+            let mut fired: &mut [u64] = &mut self.fired;
+            executor::sweep_essential(
+                &self.c,
+                &mut ctx,
+                &mut flags,
+                &mut fired,
+                &mut self.counters,
+                self.opts.check_multiple_bits,
+            );
         }
-        self.commit_essential();
+        let mut st: &mut [u64] = &mut self.state;
+        let mut mems: &mut [MemArena] = &mut self.mems;
+        let mut flags: &mut [u64] = &mut self.flags;
+        let mut fired: &mut [u64] = &mut self.fired;
+        executor::commit_essential(
+            &self.c,
+            &mut st,
+            &mut mems,
+            &mut flags,
+            &mut fired,
+            &self.supernode_regs,
+            &mut self.dirty_mems,
+            &mut self.counters,
+        );
         self.cycle += 1;
         self.counters.cycles += 1;
     }
 
-    fn eval_supernode(&mut self, sn: usize) {
-        self.fired.push(sn as u32);
-        self.counters.supernode_evals += 1;
-        let (lo, hi) = self.c.supernode_tasks[sn];
-        for ti in lo..hi {
-            let task: &Task = &self.c.tasks[ti as usize];
-            if matches!(task.kind, TaskKind::Input) {
-                continue;
-            }
-            // Copy the small task header so `self` is free to mutate.
-            let (kind, result, out, act, branchless, n_instrs) = (
-                task.kind,
-                task.result,
-                task.out,
-                task.act,
-                task.branchless,
-                task.instrs.len() as u64,
-            );
-            self.counters.node_evals += 1;
-            self.counters.instrs_executed += n_instrs;
-            {
-                let task: &Task = &self.c.tasks[ti as usize];
-                let mut ctx = Ctx {
-                    state: &mut self.state[..],
-                    scratch: &mut self.scratch[..],
-                    consts: &self.c.consts,
-                    mems: &self.mems[..],
-                };
-                exec::run_instrs(&mut ctx, &task.instrs);
-            }
-            if matches!(kind, TaskKind::Comb) {
-                // Compare & store & activate.
-                let changed = self.store_if_changed(result, out);
-                if changed {
-                    self.counters.value_changes += 1;
-                }
-                self.activate(act, branchless, changed);
-            }
-        }
-    }
-
-    /// Compares `result` against `out`; on difference copies and
-    /// returns `true`.
-    fn store_if_changed(&mut self, result: Slot, out: Slot) -> bool {
-        if result == out {
-            // value computed in place (pure-alias tasks): treat as
-            // changed so successors stay conservative-correct.
-            return true;
-        }
-        let n = out.words as usize;
-        let mut changed = false;
-        for i in 0..n {
-            let new = match result.space {
-                Space::State => self.state[result.off as usize + i],
-                Space::Scratch => self.scratch[result.off as usize + i],
-                Space::Const => self.c.consts[result.off as usize + i],
-            };
-            let off = out.off as usize + i;
-            if self.state[off] != new {
-                self.state[off] = new;
-                changed = true;
-            }
-        }
-        changed
-    }
-
-    #[inline]
-    fn activate(&mut self, act: (u32, u32), branchless: bool, changed: bool) {
-        let (lo, hi) = act;
-        if lo == hi {
-            return;
-        }
-        let list = &self.c.act_list[lo as usize..hi as usize];
-        if branchless {
-            // ESSENT-style: unconditional ORs with a change mask.
-            let mask = (changed as u64).wrapping_neg();
-            for &sn in list {
-                self.flags[(sn >> 6) as usize] |= (1u64 << (sn & 63)) & mask;
-            }
-            self.counters.activation_ops += list.len() as u64;
-            if changed {
-                self.counters.activations += list.len() as u64;
-            }
-        } else {
-            // Branchy: skip all work when unchanged.
-            self.counters.activation_ops += 1;
-            if changed {
-                for &sn in list {
-                    self.flags[(sn >> 6) as usize] |= 1u64 << (sn & 63);
-                }
-                self.counters.activation_ops += list.len() as u64;
-                self.counters.activations += list.len() as u64;
-            }
-        }
-    }
-
-    fn commit_essential(&mut self) {
-        // Registers of fired supernodes: commit on change, waking
-        // readers next cycle.
-        for fi in 0..self.fired.len() {
-            let sn = self.fired[fi] as usize;
-            for k in 0..self.supernode_regs[sn].len() {
-                let ri = self.supernode_regs[sn][k] as usize;
-                let (cur, shadow, act) = {
-                    let r = &self.c.reg_infos[ri];
-                    (r.cur, r.shadow, r.act)
-                };
-                let mut changed = false;
-                for i in 0..cur.words as usize {
-                    let new = self.state[shadow.off as usize + i];
-                    let off = cur.off as usize + i;
-                    if self.state[off] != new {
-                        self.state[off] = new;
-                        changed = true;
-                    }
-                }
-                if changed {
-                    self.counters.value_changes += 1;
-                    self.activate(act, false, true);
-                }
-            }
-        }
-        // Listing 6 slow path: one check per distinct reset signal.
-        for gi in 0..self.c.reset_groups.len() {
-            self.counters.reset_checks += 1;
-            let signal = self.c.reset_groups[gi].signal;
-            if self.state[signal.off as usize] == 0 {
-                continue;
-            }
-            for k in 0..self.c.reset_groups[gi].regs.len() {
-                let ri = self.c.reset_groups[gi].regs[k] as usize;
-                let (cur, init, act) = {
-                    let r = &self.c.reg_infos[ri];
-                    (r.cur, r.init.expect("init"), r.act)
-                };
-                let mut changed = false;
-                for i in 0..cur.words as usize {
-                    let new = self.c.consts[init.off as usize + i];
-                    let off = cur.off as usize + i;
-                    if self.state[off] != new {
-                        self.state[off] = new;
-                        changed = true;
-                    }
-                }
-                if changed {
-                    self.activate(act, false, true);
-                }
-            }
-        }
-        // Memory writes; activate read ports of changed memories.
-        self.apply_writes(true);
-        for m in 0..self.dirty_mems.len() {
-            if !self.dirty_mems[m] {
-                continue;
-            }
-            self.dirty_mems[m] = false;
-            for i in 0..self.c.mem_read_act[m].len() {
-                let sn = self.c.mem_read_act[m][i];
-                self.flags[(sn >> 6) as usize] |= 1u64 << (sn & 63);
-            }
-        }
-    }
-
     // ----- levelized multithreaded full-cycle -----
 
-    fn run_mt(&mut self, n: u64, threads: usize) {
+    fn run_full_mt<F>(&mut self, n: u64, threads: usize, drive: &mut F)
+    where
+        F: FnMut(u64, &mut InputFrame),
+    {
         // Copy state and memories into shared atomics for the run.
-        let atomic_state: Vec<AtomicU64> = self.state.iter().map(|&w| AtomicU64::new(w)).collect();
-        let atomic_mems = AtomicMems {
-            arenas: self
-                .mems
-                .iter()
-                .map(|m| AtomicMem {
-                    depth: m.depth,
-                    width: m.width,
-                    words_per_entry: gsim_value::words_for(m.width).max(1),
-                    data: {
-                        let mut v = Vec::new();
-                        for a in 0..m.depth {
-                            v.extend(
-                                m.entry(a)
-                                    .expect("in range")
-                                    .iter()
-                                    .map(|&w| AtomicU64::new(w)),
-                            );
-                        }
-                        v
-                    },
-                })
-                .collect(),
-        };
+        let state: Vec<AtomicU64> = self.state.iter().map(|&w| AtomicU64::new(w)).collect();
+        let mems = AtomicMems::snapshot(&self.mems);
         // Chunk each level across threads.
         let chunks: Vec<Vec<(u32, u32)>> = self
             .c
@@ -605,121 +444,210 @@ impl Simulator {
                     .collect()
             })
             .collect();
-        let barrier = Barrier::new(threads);
+        let barrier = SpinBarrier::new(threads);
         let c = &self.c;
-        let mems_ref = &atomic_mems;
-        let state_ref = &atomic_state[..];
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let chunks = &chunks;
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    let mut scratch = vec![0u64; c.scratch_words.max(1)];
-                    for _ in 0..n {
-                        for level in chunks {
-                            let (lo, hi) = level[t];
-                            {
-                                let mut ctx = Ctx {
-                                    state: AtomicStateRef(state_ref),
-                                    scratch: &mut scratch[..],
-                                    consts: &c.consts,
-                                    mems: mems_ref,
-                                };
-                                for ti in lo..hi {
-                                    let task = &c.tasks[ti as usize];
-                                    if matches!(task.kind, TaskKind::Input) {
-                                        continue;
-                                    }
-                                    exec::run_instrs(&mut ctx, &task.instrs);
-                                }
-                            }
-                            barrier.wait();
-                        }
-                        if t == 0 {
-                            commit_mt(c, state_ref, mems_ref);
-                        }
-                        barrier.wait();
-                    }
-                });
+        let base_cycle = self.cycle;
+        // The first cycle's stimulus lands before the team starts.
+        let mut frame = InputFrame::default();
+        drive(base_cycle, &mut frame);
+        apply_frame(
+            c,
+            &mut AtomicStateRef(&state[..]),
+            &mut NoActivation,
+            &frame,
+        );
+        // One cycle's level sweep for worker `t`: the single shared
+        // body both worker roles run (barrier per level).
+        let sweep_cycle = |t: usize, scratch: &mut [u64], counters: &mut Counters| {
+            for level in &chunks {
+                let (lo, hi) = level[t];
+                let mut ctx = Ctx {
+                    state: AtomicStateRef(&state[..]),
+                    scratch: &mut scratch[..],
+                    consts: &c.consts,
+                    mems: &mems,
+                };
+                executor::run_task_range(&mut ctx, c, lo, hi, counters);
+                barrier.wait();
             }
-        });
-        // Copy results back.
-        for (i, w) in self.state.iter_mut().enumerate() {
-            *w = atomic_state[i].load(Ordering::Relaxed);
-        }
-        for (m, arena) in self.mems.iter_mut().enumerate() {
-            let src = &atomic_mems.arenas[m];
-            for a in 0..arena.depth {
-                let entry = arena.entry_mut(a).expect("in range");
-                let base = a as usize * src.words_per_entry;
-                for (i, w) in entry.iter_mut().enumerate() {
-                    *w = src.data[base + i].load(Ordering::Relaxed);
+        };
+        // The calling thread is worker 0: it sweeps its slices, runs
+        // the commit phase, and drives the next cycle's stimulus, all
+        // inside the scope — no thread is spawned per `run` call for
+        // the single-worker case, and spawns amortize over all `n`
+        // cycles otherwise.
+        let mut t0_counters = Counters::default();
+        let per_thread: Vec<Counters> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..threads)
+                .map(|t| {
+                    let (sweep_cycle, barrier) = (&sweep_cycle, &barrier);
+                    scope.spawn(move || {
+                        let mut counters = Counters::default();
+                        let mut scratch = vec![0u64; c.scratch_words.max(1)];
+                        for _ in 0..n {
+                            sweep_cycle(t, &mut scratch, &mut counters);
+                            barrier.wait(); // commit happens on worker 0
+                        }
+                        counters
+                    })
+                })
+                .collect();
+            {
+                let counters = &mut t0_counters;
+                let mut scratch = vec![0u64; c.scratch_words.max(1)];
+                for i in 0..n {
+                    sweep_cycle(0, &mut scratch, counters);
+                    let mut st = AtomicStateRef(&state[..]);
+                    let mut mw: &AtomicMems = &mems;
+                    executor::commit_full_cycle(c, &mut st, &mut mw, counters);
+                    if i + 1 < n {
+                        frame.pokes.clear();
+                        drive(base_cycle + i + 1, &mut frame);
+                        apply_frame(c, &mut st, &mut NoActivation, &frame);
+                    }
+                    barrier.wait();
                 }
             }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        // Copy results back and merge the per-thread counters (their
+        // sum is deterministic for a fixed thread count).
+        for (i, w) in self.state.iter_mut().enumerate() {
+            *w = state[i].load(Ordering::Relaxed);
         }
-        // Analytic counters: full-cycle evaluates everything.
-        let evals: u64 = self
-            .c
-            .tasks
-            .iter()
-            .filter(|t| !matches!(t.kind, TaskKind::Input))
-            .count() as u64;
-        let instrs: u64 = self.c.tasks.iter().map(|t| t.instrs.len() as u64).sum();
-        self.counters.node_evals += evals * n;
-        self.counters.instrs_executed += instrs * n;
+        mems.copy_back(&mut self.mems);
+        self.counters.merge(&t0_counters);
+        for pc in &per_thread {
+            self.counters.merge(pc);
+        }
         self.counters.cycles += n;
         self.cycle += n;
     }
-}
 
-/// Commit phase of the multithreaded engine (runs on thread 0 between
-/// barriers; all traffic goes through atomics, ordered by the barriers).
-fn commit_mt(c: &Compiled, state: &[AtomicU64], mems: &AtomicMems) {
-    let load = |s: Slot, i: usize| state[s.off as usize + i].load(Ordering::Relaxed);
-    let store = |s: Slot, i: usize, v: u64| state[s.off as usize + i].store(v, Ordering::Relaxed);
-    for r in &c.reg_infos {
-        for i in 0..r.cur.words as usize {
-            store(r.cur, i, load(r.shadow, i));
-        }
-    }
-    for g in &c.reset_groups {
-        if load(g.signal, 0) == 0 {
-            continue;
-        }
-        for &ri in &g.regs {
-            let r = &c.reg_infos[ri as usize];
-            let init = r.init.expect("init");
-            for i in 0..r.cur.words as usize {
-                store(r.cur, i, c.consts[init.off as usize + i]);
+    // ----- level-parallel essential-signal -----
+
+    fn run_essential_mt<F>(&mut self, n: u64, threads: usize, drive: &mut F)
+    where
+        F: FnMut(u64, &mut InputFrame),
+    {
+        // Shared atomic images of the state, active bits, fired set and
+        // memories for the run.
+        let state: Vec<AtomicU64> = self.state.iter().map(|&w| AtomicU64::new(w)).collect();
+        let flags: Vec<AtomicU64> = self.flags.iter().map(|&w| AtomicU64::new(w)).collect();
+        let fired: Vec<AtomicU64> = self.fired.iter().map(|&w| AtomicU64::new(w)).collect();
+        let mems = AtomicMems::snapshot(&self.mems);
+        let barrier = SpinBarrier::new(threads);
+        let c = &self.c;
+        let supernode_regs = &self.supernode_regs;
+        let word_skip = self.opts.check_multiple_bits;
+        let base_cycle = self.cycle;
+        // The first cycle's stimulus lands before the team starts.
+        let mut frame = InputFrame::default();
+        drive(base_cycle, &mut frame);
+        apply_frame(
+            c,
+            &mut AtomicStateRef(&state[..]),
+            &mut SharedBits(&flags),
+            &frame,
+        );
+        // One cycle's level sweep for worker `t`: the single shared
+        // body both worker roles run. `t`'s static slice of each level
+        // is claimed with word scans; one barrier per level.
+        let sweep_cycle = |t: usize, scratch: &mut [u64], counters: &mut Counters| {
+            for level in &c.supernode_levels {
+                let per = level.len().div_ceil(threads).max(1);
+                let s = (t * per).min(level.len());
+                let e = (s + per).min(level.len());
+                if s < e {
+                    let mut ctx = Ctx {
+                        state: AtomicStateRef(&state[..]),
+                        scratch: &mut scratch[..],
+                        consts: &c.consts,
+                        mems: &mems,
+                    };
+                    executor::sweep_level_slice(
+                        c,
+                        &mut ctx,
+                        &flags,
+                        &fired,
+                        counters,
+                        &level[s..e],
+                        word_skip,
+                    );
+                }
+                barrier.wait();
             }
-        }
-    }
-    for w in &c.write_ports {
-        let en_zero = (0..w.en.words as usize).all(|i| load(w.en, i) == 0);
-        if en_zero {
-            continue;
-        }
-        let mut addr = load(w.addr, 0);
-        if (1..w.addr.words as usize).any(|i| load(w.addr, i) != 0) {
-            addr = u64::MAX;
-        }
-        let arena = &mems.arenas[w.mem as usize];
-        if addr >= arena.depth {
-            continue;
-        }
-        let base = addr as usize * arena.words_per_entry;
-        for i in 0..arena.words_per_entry {
-            let mut v = if i < w.data.words as usize {
-                load(w.data, i)
-            } else {
-                0
-            };
-            let top_bits = arena.width as usize - i * 64;
-            if top_bits < 64 {
-                v &= (1u64 << top_bits) - 1;
+        };
+        // As in `run_full_mt`, the calling thread is worker 0 and also
+        // runs commit + next-cycle stimulus between the cycle barriers.
+        let mut t0_counters = Counters::default();
+        let per_thread: Vec<Counters> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..threads)
+                .map(|t| {
+                    let (sweep_cycle, barrier) = (&sweep_cycle, &barrier);
+                    scope.spawn(move || {
+                        let mut counters = Counters::default();
+                        let mut scratch = vec![0u64; c.scratch_words.max(1)];
+                        for _ in 0..n {
+                            sweep_cycle(t, &mut scratch, &mut counters);
+                            barrier.wait(); // commit happens on worker 0
+                        }
+                        counters
+                    })
+                })
+                .collect();
+            {
+                let counters = &mut t0_counters;
+                let mut scratch = vec![0u64; c.scratch_words.max(1)];
+                let mut dirty = vec![false; mems.arenas.len()];
+                for i in 0..n {
+                    sweep_cycle(0, &mut scratch, counters);
+                    let mut st = AtomicStateRef(&state[..]);
+                    let mut mw: &AtomicMems = &mems;
+                    executor::commit_essential(
+                        c,
+                        &mut st,
+                        &mut mw,
+                        &mut SharedBits(&flags),
+                        &mut SharedBits(&fired),
+                        supernode_regs,
+                        &mut dirty,
+                        counters,
+                    );
+                    if i + 1 < n {
+                        frame.pokes.clear();
+                        drive(base_cycle + i + 1, &mut frame);
+                        apply_frame(c, &mut st, &mut SharedBits(&flags), &frame);
+                    }
+                    barrier.wait();
+                }
             }
-            arena.data[base + i].store(v, Ordering::Relaxed);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        // Copy the images back (the flags keep commit-time activations
+        // for the next cycle) and merge the per-thread counters.
+        for (i, w) in self.state.iter_mut().enumerate() {
+            *w = state[i].load(Ordering::Relaxed);
         }
+        for (i, w) in self.flags.iter_mut().enumerate() {
+            *w = flags[i].load(Ordering::Relaxed);
+        }
+        for (i, w) in self.fired.iter_mut().enumerate() {
+            *w = fired[i].load(Ordering::Relaxed);
+        }
+        mems.copy_back(&mut self.mems);
+        self.counters.merge(&t0_counters);
+        for pc in &per_thread {
+            self.counters.merge(pc);
+        }
+        self.counters.cycles += n;
+        self.cycle += n;
     }
 }
 
@@ -746,6 +674,9 @@ circuit Counter :
             ("mt2", SimOptions::full_cycle_mt(2)),
             ("essent", SimOptions::essent_like()),
             ("gsim", SimOptions::default()),
+            ("gsim-mt1", SimOptions::essential_mt(1)),
+            ("gsim-mt2", SimOptions::essential_mt(2)),
+            ("gsim-mt4", SimOptions::essential_mt(4)),
         ]
     }
 
@@ -771,23 +702,25 @@ circuit Counter :
     #[test]
     fn essential_skips_idle_supernodes() {
         let g = gsim_firrtl::compile(COUNTER).unwrap();
-        let mut sim = Simulator::compile(&g, &SimOptions::default()).unwrap();
-        // Idle (en=0, after settling): the counter logic must not be
-        // evaluated every cycle.
-        sim.run(3); // settle
-        sim.reset_counters();
-        sim.run(100);
-        let evals = sim.counters().node_evals;
-        assert!(
-            evals < 100,
-            "idle circuit should evaluate almost nothing, saw {evals}"
-        );
-        // Enable: activity returns.
-        sim.poke_u64("en", 1).unwrap();
-        sim.reset_counters();
-        sim.run(10);
-        assert!(sim.counters().node_evals > 0);
-        assert!(sim.peek_u64("out").is_some());
+        for opts in [SimOptions::default(), SimOptions::essential_mt(2)] {
+            let mut sim = Simulator::compile(&g, &opts).unwrap();
+            // Idle (en=0, after settling): the counter logic must not
+            // be evaluated every cycle.
+            sim.run(3); // settle
+            sim.reset_counters();
+            sim.run(100);
+            let evals = sim.counters().node_evals;
+            assert!(
+                evals < 100,
+                "idle circuit should evaluate almost nothing, saw {evals}"
+            );
+            // Enable: activity returns.
+            sim.poke_u64("en", 1).unwrap();
+            sim.reset_counters();
+            sim.run(10);
+            assert!(sim.counters().node_evals > 0);
+            assert!(sim.peek_u64("out").is_some());
+        }
     }
 
     #[test]
@@ -810,6 +743,27 @@ circuit Counter :
             word_mode.counters().aexam_checks,
             flag_mode.counters().aexam_checks
         );
+    }
+
+    #[test]
+    fn essential_mt_matches_sequential_work_counters() {
+        // The parallel sweep evaluates exactly the supernodes the
+        // sequential sweep does (only the examination strategy
+        // differs), and its merged stats are run-to-run stable.
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        let mut seq = Simulator::compile(&g, &SimOptions::default()).unwrap();
+        let mut par = Simulator::compile(&g, &SimOptions::essential_mt(4)).unwrap();
+        let mut par2 = Simulator::compile(&g, &SimOptions::essential_mt(4)).unwrap();
+        for sim in [&mut seq, &mut par, &mut par2] {
+            sim.poke_u64("en", 1).unwrap();
+            sim.run(40);
+        }
+        let (s, p) = (seq.counters(), par.counters());
+        assert_eq!(s.supernode_evals, p.supernode_evals);
+        assert_eq!(s.node_evals, p.node_evals);
+        assert_eq!(s.value_changes, p.value_changes);
+        assert_eq!(s.activations, p.activations);
+        assert_eq!(p, par2.counters(), "parallel stats wobbled between runs");
     }
 
     #[test]
@@ -912,6 +866,36 @@ circuit W :
         assert!(sim.state_bytes() > 0);
         assert!(sim.num_instrs() > 0);
         assert!(sim.num_supernodes() > 0);
+        // The level schedule only exists for the parallel essential
+        // engine.
+        assert_eq!(sim.num_supernode_levels(), 0);
+        let mt = Simulator::compile(&g, &SimOptions::essential_mt(2)).unwrap();
+        assert!(mt.num_supernode_levels() > 0);
+    }
+
+    #[test]
+    fn zero_threads_is_a_compile_error() {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        for opts in [SimOptions::essential_mt(0), SimOptions::full_cycle_mt(0)] {
+            assert_eq!(
+                Simulator::compile(&g, &opts).unwrap_err(),
+                CompileError::NoThreads
+            );
+        }
+    }
+
+    #[test]
+    fn run_driven_zero_cycles_is_a_no_op_on_every_engine() {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        for (name, opts) in engines() {
+            let mut sim = Simulator::compile(&g, &opts).unwrap();
+            sim.poke_u64("en", 1).unwrap();
+            sim.run(5);
+            let before = sim.peek_u64("out");
+            sim.run_driven(0, |_, _| panic!("drive must not be called for n = 0"));
+            assert_eq!(sim.cycle(), 5, "engine {name}");
+            assert_eq!(sim.peek_u64("out"), before, "engine {name}");
+        }
     }
 
     #[test]

@@ -52,6 +52,40 @@ pub(crate) struct AtomicMem {
     pub data: Vec<AtomicU64>,
 }
 
+impl AtomicMems {
+    /// Snapshots `mems` into a shared atomic image for a parallel run.
+    pub(crate) fn snapshot(mems: &[MemArena]) -> AtomicMems {
+        AtomicMems {
+            arenas: mems
+                .iter()
+                .map(|m| AtomicMem {
+                    depth: m.depth,
+                    width: m.width,
+                    words_per_entry: gsim_value::words_for(m.width).max(1),
+                    data: (0..m.depth)
+                        .flat_map(|a| m.entry(a).expect("in range").iter())
+                        .map(|&w| AtomicU64::new(w))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Copies the image back into `mems` after a parallel run.
+    pub(crate) fn copy_back(&self, mems: &mut [MemArena]) {
+        for (m, arena) in mems.iter_mut().enumerate() {
+            let src = &self.arenas[m];
+            for a in 0..arena.depth {
+                let entry = arena.entry_mut(a).expect("in range");
+                let base = a as usize * src.words_per_entry;
+                for (i, w) in entry.iter_mut().enumerate() {
+                    *w = src.data[base + i].load(AtomicOrdering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
 impl MemStore for &AtomicMems {
     #[inline]
     fn read_entry(&self, mem: u32, addr: u64, dst: &mut [u64]) {

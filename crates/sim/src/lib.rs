@@ -2,7 +2,7 @@
 //!
 //! The optimized circuit graph is compiled into compact bytecode (one
 //! short instruction sequence per node, grouped by supernode) and then
-//! executed by one of three engine families, which together stand in for
+//! executed by one of four engine families, which together stand in for
 //! every simulator the paper evaluates:
 //!
 //! * **Sequential full-cycle** ([`EngineKind::FullCycle`]) — evaluates
@@ -21,9 +21,26 @@
 //!     activation per node by successor count (§III-B);
 //!   - `reset_slow_path`: update registers speculatively and check each
 //!     distinct reset signal once per cycle (Listing 6).
+//! * **Parallel essential-signal** ([`EngineKind::EssentialMt`]) —
+//!   activity-based skipping *and* multi-core execution. The supernode
+//!   partition is condensed into a dependency DAG
+//!   ([`gsim_partition::SupernodeDag`]) whose *levels* group mutually
+//!   independent supernodes; each cycle the engine sweeps the levels in
+//!   order with one barrier per level (a bulk-synchronous schedule, as
+//!   in Manticore/Parendi). Within a level, every thread claims the
+//!   activated supernodes of its static slice, skipping idle spans with
+//!   the same `check_multiple_bits` word scans as the sequential
+//!   engine; cross-thread activation is a relaxed atomic OR into the
+//!   shared active-bit words, made visible by the next level barrier.
+//!   Thread 0 runs the commit phase (registers, resets, memory write
+//!   ports) between the last barrier of one cycle and the first of the
+//!   next.
 //!
-//! All engines implement identical semantics, pinned by the
-//! differential tests against [`gsim_graph::interp::RefInterp`].
+//! All four families share one executor core (`executor`): the
+//! eval/commit/activation routines are generic over plain-word vs
+//! shared-atomic storage, so the sequential and parallel paths execute
+//! the same code. All engines implement identical semantics, pinned by
+//! the differential tests against [`gsim_graph::interp::RefInterp`].
 //!
 //! # Example
 //!
@@ -51,10 +68,11 @@ mod compile;
 mod counters;
 mod engine;
 mod exec;
+mod executor;
 mod storage;
 
 pub use counters::Counters;
-pub use engine::Simulator;
+pub use engine::{InputFrame, InputHandle, Simulator};
 pub use storage::MemArena;
 
 use gsim_partition::PartitionOptions;
@@ -71,6 +89,12 @@ pub enum EngineKind {
     },
     /// Essential-signal simulation with supernode active bits.
     Essential,
+    /// Essential-signal simulation swept level-parallel across N
+    /// threads (one barrier per supernode-DAG level).
+    EssentialMt {
+        /// Number of worker threads (≥ 1).
+        threads: usize,
+    },
 }
 
 /// Compilation and runtime options.
@@ -130,11 +154,20 @@ impl SimOptions {
             engine: EngineKind::Essential,
             partition: PartitionOptions {
                 algorithm: gsim_partition::Algorithm::MffcBased,
-                max_size: 30,
+                max_size: PartitionOptions::DEFAULT_MAX_SIZE,
             },
             check_multiple_bits: false,
             activation_cost_model: false,
             reset_slow_path: false,
+        }
+    }
+
+    /// GSIM-MT: the full GSIM configuration with the essential-signal
+    /// sweep parallelized level by level across `threads` threads.
+    pub fn essential_mt(threads: usize) -> SimOptions {
+        SimOptions {
+            engine: EngineKind::EssentialMt { threads },
+            ..SimOptions::default()
         }
     }
 }

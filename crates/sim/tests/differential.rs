@@ -202,6 +202,16 @@ fn engine_matrix() -> Vec<(&'static str, SimOptions)> {
                 ..SimOptions::default()
             },
         ),
+        // Odd thread count: exercises uneven level slices (the last
+        // thread's slice is shorter or empty on small levels).
+        ("gsim-mt3", SimOptions::essential_mt(3)),
+        (
+            "gsim-mt2-per-flag",
+            SimOptions {
+                check_multiple_bits: false,
+                ..SimOptions::essential_mt(2)
+            },
+        ),
     ]
 }
 

@@ -25,6 +25,8 @@ fn all_presets() -> Vec<Preset> {
         Preset::Essent,
         Preset::Arcilator,
         Preset::Gsim,
+        Preset::GsimMt(2),
+        Preset::GsimMt(4),
     ]
 }
 
