@@ -1,13 +1,20 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|fig6|fig7|fig8|fig9|table3|table4|factors]
-//!       [--scale F] [--cycles N]
+//! repro [all|table1|threads|dispatch|fig6|fig7|fig8|fig9|table3|table4|factors]
+//!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
 //! `--scale` sizes the synthetic designs relative to the paper's node
 //! counts (default 0.02; 1.0 regenerates paper-size designs, including
 //! a ~6.2M-node XiangShan stand-in — expect long compile times).
+//!
+//! `--json` additionally runs the thread-scaling and dispatch-breakdown
+//! experiments and writes their cycles/sec + counter breakdowns to
+//! `BENCH_interp.json` (or the given path) so CI can track the
+//! interpreter's performance trajectory. With `GSIM_BENCH_SMOKE=1` the
+//! suite shrinks to tiny designs and short runs, unless `--scale` /
+//! `--cycles` are given explicitly.
 
 use gsim_bench::experiments as exp;
 
@@ -15,6 +22,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut cfg = exp::Config::default();
+    let mut explicit_size = false;
+    let mut json_path: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -23,12 +32,22 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
+                explicit_size = true;
             }
             "--cycles" => {
                 cfg.cycles = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--cycles needs a number"));
+                explicit_size = true;
+            }
+            "--json" => {
+                // Optional path operand.
+                let path = match it.peek() {
+                    Some(p) if p.ends_with(".json") => it.next().cloned(),
+                    _ => None,
+                };
+                json_path = Some(path.unwrap_or_else(|| "BENCH_interp.json".into()));
             }
             "--help" | "-h" => {
                 usage();
@@ -38,15 +57,23 @@ fn main() {
             other => die(&format!("unknown flag {other}")),
         }
     }
-    if which.is_empty() {
+    let smoke = std::env::var_os("GSIM_BENCH_SMOKE").is_some();
+    if smoke && !explicit_size {
+        cfg.scale = 0.002;
+        cfg.cycles = 256;
+    }
+    if which.is_empty() && json_path.is_none() {
         which.push("all".into());
     }
     let all = which.iter().any(|w| w == "all");
     let wants = |name: &str| all || which.iter().any(|w| w == name);
+    let json = json_path.is_some();
 
     eprintln!(
-        "# building design suite (scale {}, {} cycles per run)...",
-        cfg.scale, cfg.cycles
+        "# building design suite (scale {}, {} cycles per run{})...",
+        cfg.scale,
+        cfg.cycles,
+        if smoke { ", smoke" } else { "" }
     );
     let suite = exp::build_suite(&cfg);
     for d in &suite {
@@ -58,18 +85,34 @@ fn main() {
             d.paper_nodes
         );
     }
+    let xiangshan = || {
+        suite
+            .iter()
+            .find(|d| d.name == "XiangShan")
+            .expect("suite contains XiangShan")
+    };
 
     if wants("table1") {
         section("Table I");
         exp::print_table1(&exp::table1(&suite, &cfg));
     }
+    // The JSON perf record always carries the thread-scaling and
+    // dispatch-breakdown numbers, whether or not they print.
+    let mut threads_rows = None;
+    if wants("threads") || json {
+        threads_rows = Some(exp::table1_threads(xiangshan(), &cfg));
+    }
     if wants("threads") {
         section("Table I (thread scaling)");
-        let d = suite
-            .iter()
-            .find(|d| d.name == "XiangShan")
-            .expect("suite contains XiangShan");
-        exp::print_table1_threads(d.name, &exp::table1_threads(d, &cfg));
+        exp::print_table1_threads(xiangshan().name, threads_rows.as_ref().unwrap());
+    }
+    let mut dispatch_rows = None;
+    if wants("dispatch") || json {
+        dispatch_rows = Some(exp::dispatch_breakdown(xiangshan(), &cfg));
+    }
+    if wants("dispatch") {
+        section("Dispatch breakdown");
+        exp::print_dispatch(xiangshan().name, dispatch_rows.as_ref().unwrap());
     }
     if wants("fig6") {
         section("Figure 6");
@@ -99,6 +142,101 @@ fn main() {
         section("Cost-model factors");
         exp::print_factors(&exp::factors(&suite, &cfg));
     }
+
+    if let Some(path) = json_path {
+        let d = xiangshan();
+        let body = render_json(
+            &cfg,
+            smoke,
+            d.name,
+            d.graph.num_nodes(),
+            threads_rows.as_deref().unwrap_or(&[]),
+            dispatch_rows.as_deref().unwrap_or(&[]),
+        );
+        std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("# wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON: the vendored dependency set has no serde, and the
+/// schema is small and flat.
+fn render_json(
+    cfg: &exp::Config,
+    smoke: bool,
+    design: &str,
+    nodes: usize,
+    threads: &[exp::ThreadScalingRow],
+    dispatch: &[exp::DispatchRow],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/1\",\n");
+    s.push_str(&format!(
+        "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
+        cfg.scale, cfg.cycles, smoke
+    ));
+    s.push_str(&format!(
+        "  \"design\": \"{design}\", \"nodes\": {nodes},\n"
+    ));
+    s.push_str("  \"threads\": [\n");
+    for (i, r) in threads.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"hz\": {:.1}, \"speedup\": {:.4}}}{}\n",
+            r.engine,
+            r.threads,
+            r.hz,
+            r.speedup,
+            comma(i, threads.len())
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"dispatch\": [\n");
+    for (i, r) in dispatch.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \"fusion\": {}, \
+             \"hz\": {:.1}, \"instrs_per_cycle\": {:.3}, \"fused_fraction\": {:.4}, \
+             \"static_fused_pairs\": {}, \"counters\": {}}}{}\n",
+            r.label,
+            r.engine,
+            r.threads,
+            r.fusion,
+            r.hz,
+            r.instrs_per_cycle,
+            r.fused_fraction,
+            r.static_fused_pairs,
+            counters_json(&r.counters),
+            comma(i, dispatch.len())
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn counters_json(c: &gsim::Counters) -> String {
+    format!(
+        "{{\"cycles\": {}, \"node_evals\": {}, \"supernode_evals\": {}, \"aexam_checks\": {}, \
+         \"activation_ops\": {}, \"activations\": {}, \"value_changes\": {}, \
+         \"reset_checks\": {}, \"instrs_executed\": {}, \"fused_executed\": {}}}",
+        c.cycles,
+        c.node_evals,
+        c.supernode_evals,
+        c.aexam_checks,
+        c.activation_ops,
+        c.activations,
+        c.value_changes,
+        c.reset_checks,
+        c.instrs_executed,
+        c.fused_executed
+    )
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
 }
 
 fn section(name: &str) {
@@ -109,8 +247,8 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|fig6|fig7|fig8|fig9|table3|table4|factors] \
-         [--scale F] [--cycles N]"
+        "repro [all|table1|threads|dispatch|fig6|fig7|fig8|fig9|table3|table4|factors] \
+         [--scale F] [--cycles N] [--json [PATH]]"
     );
 }
 

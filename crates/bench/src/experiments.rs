@@ -209,6 +209,90 @@ pub fn print_table1_threads(design: &str, rows: &[ThreadScalingRow]) {
     }
 }
 
+// ------------------------------------------- dispatch breakdown (image)
+
+/// One configuration of the dispatch-breakdown experiment: how the flat
+/// execution image's interpreter spends its time, with and without
+/// superinstruction fusion.
+#[derive(Debug)]
+pub struct DispatchRow {
+    /// Configuration label (engine + ablation).
+    pub label: String,
+    /// Engine family name.
+    pub engine: &'static str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Superinstruction fusion enabled.
+    pub fusion: bool,
+    /// Simulation speed in cycles per second.
+    pub hz: f64,
+    /// Executed instructions per simulated cycle.
+    pub instrs_per_cycle: f64,
+    /// Fraction of executed instructions that were fused
+    /// superinstructions.
+    pub fused_fraction: f64,
+    /// Adjacent pairs the fusion pass collapsed at compile time.
+    pub static_fused_pairs: u32,
+    /// Full counter breakdown for the run.
+    pub counters: gsim::Counters,
+}
+
+/// Dispatch breakdown on the low-activity workload: the GSIM preset's
+/// sequential and parallel essential engines plus the full-cycle
+/// baseline, each with fusion on and off (the `--no-fuse` ablation).
+/// Reports cycles/sec, instrs/cycle and the fused fraction — the
+/// before/after evidence for the flat-image optimization.
+pub fn dispatch_breakdown(design: &SuiteDesign, cfg: &Config) -> Vec<DispatchRow> {
+    let wl = WorkloadKind::Stimulus(low_activity_profile());
+    let configs: [(&'static str, EngineChoice, usize); 3] = [
+        ("GSIM", EngineChoice::Essential, 1),
+        ("GSIM-2T", EngineChoice::EssentialMt(2), 2),
+        ("FullCycle", EngineChoice::FullCycle, 1),
+    ];
+    let mut rows = Vec::new();
+    for (engine, choice, threads) in configs {
+        for fusion in [true, false] {
+            let opts = OptOptions {
+                engine: choice,
+                superinstruction_fusion: fusion,
+                ..OptOptions::all()
+            };
+            let stats = measure_options(&design.graph, opts, &wl, cfg.cycles);
+            rows.push(DispatchRow {
+                label: format!("{engine}{}", if fusion { "" } else { " no-fuse" }),
+                engine,
+                threads,
+                fusion,
+                hz: stats.hz,
+                instrs_per_cycle: stats.counters.instrs_per_cycle(),
+                fused_fraction: stats.counters.fused_fraction(),
+                static_fused_pairs: stats.report.fusion.fused_pairs(),
+                counters: stats.counters,
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the dispatch breakdown.
+pub fn print_dispatch(design: &str, rows: &[DispatchRow]) {
+    println!("Dispatch breakdown on {design} (low-activity workload): flat-image interpreter");
+    println!(
+        "{:<18} {:>16} {:>12} {:>8} {:>14}",
+        "config", "speed (cyc/s)", "instrs/cyc", "fused%", "pairs (static)"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>16} {:>12.1} {:>7.1}% {:>14}",
+            r.label,
+            format!("{:.0}", r.hz),
+            r.instrs_per_cycle,
+            r.fused_fraction * 100.0,
+            r.static_fused_pairs
+        );
+    }
+}
+
 // --------------------------------------------------------------- Figure 6
 
 /// One cell of Figure 6: a simulator's speedup on a design/workload.
@@ -699,6 +783,27 @@ mod tests {
         assert_eq!(t1.len(), 4);
         // Bigger designs simulate slower on the full-cycle baseline.
         assert!(t1[0].hz > t1[3].hz, "stuCore should outpace XiangShan-like");
+    }
+
+    #[test]
+    fn dispatch_breakdown_covers_fusion_ablation() {
+        let cfg = tiny_cfg();
+        let suite = build_suite(&cfg);
+        let xs = suite.iter().find(|d| d.name == "XiangShan").unwrap();
+        let rows = dispatch_breakdown(xs, &cfg);
+        assert_eq!(rows.len(), 6, "3 engines × fusion on/off");
+        for pair in rows.chunks(2) {
+            let (on, off) = (&pair[0], &pair[1]);
+            assert!(on.fusion && !off.fusion);
+            // Fusion must shrink the executed stream and leave the
+            // semantic counters untouched.
+            assert!(on.instrs_per_cycle <= off.instrs_per_cycle);
+            assert!(on.fused_fraction > 0.0, "{}", on.label);
+            assert_eq!(off.fused_fraction, 0.0);
+            assert_eq!(on.counters.node_evals, off.counters.node_evals);
+            assert_eq!(on.counters.activations, off.counters.activations);
+            assert!(on.static_fused_pairs > 0 && off.static_fused_pairs == 0);
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! gsim design.fir [--preset gsim|verilator|essent|arcilator]
 //!                 [--threads N]                # parallel engine (gsim/verilator)
 //!                 [--max-supernode-size N]     # the paper's CLI knob
+//!                 [--no-fuse]                  # ablate superinstruction fusion
+//!                 [--no-layout]                # ablate the locality state layout
 //!                 [--cycles N]                 # simulate (zero inputs)
 //!                 [--emit-cpp out.cc]
 //! ```
@@ -18,6 +20,8 @@ fn main() {
     let mut preset = Preset::Gsim;
     let mut threads: Option<usize> = None;
     let mut max_size: Option<usize> = None;
+    let mut no_fuse = false;
+    let mut no_layout = false;
     let mut cycles: u64 = 0;
     let mut emit_cpp: Option<String> = None;
 
@@ -43,6 +47,8 @@ fn main() {
             "--max-supernode-size" => {
                 max_size = Some(parse(it.next(), "--max-supernode-size"));
             }
+            "--no-fuse" => no_fuse = true,
+            "--no-layout" => no_layout = true,
             "--cycles" => cycles = parse(it.next(), "--cycles"),
             "--emit-cpp" => emit_cpp = it.next().cloned(),
             "--help" | "-h" => {
@@ -68,16 +74,26 @@ fn main() {
             )),
         };
     }
+    // Ablation switches apply on top of whatever the preset enables.
+    let mut opts = preset.options();
+    if no_fuse {
+        opts.superinstruction_fusion = false;
+    }
+    if no_layout {
+        opts.locality_layout = false;
+    }
+    if let Some(n) = max_size {
+        opts.max_supernode_size = n;
+    }
 
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let graph = gsim_firrtl::compile(&src).unwrap_or_else(|e| die(&e));
 
-    let mut compiler = Compiler::new(&graph).preset(preset);
-    if let Some(n) = max_size {
-        compiler = compiler.max_supernode_size(n);
-    }
-    let (mut sim, report) = compiler.build().unwrap_or_else(|e| die(&e));
+    let (mut sim, report) = Compiler::new(&graph)
+        .options(opts)
+        .build()
+        .unwrap_or_else(|e| die(&e));
 
     eprintln!("design   : {} ({})", graph.name(), path);
     eprintln!("preset   : {}", preset.name());
@@ -87,11 +103,20 @@ fn main() {
     );
     eprintln!("supernodes: {}", report.supernodes);
     eprintln!(
-        "compile  : {:.1} ms (partition {:.1} ms), {} instrs, {} B state",
+        "compile  : {:.1} ms (partition {:.1} ms), {} instrs ({} image units), {} B state",
         report.compile_time.as_secs_f64() * 1e3,
         report.partition_time.as_secs_f64() * 1e3,
         report.instrs,
+        report.image_units,
         report.state_bytes
+    );
+    eprintln!(
+        "fusion   : {} pairs ({} masking-copy, {} reg-shadow, {} cmp-mux, {} cat-const)",
+        report.fusion.fused_pairs(),
+        report.fusion.masking_copies,
+        report.fusion.reg_shadow_copies,
+        report.fusion.cmp_mux,
+        report.fusion.cat_const
     );
 
     if cycles > 0 {
@@ -159,8 +184,8 @@ fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
 fn usage() {
     println!(
         "gsim <design.fir> [--preset gsim|verilator|essent|arcilator] \
-         [--threads N] [--max-supernode-size N] [--cycles N] \
-         [--emit-cpp out.cc]"
+         [--threads N] [--max-supernode-size N] [--no-fuse] [--no-layout] \
+         [--cycles N] [--emit-cpp out.cc]"
     );
 }
 

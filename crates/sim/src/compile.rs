@@ -1,6 +1,17 @@
-//! Bytecode compilation: graph → state layout + instruction streams.
+//! Bytecode compilation: graph → state layout + flat execution image.
+//!
+//! Each node compiles to a short mid-level [`Instr`] stream. When
+//! superinstruction fusion is enabled, a peephole pass collapses the
+//! most frequent adjacent pairs (see [`fuse_instrs`]); the stream is
+//! then lowered into the contiguous encoded arena of
+//! [`crate::image::ExecImage`], and the [`Task`] keeps only a unit
+//! range into it. With the locality-aware layout enabled, state slots
+//! are segregated by role (inputs, register current/shadow pairs,
+//! combinational values in sweep order) so the essential sweep and the
+//! commit phase each walk contiguous memory.
 
-use crate::storage::{MemArena, Slot};
+use crate::image::{ExecImage, TaskCode};
+use crate::storage::{MemArena, Slot, Space};
 use crate::{CompileError, EngineKind, SimOptions};
 use gsim_graph::{Expr, ExprKind, Graph, NodeId, NodeKind, PrimOp, Uses};
 use gsim_partition::{Algorithm, Partition, PartitionOptions};
@@ -92,6 +103,25 @@ pub(crate) enum Instr {
         mem: u32,
         addr: Slot,
     },
+    /// Fused compare→mux: `a ⊗ b` (signedness from `a`) selects `t` or
+    /// `f`. Produced only by [`fuse_instrs`].
+    CmpMux {
+        /// One of the six comparison [`BinOp`]s.
+        cmp: BinOp,
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        t: Slot,
+        f: Slot,
+    },
+    /// Fused cat-of-const: `(a << shift) | imm`, masked to `dst.width`.
+    /// Produced only by [`fuse_instrs`]; always single-word.
+    CatImm {
+        dst: Slot,
+        a: Slot,
+        imm: u64,
+        shift: u32,
+    },
 }
 
 /// What a task is, for engine epilogues.
@@ -107,12 +137,21 @@ pub(crate) enum TaskKind {
     WritePort(u32),
 }
 
-/// One node's compiled evaluation.
-#[derive(Debug, Clone)]
+/// One node's compiled evaluation: a unit range into the execution
+/// image plus the engine metadata.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Task {
     pub node: u32,
     pub kind: TaskKind,
-    pub instrs: Box<[Instr]>,
+    /// Encoded unit range into [`Compiled::image`]'s code arena.
+    pub code: (u32, u32),
+    /// Logical instructions executed per evaluation (post-fusion;
+    /// multi-unit encodings count once).
+    pub n_instrs: u32,
+    /// Fused superinstructions among `n_instrs`.
+    pub n_fused: u32,
+    /// Every unit is narrow: eligible for the fast dispatch loop.
+    pub narrow_only: bool,
     /// Where the instruction stream leaves the value.
     pub result: Slot,
     /// The node's persistent state slot (current value; shadow for regs).
@@ -122,6 +161,28 @@ pub(crate) struct Task {
     pub act: (u32, u32),
     /// Activation mode chosen by the cost model.
     pub branchless: bool,
+}
+
+/// Compile-time superinstruction fusion statistics (the pairs the
+/// flat-image fusion pass collapsed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// op→masking-copy pairs collapsed by retargeting the producer's
+    /// destination (includes register shadow copies).
+    pub masking_copies: u32,
+    /// Subset of `masking_copies` whose target is a register shadow.
+    pub reg_shadow_copies: u32,
+    /// compare→mux pairs fused into a single `CmpMux`.
+    pub cmp_mux: u32,
+    /// cat-of-const collapsed into an immediate-carrying `CatImm`.
+    pub cat_const: u32,
+}
+
+impl FusionStats {
+    /// Total adjacent pairs collapsed.
+    pub fn fused_pairs(&self) -> u32 {
+        self.masking_copies + self.cmp_mux + self.cat_const
+    }
 }
 
 /// Register commit metadata.
@@ -156,6 +217,10 @@ pub(crate) struct WritePortInfo {
 
 /// A compiled design ready for execution.
 pub(crate) struct Compiled {
+    /// The flat execution image every engine runs off.
+    pub image: ExecImage,
+    /// What the fusion pass collapsed (all zero when fusion is off).
+    pub fusion: FusionStats,
     pub tasks: Vec<Task>,
     /// Task index ranges per supernode (essential engines).
     pub supernode_tasks: Vec<(u32, u32)>,
@@ -246,18 +311,57 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
         opts,
         partition: &partition,
         uses: &uses,
-        consts: Vec::new(),
-        const_map: HashMap::new(),
+        // Offset 0 is the reserved all-zero word that zero-width
+        // operand reads are remapped to at encode time; single-word
+        // zero constants intern onto it.
+        consts: vec![0],
+        const_map: HashMap::from([(vec![0u64], 0u32)]),
         state_words: 0,
         node_slot: vec![Slot::state(0, 0, false); graph.num_nodes()],
         scratch_high: 0,
     };
 
     // Slot assignment in schedule order (cache locality of the sweep).
-    for members in &partition.supernodes {
-        for &id in members {
-            let node = graph.node(id);
-            c.node_slot[id.index()] = c.alloc_state(node.width, node.signed);
+    // The locality-aware layout additionally segregates the state
+    // spaces: top-level inputs first, then register current/shadow
+    // pairs (so the commit phase's shadow→current copies walk adjacent
+    // words), then combinational values contiguous in sweep order.
+    // Write-port staging slots land after everything during task
+    // compilation. The legacy layout interleaves all of it in supernode
+    // order and allocates shadows lazily, as before this pass existed.
+    let mut shadow_slots: HashMap<usize, Slot> = HashMap::new();
+    if opts.locality_layout {
+        for members in &partition.supernodes {
+            for &id in members {
+                let node = graph.node(id);
+                if matches!(node.kind, NodeKind::Input) {
+                    c.node_slot[id.index()] = c.alloc_state(node.width, node.signed);
+                }
+            }
+        }
+        for members in &partition.supernodes {
+            for &id in members {
+                let node = graph.node(id);
+                if node.kind.is_reg() {
+                    c.node_slot[id.index()] = c.alloc_state(node.width, node.signed);
+                    shadow_slots.insert(id.index(), c.alloc_state(node.width, node.signed));
+                }
+            }
+        }
+        for members in &partition.supernodes {
+            for &id in members {
+                let node = graph.node(id);
+                if !matches!(node.kind, NodeKind::Input) && !node.kind.is_reg() {
+                    c.node_slot[id.index()] = c.alloc_state(node.width, node.signed);
+                }
+            }
+        }
+    } else {
+        for members in &partition.supernodes {
+            for &id in members {
+                let node = graph.node(id);
+                c.node_slot[id.index()] = c.alloc_state(node.width, node.signed);
+            }
         }
     }
 
@@ -319,6 +423,8 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
     let mut reset_signals: HashMap<u32, u32> = HashMap::new(); // signal node -> group
     let mut reset_groups: Vec<ResetGroup> = Vec::new();
 
+    let mut image = ExecImage::default();
+    let mut fusion = FusionStats::default();
     let supernodes = partition.supernodes.clone();
     for members in &supernodes {
         let start = tasks.len() as u32;
@@ -332,16 +438,9 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
                 // ESSENT's published technique: always branchless.
                 true
             };
-            let task = match &node.kind {
-                NodeKind::Input => Task {
-                    node: id.index() as u32,
-                    kind: TaskKind::Input,
-                    instrs: Box::new([]),
-                    result: out,
-                    out,
-                    act,
-                    branchless,
-                },
+            // Per-kind draft: mid-level instruction stream + metadata.
+            let (kind, instrs, result, out, act, branchless) = match &node.kind {
+                NodeKind::Input => (TaskKind::Input, Vec::new(), out, out, act, branchless),
                 NodeKind::Comb | NodeKind::Output | NodeKind::MemRead { .. } => {
                     let mut instrs = Vec::new();
                     let mut scratch = ScratchAlloc::default();
@@ -375,21 +474,15 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
                         }
                     };
                     c.scratch_high = c.scratch_high.max(scratch.high);
-                    Task {
-                        node: id.index() as u32,
-                        kind: TaskKind::Comb,
-                        instrs: instrs.into_boxed_slice(),
-                        result,
-                        out,
-                        act,
-                        branchless,
-                    }
+                    (TaskKind::Comb, instrs, result, out, act, branchless)
                 }
                 NodeKind::Reg { reset } => {
                     let mut instrs = Vec::new();
                     let mut scratch = ScratchAlloc::default();
                     let e = node.expr.as_ref().expect("reg next");
-                    let shadow = c.alloc_state(node.width, node.signed);
+                    let shadow = shadow_slots
+                        .remove(&id.index())
+                        .unwrap_or_else(|| c.alloc_state(node.width, node.signed));
                     let r = c.compile_expr(e, &mut instrs, &mut scratch);
                     if r != shadow {
                         instrs.push(copy_or_sext(shadow, r));
@@ -413,10 +506,8 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
                             // Fast-path reset: fold the mux into the
                             // shadow computation (Listing 5 behaviour)
                             // even though the graph kept metadata.
-                            let sig = graph.node(rr.signal);
                             let sel = c.node_slot[rr.signal.index()];
                             let init_slot = c.intern_const(&rr.init, node.signed);
-                            let _ = sig;
                             instrs.push(Instr::Mux {
                                 dst: shadow,
                                 sel,
@@ -439,15 +530,8 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
                     if let Some(g) = reg_group_of(&reg_infos[reg_index as usize]) {
                         reset_groups[g as usize].regs.push(reg_index);
                     }
-                    Task {
-                        node: id.index() as u32,
-                        kind: TaskKind::Reg,
-                        instrs: instrs.into_boxed_slice(),
-                        result: shadow,
-                        out: shadow,
-                        act: (0, 0), // regs activate at commit, not eval
-                        branchless: true,
-                    }
+                    // Regs activate at commit, not eval.
+                    (TaskKind::Reg, instrs, shadow, shadow, (0, 0), true)
                 }
                 NodeKind::MemWrite { mem } => {
                     let w = node.mem_write_operands().expect("write operands");
@@ -472,18 +556,40 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
                         addr: addr_slot,
                         data: data_slot,
                     });
-                    Task {
-                        node: id.index() as u32,
-                        kind: TaskKind::WritePort(port),
-                        instrs: instrs.into_boxed_slice(),
-                        result: en_slot,
-                        out: en_slot,
-                        act: (0, 0),
-                        branchless: true,
-                    }
+                    (
+                        TaskKind::WritePort(port),
+                        instrs,
+                        en_slot,
+                        en_slot,
+                        (0, 0),
+                        true,
+                    )
                 }
             };
-            tasks.push(task);
+            // Fusion, then lowering into the contiguous image.
+            let shadow_target = matches!(kind, TaskKind::Reg).then_some(result);
+            let instrs = if opts.superinstr_fusion {
+                fuse_instrs(instrs, result, &c.consts, shadow_target, &mut fusion)
+            } else {
+                instrs
+            };
+            let n_fused = instrs
+                .iter()
+                .filter(|i| matches!(i, Instr::CmpMux { .. } | Instr::CatImm { .. }))
+                .count() as u32;
+            let TaskCode { range, narrow_only } = image.push_task(&instrs);
+            tasks.push(Task {
+                node: id.index() as u32,
+                kind,
+                code: range,
+                n_instrs: instrs.len() as u32,
+                n_fused,
+                narrow_only,
+                result,
+                out,
+                act,
+                branchless,
+            });
         }
         supernode_tasks.push((start, tasks.len() as u32));
     }
@@ -503,6 +609,8 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
         .collect();
 
     Ok(Compiled {
+        image,
+        fusion,
         tasks,
         supernode_tasks,
         level_tasks: level_bounds,
@@ -527,6 +635,182 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
 
 fn reg_group_of(info: &RegInfo) -> Option<u32> {
     info.reset_group
+}
+
+/// The superinstruction fusion pass: a peephole over one task's
+/// instruction stream collapsing the most frequent adjacent pairs
+/// measured on our designs.
+///
+/// * **op → masking-copy** — `X {dst: s}; Copy {dst: o, a: s}` with `s`
+///   a single-use scratch slot and `o.width ≤ s.width` retargets `X`'s
+///   destination to `o` and drops the copy (truncating masks compose,
+///   so the value is bit-identical). This is also what collapses the
+///   **register shadow copy** at the end of every register task.
+/// * **compare → mux** — a comparison whose single use is the next
+///   mux's selector becomes one [`Instr::CmpMux`].
+/// * **cat-of-const** — a single-word `cat` whose low operand is a
+///   pool constant becomes [`Instr::CatImm`] with the value inline.
+///
+/// `keep` is the slot the engine reads after the stream runs (the
+/// task's result); counting it as a use keeps fusion away from values
+/// with a lifetime beyond the stream. Scratch offsets are never reused
+/// within a task, so offset equality identifies a value.
+fn fuse_instrs(
+    v: Vec<Instr>,
+    keep: Slot,
+    consts: &[u64],
+    shadow: Option<Slot>,
+    stats: &mut FusionStats,
+) -> Vec<Instr> {
+    let mut uses: HashMap<u32, u32> = HashMap::new();
+    {
+        let mut bump = |s: Slot| {
+            if s.space == Space::Scratch {
+                *uses.entry(s.off).or_insert(0) += 1;
+            }
+        };
+        for ins in &v {
+            match *ins {
+                Instr::Copy { a, .. }
+                | Instr::Sext { a, .. }
+                | Instr::Un { a, .. }
+                | Instr::CatImm { a, .. } => bump(a),
+                Instr::Bin { a, b, .. } | Instr::Cat { a, b, .. } => {
+                    bump(a);
+                    bump(b);
+                }
+                Instr::Mux { sel, t, f, .. } => {
+                    bump(sel);
+                    bump(t);
+                    bump(f);
+                }
+                Instr::CmpMux { a, b, t, f, .. } => {
+                    bump(a);
+                    bump(b);
+                    bump(t);
+                    bump(f);
+                }
+                Instr::ReadMem { addr, .. } => bump(addr),
+            }
+        }
+        bump(keep);
+    }
+    let used_once = |s: Slot| s.space == Space::Scratch && uses.get(&s.off) == Some(&1);
+
+    let mut out: Vec<Instr> = Vec::with_capacity(v.len());
+    for ins in v {
+        // Cat-of-const: fold the pool load into an immediate (single
+        // word, value small enough for the encoded immediate field).
+        // A constant low half becomes `(a << width(b)) | imm`; a
+        // constant high half becomes `(b << 0) | (imm << width(b))` —
+        // canonical operands never overlap the shifted immediate.
+        let ins = match ins {
+            Instr::Cat { dst, a, b }
+                if b.space == Space::Const
+                    && dst.words <= 1
+                    && b.width < 64
+                    && const_word(b, consts) <= u32::MAX as u64 =>
+            {
+                stats.cat_const += 1;
+                Instr::CatImm {
+                    dst,
+                    a,
+                    imm: const_word(b, consts),
+                    shift: b.width,
+                }
+            }
+            Instr::Cat { dst, a, b }
+                if a.space == Space::Const
+                    && dst.words <= 1
+                    && b.width < 64
+                    && const_word(a, consts) << b.width <= u32::MAX as u64 =>
+            {
+                stats.cat_const += 1;
+                Instr::CatImm {
+                    dst,
+                    a: b,
+                    imm: const_word(a, consts) << b.width,
+                    shift: 0,
+                }
+            }
+            other => other,
+        };
+        // Op → masking-copy: retarget the producer's destination.
+        if let Instr::Copy { dst: o, a: src } = ins {
+            if o.words <= 1 && used_once(src) {
+                if let Some(prev) = out.last_mut() {
+                    let d = dst_mut(prev);
+                    if d.space == Space::Scratch
+                        && d.off == src.off
+                        && d.words <= 1
+                        && o.width <= d.width
+                    {
+                        *d = o;
+                        stats.masking_copies += 1;
+                        if shadow.is_some_and(|s| s.space == o.space && s.off == o.off) {
+                            stats.reg_shadow_copies += 1;
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        // Compare → mux: the comparison's only consumer is the
+        // selector of the immediately following mux.
+        if let Instr::Mux { dst, sel, t, f } = ins {
+            if used_once(sel) {
+                if let Some(last) = out.last_mut() {
+                    if let Instr::Bin { op, dst: s, a, b } = *last {
+                        if is_cmp(op) && s.space == Space::Scratch && s.off == sel.off {
+                            *last = Instr::CmpMux {
+                                cmp: op,
+                                dst,
+                                a,
+                                b,
+                                t,
+                                f,
+                            };
+                            stats.cmp_mux += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(ins);
+    }
+    out
+}
+
+/// Mutable destination slot of any instruction (every kind has one).
+fn dst_mut(ins: &mut Instr) -> &mut Slot {
+    match ins {
+        Instr::Copy { dst, .. }
+        | Instr::Sext { dst, .. }
+        | Instr::Bin { dst, .. }
+        | Instr::Un { dst, .. }
+        | Instr::Mux { dst, .. }
+        | Instr::Cat { dst, .. }
+        | Instr::CatImm { dst, .. }
+        | Instr::ReadMem { dst, .. }
+        | Instr::CmpMux { dst, .. } => dst,
+    }
+}
+
+fn is_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Lt | BinOp::Leq | BinOp::Gt | BinOp::Geq | BinOp::Eq | BinOp::Neq
+    )
+}
+
+/// First word of a single-word constant slot (zero-width reads zero).
+fn const_word(s: Slot, consts: &[u64]) -> u64 {
+    if s.words == 0 {
+        0
+    } else {
+        consts[s.off as usize]
+    }
 }
 
 /// Builds a `Partition` facade from explicit groups (multithreaded
@@ -831,13 +1115,82 @@ circuit C :
             .iter()
             .find(|t| matches!(t.kind, TaskKind::Reg))
             .unwrap();
-        assert!(
-            reg_task
-                .instrs
-                .iter()
-                .any(|i| matches!(i, Instr::Mux { .. })),
-            "fast-path reset must compile to a mux"
-        );
+        let code = &compiled.image.code[reg_task.code.0 as usize..reg_task.code.1 as usize];
+        let has_mux = code.iter().any(|e| {
+            matches!(e.op, crate::image::Op::Mux)
+                || (matches!(e.op, crate::image::Op::Wide)
+                    && matches!(compiled.image.wide[e.a as usize], Instr::Mux { .. }))
+        });
+        assert!(has_mux, "fast-path reset must compile to a mux");
+    }
+
+    #[test]
+    fn fusion_collapses_pairs_and_preserves_counts() {
+        // A trailing masking copy (full-cycle mode), a compare feeding
+        // a mux, and a cat of a constant — one of each fusion class.
+        let g = gsim_firrtl::compile(
+            r#"
+circuit F :
+  module F :
+    input a : UInt<8>
+    input b : UInt<8>
+    output y : UInt<8>
+    output z : UInt<9>
+    y <= mux(lt(a, b), a, b)
+    z <= cat(UInt<1>(1), a)
+"#,
+        )
+        .unwrap();
+        let fused = compile(&g, &SimOptions::full_cycle()).unwrap();
+        let plain = compile(
+            &g,
+            &SimOptions {
+                superinstr_fusion: false,
+                ..SimOptions::full_cycle()
+            },
+        )
+        .unwrap();
+        assert!(fused.fusion.cmp_mux >= 1, "{:?}", fused.fusion);
+        assert!(fused.fusion.cat_const >= 1, "{:?}", fused.fusion);
+        assert!(fused.fusion.masking_copies >= 1, "{:?}", fused.fusion);
+        assert_eq!(plain.fusion, FusionStats::default());
+        let fused_n: u32 = fused.tasks.iter().map(|t| t.n_instrs).sum();
+        let plain_n: u32 = plain.tasks.iter().map(|t| t.n_instrs).sum();
+        assert!(fused_n < plain_n, "fusion must shrink the stream");
+    }
+
+    #[test]
+    fn locality_layout_segregates_spaces() {
+        let g = gsim_firrtl::compile(
+            r#"
+circuit L :
+  module L :
+    input clock : Clock
+    input a : UInt<8>
+    output y : UInt<8>
+    reg r : UInt<8>, clock
+    r <= a
+    node t = xor(r, a)
+    y <= t
+"#,
+        )
+        .unwrap();
+        let compiled = compile(&g, &SimOptions::default()).unwrap();
+        let mut input_offs = Vec::new();
+        let mut comb_offs = Vec::new();
+        for t in &compiled.tasks {
+            match t.kind {
+                TaskKind::Input => input_offs.push(t.out.off),
+                TaskKind::Comb => comb_offs.push(t.out.off),
+                _ => {}
+            }
+        }
+        let reg = &compiled.reg_infos[0];
+        // Inputs come first; register cur/shadow are adjacent and
+        // precede combinational values.
+        assert!(input_offs.iter().max() < comb_offs.iter().min());
+        assert_eq!(reg.shadow.off, reg.cur.off + reg.cur.words as u32);
+        assert!(comb_offs.iter().all(|&o| o > reg.shadow.off));
     }
 
     #[test]

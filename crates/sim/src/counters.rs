@@ -32,6 +32,9 @@ pub struct Counters {
     pub reset_checks: u64,
     /// Bytecode instructions executed.
     pub instrs_executed: u64,
+    /// Fused superinstructions among `instrs_executed` (compare→mux,
+    /// cat-of-const) — the runtime side of the dispatch breakdown.
+    pub fused_executed: u64,
 }
 
 impl Counters {
@@ -49,6 +52,24 @@ impl Counters {
         self.value_changes += other.value_changes;
         self.reset_checks += other.reset_checks;
         self.instrs_executed += other.instrs_executed;
+        self.fused_executed += other.fused_executed;
+    }
+
+    /// Fraction of executed instructions that were fused
+    /// superinstructions.
+    pub fn fused_fraction(&self) -> f64 {
+        if self.instrs_executed == 0 {
+            return 0.0;
+        }
+        self.fused_executed as f64 / self.instrs_executed as f64
+    }
+
+    /// Executed instructions per simulated cycle.
+    pub fn instrs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instrs_executed as f64 / self.cycles as f64
     }
 
     /// Activity factor: evaluated nodes / (total nodes × cycles).

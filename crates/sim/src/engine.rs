@@ -188,10 +188,22 @@ impl Simulator {
         self.c.supernode_levels.len()
     }
 
-    /// Number of bytecode instructions in the compiled design (a code
-    /// size proxy for Table IV).
+    /// Number of logical bytecode instructions in the compiled design
+    /// (a code size proxy for Table IV; fused pairs count once).
     pub fn num_instrs(&self) -> usize {
-        self.c.tasks.iter().map(|t| t.instrs.len()).sum()
+        self.c.tasks.iter().map(|t| t.n_instrs as usize).sum()
+    }
+
+    /// Number of 16-byte encoded units in the execution image's code
+    /// arena (multi-operand instructions take two).
+    pub fn image_units(&self) -> usize {
+        self.c.image.code.len()
+    }
+
+    /// What the superinstruction fusion pass collapsed at compile time
+    /// (all zero when fusion is disabled).
+    pub fn fusion_stats(&self) -> compile::FusionStats {
+        self.c.fusion
     }
 
     /// Bytes of mutable signal state (Table IV's "data size"; memories

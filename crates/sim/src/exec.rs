@@ -1,20 +1,25 @@
 //! The bytecode interpreter.
 //!
-//! Every instruction has a *narrow* fast path (all operands fit one
-//! word — the overwhelming majority of RTL signals) executed directly on
-//! `u64`s, and a *wide* path over stack buffers using the
-//! [`gsim_value::words`] kernels. Wide division falls back to the
-//! [`gsim_value::ops`] reference implementation: it allocates, but
-//! multi-word division is vanishingly rare in real designs and reusing
-//! the reference keeps one source of truth for the hairiest semantics.
+//! The hot path executes the flat execution image ([`crate::image`]):
+//! tasks whose encoded units are all *narrow* (every operand fits one
+//! word — the overwhelming majority of RTL signals) run on
+//! [`run_narrow`], a dispatch loop that never re-checks operand word
+//! counts; tasks containing any multi-word unit run on [`run_general`],
+//! which additionally resolves [`Op::Wide`] units through the image's
+//! side table into the mid-level [`Instr`] interpreter ([`run_instrs`]/
+//! `exec_one`). The mid-level interpreter keeps the per-instruction
+//! narrow/wide split and the stack-buffered [`gsim_value::words`]
+//! kernels — including allocation-free wide division, which spills to
+//! the heap only above [`STACK_WORDS`] (2048 bits).
 //!
 //! The interpreter is generic over [`StateStore`]/[`MemStore`] so the
 //! same code runs single-threaded (plain slices) and multithreaded
 //! (relaxed atomics with barrier-ordered levels).
 
 use crate::compile::{BinOp, Instr, UnOp};
+use crate::image::{EInstr, ExecImage, Op, META_SIGNED, OFF_MASK, SPACE_SHIFT};
 use crate::storage::{MemArena, Slot, Space, StateStore};
-use gsim_value::{ops, words, Value};
+use gsim_value::{words, words_for};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
@@ -53,7 +58,8 @@ pub(crate) struct AtomicMem {
 }
 
 impl AtomicMems {
-    /// Snapshots `mems` into a shared atomic image for a parallel run.
+    /// Snapshots `mems` into a shared atomic image for a parallel run,
+    /// copying each arena's flat word storage wholesale.
     pub(crate) fn snapshot(mems: &[MemArena]) -> AtomicMems {
         AtomicMems {
             arenas: mems
@@ -61,26 +67,20 @@ impl AtomicMems {
                 .map(|m| AtomicMem {
                     depth: m.depth,
                     width: m.width,
-                    words_per_entry: gsim_value::words_for(m.width).max(1),
-                    data: (0..m.depth)
-                        .flat_map(|a| m.entry(a).expect("in range").iter())
-                        .map(|&w| AtomicU64::new(w))
-                        .collect(),
+                    words_per_entry: m.words_per_entry(),
+                    data: m.words().iter().map(|&w| AtomicU64::new(w)).collect(),
                 })
                 .collect(),
         }
     }
 
-    /// Copies the image back into `mems` after a parallel run.
+    /// Copies the image back into `mems` after a parallel run — one
+    /// linear pass per arena, no per-entry address lookups.
     pub(crate) fn copy_back(&self, mems: &mut [MemArena]) {
-        for (m, arena) in mems.iter_mut().enumerate() {
-            let src = &self.arenas[m];
-            for a in 0..arena.depth {
-                let entry = arena.entry_mut(a).expect("in range");
-                let base = a as usize * src.words_per_entry;
-                for (i, w) in entry.iter_mut().enumerate() {
-                    *w = src.data[base + i].load(AtomicOrdering::Relaxed);
-                }
+        for (arena, src) in mems.iter_mut().zip(&self.arenas) {
+            debug_assert_eq!(arena.words().len(), src.data.len());
+            for (w, cell) in arena.words_mut().iter_mut().zip(&src.data) {
+                *w = cell.load(AtomicOrdering::Relaxed);
             }
         }
     }
@@ -236,10 +236,43 @@ impl<S: StateStore, M: MemStore> Ctx<'_, S, M> {
         }
     }
 
-    fn read_value(&self, r: Slot) -> Value {
-        let mut ws = vec![0u64; r.words as usize];
-        self.read_into(r, &mut ws);
-        Value::from_words(ws, r.width)
+    // ----- packed-reference accessors for the encoded interpreter -----
+
+    /// Reads the word behind a packed operand reference. Zero-width
+    /// operands were remapped to the const zero word at encode time, so
+    /// there is no zero-width guard here.
+    #[inline(always)]
+    fn pw(&self, p: u32) -> u64 {
+        let off = (p & OFF_MASK) as usize;
+        match p >> SPACE_SHIFT {
+            0 => self.state.load(off),
+            1 => self.scratch[off],
+            _ => self.consts[off],
+        }
+    }
+
+    /// Packed read sign-extended to 64 bits per the operand meta byte.
+    #[inline(always)]
+    fn pw_ext(&self, p: u32, meta: u8) -> u64 {
+        let v = self.pw(p);
+        let w = (meta & !META_SIGNED) as u32;
+        if meta >= META_SIGNED && w < 64 {
+            let sh = 64 - w;
+            (((v << sh) as i64) >> sh) as u64
+        } else {
+            v
+        }
+    }
+
+    /// Packed single-word write, masked to the destination width `w`.
+    #[inline(always)]
+    fn pw_write(&mut self, p: u32, w: u8, v: u64) {
+        let masked = if w >= 64 { v } else { v & ((1u64 << w) - 1) };
+        let off = (p & OFF_MASK) as usize;
+        match p >> SPACE_SHIFT {
+            0 => self.state.store(off, masked),
+            _ => self.scratch[off] = masked,
+        }
     }
 }
 
@@ -254,7 +287,274 @@ fn lowmask(w: u32) -> u64 {
     }
 }
 
-/// Executes one task's instruction stream.
+/// Executes one task's encoded code range from the execution image,
+/// dispatching to the narrow-only fast loop or the general loop.
+#[inline]
+pub(crate) fn run_task<S: StateStore, M: MemStore>(
+    ctx: &mut Ctx<'_, S, M>,
+    img: &ExecImage,
+    code: (u32, u32),
+    narrow_only: bool,
+) {
+    let code = &img.code[code.0 as usize..code.1 as usize];
+    if narrow_only {
+        run_narrow(ctx, code);
+    } else {
+        run_general(ctx, code, &img.wide);
+    }
+}
+
+/// The narrow-only dispatch loop: every operand is a single word, so no
+/// arm ever checks word counts or takes a buffer.
+pub(crate) fn run_narrow<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, code: &[EInstr]) {
+    exec_encoded::<S, M, false>(ctx, code, &[]);
+}
+
+/// The general dispatch loop: narrow arms plus [`Op::Wide`] units
+/// resolved through the image's side table.
+pub(crate) fn run_general<S: StateStore, M: MemStore>(
+    ctx: &mut Ctx<'_, S, M>,
+    code: &[EInstr],
+    wide: &[Instr],
+) {
+    exec_encoded::<S, M, true>(ctx, code, wide);
+}
+
+/// Shared body of the two dispatch loops, monomorphized on whether wide
+/// units can occur.
+#[inline(always)]
+fn exec_encoded<S: StateStore, M: MemStore, const HAS_WIDE: bool>(
+    ctx: &mut Ctx<'_, S, M>,
+    code: &[EInstr],
+    wide: &[Instr],
+) {
+    let mut i = 0usize;
+    while i < code.len() {
+        let ins = code[i];
+        i += 1;
+        match ins.op {
+            Op::Add => {
+                let v = ctx
+                    .pw_ext(ins.a, ins.xa)
+                    .wrapping_add(ctx.pw_ext(ins.b, ins.xb));
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Sub => {
+                let v = ctx
+                    .pw_ext(ins.a, ins.xa)
+                    .wrapping_sub(ctx.pw_ext(ins.b, ins.xb));
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Mul => {
+                let v = ctx
+                    .pw_ext(ins.a, ins.xa)
+                    .wrapping_mul(ctx.pw_ext(ins.b, ins.xb));
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Div => {
+                let av = ctx.pw_ext(ins.a, ins.xa);
+                let bv = ctx.pw_ext(ins.b, ins.xb);
+                let v = if bv == 0 {
+                    0
+                } else if ins.xa >= META_SIGNED {
+                    ((av as i64 as i128) / (bv as i64 as i128)) as u64
+                } else {
+                    av / bv
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Rem => {
+                let av = ctx.pw_ext(ins.a, ins.xa);
+                let bv = ctx.pw_ext(ins.b, ins.xb);
+                let v = if bv == 0 {
+                    av
+                } else if ins.xa >= META_SIGNED {
+                    ((av as i64 as i128) % (bv as i64 as i128)) as u64
+                } else {
+                    av % bv
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Lt | Op::Leq | Op::Gt | Op::Geq => {
+                let ord = encoded_cmp(ctx, &ins);
+                let v = match ins.op {
+                    Op::Lt => ord.is_lt(),
+                    Op::Leq => ord.is_le(),
+                    Op::Gt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                };
+                ctx.pw_write(ins.dst, ins.xd, v as u64);
+            }
+            Op::Eq => {
+                let v = ctx.pw_ext(ins.a, ins.xa) == ctx.pw_ext(ins.b, ins.xb);
+                ctx.pw_write(ins.dst, ins.xd, v as u64);
+            }
+            Op::Neq => {
+                let v = ctx.pw_ext(ins.a, ins.xa) != ctx.pw_ext(ins.b, ins.xb);
+                ctx.pw_write(ins.dst, ins.xd, v as u64);
+            }
+            Op::And => {
+                let v = ctx.pw_ext(ins.a, ins.xa) & ctx.pw_ext(ins.b, ins.xb);
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Or => {
+                let v = ctx.pw_ext(ins.a, ins.xa) | ctx.pw_ext(ins.b, ins.xb);
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Xor => {
+                let v = ctx.pw_ext(ins.a, ins.xa) ^ ctx.pw_ext(ins.b, ins.xb);
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Dshl => {
+                let sh = ctx.pw_ext(ins.b, ins.xb);
+                let v = if sh >= 64 { 0 } else { ctx.pw(ins.a) << sh };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Dshr => {
+                let sh = ctx.pw_ext(ins.b, ins.xb);
+                let v = if ins.xa >= META_SIGNED {
+                    ((ctx.pw_ext(ins.a, ins.xa) as i64) >> sh.min(63)) as u64
+                } else if sh >= 64 {
+                    0
+                } else {
+                    ctx.pw(ins.a) >> sh
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Not => {
+                let v = !ctx.pw(ins.a);
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Andr => {
+                let v = ctx.pw(ins.a) == lowmask((ins.xa & !META_SIGNED) as u32);
+                ctx.pw_write(ins.dst, ins.xd, v as u64);
+            }
+            Op::Orr => {
+                let v = ctx.pw(ins.a) != 0;
+                ctx.pw_write(ins.dst, ins.xd, v as u64);
+            }
+            Op::Xorr => {
+                let v = (ctx.pw(ins.a).count_ones() % 2) as u64;
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Neg => {
+                let v = ctx.pw_ext(ins.a, ins.xa).wrapping_neg();
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Shl => {
+                let v = if ins.b >= 64 {
+                    0
+                } else {
+                    ctx.pw(ins.a) << ins.b
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Shr => {
+                let v = if ins.xa >= META_SIGNED {
+                    ((ctx.pw_ext(ins.a, ins.xa) as i64) >> ins.b.min(63)) as u64
+                } else if ins.b >= 64 {
+                    0
+                } else {
+                    ctx.pw(ins.a) >> ins.b
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Bits => {
+                let v = ctx.pw(ins.a) >> ins.b.min(63);
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Copy => {
+                let v = ctx.pw(ins.a);
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Sext => {
+                // `xa` carries a forced sign bit.
+                let v = ctx.pw_ext(ins.a, ins.xa);
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Mux => {
+                let ext = code[i];
+                i += 1;
+                let v = if ctx.pw(ins.a) != 0 {
+                    ctx.pw_ext(ins.b, ins.xb)
+                } else {
+                    ctx.pw_ext(ext.a, ext.xa)
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Cat => {
+                let sh = ins.xb as u32;
+                let vb = ctx.pw(ins.b);
+                let v = if sh >= 64 {
+                    vb
+                } else {
+                    (ctx.pw(ins.a) << sh) | vb
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::CatImm => {
+                let v = (ctx.pw(ins.a) << ins.xb) | ins.b as u64;
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::ReadMem => {
+                let mut entry = [0u64; 1];
+                let addr = ctx.pw(ins.a);
+                ctx.mems.read_entry(ins.b, addr, &mut entry);
+                ctx.pw_write(ins.dst, ins.xd, entry[0]);
+            }
+            Op::CmpMuxLt
+            | Op::CmpMuxLeq
+            | Op::CmpMuxGt
+            | Op::CmpMuxGeq
+            | Op::CmpMuxEq
+            | Op::CmpMuxNeq => {
+                let ord = encoded_cmp(ctx, &ins);
+                let take_t = match ins.op {
+                    Op::CmpMuxLt => ord.is_lt(),
+                    Op::CmpMuxLeq => ord.is_le(),
+                    Op::CmpMuxGt => ord.is_gt(),
+                    Op::CmpMuxGeq => ord.is_ge(),
+                    Op::CmpMuxEq => ord.is_eq(),
+                    _ => ord.is_ne(),
+                };
+                let ext = code[i];
+                i += 1;
+                let v = if take_t {
+                    ctx.pw_ext(ext.a, ext.xa)
+                } else {
+                    ctx.pw_ext(ext.b, ext.xb)
+                };
+                ctx.pw_write(ins.dst, ins.xd, v);
+            }
+            Op::Ext => unreachable!("extension unit dispatched directly"),
+            Op::Wide => {
+                if HAS_WIDE {
+                    exec_one(ctx, &wide[ins.a as usize]);
+                } else {
+                    unreachable!("wide unit in a narrow-only task");
+                }
+            }
+        }
+    }
+}
+
+/// Single-word comparison of an encoded unit's `a`/`b` operands,
+/// signedness per operand `a`'s meta byte.
+#[inline(always)]
+fn encoded_cmp<S: StateStore, M: MemStore>(ctx: &Ctx<'_, S, M>, ins: &EInstr) -> Ordering {
+    let av = ctx.pw_ext(ins.a, ins.xa);
+    let bv = ctx.pw_ext(ins.b, ins.xb);
+    if ins.xa >= META_SIGNED {
+        (av as i64).cmp(&(bv as i64))
+    } else {
+        av.cmp(&bv)
+    }
+}
+
+/// Executes a mid-level instruction stream — the reference path for
+/// unit tests (the engines go through the encoded image; wide units
+/// dispatch straight to `exec_one`).
+#[cfg(test)]
 pub(crate) fn run_instrs<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, instrs: &[Instr]) {
     for instr in instrs {
         exec_one(ctx, instr);
@@ -308,15 +608,24 @@ fn exec_one<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, instr: &Instr) 
                 ctx.read_into(sel, buf.as_mut());
                 !words::is_zero(&buf.as_ref()[..sel.words as usize])
             };
-            let arm = if take_t { t } else { f };
-            if dst.words <= 1 && arm.words <= 1 {
-                let v = ctx.word_ext(arm);
-                ctx.write1(dst, v);
-            } else {
-                let mut buf = wide_buf(dst.words.max(arm.words));
-                ctx.read_ext(arm, buf.as_mut());
-                ctx.write_words(dst, buf.as_mut());
-            }
+            write_select(ctx, dst, if take_t { t } else { f });
+        }
+        Instr::CmpMux {
+            cmp,
+            dst,
+            a,
+            b,
+            t,
+            f,
+        } => {
+            let take_t = cmp_slots(ctx, cmp, a, b);
+            write_select(ctx, dst, if take_t { t } else { f });
+        }
+        Instr::CatImm { dst, a, imm, shift } => {
+            // Fusion only forms narrow cat-of-const instructions.
+            debug_assert!(dst.words <= 1 && shift < 64);
+            let v = (ctx.word(a) << shift) | imm;
+            ctx.write1(dst, v);
         }
         Instr::Cat { dst, a, b } => {
             if dst.words <= 1 {
@@ -425,6 +734,54 @@ fn cmp_narrow(av: u64, bv: u64, signed: bool, pick: impl Fn(Ordering) -> bool) -
     pick(ord) as u64
 }
 
+/// Evaluates a comparison between two slots of any width (signedness
+/// from operand `a`, as everywhere in the interpreter).
+fn cmp_slots<S: StateStore, M: MemStore>(ctx: &Ctx<'_, S, M>, op: BinOp, a: Slot, b: Slot) -> bool {
+    let signed = a.signed;
+    let ord = if a.words <= 1 && b.words <= 1 {
+        let av = ctx.word_ext(a);
+        let bv = ctx.word_ext(b);
+        if signed {
+            (av as i64).cmp(&(bv as i64))
+        } else {
+            av.cmp(&bv)
+        }
+    } else {
+        let n = a.words.max(b.words).max(1) as usize;
+        let mut av = wide_buf(n as u16);
+        let mut bv = wide_buf(n as u16);
+        ctx.read_ext(a, av.as_mut());
+        ctx.read_ext(b, bv.as_mut());
+        if signed {
+            words::scmp_extended(&av.as_ref()[..n], &bv.as_ref()[..n])
+        } else {
+            words::ucmp(&av.as_ref()[..n], &bv.as_ref()[..n])
+        }
+    };
+    match op {
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Leq => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Geq => ord.is_ge(),
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Neq => ord.is_ne(),
+        other => unreachable!("{other:?} is not a comparison"),
+    }
+}
+
+/// Mux-style write-back: the selected arm, extended per its sign, into
+/// `dst`.
+fn write_select<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, dst: Slot, arm: Slot) {
+    if dst.words <= 1 && arm.words <= 1 {
+        let v = ctx.word_ext(arm);
+        ctx.write1(dst, v);
+    } else {
+        let mut buf = wide_buf(dst.words.max(arm.words));
+        ctx.read_ext(arm, buf.as_mut());
+        ctx.write_words(dst, buf.as_mut());
+    }
+}
+
 #[cold]
 fn exec_bin_wide<S: StateStore, M: MemStore>(
     ctx: &mut Ctx<'_, S, M>,
@@ -473,25 +830,7 @@ fn exec_bin_wide<S: StateStore, M: MemStore>(
             );
             ctx.write_words(dst, out.as_mut());
         }
-        BinOp::Div | BinOp::Rem => {
-            // Rare path: reuse the reference semantics.
-            let va = ctx.read_value(a);
-            let vb = ctx.read_value(b);
-            let r = if op == BinOp::Div {
-                ops::div(&va, &vb, signed)
-            } else {
-                ops::rem(&va, &vb, signed)
-            };
-            let mut buf = wide_buf(dst.words);
-            let copy = r.words();
-            buf.as_mut()[..copy.len().min(dst.words as usize)]
-                .copy_from_slice(&copy[..copy.len().min(dst.words as usize)]);
-            for w in buf.as_mut()[copy.len().min(dst.words as usize)..dst.words as usize].iter_mut()
-            {
-                *w = 0;
-            }
-            ctx.write_words(dst, buf.as_mut());
-        }
+        BinOp::Div | BinOp::Rem => exec_divrem_wide(ctx, op, dst, a, b),
         BinOp::Lt | BinOp::Leq | BinOp::Gt | BinOp::Geq | BinOp::Eq | BinOp::Neq => {
             let mut av = wide_buf(n as u16);
             let mut bv = wide_buf(n as u16);
@@ -540,6 +879,80 @@ fn exec_bin_wide<S: StateStore, M: MemStore>(
             }
             ctx.write_words(dst, out.as_mut());
         }
+    }
+}
+
+/// Multi-word division/remainder on the shared stack buffers — no heap
+/// traffic below [`STACK_WORDS`] — matching the
+/// [`gsim_value::ops::div`]/[`gsim_value::ops::rem`] reference
+/// semantics bit for bit: magnitudes divide, the quotient takes the
+/// XOR of the signs, the remainder the dividend's sign, and a zero
+/// divisor yields `q = 0, r = a`.
+#[cold]
+fn exec_divrem_wide<S: StateStore, M: MemStore>(
+    ctx: &mut Ctx<'_, S, M>,
+    op: BinOp,
+    dst: Slot,
+    a: Slot,
+    b: Slot,
+) {
+    let signed = a.signed;
+    let n = words_for(a.width.max(b.width)).max(1);
+    let mut aw = wide_buf(n as u16);
+    let mut bw = wide_buf(n as u16);
+    ctx.read_into(a, aw.as_mut());
+    ctx.read_into(b, bw.as_mut());
+    let mut neg_a = false;
+    let mut neg_b = false;
+    if signed {
+        neg_a = magnitude_in_place(aw.as_mut(), a.width);
+        neg_b = magnitude_in_place(bw.as_mut(), b.width);
+    }
+    let b_zero = words::is_zero(&bw.as_ref()[..n]);
+    let mut q = wide_buf(n as u16);
+    let mut r = wide_buf(n as u16);
+    words::udivrem(
+        &mut q.as_mut()[..n],
+        &mut r.as_mut()[..n],
+        &aw.as_ref()[..n],
+        &bw.as_ref()[..n],
+    );
+    let nd = dst.words as usize;
+    let copy = n.min(nd);
+    let mut out = wide_buf(dst.words);
+    if op == BinOp::Div {
+        out.as_mut()[..copy].copy_from_slice(&q.as_ref()[..copy]);
+        if signed && (neg_a ^ neg_b) && !b_zero {
+            neg_in_place(out.as_mut(), nd);
+        }
+    } else {
+        if signed && neg_a && !words::is_zero(&r.as_ref()[..n]) {
+            neg_in_place(r.as_mut(), n);
+        }
+        out.as_mut()[..copy].copy_from_slice(&r.as_ref()[..copy]);
+    }
+    ctx.write_words(dst, out.as_mut());
+}
+
+/// Two's-complement magnitude at `width` bits, in place over the low
+/// `words_for(width)` words; returns whether the value was negative.
+fn magnitude_in_place(buf: &mut [u64], width: u32) -> bool {
+    if width == 0 || !words::get_bit(buf, width - 1) {
+        return false;
+    }
+    let nw = words_for(width);
+    neg_in_place(buf, nw);
+    words::mask_in_place(&mut buf[..nw], width);
+    true
+}
+
+/// Two's-complement negation of the low `n` words, in place.
+fn neg_in_place(buf: &mut [u64], n: usize) {
+    let mut carry = 1u64;
+    for w in &mut buf[..n] {
+        let (s, c) = (!*w).overflowing_add(carry);
+        *w = s;
+        carry = c as u64;
     }
 }
 
@@ -840,6 +1253,68 @@ mod tests {
         );
         assert_eq!(st[1], 0x5678);
         assert_eq!(st[3], 0, "out-of-range read is zero");
+    }
+
+    #[test]
+    fn atomic_mems_snapshot_copy_back_roundtrips_bit_exactly() {
+        let mut m = MemArena::new("m".into(), 5, 96);
+        for a in 0..5 {
+            let entry = m.entry_mut(a).unwrap();
+            entry[0] = 0xdead_beef_0000_0000 | a;
+            entry[1] = (a << 8) | 0xff; // masked region: 96 % 64 = 32 bits
+        }
+        let before: Vec<u64> = m.words().to_vec();
+        let mems = [m];
+        let image = AtomicMems::snapshot(&mems);
+        // Mutate through the atomic image, as the parallel commit does.
+        image.arenas[0].data[2].store(0x1234_5678, AtomicOrdering::Relaxed);
+        let mut mems = mems;
+        image.copy_back(&mut mems);
+        let mut expect = before;
+        expect[2] = 0x1234_5678;
+        assert_eq!(mems[0].words(), &expect[..], "copy_back must be bit-exact");
+        // And an unmodified round trip is the identity.
+        let image2 = AtomicMems::snapshot(&mems);
+        let again: Vec<u64> = mems[0].words().to_vec();
+        image2.copy_back(&mut mems);
+        assert_eq!(mems[0].words(), &again[..]);
+    }
+
+    #[test]
+    fn wide_divrem_stack_path_matches_reference_ops() {
+        use gsim_value::{ops, Value};
+        // 100-bit operands: exercises exec_divrem_wide directly.
+        let a_words = [0xdead_beef_cafe_f00d_u64, 0x0000_000f_ffff_ffff];
+        let b_words = [0x0000_0000_abcd_ef01_u64, 0x3];
+        let mut st = vec![a_words[0], a_words[1], b_words[0], b_words[1], 0, 0, 0, 0];
+        let mut sc = vec![0u64; 8];
+        let cs: Vec<u64> = vec![];
+        for (signed, op) in [
+            (false, BinOp::Div),
+            (true, BinOp::Div),
+            (false, BinOp::Rem),
+            (true, BinOp::Rem),
+        ] {
+            let a = Slot::state(0, 100, signed);
+            let b = Slot::state(2, 100, signed);
+            let dst = Slot::state(4, if op == BinOp::Div { 101 } else { 100 }, signed);
+            st[4] = 0;
+            st[5] = 0;
+            run(&mut st, &mut sc, &cs, &[Instr::Bin { op, dst, a, b }]);
+            let va = Value::from_words(a_words.to_vec(), 100);
+            let vb = Value::from_words(b_words.to_vec(), 100);
+            let want = if op == BinOp::Div {
+                ops::div(&va, &vb, signed)
+            } else {
+                ops::rem(&va, &vb, signed)
+            }
+            .zext_or_trunc(dst.width);
+            assert_eq!(
+                &st[4..4 + dst.words as usize],
+                want.words(),
+                "{op:?} signed={signed}"
+            );
+        }
     }
 
     #[test]

@@ -193,9 +193,10 @@ pub(crate) fn run_task_range<S: StateStore, M: MemStore>(
         if matches!(task.kind, TaskKind::Input) {
             continue;
         }
-        exec::run_instrs(ctx, &task.instrs);
+        exec::run_task(ctx, &c.image, task.code, task.narrow_only);
         counters.node_evals += 1;
-        counters.instrs_executed += task.instrs.len() as u64;
+        counters.instrs_executed += task.n_instrs as u64;
+        counters.fused_executed += task.n_fused as u64;
     }
 }
 
@@ -223,8 +224,9 @@ pub(crate) fn eval_supernode<S, M, A, F>(
             continue;
         }
         counters.node_evals += 1;
-        counters.instrs_executed += task.instrs.len() as u64;
-        exec::run_instrs(ctx, &task.instrs);
+        counters.instrs_executed += task.n_instrs as u64;
+        counters.fused_executed += task.n_fused as u64;
+        exec::run_task(ctx, &c.image, task.code, task.narrow_only);
         if matches!(task.kind, TaskKind::Comb) {
             let changed = store_if_changed(ctx, task.result, task.out);
             if changed {

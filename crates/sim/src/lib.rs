@@ -1,9 +1,17 @@
 //! Simulation engines for the GSIM RTL simulator.
 //!
-//! The optimized circuit graph is compiled into compact bytecode (one
-//! short instruction sequence per node, grouped by supernode) and then
-//! executed by one of four engine families, which together stand in for
-//! every simulator the paper evaluates:
+//! The optimized circuit graph is compiled into a **flat execution
+//! image**: one contiguous arena of fixed-size (16-byte) encoded
+//! instructions laid out in supernode execution order, with tasks and
+//! supernodes reduced to ranges into it, an optional superinstruction
+//! fusion pass collapsing frequent adjacent instruction pairs, and a
+//! locality-aware state-slot layout (inputs / register current+shadow
+//! pairs / sweep-ordered combinational values segregated). All-narrow
+//! tasks (every operand one word — the overwhelming majority) dispatch
+//! through a fast loop that never re-checks operand widths; multi-word
+//! instructions go through a side table. The image is executed by one
+//! of four engine families, which together stand in for every
+//! simulator the paper evaluates:
 //!
 //! * **Sequential full-cycle** ([`EngineKind::FullCycle`]) — evaluates
 //!   every node every cycle in topological order: the Verilator /
@@ -69,8 +77,10 @@ mod counters;
 mod engine;
 mod exec;
 mod executor;
+mod image;
 mod storage;
 
+pub use compile::FusionStats;
 pub use counters::Counters;
 pub use engine::{InputFrame, InputHandle, Simulator};
 pub use storage::MemArena;
@@ -114,6 +124,16 @@ pub struct SimOptions {
     /// checks at end of cycle. Requires the graph to carry `RegReset`
     /// metadata (i.e. the reset-lowering pass was *not* run).
     pub reset_slow_path: bool,
+    /// Superinstruction fusion: collapse frequent adjacent instruction
+    /// pairs (op→masking-copy, compare→mux, cat-of-const, register
+    /// shadow copies) into single fused opcodes in the execution image.
+    /// Purely a substrate optimization — results are bit-identical
+    /// either way.
+    pub superinstr_fusion: bool,
+    /// Locality-aware state layout: segregate input / register /
+    /// combinational slot spaces and number combinational slots in
+    /// sweep order. Off reproduces the legacy interleaved numbering.
+    pub locality_layout: bool,
 }
 
 impl Default for SimOptions {
@@ -125,6 +145,8 @@ impl Default for SimOptions {
             check_multiple_bits: true,
             activation_cost_model: true,
             reset_slow_path: true,
+            superinstr_fusion: true,
+            locality_layout: true,
         }
     }
 }
@@ -148,7 +170,9 @@ impl SimOptions {
 
     /// ESSENT-like: essential-signal engine without GSIM's runtime
     /// refinements (per-flag checks, always-branchless activation,
-    /// resets in the fast path), with MFFC partitioning.
+    /// resets in the fast path), with MFFC partitioning, and without
+    /// the substrate-level image optimizations (fusion, locality
+    /// layout) so the baseline stays honest.
     pub fn essent_like() -> SimOptions {
         SimOptions {
             engine: EngineKind::Essential,
@@ -159,6 +183,8 @@ impl SimOptions {
             check_multiple_bits: false,
             activation_cost_model: false,
             reset_slow_path: false,
+            superinstr_fusion: false,
+            locality_layout: false,
         }
     }
 

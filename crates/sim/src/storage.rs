@@ -133,6 +133,25 @@ impl MemArena {
         Some(&self.data[base..base + self.words_per_entry])
     }
 
+    /// Words per entry (at least 1).
+    #[inline]
+    pub(crate) fn words_per_entry(&self) -> usize {
+        self.words_per_entry
+    }
+
+    /// The whole arena's flat word storage (entry `i` at
+    /// `i * words_per_entry`), for bulk snapshot/copy-back.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable view of the flat word storage.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
     /// Mutable words of entry `addr`.
     #[inline]
     pub(crate) fn entry_mut(&mut self, addr: u64) -> Option<&mut [u64]> {

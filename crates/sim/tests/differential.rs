@@ -212,6 +212,37 @@ fn engine_matrix() -> Vec<(&'static str, SimOptions)> {
                 ..SimOptions::essential_mt(2)
             },
         ),
+        // Flat-image ablations: fusion and the locality layout must be
+        // bit-invisible on every engine family.
+        (
+            "gsim-no-fuse",
+            SimOptions {
+                superinstr_fusion: false,
+                ..SimOptions::default()
+            },
+        ),
+        (
+            "gsim-legacy-layout",
+            SimOptions {
+                locality_layout: false,
+                ..SimOptions::default()
+            },
+        ),
+        (
+            "full-cycle-no-fuse",
+            SimOptions {
+                superinstr_fusion: false,
+                locality_layout: false,
+                ..SimOptions::full_cycle()
+            },
+        ),
+        (
+            "gsim-mt2-no-fuse",
+            SimOptions {
+                superinstr_fusion: false,
+                ..SimOptions::essential_mt(2)
+            },
+        ),
     ]
 }
 

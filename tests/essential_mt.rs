@@ -26,14 +26,25 @@ fn stucore_bit_identical_across_threads() {
     let mut reference = RefInterp::new(&graph).unwrap();
     reference.load_mem("imem", &p.image).unwrap();
     let mut engines: Vec<(String, Simulator)> = Vec::new();
-    for (label, opts) in std::iter::once(("essential".to_string(), SimOptions::default())).chain(
-        THREADS
-            .iter()
-            .map(|&t| (format!("essential-mt{t}"), SimOptions::essential_mt(t))),
-    ) {
-        let mut sim = Simulator::compile(&graph, &opts).unwrap();
-        sim.load_mem("imem", &p.image).unwrap();
-        engines.push((label, sim));
+    // The full differential matrix: sequential + 1/2/4 threads, each
+    // with superinstruction fusion on and off.
+    for fusion in [true, false] {
+        let tag = if fusion { "" } else { "-no-fuse" };
+        for (label, opts) in std::iter::once((format!("essential{tag}"), SimOptions::default()))
+            .chain(
+                THREADS
+                    .iter()
+                    .map(|&t| (format!("essential-mt{t}{tag}"), SimOptions::essential_mt(t))),
+            )
+        {
+            let opts = SimOptions {
+                superinstr_fusion: fusion,
+                ..opts
+            };
+            let mut sim = Simulator::compile(&graph, &opts).unwrap();
+            sim.load_mem("imem", &p.image).unwrap();
+            engines.push((label, sim));
+        }
     }
 
     reference.poke_u64("reset", 1).unwrap();
@@ -121,19 +132,28 @@ fn synthetic_core_case(name: &str, target: usize) {
     };
 
     let (seq_peeks, seq_counters) = drive_and_snapshot(&SimOptions::default());
-    for t in THREADS {
-        let opts = SimOptions::essential_mt(t);
-        let (mt_peeks, mt_counters) = drive_and_snapshot(&opts);
-        assert_eq!(mt_peeks, seq_peeks, "essential-mt{t} diverged");
-        // The parallel sweep does exactly the sequential engine's work;
-        // only the active-bit examination strategy differs.
-        assert_eq!(mt_counters.supernode_evals, seq_counters.supernode_evals);
-        assert_eq!(mt_counters.node_evals, seq_counters.node_evals);
-        assert_eq!(mt_counters.value_changes, seq_counters.value_changes);
-        assert_eq!(mt_counters.activations, seq_counters.activations);
-        // Run-to-run stability of the full stat set.
-        let (peeks2, counters2) = drive_and_snapshot(&opts);
-        assert_eq!(peeks2, mt_peeks, "essential-mt{t} outputs wobbled");
-        assert_eq!(counters2, mt_counters, "essential-mt{t} stats wobbled");
+    for fusion in [true, false] {
+        for t in THREADS {
+            let opts = SimOptions {
+                superinstr_fusion: fusion,
+                ..SimOptions::essential_mt(t)
+            };
+            let (mt_peeks, mt_counters) = drive_and_snapshot(&opts);
+            assert_eq!(
+                mt_peeks, seq_peeks,
+                "essential-mt{t} fusion={fusion} diverged"
+            );
+            // The parallel sweep does exactly the sequential engine's
+            // work (only the active-bit examination strategy differs),
+            // and fusion changes none of the semantic counters.
+            assert_eq!(mt_counters.supernode_evals, seq_counters.supernode_evals);
+            assert_eq!(mt_counters.node_evals, seq_counters.node_evals);
+            assert_eq!(mt_counters.value_changes, seq_counters.value_changes);
+            assert_eq!(mt_counters.activations, seq_counters.activations);
+            // Run-to-run stability of the full stat set.
+            let (peeks2, counters2) = drive_and_snapshot(&opts);
+            assert_eq!(peeks2, mt_peeks, "essential-mt{t} outputs wobbled");
+            assert_eq!(counters2, mt_counters, "essential-mt{t} stats wobbled");
+        }
     }
 }
