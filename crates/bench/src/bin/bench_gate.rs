@@ -1,0 +1,256 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_interp.json --fresh smoke.json [--fresh2 smoke2.json]
+//! ```
+//!
+//! Checks that a fresh `repro --json` output still carries the full
+//! `BENCH_interp.json` schema — every required key, every dispatch
+//! label the committed baseline has — and, when a second fresh run is
+//! supplied, that the deterministic semantic counters agree between
+//! the two runs within a 2× drift bound (they are pinned exactly equal
+//! by the test suite; the gate's looser bound keeps it robust to
+//! intentional counter-definition changes landing with their own
+//! baseline update). Absolute `hz` numbers are *not* gated — CI
+//! runners are too noisy — only schema and counter shape are.
+//!
+//! Exit code 0 = gate passed; 1 = failures (listed on stderr);
+//! 2 = usage/IO error.
+
+use gsim_bench::json::{self, Json};
+
+const TOP_KEYS: &[&str] = &[
+    "schema",
+    "scale",
+    "cycles",
+    "smoke",
+    "design",
+    "nodes",
+    "host_cores",
+    "threads_note",
+    "threads",
+    "dispatch",
+    "aot",
+];
+const THREAD_ROW_KEYS: &[&str] = &["engine", "threads", "hz", "speedup"];
+const DISPATCH_ROW_KEYS: &[&str] = &[
+    "label",
+    "engine",
+    "threads",
+    "fusion",
+    "hz",
+    "instrs_per_cycle",
+    "fused_fraction",
+    "static_fused_pairs",
+    "counters",
+];
+const COUNTER_KEYS: &[&str] = &[
+    "cycles",
+    "node_evals",
+    "supernode_evals",
+    "aexam_checks",
+    "activation_ops",
+    "activations",
+    "value_changes",
+    "reset_checks",
+    "instrs_executed",
+    "fused_executed",
+];
+const AOT_ROW_KEYS: &[&str] = &[
+    "design",
+    "emit_s",
+    "rustc_s",
+    "code_bytes",
+    "binary_bytes",
+    "data_bytes",
+    "aot_hz",
+    "interp_hz",
+    "speedup",
+];
+
+/// Maximum allowed ratio between the two fresh runs' counters.
+const MAX_COUNTER_DRIFT: f64 = 2.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut fresh2: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = it.next().cloned(),
+            "--fresh" => fresh = it.next().cloned(),
+            "--fresh2" => fresh2 = it.next().cloned(),
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| die("--baseline is required"));
+    let fresh = fresh.unwrap_or_else(|| die("--fresh is required"));
+
+    let base = load(&baseline);
+    let new = load(&fresh);
+    let mut failures: Vec<String> = Vec::new();
+
+    check_schema(&new, &fresh, &mut failures);
+    check_labels(&base, &new, &mut failures);
+
+    if let Some(fresh2) = fresh2 {
+        let new2 = load(&fresh2);
+        check_schema(&new2, &fresh2, &mut failures);
+        check_counter_drift(&new, &new2, &mut failures);
+    }
+
+    if failures.is_empty() {
+        println!("bench gate: OK ({fresh} matches the {baseline} schema)");
+    } else {
+        for f in &failures {
+            eprintln!("bench gate FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Every required key present, with the right container shapes.
+fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
+    for &k in TOP_KEYS {
+        if doc.get(k).is_none() {
+            failures.push(format!("{path}: missing top-level key {k:?}"));
+        }
+    }
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s.starts_with("gsim-bench-interp/") => {}
+        other => failures.push(format!("{path}: unexpected schema tag {other:?}")),
+    }
+    for (arr_key, row_keys) in [
+        ("threads", THREAD_ROW_KEYS),
+        ("dispatch", DISPATCH_ROW_KEYS),
+        ("aot", AOT_ROW_KEYS),
+    ] {
+        let Some(rows) = doc.get(arr_key).and_then(Json::as_arr) else {
+            failures.push(format!("{path}: {arr_key:?} is not an array"));
+            continue;
+        };
+        if arr_key != "aot" && rows.is_empty() {
+            failures.push(format!("{path}: {arr_key:?} is empty"));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            for &k in row_keys {
+                if row.get(k).is_none() {
+                    failures.push(format!("{path}: {arr_key}[{i}] missing key {k:?}"));
+                }
+            }
+            if arr_key == "dispatch" {
+                if let Some(c) = row.get("counters") {
+                    for &k in COUNTER_KEYS {
+                        if c.get(k).is_none() {
+                            failures.push(format!("{path}: dispatch[{i}].counters missing {k:?}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every dispatch label of the committed baseline must still be
+/// produced by a fresh run, and an AoT block present in the baseline
+/// cannot silently become empty (configurations cannot vanish).
+fn check_labels(base: &Json, new: &Json, failures: &mut Vec<String>) {
+    let aot_len = |doc: &Json| {
+        doc.get("aot")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len)
+    };
+    if aot_len(base) > 0 && aot_len(new) == 0 {
+        failures.push(
+            "fresh run recorded no AoT rows although the baseline has them \
+             (rustc missing on the runner, or the AoT build broke)"
+                .into(),
+        );
+    }
+    let labels = |doc: &Json| -> Vec<String> {
+        doc.get("dispatch")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| r.get("label").and_then(Json::as_str).map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let new_labels = labels(new);
+    for l in labels(base) {
+        if !new_labels.contains(&l) {
+            failures.push(format!(
+                "fresh run lost the dispatch configuration {l:?} present in the baseline"
+            ));
+        }
+    }
+}
+
+/// The semantic counters of two fresh runs over the same smoke
+/// configuration must agree within [`MAX_COUNTER_DRIFT`].
+fn check_counter_drift(a: &Json, b: &Json, failures: &mut Vec<String>) {
+    let rows = |doc: &Json| -> Vec<(String, Json)> {
+        doc.get("dispatch")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        Some((
+                            r.get("label")?.as_str()?.to_string(),
+                            r.get("counters")?.clone(),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let rb = rows(b);
+    for (label, ca) in rows(a) {
+        let Some((_, cb)) = rb.iter().find(|(l, _)| *l == label) else {
+            failures.push(format!("second run lost dispatch configuration {label:?}"));
+            continue;
+        };
+        for &k in COUNTER_KEYS {
+            let (va, vb) = (
+                ca.get(k).and_then(Json::as_num).unwrap_or(f64::NAN),
+                cb.get(k).and_then(Json::as_num).unwrap_or(f64::NAN),
+            );
+            if va == 0.0 && vb == 0.0 {
+                continue;
+            }
+            let ratio = if va <= 0.0 || vb <= 0.0 {
+                f64::INFINITY
+            } else {
+                (va / vb).max(vb / va)
+            };
+            if ratio.is_nan() || ratio > MAX_COUNTER_DRIFT {
+                failures.push(format!(
+                    "{label:?}: counter {k} drifted {ratio:.2}x between runs ({va} vs {vb}, bound {MAX_COUNTER_DRIFT}x)"
+                ));
+            }
+        }
+    }
+}
+
+fn usage() {
+    println!("bench_gate --baseline BENCH_interp.json --fresh smoke.json [--fresh2 smoke2.json]");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage();
+    std::process::exit(2);
+}

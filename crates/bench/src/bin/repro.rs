@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|dispatch|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|dispatch|aot|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
@@ -9,12 +9,13 @@
 //! counts (default 0.02; 1.0 regenerates paper-size designs, including
 //! a ~6.2M-node XiangShan stand-in — expect long compile times).
 //!
-//! `--json` additionally runs the thread-scaling and dispatch-breakdown
-//! experiments and writes their cycles/sec + counter breakdowns to
-//! `BENCH_interp.json` (or the given path) so CI can track the
-//! interpreter's performance trajectory. With `GSIM_BENCH_SMOKE=1` the
-//! suite shrinks to tiny designs and short runs, unless `--scale` /
-//! `--cycles` are given explicitly.
+//! `--json` additionally runs the thread-scaling, dispatch-breakdown,
+//! and AoT experiments and writes their cycles/sec + counter
+//! breakdowns (plus `host_cores` and the AoT emit/rustc/size/speed
+//! rows) to `BENCH_interp.json` (or the given path) so CI can track
+//! the simulator's performance trajectory. With `GSIM_BENCH_SMOKE=1`
+//! the suite shrinks to tiny designs and short runs, unless
+//! `--scale` / `--cycles` are given explicitly.
 
 use gsim_bench::experiments as exp;
 
@@ -114,6 +115,14 @@ fn main() {
         section("Dispatch breakdown");
         exp::print_dispatch(xiangshan().name, dispatch_rows.as_ref().unwrap());
     }
+    let mut aot_rows = None;
+    if wants("aot") || json {
+        aot_rows = Some(exp::aot(&suite, &cfg));
+    }
+    if wants("aot") {
+        section("AoT backend");
+        exp::print_aot(aot_rows.as_ref().unwrap());
+    }
     if wants("fig6") {
         section("Figure 6");
         exp::print_fig6(&exp::fig6(&suite, &cfg));
@@ -152,6 +161,7 @@ fn main() {
             d.graph.num_nodes(),
             threads_rows.as_deref().unwrap_or(&[]),
             dispatch_rows.as_deref().unwrap_or(&[]),
+            aot_rows.as_deref().unwrap_or(&[]),
         );
         std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("# wrote {path}");
@@ -167,10 +177,22 @@ fn render_json(
     nodes: usize,
     threads: &[exp::ThreadScalingRow],
     dispatch: &[exp::DispatchRow],
+    aot: &[exp::AotRow],
 ) -> String {
+    let host_cores = exp::host_cores();
+    let max_threads = threads.iter().map(|r| r.threads).max().unwrap_or(1);
+    let threads_note = if host_cores < max_threads {
+        format!(
+            "measured on a {host_cores}-core host: EssentialMt rows above {host_cores} \
+             worker(s) serialize on the level barriers and measure barrier overhead, \
+             not engine scaling"
+        )
+    } else {
+        format!("measured on a {host_cores}-core host; thread counts up to {max_threads} have real cores")
+    };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gsim-bench-interp/1\",\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/2\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
         cfg.scale, cfg.cycles, smoke
@@ -178,6 +200,8 @@ fn render_json(
     s.push_str(&format!(
         "  \"design\": \"{design}\", \"nodes\": {nodes},\n"
     ));
+    s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    s.push_str(&format!("  \"threads_note\": \"{threads_note}\",\n"));
     s.push_str("  \"threads\": [\n");
     for (i, r) in threads.iter().enumerate() {
         s.push_str(&format!(
@@ -187,6 +211,25 @@ fn render_json(
             r.hz,
             r.speedup,
             comma(i, threads.len())
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"aot\": [\n");
+    for (i, r) in aot.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"design\": \"{}\", \"emit_s\": {:.4}, \"rustc_s\": {:.3}, \
+             \"code_bytes\": {}, \"binary_bytes\": {}, \"data_bytes\": {}, \
+             \"aot_hz\": {:.1}, \"interp_hz\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.design,
+            r.emit_s,
+            r.rustc_s,
+            r.code_bytes,
+            r.binary_bytes,
+            r.data_bytes,
+            r.aot_hz,
+            r.interp_hz,
+            r.speedup,
+            comma(i, aot.len())
         ));
     }
     s.push_str("  ],\n");
@@ -247,7 +290,7 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|dispatch|fig6|fig7|fig8|fig9|table3|table4|factors] \
+        "repro [all|table1|threads|dispatch|aot|fig6|fig7|fig8|fig9|table3|table4|factors] \
          [--scale F] [--cycles N] [--json [PATH]]"
     );
 }

@@ -293,6 +293,187 @@ pub fn print_dispatch(design: &str, rows: &[DispatchRow]) {
     }
 }
 
+// ------------------------------------------------------- AoT backend
+
+/// One design's ahead-of-time compilation + execution measurement
+/// (paper Table IV shape: emission/compile resources, plus compiled
+/// vs interpreted cycles/s).
+#[derive(Debug)]
+pub struct AotRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Rust-source emission time (seconds).
+    pub emit_s: f64,
+    /// `rustc -O` time (seconds).
+    pub rustc_s: f64,
+    /// Emitted source bytes.
+    pub code_bytes: usize,
+    /// Native binary bytes.
+    pub binary_bytes: u64,
+    /// Simulated-state bytes (shared layout with the C++ emitter).
+    pub data_bytes: usize,
+    /// Compiled-binary speed (cycles/s, self-reported cycle loop).
+    pub aot_hz: f64,
+    /// Interpreter (GSIM preset) speed on the same stimulus.
+    pub interp_hz: f64,
+    /// `aot_hz / interp_hz`.
+    pub speedup: f64,
+}
+
+/// Per-cycle stimulus frames for the AoT/interpreter comparison:
+/// a reset pulse, then the low-activity profile on the `op_in_*`
+/// lanes (synthetic cores) or held-zero inputs (stuCore, whose work
+/// comes from the loaded program).
+fn aot_frames(graph: &gsim_graph::Graph, cycles: u64) -> Vec<Vec<(String, u64)>> {
+    let lanes: Vec<String> = graph
+        .inputs()
+        .iter()
+        .map(|&i| graph.node(i).name.clone())
+        .filter(|n| n.starts_with("op_in_"))
+        .collect();
+    let mut stim = low_activity_profile().stimulus(lanes.len().max(1), 0xBEEF);
+    (0..cycles)
+        .map(|c| {
+            let mut frame: Vec<(String, u64)> = vec![("reset".into(), u64::from(c < 2))];
+            let ops = stim.next_cycle();
+            for (name, &v) in lanes.iter().zip(&ops) {
+                frame.push((name.clone(), v));
+            }
+            frame
+        })
+        .collect()
+}
+
+/// AoT backend measurement on `designs` (emit → `rustc -O` → run vs
+/// the interpreter on identical stimulus). Returns an empty vector
+/// when the host has no `rustc`.
+pub fn aot(suite: &[SuiteDesign], cfg: &Config) -> Vec<AotRow> {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("# aot: rustc unavailable on this host, skipping");
+        return Vec::new();
+    }
+    // stuCore (real CPU running a real program) plus the smallest
+    // synthetic core — rustc -O on the larger stand-ins would dominate
+    // the whole repro run.
+    let picks: Vec<&SuiteDesign> = suite
+        .iter()
+        .filter(|d| d.name == "stuCore" || d.name == "Rocket")
+        .collect();
+    let mut rows = Vec::new();
+    for d in picks {
+        let cycles = cfg.cycles;
+        let frames = aot_frames(&d.graph, cycles);
+        let loads: Vec<(String, Vec<u64>)> = if d.name == "stuCore" {
+            vec![("imem".into(), programs::coremark_mini(20).image)]
+        } else {
+            Vec::new()
+        };
+        // Compiled binary.
+        let (aot_sim, report) = match Compiler::new(&d.graph).preset(Preset::Gsim).build_aot() {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("# aot: {} failed to build: {e}", d.name);
+                continue;
+            }
+        };
+        let stim = gsim::Stimulus {
+            loads: loads.clone(),
+            frames: frames.clone(),
+        };
+        let run = match aot_sim.run(cycles, &stim, false) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("# aot: {} failed to run: {e}", d.name);
+                continue;
+            }
+        };
+        let aot_hz = cycles as f64 / run.run_seconds.max(1e-12);
+        // Interpreter on the same stimulus, through the same facade.
+        let (mut interp, _) = Compiler::new(&d.graph)
+            .preset(Preset::Gsim)
+            .build()
+            .expect("interpreter compiles");
+        for (mem, image) in &loads {
+            interp.load_mem(mem, image).expect("mem loads");
+        }
+        let handles: Vec<(usize, gsim::InputHandle)> = frames
+            .first()
+            .map(|f| {
+                f.iter()
+                    .enumerate()
+                    .filter_map(|(i, (name, _))| interp.input_handle(name).map(|h| (i, h)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let start = std::time::Instant::now();
+        interp.run_driven(cycles, |c, frame| {
+            if let Some(row) = frames.get(c as usize) {
+                for &(i, h) in &handles {
+                    frame.set(h, row[i].1);
+                }
+            }
+        });
+        let interp_hz = cycles as f64 / start.elapsed().as_secs_f64().max(1e-12);
+        rows.push(AotRow {
+            design: d.name,
+            emit_s: report.emit_time.as_secs_f64(),
+            rustc_s: report.rustc_time.as_secs_f64(),
+            code_bytes: report.code_bytes,
+            binary_bytes: report.binary_bytes,
+            data_bytes: report.data_bytes,
+            aot_hz,
+            interp_hz,
+            speedup: aot_hz / interp_hz.max(1e-12),
+        });
+    }
+    rows
+}
+
+/// Prints the AoT rows.
+pub fn print_aot(rows: &[AotRow]) {
+    println!("AoT backend: emit -> rustc -O -> run, vs the interpreter (GSIM preset)");
+    if rows.is_empty() {
+        println!("  (skipped: rustc unavailable)");
+        return;
+    }
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} {:>10} {:>10} {:>14} {:>14} {:>9}",
+        "Design",
+        "emit (s)",
+        "rustc (s)",
+        "code",
+        "binary",
+        "data",
+        "aot (cyc/s)",
+        "interp",
+        "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>9.3} {:>9.2} {:>10} {:>10} {:>10} {:>14} {:>14} {:>8.2}x",
+            r.design,
+            r.emit_s,
+            r.rustc_s,
+            format_bytes(r.code_bytes),
+            format_bytes(r.binary_bytes as usize),
+            format_bytes(r.data_bytes),
+            format!("{:.0}", r.aot_hz),
+            format!("{:.0}", r.interp_hz),
+            r.speedup
+        );
+    }
+}
+
+/// Logical cores of the measurement host — recorded into
+/// `BENCH_interp.json` so thread-scaling rows can be judged (an
+/// `EssentialMt` "slowdown" on a 1-core host measures barrier
+/// overhead, not the engine).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 // --------------------------------------------------------------- Figure 6
 
 /// One cell of Figure 6: a simulator's speedup on a design/workload.
@@ -804,6 +985,24 @@ mod tests {
             assert_eq!(on.counters.activations, off.counters.activations);
             assert!(on.static_fused_pairs > 0 && off.static_fused_pairs == 0);
         }
+    }
+
+    #[test]
+    fn aot_rows_cover_both_design_classes() {
+        if !gsim_codegen::rustc_available() {
+            eprintln!("skipping: rustc not available");
+            return;
+        }
+        let cfg = tiny_cfg();
+        let suite = build_suite(&cfg);
+        let rows = aot(&suite, &cfg);
+        assert_eq!(rows.len(), 2, "stuCore + Rocket");
+        for r in &rows {
+            assert!(r.code_bytes > 0 && r.binary_bytes > 0 && r.data_bytes > 0);
+            assert!(r.rustc_s > 0.0);
+            assert!(r.aot_hz > 0.0 && r.interp_hz > 0.0);
+        }
+        assert!(host_cores() >= 1);
     }
 
     #[test]

@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 
 pub use harness::{measure_preset, RunStats, WorkloadKind};

@@ -1,0 +1,375 @@
+//! The AoT build driver: emit → `rustc -O` → run.
+//!
+//! [`compile`] writes the [`crate::emit_rust`] output to a scratch
+//! directory, invokes the host `rustc` (no cargo, no network, no
+//! dependencies — the emitted program is fully standalone), and returns
+//! an [`AotSim`] handle that can run the compiled binary over a
+//! [`Stimulus`] stream and parse its peeks + counters report.
+//!
+//! The scratch directory is deleted when the [`AotSim`] is dropped
+//! unless [`AotOptions::keep_dir`] is set.
+
+use crate::rust::{emit_rust, EmitError, RustOutput};
+use gsim_graph::Graph;
+use gsim_partition::PartitionOptions;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Options for the AoT build.
+#[derive(Debug, Clone, Default)]
+pub struct AotOptions {
+    /// Supernode partitioning for the emitted schedule.
+    pub partition: PartitionOptions,
+    /// Keep the scratch directory (source + binary) instead of
+    /// deleting it on drop — useful for debugging emitted code.
+    pub keep_dir: bool,
+}
+
+/// Error from building or running an AoT simulator.
+#[derive(Debug)]
+pub enum AotError {
+    /// The emitter rejected the design.
+    Emit(EmitError),
+    /// Filesystem trouble in the scratch directory.
+    Io(std::io::Error),
+    /// `rustc` could not be spawned (not installed / not on PATH).
+    RustcMissing(std::io::Error),
+    /// `rustc` rejected the emitted program (a codegen bug; the
+    /// message carries the compiler diagnostics).
+    RustcFailed(String),
+    /// The compiled binary exited with an error.
+    RunFailed(String),
+    /// The binary's report could not be parsed.
+    BadReport(String),
+}
+
+impl std::fmt::Display for AotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AotError::Emit(e) => write!(f, "emit: {e}"),
+            AotError::Io(e) => write!(f, "io: {e}"),
+            AotError::RustcMissing(e) => write!(f, "rustc not available: {e}"),
+            AotError::RustcFailed(msg) => write!(f, "rustc failed:\n{msg}"),
+            AotError::RunFailed(msg) => write!(f, "compiled simulator failed:\n{msg}"),
+            AotError::BadReport(msg) => write!(f, "unparseable simulator report: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AotError {}
+
+impl From<EmitError> for AotError {
+    fn from(e: EmitError) -> Self {
+        AotError::Emit(e)
+    }
+}
+
+impl From<std::io::Error> for AotError {
+    fn from(e: std::io::Error) -> Self {
+        AotError::Io(e)
+    }
+}
+
+/// The `rustc` executable the driver invokes: `$GSIM_RUSTC`, else
+/// `$RUSTC` (set by cargo for build scripts), else `rustc` from PATH.
+pub fn rustc_path() -> String {
+    std::env::var("GSIM_RUSTC")
+        .or_else(|_| std::env::var("RUSTC"))
+        .unwrap_or_else(|_| "rustc".into())
+}
+
+/// `true` if the host `rustc` can be invoked (used by tests and the
+/// bench harness to skip gracefully on toolchain-less hosts).
+pub fn rustc_available() -> bool {
+    Command::new(rustc_path())
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// One run's worth of stimulus for a compiled simulator.
+#[derive(Debug, Clone, Default)]
+pub struct Stimulus {
+    /// Memory images applied before cycle 0 (one `u64` per entry).
+    pub loads: Vec<(String, Vec<u64>)>,
+    /// Per-cycle input pokes (cycles beyond the last frame hold their
+    /// inputs). Values are masked to the input width by the simulator.
+    pub frames: Vec<Vec<(String, u64)>>,
+}
+
+impl Stimulus {
+    /// Renders the driver-side stimulus into the text format the
+    /// emitted simulator parses (`rt::parse_stimulus`).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (mem, image) in &self.loads {
+            s.push_str("!load ");
+            s.push_str(mem);
+            for w in image {
+                s.push_str(&format!(" {w:x}"));
+            }
+            s.push('\n');
+        }
+        for frame in &self.frames {
+            let mut first = true;
+            for (name, v) in frame {
+                if !first {
+                    s.push(' ');
+                }
+                first = false;
+                s.push_str(&format!("{name}={v:x}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The parsed report of one compiled-simulator run.
+#[derive(Debug, Clone, Default)]
+pub struct AotRun {
+    /// Final `(output name, lowercase hex value)` peeks.
+    pub peeks: Vec<(String, String)>,
+    /// Semantic counters (`cycles`, `supernode_evals`, `node_evals`,
+    /// `value_changes`).
+    pub counters: Vec<(String, u64)>,
+    /// Seconds the binary spent in its cycle loop (self-reported, so
+    /// process spawn and stimulus parsing are excluded).
+    pub run_seconds: f64,
+    /// Per-cycle `(output name, hex)` rows when tracing was requested.
+    pub trace: Vec<Vec<(String, String)>>,
+    /// The one-line JSON summary the binary printed.
+    pub json: String,
+}
+
+impl AotRun {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a final peek by name.
+    pub fn peek(&self, name: &str) -> Option<&str> {
+        self.peeks
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A compiled ahead-of-time simulator: the emitted source plus the
+/// `rustc`-built native binary, ready to run.
+#[derive(Debug)]
+pub struct AotSim {
+    /// The emission result (code, sizes, emit time).
+    pub emit: RustOutput,
+    /// Wall-clock time of the `rustc -O` invocation.
+    pub rustc_time: Duration,
+    /// Size of the produced binary in bytes.
+    pub binary_bytes: u64,
+    /// Path of the emitted source file.
+    pub source_path: PathBuf,
+    /// Path of the compiled binary.
+    pub binary_path: PathBuf,
+    dir: PathBuf,
+    keep_dir: bool,
+    run_counter: std::cell::Cell<u32>,
+}
+
+impl Drop for AotSim {
+    fn drop(&mut self) {
+        if !self.keep_dir {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+fn scratch_dir(design: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tag = format!(
+        "gsim_aot_{}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+        design
+    );
+    std::env::temp_dir().join(tag)
+}
+
+/// Emits, writes, and compiles `graph` into a native simulator binary.
+///
+/// # Errors
+///
+/// Returns [`AotError`] when emission fails, `rustc` is unavailable,
+/// or the emitted program does not compile.
+pub fn compile(graph: &Graph, opts: &AotOptions) -> Result<AotSim, AotError> {
+    let emit = emit_rust(graph, &opts.partition)?;
+    let dir = scratch_dir(graph.name());
+    std::fs::create_dir_all(&dir)?;
+    let result = compile_in(&dir, emit, opts);
+    if result.is_err() && !opts.keep_dir {
+        // Until an `AotSim` exists (whose Drop owns cleanup), error
+        // paths must not leak the scratch directory.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
+fn compile_in(dir: &Path, emit: RustOutput, opts: &AotOptions) -> Result<AotSim, AotError> {
+    let source_path = dir.join("sim.rs");
+    let binary_path = dir.join(if cfg!(windows) { "sim.exe" } else { "sim" });
+    std::fs::write(&source_path, &emit.code)?;
+    let start = Instant::now();
+    let out = Command::new(rustc_path())
+        .arg("--edition")
+        .arg("2021")
+        .arg("-O")
+        .arg("-o")
+        .arg(&binary_path)
+        .arg(&source_path)
+        .output()
+        .map_err(AotError::RustcMissing)?;
+    let rustc_time = start.elapsed();
+    if !out.status.success() {
+        let msg = String::from_utf8_lossy(&out.stderr).into_owned();
+        return Err(AotError::RustcFailed(msg));
+    }
+    let binary_bytes = std::fs::metadata(&binary_path)?.len();
+    Ok(AotSim {
+        emit,
+        rustc_time,
+        binary_bytes,
+        source_path,
+        binary_path,
+        dir: dir.to_path_buf(),
+        keep_dir: opts.keep_dir,
+        run_counter: std::cell::Cell::new(0),
+    })
+}
+
+impl AotSim {
+    /// Runs the compiled binary for `cycles` cycles over `stimulus`,
+    /// optionally recording a per-cycle output trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AotError`] when the binary fails or its report cannot
+    /// be parsed.
+    pub fn run(&self, cycles: u64, stimulus: &Stimulus, trace: bool) -> Result<AotRun, AotError> {
+        let seq = self.run_counter.get();
+        self.run_counter.set(seq + 1);
+        let stim_path = self.dir.join(format!("stim_{seq}.txt"));
+        std::fs::write(&stim_path, stimulus.render())?;
+        let mut cmd = Command::new(&self.binary_path);
+        cmd.arg("--cycles")
+            .arg(cycles.to_string())
+            .arg("--stimulus")
+            .arg(&stim_path);
+        if trace {
+            cmd.arg("--trace");
+        }
+        let out = cmd.output()?;
+        let _ = std::fs::remove_file(&stim_path);
+        if !out.status.success() {
+            return Err(AotError::RunFailed(format!(
+                "exit {:?}\nstderr:\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            )));
+        }
+        parse_report(&String::from_utf8_lossy(&out.stdout))
+    }
+}
+
+/// Parses the line-oriented report the emitted simulator prints.
+fn parse_report(stdout: &str) -> Result<AotRun, AotError> {
+    let mut run = AotRun::default();
+    for line in stdout.lines() {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("trace") => {
+                let _cycle = it.next();
+                let row: Vec<(String, String)> = it
+                    .filter_map(|tok| {
+                        tok.split_once('=')
+                            .map(|(n, v)| (n.to_string(), v.to_string()))
+                    })
+                    .collect();
+                run.trace.push(row);
+            }
+            Some("peek") => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| AotError::BadReport(format!("bad peek line: {line}")))?;
+                let val = it
+                    .next()
+                    .ok_or_else(|| AotError::BadReport(format!("bad peek line: {line}")))?;
+                run.peeks.push((name.to_string(), val.to_string()));
+            }
+            Some("counter") => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| AotError::BadReport(format!("bad counter line: {line}")))?;
+                let val: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| AotError::BadReport(format!("bad counter line: {line}")))?;
+                run.counters.push((name.to_string(), val));
+            }
+            Some("timing") => {
+                let _name = it.next();
+                run.run_seconds = it.next().and_then(|v| v.parse().ok()).unwrap_or(0.0);
+            }
+            Some("json") => {
+                run.json = line
+                    .strip_prefix("json")
+                    .unwrap_or("")
+                    .trim_start()
+                    .to_string();
+            }
+            _ => {}
+        }
+    }
+    if run.counters.is_empty() {
+        return Err(AotError::BadReport(
+            "no counter lines in simulator output".into(),
+        ));
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stimulus_renders_loads_and_frames() {
+        let s = Stimulus {
+            loads: vec![("imem".into(), vec![0x13, 0xff])],
+            frames: vec![vec![("rst".into(), 1)], vec![], vec![("rst".into(), 0)]],
+        };
+        let text = s.render();
+        assert_eq!(text, "!load imem 13 ff\nrst=1\n\nrst=0\n");
+        let parsed = crate::rt::parse_stimulus(&text).unwrap();
+        assert_eq!(parsed.loads.len(), 1);
+        assert_eq!(parsed.frames.len(), 3);
+        assert!(parsed.frames[1].is_empty());
+    }
+
+    #[test]
+    fn report_parsing_roundtrip() {
+        let out = "trace 0 out=ff halt=0\npeek out ff\ncounter cycles 3\n\
+                   timing run_seconds 0.000001\njson {\"cycles\":3}\n";
+        let run = parse_report(out).unwrap();
+        assert_eq!(run.peek("out"), Some("ff"));
+        assert_eq!(run.counter("cycles"), Some(3));
+        assert_eq!(run.trace.len(), 1);
+        assert!(run.run_seconds > 0.0);
+        assert_eq!(run.json, "{\"cycles\":3}");
+    }
+}

@@ -4,15 +4,17 @@
 //!
 //! ```text
 //! gsim design.fir [--preset gsim|verilator|essent|arcilator]
+//!                 [--backend interp|aot]       # bytecode engines or emit+rustc+run
 //!                 [--threads N]                # parallel engine (gsim/verilator)
 //!                 [--max-supernode-size N]     # the paper's CLI knob
 //!                 [--no-fuse]                  # ablate superinstruction fusion
 //!                 [--no-layout]                # ablate the locality state layout
 //!                 [--cycles N]                 # simulate (zero inputs)
 //!                 [--emit-cpp out.cc]
+//!                 [--emit-rust out.rs]         # the AoT backend's source
 //! ```
 
-use gsim::{Compiler, Preset};
+use gsim::{Compiler, Preset, Stimulus};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +26,8 @@ fn main() {
     let mut no_layout = false;
     let mut cycles: u64 = 0;
     let mut emit_cpp: Option<String> = None;
+    let mut emit_rust: Option<String> = None;
+    let mut aot = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -35,6 +39,13 @@ fn main() {
                     Some("essent") => Preset::Essent,
                     Some("arcilator") => Preset::Arcilator,
                     other => die(&format!("unknown preset {other:?}")),
+                };
+            }
+            "--backend" => {
+                aot = match it.next().map(String::as_str) {
+                    Some("aot") => true,
+                    Some("interp") => false,
+                    other => die(&format!("unknown backend {other:?} (interp|aot)")),
                 };
             }
             "--threads" => {
@@ -51,6 +62,7 @@ fn main() {
             "--no-layout" => no_layout = true,
             "--cycles" => cycles = parse(it.next(), "--cycles"),
             "--emit-cpp" => emit_cpp = it.next().cloned(),
+            "--emit-rust" => emit_rust = it.next().cloned(),
             "--help" | "-h" => {
                 usage();
                 return;
@@ -89,6 +101,22 @@ fn main() {
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let graph = gsim_firrtl::compile(&src).unwrap_or_else(|e| die(&e));
+
+    if aot {
+        if threads.is_some() {
+            die("--threads does not apply to the aot backend");
+        }
+        if emit_cpp.is_some() {
+            die("--emit-cpp does not apply to the aot backend (use --emit-rust)");
+        }
+        if no_fuse || no_layout {
+            // Interpreter-image ablations; the compiled binary has no
+            // instruction stream to fuse or slot layout to toggle.
+            die("--no-fuse/--no-layout ablate the interpreter's execution image and do not apply to the aot backend");
+        }
+        run_aot(&graph, &path, preset, opts, cycles, emit_rust.as_deref());
+        return;
+    }
 
     let (mut sim, report) = Compiler::new(&graph)
         .options(opts)
@@ -142,37 +170,94 @@ fn main() {
         );
     }
 
-    if let Some(out_path) = emit_cpp {
-        let style = match preset {
-            Preset::Verilator | Preset::VerilatorMt(_) | Preset::Arcilator => {
-                gsim_codegen::Style::FullCycle
-            }
-            _ => gsim_codegen::Style::Essential,
-        };
-        let opts = preset.options();
-        let (optimized, _) = gsim_passes::run(
-            graph.clone(),
-            &gsim::PassOptions {
-                expression_simplify: opts.expression_simplify,
-                redundant_elim: opts.redundant_elim,
-                node_inline: opts.node_inline,
-                node_extract: opts.node_extract,
-                bit_split: opts.bit_split,
-                reset_slow_path: opts.reset_slow_path,
-            },
-        );
-        let emitted = gsim_codegen::emit(
-            &optimized,
-            style,
-            &gsim_partition::PartitionOptions::default(),
-        );
-        std::fs::write(&out_path, &emitted.code)
-            .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+    if emit_cpp.is_some() || emit_rust.is_some() {
+        // Emission uses the same resolved options as the simulation
+        // above (preset + ablation flags + --max-supernode-size), so
+        // the written source is the program those flags would run.
+        let (optimized, _) = gsim_passes::run(graph.clone(), &opts.pass_options());
+        let popts = opts.partition_options();
+        if let Some(out_path) = emit_cpp {
+            let style = match preset {
+                Preset::Verilator | Preset::VerilatorMt(_) | Preset::Arcilator => {
+                    gsim_codegen::Style::FullCycle
+                }
+                _ => gsim_codegen::Style::Essential,
+            };
+            let emitted = gsim_codegen::emit(&optimized, style, &popts);
+            std::fs::write(&out_path, &emitted.code)
+                .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+            eprintln!(
+                "emitted  : {out_path} ({} bytes, {:.1} ms)",
+                emitted.code_bytes,
+                emitted.emit_time.as_secs_f64() * 1e3
+            );
+        }
+        if let Some(out_path) = emit_rust {
+            // The AoT backend's source, without invoking rustc.
+            let emitted =
+                gsim_codegen::emit_rust(&optimized, &popts).unwrap_or_else(|e| die(&e.to_string()));
+            std::fs::write(&out_path, &emitted.code)
+                .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+            eprintln!(
+                "emitted  : {out_path} ({} bytes, {:.1} ms)",
+                emitted.code_bytes,
+                emitted.emit_time.as_secs_f64() * 1e3
+            );
+        }
+    }
+}
+
+/// The `--backend aot` path: emit → `rustc -O` → run, then print the
+/// same output lines as the interpreter backend so the two can be
+/// diffed directly.
+fn run_aot(
+    graph: &gsim::Graph,
+    path: &str,
+    preset: Preset,
+    opts: gsim::OptOptions,
+    cycles: u64,
+    emit_rust: Option<&str>,
+) {
+    let (sim, report) = Compiler::new(graph)
+        .options(opts)
+        .build_aot()
+        .unwrap_or_else(|e| die(&e));
+    eprintln!("design   : {} ({})", graph.name(), path);
+    eprintln!("preset   : {} [aot backend]", preset.name());
+    eprintln!(
+        "nodes    : {} -> {}",
+        report.nodes_before, report.nodes_after
+    );
+    eprintln!("supernodes: {}", report.supernodes);
+    eprintln!(
+        "aot      : emitted {} B in {:.1} ms, rustc {:.2} s, binary {} B, {} B state",
+        report.code_bytes,
+        report.emit_time.as_secs_f64() * 1e3,
+        report.rustc_time.as_secs_f64(),
+        report.binary_bytes,
+        report.data_bytes
+    );
+    if let Some(out) = emit_rust {
+        std::fs::copy(&sim.source_path, out)
+            .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        eprintln!("emitted  : {out}");
+    }
+    if cycles > 0 {
+        let run = sim
+            .run(cycles, &Stimulus::default(), false)
+            .unwrap_or_else(|e| die(&e.to_string()));
         eprintln!(
-            "emitted  : {out_path} ({} bytes, {:.1} ms)",
-            emitted.code_bytes,
-            emitted.emit_time.as_secs_f64() * 1e3
+            "simulated {} cycles in {:.3} s ({:.1} kHz) [compiled binary]",
+            cycles,
+            run.run_seconds,
+            cycles as f64 / run.run_seconds.max(1e-12) / 1e3
         );
+        for &out in graph.outputs() {
+            let name = graph.display_name(out);
+            if let Some(hex) = run.peek(&name) {
+                println!("{name} = {}'h{hex}", graph.node(out).width);
+            }
+        }
     }
 }
 
@@ -184,8 +269,9 @@ fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
 fn usage() {
     println!(
         "gsim <design.fir> [--preset gsim|verilator|essent|arcilator] \
-         [--threads N] [--max-supernode-size N] [--no-fuse] [--no-layout] \
-         [--cycles N] [--emit-cpp out.cc]"
+         [--backend interp|aot] [--threads N] [--max-supernode-size N] \
+         [--no-fuse] [--no-layout] [--cycles N] [--emit-cpp out.cc] \
+         [--emit-rust out.rs]"
     );
 }
 

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use gsim_codegen::{AotRun, AotSim, Stimulus};
 pub use gsim_graph::Graph;
 pub use gsim_passes::{PassOptions, PassStats};
 pub use gsim_sim::{
@@ -130,6 +131,11 @@ pub enum EngineChoice {
     Essential,
     /// Essential-signal swept level-parallel across N threads.
     EssentialMt(usize),
+    /// Ahead-of-time compiled backend: emit a standalone Rust
+    /// simulator, `rustc -O` it, and run the native binary. Built via
+    /// [`Compiler::build_aot`] (not [`Compiler::build`], which returns
+    /// an in-process interpreter).
+    Aot,
 }
 
 /// Supernode construction selector.
@@ -268,7 +274,10 @@ impl OptOptions {
         out
     }
 
-    fn pass_options(&self) -> PassOptions {
+    /// The node/bit-level pass configuration these options expand to
+    /// (shared by `build`, `build_aot`, and the CLI's emit paths so
+    /// the mapping lives in exactly one place).
+    pub fn pass_options(&self) -> PassOptions {
         PassOptions {
             expression_simplify: self.expression_simplify,
             redundant_elim: self.redundant_elim,
@@ -279,24 +288,38 @@ impl OptOptions {
         }
     }
 
-    fn sim_options(&self) -> SimOptions {
-        SimOptions {
-            engine: match self.engine {
-                EngineChoice::FullCycle => EngineKind::FullCycle,
-                EngineChoice::FullCycleMt(n) => EngineKind::FullCycleMt { threads: n },
-                EngineChoice::Essential => EngineKind::Essential,
-                EngineChoice::EssentialMt(n) => EngineKind::EssentialMt { threads: n },
-            },
-            partition: PartitionOptions {
-                algorithm: self.supernode.algorithm(),
-                max_size: self.max_supernode_size,
-            },
+    /// The supernode partitioning these options expand to (shared
+    /// with the CLI's emit paths).
+    pub fn partition_options(&self) -> PartitionOptions {
+        PartitionOptions {
+            algorithm: self.supernode.algorithm(),
+            max_size: self.max_supernode_size,
+        }
+    }
+
+    fn sim_options(&self) -> Result<SimOptions, String> {
+        let engine = match self.engine {
+            EngineChoice::FullCycle => EngineKind::FullCycle,
+            EngineChoice::FullCycleMt(n) => EngineKind::FullCycleMt { threads: n },
+            EngineChoice::Essential => EngineKind::Essential,
+            EngineChoice::EssentialMt(n) => EngineKind::EssentialMt { threads: n },
+            EngineChoice::Aot => {
+                return Err(
+                    "the AoT backend compiles to a native binary; use Compiler::build_aot \
+                     (CLI: `gsim --backend aot`)"
+                        .into(),
+                )
+            }
+        };
+        Ok(SimOptions {
+            engine,
+            partition: self.partition_options(),
             check_multiple_bits: self.check_multiple_bits,
             activation_cost_model: self.activation_cost_model,
             reset_slow_path: self.reset_slow_path,
             superinstr_fusion: self.superinstruction_fusion,
             locality_layout: self.locality_layout,
-        }
+        })
     }
 }
 
@@ -377,14 +400,14 @@ impl<'g> Compiler<'g> {
     /// Returns an error string for invalid graphs or configurations.
     pub fn build(self) -> Result<(Simulator, CompileReport), String> {
         let start = Instant::now();
+        let sim_opts = self.opts.sim_options()?;
         let nodes_before = self.graph.num_nodes();
         let edges_before = self.graph.num_edges();
         let (optimized, pass_stats) =
             gsim_passes::run(self.graph.clone(), &self.opts.pass_options());
         let nodes_after = optimized.num_nodes();
         let edges_after = optimized.num_edges();
-        let sim =
-            Simulator::compile(&optimized, &self.opts.sim_options()).map_err(|e| e.to_string())?;
+        let sim = Simulator::compile(&optimized, &sim_opts).map_err(|e| e.to_string())?;
         let report = CompileReport {
             nodes_before,
             edges_before,
@@ -398,6 +421,64 @@ impl<'g> Compiler<'g> {
             image_units: sim.image_units(),
             fusion: sim.fusion_stats(),
             state_bytes: sim.state_bytes(),
+        };
+        Ok((sim, report))
+    }
+}
+
+/// What an ahead-of-time compilation did (sizes and timings for the
+/// paper's Table IV shape: emission, host-compiler, binary).
+#[derive(Debug, Clone)]
+pub struct AotReport {
+    /// Nodes before optimization.
+    pub nodes_before: usize,
+    /// Nodes after the pass pipeline.
+    pub nodes_after: usize,
+    /// Pass statistics.
+    pub pass_stats: PassStats,
+    /// Supernodes in the emitted schedule.
+    pub supernodes: usize,
+    /// Rust-source emission time.
+    pub emit_time: Duration,
+    /// `rustc -O` wall-clock time.
+    pub rustc_time: Duration,
+    /// Emitted source bytes ("code size").
+    pub code_bytes: usize,
+    /// Bytes of simulated state in the compiled struct ("data size").
+    pub data_bytes: usize,
+    /// Size of the native binary in bytes.
+    pub binary_bytes: u64,
+}
+
+impl<'g> Compiler<'g> {
+    /// Runs the pass pipeline, emits a standalone Rust simulator, and
+    /// compiles it with the host `rustc` — the ahead-of-time backend
+    /// ([`EngineChoice::Aot`]). The returned [`gsim_codegen::AotSim`]
+    /// runs the native binary over stimulus streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns emission or toolchain diagnostics as a string.
+    pub fn build_aot(self) -> Result<(gsim_codegen::AotSim, AotReport), String> {
+        let nodes_before = self.graph.num_nodes();
+        let (optimized, pass_stats) =
+            gsim_passes::run(self.graph.clone(), &self.opts.pass_options());
+        let nodes_after = optimized.num_nodes();
+        let aot_opts = gsim_codegen::AotOptions {
+            partition: self.opts.partition_options(),
+            keep_dir: false,
+        };
+        let sim = gsim_codegen::compile_aot(&optimized, &aot_opts).map_err(|e| e.to_string())?;
+        let report = AotReport {
+            nodes_before,
+            nodes_after,
+            pass_stats,
+            supernodes: sim.emit.supernodes,
+            emit_time: sim.emit.emit_time,
+            rustc_time: sim.rustc_time,
+            code_bytes: sim.emit.code_bytes,
+            data_bytes: sim.emit.data_bytes,
+            binary_bytes: sim.binary_bytes,
         };
         Ok((sim, report))
     }

@@ -107,3 +107,29 @@ fn cli_presets_agree_on_outputs() {
         "gsim and verilator presets disagree on simulated outputs"
     );
 }
+
+#[test]
+fn cli_aot_backend_agrees_with_interpreter() {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("skipping: rustc not available");
+        return;
+    }
+    let design = write_design("aot_backend");
+    let interp = run_gsim(&design, &["--preset", "gsim", "--cycles", "64"]);
+    let aot = run_gsim(&design, &["--backend", "aot", "--cycles", "64"]);
+    // Identical `name = <w>'h<hex>` output lines from both backends.
+    assert_eq!(
+        interp.stdout, aot.stdout,
+        "aot backend disagrees with the interpreter on simulated outputs"
+    );
+    assert!(
+        aot.stderr.contains("aot      : emitted"),
+        "missing aot stats line:\n{}",
+        aot.stderr
+    );
+    assert!(
+        aot.stderr.contains("[compiled binary]"),
+        "missing compiled-binary timing line:\n{}",
+        aot.stderr
+    );
+}
