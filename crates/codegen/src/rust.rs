@@ -948,11 +948,10 @@ impl Emitter<'_> {
                 if let Some(repr) = self.repr[id.index()] {
                     let v = self.store_value(&op, repr, out, ind);
                     let shadow = format!("self.n{}_next", id.index());
-                    let _ = writeln!(out, "{ind}let v = {v};");
-                    let _ = writeln!(
-                        out,
-                        "{ind}if {shadow} != v {{ {shadow} = v; self.value_changes += 1; }}"
-                    );
+                    // Unconditional, uncounted: the interpreter's Reg
+                    // task writes the shadow the same way; value
+                    // changes are counted once, at commit.
+                    let _ = writeln!(out, "{ind}{shadow} = {v};");
                 }
             }
             NodeKind::MemRead { mem } => {
@@ -1039,6 +1038,37 @@ impl Emitter<'_> {
         // ---- commit ----
         let mut commit = String::new();
         let _ = writeln!(commit, "    fn commit(&mut self) {{");
+        // Commit begins by latching every distinct reset signal: a
+        // reset signal may itself be a register (the reset-synchronizer
+        // pattern), and the registers below commit one by one in node
+        // order, so reading a signal live mid-commit could observe its
+        // *post-edge* value and apply reset one cycle early. RefInterp
+        // computes everything from pre-edge values before committing
+        // anything; these locals pin the same semantics.
+        let regs: Vec<NodeId> = g
+            .iter()
+            .filter(|(_, n)| n.kind.is_reg())
+            .map(|(id, _)| id)
+            .collect();
+        let mut reset_sigs: Vec<NodeId> = Vec::new();
+        for &id in &regs {
+            if self.repr[id.index()].is_none() {
+                continue;
+            }
+            if let NodeKind::Reg { reset: Some(r) } = &g.node(id).kind {
+                if !reset_sigs.contains(&r.signal) {
+                    reset_sigs.push(r.signal);
+                }
+            }
+        }
+        for &sig in &reset_sigs {
+            let op = self.node_operand(sig);
+            let nz = match &op {
+                Operand::N { expr, .. } => format!("{expr} != 0"),
+                Operand::W { expr, .. } => format!("rt::orr(&{expr})"),
+            };
+            let _ = writeln!(commit, "        let rst_n{}: bool = {nz};", sig.index());
+        }
         // Memory write ports, in node order (last write wins), using
         // pre-edge values — then register commit.
         let mems_with_writes: Vec<usize> = (0..g.mems().len())
@@ -1105,12 +1135,8 @@ impl Emitter<'_> {
             self.act_lines(&masks, &mut commit, "            ");
             let _ = writeln!(commit, "        }}");
         }
-        // Registers, in node order.
-        let regs: Vec<NodeId> = g
-            .iter()
-            .filter(|(_, n)| n.kind.is_reg())
-            .map(|(id, _)| id)
-            .collect();
+        // Registers, in node order, muxing on the pre-edge reset
+        // snapshots taken above.
         for id in regs {
             let node = g.node(id).clone();
             let Some(repr) = self.repr[id.index()] else {
@@ -1123,17 +1149,11 @@ impl Emitter<'_> {
             let cur = field(id);
             let shadow = format!("self.n{}_next", id.index());
             let next = match reset {
-                Some(r) => {
-                    let sig = self.node_operand(r.signal);
-                    let sig_nz = match &sig {
-                        Operand::N { expr, .. } => format!("{expr} != 0"),
-                        Operand::W { expr, .. } => format!("rt::orr(&{expr})"),
-                    };
-                    format!(
-                        "if {sig_nz} {{ {} }} else {{ {shadow} }}",
-                        self.value_literal(&r.init, repr)
-                    )
-                }
+                Some(r) => format!(
+                    "if rst_n{} {{ {} }} else {{ {shadow} }}",
+                    r.signal.index(),
+                    self.value_literal(&r.init, repr)
+                ),
                 None => shadow.clone(),
             };
             let _ = writeln!(commit, "{ind}// register {}", g.display_name(id));
@@ -1141,6 +1161,7 @@ impl Emitter<'_> {
             let _ = writeln!(commit, "{ind}    let v: {} = {next};", repr.ty());
             let _ = writeln!(commit, "{ind}    if {cur} != v {{");
             let _ = writeln!(commit, "{ind}        {cur} = v;");
+            let _ = writeln!(commit, "{ind}        self.value_changes += 1;");
             let masks = self.succ_masks_self[id.index()].clone();
             self.act_lines(&masks, &mut commit, &format!("{ind}        "));
             let _ = writeln!(commit, "{ind}    }}");

@@ -26,7 +26,8 @@ pub mod synth;
 pub use stucore::{stu_core, stu_core_firrtl};
 pub use synth::{synth_core, SynthParams};
 
-use gsim_graph::Graph;
+use gsim_graph::{Expr, Graph, GraphBuilder, PrimOp};
+use gsim_value::Value;
 
 /// Paper Table I node counts, used as generator targets.
 pub const PAPER_NODE_COUNTS: [(&str, usize); 4] = [
@@ -69,6 +70,43 @@ pub fn paper_suite(scale: f64) -> Vec<SuiteDesign> {
         });
     }
     out
+}
+
+/// The standard reset-synchronizer pattern: the external reset is
+/// carried through a two-stage register chain, and the *synchronized*
+/// stage — itself a register — drives a counter's synchronous reset.
+///
+/// This is the canonical adversarial design for commit-phase reset
+/// handling: the reset signal's state slot is overwritten during the
+/// same commit that consults it, so any engine or emitter that reads
+/// reset signals live mid-commit (instead of latching them pre-edge,
+/// as [`gsim_graph::interp::RefInterp`] does) applies reset one cycle
+/// early. Differential tests run it against every engine and the AoT
+/// backend.
+///
+/// Ports: input `rst` (1 bit); outputs `out` (the 8-bit counter) and
+/// `sync_out` (the synchronized reset, for observing the chain).
+pub fn reset_synchronizer() -> Graph {
+    let mut b = GraphBuilder::new("sync_reset");
+    let rst = b.input("rst", 1, false);
+    let s0 = b.reg("sync0", 1, false);
+    b.set_reg_next(s0, Expr::reference(rst, 1, false));
+    let s1 = b.reg("sync1", 1, false);
+    b.set_reg_next(s1, Expr::reference(s0, 1, false));
+    let c = b.reg_with_reset("count", 8, false, s1, Value::zero(8));
+    let next = Expr::truncate(
+        Expr::prim(
+            PrimOp::Add,
+            vec![Expr::reference(c, 8, false), Expr::const_u64(1, 8)],
+            vec![],
+        )
+        .expect("add"),
+        8,
+    );
+    b.set_reg_next(c, next);
+    b.output("out", Expr::reference(c, 8, false));
+    b.output("sync_out", Expr::reference(s1, 1, false));
+    b.finish().expect("reset_synchronizer is a valid graph")
 }
 
 #[cfg(test)]

@@ -95,6 +95,8 @@ pub struct Simulator {
     /// Register-info indices per supernode.
     supernode_regs: Vec<Vec<u32>>,
     dirty_mems: Vec<bool>,
+    /// Pre-edge reset-signal snapshot scratch (one flag per group).
+    reset_snap: Vec<bool>,
     counters: Counters,
     cycle: u64,
 }
@@ -157,6 +159,7 @@ impl Simulator {
             fired,
             supernode_regs,
             dirty_mems,
+            reset_snap: Vec::new(),
             counters: Counters::default(),
             cycle: 0,
         })
@@ -386,7 +389,13 @@ impl Simulator {
         }
         let mut st: &mut [u64] = &mut self.state;
         let mut mems: &mut [MemArena] = &mut self.mems;
-        executor::commit_full_cycle(&self.c, &mut st, &mut mems, &mut self.counters);
+        executor::commit_full_cycle(
+            &self.c,
+            &mut st,
+            &mut mems,
+            &mut self.counters,
+            &mut self.reset_snap,
+        );
         self.cycle += 1;
         self.counters.cycles += 1;
     }
@@ -425,6 +434,7 @@ impl Simulator {
             &self.supernode_regs,
             &mut self.dirty_mems,
             &mut self.counters,
+            &mut self.reset_snap,
         );
         self.cycle += 1;
         self.counters.cycles += 1;
@@ -507,11 +517,12 @@ impl Simulator {
             {
                 let counters = &mut t0_counters;
                 let mut scratch = vec![0u64; c.scratch_words.max(1)];
+                let mut reset_snap = Vec::new();
                 for i in 0..n {
                     sweep_cycle(0, &mut scratch, counters);
                     let mut st = AtomicStateRef(&state[..]);
                     let mut mw: &AtomicMems = &mems;
-                    executor::commit_full_cycle(c, &mut st, &mut mw, counters);
+                    executor::commit_full_cycle(c, &mut st, &mut mw, counters, &mut reset_snap);
                     if i + 1 < n {
                         frame.pokes.clear();
                         drive(base_cycle + i + 1, &mut frame);
@@ -615,6 +626,7 @@ impl Simulator {
                 let counters = &mut t0_counters;
                 let mut scratch = vec![0u64; c.scratch_words.max(1)];
                 let mut dirty = vec![false; mems.arenas.len()];
+                let mut reset_snap = Vec::new();
                 for i in 0..n {
                     sweep_cycle(0, &mut scratch, counters);
                     let mut st = AtomicStateRef(&state[..]);
@@ -628,6 +640,7 @@ impl Simulator {
                         supernode_regs,
                         &mut dirty,
                         counters,
+                        &mut reset_snap,
                     );
                     if i + 1 < n {
                         frame.pokes.clear();

@@ -469,8 +469,25 @@ pub(crate) fn apply_writes<S: StateStore, W: MemWrite>(
     }
 }
 
+/// Latches every distinct reset signal's assertion into `asserted`.
+/// Must run **before** the first register commit of the cycle: a reset
+/// signal may itself be a register (the reset-synchronizer pattern),
+/// and its state slot is overwritten mid-commit, so reading it live in
+/// [`commit_resets`] would observe the *post-edge* value and apply
+/// reset one cycle early. `RefInterp` reads all reset signals pre-edge
+/// (compute-then-commit); this snapshot pins the same semantics.
+pub(crate) fn snapshot_resets<S: StateStore>(c: &Compiled, st: &S, asserted: &mut Vec<bool>) {
+    asserted.clear();
+    asserted.extend(
+        c.reset_groups
+            .iter()
+            .map(|g| st.load(g.signal.off as usize) != 0),
+    );
+}
+
 /// Slow-path reset (Listing 6): one check per distinct reset signal;
-/// on an asserted signal, re-initialize its registers. The essential
+/// on an asserted signal, re-initialize its registers. `asserted` is
+/// the pre-edge snapshot from [`snapshot_resets`]. The essential
 /// engines activate readers of registers that actually changed; the
 /// full-cycle engines pass `essential = false` and skip activation
 /// bookkeeping entirely.
@@ -480,10 +497,11 @@ pub(crate) fn commit_resets<S: StateStore, A: ActiveBits>(
     flags: &mut A,
     counters: &mut Counters,
     essential: bool,
+    asserted: &[bool],
 ) {
-    for g in &c.reset_groups {
+    for (gi, g) in c.reset_groups.iter().enumerate() {
         counters.reset_checks += 1;
-        if st.load(g.signal.off as usize) == 0 {
+        if !asserted[gi] {
             continue;
         }
         for &ri in &g.regs {
@@ -513,14 +531,16 @@ pub(crate) fn commit_full_cycle<S: StateStore, W: MemWrite>(
     st: &mut S,
     mems: &mut W,
     counters: &mut Counters,
+    reset_snap: &mut Vec<bool>,
 ) {
+    snapshot_resets(c, st, reset_snap);
     for r in &c.reg_infos {
         for i in 0..r.cur.words as usize {
             let v = st.load(r.shadow.off as usize + i);
             st.store(r.cur.off as usize + i, v);
         }
     }
-    commit_resets(c, st, &mut NoActivation, counters, false);
+    commit_resets(c, st, &mut NoActivation, counters, false, reset_snap);
     apply_writes(c, st, mems, None);
 }
 
@@ -537,12 +557,14 @@ pub(crate) fn commit_essential<S, W, A, F>(
     supernode_regs: &[Vec<u32>],
     dirty_mems: &mut [bool],
     counters: &mut Counters,
+    reset_snap: &mut Vec<bool>,
 ) where
     S: StateStore,
     W: MemWrite,
     A: ActiveBits,
     F: ActiveBits,
 {
+    snapshot_resets(c, st, reset_snap);
     for w in 0..c.num_supernodes.div_ceil(64) {
         let mut bits = fired.load_word(w);
         if bits == 0 {
@@ -571,7 +593,7 @@ pub(crate) fn commit_essential<S, W, A, F>(
             }
         }
     }
-    commit_resets(c, st, flags, counters, true);
+    commit_resets(c, st, flags, counters, true, reset_snap);
     apply_writes(c, st, mems, Some(dirty_mems));
     for (m, dirty) in dirty_mems.iter_mut().enumerate() {
         if !*dirty {
