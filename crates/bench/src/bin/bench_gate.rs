@@ -31,6 +31,7 @@ const TOP_KEYS: &[&str] = &[
     "threads",
     "dispatch",
     "aot",
+    "session",
 ];
 const THREAD_ROW_KEYS: &[&str] = &["engine", "threads", "hz", "speedup"];
 const DISPATCH_ROW_KEYS: &[&str] = &[
@@ -64,6 +65,16 @@ const AOT_ROW_KEYS: &[&str] = &[
     "binary_bytes",
     "data_bytes",
     "aot_hz",
+    "interp_hz",
+    "speedup",
+];
+const SESSION_ROW_KEYS: &[&str] = &[
+    "design",
+    "steps",
+    "persistent_s",
+    "persistent_hz",
+    "respawn_s",
+    "respawn_hz",
     "interp_hz",
     "speedup",
 ];
@@ -136,12 +147,16 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         ("threads", THREAD_ROW_KEYS),
         ("dispatch", DISPATCH_ROW_KEYS),
         ("aot", AOT_ROW_KEYS),
+        ("session", SESSION_ROW_KEYS),
     ] {
         let Some(rows) = doc.get(arr_key).and_then(Json::as_arr) else {
             failures.push(format!("{path}: {arr_key:?} is not an array"));
             continue;
         };
-        if arr_key != "aot" && rows.is_empty() {
+        // The AoT-backed blocks may legitimately be empty on a
+        // rustc-less host; `check_labels` still catches them
+        // *vanishing* relative to a baseline that has them.
+        if arr_key != "aot" && arr_key != "session" && rows.is_empty() {
             failures.push(format!("{path}: {arr_key:?} is empty"));
         }
         for (i, row) in rows.iter().enumerate() {
@@ -167,17 +182,15 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
 /// produced by a fresh run, and an AoT block present in the baseline
 /// cannot silently become empty (configurations cannot vanish).
 fn check_labels(base: &Json, new: &Json, failures: &mut Vec<String>) {
-    let aot_len = |doc: &Json| {
-        doc.get("aot")
-            .and_then(Json::as_arr)
-            .map_or(0, <[Json]>::len)
-    };
-    if aot_len(base) > 0 && aot_len(new) == 0 {
-        failures.push(
-            "fresh run recorded no AoT rows although the baseline has them \
-             (rustc missing on the runner, or the AoT build broke)"
-                .into(),
-        );
+    let arr_len =
+        |doc: &Json, key: &str| doc.get(key).and_then(Json::as_arr).map_or(0, <[Json]>::len);
+    for key in ["aot", "session"] {
+        if arr_len(base, key) > 0 && arr_len(new, key) == 0 {
+            failures.push(format!(
+                "fresh run recorded no {key:?} rows although the baseline has them \
+                 (rustc missing on the runner, or the AoT build broke)"
+            ));
+        }
     }
     let labels = |doc: &Json| -> Vec<String> {
         doc.get("dispatch")

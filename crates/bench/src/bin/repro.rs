@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|dispatch|aot|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|dispatch|aot|session|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
@@ -10,10 +10,11 @@
 //! a ~6.2M-node XiangShan stand-in — expect long compile times).
 //!
 //! `--json` additionally runs the thread-scaling, dispatch-breakdown,
-//! and AoT experiments and writes their cycles/sec + counter
-//! breakdowns (plus `host_cores` and the AoT emit/rustc/size/speed
-//! rows) to `BENCH_interp.json` (or the given path) so CI can track
-//! the simulator's performance trajectory. With `GSIM_BENCH_SMOKE=1`
+//! AoT, and persistent-session experiments and writes their
+//! cycles/sec + counter breakdowns (plus `host_cores`, the AoT
+//! emit/rustc/size/speed rows, and the session-amortization rows) to
+//! `BENCH_interp.json` (or the given path) so CI can track the
+//! simulator's performance trajectory. With `GSIM_BENCH_SMOKE=1`
 //! the suite shrinks to tiny designs and short runs, unless
 //! `--scale` / `--cycles` are given explicitly.
 
@@ -123,6 +124,14 @@ fn main() {
         section("AoT backend");
         exp::print_aot(aot_rows.as_ref().unwrap());
     }
+    let mut session_rows = None;
+    if wants("session") || json {
+        session_rows = Some(exp::session_amortization(&suite, &cfg));
+    }
+    if wants("session") {
+        section("Persistent session");
+        exp::print_session(session_rows.as_ref().unwrap());
+    }
     if wants("fig6") {
         section("Figure 6");
         exp::print_fig6(&exp::fig6(&suite, &cfg));
@@ -162,6 +171,7 @@ fn main() {
             threads_rows.as_deref().unwrap_or(&[]),
             dispatch_rows.as_deref().unwrap_or(&[]),
             aot_rows.as_deref().unwrap_or(&[]),
+            session_rows.as_deref().unwrap_or(&[]),
         );
         std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("# wrote {path}");
@@ -170,6 +180,7 @@ fn main() {
 
 /// Hand-rolled JSON: the vendored dependency set has no serde, and the
 /// schema is small and flat.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     cfg: &exp::Config,
     smoke: bool,
@@ -178,6 +189,7 @@ fn render_json(
     threads: &[exp::ThreadScalingRow],
     dispatch: &[exp::DispatchRow],
     aot: &[exp::AotRow],
+    session: &[exp::SessionRow],
 ) -> String {
     let host_cores = exp::host_cores();
     let max_threads = threads.iter().map(|r| r.threads).max().unwrap_or(1);
@@ -192,7 +204,7 @@ fn render_json(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gsim-bench-interp/2\",\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/3\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
         cfg.scale, cfg.cycles, smoke
@@ -230,6 +242,24 @@ fn render_json(
             r.interp_hz,
             r.speedup,
             comma(i, aot.len())
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"session\": [\n");
+    for (i, r) in session.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"design\": \"{}\", \"steps\": {}, \"persistent_s\": {:.4}, \
+             \"persistent_hz\": {:.1}, \"respawn_s\": {:.4}, \"respawn_hz\": {:.1}, \
+             \"interp_hz\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.design,
+            r.steps,
+            r.persistent_s,
+            r.persistent_hz,
+            r.respawn_s,
+            r.respawn_hz,
+            r.interp_hz,
+            r.speedup,
+            comma(i, session.len())
         ));
     }
     s.push_str("  ],\n");
@@ -290,7 +320,7 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|dispatch|aot|fig6|fig7|fig8|fig9|table3|table4|factors] \
+        "repro [all|table1|threads|dispatch|aot|session|fig6|fig7|fig8|fig9|table3|table4|factors] \
          [--scale F] [--cycles N] [--json [PATH]]"
     );
 }

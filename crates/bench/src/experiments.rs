@@ -5,7 +5,7 @@
 //! line. EXPERIMENTS.md records a full paper-vs-measured comparison.
 
 use crate::harness::{measure_options, measure_preset, RunStats, WorkloadKind, MT_THREADS};
-use gsim::{Compiler, EngineChoice, OptOptions, Preset, SupernodeChoice};
+use gsim::{Compiler, EngineChoice, OptOptions, Preset, Session, SupernodeChoice};
 use gsim_designs::{paper_suite, SuiteDesign};
 use gsim_graph::Graph;
 use gsim_workloads::{programs, spec_profiles, Profile};
@@ -458,6 +458,135 @@ pub fn print_aot(rows: &[AotRow]) {
             format_bytes(r.binary_bytes as usize),
             format_bytes(r.data_bytes),
             format!("{:.0}", r.aot_hz),
+            format!("{:.0}", r.interp_hz),
+            r.speedup
+        );
+    }
+}
+
+// ------------------------------------------------- persistent session
+
+/// One design's persistent-session amortization measurement: the same
+/// interactive poke/step workload through (a) one resident compiled
+/// process speaking the `Session` wire protocol, (b) one
+/// `AotSim::run` process respawn per step — the only way the batch
+/// API could serve reactive stimulus — and (c) the interpreter
+/// session, all through the same `&mut dyn Session` trait where
+/// applicable.
+#[derive(Debug)]
+pub struct SessionRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Poke/step iterations in the workload.
+    pub steps: u64,
+    /// Wall-clock seconds for the persistent AoT session.
+    pub persistent_s: f64,
+    /// Steps/second through the persistent session.
+    pub persistent_hz: f64,
+    /// Wall-clock seconds for one process respawn per step. This is a
+    /// *lower bound* on the real batch-API cost: each respawned run
+    /// restarts from cycle 0, so faithfully reproducing step `i`'s
+    /// state would additionally replay `i` cycles (quadratic).
+    pub respawn_s: f64,
+    /// Steps/second under per-step respawn.
+    pub respawn_hz: f64,
+    /// Steps/second through the interpreter (GSIM preset) session on
+    /// the identical workload, for scale.
+    pub interp_hz: f64,
+    /// `persistent_hz / respawn_hz` — what keeping the process
+    /// resident buys.
+    pub speedup: f64,
+}
+
+/// Runs the interactive poke/step workload against one session.
+fn drive_session_workload(s: &mut dyn gsim::Session, steps: u64) {
+    for i in 0..steps {
+        s.poke_u64("reset", u64::from(i < 2)).expect("poke reset");
+        s.step(1).expect("step");
+    }
+    let _ = s.peek_u64("halt");
+}
+
+/// Persistent-session amortization on stuCore: a 1k-step (capped by
+/// `--cycles`) interactive poke/step workload, persistent session vs
+/// per-step process respawn. Returns an empty vector when the host
+/// has no `rustc`.
+pub fn session_amortization(suite: &[SuiteDesign], cfg: &Config) -> Vec<SessionRow> {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("# session: rustc unavailable on this host, skipping");
+        return Vec::new();
+    }
+    let Some(d) = suite.iter().find(|d| d.name == "stuCore") else {
+        return Vec::new();
+    };
+    let steps = cfg.cycles.clamp(16, 1_000);
+    let image = programs::coremark_mini(20).image;
+    let loads = vec![("imem".to_string(), image.clone())];
+    let (aot_sim, _) = match Compiler::new(&d.graph).preset(Preset::Gsim).build_aot() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("# session: {} failed to build: {e}", d.name);
+            return Vec::new();
+        }
+    };
+    // (a) One resident compiled process for the whole workload.
+    let mut session = aot_sim.session().expect("spawn server");
+    session.load_mem("imem", &image).expect("load imem");
+    let t0 = std::time::Instant::now();
+    drive_session_workload(&mut session, steps);
+    let persistent_s = t0.elapsed().as_secs_f64();
+    drop(session);
+    // (b) The pre-session way: one `AotSim::run` per step, each a
+    // fresh process + stimulus file + report parse.
+    let t1 = std::time::Instant::now();
+    for i in 0..steps {
+        let stim = gsim::Stimulus {
+            loads: loads.clone(),
+            frames: vec![vec![("reset".to_string(), u64::from(i < 2))]],
+        };
+        aot_sim.run(1, &stim, false).expect("respawned run");
+    }
+    let respawn_s = t1.elapsed().as_secs_f64();
+    // (c) The interpreter session on the identical workload.
+    let mut interp = Compiler::new(&d.graph)
+        .preset(Preset::Gsim)
+        .build_session(EngineChoice::Essential)
+        .expect("interpreter session");
+    interp.load_mem("imem", &image).expect("load imem");
+    let t2 = std::time::Instant::now();
+    drive_session_workload(interp.as_mut(), steps);
+    let interp_s = t2.elapsed().as_secs_f64();
+    let hz = |s: f64| steps as f64 / s.max(1e-12);
+    vec![SessionRow {
+        design: d.name,
+        steps,
+        persistent_s,
+        persistent_hz: hz(persistent_s),
+        respawn_s,
+        respawn_hz: hz(respawn_s),
+        interp_hz: hz(interp_s),
+        speedup: respawn_s.max(1e-12) / persistent_s.max(1e-12),
+    }]
+}
+
+/// Prints the session-amortization rows.
+pub fn print_session(rows: &[SessionRow]) {
+    println!("Persistent AoT session vs per-step process respawn (interactive poke/step workload)");
+    if rows.is_empty() {
+        println!("  (skipped: rustc unavailable)");
+        return;
+    }
+    println!(
+        "{:<10} {:>7} {:>14} {:>14} {:>14} {:>9}",
+        "Design", "steps", "persist (st/s)", "respawn (st/s)", "interp (st/s)", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>7} {:>14} {:>14} {:>14} {:>8.1}x",
+            r.design,
+            r.steps,
+            format!("{:.0}", r.persistent_hz),
+            format!("{:.0}", r.respawn_hz),
             format!("{:.0}", r.interp_hz),
             r.speedup
         );

@@ -12,8 +12,10 @@
 use crate::rust::{emit_rust, EmitError, RustOutput};
 use gsim_graph::Graph;
 use gsim_partition::PartitionOptions;
+use gsim_value::Value;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options for the AoT build.
@@ -130,8 +132,9 @@ impl Stimulus {
 /// The parsed report of one compiled-simulator run.
 #[derive(Debug, Clone, Default)]
 pub struct AotRun {
-    /// Final `(output name, lowercase hex value)` peeks.
-    pub peeks: Vec<(String, String)>,
+    /// Final `(output name, value)` peeks, parsed into typed
+    /// [`Value`]s at the protocol boundary (exact declared width).
+    pub peeks: Vec<(String, Value)>,
     /// Semantic counters (`cycles`, `supernode_evals`, `node_evals`,
     /// `value_changes`).
     pub counters: Vec<(String, u64)>,
@@ -154,11 +157,31 @@ impl AotRun {
     }
 
     /// Looks up a final peek by name.
-    pub fn peek(&self, name: &str) -> Option<&str> {
-        self.peeks
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+    pub fn peek(&self, name: &str) -> Option<&Value> {
+        self.peeks.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a final peek as `u64` (`None` if missing or too wide).
+    pub fn peek_u64(&self, name: &str) -> Option<u64> {
+        self.peek(name).and_then(Value::to_u64)
+    }
+}
+
+/// The build's scratch directory (source + binary), shared between the
+/// [`AotSim`] handle and any persistent [`crate::AotSession`]s spawned
+/// from it: the directory is deleted when the *last* holder drops, so
+/// a session outliving its `AotSim` keeps its binary on disk.
+#[derive(Debug)]
+pub(crate) struct ScratchDir {
+    pub(crate) path: PathBuf,
+    keep: bool,
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
     }
 }
 
@@ -176,17 +199,8 @@ pub struct AotSim {
     pub source_path: PathBuf,
     /// Path of the compiled binary.
     pub binary_path: PathBuf,
-    dir: PathBuf,
-    keep_dir: bool,
+    dir: Arc<ScratchDir>,
     run_counter: std::cell::Cell<u32>,
-}
-
-impl Drop for AotSim {
-    fn drop(&mut self) {
-        if !self.keep_dir {
-            let _ = std::fs::remove_dir_all(&self.dir);
-        }
-    }
 }
 
 fn scratch_dir(design: &str) -> PathBuf {
@@ -246,8 +260,10 @@ fn compile_in(dir: &Path, emit: RustOutput, opts: &AotOptions) -> Result<AotSim,
         binary_bytes,
         source_path,
         binary_path,
-        dir: dir.to_path_buf(),
-        keep_dir: opts.keep_dir,
+        dir: Arc::new(ScratchDir {
+            path: dir.to_path_buf(),
+            keep: opts.keep_dir,
+        }),
         run_counter: std::cell::Cell::new(0),
     })
 }
@@ -263,7 +279,7 @@ impl AotSim {
     pub fn run(&self, cycles: u64, stimulus: &Stimulus, trace: bool) -> Result<AotRun, AotError> {
         let seq = self.run_counter.get();
         self.run_counter.set(seq + 1);
-        let stim_path = self.dir.join(format!("stim_{seq}.txt"));
+        let stim_path = self.dir.path.join(format!("stim_{seq}.txt"));
         std::fs::write(&stim_path, stimulus.render())?;
         let mut cmd = Command::new(&self.binary_path);
         cmd.arg("--cycles")
@@ -284,6 +300,12 @@ impl AotSim {
         }
         parse_report(&String::from_utf8_lossy(&out.stdout))
     }
+
+    /// Shared handle on the scratch directory, for persistent sessions
+    /// that must keep the binary alive past this `AotSim`'s drop.
+    pub(crate) fn dir_handle(&self) -> Arc<ScratchDir> {
+        Arc::clone(&self.dir)
+    }
 }
 
 /// Parses the line-oriented report the emitted simulator prints.
@@ -303,13 +325,21 @@ fn parse_report(stdout: &str) -> Result<AotRun, AotError> {
                 run.trace.push(row);
             }
             Some("peek") => {
+                // `peek <name> <width> <hex>`: parsed into a typed
+                // Value right here at the protocol boundary.
                 let name = it
                     .next()
                     .ok_or_else(|| AotError::BadReport(format!("bad peek line: {line}")))?;
-                let val = it
+                let width: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| AotError::BadReport(format!("bad peek line: {line}")))?;
+                let hex = it
                     .next()
                     .ok_or_else(|| AotError::BadReport(format!("bad peek line: {line}")))?;
-                run.peeks.push((name.to_string(), val.to_string()));
+                let val = Value::from_str_radix(hex, 16, width)
+                    .map_err(|e| AotError::BadReport(format!("bad peek value {hex:?}: {e}")))?;
+                run.peeks.push((name.to_string(), val));
             }
             Some("counter") => {
                 let name = it
@@ -363,10 +393,11 @@ mod tests {
 
     #[test]
     fn report_parsing_roundtrip() {
-        let out = "trace 0 out=ff halt=0\npeek out ff\ncounter cycles 3\n\
+        let out = "trace 0 out=ff halt=0\npeek out 8 ff\ncounter cycles 3\n\
                    timing run_seconds 0.000001\njson {\"cycles\":3}\n";
         let run = parse_report(out).unwrap();
-        assert_eq!(run.peek("out"), Some("ff"));
+        assert_eq!(run.peek("out"), Some(&Value::from_u64(0xff, 8)));
+        assert_eq!(run.peek_u64("out"), Some(0xff));
         assert_eq!(run.counter("cycles"), Some(3));
         assert_eq!(run.trace.len(), 1);
         assert!(run.run_seconds > 0.0);

@@ -15,9 +15,11 @@
 //!   Table IV "data size" accounting ([`crate::layout`]): inputs,
 //!   register current/shadow pairs, then combinational values in sweep
 //!   order, each stored in the narrowest natural integer type;
-//! * a `main` that reads an [`crate::rt::parse_stimulus`]-format
-//!   stimulus stream, steps the design, and reports peeks + counters
-//!   (plus a JSON summary line) on stdout.
+//! * a `main` that reads an `rt::parse_stimulus`-format stimulus
+//!   stream, steps the design, and reports peeks + counters (plus a
+//!   JSON summary line) on stdout — or, with `--serve`, stays
+//!   resident and speaks the line-oriented session protocol
+//!   (documented on `gsim_sim::Session`) over stdin/stdout.
 //!
 //! Values up to 128 bits compute on native `u64`/`u128` arithmetic;
 //! wider signals go through the embedded `rt` word kernels, whose
@@ -1338,11 +1340,20 @@ impl Emitter<'_> {
         let _ = writeln!(load, "        }}");
         let _ = writeln!(load, "    }}");
 
-        // ---- outputs ----
+        // ---- outputs + by-name signal lookup ----
+        let hex_of = |repr: Option<Repr>, id: NodeId| -> String {
+            match repr {
+                None => "String::from(\"0\")".into(),
+                Some(Repr::Small(_)) | Some(Repr::U128) => {
+                    format!("format!(\"{{:x}}\", {})", field(id))
+                }
+                Some(Repr::Wide(_)) => format!("rt::to_hex(&{})", field(id)),
+            }
+        };
         let mut outputs = String::new();
         let _ = writeln!(
             outputs,
-            "    fn outputs(&self) -> Vec<(&'static str, String)> {{"
+            "    fn outputs(&self) -> Vec<(&'static str, u32, String)> {{"
         );
         let _ = writeln!(outputs, "        vec![");
         for &id in g.outputs() {
@@ -1350,16 +1361,39 @@ impl Emitter<'_> {
             if node.name.is_empty() {
                 continue;
             }
-            let hex = match self.repr[id.index()] {
-                None => "String::from(\"0\")".into(),
-                Some(Repr::Small(_)) | Some(Repr::U128) => {
-                    format!("format!(\"{{:x}}\", {})", field(id))
-                }
-                Some(Repr::Wide(_)) => format!("rt::to_hex(&{})", field(id)),
-            };
-            let _ = writeln!(outputs, "            ({:?}, {hex}),", node.name);
+            let hex = hex_of(self.repr[id.index()], id);
+            let _ = writeln!(
+                outputs,
+                "            ({:?}, {}, {hex}),",
+                node.name, node.width
+            );
         }
         let _ = writeln!(outputs, "        ]");
+        let _ = writeln!(outputs, "    }}");
+        let _ = writeln!(outputs);
+        // `signal` resolves the `peek <name>` protocol command: named
+        // outputs and inputs, as `(width, canonical hex)`.
+        let _ = writeln!(
+            outputs,
+            "    fn signal(&self, name: &str) -> Option<(u32, String)> {{"
+        );
+        let _ = writeln!(outputs, "        match name {{");
+        let mut seen: Vec<&str> = Vec::new();
+        for &id in g.outputs().iter().chain(g.inputs()) {
+            let node = g.node(id);
+            if node.name.is_empty() || seen.contains(&node.name.as_str()) {
+                continue;
+            }
+            seen.push(node.name.as_str());
+            let hex = hex_of(self.repr[id.index()], id);
+            let _ = writeln!(
+                outputs,
+                "            {:?} => Some(({}, {hex})),",
+                node.name, node.width
+            );
+        }
+        let _ = writeln!(outputs, "            _ => None,");
+        let _ = writeln!(outputs, "        }}");
         let _ = writeln!(outputs, "    }}");
 
         // ---- assemble the program ----
@@ -1393,7 +1427,22 @@ impl Emitter<'_> {
                 words.join(", ")
             );
         }
+        // The design's memories (name, depth), so the server mode can
+        // tell an unknown memory from an oversized image and report
+        // the real bounds on the wire.
+        let mem_names: Vec<String> = g
+            .mems()
+            .iter()
+            .map(|m| format!("({:?}, {})", m.name, m.depth))
+            .collect();
+        let _ = writeln!(
+            body,
+            "const KNOWN_MEMS: &[(&str, u64)] = &[{}];",
+            mem_names.join(", ")
+        );
         let _ = writeln!(body);
+        // Clone backs the server mode's snapshot/restore commands.
+        let _ = writeln!(body, "#[derive(Clone)]");
         let _ = writeln!(body, "struct Sim {{");
         body.push_str(&fields);
         let _ = writeln!(body, "    act: Vec<u64>,");
@@ -1467,6 +1516,7 @@ fn main_template(design: &str) -> String {
     const T: &str = r#"fn main() {
     let mut cycles: u64 = 0;
     let mut trace = false;
+    let mut serve_mode = false;
     let mut stim_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -1479,9 +1529,10 @@ fn main_template(design: &str) -> String {
                     .unwrap_or_else(|| die("--cycles needs a number"));
             }
             "--trace" => trace = true,
+            "--serve" => serve_mode = true,
             "--stimulus" => stim_path = it.next().cloned(),
             "--help" | "-h" => {
-                println!("usage: sim [--cycles N] [--trace] [--stimulus FILE|-]");
+                println!("usage: sim [--cycles N] [--trace] [--serve] [--stimulus FILE|-]");
                 return;
             }
             other => die(&format!("unknown flag {other}")),
@@ -1510,6 +1561,10 @@ fn main_template(design: &str) -> String {
             die(&format!("cannot load memory {mem:?}"));
         }
     }
+    if serve_mode {
+        serve(sim);
+        return;
+    }
     use std::io::Write as _;
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
@@ -1525,15 +1580,15 @@ fn main_template(design: &str) -> String {
         sim.cycle();
         if trace {
             let _ = write!(out, "trace {c}");
-            for (n, v) in sim.outputs() {
+            for (n, _w, v) in sim.outputs() {
                 let _ = write!(out, " {n}={v}");
             }
             let _ = writeln!(out);
         }
     }
     let secs = t0.elapsed().as_secs_f64();
-    for (n, v) in sim.outputs() {
-        let _ = writeln!(out, "peek {n} {v}");
+    for (n, w, v) in sim.outputs() {
+        let _ = writeln!(out, "peek {n} {w} {v}");
     }
     let _ = writeln!(out, "counter cycles {}", sim.cycles);
     let _ = writeln!(out, "counter supernode_evals {}", sim.supernode_evals);
@@ -1543,7 +1598,7 @@ fn main_template(design: &str) -> String {
     let peeks: Vec<String> = sim
         .outputs()
         .iter()
-        .map(|(n, v)| format!("\"{n}\":\"{v}\""))
+        .map(|(n, _w, v)| format!("\"{n}\":\"{v}\""))
         .collect();
     let _ = writeln!(
         out,
@@ -1555,6 +1610,135 @@ fn main_template(design: &str) -> String {
         sim.node_evals,
         sim.value_changes
     );
+}
+
+/// The persistent server mode: a line-oriented command loop over
+/// stdin/stdout so one compiled process serves a whole interactive
+/// session (see the `Session` trait's "AoT server wire protocol"
+/// rustdoc in `gsim_sim`). Mutating commands are silent on success so
+/// drivers can pipeline them; `err <class> ...` lines are queued in
+/// command order and flushed by the next responding command. Query
+/// commands flush their single response line immediately.
+fn serve(mut sim: Sim) {
+    use std::io::{BufRead as _, Write as _};
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut snaps: Vec<Sim> = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let mut it = line.split_whitespace();
+        match it.next() {
+            None => {}
+            Some("poke") => match (it.next(), it.next()) {
+                (Some(name), Some(hex)) => match rt::parse_hex(hex) {
+                    Some(words) => {
+                        if !sim.poke(name, &words) {
+                            let _ = writeln!(out, "err unknown-input {name}");
+                        }
+                    }
+                    None => {
+                        let _ = writeln!(out, "err protocol bad hex {hex:?}");
+                    }
+                },
+                _ => {
+                    let _ = writeln!(out, "err protocol poke needs <name> <hex>");
+                }
+            },
+            Some("step") => {
+                let n: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+                for _ in 0..n {
+                    sim.cycle();
+                }
+            }
+            Some("load") => match it.next() {
+                Some(name) => {
+                    let mut image = Vec::new();
+                    let mut ok = true;
+                    for tok in it {
+                        match rt::parse_hex(tok) {
+                            Some(words) if words[1..].iter().all(|&w| w == 0) => {
+                                image.push(words[0]);
+                            }
+                            _ => {
+                                let _ = writeln!(out, "err protocol bad image word {tok:?}");
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok && !sim.load_mem(name, &image) {
+                        // The emitted load_mem also fails on oversized
+                        // images; the memory table is known statically.
+                        match KNOWN_MEMS.iter().find(|(n, _)| *n == name) {
+                            Some((_, depth)) => {
+                                let _ = writeln!(
+                                    out,
+                                    "err mem-too-large {name} {depth} {}",
+                                    image.len()
+                                );
+                            }
+                            None => {
+                                let _ = writeln!(out, "err unknown-memory {name}");
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "err protocol load needs <mem> <hex>...");
+                }
+            },
+            Some("peek") => {
+                match it.next() {
+                    Some(name) => match sim.signal(name) {
+                        Some((w, hex)) => {
+                            let _ = writeln!(out, "val {w} {hex}");
+                        }
+                        None => {
+                            let _ = writeln!(out, "err unknown-signal {name}");
+                        }
+                    },
+                    None => {
+                        let _ = writeln!(out, "err protocol peek needs <name>");
+                    }
+                }
+                let _ = out.flush();
+            }
+            Some("counters") => {
+                let _ = writeln!(
+                    out,
+                    "counters {} {} {} {}",
+                    sim.cycles, sim.supernode_evals, sim.node_evals, sim.value_changes
+                );
+                let _ = out.flush();
+            }
+            Some("snapshot") => {
+                snaps.push(sim.clone());
+                let _ = writeln!(out, "snap {}", snaps.len() - 1);
+                let _ = out.flush();
+            }
+            Some("restore") => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(id) if id < snaps.len() => sim = snaps[id].clone(),
+                Some(id) => {
+                    let _ = writeln!(out, "err unknown-snapshot {id}");
+                }
+                None => {
+                    let _ = writeln!(out, "err protocol restore needs <id>");
+                }
+            },
+            Some("sync") => {
+                let _ = writeln!(out, "ok {}", sim.cycles);
+                let _ = out.flush();
+            }
+            Some("exit") => break,
+            Some(other) => {
+                let _ = writeln!(out, "err protocol unknown command {other:?}");
+            }
+        }
+    }
 }
 
 fn die(msg: &str) -> ! {

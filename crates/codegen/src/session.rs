@@ -1,0 +1,325 @@
+//! The persistent AoT session: one compiled simulator process, kept
+//! resident for a whole interactive run.
+//!
+//! [`AotSession`] spawns the `rustc`-built binary in its `--serve`
+//! mode and speaks the line-oriented wire protocol documented on
+//! [`gsim_sim::Session`]: mutating commands (`poke`, `step`, `load`,
+//! `restore`) are pipelined without per-command round trips and
+//! fenced with `sync`; query commands (`peek`, `counters`,
+//! `snapshot`) are one request/response pair each. This is what makes
+//! the AoT backend usable for *reactive* testbenches — stimulus that
+//! depends on previous outputs — and amortizes the one-time `rustc`
+//! cost to zero per step: where [`AotSim::run`] spawns a fresh process
+//! (and re-parses stimulus) per invocation, a session pays one spawn
+//! for arbitrarily many poke/step/peek interactions.
+
+use crate::build::{AotError, AotSim, ScratchDir};
+use gsim_sim::{Counters, GsimError, Session, SessionFrame, SnapshotId};
+use gsim_value::Value;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Arc;
+
+impl From<AotError> for GsimError {
+    fn from(e: AotError) -> Self {
+        GsimError::Backend(e.to_string())
+    }
+}
+
+impl From<crate::rust::EmitError> for GsimError {
+    fn from(e: crate::rust::EmitError) -> Self {
+        GsimError::Backend(e.to_string())
+    }
+}
+
+/// How many pipelined cycles [`Session::run_driven`] lets accumulate
+/// before fencing with a `sync`: bounds the unread `err` lines a
+/// misbehaving stimulus could queue in the child's stdout pipe (well
+/// under the kernel pipe capacity) while keeping the per-cycle wire
+/// cost at roughly one buffered write.
+const SYNC_CHUNK: u64 = 128;
+
+/// A live connection to a compiled simulator process in server mode.
+///
+/// Created by [`AotSim::session`]; implements the backend-agnostic
+/// [`Session`] trait, so harnesses drive it exactly like the
+/// interpreter engines. The child process exits when the session is
+/// dropped (its stdin closes); the scratch directory holding the
+/// binary stays alive as long as either the session or its `AotSim`
+/// does.
+#[derive(Debug)]
+pub struct AotSession {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+    cycle: u64,
+    /// Cycles stepped since the last `sync` fence.
+    unsynced: u64,
+    _dir: Arc<ScratchDir>,
+}
+
+impl AotSim {
+    /// Spawns the compiled binary in `--serve` mode and returns the
+    /// persistent session speaking its wire protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AotError::RunFailed`] when the process cannot be
+    /// spawned or its pipes cannot be set up.
+    pub fn session(&self) -> Result<AotSession, AotError> {
+        let mut child = Command::new(&self.binary_path)
+            .arg("--serve")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| AotError::RunFailed(format!("cannot spawn server: {e}")))?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| AotError::RunFailed("no stdin pipe".into()))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| AotError::RunFailed("no stdout pipe".into()))?;
+        Ok(AotSession {
+            child,
+            stdin: Some(stdin),
+            stdout: BufReader::new(stdout),
+            cycle: 0,
+            unsynced: 0,
+            _dir: self.dir_handle(),
+        })
+    }
+}
+
+impl Drop for AotSession {
+    fn drop(&mut self) {
+        // Closing stdin ends the server's command loop; reap the child
+        // so no zombie outlives the session.
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+impl AotSession {
+    fn writer(&mut self) -> Result<&mut ChildStdin, GsimError> {
+        self.stdin
+            .as_mut()
+            .ok_or_else(|| GsimError::Backend("server stdin closed".into()))
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), GsimError> {
+        let w = self.writer()?;
+        writeln!(w, "{line}").map_err(|e| GsimError::Backend(format!("server write: {e}")))
+    }
+
+    fn flush(&mut self) -> Result<(), GsimError> {
+        self.writer()?
+            .flush()
+            .map_err(|e| GsimError::Backend(format!("server flush: {e}")))
+    }
+
+    fn read_line(&mut self) -> Result<String, GsimError> {
+        let mut line = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut line)
+            .map_err(|e| GsimError::Backend(format!("server read: {e}")))?;
+        if n == 0 {
+            return Err(GsimError::Backend("server process exited".into()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Maps a protocol `err <class> ...` line onto the typed error.
+    fn decode_err(line: &str) -> GsimError {
+        let rest = line.strip_prefix("err ").unwrap_or(line);
+        let mut it = rest.split_whitespace();
+        let class = it.next().unwrap_or("");
+        let arg = it.next().unwrap_or("").to_string();
+        match class {
+            // The compiled poke table only knows inputs, so every bad
+            // poke target reports as NotAnInput.
+            "unknown-input" => GsimError::NotAnInput(arg),
+            "unknown-signal" => GsimError::UnknownSignal(arg),
+            "unknown-memory" => GsimError::UnknownMemory(arg),
+            // `err mem-too-large <mem> <depth> <len>` carries the real
+            // bounds, so the typed error matches the interpreter's.
+            "mem-too-large" => GsimError::MemImageTooLarge {
+                name: arg,
+                depth: it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+                len: it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            },
+            "unknown-snapshot" => GsimError::UnknownSnapshot(arg.parse().unwrap_or(0)),
+            _ => GsimError::Backend(format!("server error: {rest}")),
+        }
+    }
+
+    /// Fences the pipeline: sends `sync`, then drains queued `err`
+    /// lines (in command order) until the matching `ok`. Returns the
+    /// first queued error if any, else the server's cycle count —
+    /// which also resynchronizes the local mirror after `restore`.
+    fn sync(&mut self) -> Result<u64, GsimError> {
+        self.send("sync")?;
+        self.flush()?;
+        self.unsynced = 0;
+        let mut first_err = None;
+        let server_cycle;
+        loop {
+            let line = self.read_line()?;
+            if let Some(rest) = line.strip_prefix("ok") {
+                server_cycle = rest.trim().parse().unwrap_or(self.cycle);
+                break;
+            }
+            if line.starts_with("err ") && first_err.is_none() {
+                first_err = Some(Self::decode_err(&line));
+            }
+        }
+        self.cycle = server_cycle;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(server_cycle),
+        }
+    }
+
+    /// One query round trip (the stream must be fenced, which every
+    /// public method maintains as an invariant).
+    fn query(&mut self, req: &str) -> Result<String, GsimError> {
+        self.send(req)?;
+        self.flush()?;
+        let line = self.read_line()?;
+        if line.starts_with("err ") {
+            return Err(Self::decode_err(&line));
+        }
+        Ok(line)
+    }
+}
+
+impl Session for AotSession {
+    fn backend(&self) -> &'static str {
+        "aot"
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn poke(&mut self, name: &str, v: Value) -> Result<(), GsimError> {
+        self.send(&format!("poke {name} {v:x}"))?;
+        self.sync().map(|_| ())
+    }
+
+    fn peek(&mut self, name: &str) -> Result<Value, GsimError> {
+        let line = self.query(&format!("peek {name}"))?;
+        let mut it = line.split_whitespace();
+        let (Some("val"), Some(w), Some(hex)) = (it.next(), it.next(), it.next()) else {
+            return Err(GsimError::Backend(format!("bad peek response: {line}")));
+        };
+        let width: u32 = w
+            .parse()
+            .map_err(|_| GsimError::Backend(format!("bad peek width: {line}")))?;
+        Value::from_str_radix(hex, 16, width)
+            .map_err(|e| GsimError::Backend(format!("bad peek value {hex:?}: {e}")))
+    }
+
+    fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), GsimError> {
+        let mut line = String::with_capacity(6 + name.len() + image.len() * 9);
+        line.push_str("load ");
+        line.push_str(name);
+        for w in image {
+            line.push_str(&format!(" {w:x}"));
+        }
+        self.send(&line)?;
+        self.sync().map(|_| ())
+    }
+
+    fn step(&mut self, n: u64) -> Result<(), GsimError> {
+        self.send(&format!("step {n}"))?;
+        self.sync().map(|_| ())
+    }
+
+    fn run_driven(
+        &mut self,
+        n: u64,
+        drive: &mut dyn FnMut(u64, &mut SessionFrame),
+    ) -> Result<(), GsimError> {
+        let mut frame = SessionFrame::default();
+        // Local cycle mirror: `self.cycle` is only authoritative at
+        // fences, but `drive` needs the number of the cycle being
+        // staged inside a pipelined chunk.
+        let end = self.cycle + n;
+        let mut at = self.cycle;
+        // Stimulus errors do not cut the run short: as on the
+        // interpreter backend, the session still completes all `n`
+        // cycles, stimulus stops being driven, and the first error is
+        // reported at the end. (Within the chunk already in flight
+        // when the fence surfaces the error, later frames' valid
+        // pokes were applied — the pipelining trade-off the trait
+        // documents.) Only transport failures (`send` errors) abort.
+        let mut first_err: Option<GsimError> = None;
+        while at < end {
+            if first_err.is_none() {
+                frame.clear();
+                drive(at, &mut frame);
+                for (name, v) in frame.pokes() {
+                    self.send(&format!("poke {name} {v:x}"))?;
+                }
+            }
+            self.send("step 1")?;
+            at += 1;
+            self.unsynced += 1;
+            if self.unsynced >= SYNC_CHUNK || at == end {
+                if let Err(e) = self.sync() {
+                    if matches!(e, GsimError::Backend(_)) {
+                        return Err(e);
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn counters(&mut self) -> Result<Counters, GsimError> {
+        let line = self.query("counters")?;
+        let mut it = line.split_whitespace();
+        if it.next() != Some("counters") {
+            return Err(GsimError::Backend(format!("bad counters response: {line}")));
+        }
+        let mut next = || -> Result<u64, GsimError> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| GsimError::Backend(format!("bad counters response: {line}")))
+        };
+        Ok(Counters {
+            cycles: next()?,
+            supernode_evals: next()?,
+            node_evals: next()?,
+            value_changes: next()?,
+            ..Counters::default()
+        })
+    }
+
+    fn snapshot(&mut self) -> Result<SnapshotId, GsimError> {
+        let line = self.query("snapshot")?;
+        let mut it = line.split_whitespace();
+        let (Some("snap"), Some(id)) = (it.next(), it.next()) else {
+            return Err(GsimError::Backend(format!("bad snapshot response: {line}")));
+        };
+        let raw: u64 = id
+            .parse()
+            .map_err(|_| GsimError::Backend(format!("bad snapshot id: {line}")))?;
+        Ok(SnapshotId::from_raw(raw))
+    }
+
+    fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError> {
+        self.send(&format!("restore {}", id.raw()))?;
+        // The fence also resynchronizes `cycle()` with the rolled-back
+        // server state.
+        self.sync().map(|_| ())
+    }
+}

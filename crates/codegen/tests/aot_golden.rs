@@ -120,7 +120,8 @@ fn counter_compiles_and_runs_end_to_end() {
         frames: vec![vec![("en".into(), 1)]],
     };
     let run = sim.run(10, &stim, true).unwrap_or_else(|e| panic!("{e}"));
-    assert_eq!(run.peek("out"), Some("9"));
+    assert_eq!(run.peek("out"), Some(&gsim_value::Value::from_u64(9, 8)));
+    assert_eq!(run.peek_u64("out"), Some(9));
     assert_eq!(run.counter("cycles"), Some(10));
     assert_eq!(run.trace.len(), 10);
     // Trace shows the counter advancing: cycle 5 pre-edge value is 5.
@@ -135,4 +136,64 @@ fn counter_compiles_and_runs_end_to_end() {
     let run2 = sim.run(10, &stim, false).unwrap();
     assert_eq!(run.peeks, run2.peeks);
     assert_eq!(run.counters, run2.counters);
+}
+
+/// The persistent server mode end to end: one resident process serves
+/// poke/step/peek/counters/snapshot/restore interactively, stays
+/// bit-identical to the batch run, and survives a rollback.
+#[test]
+fn server_session_counter_interactive() {
+    use gsim_sim::{GsimError, Session as _};
+    if !gsim_codegen::rustc_available() {
+        eprintln!("skipping: rustc not available on this host");
+        return;
+    }
+    let g = gsim_firrtl::compile(COUNTER).unwrap();
+    let sim = compile_aot(&g, &AotOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    let mut s = sim.session().unwrap();
+    assert_eq!(s.backend(), "aot");
+    s.poke_u64("en", 1).unwrap();
+    s.step(10).unwrap();
+    assert_eq!(s.peek_u64("out").unwrap(), Some(9));
+    assert_eq!(s.cycle(), 10);
+    // Hold: en=0 freezes the counter.
+    s.poke_u64("en", 0).unwrap();
+    s.step(5).unwrap();
+    assert_eq!(s.peek_u64("out").unwrap(), Some(10));
+    // Snapshot, diverge, restore: replay is bit-identical.
+    let snap = s.snapshot().unwrap();
+    s.poke_u64("en", 1).unwrap();
+    s.step(7).unwrap();
+    assert_eq!(s.peek_u64("out").unwrap(), Some(16));
+    let diverged = s.counters().unwrap();
+    s.restore(snap).unwrap();
+    assert_eq!(s.cycle(), 15);
+    assert_eq!(s.peek_u64("out").unwrap(), Some(10));
+    assert!(s.counters().unwrap().cycles < diverged.cycles);
+    s.poke_u64("en", 1).unwrap();
+    s.step(7).unwrap();
+    assert_eq!(s.peek_u64("out").unwrap(), Some(16));
+    // Typed errors across the wire.
+    assert_eq!(
+        s.peek("nonesuch").unwrap_err(),
+        GsimError::UnknownSignal("nonesuch".into())
+    );
+    assert!(matches!(
+        s.poke_u64("out", 1).unwrap_err(),
+        GsimError::NotAnInput(_)
+    ));
+    assert!(matches!(
+        s.load_mem("nope", &[1]).unwrap_err(),
+        GsimError::UnknownMemory(_)
+    ));
+    assert!(matches!(
+        s.restore(gsim_sim::SnapshotId::from_raw(999)).unwrap_err(),
+        GsimError::UnknownSnapshot(999)
+    ));
+    // run_driven pipelines frames through the same process.
+    s.run_driven(4, &mut |c, frame| {
+        frame.set("en", u64::from(c % 2 == 0));
+    })
+    .unwrap();
+    assert!(s.peek_u64("out").unwrap().is_some());
 }

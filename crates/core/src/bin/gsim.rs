@@ -14,7 +14,7 @@
 //!                 [--emit-rust out.rs]         # the AoT backend's source
 //! ```
 
-use gsim::{Compiler, Preset, Stimulus};
+use gsim::{Compiler, Preset, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -121,7 +121,7 @@ fn main() {
     let (mut sim, report) = Compiler::new(&graph)
         .options(opts)
         .build()
-        .unwrap_or_else(|e| die(&e));
+        .unwrap_or_else(|e| die(&e.to_string()));
 
     eprintln!("design   : {} ({})", graph.name(), path);
     eprintln!("preset   : {}", preset.name());
@@ -148,22 +148,11 @@ fn main() {
     );
 
     if cycles > 0 {
-        let start = std::time::Instant::now();
-        sim.run(cycles);
-        let secs = start.elapsed().as_secs_f64();
-        eprintln!(
-            "simulated {} cycles in {:.3} s ({:.1} kHz)",
-            cycles,
-            secs,
-            cycles as f64 / secs / 1e3
-        );
-        for &out in graph.outputs() {
-            let name = graph.display_name(out);
-            if let Some(v) = sim.peek(&name) {
-                println!("{name} = {v}");
-            }
-        }
-        let c = sim.counters();
+        // Both backends route the actual simulation through the
+        // backend-agnostic `Session` trait, so this path and the AoT
+        // path below print byte-identical stdout (CI diffs them).
+        simulate(&mut sim, &graph, cycles, "");
+        let c = Session::counters(&mut sim).unwrap_or_default();
         eprintln!(
             "activity factor: {:.2}%",
             c.activity_factor(report.nodes_after) * 100.0
@@ -207,9 +196,32 @@ fn main() {
     }
 }
 
-/// The `--backend aot` path: emit → `rustc -O` → run, then print the
-/// same output lines as the interpreter backend so the two can be
-/// diffed directly.
+/// Runs `cycles` cycles through the backend-agnostic [`Session`] trait
+/// and prints every named output as `name = <width>'h<hex>` — shared
+/// verbatim by the interpreter and AoT paths, which is what makes
+/// their stdout diffable.
+fn simulate(session: &mut dyn Session, graph: &gsim::Graph, cycles: u64, tag: &str) {
+    let start = std::time::Instant::now();
+    session.step(cycles).unwrap_or_else(|e| die(&e.to_string()));
+    let secs = start.elapsed().as_secs_f64();
+    eprintln!(
+        "simulated {} cycles in {:.3} s ({:.1} kHz){tag}",
+        cycles,
+        secs,
+        cycles as f64 / secs.max(1e-12) / 1e3
+    );
+    for &out in graph.outputs() {
+        let name = graph.display_name(out);
+        if let Ok(v) = session.peek(&name) {
+            println!("{name} = {v}");
+        }
+    }
+}
+
+/// The `--backend aot` path: emit → `rustc -O` → spawn the compiled
+/// binary in persistent server mode, then drive it through the same
+/// [`Session`] trait (and print the same output lines) as the
+/// interpreter backend, so the two can be diffed directly.
 fn run_aot(
     graph: &gsim::Graph,
     path: &str,
@@ -221,7 +233,7 @@ fn run_aot(
     let (sim, report) = Compiler::new(graph)
         .options(opts)
         .build_aot()
-        .unwrap_or_else(|e| die(&e));
+        .unwrap_or_else(|e| die(&e.to_string()));
     eprintln!("design   : {} ({})", graph.name(), path);
     eprintln!("preset   : {} [aot backend]", preset.name());
     eprintln!(
@@ -243,21 +255,8 @@ fn run_aot(
         eprintln!("emitted  : {out}");
     }
     if cycles > 0 {
-        let run = sim
-            .run(cycles, &Stimulus::default(), false)
-            .unwrap_or_else(|e| die(&e.to_string()));
-        eprintln!(
-            "simulated {} cycles in {:.3} s ({:.1} kHz) [compiled binary]",
-            cycles,
-            run.run_seconds,
-            cycles as f64 / run.run_seconds.max(1e-12) / 1e3
-        );
-        for &out in graph.outputs() {
-            let name = graph.display_name(out);
-            if let Some(hex) = run.peek(&name) {
-                println!("{name} = {}'h{hex}", graph.node(out).width);
-            }
-        }
+        let mut session = sim.session().unwrap_or_else(|e| die(&e.to_string()));
+        simulate(&mut session, graph, cycles, " [compiled binary]");
     }
 }
 

@@ -8,7 +8,9 @@
 //! This crate is the public facade tying the stack together:
 //!
 //! * [`Compiler`] — front end + optimization pipeline + engine
-//!   selection in one builder.
+//!   selection in one builder. [`Compiler::build_session`] returns a
+//!   backend-agnostic [`Session`] (`Box<dyn Session>`) for any
+//!   [`EngineChoice`], including the persistent AoT server process.
 //! * [`Preset`] — ready-made configurations standing in for every
 //!   simulator in the paper's evaluation: Verilator (single- and
 //!   multi-threaded), ESSENT, Arcilator, and GSIM itself.
@@ -40,11 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use gsim_codegen::{AotRun, AotSim, Stimulus};
+pub use gsim_codegen::{AotRun, AotSession, AotSim, Stimulus};
 pub use gsim_graph::Graph;
 pub use gsim_passes::{PassOptions, PassStats};
 pub use gsim_sim::{
-    Counters, EngineKind, FusionStats, InputFrame, InputHandle, SimOptions, Simulator,
+    Counters, EngineKind, FusionStats, GsimError, InputFrame, InputHandle, Session, SessionFrame,
+    SimOptions, Simulator, SnapshotId,
 };
 
 use gsim_partition::{Algorithm, PartitionOptions};
@@ -297,18 +300,18 @@ impl OptOptions {
         }
     }
 
-    fn sim_options(&self) -> Result<SimOptions, String> {
+    fn sim_options(&self) -> Result<SimOptions, GsimError> {
         let engine = match self.engine {
             EngineChoice::FullCycle => EngineKind::FullCycle,
             EngineChoice::FullCycleMt(n) => EngineKind::FullCycleMt { threads: n },
             EngineChoice::Essential => EngineKind::Essential,
             EngineChoice::EssentialMt(n) => EngineKind::EssentialMt { threads: n },
             EngineChoice::Aot => {
-                return Err(
-                    "the AoT backend compiles to a native binary; use Compiler::build_aot \
-                     (CLI: `gsim --backend aot`)"
+                return Err(GsimError::Config(
+                    "the AoT backend compiles to a native binary; use Compiler::build_aot or \
+                     Compiler::build_session (CLI: `gsim --backend aot`)"
                         .into(),
-                )
+                ))
             }
         };
         Ok(SimOptions {
@@ -397,8 +400,8 @@ impl<'g> Compiler<'g> {
     ///
     /// # Errors
     ///
-    /// Returns an error string for invalid graphs or configurations.
-    pub fn build(self) -> Result<(Simulator, CompileReport), String> {
+    /// Returns [`GsimError`] for invalid graphs or configurations.
+    pub fn build(self) -> Result<(Simulator, CompileReport), GsimError> {
         let start = Instant::now();
         let sim_opts = self.opts.sim_options()?;
         let nodes_before = self.graph.num_nodes();
@@ -407,7 +410,7 @@ impl<'g> Compiler<'g> {
             gsim_passes::run(self.graph.clone(), &self.opts.pass_options());
         let nodes_after = optimized.num_nodes();
         let edges_after = optimized.num_edges();
-        let sim = Simulator::compile(&optimized, &sim_opts).map_err(|e| e.to_string())?;
+        let sim = Simulator::compile(&optimized, &sim_opts)?;
         let report = CompileReport {
             nodes_before,
             edges_before,
@@ -454,12 +457,15 @@ impl<'g> Compiler<'g> {
     /// Runs the pass pipeline, emits a standalone Rust simulator, and
     /// compiles it with the host `rustc` — the ahead-of-time backend
     /// ([`EngineChoice::Aot`]). The returned [`gsim_codegen::AotSim`]
-    /// runs the native binary over stimulus streams.
+    /// runs the native binary over stimulus streams (batch) or serves
+    /// a persistent interactive [`AotSession`] via
+    /// [`gsim_codegen::AotSim::session`].
     ///
     /// # Errors
     ///
-    /// Returns emission or toolchain diagnostics as a string.
-    pub fn build_aot(self) -> Result<(gsim_codegen::AotSim, AotReport), String> {
+    /// Returns emission or toolchain diagnostics as
+    /// [`GsimError::Backend`].
+    pub fn build_aot(self) -> Result<(gsim_codegen::AotSim, AotReport), GsimError> {
         let nodes_before = self.graph.num_nodes();
         let (optimized, pass_stats) =
             gsim_passes::run(self.graph.clone(), &self.opts.pass_options());
@@ -468,7 +474,7 @@ impl<'g> Compiler<'g> {
             partition: self.opts.partition_options(),
             keep_dir: false,
         };
-        let sim = gsim_codegen::compile_aot(&optimized, &aot_opts).map_err(|e| e.to_string())?;
+        let sim = gsim_codegen::compile_aot(&optimized, &aot_opts)?;
         let report = AotReport {
             nodes_before,
             nodes_after,
@@ -484,13 +490,59 @@ impl<'g> Compiler<'g> {
     }
 }
 
+impl<'g> Compiler<'g> {
+    /// Builds a backend-agnostic [`Session`] for the given engine:
+    /// the one entry point behind which [`Compiler::build`] (the
+    /// interpreter engines) and [`Compiler::build_aot`] (a persistent
+    /// compiled process in server mode) converge. Testbenches written
+    /// against `Box<dyn Session>` run identically on every backend.
+    ///
+    /// ```no_run
+    /// use gsim::{Compiler, EngineChoice, Preset};
+    ///
+    /// let graph = gsim_firrtl::compile("...").unwrap();
+    /// for engine in [EngineChoice::Essential, EngineChoice::Aot] {
+    ///     let mut session = Compiler::new(&graph)
+    ///         .preset(Preset::Gsim)
+    ///         .build_session(engine)
+    ///         .unwrap();
+    ///     session.poke_u64("reset", 1).unwrap();
+    ///     session.step(2).unwrap();
+    ///     let out = session.peek("out").unwrap();
+    ///     println!("{} says {out}", session.backend());
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsimError`] for invalid graphs, configurations, or
+    /// (on the AoT path) toolchain failures.
+    pub fn build_session(mut self, engine: EngineChoice) -> Result<Box<dyn Session>, GsimError> {
+        self.opts.engine = engine;
+        match engine {
+            EngineChoice::Aot => {
+                let (sim, _) = self.build_aot()?;
+                let session = sim.session().map_err(GsimError::from)?;
+                // The session holds its own handle on the scratch
+                // directory, so dropping `sim` here is safe: the
+                // binary outlives the `AotSim`.
+                Ok(Box::new(session))
+            }
+            _ => {
+                let (sim, _) = self.build()?;
+                Ok(Box::new(sim))
+            }
+        }
+    }
+}
+
 /// Compiles FIRRTL source text directly into a simulator.
 ///
 /// # Errors
 ///
 /// Returns parse, lowering, or compilation diagnostics.
-pub fn compile_firrtl(src: &str, preset: Preset) -> Result<(Simulator, CompileReport), String> {
-    let graph = gsim_firrtl::compile(src)?;
+pub fn compile_firrtl(src: &str, preset: Preset) -> Result<(Simulator, CompileReport), GsimError> {
+    let graph = gsim_firrtl::compile(src).map_err(GsimError::Parse)?;
     Compiler::new(&graph).preset(preset).build()
 }
 

@@ -288,7 +288,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Inclusive-exclusive length bounds for [`vec`].
+    /// Inclusive-exclusive length bounds for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -10,6 +10,7 @@ use crate::compile::{self, Compiled, TaskKind};
 use crate::counters::Counters;
 use crate::exec::{AtomicMems, Ctx};
 use crate::executor::{self, ActiveBits, NoActivation, SharedBits, SpinBarrier};
+use crate::session::{GsimError, Session, SessionFrame, SnapshotId};
 use crate::storage::{AtomicStateRef, MemArena, StateStore};
 use crate::{CompileError, EngineKind, SimOptions};
 use gsim_graph::Graph;
@@ -99,6 +100,24 @@ pub struct Simulator {
     reset_snap: Vec<bool>,
     counters: Counters,
     cycle: u64,
+    /// Saved states for [`Session::snapshot`] / [`Session::restore`].
+    snapshots: Vec<SimSnapshot>,
+    /// Name → node id for every top-level input, prebuilt at compile
+    /// time so the trait's by-name frame stepping pays no per-call
+    /// map construction.
+    input_ids: std::collections::HashMap<String, u32>,
+}
+
+/// One saved simulation state: everything a later cycle can observe.
+#[derive(Debug, Clone)]
+struct SimSnapshot {
+    state: Vec<u64>,
+    mems: Vec<MemArena>,
+    flags: Vec<u64>,
+    fired: Vec<u64>,
+    dirty_mems: Vec<bool>,
+    counters: Counters,
+    cycle: u64,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -149,6 +168,12 @@ impl Simulator {
             }
         }
         let dirty_mems = vec![false; mems.len()];
+        let input_ids = c
+            .names
+            .iter()
+            .filter(|&(_, &id)| c.node_meta[id as usize].2)
+            .map(|(name, &id)| (name.clone(), id))
+            .collect();
         Ok(Simulator {
             c,
             opts: *opts,
@@ -162,6 +187,8 @@ impl Simulator {
             reset_snap: Vec::new(),
             counters: Counters::default(),
             cycle: 0,
+            snapshots: Vec::new(),
+            input_ids,
         })
     }
 
@@ -228,14 +255,14 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns `Err` if the name is unknown or not an input.
-    pub fn poke(&mut self, name: &str, v: Value) -> Result<(), String> {
+    /// Returns [`GsimError::UnknownSignal`] or [`GsimError::NotAnInput`].
+    pub fn poke(&mut self, name: &str, v: Value) -> Result<(), GsimError> {
         let id = self
             .node_by_name(name)
-            .ok_or_else(|| format!("no node named {name:?}"))?;
+            .ok_or_else(|| GsimError::UnknownSignal(name.to_string()))?;
         let (_, _, is_input) = self.c.node_meta[id as usize];
         if !is_input {
-            return Err(format!("{name:?} is not an input"));
+            return Err(GsimError::NotAnInput(name.to_string()));
         }
         let slot = self.c.node_slot[id as usize];
         let fitted = v.zext_or_trunc(slot.width);
@@ -261,11 +288,11 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns `Err` if the name is unknown or not an input.
-    pub fn poke_u64(&mut self, name: &str, x: u64) -> Result<(), String> {
+    /// Returns [`GsimError::UnknownSignal`] or [`GsimError::NotAnInput`].
+    pub fn poke_u64(&mut self, name: &str, x: u64) -> Result<(), GsimError> {
         let id = self
             .node_by_name(name)
-            .ok_or_else(|| format!("no node named {name:?}"))?;
+            .ok_or_else(|| GsimError::UnknownSignal(name.to_string()))?;
         let w = self.c.node_meta[id as usize].0;
         self.poke(name, Value::from_u64(x, w))
     }
@@ -290,13 +317,14 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns `Err` for unknown memories or oversized images.
-    pub fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), String> {
+    /// Returns [`GsimError::UnknownMemory`] or
+    /// [`GsimError::MemImageTooLarge`].
+    pub fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), GsimError> {
         let mem = self
             .mems
             .iter_mut()
             .find(|m| m.name == name)
-            .ok_or_else(|| format!("no memory named {name:?}"))?;
+            .ok_or_else(|| GsimError::UnknownMemory(name.to_string()))?;
         mem.load_image(image)
     }
 
@@ -367,6 +395,46 @@ impl Simulator {
                 self.run_essential_mt(n, threads.max(1), &mut drive)
             }
         }
+    }
+
+    /// Saves the complete simulation state (signals, memories, active
+    /// bits, cycle count, counters) and returns a handle for
+    /// [`Simulator::restore_snapshot`].
+    pub fn take_snapshot(&mut self) -> SnapshotId {
+        self.snapshots.push(SimSnapshot {
+            state: self.state.clone(),
+            mems: self.mems.clone(),
+            flags: self.flags.clone(),
+            fired: self.fired.clone(),
+            dirty_mems: self.dirty_mems.clone(),
+            counters: self.counters,
+            cycle: self.cycle,
+        });
+        SnapshotId::from_raw(self.snapshots.len() as u64 - 1)
+    }
+
+    /// Rolls the simulation back to a saved state. Replay after a
+    /// restore is bit-identical to the original run under the same
+    /// stimulus (pinned by the snapshot round-trip tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsimError::UnknownSnapshot`] for ids this simulator
+    /// never issued.
+    pub fn restore_snapshot(&mut self, id: SnapshotId) -> Result<(), GsimError> {
+        let snap = self
+            .snapshots
+            .get(id.raw() as usize)
+            .ok_or(GsimError::UnknownSnapshot(id.raw()))?
+            .clone();
+        self.state = snap.state;
+        self.mems = snap.mems;
+        self.flags = snap.flags;
+        self.fired = snap.fired;
+        self.dirty_mems = snap.dirty_mems;
+        self.counters = snap.counters;
+        self.cycle = snap.cycle;
+        Ok(())
     }
 
     // ----- sequential full-cycle (Listing 1) -----
@@ -673,6 +741,89 @@ impl Simulator {
         }
         self.counters.cycles += n;
         self.cycle += n;
+    }
+}
+
+/// The interpreter backend's [`Session`]: every engine family behind
+/// one object-safe surface. By-name frame stimulus resolves through a
+/// prebuilt input map, so [`Session::run_driven`] keeps the engines'
+/// fast path (the multithreaded engines' worker teams stay alive for
+/// the whole run).
+impl Session for Simulator {
+    fn backend(&self) -> &'static str {
+        match self.opts.engine {
+            EngineKind::FullCycle => "interp/full-cycle",
+            EngineKind::FullCycleMt { .. } => "interp/full-cycle-mt",
+            EngineKind::Essential => "interp/essential",
+            EngineKind::EssentialMt { .. } => "interp/essential-mt",
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn poke(&mut self, name: &str, v: Value) -> Result<(), GsimError> {
+        Simulator::poke(self, name, v)
+    }
+
+    fn peek(&mut self, name: &str) -> Result<Value, GsimError> {
+        Simulator::peek(self, name).ok_or_else(|| GsimError::UnknownSignal(name.to_string()))
+    }
+
+    fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), GsimError> {
+        Simulator::load_mem(self, name, image)
+    }
+
+    fn step(&mut self, n: u64) -> Result<(), GsimError> {
+        self.run(n);
+        Ok(())
+    }
+
+    fn run_driven(
+        &mut self,
+        n: u64,
+        drive: &mut dyn FnMut(u64, &mut SessionFrame),
+    ) -> Result<(), GsimError> {
+        // The input map was prebuilt at compile time; the per-cycle
+        // closure cannot reach `self` while the engines hold it, so
+        // lend it out for the run and put it back after.
+        let inputs = std::mem::take(&mut self.input_ids);
+        let mut err: Option<GsimError> = None;
+        let mut sf = SessionFrame::default();
+        Simulator::run_driven(self, n, |cycle, frame| {
+            if err.is_some() {
+                return; // stimulus stops after the first error
+            }
+            sf.clear();
+            drive(cycle, &mut sf);
+            for (name, v) in sf.pokes() {
+                match inputs.get(name.as_str()) {
+                    Some(&id) => frame.set(InputHandle(id), *v),
+                    None => {
+                        err = Some(GsimError::UnknownSignal(name.clone()));
+                        return;
+                    }
+                }
+            }
+        });
+        self.input_ids = inputs;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn counters(&mut self) -> Result<Counters, GsimError> {
+        Ok(*Simulator::counters(self))
+    }
+
+    fn snapshot(&mut self) -> Result<SnapshotId, GsimError> {
+        Ok(self.take_snapshot())
+    }
+
+    fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError> {
+        self.restore_snapshot(id)
     }
 }
 

@@ -50,6 +50,15 @@
 //! the same code. All engines implement identical semantics, pinned by
 //! the differential tests against [`gsim_graph::interp::RefInterp`].
 //!
+//! The crate also defines the backend-agnostic [`Session`] trait —
+//! `poke`/`peek`/`load_mem`/`step`/`run_driven`/`counters`/
+//! `snapshot`+`restore` behind one object-safe surface with the
+//! unified [`GsimError`] — which [`Simulator`] implements for every
+//! engine family and `gsim_codegen`'s persistent AoT session
+//! implements over a wire protocol (documented on the trait), so
+//! harnesses written against `&mut dyn Session` run on every
+//! execution substrate.
+//!
 //! # Example
 //!
 //! ```
@@ -78,11 +87,13 @@ mod engine;
 mod exec;
 mod executor;
 mod image;
+mod session;
 mod storage;
 
 pub use compile::FusionStats;
 pub use counters::Counters;
 pub use engine::{InputFrame, InputHandle, Simulator};
+pub use session::{GsimError, Session, SessionFrame, SnapshotId};
 pub use storage::MemArena;
 
 use gsim_partition::PartitionOptions;
@@ -199,7 +210,7 @@ impl SimOptions {
 }
 
 /// Error produced when compiling a graph for simulation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// The graph failed validation.
     InvalidGraph(String),

@@ -1,0 +1,293 @@
+//! The backend-agnostic simulation session API.
+//!
+//! A [`Session`] is *one running simulation* of a compiled design,
+//! independent of the execution substrate behind it: the in-process
+//! interpreter engines ([`crate::Simulator`] implements the trait for
+//! all four engine families) and the ahead-of-time compiled backend
+//! (`gsim_codegen`'s persistent `AotSession`, which keeps one compiled
+//! process resident and speaks the wire protocol below) expose exactly
+//! the same surface, so testbenches, differential harnesses, and
+//! benchmarks are written once against `&mut dyn Session` and run on
+//! every backend.
+//!
+//! Every fallible operation returns the unified [`GsimError`] instead
+//! of ad-hoc `String`s, so callers can match on failure classes
+//! (unknown signal vs. backend loss) across backends.
+//!
+//! # AoT server wire protocol
+//!
+//! The compiled simulator the AoT backend emits has a `--serve` mode:
+//! a line-oriented command loop on stdin/stdout that a driver process
+//! (or a human) can speak. Requests are single lines of
+//! whitespace-separated tokens; values travel as lowercase hex with no
+//! `0x` prefix. Commands that *mutate* are silent on success (so a
+//! driver can pipeline thousands of them without a round trip per
+//! command) and print an `err`-class line on failure; commands that
+//! *query* always print exactly one response line.
+//!
+//! | request | response | notes |
+//! |---|---|---|
+//! | `poke <name> <hex>` | silent / `err unknown-input <name>` | masked to the input's width |
+//! | `step <n>` | silent | runs `n` clock cycles |
+//! | `load <mem> <hex>...` | silent / `err unknown-memory <mem>` / `err mem-too-large <mem> <depth> <len>` | one `u64` entry per word, from address 0 |
+//! | `peek <name>` | `val <width> <hex>` / `err unknown-signal <name>` | named outputs and inputs |
+//! | `counters` | `counters <cycles> <supernode_evals> <node_evals> <value_changes>` | semantic cost counters |
+//! | `snapshot` | `snap <id>` | saves the full simulation state |
+//! | `restore <id>` | silent / `err unknown-snapshot <id>` | rolls back to a saved state |
+//! | `sync` | `ok <cycle>` | barrier: all prior commands have been applied |
+//! | `exit` | (process exits 0) | closing stdin has the same effect |
+//!
+//! A driver that wants errors promptly sends `sync` after a batch and
+//! reads until the `ok`: any queued `err` lines arrive first, in
+//! command order. `err` lines start with a machine-readable class
+//! (`unknown-input`, `unknown-signal`, `unknown-memory`,
+//! `mem-too-large`, `unknown-snapshot`, `protocol`) that maps onto the
+//! corresponding [`GsimError`] variant.
+
+use crate::counters::Counters;
+use crate::CompileError;
+use gsim_value::Value;
+
+/// Unified error type for the whole simulation stack.
+///
+/// Replaces the `Result<_, String>` sprawl across the facade, the
+/// interpreter, and the AoT backend: every backend maps its failures
+/// onto these variants, so callers can distinguish "you asked for a
+/// signal that does not exist" from "the backend process died" without
+/// string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GsimError {
+    /// The graph could not be compiled for simulation.
+    Compile(CompileError),
+    /// The FIRRTL front end rejected the source text.
+    Parse(String),
+    /// An invalid option combination (e.g. an engine choice the
+    /// requested build path cannot honour).
+    Config(String),
+    /// No node with this name exists in the design.
+    UnknownSignal(String),
+    /// The named node exists but is not a top-level input.
+    NotAnInput(String),
+    /// No memory with this name exists in the design.
+    UnknownMemory(String),
+    /// A memory image larger than the memory it targets.
+    MemImageTooLarge {
+        /// The memory's name.
+        name: String,
+        /// The memory's depth in entries.
+        depth: u64,
+        /// The oversized image's length in entries.
+        len: usize,
+    },
+    /// A [`SnapshotId`] that this session never issued (or that did
+    /// not survive a backend restart).
+    UnknownSnapshot(u64),
+    /// The execution backend failed: toolchain errors, a dead or
+    /// unresponsive compiled-simulator process, or a malformed wire
+    /// response.
+    Backend(String),
+}
+
+impl std::fmt::Display for GsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GsimError::Compile(e) => write!(f, "{e}"),
+            GsimError::Parse(m) => write!(f, "parse error: {m}"),
+            GsimError::Config(m) => write!(f, "invalid configuration: {m}"),
+            GsimError::UnknownSignal(n) => write!(f, "no signal named {n:?}"),
+            GsimError::NotAnInput(n) => write!(f, "{n:?} is not an input"),
+            GsimError::UnknownMemory(n) => write!(f, "no memory named {n:?}"),
+            GsimError::MemImageTooLarge { name, depth, len } => write!(
+                f,
+                "image of {len} entries exceeds depth {depth} of memory {name:?}"
+            ),
+            GsimError::UnknownSnapshot(id) => write!(f, "no snapshot with id {id}"),
+            GsimError::Backend(m) => write!(f, "backend failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GsimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GsimError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for GsimError {
+    fn from(e: CompileError) -> Self {
+        GsimError::Compile(e)
+    }
+}
+
+/// Handle to a saved simulation state, returned by
+/// [`Session::snapshot`] and consumed by [`Session::restore`].
+///
+/// Ids are only meaningful on the session that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapshotId(u64);
+
+impl SnapshotId {
+    /// Wraps a backend-assigned raw id (for `Session` implementors).
+    pub fn from_raw(raw: u64) -> SnapshotId {
+        SnapshotId(raw)
+    }
+
+    /// The backend-assigned raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One cycle's worth of by-name input pokes for
+/// [`Session::run_driven`].
+///
+/// The name-keyed sibling of the interpreter's handle-keyed
+/// [`crate::InputFrame`]: sessions cannot hand out engine-internal
+/// handles (the AoT backend's inputs live in another process), so
+/// frame stimulus addresses inputs by port name. Values are masked to
+/// the input's width by the backend.
+#[derive(Debug, Default)]
+pub struct SessionFrame {
+    pokes: Vec<(String, u64)>,
+}
+
+impl SessionFrame {
+    /// Schedules `v` to be driven onto input `name` this cycle.
+    pub fn set(&mut self, name: &str, v: u64) {
+        self.pokes.push((name.to_string(), v));
+    }
+
+    /// The scheduled pokes, in insertion order.
+    pub fn pokes(&self) -> &[(String, u64)] {
+        &self.pokes
+    }
+
+    /// Clears the frame for reuse (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.pokes.clear();
+    }
+}
+
+/// One running simulation, independent of the execution backend.
+///
+/// The trait is object-safe: harnesses hold `Box<dyn Session>` (or
+/// `&mut dyn Session`) and drive the interpreter engines and the
+/// persistent AoT process identically. All implementations are
+/// bit-identical in observable behaviour — pinned by the differential
+/// matrix in `tests/`, which runs every backend against the reference
+/// interpreter cycle by cycle through this trait.
+pub trait Session {
+    /// A short human-readable backend tag (e.g. `"interp/essential"`,
+    /// `"aot"`), for labels in harness assertions and reports.
+    fn backend(&self) -> &'static str;
+
+    /// Completed simulation cycles.
+    fn cycle(&self) -> u64;
+
+    /// Drives a top-level input. The value is zero-extended or
+    /// truncated to the input's declared width.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::UnknownSignal`] / [`GsimError::NotAnInput`] for bad
+    /// names; [`GsimError::Backend`] if the backend is lost.
+    fn poke(&mut self, name: &str, v: Value) -> Result<(), GsimError>;
+
+    /// Reads a named signal's current value (typed, exact width — not
+    /// a hex string).
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::UnknownSignal`] for bad names;
+    /// [`GsimError::Backend`] if the backend is lost.
+    fn peek(&mut self, name: &str) -> Result<Value, GsimError>;
+
+    /// Loads a memory image (entry `i` at address `i`, one `u64` per
+    /// entry) before or between runs.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::UnknownMemory`] / [`GsimError::MemImageTooLarge`]
+    /// for bad images; [`GsimError::Backend`] if the backend is lost.
+    fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), GsimError>;
+
+    /// Advances `n` clock cycles with the inputs held at their current
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Backend`] if the backend is lost.
+    fn step(&mut self, n: u64) -> Result<(), GsimError>;
+
+    /// Advances `n` clock cycles, calling `drive` with the cycle
+    /// number before each one to fill a [`SessionFrame`] of by-name
+    /// pokes — the frame-stepping fast path: the interpreter's
+    /// multithreaded engines keep their worker team alive across all
+    /// `n` cycles, and the AoT session pipelines the whole run into
+    /// the compiled process with a bounded number of wire round trips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poke errors ([`GsimError::UnknownSignal`] /
+    /// [`GsimError::NotAnInput`]): the run still completes all `n`
+    /// cycles on every backend, stimulus stops being driven at
+    /// (interpreter) or shortly after (AoT: within the pipelined
+    /// chunk already in flight) the first error, and the first error
+    /// is reported when the call returns. [`GsimError::Backend`]
+    /// aborts immediately — the backend itself is lost.
+    fn run_driven(
+        &mut self,
+        n: u64,
+        drive: &mut dyn FnMut(u64, &mut SessionFrame),
+    ) -> Result<(), GsimError>;
+
+    /// The semantic cost counters accumulated so far. Backends without
+    /// a given counter report it as zero; `cycles`, `node_evals`,
+    /// `supernode_evals`, and `value_changes` are maintained by every
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Backend`] if the backend is lost.
+    fn counters(&mut self) -> Result<Counters, GsimError>;
+
+    /// Saves the complete simulation state (signals, registers,
+    /// memories, activation set, cycle count, counters) and returns a
+    /// handle for [`Session::restore`].
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Backend`] if the backend is lost.
+    fn snapshot(&mut self) -> Result<SnapshotId, GsimError>;
+
+    /// Rolls the simulation back to a state saved by
+    /// [`Session::snapshot`]. Replay after a restore is bit-identical
+    /// to the original run under the same stimulus.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::UnknownSnapshot`] for ids this session never
+    /// issued; [`GsimError::Backend`] if the backend is lost.
+    fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError>;
+
+    /// [`Session::poke`] from a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::poke`].
+    fn poke_u64(&mut self, name: &str, v: u64) -> Result<(), GsimError> {
+        self.poke(name, Value::from_u64(v, 64))
+    }
+
+    /// [`Session::peek`] as a `u64` (`None` if the value is wider).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::peek`].
+    fn peek_u64(&mut self, name: &str) -> Result<Option<u64>, GsimError> {
+        Ok(self.peek(name)?.to_u64())
+    }
+}

@@ -163,14 +163,13 @@ impl MemArena {
     }
 
     /// Loads an image of `u64` entries starting at address 0.
-    pub(crate) fn load_image(&mut self, image: &[u64]) -> Result<(), String> {
+    pub(crate) fn load_image(&mut self, image: &[u64]) -> Result<(), crate::GsimError> {
         if image.len() as u64 > self.depth {
-            return Err(format!(
-                "image of {} words exceeds depth {} of memory {:?}",
-                image.len(),
-                self.depth,
-                self.name
-            ));
+            return Err(crate::GsimError::MemImageTooLarge {
+                name: self.name.clone(),
+                depth: self.depth,
+                len: image.len(),
+            });
         }
         let mask = if self.width >= 64 {
             u64::MAX

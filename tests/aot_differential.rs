@@ -1,14 +1,18 @@
-//! AoT differential matrix: the **compiled** simulator binary (emit →
-//! `rustc -O` → run) must produce bit-identical *outputs* to the
-//! reference interpreter, cycle for cycle, on every design class the
-//! repository ships — the counter example, the real stuCore CPU
-//! running a real program, a register-driven-reset synchronizer, and
-//! randomized `gsim_designs` netlists.
+//! AoT differential matrix, through the backend-agnostic `Session`
+//! trait: the **persistent compiled session** (emit → `rustc -O` →
+//! one resident process in `--serve` mode) must produce bit-identical
+//! outputs to the reference interpreter, cycle for cycle, on every
+//! design class the repository ships — the counter example, the real
+//! stuCore CPU running a real program, a register-driven-reset
+//! synchronizer, and randomized `gsim_designs` netlists. The same
+//! generic harness drives interpreter presets alongside it, so one
+//! test body pins the whole backend matrix.
 //!
 //! This is the load-bearing correctness argument for the AoT backend:
 //! the interpreter engines are pinned against `RefInterp` elsewhere,
-//! so agreement with `RefInterp` here places the compiled binary in
-//! the same equivalence class.
+//! so agreement with `RefInterp` here places the compiled process in
+//! the same equivalence class. Values are compared as typed
+//! [`gsim_value::Value`]s (exact width), not hex strings.
 //!
 //! Semantic counters are a weaker claim, deliberately: they must be
 //! deterministic run to run, and they must *equal* the interpreter
@@ -22,89 +26,12 @@
 //! commit-time mux (one store, counting only the net change) — same
 //! outputs, different bookkeeping.
 
-use gsim::{Compiler, Preset, Stimulus};
-use gsim_codegen::{compile_aot, AotOptions, AotSim};
-use gsim_graph::interp::RefInterp;
-use gsim_graph::Graph;
+mod common;
+
+use common::{assert_sessions_match_reference, preset_sessions, push_aot_session, stim_word};
+use gsim::{Compiler, EngineChoice, Preset, Stimulus};
+use gsim_codegen::{compile_aot, AotOptions};
 use gsim_workloads::programs;
-
-/// Deterministic per-(cycle, lane) stimulus word (splitmix64).
-fn stim_word(cycle: u64, lane: u64) -> u64 {
-    let mut z = cycle
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(lane.wrapping_mul(0xbf58_476d_1ce4_e5b9))
-        .wrapping_add(0x94d0_49bb_1331_11eb);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Runs the compiled binary and the reference interpreter over the
-/// same per-cycle stimulus and compares every output, every cycle.
-fn diff_against_reference(
-    label: &str,
-    graph: &Graph,
-    aot: &AotSim,
-    cycles: u64,
-    loads: &[(String, Vec<u64>)],
-    frames: &[Vec<(String, u64)>],
-) {
-    let outputs: Vec<String> = graph
-        .outputs()
-        .iter()
-        .map(|&o| graph.node(o).name.clone())
-        .filter(|n| !n.is_empty())
-        .collect();
-    assert!(!outputs.is_empty(), "{label}: design has no named outputs");
-
-    let mut reference = RefInterp::new(graph).unwrap();
-    for (mem, image) in loads {
-        reference.load_mem(mem, image).unwrap();
-    }
-    let stim = Stimulus {
-        loads: loads.to_vec(),
-        frames: frames.to_vec(),
-    };
-    let run = aot
-        .run(cycles, &stim, true)
-        .unwrap_or_else(|e| panic!("{label}: {e}"));
-    assert_eq!(run.trace.len() as u64, cycles, "{label}: trace rows");
-
-    for cycle in 0..cycles {
-        if let Some(frame) = frames.get(cycle as usize) {
-            for (name, v) in frame {
-                reference.poke_u64(name, *v).unwrap();
-            }
-        }
-        reference.step();
-        let row = &run.trace[cycle as usize];
-        for out in &outputs {
-            let want = format!("{:x}", reference.peek(out).unwrap());
-            let got = row
-                .iter()
-                .find(|(n, _)| n == out)
-                .map(|(_, v)| v.as_str())
-                .unwrap_or_else(|| panic!("{label}: output {out} missing from trace"));
-            assert_eq!(
-                got, want,
-                "{label}: output {out} diverged from RefInterp at cycle {cycle}"
-            );
-        }
-    }
-
-    // Semantic counters: present, plausible, and deterministic across
-    // two runs of the same binary over the same stimulus.
-    assert_eq!(
-        run.counter("cycles"),
-        Some(cycles),
-        "{label}: cycle counter"
-    );
-    assert!(run.counter("supernode_evals").unwrap() > 0, "{label}");
-    assert!(run.counter("node_evals").unwrap() > 0, "{label}");
-    let rerun = aot.run(cycles, &stim, false).unwrap();
-    assert_eq!(run.counters, rerun.counters, "{label}: counters wobbled");
-    assert_eq!(run.peeks, rerun.peeks, "{label}: peeks wobbled");
-}
 
 #[test]
 fn counter_fir_matches_reference_and_interpreter() {
@@ -115,75 +42,68 @@ fn counter_fir_matches_reference_and_interpreter() {
     let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/counter.fir"))
         .expect("examples/counter.fir is committed");
     let graph = gsim_firrtl::compile(&src).unwrap();
-    // Through the full facade: pass pipeline + emit + rustc.
+    // Reset pulses mid-run exercise the synchronous-reset commit path.
+    let frames: Vec<Vec<(String, u64)>> = (0..40u64)
+        .map(|c| vec![("reset".into(), u64::from(c % 11 == 7))])
+        .collect();
+    // Interpreter presets and the persistent compiled process, one
+    // harness invocation.
+    let mut sessions = preset_sessions(&graph, &[Preset::Gsim, Preset::Essent, Preset::Verilator]);
+    push_aot_session(&graph, &mut sessions);
+    assert_sessions_match_reference("counter.fir", &graph, &mut sessions, 40, &[], &frames);
+
+    // Batch-mode cross-check: one respawned `AotSim::run` per
+    // invocation still reports deterministic typed peeks + counters.
     let (aot, report) = Compiler::new(&graph)
         .preset(Preset::Gsim)
         .build_aot()
         .unwrap();
     assert!(report.code_bytes > 0 && report.binary_bytes > 0);
-    // Reset pulses mid-run exercise the synchronous-reset commit path.
-    let mut frames: Vec<Vec<(String, u64)>> = Vec::new();
-    for c in 0..40u64 {
-        frames.push(vec![("reset".into(), u64::from(c % 11 == 7))]);
-    }
-    diff_against_reference("counter.fir", &graph, &aot, 40, &[], &frames);
-
-    // And against the interpreter engine through the same facade.
-    let (mut interp, _) = Compiler::new(&graph).preset(Preset::Gsim).build().unwrap();
     let stim = Stimulus {
         loads: vec![],
         frames: frames.clone(),
     };
-    let run = aot.run(40, &stim, false).unwrap();
-    for (c, frame) in frames.iter().enumerate() {
-        let _ = c;
-        for (name, v) in frame {
-            interp.poke_u64(name, *v).unwrap();
-        }
-        interp.step();
-    }
-    assert_eq!(
-        run.peek("out").map(str::to_string),
-        interp.peek("out").map(|v| format!("{v:x}")),
-        "compiled binary vs interpreter engine"
-    );
+    let run = aot.run(40, &stim, true).unwrap();
+    assert_eq!(run.trace.len(), 40, "trace rows");
+    assert_eq!(run.counter("cycles"), Some(40));
+    let rerun = aot.run(40, &stim, false).unwrap();
+    assert_eq!(run.counters, rerun.counters, "counters wobbled");
+    assert_eq!(run.peeks, rerun.peeks, "peeks wobbled");
+    // The batch peeks agree with the persistent session's typed peeks.
+    let (_, aot_session) = sessions.last_mut().expect("aot in matrix");
+    assert_eq!(run.peek("out"), Some(&aot_session.peek("out").unwrap()));
 
-    // Counter parity against the interpreter engine, on reset-quiescent
-    // stimulus where both backends count identically (see module docs
-    // for why an asserted reset makes the bookkeeping — not the
-    // outputs — diverge): both are built from the same partition, use
-    // the same everything-active start, change-gated pokes and stores,
-    // and the same per-supernode node accounting.
+    // Counter parity against the interpreter engine, through the
+    // trait's `counters()`, on reset-quiescent stimulus where both
+    // backends count identically (see module docs for why an asserted
+    // reset makes the bookkeeping — not the outputs — diverge).
     let quiet: Vec<Vec<(String, u64)>> = (0..40u64).map(|_| vec![("reset".into(), 0)]).collect();
-    let (mut qinterp, _) = Compiler::new(&graph).preset(Preset::Gsim).build().unwrap();
-    for frame in &quiet {
-        for (name, v) in frame {
-            qinterp.poke_u64(name, *v).unwrap();
-        }
-        qinterp.step();
-    }
-    let qrun = aot
-        .run(
-            40,
-            &Stimulus {
-                loads: vec![],
-                frames: quiet,
-            },
-            false,
-        )
+    let mut qinterp = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_session(EngineChoice::Essential)
         .unwrap();
-    let ic = qinterp.counters();
-    for (key, want) in [
-        ("cycles", ic.cycles),
-        ("node_evals", ic.node_evals),
-        ("supernode_evals", ic.supernode_evals),
-        ("value_changes", ic.value_changes),
+    let mut qaot = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_session(EngineChoice::Aot)
+        .unwrap();
+    for s in [&mut qinterp, &mut qaot] {
+        s.run_driven(40, &mut |c, frame| {
+            if let Some(row) = quiet.get(c as usize) {
+                for (name, v) in row {
+                    frame.set(name, *v);
+                }
+            }
+        })
+        .unwrap();
+    }
+    let (ic, ac) = (qinterp.counters().unwrap(), qaot.counters().unwrap());
+    for (key, want, got) in [
+        ("cycles", ic.cycles, ac.cycles),
+        ("node_evals", ic.node_evals, ac.node_evals),
+        ("supernode_evals", ic.supernode_evals, ac.supernode_evals),
+        ("value_changes", ic.value_changes, ac.value_changes),
     ] {
-        assert_eq!(
-            qrun.counter(key),
-            Some(want),
-            "compiled {key} diverged from the interpreter engine"
-        );
+        assert_eq!(got, want, "compiled {key} diverged from the interpreter");
     }
 }
 
@@ -210,14 +130,12 @@ fn register_driven_reset_matches_reference() {
         })
         .collect();
     // Through the full facade (pass pipeline + slow-path reset) …
-    let (aot, _) = Compiler::new(&graph)
-        .preset(Preset::Gsim)
-        .build_aot()
-        .unwrap();
-    diff_against_reference("sync-reset/facade", &graph, &aot, cycles, &[], &frames);
+    let mut sessions = preset_sessions(&graph, &[Preset::Gsim]);
+    push_aot_session(&graph, &mut sessions);
     // … and straight through codegen, isolating the emitter itself.
-    let aot = compile_aot(&graph, &AotOptions::default()).unwrap();
-    diff_against_reference("sync-reset/direct", &graph, &aot, cycles, &[], &frames);
+    let direct = compile_aot(&graph, &AotOptions::default()).unwrap();
+    sessions.push(("aot-direct".into(), Box::new(direct.session().unwrap())));
+    assert_sessions_match_reference("sync-reset", &graph, &mut sessions, cycles, &[], &frames);
 }
 
 #[test]
@@ -227,10 +145,6 @@ fn stu_core_program_matches_reference() {
         return;
     }
     let graph = gsim_designs::stu_core();
-    let (aot, _) = Compiler::new(&graph)
-        .preset(Preset::Gsim)
-        .build_aot()
-        .unwrap();
     let program = programs::fib(8);
     let cycles = program.max_cycles.min(400);
     // Reset pulse, then run the program.
@@ -238,18 +152,44 @@ fn stu_core_program_matches_reference() {
         .map(|c| vec![("reset".to_string(), u64::from(c < 2))])
         .collect();
     let loads = vec![("imem".to_string(), program.image.clone())];
-    diff_against_reference("stuCore/fib", &graph, &aot, cycles, &loads, &frames);
+    let mut sessions = preset_sessions(&graph, &[Preset::Gsim]);
+    // One compiled binary serves both the persistent session in the
+    // matrix and the batch rerun-determinism check below.
+    let (aot, _) = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_aot()
+        .unwrap();
+    sessions.push(("aot".into(), Box::new(aot.session().unwrap())));
+    assert_sessions_match_reference(
+        "stuCore/fib",
+        &graph,
+        &mut sessions,
+        cycles,
+        &loads,
+        &frames,
+    );
 
-    // The architectural result is the program's expected one.
+    // Run-to-run determinism of the batch path on a real program:
+    // identical typed peeks and counters from two respawned runs.
     let stim = Stimulus {
         loads: loads.clone(),
         frames: frames.clone(),
     };
     let run = aot.run(cycles, &stim, false).unwrap();
-    if run.peek("halt") == Some("1") {
+    let rerun = aot.run(cycles, &stim, false).unwrap();
+    assert_eq!(run.counters, rerun.counters, "stuCore counters wobbled");
+    assert_eq!(run.peeks, rerun.peeks, "stuCore peeks wobbled");
+    assert_eq!(run.counter("cycles"), Some(cycles));
+    assert!(run.counter("supernode_evals").unwrap() > 0);
+    assert!(run.counter("node_evals").unwrap() > 0);
+
+    // The architectural result is the program's expected one, read
+    // back through the trait from the persistent compiled process.
+    let (_, aot_session) = sessions.last_mut().expect("aot in matrix");
+    if aot_session.peek_u64("halt").unwrap() == Some(1) {
         assert_eq!(
-            run.peek("result"),
-            Some(format!("{:x}", program.expected_result).as_str()),
+            aot_session.peek_u64("result").unwrap(),
+            Some(program.expected_result),
             "stuCore/fib architectural result"
         );
     }
@@ -266,10 +206,6 @@ fn randomized_netlists_match_reference() {
         params.seed = seed;
         params.name = format!("Rand{seed:x}");
         let graph = gsim_designs::synth_core(&params);
-        // Straight through codegen (no pass pipeline), so the diff
-        // isolates the AoT backend itself.
-        let aot =
-            compile_aot(&graph, &AotOptions::default()).unwrap_or_else(|e| panic!("{tag}: {e}"));
         let input_names: Vec<String> = graph
             .inputs()
             .iter()
@@ -293,6 +229,23 @@ fn randomized_netlists_match_reference() {
                     .collect()
             })
             .collect();
-        diff_against_reference(tag, &graph, &aot, cycles, &[], &frames);
+        // Straight through codegen (no pass pipeline), so the diff
+        // isolates the AoT backend itself, alongside an unoptimized
+        // interpreter preset through the same harness.
+        let mut sessions = preset_sessions(&graph, &[Preset::Verilator]);
+        let direct =
+            compile_aot(&graph, &AotOptions::default()).unwrap_or_else(|e| panic!("{tag}: {e}"));
+        sessions.push(("aot-direct".into(), Box::new(direct.session().unwrap())));
+        assert_sessions_match_reference(tag, &graph, &mut sessions, cycles, &[], &frames);
+
+        // Batch rerun determinism on the randomized netlist.
+        let stim = Stimulus {
+            loads: vec![],
+            frames: frames.clone(),
+        };
+        let run = direct.run(cycles, &stim, false).unwrap();
+        let rerun = direct.run(cycles, &stim, false).unwrap();
+        assert_eq!(run.counters, rerun.counters, "{tag}: counters wobbled");
+        assert_eq!(run.peeks, rerun.peeks, "{tag}: peeks wobbled");
     }
 }

@@ -1,0 +1,143 @@
+//! The generic differential harness: every equivalence suite drives
+//! its simulators through `&mut dyn Session`, so the same test body
+//! covers the interpreter engines *and* the persistent AoT session
+//! (one compiled process in `--serve` mode) without knowing which is
+//! which. `RefInterp` stays outside the trait as the independent
+//! golden model.
+
+#![allow(dead_code)]
+
+use gsim::{Compiler, EngineChoice, Preset, Session};
+use gsim_graph::interp::RefInterp;
+use gsim_graph::Graph;
+
+/// Deterministic per-(cycle, lane) stimulus word (splitmix64).
+pub fn stim_word(cycle: u64, lane: u64) -> u64 {
+    let mut z = cycle
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(lane.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Every named output of `graph`, the signals the harness compares.
+pub fn named_outputs(graph: &Graph) -> Vec<String> {
+    graph
+        .outputs()
+        .iter()
+        .map(|&o| graph.node(o).name.clone())
+        .filter(|n| !n.is_empty())
+        .collect()
+}
+
+/// Builds one session per interpreter preset, labelled by preset name.
+pub fn preset_sessions(
+    graph: &Graph,
+    presets: &[Preset],
+) -> Vec<(String, Box<dyn Session + 'static>)> {
+    presets
+        .iter()
+        .map(|&p| {
+            let (sim, _) = Compiler::new(graph).preset(p).build().unwrap();
+            (p.name(), Box::new(sim) as Box<dyn Session>)
+        })
+        .collect()
+}
+
+/// Appends the persistent AoT session (the compiled binary in server
+/// mode) to a session matrix, when the host has a `rustc`. Returns
+/// `false` (and prints a note) when it does not, so suites can record
+/// that the AoT column was skipped.
+pub fn push_aot_session(
+    graph: &Graph,
+    sessions: &mut Vec<(String, Box<dyn Session + 'static>)>,
+) -> bool {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("note: rustc unavailable, AoT session left out of the matrix");
+        return false;
+    }
+    let session = Compiler::new(graph)
+        .preset(Preset::Gsim)
+        .build_session(EngineChoice::Aot)
+        .unwrap();
+    sessions.push(("aot".into(), session));
+    true
+}
+
+/// The load-bearing differential check: drives `RefInterp` and every
+/// session over the same per-cycle stimulus and asserts every named
+/// output is bit-identical (typed [`gsim_value::Value`] comparison,
+/// not hex strings), cycle for cycle.
+///
+/// `frames[c]` is cycle `c`'s by-name pokes; cycles beyond the last
+/// frame hold their inputs. `loads` are memory images applied before
+/// cycle 0.
+pub fn assert_sessions_match_reference(
+    label: &str,
+    graph: &Graph,
+    sessions: &mut [(String, Box<dyn Session + 'static>)],
+    cycles: u64,
+    loads: &[(String, Vec<u64>)],
+    frames: &[Vec<(String, u64)>],
+) {
+    let outputs = named_outputs(graph);
+    assert!(!outputs.is_empty(), "{label}: design has no named outputs");
+    let mut reference = RefInterp::new(graph).unwrap();
+    for (mem, image) in loads {
+        reference.load_mem(mem, image).unwrap();
+        for (tag, s) in sessions.iter_mut() {
+            s.load_mem(mem, image)
+                .unwrap_or_else(|e| panic!("{label}/{tag}: load {mem}: {e}"));
+        }
+    }
+    for cycle in 0..cycles {
+        let frame = frames.get(cycle as usize);
+        if let Some(frame) = frame {
+            for (name, v) in frame {
+                reference.poke_u64(name, *v).unwrap();
+            }
+        }
+        reference.step();
+        for (tag, s) in sessions.iter_mut() {
+            if let Some(frame) = frame {
+                for (name, v) in frame {
+                    s.poke_u64(name, *v)
+                        .unwrap_or_else(|e| panic!("{label}/{tag}: poke {name}: {e}"));
+                }
+            }
+            s.step(1)
+                .unwrap_or_else(|e| panic!("{label}/{tag}: step: {e}"));
+            for out in &outputs {
+                let got = s
+                    .peek(out)
+                    .unwrap_or_else(|e| panic!("{label}/{tag}: peek {out}: {e}"));
+                let want = reference.peek(out).unwrap();
+                assert_eq!(
+                    &got,
+                    want,
+                    "{label}: backend {tag} ({}) diverged from RefInterp on {out} at cycle {cycle}",
+                    s.backend()
+                );
+            }
+        }
+    }
+    // Counter sanity through the trait: every backend maintains the
+    // core semantic counters (plausible, not cross-backend-equal —
+    // reset bookkeeping legitimately differs; see the AoT suite's
+    // module docs).
+    for (tag, s) in sessions.iter_mut() {
+        let c = s
+            .counters()
+            .unwrap_or_else(|e| panic!("{label}/{tag}: counters: {e}"));
+        assert!(
+            c.cycles >= cycles,
+            "{label}/{tag}: cycle counter {} below the {cycles} cycles run",
+            c.cycles
+        );
+        // (supernode_evals stays engine-specific: the full-cycle
+        // engines don't track it.)
+        assert!(c.node_evals > 0, "{label}/{tag}: no node evals");
+    }
+}

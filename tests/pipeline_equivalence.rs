@@ -1,43 +1,37 @@
 //! Cross-crate equivalence: the full optimization pipeline and every
 //! engine preserve cycle-accurate behaviour on generated designs, and
-//! FIRRTL survives a print/parse round trip.
+//! FIRRTL survives a print/parse round trip. The preset matrix runs
+//! through the generic `&mut dyn Session` harness, with the
+//! persistent AoT session in the loop alongside the interpreter
+//! engines.
 
+mod common;
+
+use common::{assert_sessions_match_reference, preset_sessions, push_aot_session};
 use gsim::{Compiler, OptOptions, Preset};
 use gsim_designs::SynthParams;
-use gsim_graph::interp::RefInterp;
 use gsim_workloads::Profile;
 
 #[test]
 fn synth_core_equivalent_across_presets_and_reference() {
     let params = SynthParams::for_target("Rocket", 1_200);
     let graph = gsim_designs::synth_core(&params);
-    let mut reference = RefInterp::new(&graph).unwrap();
-    let mut sims: Vec<(String, gsim::Simulator)> = [
-        Preset::Verilator,
-        Preset::VerilatorMt(2),
-        Preset::Essent,
-        Preset::Arcilator,
-        Preset::Gsim,
-    ]
-    .into_iter()
-    .map(|p| (p.name(), Compiler::new(&graph).preset(p).build().unwrap().0))
-    .collect();
-
+    let mut sessions = preset_sessions(
+        &graph,
+        &[
+            Preset::Verilator,
+            Preset::VerilatorMt(2),
+            Preset::Essent,
+            Preset::Arcilator,
+            Preset::Gsim,
+        ],
+    );
+    push_aot_session(&graph, &mut sessions);
     let mut stim = Profile::coremark().stimulus(1, 0xA5);
-    for cycle in 0..120 {
-        let op = stim.next_cycle()[0];
-        reference.poke_u64("op_in_0", op).unwrap();
-        reference.step();
-        for (name, sim) in &mut sims {
-            sim.poke_u64("op_in_0", op).unwrap();
-            sim.step();
-            assert_eq!(
-                sim.peek("signature"),
-                reference.peek("signature").cloned(),
-                "{name} diverged at cycle {cycle}"
-            );
-        }
-    }
+    let frames: Vec<Vec<(String, u64)>> = (0..120)
+        .map(|_| vec![("op_in_0".to_string(), stim.next_cycle()[0])])
+        .collect();
+    assert_sessions_match_reference("synth/Rocket", &graph, &mut sessions, 120, &[], &frames);
 }
 
 /// The reset signal of a register can itself be a register (the
@@ -49,37 +43,26 @@ fn synth_core_equivalent_across_presets_and_reference() {
 #[test]
 fn register_driven_reset_matches_reference_across_presets() {
     let graph = gsim_designs::reset_synchronizer();
-    let mut reference = RefInterp::new(&graph).unwrap();
-    let mut sims: Vec<(String, gsim::Simulator)> = [
-        Preset::Verilator,
-        Preset::VerilatorMt(2),
-        Preset::Essent,
-        Preset::Arcilator,
-        Preset::Gsim,
-        Preset::GsimMt(2),
-    ]
-    .into_iter()
-    .map(|p| (p.name(), Compiler::new(&graph).preset(p).build().unwrap().0))
-    .collect();
-
-    for cycle in 0..64u64 {
-        // Isolated pulses and a double pulse, so the synchronized reset
-        // asserts while the counter holds both zero and nonzero values.
-        let rst = u64::from(cycle % 13 == 4 || cycle % 17 == 8 || cycle % 17 == 9);
-        reference.poke_u64("rst", rst).unwrap();
-        reference.step();
-        for (name, sim) in &mut sims {
-            sim.poke_u64("rst", rst).unwrap();
-            sim.step();
-            for out in ["out", "sync_out"] {
-                assert_eq!(
-                    sim.peek_u64(out),
-                    reference.peek_u64(out),
-                    "{name}: {out} diverged from RefInterp at cycle {cycle}"
-                );
-            }
-        }
-    }
+    let mut sessions = preset_sessions(
+        &graph,
+        &[
+            Preset::Verilator,
+            Preset::VerilatorMt(2),
+            Preset::Essent,
+            Preset::Arcilator,
+            Preset::Gsim,
+            Preset::GsimMt(2),
+        ],
+    );
+    // Isolated pulses and a double pulse, so the synchronized reset
+    // asserts while the counter holds both zero and nonzero values.
+    let frames: Vec<Vec<(String, u64)>> = (0..64u64)
+        .map(|cycle| {
+            let rst = u64::from(cycle % 13 == 4 || cycle % 17 == 8 || cycle % 17 == 9);
+            vec![("rst".to_string(), rst)]
+        })
+        .collect();
+    assert_sessions_match_reference("sync-reset", &graph, &mut sessions, 64, &[], &frames);
 }
 
 #[test]

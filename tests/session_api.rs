@@ -1,0 +1,223 @@
+//! The backend-agnostic `Session` API, end to end: snapshot/restore
+//! round trips pin bit-identical replay on every engine preset *and*
+//! the persistent AoT session; a scripted poke/step/peek transcript
+//! must read back identical typed values on every backend; and the
+//! unified `GsimError` taxonomy is the same across the process
+//! boundary.
+
+mod common;
+
+use common::{named_outputs, preset_sessions, push_aot_session};
+use gsim::{Compiler, EngineChoice, GsimError, Preset, Session};
+use gsim_value::Value;
+
+const ALL_PRESETS: &[Preset] = &[
+    Preset::Verilator,
+    Preset::VerilatorMt(2),
+    Preset::Essent,
+    Preset::Arcilator,
+    Preset::Gsim,
+    Preset::GsimMt(2),
+];
+
+/// Drives `n` cycles of deterministic churn and records every named
+/// output after every cycle — the observation stream two replays are
+/// compared by.
+fn drive_and_observe(
+    s: &mut dyn Session,
+    outputs: &[String],
+    base: u64,
+    n: u64,
+) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    for c in 0..n {
+        s.poke_u64("rst", u64::from((base + c) % 9 == 5)).unwrap();
+        s.step(1).unwrap();
+        rows.push(outputs.iter().map(|o| s.peek(o).unwrap()).collect());
+    }
+    rows
+}
+
+/// Snapshot mid-run, diverge, restore, and pin bit-identical replay —
+/// on every engine preset and the persistent AoT session.
+#[test]
+fn snapshot_restore_roundtrip_on_every_backend() {
+    let graph = gsim_designs::reset_synchronizer();
+    let outputs = named_outputs(&graph);
+    let mut sessions = preset_sessions(&graph, ALL_PRESETS);
+    push_aot_session(&graph, &mut sessions);
+    for (tag, s) in sessions.iter_mut() {
+        // Warm up into a non-trivial state.
+        drive_and_observe(s.as_mut(), &outputs, 0, 13);
+        let snap = s.snapshot().unwrap();
+        let cycle_at_snap = s.cycle();
+        let counters_at_snap = s.counters().unwrap();
+        // Diverge: different stimulus phase, then roll back.
+        let diverged = drive_and_observe(s.as_mut(), &outputs, 100, 17);
+        s.restore(snap).unwrap();
+        assert_eq!(s.cycle(), cycle_at_snap, "{tag}: cycle after restore");
+        assert_eq!(
+            s.counters().unwrap(),
+            counters_at_snap,
+            "{tag}: counters after restore"
+        );
+        // Replay the *diverging* stimulus: bit-identical to the first
+        // divergence (the snapshot captured the complete state).
+        let replayed = drive_and_observe(s.as_mut(), &outputs, 100, 17);
+        assert_eq!(replayed, diverged, "{tag}: replay after restore");
+        // A second, older-state restore still works (snapshots are
+        // retained, not popped).
+        s.restore(snap).unwrap();
+        let replayed2 = drive_and_observe(s.as_mut(), &outputs, 100, 17);
+        assert_eq!(replayed2, diverged, "{tag}: second replay");
+    }
+}
+
+/// A scripted interactive transcript — poke/step/peek/counters with
+/// stimulus *reacting* to peeked outputs — executed verbatim against
+/// every backend; the typed values read back must agree at every
+/// point. This is the workload the batch-only AoT API could not serve
+/// at all (each run restarted the process from cycle 0).
+#[test]
+fn interactive_transcript_agrees_across_backends() {
+    /// One observation: (cycle, halt, result) after a step burst.
+    type TranscriptRow = (u64, Option<u64>, Option<u64>);
+    let graph = gsim_designs::stu_core();
+    let program = gsim_workloads::programs::fib(8);
+    let mut sessions = preset_sessions(&graph, &[Preset::Gsim, Preset::Verilator]);
+    push_aot_session(&graph, &mut sessions);
+    let mut transcripts: Vec<(String, Vec<TranscriptRow>)> = Vec::new();
+    for (tag, s) in sessions.iter_mut() {
+        s.load_mem("imem", &program.image).unwrap();
+        s.poke_u64("reset", 1).unwrap();
+        s.step(2).unwrap();
+        s.poke_u64("reset", 0).unwrap();
+        let mut rows = Vec::new();
+        // Reactive loop: step in bursts until the CPU halts; the
+        // stimulus (keep stepping or stop) depends on a peek.
+        let mut ran = 0u64;
+        while ran < program.max_cycles && s.peek_u64("halt").unwrap() != Some(1) {
+            s.step(16).unwrap();
+            ran += 16;
+            rows.push((
+                s.cycle(),
+                s.peek_u64("halt").unwrap(),
+                s.peek_u64("result").unwrap(),
+            ));
+        }
+        assert_eq!(
+            s.peek_u64("halt").unwrap(),
+            Some(1),
+            "{tag}: fib did not halt"
+        );
+        assert_eq!(
+            s.peek_u64("result").unwrap(),
+            Some(program.expected_result),
+            "{tag}: architectural result"
+        );
+        transcripts.push((tag.clone(), rows));
+    }
+    let (first_tag, first) = &transcripts[0];
+    for (tag, rows) in &transcripts[1..] {
+        assert_eq!(rows, first, "transcript of {tag} diverged from {first_tag}");
+    }
+}
+
+/// The unified error taxonomy: the same failure classes come back
+/// from every backend — including across the AoT wire protocol.
+#[test]
+fn error_taxonomy_is_uniform_across_backends() {
+    let graph = gsim_designs::stu_core();
+    let mut sessions = preset_sessions(&graph, &[Preset::Gsim]);
+    push_aot_session(&graph, &mut sessions);
+    for (tag, s) in sessions.iter_mut() {
+        assert_eq!(
+            s.peek("nonesuch").unwrap_err(),
+            GsimError::UnknownSignal("nonesuch".into()),
+            "{tag}"
+        );
+        assert!(
+            matches!(
+                s.poke_u64("halt", 1).unwrap_err(),
+                // The interpreter knows "halt" exists and is not an
+                // input; the compiled poke table only knows inputs.
+                GsimError::NotAnInput(_)
+            ),
+            "{tag}"
+        );
+        assert!(
+            matches!(
+                s.load_mem("nonesuch", &[1]).unwrap_err(),
+                GsimError::UnknownMemory(_)
+            ),
+            "{tag}"
+        );
+        match s.load_mem("imem", &[0u64; 1 << 20]).unwrap_err() {
+            // Both backends report the *real* bounds — the AoT wire
+            // protocol carries depth/len on the err line.
+            GsimError::MemImageTooLarge { depth, len, .. } => {
+                assert!(depth > 0, "{tag}: depth lost");
+                assert_eq!(len, 1 << 20, "{tag}: image length lost");
+            }
+            other => panic!("{tag}: expected MemImageTooLarge, got {other}"),
+        }
+        assert!(
+            matches!(
+                s.restore(gsim::SnapshotId::from_raw(u64::MAX)).unwrap_err(),
+                GsimError::UnknownSnapshot(_)
+            ),
+            "{tag}"
+        );
+        // run_driven surfaces bad frame names as typed errors too.
+        let err = s
+            .run_driven(2, &mut |_, frame| frame.set("nonesuch", 1))
+            .unwrap_err();
+        assert!(
+            matches!(err, GsimError::UnknownSignal(_) | GsimError::NotAnInput(_)),
+            "{tag}: {err}"
+        );
+    }
+}
+
+/// `build_session` is the single entry point both build paths converge
+/// on: every engine choice yields a working session, and the legacy
+/// `build()` refuses the AoT choice with a typed configuration error.
+#[test]
+fn build_session_covers_every_engine_choice() {
+    let graph = gsim_designs::reset_synchronizer();
+    let mut choices = vec![
+        EngineChoice::FullCycle,
+        EngineChoice::FullCycleMt(2),
+        EngineChoice::Essential,
+        EngineChoice::EssentialMt(2),
+    ];
+    if gsim_codegen::rustc_available() {
+        choices.push(EngineChoice::Aot);
+    }
+    let mut peeks = Vec::new();
+    for engine in choices {
+        let mut s = Compiler::new(&graph)
+            .preset(Preset::Gsim)
+            .build_session(engine)
+            .unwrap();
+        s.run_driven(20, &mut |c, frame| frame.set("rst", u64::from(c < 2)))
+            .unwrap();
+        assert_eq!(s.cycle(), 20, "{}", s.backend());
+        peeks.push((s.backend(), s.peek("out").unwrap()));
+    }
+    let (first_backend, first) = peeks[0].clone();
+    for (backend, v) in &peeks[1..] {
+        assert_eq!(v, &first, "{backend} disagrees with {first_backend}");
+    }
+    // The interpreter-only builder rejects the AoT choice with a typed
+    // Config error instead of a stringly one.
+    let err = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .options(gsim::OptOptions {
+            engine: EngineChoice::Aot,
+            ..gsim::OptOptions::all()
+        })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, GsimError::Config(_)), "{err}");
+}
