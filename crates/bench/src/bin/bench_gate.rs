@@ -32,6 +32,7 @@ const TOP_KEYS: &[&str] = &[
     "dispatch",
     "aot",
     "session",
+    "service",
 ];
 const THREAD_ROW_KEYS: &[&str] = &["engine", "threads", "hz", "speedup"];
 const DISPATCH_ROW_KEYS: &[&str] = &[
@@ -77,6 +78,22 @@ const SESSION_ROW_KEYS: &[&str] = &[
     "respawn_hz",
     "interp_hz",
     "speedup",
+];
+
+const SERVICE_ROW_KEYS: &[&str] = &[
+    "design",
+    "clients",
+    "steps",
+    "cold_open_s",
+    "warm_open_s",
+    "warm_speedup",
+    "sessions_per_sec",
+    "p50_step_us",
+    "p99_step_us",
+    "hits",
+    "misses",
+    "compiles",
+    "evictions",
 ];
 
 /// Maximum allowed ratio between the two fresh runs' counters.
@@ -148,6 +165,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         ("dispatch", DISPATCH_ROW_KEYS),
         ("aot", AOT_ROW_KEYS),
         ("session", SESSION_ROW_KEYS),
+        ("service", SERVICE_ROW_KEYS),
     ] {
         let Some(rows) = doc.get(arr_key).and_then(Json::as_arr) else {
             failures.push(format!("{path}: {arr_key:?} is not an array"));
@@ -156,7 +174,8 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         // The AoT-backed blocks may legitimately be empty on a
         // rustc-less host; `check_labels` still catches them
         // *vanishing* relative to a baseline that has them.
-        if arr_key != "aot" && arr_key != "session" && rows.is_empty() {
+        let aot_backed = matches!(arr_key, "aot" | "session" | "service");
+        if !aot_backed && rows.is_empty() {
             failures.push(format!("{path}: {arr_key:?} is empty"));
         }
         for (i, row) in rows.iter().enumerate() {
@@ -184,7 +203,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
 fn check_labels(base: &Json, new: &Json, failures: &mut Vec<String>) {
     let arr_len =
         |doc: &Json, key: &str| doc.get(key).and_then(Json::as_arr).map_or(0, <[Json]>::len);
-    for key in ["aot", "session"] {
+    for key in ["aot", "session", "service"] {
         if arr_len(base, key) > 0 && arr_len(new, key) == 0 {
             failures.push(format!(
                 "fresh run recorded no {key:?} rows although the baseline has them \

@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|dispatch|aot|session|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|dispatch|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
@@ -10,7 +10,8 @@
 //! a ~6.2M-node XiangShan stand-in — expect long compile times).
 //!
 //! `--json` additionally runs the thread-scaling, dispatch-breakdown,
-//! AoT, and persistent-session experiments and writes their
+//! AoT, persistent-session, and simulation-service experiments and
+//! writes their
 //! cycles/sec + counter breakdowns (plus `host_cores`, the AoT
 //! emit/rustc/size/speed rows, and the session-amortization rows) to
 //! `BENCH_interp.json` (or the given path) so CI can track the
@@ -132,6 +133,14 @@ fn main() {
         section("Persistent session");
         exp::print_session(session_rows.as_ref().unwrap());
     }
+    let mut service_rows = None;
+    if wants("service") || json {
+        service_rows = Some(exp::service(&cfg));
+    }
+    if wants("service") {
+        section("Simulation service");
+        exp::print_service(service_rows.as_ref().unwrap());
+    }
     if wants("fig6") {
         section("Figure 6");
         exp::print_fig6(&exp::fig6(&suite, &cfg));
@@ -172,6 +181,7 @@ fn main() {
             dispatch_rows.as_deref().unwrap_or(&[]),
             aot_rows.as_deref().unwrap_or(&[]),
             session_rows.as_deref().unwrap_or(&[]),
+            service_rows.as_deref().unwrap_or(&[]),
         );
         std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("# wrote {path}");
@@ -190,6 +200,7 @@ fn render_json(
     dispatch: &[exp::DispatchRow],
     aot: &[exp::AotRow],
     session: &[exp::SessionRow],
+    service: &[exp::ServiceRow],
 ) -> String {
     let host_cores = exp::host_cores();
     let max_threads = threads.iter().map(|r| r.threads).max().unwrap_or(1);
@@ -204,7 +215,7 @@ fn render_json(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gsim-bench-interp/3\",\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/4\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
         cfg.scale, cfg.cycles, smoke
@@ -260,6 +271,27 @@ fn render_json(
             r.interp_hz,
             r.speedup,
             comma(i, session.len())
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"service\": [\n");
+    for (i, r) in service.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"design\": \"{}\", \"clients\": {}, \"steps\": {},              \"cold_open_s\": {:.4}, \"warm_open_s\": {:.4}, \"warm_speedup\": {:.1},              \"sessions_per_sec\": {:.2}, \"p50_step_us\": {:.1}, \"p99_step_us\": {:.1},              \"hits\": {}, \"misses\": {}, \"compiles\": {}, \"evictions\": {}}}{}\n",
+            r.design,
+            r.clients,
+            r.steps,
+            r.cold_open_s,
+            r.warm_open_s,
+            r.warm_speedup,
+            r.sessions_per_sec,
+            r.p50_step_us,
+            r.p99_step_us,
+            r.hits,
+            r.misses,
+            r.compiles,
+            r.evictions,
+            comma(i, service.len())
         ));
     }
     s.push_str("  ],\n");
@@ -320,7 +352,7 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|dispatch|aot|session|fig6|fig7|fig8|fig9|table3|table4|factors] \
+        "repro [all|table1|threads|dispatch|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors] \
          [--scale F] [--cycles N] [--json [PATH]]"
     );
 }

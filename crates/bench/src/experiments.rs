@@ -593,6 +593,195 @@ pub fn print_session(rows: &[SessionRow]) {
     }
 }
 
+// ------------------------------------------------- simulation service
+
+/// The multi-tenant service measurement: cold-vs-warm cache session
+/// startup, sessions/sec, and step-latency percentiles at
+/// [`ServiceRow::clients`] concurrent remote sessions.
+#[derive(Debug)]
+pub struct ServiceRow {
+    /// Design name (the service bench's synthetic pipeline).
+    pub design: &'static str,
+    /// Concurrent client sessions in the throughput phase.
+    pub clients: usize,
+    /// Cycles each client steps its session.
+    pub steps: u64,
+    /// First-session startup: `design` upload → `ready`, paying
+    /// `rustc` through the artifact cache (a cache miss).
+    pub cold_open_s: f64,
+    /// Warm startup: the same design again — a cache hit, no `rustc`.
+    pub warm_open_s: f64,
+    /// `cold_open_s / warm_open_s` — what the artifact cache buys.
+    pub warm_speedup: f64,
+    /// Complete session lifecycles (connect → design → run → close)
+    /// per second with all clients concurrent on the warm cache.
+    pub sessions_per_sec: f64,
+    /// Median single-`step` round-trip latency, microseconds.
+    pub p50_step_us: f64,
+    /// 99th-percentile single-`step` round-trip latency, microseconds.
+    pub p99_step_us: f64,
+    /// Artifact-cache hits over the whole measurement.
+    pub hits: u64,
+    /// Artifact-cache misses.
+    pub misses: u64,
+    /// Actual `rustc` invocations (the tentpole claim: 1).
+    pub compiles: u64,
+    /// LRU evictions (0 at this working-set size).
+    pub evictions: u64,
+}
+
+/// The service bench's design, as FIRRTL *text* (the wire protocol's
+/// `design` payload): a 16-stage 32-bit accumulate pipeline — small
+/// enough to compile in seconds, deep enough that a `step` does real
+/// work.
+fn service_design() -> String {
+    let stages = 16;
+    let mut s = String::new();
+    s.push_str("circuit SvcPipe :\n  module SvcPipe :\n");
+    s.push_str("    input clock : Clock\n    input reset : UInt<1>\n");
+    s.push_str("    input din : UInt<32>\n    output out : UInt<32>\n");
+    for i in 0..stages {
+        s.push_str(&format!(
+            "    reg r{i} : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))\n"
+        ));
+    }
+    s.push_str("    r0 <= tail(add(din, UInt<32>(1)), 1)\n");
+    for i in 1..stages {
+        s.push_str(&format!(
+            "    r{i} <= tail(add(r{}, UInt<32>({i})), 1)\n",
+            i - 1
+        ));
+    }
+    s.push_str(&format!("    out <= r{}\n", stages - 1));
+    s
+}
+
+/// The `service` experiment: start a real [`gsim::Server`] on a
+/// loopback socket, measure cold-vs-warm session startup through the
+/// artifact cache, step-latency percentiles, and concurrent-session
+/// throughput at 16 clients. Returns an empty vector when the host
+/// has no `rustc`.
+pub fn service(cfg: &Config) -> Vec<ServiceRow> {
+    use gsim::{ClientSession, Endpoint, Server, ServerConfig};
+    if !gsim_codegen::rustc_available() {
+        eprintln!("# service: rustc unavailable on this host, skipping");
+        return Vec::new();
+    }
+    let clients = 16usize;
+    let steps = cfg.cycles.clamp(16, 512);
+    let cache_dir = std::env::temp_dir().join(format!("gsim_svc_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut server = match Server::start(ServerConfig::new(
+        Endpoint::Tcp("127.0.0.1:0".into()),
+        &cache_dir,
+    )) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("# service: cannot start server: {e}");
+            return Vec::new();
+        }
+    };
+    let ep = server.endpoint().clone();
+    let src = service_design();
+
+    // Cold startup: the first session for this design pays rustc.
+    let t0 = std::time::Instant::now();
+    let mut cold = ClientSession::connect(&ep).expect("connect");
+    let info = cold.open_design(&src, "aot").expect("cold open");
+    let cold_open_s = t0.elapsed().as_secs_f64();
+    assert_eq!(info.status, "miss", "first open must compile");
+    drop(cold);
+
+    // Warm startup: same design, published artifact, no rustc.
+    let t1 = std::time::Instant::now();
+    let mut warm = ClientSession::connect(&ep).expect("connect");
+    let info = warm.open_design(&src, "aot").expect("warm open");
+    let warm_open_s = t1.elapsed().as_secs_f64();
+    assert_eq!(info.status, "hit", "second open must hit the cache");
+
+    // Per-step round-trip latency through the warm session.
+    let mut lat_us: Vec<f64> = (0..steps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            warm.step(1).expect("step");
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    lat_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let (p50_step_us, p99_step_us) = (pct(0.50), pct(0.99));
+    drop(warm);
+
+    // Concurrent warm lifecycles: connect → design → run → close.
+    let t2 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut c = ClientSession::connect(&ep).expect("connect");
+                let info = c.open_design(&src, "aot").expect("open");
+                assert_eq!(info.status, "hit", "concurrent opens ride the cache");
+                c.step(steps).expect("run");
+                c.peek("out").expect("peek");
+            });
+        }
+    });
+    let concurrent_s = t2.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    vec![ServiceRow {
+        design: "SvcPipe",
+        clients,
+        steps,
+        cold_open_s,
+        warm_open_s,
+        warm_speedup: cold_open_s / warm_open_s.max(1e-9),
+        sessions_per_sec: clients as f64 / concurrent_s.max(1e-12),
+        p50_step_us,
+        p99_step_us,
+        hits: stats.cache.hits,
+        misses: stats.cache.misses,
+        compiles: stats.cache.compiles,
+        evictions: stats.cache.evictions,
+    }]
+}
+
+/// Prints the service rows.
+pub fn print_service(rows: &[ServiceRow]) {
+    println!("Simulation service: cold vs warm session startup, concurrent throughput");
+    if rows.is_empty() {
+        println!("  (skipped: rustc unavailable)");
+        return;
+    }
+    println!(
+        "{:<8} {:>7} {:>10} {:>10} {:>9} {:>10} {:>9} {:>9} {:>16}",
+        "Design",
+        "clients",
+        "cold (s)",
+        "warm (s)",
+        "speedup",
+        "sess/s",
+        "p50 (us)",
+        "p99 (us)",
+        "hit/miss/compile"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>7} {:>10.3} {:>10.4} {:>8.0}x {:>10.1} {:>9.1} {:>9.1} {:>16}",
+            r.design,
+            r.clients,
+            r.cold_open_s,
+            r.warm_open_s,
+            r.warm_speedup,
+            r.sessions_per_sec,
+            r.p50_step_us,
+            r.p99_step_us,
+            format!("{}/{}/{}", r.hits, r.misses, r.compiles)
+        );
+    }
+}
+
 /// Logical cores of the measurement host — recorded into
 /// `BENCH_interp.json` so thread-scaling rows can be judged (an
 /// `EssentialMt` "slowdown" on a 1-core host measures barrier

@@ -167,19 +167,35 @@ impl AotRun {
     }
 }
 
-/// The build's scratch directory (source + binary), shared between the
-/// [`AotSim`] handle and any persistent [`crate::AotSession`]s spawned
-/// from it: the directory is deleted when the *last* holder drops, so
-/// a session outliving its `AotSim` keeps its binary on disk.
+/// The directory holding one compiled artifact (emitted source +
+/// native binary), shared between the [`AotSim`] handle and any
+/// persistent [`crate::AotSession`]s spawned from it.
+///
+/// Ownership is explicit, which is what lets a *cached* artifact
+/// outlive every handle that ever pointed at it:
+///
+/// * `owned == true` — a private scratch build: the directory is
+///   deleted when the *last* holder (sim or session) drops, unless
+///   `keep` was requested. This is the pre-cache behaviour.
+/// * `owned == false` — the artifact lives in an
+///   [`crate::ArtifactCache`]: handles never delete it; only the
+///   cache's eviction policy does. (On Unix, evicting the files while
+///   a session's child process still runs them is safe — the inode
+///   stays alive until the process exits.)
+///
+/// Run-scoped scratch files (stimulus streams) are *not* written
+/// here — [`AotSim::run`] uses private temp files — so cache entries
+/// stay immutable after publication.
 #[derive(Debug)]
-pub(crate) struct ScratchDir {
+pub(crate) struct ArtifactDir {
     pub(crate) path: PathBuf,
     keep: bool,
+    owned: bool,
 }
 
-impl Drop for ScratchDir {
+impl Drop for ArtifactDir {
     fn drop(&mut self) {
-        if !self.keep {
+        if self.owned && !self.keep {
             let _ = std::fs::remove_dir_all(&self.path);
         }
     }
@@ -191,7 +207,9 @@ impl Drop for ScratchDir {
 pub struct AotSim {
     /// The emission result (code, sizes, emit time).
     pub emit: RustOutput,
-    /// Wall-clock time of the `rustc -O` invocation.
+    /// Wall-clock time of the `rustc -O` invocation —
+    /// [`Duration::ZERO`] when the binary came out of an
+    /// [`crate::ArtifactCache`] without compiling.
     pub rustc_time: Duration,
     /// Size of the produced binary in bytes.
     pub binary_bytes: u64,
@@ -199,7 +217,10 @@ pub struct AotSim {
     pub source_path: PathBuf,
     /// Path of the compiled binary.
     pub binary_path: PathBuf,
-    dir: Arc<ScratchDir>,
+    /// `true` when the binary was served from an
+    /// [`crate::ArtifactCache`] hit (no `rustc` ran for this handle).
+    pub from_cache: bool,
+    dir: Arc<ArtifactDir>,
     run_counter: std::cell::Cell<u32>,
 }
 
@@ -236,23 +257,9 @@ pub fn compile(graph: &Graph, opts: &AotOptions) -> Result<AotSim, AotError> {
 
 fn compile_in(dir: &Path, emit: RustOutput, opts: &AotOptions) -> Result<AotSim, AotError> {
     let source_path = dir.join("sim.rs");
-    let binary_path = dir.join(if cfg!(windows) { "sim.exe" } else { "sim" });
+    let binary_path = dir.join(binary_name());
     std::fs::write(&source_path, &emit.code)?;
-    let start = Instant::now();
-    let out = Command::new(rustc_path())
-        .arg("--edition")
-        .arg("2021")
-        .arg("-O")
-        .arg("-o")
-        .arg(&binary_path)
-        .arg(&source_path)
-        .output()
-        .map_err(AotError::RustcMissing)?;
-    let rustc_time = start.elapsed();
-    if !out.status.success() {
-        let msg = String::from_utf8_lossy(&out.stderr).into_owned();
-        return Err(AotError::RustcFailed(msg));
-    }
+    let rustc_time = run_rustc(&source_path, &binary_path)?;
     let binary_bytes = std::fs::metadata(&binary_path)?.len();
     Ok(AotSim {
         emit,
@@ -260,9 +267,68 @@ fn compile_in(dir: &Path, emit: RustOutput, opts: &AotOptions) -> Result<AotSim,
         binary_bytes,
         source_path,
         binary_path,
-        dir: Arc::new(ScratchDir {
+        from_cache: false,
+        dir: Arc::new(ArtifactDir {
             path: dir.to_path_buf(),
             keep: opts.keep_dir,
+            owned: true,
+        }),
+        run_counter: std::cell::Cell::new(0),
+    })
+}
+
+/// Platform name of the compiled simulator binary inside an artifact
+/// directory.
+pub(crate) fn binary_name() -> &'static str {
+    if cfg!(windows) {
+        "sim.exe"
+    } else {
+        "sim"
+    }
+}
+
+/// Invokes `rustc --edition 2021 -O` on `source_path`, producing
+/// `binary_path`. Returns the wall-clock compile time.
+pub(crate) fn run_rustc(source_path: &Path, binary_path: &Path) -> Result<Duration, AotError> {
+    let start = Instant::now();
+    let out = Command::new(rustc_path())
+        .arg("--edition")
+        .arg("2021")
+        .arg("-O")
+        .arg("-o")
+        .arg(binary_path)
+        .arg(source_path)
+        .output()
+        .map_err(AotError::RustcMissing)?;
+    if !out.status.success() {
+        let msg = String::from_utf8_lossy(&out.stderr).into_owned();
+        return Err(AotError::RustcFailed(msg));
+    }
+    Ok(start.elapsed())
+}
+
+/// Builds an [`AotSim`] handle over an already-compiled artifact that
+/// the cache owns (handles never delete it; see [`ArtifactDir`]).
+pub(crate) fn cache_resident_sim(
+    emit: RustOutput,
+    entry_dir: &Path,
+    rustc_time: Duration,
+    from_cache: bool,
+) -> Result<AotSim, AotError> {
+    let source_path = entry_dir.join("sim.rs");
+    let binary_path = entry_dir.join(binary_name());
+    let binary_bytes = std::fs::metadata(&binary_path)?.len();
+    Ok(AotSim {
+        emit,
+        rustc_time,
+        binary_bytes,
+        source_path,
+        binary_path,
+        from_cache,
+        dir: Arc::new(ArtifactDir {
+            path: entry_dir.to_path_buf(),
+            keep: true,
+            owned: false,
         }),
         run_counter: std::cell::Cell::new(0),
     })
@@ -279,7 +345,14 @@ impl AotSim {
     pub fn run(&self, cycles: u64, stimulus: &Stimulus, trace: bool) -> Result<AotRun, AotError> {
         let seq = self.run_counter.get();
         self.run_counter.set(seq + 1);
-        let stim_path = self.dir.path.join(format!("stim_{seq}.txt"));
+        // Run-scoped scratch lives in the system temp dir, never in
+        // the artifact directory: cache-resident artifacts must stay
+        // immutable (and evictable) while handles run them.
+        let stim_path = std::env::temp_dir().join(format!(
+            "gsim_stim_{}_{:p}_{seq}.txt",
+            std::process::id(),
+            self
+        ));
         std::fs::write(&stim_path, stimulus.render())?;
         let mut cmd = Command::new(&self.binary_path);
         cmd.arg("--cycles")
@@ -301,9 +374,10 @@ impl AotSim {
         parse_report(&String::from_utf8_lossy(&out.stdout))
     }
 
-    /// Shared handle on the scratch directory, for persistent sessions
-    /// that must keep the binary alive past this `AotSim`'s drop.
-    pub(crate) fn dir_handle(&self) -> Arc<ScratchDir> {
+    /// Shared handle on the artifact directory, for persistent
+    /// sessions that must keep the binary alive past this `AotSim`'s
+    /// drop (no-op ownership for cache-resident artifacts).
+    pub(crate) fn dir_handle(&self) -> Arc<ArtifactDir> {
         Arc::clone(&self.dir)
     }
 }

@@ -1,0 +1,289 @@
+//! The content-addressed compiled-artifact cache: `rustc` runs once
+//! per distinct design, not once per client.
+//!
+//! The cache key is a stable 128-bit FNV-1a fingerprint of the
+//! **emitted Rust source** ([`crate::emit_rust`] is deterministic for
+//! a given post-optimization graph + partition), so it captures the
+//! design, the optimization pipeline's output, *and* the emitter
+//! version in one hash — any change to what would be compiled changes
+//! the key. Hand-rolled (no `DefaultHasher`) so keys are stable
+//! across processes and Rust releases: the cache directory is shared
+//! state.
+//!
+//! On-disk layout, under the cache root:
+//!
+//! ```text
+//! <root>/<32-hex-key>/sim.rs   emitted source (debugging aid)
+//! <root>/<32-hex-key>/sim     compiled binary
+//! <root>/<32-hex-key>/ok      publication marker: binary size in bytes
+//! <root>/tmp_<pid>_<seq>/      in-progress builds (atomically renamed in)
+//! ```
+//!
+//! Concurrency story:
+//!
+//! * **Hit path is lock-free**: a published entry is recognized by its
+//!   `ok` marker (written last, renamed in atomically with the whole
+//!   entry directory), validated by comparing the recorded binary size
+//!   against the file on disk, and counted with relaxed atomics. No
+//!   mutex is ever taken to *use* a cached artifact.
+//! * **Compiles are deduplicated** per key with an in-process map of
+//!   per-key mutexes: concurrent sessions requesting the same uncached
+//!   design produce exactly one `rustc` invocation; the waiters take
+//!   the hit path once the winner publishes. Across processes the
+//!   atomic rename keeps the entry consistent (the loser discards its
+//!   build and uses the winner's).
+//! * **Eviction** is LRU over the `ok` marker mtime (touched on
+//!   every hit): when the entry count exceeds the
+//!   configured capacity, the stalest entries are removed. Removing an
+//!   entry out from under a live session is safe on Unix — the running
+//!   child keeps its inode until it exits — and a later request for
+//!   the evicted design transparently recompiles.
+
+use crate::build::{binary_name, cache_resident_sim, run_rustc, AotError, AotOptions, AotSim};
+use crate::rust::emit_rust;
+use gsim_graph::Graph;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Stable content hash identifying one compiled artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey(u128);
+
+impl ArtifactKey {
+    /// Fingerprints emitted source text: 128-bit FNV-1a, hand-rolled
+    /// for cross-process / cross-release stability.
+    pub fn fingerprint(code: &str) -> ArtifactKey {
+        const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+        const PRIME: u128 = 0x0000000001000000000000000000013b;
+        let mut h = OFFSET;
+        for b in code.as_bytes() {
+            h ^= u128::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+        ArtifactKey(h)
+    }
+
+    /// Parses the 32-hex-digit form produced by [`std::fmt::Display`].
+    pub fn parse(s: &str) -> Option<ArtifactKey> {
+        (s.len() == 32)
+            .then(|| u128::from_str_radix(s, 16).ok())
+            .flatten()
+            .map(ArtifactKey)
+    }
+}
+
+impl std::fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a published artifact (no `rustc`).
+    pub hits: u64,
+    /// Requests that found no usable artifact.
+    pub misses: u64,
+    /// Actual `rustc` invocations (≤ misses: deduplicated waiters and
+    /// cross-process races miss without compiling).
+    pub compiles: u64,
+    /// Entries removed by the LRU capacity bound.
+    pub evictions: u64,
+}
+
+/// The on-disk compiled-artifact store. See the module docs for the
+/// layout, concurrency, and eviction story.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+    evictions: AtomicU64,
+    /// Per-key build locks: dedups concurrent compiles of one design.
+    building: Mutex<HashMap<u128, Arc<Mutex<()>>>>,
+    tmp_seq: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Default capacity (entries) when none is configured.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Opens (creating if needed) a cache rooted at `root`, keeping at
+    /// most `capacity` entries (≥ 1) before LRU eviction kicks in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AotError::Io`] when the root cannot be created.
+    pub fn new(root: impl Into<PathBuf>, capacity: usize) -> Result<ArtifactCache, AotError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(ArtifactCache {
+            root,
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            building: Mutex::new(HashMap::new()),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Emits `graph`, looks the result up by content hash, and returns
+    /// a cache-resident [`AotSim`] — compiling with `rustc` only when
+    /// no published artifact exists. `sim.from_cache` tells the caller
+    /// whether this call skipped the compile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AotError`] when emission fails, `rustc` is
+    /// unavailable, or the emitted program does not compile.
+    pub fn compile(&self, graph: &Graph, opts: &AotOptions) -> Result<AotSim, AotError> {
+        let emit = emit_rust(graph, &opts.partition)?;
+        let key = ArtifactKey::fingerprint(&emit.code);
+        let entry = self.entry_dir(key);
+
+        // Lock-free hit path.
+        if self.probe(&entry) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cache_resident_sim(emit, &entry, Duration::ZERO, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Dedup concurrent builds of the same key.
+        let gate = {
+            let mut map = self.building.lock().expect("cache build map poisoned");
+            Arc::clone(map.entry(key.0).or_default())
+        };
+        let _build = gate.lock().expect("cache build lock poisoned");
+
+        // A concurrent winner (or another process) may have published
+        // while we waited; a stale/corrupt entry is torn down here so
+        // the rebuild below republishes it.
+        if self.probe(&entry) {
+            return cache_resident_sim(emit, &entry, Duration::ZERO, true);
+        }
+        let _ = std::fs::remove_dir_all(&entry);
+
+        // Build in a private tmp dir, publish with one atomic rename.
+        let tmp = self.root.join(format!(
+            "tmp_{}_{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&tmp)?;
+        let built = (|| -> Result<Duration, AotError> {
+            let source = tmp.join("sim.rs");
+            let binary = tmp.join(binary_name());
+            std::fs::write(&source, &emit.code)?;
+            let rustc_time = run_rustc(&source, &binary)?;
+            let size = std::fs::metadata(&binary)?.len();
+            std::fs::write(tmp.join("ok"), size.to_string())?;
+            Ok(rustc_time)
+        })();
+        let rustc_time = match built {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&tmp);
+                return Err(e);
+            }
+        };
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+
+        if std::fs::rename(&tmp, &entry).is_err() {
+            // Lost a cross-process race: the winner's entry stands.
+            let _ = std::fs::remove_dir_all(&tmp);
+            if !self.probe(&entry) {
+                return Err(AotError::RunFailed(format!(
+                    "artifact {key} vanished during publication"
+                )));
+            }
+        }
+        self.evict_over_capacity(key);
+        cache_resident_sim(emit, &entry, rustc_time, false)
+    }
+
+    fn entry_dir(&self, key: ArtifactKey) -> PathBuf {
+        self.root.join(key.to_string())
+    }
+
+    /// `true` when `entry` holds a valid published artifact. Also
+    /// touches the `ok` marker's mtime so LRU eviction sees the use.
+    /// The touch must not rewrite the marker's *content*: a truncating
+    /// write would let a concurrent prober read an empty marker and
+    /// tear down a perfectly valid entry.
+    fn probe(&self, entry: &Path) -> bool {
+        let marker = entry.join("ok");
+        let Ok(recorded) = std::fs::read_to_string(&marker) else {
+            return false;
+        };
+        let Ok(expected) = recorded.trim().parse::<u64>() else {
+            return false;
+        };
+        let actual = std::fs::metadata(entry.join(binary_name()))
+            .map(|m| m.len())
+            .unwrap_or(u64::MAX);
+        if actual != expected {
+            return false; // truncated / corrupted artifact
+        }
+        // LRU touch: mtime only, content untouched.
+        if let Ok(f) = std::fs::File::options().append(true).open(&marker) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
+        true
+    }
+
+    /// Removes the least-recently-used entries beyond `capacity`,
+    /// never evicting `keep` (the entry just used).
+    fn evict_over_capacity(&self, keep: ArtifactKey) {
+        let Ok(read) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for ent in read.flatten() {
+            let name = ent.file_name();
+            let Some(key) = name.to_str().and_then(ArtifactKey::parse) else {
+                continue; // tmp dirs and strangers are not entries
+            };
+            if key == keep {
+                continue;
+            }
+            let stamp = std::fs::metadata(ent.path().join("ok"))
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            entries.push((stamp, ent.path()));
+        }
+        // `keep` occupies one slot on top of `entries`.
+        let budget = self.capacity.saturating_sub(1);
+        if entries.len() <= budget {
+            return;
+        }
+        entries.sort();
+        for (_, path) in entries.drain(..entries.len() - budget) {
+            if std::fs::remove_dir_all(&path).is_ok() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

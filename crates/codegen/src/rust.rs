@@ -1427,18 +1427,50 @@ impl Emitter<'_> {
                 words.join(", ")
             );
         }
-        // The design's memories (name, depth), so the server mode can
-        // tell an unknown memory from an oversized image and report
-        // the real bounds on the wire.
+        // The design's memories (name, depth, width), so the server
+        // mode can tell an unknown memory from an oversized image,
+        // report the real bounds on the wire, and answer `list`.
         let mem_names: Vec<String> = g
             .mems()
             .iter()
-            .map(|m| format!("({:?}, {})", m.name, m.depth))
+            .map(|m| format!("({:?}, {}, {})", m.name, m.depth, m.width))
             .collect();
         let _ = writeln!(
             body,
-            "const KNOWN_MEMS: &[(&str, u64)] = &[{}];",
+            "const KNOWN_MEMS: &[(&str, u64, u32)] = &[{}];",
             mem_names.join(", ")
+        );
+        // Introspection tables backing the `list` protocol command:
+        // inputs in declaration order; the peekable signal surface as
+        // outputs-then-inputs, deduplicated — the same order the
+        // interpreter backend reports, so `list` responses are
+        // backend-identical.
+        let input_meta: Vec<String> = g
+            .inputs()
+            .iter()
+            .map(|&id| g.node(id))
+            .filter(|n| !n.name.is_empty())
+            .map(|n| format!("({:?}, {})", n.name, n.width))
+            .collect();
+        let _ = writeln!(
+            body,
+            "const INPUTS_META: &[(&str, u32)] = &[{}];",
+            input_meta.join(", ")
+        );
+        let mut sig_seen: Vec<&str> = Vec::new();
+        let mut sig_meta: Vec<String> = Vec::new();
+        for &id in g.outputs().iter().chain(g.inputs()) {
+            let node = g.node(id);
+            if node.name.is_empty() || sig_seen.contains(&node.name.as_str()) {
+                continue;
+            }
+            sig_seen.push(node.name.as_str());
+            sig_meta.push(format!("({:?}, {})", node.name, node.width));
+        }
+        let _ = writeln!(
+            body,
+            "const SIGNALS_META: &[(&str, u32)] = &[{}];",
+            sig_meta.join(", ")
         );
         let _ = writeln!(body);
         // Clone backs the server mode's snapshot/restore commands.
@@ -1673,8 +1705,8 @@ fn serve(mut sim: Sim) {
                     if ok && !sim.load_mem(name, &image) {
                         // The emitted load_mem also fails on oversized
                         // images; the memory table is known statically.
-                        match KNOWN_MEMS.iter().find(|(n, _)| *n == name) {
-                            Some((_, depth)) => {
+                        match KNOWN_MEMS.iter().find(|(n, _, _)| *n == name) {
+                            Some((_, depth, _)) => {
                                 let _ = writeln!(
                                     out,
                                     "err mem-too-large {name} {depth} {}",
@@ -1713,6 +1745,25 @@ fn serve(mut sim: Sim) {
                     "counters {} {} {} {}",
                     sim.cycles, sim.supernode_evals, sim.node_evals, sim.value_changes
                 );
+                let _ = out.flush();
+            }
+            Some("list") => {
+                // Exactly three response lines: inputs, signals, mems.
+                let _ = write!(out, "inputs");
+                for (n, w) in INPUTS_META {
+                    let _ = write!(out, " {n}:{w}");
+                }
+                let _ = writeln!(out);
+                let _ = write!(out, "signals");
+                for (n, w) in SIGNALS_META {
+                    let _ = write!(out, " {n}:{w}");
+                }
+                let _ = writeln!(out);
+                let _ = write!(out, "mems");
+                for (n, d, w) in KNOWN_MEMS {
+                    let _ = write!(out, " {n}:{d}:{w}");
+                }
+                let _ = writeln!(out);
                 let _ = out.flush();
             }
             Some("snapshot") => {

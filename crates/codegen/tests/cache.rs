@@ -1,0 +1,194 @@
+//! The content-addressed artifact cache, end to end against a real
+//! `rustc`: one compile per distinct design, transparent recovery from
+//! corruption and eviction, and a deduplicated concurrent cold start.
+//! All tests are skipped (with a note) on hosts without `rustc`.
+
+use gsim_codegen::{rustc_available, AotOptions, ArtifactCache, ArtifactKey};
+use gsim_graph::Graph;
+use gsim_sim::Session;
+
+const COUNTER: &str = r#"
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output out : UInt<8>
+    reg c : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    when en :
+      c <= tail(add(c, UInt<8>(1)), 1)
+    out <= c
+"#;
+
+/// Same structure, different step constant: a distinct design that
+/// must map to a distinct artifact.
+const COUNTER_BY_3: &str = r#"
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output out : UInt<8>
+    reg c : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    when en :
+      c <= tail(add(c, UInt<8>(3)), 1)
+    out <= c
+"#;
+
+fn graph_of(src: &str) -> Graph {
+    gsim_firrtl::compile(src).expect("compiles")
+}
+
+fn fresh_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("gsim_cache_test_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Steps a cache-resident sim's session and returns the counter value
+/// after `n` enabled cycles — the functional check that a cached
+/// binary actually runs. Per the engine's step convention (outputs are
+/// evaluated before the register commit), `out` reads `step * (n-1)`.
+fn run_counter(sim: &gsim_codegen::AotSim, n: u64) -> u64 {
+    let mut s = sim.session().expect("session");
+    s.poke_u64("reset", 0).unwrap();
+    s.poke_u64("en", 1).unwrap();
+    s.step(n).unwrap();
+    s.peek("out").unwrap().to_u64().unwrap()
+}
+
+#[test]
+fn same_design_compiles_once() {
+    if !rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let root = fresh_root("once");
+    let cache = ArtifactCache::new(&root, 4).unwrap();
+    let graph = graph_of(COUNTER);
+
+    let cold = cache.compile(&graph, &AotOptions::default()).unwrap();
+    assert!(!cold.from_cache, "first compile must miss");
+    assert_eq!(run_counter(&cold, 20), 19);
+
+    let warm = cache.compile(&graph, &AotOptions::default()).unwrap();
+    assert!(warm.from_cache, "second compile must hit");
+    assert_eq!(run_counter(&warm, 20), 19);
+
+    let s = cache.stats();
+    assert_eq!(
+        (s.compiles, s.hits, s.misses, s.evictions),
+        (1, 1, 1, 0),
+        "exactly one rustc for two requests of one design"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn distinct_designs_get_distinct_artifacts() {
+    if !rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let root = fresh_root("distinct");
+    let cache = ArtifactCache::new(&root, 4).unwrap();
+
+    let a = cache
+        .compile(&graph_of(COUNTER), &AotOptions::default())
+        .unwrap();
+    let b = cache
+        .compile(&graph_of(COUNTER_BY_3), &AotOptions::default())
+        .unwrap();
+    assert_eq!(run_counter(&a, 10), 9);
+    assert_eq!(run_counter(&b, 10), 27);
+
+    let entries: Vec<String> = std::fs::read_dir(&root)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| ArtifactKey::parse(n).is_some())
+        .collect();
+    assert_eq!(entries.len(), 2, "two designs, two published artifacts");
+    assert_eq!(cache.stats().compiles, 2);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupted_entry_recompiles_transparently() {
+    if !rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let root = fresh_root("corrupt");
+    let cache = ArtifactCache::new(&root, 4).unwrap();
+    let graph = graph_of(COUNTER);
+    let _ = cache.compile(&graph, &AotOptions::default()).unwrap();
+
+    // Truncate the published binary: the `ok` marker's recorded size
+    // no longer matches, so the entry must read as absent.
+    let entry = std::fs::read_dir(&root)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| ArtifactKey::parse(n).is_some())
+        })
+        .expect("published entry")
+        .path();
+    let binary = entry.join(if cfg!(windows) { "sim.exe" } else { "sim" });
+    std::fs::write(&binary, b"garbage").unwrap();
+
+    let again = cache.compile(&graph, &AotOptions::default()).unwrap();
+    assert!(!again.from_cache, "corrupted entry must recompile");
+    assert_eq!(run_counter(&again, 20), 19, "recompiled artifact works");
+    assert_eq!(cache.stats().compiles, 2);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn eviction_is_lru_and_recompiles_on_return() {
+    if !rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let root = fresh_root("evict");
+    let cache = ArtifactCache::new(&root, 1).unwrap();
+    let a = graph_of(COUNTER);
+    let b = graph_of(COUNTER_BY_3);
+
+    let _ = cache.compile(&a, &AotOptions::default()).unwrap();
+    let _ = cache.compile(&b, &AotOptions::default()).unwrap(); // evicts a
+    assert_eq!(cache.stats().evictions, 1, "capacity 1 evicts the LRU");
+
+    let back = cache.compile(&a, &AotOptions::default()).unwrap();
+    assert!(!back.from_cache, "evicted design must recompile");
+    assert_eq!(run_counter(&back, 20), 19);
+    assert_eq!(cache.stats().compiles, 3);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_cold_start_dedups_to_one_rustc() {
+    if !rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let root = fresh_root("concurrent");
+    let cache = ArtifactCache::new(&root, 4).unwrap();
+    let graph = graph_of(COUNTER);
+    let clients = 8;
+
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let sim = cache.compile(&graph, &AotOptions::default()).unwrap();
+                assert_eq!(run_counter(&sim, 20), 19);
+            });
+        }
+    });
+
+    let s = cache.stats();
+    assert_eq!(s.compiles, 1, "one rustc for {clients} concurrent requests");
+    assert_eq!(s.hits + s.misses, clients, "every request counted");
+    let _ = std::fs::remove_dir_all(&root);
+}

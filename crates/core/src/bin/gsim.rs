@@ -12,12 +12,26 @@
 //!                 [--cycles N]                 # simulate (zero inputs)
 //!                 [--emit-cpp out.cc]
 //!                 [--emit-rust out.rs]         # the AoT backend's source
+//!
+//! gsim serve  --socket <ep> --cache-dir <dir>  # multi-tenant simulation service
+//!             [--cache-capacity N] [--max-sessions N] [--idle-timeout SECS]
+//!
+//! gsim client <design.fir> --socket <ep>       # remote session (tests/CI)
+//!             [--backend aot|interp] [--cycles N] [--stats] [--shutdown]
 //! ```
+//!
+//! Endpoints are `tcp:<addr>`, `unix:<path>`, or bare forms (a string
+//! containing `/` is a Unix socket path, anything else a TCP address).
 
-use gsim::{Compiler, Preset, Session};
+use gsim::{ClientSession, Compiler, Endpoint, Preset, Server, ServerConfig, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&args[1..]),
+        Some("client") => return cmd_client(&args[1..]),
+        _ => {}
+    }
     let mut input: Option<String> = None;
     let mut preset = Preset::Gsim;
     let mut threads: Option<usize> = None;
@@ -260,6 +274,117 @@ fn run_aot(
     }
 }
 
+/// `gsim serve`: run the multi-tenant simulation service in the
+/// foreground until a client sends `shutdown`.
+fn cmd_serve(args: &[String]) {
+    let mut socket: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_capacity: Option<usize> = None;
+    let mut max_sessions: Option<usize> = None;
+    let mut idle_timeout: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = it.next().cloned(),
+            "--cache-dir" => cache_dir = it.next().cloned(),
+            "--cache-capacity" => cache_capacity = Some(parse(it.next(), "--cache-capacity")),
+            "--max-sessions" => max_sessions = Some(parse(it.next(), "--max-sessions")),
+            "--idle-timeout" => idle_timeout = Some(parse(it.next(), "--idle-timeout")),
+            other => die(&format!("unknown serve flag {other}")),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| die("serve needs --socket <endpoint>"));
+    let cache_dir = cache_dir.unwrap_or_else(|| die("serve needs --cache-dir <dir>"));
+    let mut cfg = ServerConfig::new(Endpoint::parse(&socket), cache_dir);
+    if let Some(n) = cache_capacity {
+        cfg.cache_capacity = n;
+    }
+    if let Some(n) = max_sessions {
+        cfg.max_sessions = n;
+    }
+    if let Some(secs) = idle_timeout {
+        cfg.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    }
+    let server = Server::start(cfg).unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    // Parseable readiness line (tests/scripts wait for it).
+    println!("listening {}", server.endpoint());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+}
+
+/// `gsim client`: open one remote session, run it, and print the same
+/// `name = value` output lines as the local backends (CI diffs them).
+fn cmd_client(args: &[String]) {
+    let mut input: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut backend = "aot".to_string();
+    let mut cycles: u64 = 0;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = it.next().cloned(),
+            "--backend" => backend = it.next().cloned().unwrap_or(backend),
+            "--cycles" => cycles = parse(it.next(), "--cycles"),
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            other if !other.starts_with('-') => input = Some(other.to_string()),
+            other => die(&format!("unknown client flag {other}")),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| die("client needs --socket <endpoint>"));
+    let ep = Endpoint::parse(&socket);
+    let mut session =
+        ClientSession::connect(&ep).unwrap_or_else(|e| die(&format!("cannot connect: {e}")));
+    if let Some(path) = input {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let info = session
+            .open_design(&src, &backend)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        eprintln!(
+            "ready    : key={} status={} ({} ms)",
+            info.key, info.status, info.ready_ms
+        );
+        if cycles > 0 {
+            let start = std::time::Instant::now();
+            session.step(cycles).unwrap_or_else(|e| die(&e.to_string()));
+            let secs = start.elapsed().as_secs_f64();
+            eprintln!(
+                "simulated {} cycles in {:.3} s ({:.1} kHz) [remote session]",
+                cycles,
+                secs,
+                cycles as f64 / secs.max(1e-12) / 1e3
+            );
+            // The design's portable signal surface, via the wire-level
+            // `list` command: print outputs exactly like the local
+            // backends (signals = outputs then inputs, deduplicated).
+            let inputs = session.inputs().unwrap_or_else(|e| die(&e.to_string()));
+            let signals = session.signals().unwrap_or_else(|e| die(&e.to_string()));
+            for sig in &signals {
+                if inputs.iter().any(|i| i.name == sig.name) {
+                    continue;
+                }
+                let v = session
+                    .peek(&sig.name)
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                println!("{} = {v}", sig.name);
+            }
+        }
+    }
+    if stats {
+        let s = session.stats().unwrap_or_else(|e| die(&e.to_string()));
+        println!("{}", s.render_wire());
+    }
+    if shutdown {
+        session
+            .shutdown_server()
+            .unwrap_or_else(|e| die(&e.to_string()));
+    }
+}
+
 fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
     v.and_then(|s| s.parse().ok())
         .unwrap_or_else(|| die(&format!("{flag} needs a number")))
@@ -270,7 +395,11 @@ fn usage() {
         "gsim <design.fir> [--preset gsim|verilator|essent|arcilator] \
          [--backend interp|aot] [--threads N] [--max-supernode-size N] \
          [--no-fuse] [--no-layout] [--cycles N] [--emit-cpp out.cc] \
-         [--emit-rust out.rs]"
+         [--emit-rust out.rs]\n\
+         gsim serve --socket <ep> --cache-dir <dir> [--cache-capacity N] \
+         [--max-sessions N] [--idle-timeout SECS]\n\
+         gsim client <design.fir> --socket <ep> [--backend aot|interp] \
+         [--cycles N] [--stats] [--shutdown]"
     );
 }
 

@@ -16,6 +16,10 @@
 //!   multi-threaded), ESSENT, Arcilator, and GSIM itself.
 //! * [`OptOptions`] — one switch per paper technique, so the Figure 8
 //!   breakdown can apply them incrementally.
+//! * [`Server`] / [`ClientSession`] (re-exported from `gsim_server`) —
+//!   the multi-tenant simulation service: many concurrent remote
+//!   sessions over one content-addressed compiled-artifact cache
+//!   (CLI: `gsim serve` / `gsim client`).
 //!
 //! # Quickstart
 //!
@@ -42,9 +46,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use gsim_codegen::{AotRun, AotSession, AotSim, Stimulus};
+pub use gsim_codegen::{AotRun, AotSession, AotSim, ArtifactCache, ArtifactKey, Stimulus};
 pub use gsim_graph::Graph;
 pub use gsim_passes::{PassOptions, PassStats};
+pub use gsim_server::{ClientSession, Endpoint, Server, ServerConfig, ServiceStats};
 pub use gsim_sim::{
     Counters, EngineKind, FusionStats, GsimError, InputFrame, InputHandle, Session, SessionFrame,
     SimOptions, Simulator, SnapshotId,

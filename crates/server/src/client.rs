@@ -1,129 +1,127 @@
-//! The persistent AoT session: one compiled simulator process, kept
-//! resident for a whole interactive run.
+//! The service client: [`ClientSession`] implements the
+//! backend-agnostic [`Session`] trait over a socket to a running
+//! [`crate::Server`], so every harness written against
+//! `&mut dyn Session` — including the differential tests that pin the
+//! engines to the reference interpreter — drives a *remote* session
+//! unchanged.
 //!
-//! [`AotSession`] spawns the `rustc`-built binary in its `--serve`
-//! mode and speaks the line-oriented wire protocol documented on
-//! [`gsim_sim::Session`]: mutating commands (`poke`, `step`, `load`,
-//! `restore`) are pipelined without per-command round trips and
-//! fenced with `sync`; query commands (`peek`, `counters`,
-//! `snapshot`) are one request/response pair each. This is what makes
-//! the AoT backend usable for *reactive* testbenches — stimulus that
-//! depends on previous outputs — and amortizes the one-time `rustc`
-//! cost to zero per step: where [`AotSim::run`] spawns a fresh process
-//! (and re-parses stimulus) per invocation, a session pays one spawn
-//! for arbitrarily many poke/step/peek interactions.
+//! The wire logic mirrors `gsim_codegen::AotSession` (same pipelined
+//! mutating commands, `sync` fences, one-round-trip queries), plus
+//! the three service commands: [`ClientSession::open_design`],
+//! [`ClientSession::stats`], and [`ClientSession::shutdown_server`].
 
-use crate::build::{AotError, AotSim, ArtifactDir};
+use crate::net::{Endpoint, Stream};
+use crate::server::ServiceStats;
 use gsim_sim::{Counters, GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
 use gsim_value::Value;
 use std::io::{BufRead as _, BufReader, Write as _};
-use std::path::Path;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::Arc;
 
-impl From<AotError> for GsimError {
-    fn from(e: AotError) -> Self {
-        GsimError::Backend(e.to_string())
-    }
-}
-
-impl From<crate::rust::EmitError> for GsimError {
-    fn from(e: crate::rust::EmitError) -> Self {
-        GsimError::Backend(e.to_string())
-    }
-}
-
-/// How many pipelined cycles [`Session::run_driven`] lets accumulate
-/// before fencing with a `sync`: bounds the unread `err` lines a
-/// misbehaving stimulus could queue in the child's stdout pipe (well
-/// under the kernel pipe capacity) while keeping the per-cycle wire
-/// cost at roughly one buffered write.
+/// Pipelined-cycle bound between `sync` fences (same rationale and
+/// value as the AoT session's chunking).
 const SYNC_CHUNK: u64 = 128;
 
-/// A live connection to a compiled simulator process in server mode.
-///
-/// Created by [`AotSim::session`]; implements the backend-agnostic
-/// [`Session`] trait, so harnesses drive it exactly like the
-/// interpreter engines. The child process exits when the session is
-/// dropped (its stdin closes); the scratch directory holding the
-/// binary stays alive as long as either the session or its `AotSim`
-/// does.
-#[derive(Debug)]
-pub struct AotSession {
-    child: Child,
-    stdin: Option<ChildStdin>,
-    stdout: BufReader<ChildStdout>,
-    cycle: u64,
-    /// Cycles stepped since the last `sync` fence.
-    unsynced: u64,
-    _dir: Arc<ArtifactDir>,
+/// The server's answer to `design`: which artifact the session is
+/// bound to and how it was obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignInfo {
+    /// Content-addressed artifact key (32 hex digits).
+    pub key: String,
+    /// `"hit"` (cached binary reused), `"miss"` (compiled now), or
+    /// `"interp"` (interpreter backend — no artifact).
+    pub status: String,
+    /// Server-side milliseconds from request to ready.
+    pub ready_ms: u64,
 }
 
-impl AotSim {
-    /// Spawns the compiled binary in `--serve` mode and returns the
-    /// persistent session speaking its wire protocol.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AotError::RunFailed`] when the process cannot be
-    /// spawned or its pipes cannot be set up.
-    pub fn session(&self) -> Result<AotSession, AotError> {
-        self.session_in(None)
-    }
+/// A remote simulation session on a running [`crate::Server`].
+#[derive(Debug)]
+pub struct ClientSession {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    cycle: u64,
+    unsynced: u64,
+}
 
-    /// Like [`AotSim::session`], but runs the child process with the
-    /// given working directory — the server uses this to isolate each
-    /// client session's scratch files from the shared cached artifact.
+impl ClientSession {
+    /// Connects to the service at `ep`. The connection is idle until
+    /// [`ClientSession::open_design`] binds it to a design.
     ///
     /// # Errors
     ///
-    /// Returns [`AotError::RunFailed`] when the process cannot be
-    /// spawned or its pipes cannot be set up.
-    pub fn session_in(&self, cwd: Option<&Path>) -> Result<AotSession, AotError> {
-        let mut cmd = Command::new(&self.binary_path);
-        cmd.arg("--serve")
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
-        if let Some(dir) = cwd {
-            cmd.current_dir(dir);
-        }
-        let mut child = cmd
-            .spawn()
-            .map_err(|e| AotError::RunFailed(format!("cannot spawn server: {e}")))?;
-        let stdin = child
-            .stdin
-            .take()
-            .ok_or_else(|| AotError::RunFailed("no stdin pipe".into()))?;
-        let stdout = child
-            .stdout
-            .take()
-            .ok_or_else(|| AotError::RunFailed("no stdout pipe".into()))?;
-        Ok(AotSession {
-            child,
-            stdin: Some(stdin),
-            stdout: BufReader::new(stdout),
+    /// Returns the underlying socket error.
+    pub fn connect(ep: &Endpoint) -> std::io::Result<ClientSession> {
+        let stream = Stream::connect(ep)?;
+        let writer = stream.try_clone()?;
+        Ok(ClientSession {
+            reader: BufReader::new(stream),
+            writer,
             cycle: 0,
             unsynced: 0,
-            _dir: self.dir_handle(),
         })
     }
-}
 
-impl Drop for AotSession {
-    fn drop(&mut self) {
-        // Closing stdin ends the server's command loop; reap the child
-        // so no zombie outlives the session.
-        drop(self.stdin.take());
-        let _ = self.child.wait();
+    /// Sends FIRRTL source and binds this session to the compiled
+    /// design. `backend` is `"aot"` (through the artifact cache) or
+    /// `"interp"`.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Parse`] / [`GsimError::Compile`] travel back as
+    /// typed errors; transport failures are [`GsimError::Io`].
+    pub fn open_design(&mut self, firrtl: &str, backend: &str) -> Result<DesignInfo, GsimError> {
+        self.send(&format!("design {} {backend}", firrtl.len()))?;
+        let w = self.writer()?;
+        w.write_all(firrtl.as_bytes())
+            .map_err(|e| GsimError::Io(format!("design upload: {e}")))?;
+        self.flush()?;
+        let line = self.read_line()?;
+        if line.starts_with("err ") {
+            return Err(GsimError::from_wire(&line));
+        }
+        let mut it = line.split_whitespace();
+        let (Some("ready"), Some(key), Some(status), Some(ms)) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(GsimError::Protocol(format!("bad ready response: {line}")));
+        };
+        self.cycle = 0;
+        Ok(DesignInfo {
+            key: key.to_string(),
+            status: status.to_string(),
+            ready_ms: ms.parse().unwrap_or(0),
+        })
     }
-}
 
-impl AotSession {
-    fn writer(&mut self) -> Result<&mut ChildStdin, GsimError> {
-        self.stdin
-            .as_mut()
-            .ok_or_else(|| GsimError::Io("server stdin closed".into()))
+    /// Fetches the service-level counters (sessions, cache hits, …).
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Io`] on transport failure, [`GsimError::Protocol`]
+    /// on a malformed response.
+    pub fn stats(&mut self) -> Result<ServiceStats, GsimError> {
+        let line = self.query("stats")?;
+        ServiceStats::parse_wire(&line)
+            .ok_or_else(|| GsimError::Protocol(format!("bad stats response: {line}")))
+    }
+
+    /// Asks the server to shut down (test/admin facility).
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Io`] on transport failure.
+    pub fn shutdown_server(&mut self) -> Result<(), GsimError> {
+        let line = self.query("shutdown")?;
+        if line.starts_with("ok") {
+            Ok(())
+        } else {
+            Err(GsimError::Protocol(format!(
+                "bad shutdown response: {line}"
+            )))
+        }
+    }
+
+    fn writer(&mut self) -> Result<&mut Stream, GsimError> {
+        Ok(&mut self.writer)
     }
 
     fn send(&mut self, line: &str) -> Result<(), GsimError> {
@@ -140,19 +138,17 @@ impl AotSession {
     fn read_line(&mut self) -> Result<String, GsimError> {
         let mut line = String::new();
         let n = self
-            .stdout
+            .reader
             .read_line(&mut line)
             .map_err(|e| GsimError::Io(format!("server read: {e}")))?;
         if n == 0 {
-            return Err(GsimError::Io("server process exited".into()));
+            return Err(GsimError::Io("server closed the connection".into()));
         }
         Ok(line.trim_end().to_string())
     }
 
-    /// Fences the pipeline: sends `sync`, then drains queued `err`
-    /// lines (in command order) until the matching `ok`. Returns the
-    /// first queued error if any, else the server's cycle count —
-    /// which also resynchronizes the local mirror after `restore`.
+    /// Fences the pipeline: `sync`, drain queued `err` lines until the
+    /// matching `ok`, resynchronize the local cycle mirror.
     fn sync(&mut self) -> Result<u64, GsimError> {
         self.send("sync")?;
         self.flush()?;
@@ -176,8 +172,8 @@ impl AotSession {
         }
     }
 
-    /// One query round trip (the stream must be fenced, which every
-    /// public method maintains as an invariant).
+    /// One query round trip (stream fenced — every public method
+    /// maintains that invariant).
     fn query(&mut self, req: &str) -> Result<String, GsimError> {
         self.send(req)?;
         self.flush()?;
@@ -188,9 +184,7 @@ impl AotSession {
         Ok(line)
     }
 
-    /// Sends `list` and reads its fixed three-line response
-    /// (`inputs …` / `signals …` / `mems …`), returning the payload of
-    /// the requested line.
+    /// `list` round trip returning the payload of the `want` line.
     fn list_line(&mut self, want: &str) -> Result<String, GsimError> {
         self.send("list")?;
         self.flush()?;
@@ -229,9 +223,9 @@ impl AotSession {
     }
 }
 
-impl Session for AotSession {
+impl Session for ClientSession {
     fn backend(&self) -> &'static str {
-        "aot"
+        "client"
     }
 
     fn cycle(&self) -> u64 {
@@ -278,18 +272,11 @@ impl Session for AotSession {
         drive: &mut dyn FnMut(u64, &mut SessionFrame),
     ) -> Result<(), GsimError> {
         let mut frame = SessionFrame::default();
-        // Local cycle mirror: `self.cycle` is only authoritative at
-        // fences, but `drive` needs the number of the cycle being
-        // staged inside a pipelined chunk.
         let end = self.cycle + n;
         let mut at = self.cycle;
-        // Stimulus errors do not cut the run short: as on the
-        // interpreter backend, the session still completes all `n`
-        // cycles, stimulus stops being driven, and the first error is
-        // reported at the end. (Within the chunk already in flight
-        // when the fence surfaces the error, later frames' valid
-        // pokes were applied — the pipelining trade-off the trait
-        // documents.) Only transport failures (`send` errors) abort.
+        // Same error discipline as the AoT session: stimulus errors do
+        // not cut the run short (first one reported at the end); only
+        // fatal transport errors abort.
         let mut first_err: Option<GsimError> = None;
         while at < end {
             if first_err.is_none() {
@@ -355,8 +342,6 @@ impl Session for AotSession {
 
     fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError> {
         self.send(&format!("restore {}", id.raw()))?;
-        // The fence also resynchronizes `cycle()` with the rolled-back
-        // server state.
         self.sync().map(|_| ())
     }
 

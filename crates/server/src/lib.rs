@@ -1,0 +1,42 @@
+//! The GSIM simulation service: many concurrent sessions, one
+//! compiled artifact per distinct design.
+//!
+//! `gsim-server` turns the single-user Session API into a serving
+//! system. A [`Server`] listens on a Unix or TCP socket
+//! ([`Endpoint`]); each accepted connection gets its own thread (no
+//! external async runtime exists in this environment — thread-per-
+//! connection with per-session read timeouts is the whole scheduling
+//! story) and speaks the line protocol documented on
+//! [`gsim_sim::Session`], extended with three service commands:
+//!
+//! * `design <nbytes> [aot|interp]` — the next `nbytes` bytes are
+//!   FIRRTL source; the server compiles it (through the
+//!   [`gsim_codegen::ArtifactCache`] for the AoT backend, so `rustc`
+//!   runs once per distinct design, not once per client) and binds
+//!   the session to it. Response: `ready <key> <hit|miss|interp> <ms>`.
+//! * `stats` — service counters:
+//!   `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n>`.
+//! * `shutdown` — stops the whole server (test/admin facility).
+//!
+//! After `design`, every simulation command (`poke`, `step`, `peek`,
+//! `list`, `sync`, …) behaves exactly as on a local session: the
+//! server bridges the wire onto a `Box<dyn Session>` ([`proto`]), so
+//! the AoT and interpreter backends are served by the same loop.
+//!
+//! The matching [`ClientSession`] implements [`gsim_sim::Session`]
+//! over the socket, which is what makes the service transparently
+//! testable: the existing differential harnesses drive a remote
+//! session exactly like an in-process engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod net;
+pub mod proto;
+
+mod client;
+mod server;
+
+pub use client::{ClientSession, DesignInfo};
+pub use net::Endpoint;
+pub use server::{Server, ServerConfig, ServiceStats};

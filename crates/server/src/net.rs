@@ -1,0 +1,182 @@
+//! Transport plumbing: one address/stream/listener type over TCP and
+//! Unix-domain sockets, so the rest of the crate is socket-family
+//! agnostic.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the service listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7734` (`127.0.0.1:0` picks a
+    /// free port; [`crate::Server::endpoint`] reports the resolved one).
+    Tcp(String),
+    /// A Unix-domain socket path (stale files are replaced on bind).
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string: `tcp:<addr>` / `unix:<path>`
+    /// explicitly, else anything containing `/` is a Unix socket path
+    /// and anything else a TCP address.
+    pub fn parse(s: &str) -> Endpoint {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            Endpoint::Tcp(addr.to_string())
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else if s.contains('/') {
+            Endpoint::Unix(PathBuf::from(s))
+        } else {
+            Endpoint::Tcp(s.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// A connected byte stream of either family.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn connect(ep: &Endpoint) -> std::io::Result<Stream> {
+        match ep {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                // The protocol is small request/response lines; Nagle
+                // would add ~40ms delayed-ACK stalls per round trip.
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            )),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Shuts down both directions; any blocked read on a clone of
+    /// this stream returns immediately.
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener of either family.
+#[derive(Debug)]
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `ep`, replacing a stale Unix socket file if present.
+    /// Returns the listener and its *resolved* endpoint (a TCP bind to
+    /// port 0 reports the picked port).
+    pub(crate) fn bind(ep: &Endpoint) -> std::io::Result<(Listener, Endpoint)> {
+        match ep {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let resolved = Endpoint::Tcp(l.local_addr()?.to_string());
+                Ok((Listener::Tcp(l), resolved))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                let l = UnixListener::bind(path)?;
+                Ok((Listener::Unix(l), ep.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            )),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}

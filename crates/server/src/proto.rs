@@ -1,0 +1,193 @@
+//! The wire ↔ [`Session`] bridge: one implementation of the line
+//! protocol's server side over any `Box<dyn Session>`, so the service
+//! serves the AoT backend (a persistent compiled process) and the
+//! interpreter engines through the same loop — and stays, by
+//! construction, semantically identical to the protocol loop the
+//! emitted binary runs in `--serve` mode.
+//!
+//! Semantics (documented in full on [`gsim_sim::Session`]): mutating
+//! commands (`poke`, `load`, `step`, `restore`) are silent on success
+//! and *queue* their errors; `sync` drains the queue (in command
+//! order) and answers `ok <cycle>`; queries (`peek`, `counters`,
+//! `snapshot`, `list`) answer exactly one request each — `list` with
+//! its fixed three lines.
+
+use gsim_sim::{GsimError, Session};
+use gsim_value::Value;
+use std::io::Write;
+
+/// What [`SessionProto::handle_line`] did with a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// The line was a simulation-protocol command and was processed.
+    Handled,
+    /// Not a simulation-protocol command; the caller owns it (the
+    /// service layer handles `design`/`stats`/`shutdown` and rejects
+    /// the rest via [`SessionProto::reject`]).
+    Unhandled,
+}
+
+/// Per-connection protocol state: the queued-error buffer that gives
+/// mutating commands their pipelined, silent-on-success semantics.
+#[derive(Debug, Default)]
+pub struct SessionProto {
+    queued: Vec<String>,
+}
+
+impl SessionProto {
+    /// Fresh per-connection state.
+    pub fn new() -> SessionProto {
+        SessionProto::default()
+    }
+
+    /// Queues an error against the next `sync` fence (used for
+    /// mutating commands and protocol violations).
+    pub fn reject(&mut self, e: &GsimError) {
+        self.queued.push(e.to_wire());
+    }
+
+    /// Answers `sync`: queued errors in command order, then
+    /// `ok <cycle>`.
+    pub fn sync(&mut self, cycle: u64, out: &mut impl Write) -> std::io::Result<()> {
+        for line in self.queued.drain(..) {
+            writeln!(out, "{line}")?;
+        }
+        writeln!(out, "ok {cycle}")?;
+        out.flush()
+    }
+
+    /// Dispatches one protocol line against `sess`, writing any
+    /// response to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Only transport ([`std::io::Error`]) failures propagate;
+    /// simulation errors travel the protocol as `err` lines.
+    pub fn handle_line(
+        &mut self,
+        sess: &mut dyn Session,
+        line: &str,
+        out: &mut impl Write,
+    ) -> std::io::Result<Flow> {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("poke") => {
+                let (Some(name), Some(hex)) = (it.next(), it.next()) else {
+                    self.queued
+                        .push(GsimError::Protocol(format!("bad poke: {line}")).to_wire());
+                    return Ok(Flow::Handled);
+                };
+                // Parse at the hex digits' natural width; the backend
+                // zero-extends or truncates to the input's declared
+                // width (the trait's poke contract).
+                let width = (hex.len() as u32 * 4).max(1);
+                match Value::from_str_radix(hex, 16, width) {
+                    Ok(v) => {
+                        if let Err(e) = sess.poke(name, v) {
+                            self.queued.push(e.to_wire());
+                        }
+                    }
+                    Err(_) => self
+                        .queued
+                        .push(GsimError::Protocol(format!("bad poke value: {hex}")).to_wire()),
+                }
+            }
+            Some("load") => {
+                let Some(name) = it.next() else {
+                    self.queued
+                        .push(GsimError::Protocol(format!("bad load: {line}")).to_wire());
+                    return Ok(Flow::Handled);
+                };
+                let mut image = Vec::new();
+                let mut bad = false;
+                for tok in it {
+                    match u64::from_str_radix(tok, 16) {
+                        Ok(w) => image.push(w),
+                        Err(_) => {
+                            bad = true;
+                            break;
+                        }
+                    }
+                }
+                if bad {
+                    self.queued
+                        .push(GsimError::Protocol(format!("bad load word in: {line}")).to_wire());
+                } else if let Err(e) = sess.load_mem(name, &image) {
+                    self.queued.push(e.to_wire());
+                }
+            }
+            Some("step") => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+                if let Err(e) = sess.step(n) {
+                    self.queued.push(e.to_wire());
+                }
+            }
+            Some("restore") => {
+                let raw: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(u64::MAX);
+                if let Err(e) = sess.restore(gsim_sim::SnapshotId::from_raw(raw)) {
+                    self.queued.push(e.to_wire());
+                }
+            }
+            Some("peek") => {
+                let name = it.next().unwrap_or("");
+                match sess.peek(name) {
+                    Ok(v) => writeln!(out, "val {} {v:x}", v.width())?,
+                    Err(e) => writeln!(out, "{}", e.to_wire())?,
+                }
+                out.flush()?;
+            }
+            Some("counters") => {
+                match sess.counters() {
+                    Ok(c) => writeln!(
+                        out,
+                        "counters {} {} {} {}",
+                        c.cycles, c.supernode_evals, c.node_evals, c.value_changes
+                    )?,
+                    Err(e) => writeln!(out, "{}", e.to_wire())?,
+                }
+                out.flush()?;
+            }
+            Some("snapshot") => {
+                match sess.snapshot() {
+                    Ok(id) => writeln!(out, "snap {}", id.raw())?,
+                    Err(e) => writeln!(out, "{}", e.to_wire())?,
+                }
+                out.flush()?;
+            }
+            Some("list") => {
+                match (sess.inputs(), sess.signals(), sess.memories()) {
+                    (Ok(ins), Ok(sigs), Ok(mems)) => {
+                        let fmt_sigs = |v: &[gsim_sim::SignalInfo]| {
+                            v.iter()
+                                .map(|s| format!(" {}:{}", s.name, s.width))
+                                .collect::<String>()
+                        };
+                        writeln!(out, "inputs{}", fmt_sigs(&ins))?;
+                        writeln!(out, "signals{}", fmt_sigs(&sigs))?;
+                        let mems: String = mems
+                            .iter()
+                            .map(|m| format!(" {}:{}:{}", m.name, m.depth, m.width))
+                            .collect();
+                        writeln!(out, "mems{mems}")?;
+                    }
+                    (r, s, m) => {
+                        let e = [
+                            r.err().map(|e| e.to_wire()),
+                            s.err().map(|e| e.to_wire()),
+                            m.err().map(|e| e.to_wire()),
+                        ]
+                        .into_iter()
+                        .flatten()
+                        .next()
+                        .expect("at least one error");
+                        writeln!(out, "{e}")?;
+                    }
+                }
+                out.flush()?;
+            }
+            Some("sync") => self.sync(sess.cycle(), out)?,
+            _ => return Ok(Flow::Unhandled),
+        }
+        Ok(Flow::Handled)
+    }
+}

@@ -1,0 +1,407 @@
+//! The listener and per-connection service loop.
+//!
+//! Thread-per-connection: the accept loop hands every connection to a
+//! worker thread holding its own `BufReader`/writer clone of the
+//! socket. The session pool is the registry of live connections —
+//! bounded by [`ServerConfig::max_sessions`], with a writer clone of
+//! every stream retained so graceful shutdown can unblock parked
+//! reads — and the artifact cache ([`gsim_codegen::ArtifactCache`])
+//! is the shared substrate that makes session startup cheap: the
+//! first session for a design pays `rustc`, every later one reuses
+//! the published binary.
+//!
+//! Per-session isolation: each connection gets a private scratch
+//! directory (the compiled child process's working directory), so
+//! concurrent sessions on one cached artifact never share mutable
+//! filesystem state; idleness is bounded by a per-session read
+//! timeout.
+
+use crate::net::{Endpoint, Listener, Stream};
+use crate::proto::{Flow, SessionProto};
+use gsim_codegen::{AotOptions, ArtifactCache, ArtifactKey, CacheStats};
+use gsim_sim::{GsimError, Session, SimOptions, Simulator};
+use std::collections::HashMap;
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Root of the on-disk artifact cache (also hosts the per-session
+    /// scratch directories under `scratch/`).
+    pub cache_dir: PathBuf,
+    /// Artifact-cache capacity (entries) before LRU eviction.
+    pub cache_capacity: usize,
+    /// Maximum concurrent sessions; excess connections are refused
+    /// with a `config` error.
+    pub max_sessions: usize,
+    /// Per-session idle bound: a connection with no traffic for this
+    /// long is closed (`None` = unbounded).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl ServerConfig {
+    /// Defaults: 64-entry cache, 64 sessions, 5-minute idle timeout.
+    pub fn new(endpoint: Endpoint, cache_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            endpoint,
+            cache_dir: cache_dir.into(),
+            cache_capacity: ArtifactCache::DEFAULT_CAPACITY,
+            max_sessions: 64,
+            idle_timeout: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+/// Point-in-time service counters (the `stats` wire line, typed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connections accepted over the server's lifetime.
+    pub sessions: u64,
+    /// Currently connected sessions.
+    pub active: u64,
+    /// Artifact-cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Renders the `stats …` wire line.
+    pub fn render_wire(&self) -> String {
+        format!(
+            "stats sessions {} active {} hits {} misses {} compiles {} evictions {}",
+            self.sessions,
+            self.active,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.compiles,
+            self.cache.evictions
+        )
+    }
+
+    /// Parses the `stats …` wire line ([`None`] if malformed).
+    pub fn parse_wire(line: &str) -> Option<ServiceStats> {
+        let mut it = line.split_whitespace();
+        if it.next() != Some("stats") {
+            return None;
+        }
+        let mut field = |name: &str| -> Option<u64> {
+            (it.next()? == name)
+                .then(|| it.next()?.parse().ok())
+                .flatten()
+        };
+        Some(ServiceStats {
+            sessions: field("sessions")?,
+            active: field("active")?,
+            cache: CacheStats {
+                hits: field("hits")?,
+                misses: field("misses")?,
+                compiles: field("compiles")?,
+                evictions: field("evictions")?,
+            },
+        })
+    }
+}
+
+/// State shared between the accept loop and every session thread.
+#[derive(Debug)]
+struct Shared {
+    cache: ArtifactCache,
+    cfg: ServerConfig,
+    /// Resolved listen endpoint (for the shutdown self-connect).
+    endpoint: Endpoint,
+    stop: AtomicBool,
+    sessions_total: AtomicU64,
+    active: AtomicU64,
+    next_id: AtomicU64,
+    /// The session pool's roster: a writer clone per live connection,
+    /// so shutdown can unblock every parked read.
+    registry: Mutex<HashMap<u64, Stream>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            sessions: self.sessions_total.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Flips the stop flag, kicks every live session off its socket,
+    /// and unblocks the accept loop with a self-connect.
+    fn trigger_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Ok(registry) = self.registry.lock() {
+            for stream in registry.values() {
+                stream.shutdown();
+            }
+        }
+        let _ = Stream::connect(&self.endpoint);
+    }
+}
+
+/// A running simulation service. Dropping (or [`Server::stop`])
+/// shuts it down gracefully: the listener exits, live sessions are
+/// disconnected, their threads unwind.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the endpoint, opens the artifact cache, and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind / cache-directory error.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let cache = ArtifactCache::new(&cfg.cache_dir, cfg.cache_capacity)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let (listener, endpoint) = Listener::bind(&cfg.endpoint)?;
+        let shared = Arc::new(Shared {
+            cache,
+            cfg,
+            endpoint,
+            stop: AtomicBool::new(false),
+            sessions_total: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            registry: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&accept_shared, &listener));
+        Ok(Server {
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The resolved listen endpoint (reports the picked port when the
+    /// config asked for `127.0.0.1:0`).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.shared.endpoint
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until the server stops on its own (a client's
+    /// `shutdown` command), then cleans up — the `gsim serve`
+    /// foreground mode.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Drop runs `stop` for the registry/socket-file cleanup; the
+        // accept thread is already joined.
+    }
+
+    /// Graceful shutdown: stop accepting, disconnect live sessions,
+    /// join the accept loop.
+    pub fn stop(&mut self) {
+        self.shared.trigger_stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Endpoint::Unix(path) = &self.shared.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || serve_connection(&shared, stream, id));
+    }
+}
+
+/// One session, cradle to grave: admission, registry, protocol loop,
+/// cleanup.
+fn serve_connection(shared: &Arc<Shared>, stream: Stream, id: u64) {
+    // Admission: bounded session pool.
+    let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+    if active > shared.cfg.max_sessions as u64 {
+        let mut w = stream;
+        let _ = writeln!(
+            w,
+            "{}",
+            GsimError::Config("session limit reached".into()).to_wire()
+        );
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(shared.cfg.idle_timeout);
+    let registered = match stream.try_clone() {
+        Ok(clone) => {
+            if let Ok(mut reg) = shared.registry.lock() {
+                reg.insert(id, clone);
+            }
+            true
+        }
+        Err(_) => false,
+    };
+
+    let scratch = shared.cfg.cache_dir.join("scratch").join(id.to_string());
+    let _ = std::fs::create_dir_all(&scratch);
+    let result = session_loop(shared, stream, &scratch);
+
+    // Cleanup is unconditional: pool slot, roster entry, scratch dir.
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+    if registered {
+        if let Ok(mut reg) = shared.registry.lock() {
+            reg.remove(&id);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    let _ = result;
+}
+
+fn session_loop(
+    shared: &Arc<Shared>,
+    stream: Stream,
+    scratch: &std::path::Path,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut proto = SessionProto::new();
+    let mut session: Option<Box<dyn Session>> = None;
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    GsimError::Io("session idle timeout".into()).to_wire()
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let line = line.trim_end();
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("design") => {
+                let nbytes: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                let backend = it.next().unwrap_or("aot").to_string();
+                let mut src = vec![0u8; nbytes];
+                reader.read_exact(&mut src)?;
+                let src = String::from_utf8_lossy(&src).into_owned();
+                let start = Instant::now();
+                match open_design(shared, &src, &backend, scratch) {
+                    Ok((sess, key, status)) => {
+                        session = Some(sess);
+                        let ms = start.elapsed().as_millis();
+                        writeln!(writer, "ready {key} {status} {ms}")?;
+                    }
+                    Err(e) => writeln!(writer, "{}", e.to_wire())?,
+                }
+                writer.flush()?;
+            }
+            Some("stats") => {
+                writeln!(writer, "{}", shared.stats().render_wire())?;
+                writer.flush()?;
+            }
+            Some("shutdown") => {
+                let cycle = session.as_ref().map(|s| s.cycle()).unwrap_or(0);
+                writeln!(writer, "ok {cycle}")?;
+                writer.flush()?;
+                shared.trigger_stop();
+                return Ok(());
+            }
+            Some(_) => match session.as_deref_mut() {
+                Some(sess) => {
+                    if proto.handle_line(sess, line, &mut writer)? == Flow::Unhandled {
+                        proto.reject(&GsimError::Protocol(format!("unknown command: {line}")));
+                    }
+                }
+                // No design bound yet: queries answer immediately,
+                // mutating commands queue, `sync` fences — same shape
+                // as a bound session, so pipelined clients never hang.
+                None => match line.split_whitespace().next() {
+                    Some("sync") => proto.sync(0, &mut writer)?,
+                    Some("peek" | "counters" | "snapshot" | "list") => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            GsimError::Protocol("no design loaded".into()).to_wire()
+                        )?;
+                        writer.flush()?;
+                    }
+                    _ => proto.reject(&GsimError::Protocol("no design loaded".into())),
+                },
+            },
+            None => {} // blank line
+        }
+    }
+}
+
+/// Compiles FIRRTL source into a session: through the artifact cache
+/// for the AoT backend (the child process runs in the per-session
+/// scratch directory), in-process for the interpreter.
+fn open_design(
+    shared: &Shared,
+    src: &str,
+    backend: &str,
+    scratch: &std::path::Path,
+) -> Result<(Box<dyn Session>, String, &'static str), GsimError> {
+    let graph = gsim_firrtl::compile(src).map_err(GsimError::Parse)?;
+    let (optimized, _) = gsim_passes::run(graph, &gsim_passes::PassOptions::all());
+    match backend {
+        "interp" => {
+            let sim = Simulator::compile(&optimized, &SimOptions::default())?;
+            // No artifact for the interpreter; key the design source
+            // itself so logs still correlate sessions on one design.
+            let key = ArtifactKey::fingerprint(src).to_string();
+            Ok((Box::new(sim), key, "interp"))
+        }
+        "aot" => {
+            let opts = AotOptions::default();
+            let sim = shared.cache.compile(&optimized, &opts)?;
+            let status = if sim.from_cache { "hit" } else { "miss" };
+            let key = ArtifactKey::fingerprint(&sim.emit.code).to_string();
+            let sess = sim.session_in(Some(scratch))?;
+            Ok((Box::new(sess), key, status))
+        }
+        other => Err(GsimError::Config(format!(
+            "unknown backend {other:?} (expected aot or interp)"
+        ))),
+    }
+}

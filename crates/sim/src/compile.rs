@@ -250,6 +250,12 @@ pub(crate) struct Compiled {
     pub names: HashMap<String, u32>,
     /// Node widths/signs for peek/poke.
     pub node_meta: Vec<(u32, bool, bool)>, // (width, signed, is_input)
+    /// Named top-level inputs `(name, width)`, declaration order — the
+    /// Session trait's introspection surface.
+    pub io_inputs: Vec<(String, u32)>,
+    /// Portable peekable names `(name, width)`: outputs then inputs,
+    /// deduplicated — matches the AoT binary's `signal` table.
+    pub io_signals: Vec<(String, u32)>,
     /// Time spent partitioning (for Table III).
     pub partition_time: std::time::Duration,
 }
@@ -607,6 +613,23 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
             (n.width, n.signed, matches!(n.kind, NodeKind::Input))
         })
         .collect();
+    // Introspection metadata for the Session trait: the portable
+    // signal surface, in the same order (outputs then inputs,
+    // deduplicated) every backend reports.
+    let io_inputs: Vec<(String, u32)> = graph
+        .inputs()
+        .iter()
+        .map(|&id| graph.node(id))
+        .filter(|n| !n.name.is_empty())
+        .map(|n| (n.name.clone(), n.width))
+        .collect();
+    let mut io_signals: Vec<(String, u32)> = Vec::new();
+    for &id in graph.outputs().iter().chain(graph.inputs()) {
+        let n = graph.node(id);
+        if !n.name.is_empty() && !io_signals.iter().any(|(s, _)| *s == n.name) {
+            io_signals.push((n.name.clone(), n.width));
+        }
+    }
 
     Ok(Compiled {
         image,
@@ -629,6 +652,8 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
         num_supernodes: partition.supernodes.len(),
         names,
         node_meta,
+        io_inputs,
+        io_signals,
         partition_time,
     })
 }

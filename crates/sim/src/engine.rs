@@ -10,7 +10,7 @@ use crate::compile::{self, Compiled, TaskKind};
 use crate::counters::Counters;
 use crate::exec::{AtomicMems, Ctx};
 use crate::executor::{self, ActiveBits, NoActivation, SharedBits, SpinBarrier};
-use crate::session::{GsimError, Session, SessionFrame, SnapshotId};
+use crate::session::{GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
 use crate::storage::{AtomicStateRef, MemArena, StateStore};
 use crate::{CompileError, EngineKind, SimOptions};
 use gsim_graph::Graph;
@@ -824,6 +824,42 @@ impl Session for Simulator {
 
     fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError> {
         self.restore_snapshot(id)
+    }
+
+    fn inputs(&mut self) -> Result<Vec<SignalInfo>, GsimError> {
+        Ok(self
+            .c
+            .io_inputs
+            .iter()
+            .map(|(name, width)| SignalInfo {
+                name: name.clone(),
+                width: *width,
+            })
+            .collect())
+    }
+
+    fn signals(&mut self) -> Result<Vec<SignalInfo>, GsimError> {
+        Ok(self
+            .c
+            .io_signals
+            .iter()
+            .map(|(name, width)| SignalInfo {
+                name: name.clone(),
+                width: *width,
+            })
+            .collect())
+    }
+
+    fn memories(&mut self) -> Result<Vec<MemoryInfo>, GsimError> {
+        Ok(self
+            .mems
+            .iter()
+            .map(|m| MemoryInfo {
+                name: m.name.clone(),
+                depth: m.depth,
+                width: m.width,
+            })
+            .collect())
     }
 }
 

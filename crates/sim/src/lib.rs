@@ -93,7 +93,7 @@ mod storage;
 pub use compile::FusionStats;
 pub use counters::Counters;
 pub use engine::{InputFrame, InputHandle, Simulator};
-pub use session::{GsimError, Session, SessionFrame, SnapshotId};
+pub use session::{GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
 pub use storage::MemArena;
 
 use gsim_partition::PartitionOptions;

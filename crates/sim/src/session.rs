@@ -32,17 +32,41 @@
 //! | `load <mem> <hex>...` | silent / `err unknown-memory <mem>` / `err mem-too-large <mem> <depth> <len>` | one `u64` entry per word, from address 0 |
 //! | `peek <name>` | `val <width> <hex>` / `err unknown-signal <name>` | named outputs and inputs |
 //! | `counters` | `counters <cycles> <supernode_evals> <node_evals> <value_changes>` | semantic cost counters |
+//! | `list` | three lines: `inputs`, `signals`, `mems` (see below) | design introspection |
 //! | `snapshot` | `snap <id>` | saves the full simulation state |
 //! | `restore <id>` | silent / `err unknown-snapshot <id>` | rolls back to a saved state |
 //! | `sync` | `ok <cycle>` | barrier: all prior commands have been applied |
 //! | `exit` | (process exits 0) | closing stdin has the same effect |
 //!
+//! `list` is the introspection query: it prints exactly three lines —
+//! `inputs <name>:<width> ...` (top-level inputs, declaration order),
+//! `signals <name>:<width> ...` (every peekable name: outputs then
+//! inputs, deduplicated), and `mems <name>:<depth>:<width> ...` —
+//! so clients need no out-of-band knowledge of the design. The same
+//! metadata is available in-process as [`Session::inputs`],
+//! [`Session::signals`], and [`Session::memories`].
+//!
 //! A driver that wants errors promptly sends `sync` after a batch and
 //! reads until the `ok`: any queued `err` lines arrive first, in
 //! command order. `err` lines start with a machine-readable class
 //! (`unknown-input`, `unknown-signal`, `unknown-memory`,
-//! `mem-too-large`, `unknown-snapshot`, `protocol`) that maps onto the
-//! corresponding [`GsimError`] variant.
+//! `mem-too-large`, `unknown-snapshot`, `protocol`, `io`, …) that maps
+//! onto the corresponding [`GsimError`] variant; the mapping is
+//! implemented once, in both directions, by [`GsimError::to_wire`] and
+//! [`GsimError::from_wire`].
+//!
+//! # Service protocol (gsim-server)
+//!
+//! `gsim serve` (the multi-tenant simulation service in
+//! `gsim_server`) speaks a superset of the same protocol over a Unix
+//! or TCP socket. Three commands establish and manage a session
+//! before/alongside the simulation commands above:
+//!
+//! | request | response | notes |
+//! |---|---|---|
+//! | `design <nbytes> [aot\|interp]` | `ready <key> <hit\|miss\|interp> <ms>` | the next `nbytes` bytes are FIRRTL source; compiled through the artifact cache |
+//! | `stats` | `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n>` | service-level counters |
+//! | `shutdown` | `ok <cycle>` | stops the whole server (test/admin facility) |
 
 use crate::counters::Counters;
 use crate::CompileError;
@@ -82,9 +106,17 @@ pub enum GsimError {
     /// A [`SnapshotId`] that this session never issued (or that did
     /// not survive a backend restart).
     UnknownSnapshot(u64),
+    /// An I/O failure on the transport layer: a socket or pipe to a
+    /// backend process or simulation server was lost, timed out, or
+    /// refused. (Carries the rendered `std::io::Error`, which is
+    /// neither `Clone` nor `PartialEq`.)
+    Io(String),
+    /// Malformed wire traffic: a request or response that does not
+    /// parse under the session protocol.
+    Protocol(String),
     /// The execution backend failed: toolchain errors, a dead or
-    /// unresponsive compiled-simulator process, or a malformed wire
-    /// response.
+    /// unresponsive compiled-simulator process, or an internal error a
+    /// server reported without a more specific class.
     Backend(String),
 }
 
@@ -102,8 +134,103 @@ impl std::fmt::Display for GsimError {
                 "image of {len} entries exceeds depth {depth} of memory {name:?}"
             ),
             GsimError::UnknownSnapshot(id) => write!(f, "no snapshot with id {id}"),
+            GsimError::Io(m) => write!(f, "i/o failure: {m}"),
+            GsimError::Protocol(m) => write!(f, "protocol violation: {m}"),
             GsimError::Backend(m) => write!(f, "backend failure: {m}"),
         }
+    }
+}
+
+impl From<std::io::Error> for GsimError {
+    fn from(e: std::io::Error) -> Self {
+        GsimError::Io(e.to_string())
+    }
+}
+
+impl GsimError {
+    /// The machine-readable wire class of this error — the first token
+    /// after `err` on the wire.
+    pub fn wire_class(&self) -> &'static str {
+        match self {
+            GsimError::Compile(_) => "compile",
+            GsimError::Parse(_) => "parse",
+            GsimError::Config(_) => "config",
+            GsimError::UnknownSignal(_) => "unknown-signal",
+            GsimError::NotAnInput(_) => "unknown-input",
+            GsimError::UnknownMemory(_) => "unknown-memory",
+            GsimError::MemImageTooLarge { .. } => "mem-too-large",
+            GsimError::UnknownSnapshot(_) => "unknown-snapshot",
+            GsimError::Io(_) => "io",
+            GsimError::Protocol(_) => "protocol",
+            GsimError::Backend(_) => "backend",
+        }
+    }
+
+    /// Renders this error as a protocol `err` line (without the
+    /// trailing newline): `err <class> <payload...>`. The inverse of
+    /// [`GsimError::from_wire`]; every server-side component (the
+    /// emitted binary's `--serve` loop mirrors this table, and
+    /// `gsim-server` calls it directly) encodes errors through this
+    /// one mapping.
+    pub fn to_wire(&self) -> String {
+        match self {
+            GsimError::Compile(e) => format!("err compile {e}"),
+            GsimError::Parse(m) => format!("err parse {m}"),
+            GsimError::Config(m) => format!("err config {m}"),
+            GsimError::UnknownSignal(n) => format!("err unknown-signal {n}"),
+            GsimError::NotAnInput(n) => format!("err unknown-input {n}"),
+            GsimError::UnknownMemory(n) => format!("err unknown-memory {n}"),
+            GsimError::MemImageTooLarge { name, depth, len } => {
+                format!("err mem-too-large {name} {depth} {len}")
+            }
+            GsimError::UnknownSnapshot(id) => format!("err unknown-snapshot {id}"),
+            GsimError::Io(m) => format!("err io {m}"),
+            GsimError::Protocol(m) => format!("err protocol {m}"),
+            GsimError::Backend(m) => format!("err backend {m}"),
+        }
+    }
+
+    /// Decodes a protocol `err` line (with or without the leading
+    /// `err ` token) back into the typed error. Unknown classes fall
+    /// back to [`GsimError::Backend`] so a newer server never crashes
+    /// an older client. Free-text payloads round-trip verbatim; the
+    /// structured [`GsimError::Compile`] payload crosses the wire as
+    /// its rendered message (re-wrapped as an invalid-graph compile
+    /// error on decode).
+    pub fn from_wire(line: &str) -> GsimError {
+        let rest = line.strip_prefix("err ").unwrap_or(line);
+        let (class, payload) = match rest.split_once(char::is_whitespace) {
+            Some((c, p)) => (c, p.trim()),
+            None => (rest.trim(), ""),
+        };
+        let mut it = payload.split_whitespace();
+        let first = || payload.split_whitespace().next().unwrap_or("").to_string();
+        match class {
+            "compile" => GsimError::Compile(CompileError::InvalidGraph(payload.to_string())),
+            "parse" => GsimError::Parse(payload.to_string()),
+            "config" => GsimError::Config(payload.to_string()),
+            "unknown-signal" => GsimError::UnknownSignal(first()),
+            "unknown-input" => GsimError::NotAnInput(first()),
+            "unknown-memory" => GsimError::UnknownMemory(first()),
+            "mem-too-large" => GsimError::MemImageTooLarge {
+                name: it.next().unwrap_or("").to_string(),
+                depth: it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+                len: it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            },
+            "unknown-snapshot" => GsimError::UnknownSnapshot(first().parse().unwrap_or(0)),
+            "io" => GsimError::Io(payload.to_string()),
+            "protocol" => GsimError::Protocol(payload.to_string()),
+            "backend" => GsimError::Backend(payload.to_string()),
+            _ => GsimError::Backend(format!("server error: {rest}")),
+        }
+    }
+
+    /// `true` for errors meaning the transport or backend itself is
+    /// lost (as opposed to a bad request): [`GsimError::Io`] and
+    /// [`GsimError::Backend`]. Pipelining drivers abort on these and
+    /// keep going on everything else.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, GsimError::Io(_) | GsimError::Backend(_))
     }
 }
 
@@ -139,6 +266,28 @@ impl SnapshotId {
     pub fn raw(self) -> u64 {
         self.0
     }
+}
+
+/// Name + width metadata for one signal, as reported by
+/// [`Session::inputs`] and [`Session::signals`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// The signal's design-level name (the string `poke`/`peek` take).
+    pub name: String,
+    /// Declared width in bits.
+    pub width: u32,
+}
+
+/// Name + shape metadata for one memory, as reported by
+/// [`Session::memories`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryInfo {
+    /// The memory's name (the string `load_mem` takes).
+    pub name: String,
+    /// Depth in entries.
+    pub depth: u64,
+    /// Entry width in bits.
+    pub width: u32,
 }
 
 /// One cycle's worth of by-name input pokes for
@@ -272,6 +421,34 @@ pub trait Session {
     /// [`GsimError::UnknownSnapshot`] for ids this session never
     /// issued; [`GsimError::Backend`] if the backend is lost.
     fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError>;
+
+    /// The design's top-level inputs (declaration order): the names
+    /// [`Session::poke`] accepts. Identical across backends for the
+    /// same design, so clients need no out-of-band knowledge.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Backend`] / [`GsimError::Io`] if the backend is
+    /// lost (remote backends answer this over the wire).
+    fn inputs(&mut self) -> Result<Vec<SignalInfo>, GsimError>;
+
+    /// Every name [`Session::peek`] is guaranteed to resolve on *all*
+    /// backends: named outputs, then named inputs, deduplicated.
+    /// (In-process backends may resolve additional internal names;
+    /// this list is the portable surface.)
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::inputs`].
+    fn signals(&mut self) -> Result<Vec<SignalInfo>, GsimError>;
+
+    /// The design's memories (declaration order): the names
+    /// [`Session::load_mem`] accepts, with their shapes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::inputs`].
+    fn memories(&mut self) -> Result<Vec<MemoryInfo>, GsimError>;
 
     /// [`Session::poke`] from a `u64`.
     ///

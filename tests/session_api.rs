@@ -221,3 +221,45 @@ fn build_session_covers_every_engine_choice() {
         .unwrap_err();
     assert!(matches!(err, GsimError::Config(_)), "{err}");
 }
+
+/// Introspection through the trait: every backend — interpreter
+/// presets and the persistent AoT session, across its process
+/// boundary via the `list` protocol command — reports the same
+/// inputs, signals, and memories, in the same order.
+#[test]
+fn introspection_agrees_on_every_backend() {
+    let graph = gsim_designs::reset_synchronizer();
+    let mut sessions = preset_sessions(&graph, ALL_PRESETS);
+    push_aot_session(&graph, &mut sessions);
+
+    let (first_tag, first) = &mut sessions[0];
+    let inputs = first.inputs().unwrap();
+    let signals = first.signals().unwrap();
+    let memories = first.memories().unwrap();
+    assert!(!inputs.is_empty(), "{first_tag}: no inputs reported");
+    assert!(!signals.is_empty(), "{first_tag}: no signals reported");
+    // Every named output is peekable under its reported name and
+    // width — introspection describes the real surface.
+    for out in named_outputs(&graph) {
+        let info = signals
+            .iter()
+            .find(|s| s.name == out)
+            .unwrap_or_else(|| panic!("{first_tag}: output {out} missing from signals()"));
+        let v = first.peek(&out).unwrap();
+        assert_eq!(v.width(), info.width, "{first_tag}: width of {out}");
+    }
+    let first_tag = first_tag.clone();
+    for (tag, s) in &mut sessions[1..] {
+        assert_eq!(s.inputs().unwrap(), inputs, "{tag} vs {first_tag}: inputs");
+        assert_eq!(
+            s.signals().unwrap(),
+            signals,
+            "{tag} vs {first_tag}: signals"
+        );
+        assert_eq!(
+            s.memories().unwrap(),
+            memories,
+            "{tag} vs {first_tag}: memories"
+        );
+    }
+}
