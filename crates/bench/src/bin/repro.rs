@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|dispatch|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|dispatch|threaded|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
@@ -10,8 +10,8 @@
 //! a ~6.2M-node XiangShan stand-in — expect long compile times).
 //!
 //! `--json` additionally runs the thread-scaling, dispatch-breakdown,
-//! AoT, persistent-session, and simulation-service experiments and
-//! writes their
+//! threaded-backend, AoT, persistent-session, and simulation-service
+//! experiments and writes their
 //! cycles/sec + counter breakdowns (plus `host_cores`, the AoT
 //! emit/rustc/size/speed rows, and the session-amortization rows) to
 //! `BENCH_interp.json` (or the given path) so CI can track the
@@ -117,6 +117,14 @@ fn main() {
         section("Dispatch breakdown");
         exp::print_dispatch(xiangshan().name, dispatch_rows.as_ref().unwrap());
     }
+    let mut threaded_rows = None;
+    if wants("threaded") || json {
+        threaded_rows = Some(exp::threaded(xiangshan(), &cfg));
+    }
+    if wants("threaded") {
+        section("Threaded-code backend");
+        exp::print_threaded(xiangshan().name, threaded_rows.as_ref().unwrap());
+    }
     let mut aot_rows = None;
     if wants("aot") || json {
         aot_rows = Some(exp::aot(&suite, &cfg));
@@ -179,6 +187,7 @@ fn main() {
             d.graph.num_nodes(),
             threads_rows.as_deref().unwrap_or(&[]),
             dispatch_rows.as_deref().unwrap_or(&[]),
+            threaded_rows.as_deref().unwrap_or(&[]),
             aot_rows.as_deref().unwrap_or(&[]),
             session_rows.as_deref().unwrap_or(&[]),
             service_rows.as_deref().unwrap_or(&[]),
@@ -198,6 +207,7 @@ fn render_json(
     nodes: usize,
     threads: &[exp::ThreadScalingRow],
     dispatch: &[exp::DispatchRow],
+    threaded: &[exp::ThreadedRow],
     aot: &[exp::AotRow],
     session: &[exp::SessionRow],
     service: &[exp::ServiceRow],
@@ -215,7 +225,7 @@ fn render_json(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gsim-bench-interp/4\",\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/5\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
         cfg.scale, cfg.cycles, smoke
@@ -295,6 +305,20 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"threaded\": [\n");
+    for (i, r) in threaded.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"hz\": {:.1}, \"speedup\": {:.3}, \
+             \"lowering_ms\": {:.3}, \"counters\": {}}}{}\n",
+            r.label,
+            r.hz,
+            r.speedup,
+            r.lowering_ms,
+            counters_json(&r.counters),
+            comma(i, threaded.len())
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"dispatch\": [\n");
     for (i, r) in dispatch.iter().enumerate() {
         s.push_str(&format!(
@@ -352,7 +376,7 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|dispatch|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors] \
+        "repro [all|table1|threads|dispatch|threaded|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors] \
          [--scale F] [--cycles N] [--json [PATH]]"
     );
 }

@@ -149,7 +149,14 @@ fn measure_threads(graph: &Graph, engine: EngineChoice, profile: &Profile, cycle
     sim.poke_u64("reset", 1).ok();
     sim.run(2);
     sim.poke_u64("reset", 0).ok();
-    sim.run(8); // settle
+    // Settle, then warm up untimed (see `harness::WARMUP_CYCLES`).
+    sim.run(8);
+    sim.run_driven(crate::harness::WARMUP_CYCLES.min(cycles), |_, frame| {
+        let ops = stim.next_cycle();
+        for (h, &op) in handles.iter().zip(&ops) {
+            frame.set(*h, op);
+        }
+    });
     let start = std::time::Instant::now();
     sim.run_driven(cycles, |_, frame| {
         let ops = stim.next_cycle();
@@ -289,6 +296,117 @@ pub fn print_dispatch(design: &str, rows: &[DispatchRow]) {
             r.instrs_per_cycle,
             r.fused_fraction * 100.0,
             r.static_fused_pairs
+        );
+    }
+}
+
+// --------------------------------------------- threaded-code backend
+
+/// One configuration of the threaded-dispatch experiment: the
+/// in-process threaded-code backend against the interpreter it lowers
+/// from, plus its `--no-threaded` ablation.
+#[derive(Debug)]
+pub struct ThreadedRow {
+    /// Configuration label.
+    pub label: String,
+    /// Simulation speed in cycles per second.
+    pub hz: f64,
+    /// Speedup over the interpreter row (row 0 is 1.0 by definition).
+    pub speedup: f64,
+    /// Time the compile-time lowering pass took, milliseconds (zero
+    /// for the interpreter and the ablation, which never lower).
+    pub lowering_ms: f64,
+    /// Full counter breakdown — identical across all three rows by the
+    /// bit-invisibility contract.
+    pub counters: gsim::Counters,
+}
+
+/// Measures one engine configuration on the dispatch workload,
+/// reporting speed, counters and the threaded lowering time.
+fn measure_threaded_config(
+    graph: &Graph,
+    opts: OptOptions,
+    cycles: u64,
+) -> (f64, gsim::Counters, f64) {
+    let (mut sim, _) = Compiler::new(graph)
+        .options(opts)
+        .build()
+        .expect("compiles");
+    let lowering_ms = sim.lowering_time().as_secs_f64() * 1e3;
+    let handles: Vec<_> = (0..64)
+        .map_while(|l| sim.input_handle(&format!("op_in_{l}")))
+        .collect();
+    let mut stim = low_activity_profile().stimulus(handles.len().max(1), 0xDEC0DE);
+    sim.poke_u64("reset", 1).ok();
+    sim.run(2);
+    sim.poke_u64("reset", 0).ok();
+    sim.run_driven(crate::harness::WARMUP_CYCLES.min(cycles), |_, frame| {
+        let ops = stim.next_cycle();
+        for (h, &op) in handles.iter().zip(&ops) {
+            frame.set(*h, op);
+        }
+    });
+    sim.reset_counters();
+    let start = std::time::Instant::now();
+    sim.run_driven(cycles, |_, frame| {
+        let ops = stim.next_cycle();
+        for (h, &op) in handles.iter().zip(&ops) {
+            frame.set(*h, op);
+        }
+    });
+    let hz = cycles as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    (hz, *sim.counters(), lowering_ms)
+}
+
+/// The threaded-code backend on the dispatch workload: the GSIM
+/// interpreter, the GSIM-JIT threaded backend, and the `--no-threaded`
+/// ablation (threaded engine falling back to interpreter dispatch).
+/// The speedup column is the backend's whole claim; the lowering time
+/// is its whole cold-start cost (no rustc anywhere).
+pub fn threaded(design: &SuiteDesign, cfg: &Config) -> Vec<ThreadedRow> {
+    let configs: [(&str, EngineChoice, bool); 3] = [
+        ("GSIM interp", EngineChoice::Essential, true),
+        ("GSIM-JIT", EngineChoice::Threaded, true),
+        ("GSIM-JIT no-dispatch", EngineChoice::Threaded, false),
+    ];
+    let mut rows: Vec<ThreadedRow> = Vec::new();
+    let mut interp_hz = 0.0;
+    for (label, engine, dispatch) in configs {
+        let opts = OptOptions {
+            engine,
+            threaded_dispatch: dispatch,
+            ..OptOptions::all()
+        };
+        let (hz, counters, lowering_ms) = measure_threaded_config(&design.graph, opts, cfg.cycles);
+        if rows.is_empty() {
+            interp_hz = hz;
+        }
+        rows.push(ThreadedRow {
+            label: label.to_string(),
+            hz,
+            speedup: hz / interp_hz.max(1e-12),
+            lowering_ms,
+            counters,
+        });
+    }
+    rows
+}
+
+/// Prints the threaded-backend rows.
+pub fn print_threaded(design: &str, rows: &[ThreadedRow]) {
+    println!("Threaded-code backend on {design} (dispatch workload): speed and cold start");
+    println!(
+        "{:<22} {:>16} {:>9} {:>12} {:>14}",
+        "config", "speed (cyc/s)", "speedup", "instrs/cyc", "lowering (ms)"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>16} {:>8.2}x {:>12.1} {:>14.2}",
+            r.label,
+            format!("{:.0}", r.hz),
+            r.speedup,
+            r.counters.instrs_per_cycle(),
+            r.lowering_ms
         );
     }
 }
@@ -1282,6 +1400,24 @@ mod tests {
         assert_eq!(t1.len(), 4);
         // Bigger designs simulate slower on the full-cycle baseline.
         assert!(t1[0].hz > t1[3].hz, "stuCore should outpace XiangShan-like");
+    }
+
+    #[test]
+    fn threaded_rows_cover_backend_and_ablation() {
+        let cfg = tiny_cfg();
+        let suite = build_suite(&cfg);
+        let xs = suite.iter().find(|d| d.name == "XiangShan").unwrap();
+        let rows = threaded(xs, &cfg);
+        assert_eq!(rows.len(), 3, "interp, jit, jit ablated");
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9, "interp is the unit");
+        assert_eq!(rows[0].lowering_ms, 0.0, "interp never lowers");
+        assert!(rows[1].lowering_ms > 0.0, "jit records its lowering pass");
+        assert_eq!(rows[2].lowering_ms, 0.0, "the ablation never lowers");
+        // Bit-invisibility extends to the workload counters.
+        for r in &rows[1..] {
+            assert_eq!(r.counters.value_changes, rows[0].counters.value_changes);
+            assert_eq!(r.counters.node_evals, rows[0].counters.node_evals);
+        }
     }
 
     #[test]

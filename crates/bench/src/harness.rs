@@ -139,6 +139,18 @@ fn drive(
             sim.poke_u64("reset", 1).ok();
             sim.run(2);
             sim.poke_u64("reset", 0).ok();
+            // Warm up before timing: the first configuration measured
+            // in a sweep otherwise pays first-touch page faults and a
+            // cold branch predictor that none of its siblings pay,
+            // which once inverted a fusion-on/off comparison on a
+            // 1-core host. Counters are reset after the warmup so they
+            // describe exactly the timed cycles.
+            sim.run_driven(WARMUP_CYCLES.min(cycles), |_, frame| {
+                let ops = stim.next_cycle();
+                for (h, &op) in handles.iter().zip(&ops) {
+                    frame.set(*h, op);
+                }
+            });
             sim.reset_counters();
             let start = Instant::now();
             // Per-cycle stimulus through the driven-run API, which
@@ -165,6 +177,10 @@ fn drive(
 
 /// The standard thread counts of Figure 6.
 pub const MT_THREADS: [usize; 4] = [2, 4, 8, 16];
+
+/// Untimed cycles driven before every stimulus measurement (capped by
+/// the run's cycle budget).
+pub const WARMUP_CYCLES: u64 = 256;
 
 #[cfg(test)]
 mod tests {

@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! gsim design.fir [--preset gsim|verilator|essent|arcilator]
-//!                 [--backend interp|aot]       # bytecode engines or emit+rustc+run
+//!                 [--backend interp|jit|aot]   # bytecode, threaded-code, or emit+rustc+run
 //!                 [--threads N]                # parallel engine (gsim/verilator)
 //!                 [--max-supernode-size N]     # the paper's CLI knob
 //!                 [--no-fuse]                  # ablate superinstruction fusion
 //!                 [--no-layout]                # ablate the locality state layout
+//!                 [--no-threaded]              # ablate threaded-code dispatch (jit)
 //!                 [--cycles N]                 # simulate (zero inputs)
 //!                 [--emit-cpp out.cc]
 //!                 [--emit-rust out.rs]         # the AoT backend's source
@@ -17,7 +18,7 @@
 //!             [--cache-capacity N] [--max-sessions N] [--idle-timeout SECS]
 //!
 //! gsim client <design.fir> --socket <ep>       # remote session (tests/CI)
-//!             [--backend aot|interp] [--cycles N] [--stats] [--shutdown]
+//!             [--backend aot|interp|jit] [--cycles N] [--stats] [--shutdown]
 //! ```
 //!
 //! Endpoints are `tcp:<addr>`, `unix:<path>`, or bare forms (a string
@@ -38,10 +39,11 @@ fn main() {
     let mut max_size: Option<usize> = None;
     let mut no_fuse = false;
     let mut no_layout = false;
+    let mut no_threaded = false;
     let mut cycles: u64 = 0;
     let mut emit_cpp: Option<String> = None;
     let mut emit_rust: Option<String> = None;
-    let mut aot = false;
+    let mut backend = "interp";
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -56,10 +58,11 @@ fn main() {
                 };
             }
             "--backend" => {
-                aot = match it.next().map(String::as_str) {
-                    Some("aot") => true,
-                    Some("interp") => false,
-                    other => die(&format!("unknown backend {other:?} (interp|aot)")),
+                backend = match it.next().map(String::as_str) {
+                    Some("aot") => "aot",
+                    Some("interp") => "interp",
+                    Some("jit") => "jit",
+                    other => die(&format!("unknown backend {other:?} (interp|jit|aot)")),
                 };
             }
             "--threads" => {
@@ -74,6 +77,7 @@ fn main() {
             }
             "--no-fuse" => no_fuse = true,
             "--no-layout" => no_layout = true,
+            "--no-threaded" => no_threaded = true,
             "--cycles" => cycles = parse(it.next(), "--cycles"),
             "--emit-cpp" => emit_cpp = it.next().cloned(),
             "--emit-rust" => emit_rust = it.next().cloned(),
@@ -108,6 +112,18 @@ fn main() {
     if no_layout {
         opts.locality_layout = false;
     }
+    if no_threaded {
+        if backend != "jit" {
+            die("--no-threaded ablates the jit backend's threaded-code dispatch (use --backend jit)");
+        }
+        opts.threaded_dispatch = false;
+    }
+    if backend == "jit" {
+        if threads.is_some() {
+            die("--threads does not apply to the jit backend");
+        }
+        opts.engine = gsim::EngineChoice::Threaded;
+    }
     if let Some(n) = max_size {
         opts.max_supernode_size = n;
     }
@@ -116,17 +132,17 @@ fn main() {
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let graph = gsim_firrtl::compile(&src).unwrap_or_else(|e| die(&e));
 
-    if aot {
+    if backend == "aot" {
         if threads.is_some() {
             die("--threads does not apply to the aot backend");
         }
         if emit_cpp.is_some() {
             die("--emit-cpp does not apply to the aot backend (use --emit-rust)");
         }
-        if no_fuse || no_layout {
+        if no_fuse || no_layout || no_threaded {
             // Interpreter-image ablations; the compiled binary has no
-            // instruction stream to fuse or slot layout to toggle.
-            die("--no-fuse/--no-layout ablate the interpreter's execution image and do not apply to the aot backend");
+            // instruction stream to fuse, lower, or relayout.
+            die("--no-fuse/--no-layout/--no-threaded ablate the interpreter's execution image and do not apply to the aot backend");
         }
         run_aot(&graph, &path, preset, opts, cycles, emit_rust.as_deref());
         return;
@@ -138,7 +154,15 @@ fn main() {
         .unwrap_or_else(|e| die(&e.to_string()));
 
     eprintln!("design   : {} ({})", graph.name(), path);
-    eprintln!("preset   : {}", preset.name());
+    if backend == "jit" {
+        eprintln!("preset   : {} [jit backend]", preset.name());
+        eprintln!(
+            "threaded : lowered in {:.2} ms",
+            sim.lowering_time().as_secs_f64() * 1e3
+        );
+    } else {
+        eprintln!("preset   : {}", preset.name());
+    }
     eprintln!(
         "nodes    : {} -> {} ({} edges -> {})",
         report.nodes_before, report.nodes_after, report.edges_before, report.edges_after
@@ -393,12 +417,12 @@ fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
 fn usage() {
     println!(
         "gsim <design.fir> [--preset gsim|verilator|essent|arcilator] \
-         [--backend interp|aot] [--threads N] [--max-supernode-size N] \
-         [--no-fuse] [--no-layout] [--cycles N] [--emit-cpp out.cc] \
-         [--emit-rust out.rs]\n\
+         [--backend interp|jit|aot] [--threads N] [--max-supernode-size N] \
+         [--no-fuse] [--no-layout] [--no-threaded] [--cycles N] \
+         [--emit-cpp out.cc] [--emit-rust out.rs]\n\
          gsim serve --socket <ep> --cache-dir <dir> [--cache-capacity N] \
          [--max-sessions N] [--idle-timeout SECS]\n\
-         gsim client <design.fir> --socket <ep> [--backend aot|interp] \
+         gsim client <design.fir> --socket <ep> [--backend aot|interp|jit] \
          [--cycles N] [--stats] [--shutdown]"
     );
 }

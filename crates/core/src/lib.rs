@@ -79,6 +79,10 @@ pub enum Preset {
     /// essential-signal sweep parallelized over the supernode
     /// dependency DAG's levels.
     GsimMt(usize),
+    /// GSIM-JIT: the full GSIM configuration executed through the
+    /// in-process threaded-code backend — compile-free AoT-class
+    /// dispatch (CLI: `--backend jit`).
+    GsimJit,
 }
 
 impl Preset {
@@ -91,6 +95,7 @@ impl Preset {
             Preset::Arcilator => "Arcilator".into(),
             Preset::Gsim => "GSIM".into(),
             Preset::GsimMt(n) => format!("GSIM-{n}T"),
+            Preset::GsimJit => "GSIM-JIT".into(),
         }
     }
 
@@ -124,6 +129,10 @@ impl Preset {
                 engine: EngineChoice::EssentialMt(n),
                 ..OptOptions::all()
             },
+            Preset::GsimJit => OptOptions {
+                engine: EngineChoice::Threaded,
+                ..OptOptions::all()
+            },
         }
     }
 }
@@ -139,6 +148,12 @@ pub enum EngineChoice {
     Essential,
     /// Essential-signal swept level-parallel across N threads.
     EssentialMt(usize),
+    /// Essential-signal dispatched through the in-process threaded-code
+    /// backend: the execution image is lowered once, at compile time,
+    /// into pre-resolved handler records, so simulation starts in
+    /// milliseconds but the hot loop does no decode (CLI: `--backend
+    /// jit`).
+    Threaded,
     /// Ahead-of-time compiled backend: emit a standalone Rust
     /// simulator, `rustc -O` it, and run the native binary. Built via
     /// [`Compiler::build_aot`] (not [`Compiler::build`], which returns
@@ -203,6 +218,11 @@ pub struct OptOptions {
     /// instruction pairs in the execution image (substrate-level;
     /// bit-identical results — the `--no-fuse` ablation).
     pub superinstruction_fusion: bool,
+    /// ⑫ threaded-code dispatch: lower the execution image into
+    /// pre-resolved handler records at compile time. Only effective
+    /// under [`EngineChoice::Threaded`]; off is the `--no-threaded`
+    /// ablation (substrate-level; bit-identical results).
+    pub threaded_dispatch: bool,
     /// Maximum supernode size (the paper's command-line knob; Fig. 9).
     pub max_supernode_size: usize,
 }
@@ -224,6 +244,7 @@ impl OptOptions {
             bit_split: false,
             locality_layout: false,
             superinstruction_fusion: false,
+            threaded_dispatch: false,
             max_supernode_size: PartitionOptions::DEFAULT_MAX_SIZE,
         }
     }
@@ -243,6 +264,7 @@ impl OptOptions {
             bit_split: true,
             locality_layout: true,
             superinstruction_fusion: true,
+            threaded_dispatch: true,
             max_supernode_size: PartitionOptions::DEFAULT_MAX_SIZE,
         }
     }
@@ -311,6 +333,7 @@ impl OptOptions {
             EngineChoice::FullCycleMt(n) => EngineKind::FullCycleMt { threads: n },
             EngineChoice::Essential => EngineKind::Essential,
             EngineChoice::EssentialMt(n) => EngineKind::EssentialMt { threads: n },
+            EngineChoice::Threaded => EngineKind::Threaded,
             EngineChoice::Aot => {
                 return Err(GsimError::Config(
                     "the AoT backend compiles to a native binary; use Compiler::build_aot or \
@@ -327,6 +350,7 @@ impl OptOptions {
             reset_slow_path: self.reset_slow_path,
             superinstr_fusion: self.superinstruction_fusion,
             locality_layout: self.locality_layout,
+            threaded_dispatch: self.threaded_dispatch,
         })
     }
 }
@@ -577,6 +601,7 @@ circuit Counter :
             Preset::Gsim,
             Preset::GsimMt(2),
             Preset::GsimMt(4),
+            Preset::GsimJit,
         ] {
             let (mut sim, _) = Compiler::new(&graph).preset(preset).build().unwrap();
             sim.run(500);

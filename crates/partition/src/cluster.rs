@@ -120,7 +120,13 @@ pub fn pre_group(
         }
         by_preds.entry(deps).or_default().push(id);
     }
-    for (_, siblings) in by_preds {
+    // Capped unions are order-sensitive (an early rejected merge can
+    // change which later ones fit), so drain the map in a fixed order —
+    // hash order would make the partition differ between two compiles
+    // of the same graph.
+    let mut sibling_groups: Vec<(Vec<NodeId>, Vec<NodeId>)> = by_preds.into_iter().collect();
+    sibling_groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    for (_, siblings) in sibling_groups {
         // merge pairwise; union-find handles transitivity
         for pair in siblings.windows(2) {
             dsu.union_capped(pair[0].index() as u32, pair[1].index() as u32, max_size);

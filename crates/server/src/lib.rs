@@ -9,11 +9,13 @@
 //! story) and speaks the line protocol documented on
 //! [`gsim_sim::Session`], extended with three service commands:
 //!
-//! * `design <nbytes> [aot|interp]` — the next `nbytes` bytes are
+//! * `design <nbytes> [aot|interp|jit]` — the next `nbytes` bytes are
 //!   FIRRTL source; the server compiles it (through the
 //!   [`gsim_codegen::ArtifactCache`] for the AoT backend, so `rustc`
-//!   runs once per distinct design, not once per client) and binds
-//!   the session to it. Response: `ready <key> <hit|miss|interp> <ms>`.
+//!   runs once per distinct design, not once per client; `jit` is the
+//!   in-process threaded-code backend, no `rustc` involved) and binds
+//!   the session to it. Response:
+//!   `ready <key> <hit|miss|interp|jit> <ms>`.
 //! * `stats` — service counters:
 //!   `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n>`.
 //! * `shutdown` — stops the whole server (test/admin facility).

@@ -392,6 +392,14 @@ fn open_design(
             let key = ArtifactKey::fingerprint(src).to_string();
             Ok((Box::new(sim), key, "interp"))
         }
+        "jit" => {
+            // In-process threaded-code backend: AoT-class dispatch with
+            // no rustc in the loop, so a cache-miss upload is served in
+            // milliseconds. No artifact, same source fingerprint.
+            let sim = Simulator::compile(&optimized, &SimOptions::threaded())?;
+            let key = ArtifactKey::fingerprint(src).to_string();
+            Ok((Box::new(sim), key, "jit"))
+        }
         "aot" => {
             let opts = AotOptions::default();
             let sim = shared.cache.compile(&optimized, &opts)?;
@@ -401,7 +409,7 @@ fn open_design(
             Ok((Box::new(sess), key, status))
         }
         other => Err(GsimError::Config(format!(
-            "unknown backend {other:?} (expected aot or interp)"
+            "unknown backend {other:?} (expected aot, interp, or jit)"
         ))),
     }
 }

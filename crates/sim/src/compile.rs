@@ -273,7 +273,7 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
     // Schedule: essential uses the partition's supernode order; the
     // full-cycle engines use one supernode per node in topo/level order.
     let (partition, level_bounds) = match opts.engine {
-        EngineKind::Essential | EngineKind::EssentialMt { .. } => {
+        EngineKind::Essential | EngineKind::EssentialMt { .. } | EngineKind::Threaded => {
             (gsim_partition::build(graph, &opts.partition), Vec::new())
         }
         EngineKind::FullCycle => (
@@ -420,7 +420,7 @@ pub(crate) fn compile(graph: &Graph, opts: &SimOptions) -> Result<Compiled, Comp
     // Compile tasks in schedule order.
     let essential = matches!(
         opts.engine,
-        EngineKind::Essential | EngineKind::EssentialMt { .. }
+        EngineKind::Essential | EngineKind::EssentialMt { .. } | EngineKind::Threaded
     );
     let mut tasks: Vec<Task> = Vec::new();
     let mut supernode_tasks = Vec::with_capacity(partition.supernodes.len());

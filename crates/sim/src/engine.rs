@@ -12,6 +12,7 @@ use crate::exec::{AtomicMems, Ctx};
 use crate::executor::{self, ActiveBits, NoActivation, SharedBits, SpinBarrier};
 use crate::session::{GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
 use crate::storage::{AtomicStateRef, MemArena, StateStore};
+use crate::threaded::{self, ThreadedProg};
 use crate::{CompileError, EngineKind, SimOptions};
 use gsim_graph::Graph;
 use gsim_value::Value;
@@ -100,6 +101,12 @@ pub struct Simulator {
     reset_snap: Vec<bool>,
     counters: Counters,
     cycle: u64,
+    /// The lowered threaded-code program ([`EngineKind::Threaded`] with
+    /// `threaded_dispatch` on). When present, `state` is the combined
+    /// `[state | scratch | consts]` arena the records index into; the
+    /// persistent state occupies the prefix at unchanged offsets, so
+    /// every poke/peek/commit/snapshot path works untouched.
+    threaded: Option<ThreadedProg>,
     /// Saved states for [`Session::snapshot`] / [`Session::restore`].
     snapshots: Vec<SimSnapshot>,
     /// Name → node id for every top-level input, prebuilt at compile
@@ -141,7 +148,19 @@ impl Simulator {
     pub fn compile(graph: &Graph, opts: &SimOptions) -> Result<Simulator, CompileError> {
         let mut c = compile::compile(graph, opts)?;
         let mems = std::mem::take(&mut c.mems);
-        let state = vec![0u64; c.state_words];
+        let threaded = (opts.engine == EngineKind::Threaded && opts.threaded_dispatch)
+            .then(|| threaded::lower(&c));
+        let state = match &threaded {
+            // Combined arena: persistent state in the prefix (same
+            // offsets as the plain engines), scratch and the const
+            // pool behind it.
+            Some(p) => {
+                let mut arena = vec![0u64; p.arena_words];
+                arena[p.const_base as usize..].copy_from_slice(&c.consts);
+                arena
+            }
+            None => vec![0u64; c.state_words],
+        };
         let scratch = vec![0u64; c.scratch_words.max(1)];
         let flag_words = c.num_supernodes.div_ceil(64);
         let mut flags = vec![0u64; flag_words.max(1)];
@@ -187,6 +206,7 @@ impl Simulator {
             reset_snap: Vec::new(),
             counters: Counters::default(),
             cycle: 0,
+            threaded,
             snapshots: Vec::new(),
             input_ids,
         })
@@ -249,6 +269,24 @@ impl Simulator {
 
     fn node_by_name(&self, name: &str) -> Option<u32> {
         self.c.names.get(name).copied()
+    }
+
+    /// The compiled design (crate-internal: lowering tests).
+    #[cfg(test)]
+    pub(crate) fn compiled(&self) -> &Compiled {
+        &self.c
+    }
+
+    /// The persistent state prefix (crate-internal: lowering tests).
+    #[cfg(test)]
+    pub(crate) fn state_prefix(&self) -> &[u64] {
+        &self.state[..self.c.state_words]
+    }
+
+    /// Pending activation flags (crate-internal: lowering tests).
+    #[cfg(test)]
+    pub(crate) fn flag_words(&self) -> &[u64] {
+        &self.flags
     }
 
     /// Sets a top-level input by name.
@@ -390,11 +428,30 @@ impl Simulator {
                     self.step_essential();
                 }
             }
+            EngineKind::Threaded => {
+                let mut frame = InputFrame::default();
+                for _ in 0..n {
+                    frame.pokes.clear();
+                    drive(self.cycle, &mut frame);
+                    let mut st: &mut [u64] = &mut self.state;
+                    let mut flags: &mut [u64] = &mut self.flags;
+                    apply_frame(&self.c, &mut st, &mut flags, &frame);
+                    self.step_threaded();
+                }
+            }
             EngineKind::FullCycleMt { threads } => self.run_full_mt(n, threads.max(1), &mut drive),
             EngineKind::EssentialMt { threads } => {
                 self.run_essential_mt(n, threads.max(1), &mut drive)
             }
         }
+    }
+
+    /// Time the threaded-code lowering pass took at compile time
+    /// (zero for other engines and under the `--no-threaded` ablation).
+    pub fn lowering_time(&self) -> std::time::Duration {
+        self.threaded
+            .as_ref()
+            .map_or(std::time::Duration::ZERO, |p| p.lowering_time)
     }
 
     /// Saves the complete simulation state (signals, memories, active
@@ -489,6 +546,58 @@ impl Simulator {
                 self.opts.check_multiple_bits,
             );
         }
+        let mut st: &mut [u64] = &mut self.state;
+        let mut mems: &mut [MemArena] = &mut self.mems;
+        let mut flags: &mut [u64] = &mut self.flags;
+        let mut fired: &mut [u64] = &mut self.fired;
+        executor::commit_essential(
+            &self.c,
+            &mut st,
+            &mut mems,
+            &mut flags,
+            &mut fired,
+            &self.supernode_regs,
+            &mut self.dirty_mems,
+            &mut self.counters,
+            &mut self.reset_snap,
+        );
+        self.cycle += 1;
+        self.counters.cycles += 1;
+    }
+
+    // ----- threaded-code essential-signal -----
+
+    fn step_threaded(&mut self) {
+        let Some(prog) = &self.threaded else {
+            // `--no-threaded` ablation: identical semantics through
+            // the plain essential interpreter.
+            self.step_essential();
+            return;
+        };
+        {
+            let mut ctx = threaded::TCtx {
+                mem: &mut self.state[..],
+                mems: &self.mems[..],
+                wide: &self.c.image.wide,
+                recs: &prog.records,
+                state_words: prog.state_words,
+                const_base: prog.const_base,
+                changed: false,
+            };
+            let flags: &mut [u64] = &mut self.flags;
+            let fired: &mut [u64] = &mut self.fired;
+            threaded::sweep(
+                &self.c,
+                prog,
+                &mut ctx,
+                flags,
+                fired,
+                &mut self.counters,
+                self.opts.check_multiple_bits,
+            );
+        }
+        // The commit phase is the essential engine's, verbatim: the
+        // state arena's prefix is the plain state vector it expects.
         let mut st: &mut [u64] = &mut self.state;
         let mut mems: &mut [MemArena] = &mut self.mems;
         let mut flags: &mut [u64] = &mut self.flags;
@@ -624,6 +733,23 @@ impl Simulator {
     where
         F: FnMut(u64, &mut InputFrame),
     {
+        if threads == 1 {
+            // One worker: the level barriers and atomic images buy
+            // nothing, so delegate to the sequential essential sweep —
+            // same eval/commit machinery, identical results and
+            // semantic work counters (only the examination strategy
+            // differs).
+            let mut frame = InputFrame::default();
+            for _ in 0..n {
+                frame.pokes.clear();
+                drive(self.cycle, &mut frame);
+                let mut st: &mut [u64] = &mut self.state;
+                let mut flags: &mut [u64] = &mut self.flags;
+                apply_frame(&self.c, &mut st, &mut flags, &frame);
+                self.step_essential();
+            }
+            return;
+        }
         // Shared atomic images of the state, active bits, fired set and
         // memories for the run.
         let state: Vec<AtomicU64> = self.state.iter().map(|&w| AtomicU64::new(w)).collect();
@@ -756,6 +882,7 @@ impl Session for Simulator {
             EngineKind::FullCycleMt { .. } => "interp/full-cycle-mt",
             EngineKind::Essential => "interp/essential",
             EngineKind::EssentialMt { .. } => "interp/essential-mt",
+            EngineKind::Threaded => "interp/threaded",
         }
     }
 
@@ -889,6 +1016,14 @@ circuit Counter :
             ("gsim-mt1", SimOptions::essential_mt(1)),
             ("gsim-mt2", SimOptions::essential_mt(2)),
             ("gsim-mt4", SimOptions::essential_mt(4)),
+            ("gsim-jit", SimOptions::threaded()),
+            (
+                "gsim-jit-ablated",
+                SimOptions {
+                    threaded_dispatch: false,
+                    ..SimOptions::threaded()
+                },
+            ),
         ]
     }
 

@@ -565,7 +565,7 @@ fn narrow3(a: Slot, b: Slot, dst: Slot) -> bool {
     a.words <= 1 && b.words <= 1 && dst.words <= 1
 }
 
-fn exec_one<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, instr: &Instr) {
+pub(crate) fn exec_one<S: StateStore, M: MemStore>(ctx: &mut Ctx<'_, S, M>, instr: &Instr) {
     match *instr {
         Instr::Copy { dst, a } => {
             if dst.words <= 1 && a.words <= 1 {

@@ -43,6 +43,13 @@
 //!   Thread 0 runs the commit phase (registers, resets, memory write
 //!   ports) between the last barrier of one cycle and the first of the
 //!   next.
+//! * **Threaded-code** ([`EngineKind::Threaded`]) — the essential
+//!   engine's sweep with dispatch moved to compile time: every encoded
+//!   unit is lowered once into a pre-resolved handler record (a
+//!   monomorphized function pointer plus flat-arena operand offsets),
+//!   so the hot loop is a bare indirect-call chain with no decode, no
+//!   width re-checks, and no operand-space branching. Compile-free
+//!   AoT-class dispatch — the CLI's `--backend jit`.
 //!
 //! All four families share one executor core (`executor`): the
 //! eval/commit/activation routines are generic over plain-word vs
@@ -78,7 +85,11 @@
 //! assert_eq!(sim.peek_u64("out"), Some(9));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the threaded backend's two arena accessors
+// carry the crate's only `#[allow(unsafe_code)]` — bounds checks whose
+// invariants are asserted once at lowering time (see
+// `threaded::TCtx::rd`). Everything else stays check-enforced.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod compile;
@@ -89,6 +100,7 @@ mod executor;
 mod image;
 mod session;
 mod storage;
+mod threaded;
 
 pub use compile::FusionStats;
 pub use counters::Counters;
@@ -116,6 +128,14 @@ pub enum EngineKind {
         /// Number of worker threads (≥ 1).
         threads: usize,
     },
+    /// Essential-signal simulation dispatched through the in-process
+    /// threaded-code backend: each task's encoded units are lowered
+    /// once, at compile time, into a dense stream of pre-resolved
+    /// handler records (monomorphized per op × width class × operand
+    /// shape, with all operand offsets resolved into one flat arena),
+    /// so the hot loop does no decode, no width re-checks, and no
+    /// operand-space branching. The CLI calls this backend `jit`.
+    Threaded,
 }
 
 /// Compilation and runtime options.
@@ -145,6 +165,13 @@ pub struct SimOptions {
     /// combinational slot spaces and number combinational slots in
     /// sweep order. Off reproduces the legacy interleaved numbering.
     pub locality_layout: bool,
+    /// Threaded-code dispatch: lower the execution image into
+    /// pre-resolved handler records at compile time (the
+    /// [`EngineKind::Threaded`] hot loop). When `false` the threaded
+    /// engine falls back to the plain essential interpreter — the
+    /// `--no-threaded` ablation. Purely a substrate optimization —
+    /// results and semantic counters are bit-identical either way.
+    pub threaded_dispatch: bool,
 }
 
 impl Default for SimOptions {
@@ -158,6 +185,7 @@ impl Default for SimOptions {
             reset_slow_path: true,
             superinstr_fusion: true,
             locality_layout: true,
+            threaded_dispatch: true,
         }
     }
 }
@@ -196,6 +224,16 @@ impl SimOptions {
             reset_slow_path: false,
             superinstr_fusion: false,
             locality_layout: false,
+            threaded_dispatch: false,
+        }
+    }
+
+    /// GSIM-JIT: the full GSIM configuration executed through the
+    /// in-process threaded-code backend ([`EngineKind::Threaded`]).
+    pub fn threaded() -> SimOptions {
+        SimOptions {
+            engine: EngineKind::Threaded,
+            ..SimOptions::default()
         }
     }
 

@@ -64,7 +64,7 @@
 //!
 //! | request | response | notes |
 //! |---|---|---|
-//! | `design <nbytes> [aot\|interp]` | `ready <key> <hit\|miss\|interp> <ms>` | the next `nbytes` bytes are FIRRTL source; compiled through the artifact cache |
+//! | `design <nbytes> [aot\|interp\|jit]` | `ready <key> <hit\|miss\|interp\|jit> <ms>` | the next `nbytes` bytes are FIRRTL source; `aot` goes through the artifact cache, `interp`/`jit` compile in-process (`jit` = the threaded-code backend, AoT-class dispatch with no compiler in the loop) |
 //! | `stats` | `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n>` | service-level counters |
 //! | `shutdown` | `ok <cycle>` | stops the whole server (test/admin facility) |
 

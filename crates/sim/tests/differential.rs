@@ -243,6 +243,25 @@ fn engine_matrix() -> Vec<(&'static str, SimOptions)> {
                 ..SimOptions::essential_mt(2)
             },
         ),
+        // Threaded-code backend: the lowered handler records must be
+        // bit-identical to the reference, with and without the
+        // `--no-threaded` ablation (which falls back to the plain
+        // essential interpreter under the same engine kind).
+        ("gsim-threaded", SimOptions::threaded()),
+        (
+            "gsim-threaded-ablated",
+            SimOptions {
+                threaded_dispatch: false,
+                ..SimOptions::threaded()
+            },
+        ),
+        (
+            "gsim-threaded-no-fuse",
+            SimOptions {
+                superinstr_fusion: false,
+                ..SimOptions::threaded()
+            },
+        ),
     ]
 }
 

@@ -140,6 +140,31 @@ fn remote_interp_session_matches_reference() {
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
+/// The threaded-code service path: `design … jit` serves a session
+/// with AoT-class dispatch but zero rustc involvement (cold start is
+/// the lowering pass, not a compile), through the same bit-identical
+/// contract as every other backend.
+#[test]
+fn remote_jit_session_matches_reference() {
+    let cycles = 64;
+    let graph = dut_graph();
+    let (mut server, cache_dir) = start_server("jit");
+    let ep = server.endpoint().clone();
+
+    let mut sessions = remote_session(&ep, "jit", "remote-jit".into());
+    assert_sessions_match_reference(
+        "service_e2e/jit",
+        &graph,
+        &mut sessions,
+        cycles,
+        &[],
+        &frames_for(5, cycles),
+    );
+    assert_eq!(server.stats().cache.compiles, 0, "jit never invokes rustc");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
 /// Warm reuse across session *generations*: a design opened, closed,
 /// and reopened hits the published artifact (the cache outlives the
 /// sessions that populated it).

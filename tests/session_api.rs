@@ -18,6 +18,7 @@ const ALL_PRESETS: &[Preset] = &[
     Preset::Arcilator,
     Preset::Gsim,
     Preset::GsimMt(2),
+    Preset::GsimJit,
 ];
 
 /// Drives `n` cycles of deterministic churn and records every named
@@ -84,7 +85,7 @@ fn interactive_transcript_agrees_across_backends() {
     type TranscriptRow = (u64, Option<u64>, Option<u64>);
     let graph = gsim_designs::stu_core();
     let program = gsim_workloads::programs::fib(8);
-    let mut sessions = preset_sessions(&graph, &[Preset::Gsim, Preset::Verilator]);
+    let mut sessions = preset_sessions(&graph, &[Preset::Gsim, Preset::Verilator, Preset::GsimJit]);
     push_aot_session(&graph, &mut sessions);
     let mut transcripts: Vec<(String, Vec<TranscriptRow>)> = Vec::new();
     for (tag, s) in sessions.iter_mut() {
@@ -128,7 +129,7 @@ fn interactive_transcript_agrees_across_backends() {
 #[test]
 fn error_taxonomy_is_uniform_across_backends() {
     let graph = gsim_designs::stu_core();
-    let mut sessions = preset_sessions(&graph, &[Preset::Gsim]);
+    let mut sessions = preset_sessions(&graph, &[Preset::Gsim, Preset::GsimJit]);
     push_aot_session(&graph, &mut sessions);
     for (tag, s) in sessions.iter_mut() {
         assert_eq!(
@@ -190,6 +191,7 @@ fn build_session_covers_every_engine_choice() {
         EngineChoice::FullCycleMt(2),
         EngineChoice::Essential,
         EngineChoice::EssentialMt(2),
+        EngineChoice::Threaded,
     ];
     if gsim_codegen::rustc_available() {
         choices.push(EngineChoice::Aot);
