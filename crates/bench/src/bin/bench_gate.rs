@@ -42,6 +42,7 @@ const TOP_KEYS: &[&str] = &[
     "aot",
     "session",
     "service",
+    "recovery",
 ];
 const THREAD_ROW_KEYS: &[&str] = &["engine", "threads", "hz", "speedup"];
 const DISPATCH_ROW_KEYS: &[&str] = &[
@@ -106,6 +107,20 @@ const SERVICE_ROW_KEYS: &[&str] = &[
     "evictions",
 ];
 
+const RECOVERY_ROW_KEYS: &[&str] = &[
+    "design",
+    "cycles",
+    "kill_at",
+    "detect_s",
+    "respawn_s",
+    "restore_s",
+    "replay_s",
+    "replayed_cycles",
+    "total_s",
+    "recoveries",
+    "bit_identical",
+];
+
 /// Maximum allowed ratio between the two fresh runs' counters.
 const MAX_COUNTER_DRIFT: f64 = 2.0;
 
@@ -120,6 +135,15 @@ const MIN_THREADED_SPEEDUP: f64 = 1.10;
 /// …with a lowering pass cheaper than this (milliseconds) — the whole
 /// point is a cold start with no compile in it.
 const MAX_LOWERING_MS: f64 = 100.0;
+
+/// The fault-tolerance claim, enforced on the committed baseline's
+/// `recovery` rows: killing the AoT child mid-run must be detected,
+/// respawned, restored, and replayed within this many seconds. The
+/// measured end-to-end recovery sits well under a second (dominated
+/// by the child process respawn); the bound absorbs slow hosts while
+/// still catching a recovery path that degenerated into a recompile
+/// or a full rerun.
+const MAX_RECOVERY_TOTAL_S: f64 = 5.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -192,6 +216,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         ("aot", AOT_ROW_KEYS),
         ("session", SESSION_ROW_KEYS),
         ("service", SERVICE_ROW_KEYS),
+        ("recovery", RECOVERY_ROW_KEYS),
     ] {
         let Some(rows) = doc.get(arr_key).and_then(Json::as_arr) else {
             failures.push(format!("{path}: {arr_key:?} is not an array"));
@@ -200,7 +225,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         // The AoT-backed blocks may legitimately be empty on a
         // rustc-less host; `check_labels` still catches them
         // *vanishing* relative to a baseline that has them.
-        let aot_backed = matches!(arr_key, "aot" | "session" | "service");
+        let aot_backed = matches!(arr_key, "aot" | "session" | "service" | "recovery");
         if !aot_backed && rows.is_empty() {
             failures.push(format!("{path}: {arr_key:?} is empty"));
         }
@@ -229,7 +254,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
 fn check_labels(base: &Json, new: &Json, failures: &mut Vec<String>) {
     let arr_len =
         |doc: &Json, key: &str| doc.get(key).and_then(Json::as_arr).map_or(0, <[Json]>::len);
-    for key in ["aot", "session", "service"] {
+    for key in ["aot", "session", "service", "recovery"] {
         if arr_len(base, key) > 0 && arr_len(new, key) == 0 {
             failures.push(format!(
                 "fresh run recorded no {key:?} rows although the baseline has them \
@@ -292,6 +317,51 @@ fn check_baseline_claims(base: &Json, path: &str, failures: &mut Vec<String>) {
             "{path}: committed GSIM-JIT lowering pass took {lowering:.1} ms \
              (claim: under {MAX_LOWERING_MS} ms)"
         ));
+    }
+    check_recovery_claims(base, path, failures);
+}
+
+/// The committed baseline's `recovery` rows must back the
+/// fault-tolerance claims: recovery is bit-identical to an
+/// uninterrupted run and bounded in time. (An empty block is legal —
+/// a rustc-less measurement host — and caught by `check_labels` when
+/// it *vanishes* relative to a baseline that had rows.)
+fn check_recovery_claims(base: &Json, path: &str, failures: &mut Vec<String>) {
+    use std::cmp::Ordering::Less;
+    let Some(rows) = base.get("recovery").and_then(Json::as_arr) else {
+        return; // missing block already reported by check_schema
+    };
+    for row in rows {
+        let design = row
+            .get("design")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        if row.get("bit_identical") != Some(&Json::Bool(true)) {
+            failures.push(format!(
+                "{path}: recovery row {design:?} is not bit-identical to the \
+                 uninterrupted run — replay-based recovery is broken"
+            ));
+        }
+        let total = row
+            .get("total_s")
+            .and_then(Json::as_num)
+            .unwrap_or(f64::NAN);
+        if total.partial_cmp(&MAX_RECOVERY_TOTAL_S) != Some(Less) {
+            failures.push(format!(
+                "{path}: recovery row {design:?} took {total:.2} s end to end \
+                 (claim: under {MAX_RECOVERY_TOTAL_S} s)"
+            ));
+        }
+        let recoveries = row
+            .get("recoveries")
+            .and_then(Json::as_num)
+            .unwrap_or(f64::NAN);
+        if recoveries != 1.0 {
+            failures.push(format!(
+                "{path}: recovery row {design:?} recorded {recoveries} recoveries \
+                 for one injected kill (expected exactly 1)"
+            ));
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|dispatch|threaded|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
@@ -10,8 +10,8 @@
 //! a ~6.2M-node XiangShan stand-in — expect long compile times).
 //!
 //! `--json` additionally runs the thread-scaling, dispatch-breakdown,
-//! threaded-backend, AoT, persistent-session, and simulation-service
-//! experiments and writes their
+//! threaded-backend, AoT, persistent-session, simulation-service, and
+//! crash-recovery experiments and writes their
 //! cycles/sec + counter breakdowns (plus `host_cores`, the AoT
 //! emit/rustc/size/speed rows, and the session-amortization rows) to
 //! `BENCH_interp.json` (or the given path) so CI can track the
@@ -149,6 +149,14 @@ fn main() {
         section("Simulation service");
         exp::print_service(service_rows.as_ref().unwrap());
     }
+    let mut recovery_rows = None;
+    if wants("recovery") || json {
+        recovery_rows = Some(exp::recovery(&suite, &cfg));
+    }
+    if wants("recovery") {
+        section("Crash recovery");
+        exp::print_recovery(recovery_rows.as_ref().unwrap());
+    }
     if wants("fig6") {
         section("Figure 6");
         exp::print_fig6(&exp::fig6(&suite, &cfg));
@@ -191,6 +199,7 @@ fn main() {
             aot_rows.as_deref().unwrap_or(&[]),
             session_rows.as_deref().unwrap_or(&[]),
             service_rows.as_deref().unwrap_or(&[]),
+            recovery_rows.as_deref().unwrap_or(&[]),
         );
         std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("# wrote {path}");
@@ -211,6 +220,7 @@ fn render_json(
     aot: &[exp::AotRow],
     session: &[exp::SessionRow],
     service: &[exp::ServiceRow],
+    recovery: &[exp::RecoveryRow],
 ) -> String {
     let host_cores = exp::host_cores();
     let max_threads = threads.iter().map(|r| r.threads).max().unwrap_or(1);
@@ -225,7 +235,7 @@ fn render_json(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gsim-bench-interp/5\",\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/6\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
         cfg.scale, cfg.cycles, smoke
@@ -305,6 +315,28 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"recovery\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"design\": \"{}\", \"cycles\": {}, \"kill_at\": {}, \
+             \"detect_s\": {:.4}, \"respawn_s\": {:.4}, \"restore_s\": {:.4}, \
+             \"replay_s\": {:.4}, \"replayed_cycles\": {}, \"total_s\": {:.4}, \
+             \"recoveries\": {}, \"bit_identical\": {}}}{}\n",
+            r.design,
+            r.cycles,
+            r.kill_at,
+            r.detect_s,
+            r.respawn_s,
+            r.restore_s,
+            r.replay_s,
+            r.replayed_cycles,
+            r.total_s,
+            r.recoveries,
+            r.bit_identical,
+            comma(i, recovery.len())
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"threaded\": [\n");
     for (i, r) in threaded.iter().enumerate() {
         s.push_str(&format!(
@@ -376,7 +408,7 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|dispatch|threaded|aot|session|service|fig6|fig7|fig8|fig9|table3|table4|factors] \
+        "repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|fig6|fig7|fig8|fig9|table3|table4|factors] \
          [--scale F] [--cycles N] [--json [PATH]]"
     );
 }

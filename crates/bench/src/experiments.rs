@@ -900,6 +900,190 @@ pub fn print_service(rows: &[ServiceRow]) {
     }
 }
 
+// ------------------------------------------------- crash recovery
+
+/// The fault-tolerance measurement: kill the AoT child mid-run under
+/// a [`gsim::SupervisedSession`], and record how long detection,
+/// respawn, checkpoint restore, and journal replay took — plus
+/// whether the recovered run ended bit-identical to an uninterrupted
+/// one (the property the chaos tests pin; here it is *measured* so a
+/// regression shows up in the committed baseline).
+#[derive(Debug)]
+pub struct RecoveryRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Cycles driven end to end.
+    pub cycles: u64,
+    /// Cycle after which the child was killed (injected fault).
+    pub kill_at: u64,
+    /// Seconds from the kill to the supervisor noticing (the failed
+    /// operation's latency).
+    pub detect_s: f64,
+    /// Seconds to respawn the compiled child process.
+    pub respawn_s: f64,
+    /// Seconds to import the last checkpoint into the fresh child.
+    pub restore_s: f64,
+    /// Seconds to replay the journaled commands since the checkpoint.
+    pub replay_s: f64,
+    /// Cycles re-executed during replay (bounded by the checkpoint
+    /// cadence).
+    pub replayed_cycles: u64,
+    /// Detect + respawn + restore + replay.
+    pub total_s: f64,
+    /// Recoveries performed (1 for this experiment's single kill).
+    pub recoveries: u64,
+    /// `true` when every signal and every semantic counter of the
+    /// recovered run matched the uninterrupted reference exactly.
+    pub bit_identical: bool,
+}
+
+/// Drives the recovery workload: reset for two cycles, then free-run.
+fn recovery_drive(i: u64, f: &mut gsim::SessionFrame) {
+    f.set("reset", u64::from(i < 2));
+}
+
+/// The `recovery` experiment: run stuCore's AoT session once clean
+/// and once under a [`gsim::SupervisedSession`] with the child killed
+/// mid-run, and compare the end states. Returns an empty vector when
+/// the host has no `rustc`.
+pub fn recovery(suite: &[SuiteDesign], cfg: &Config) -> Vec<RecoveryRow> {
+    use gsim::{FaultPlan, SessionFactory, SuperviseOptions, SupervisedSession};
+    if !gsim_codegen::rustc_available() {
+        eprintln!("# recovery: rustc unavailable on this host, skipping");
+        return Vec::new();
+    }
+    let Some(d) = suite.iter().find(|d| d.name == "stuCore") else {
+        return Vec::new();
+    };
+    let cycles = cfg.cycles.clamp(64, 1_000);
+    // Off the checkpoint cadence (64) on purpose, so the journal-replay
+    // leg of recovery is actually exercised and measured.
+    let kill_at = cycles / 2 + 29;
+    let image = programs::coremark_mini(20).image;
+    let (aot_sim, _) = match Compiler::new(&d.graph).preset(Preset::Gsim).build_aot() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("# recovery: {} failed to build: {e}", d.name);
+            return Vec::new();
+        }
+    };
+
+    // Uninterrupted reference run.
+    let mut clean = aot_sim.session().expect("spawn reference session");
+    clean.load_mem("imem", &image).expect("load imem");
+    clean
+        .run_driven(cycles, &mut recovery_drive)
+        .expect("reference run");
+    let signals = clean.signals().expect("list signals");
+    let reference: Vec<(String, String)> = signals
+        .iter()
+        .map(|s| {
+            let v = clean.peek(&s.name).expect("reference peek");
+            (s.name.clone(), format!("{v:x}"))
+        })
+        .collect();
+    let reference_counters = clean.counters().expect("reference counters");
+    drop(clean);
+
+    // Supervised run with the child killed after `kill_at` cycles.
+    // The fault applies to the first spawn only, so the respawned
+    // child survives to the end.
+    let plan = FaultPlan {
+        kill_child_at_cycle: Some(kill_at),
+        ..FaultPlan::default()
+    };
+    let mut first_spawn = true;
+    let factory: SessionFactory = Box::new(move || {
+        let p = if first_spawn {
+            plan.clone()
+        } else {
+            FaultPlan::default()
+        };
+        first_spawn = false;
+        let sess = aot_sim.session_with(None, &p)?;
+        Ok(Box::new(sess) as Box<dyn Session>)
+    });
+    let opts = SuperviseOptions {
+        checkpoint_every: 64,
+        max_recoveries: 3,
+    };
+    let mut sup = SupervisedSession::new(factory, opts).expect("supervised session");
+    sup.load_mem("imem", &image).expect("load imem");
+    // Drive in 16-cycle bursts (the interactive pattern): completed
+    // bursts accumulate in the journal between checkpoints, so the
+    // mid-burst kill exercises checkpoint import *and* journal replay.
+    let mut left = cycles;
+    while left > 0 {
+        let burst = left.min(16);
+        sup.run_driven(burst, &mut recovery_drive)
+            .expect("supervised run must recover");
+        left -= burst;
+    }
+    let recoveries = u64::from(sup.recoveries());
+    let stats = sup
+        .last_recovery()
+        .expect("the injected kill must have triggered a recovery")
+        .clone();
+    let mut bit_identical = sup.counters().expect("recovered counters") == reference_counters;
+    for (name, want) in &reference {
+        let got = format!("{:x}", sup.peek(name).expect("recovered peek"));
+        if got != *want {
+            bit_identical = false;
+        }
+    }
+
+    vec![RecoveryRow {
+        design: d.name,
+        cycles,
+        kill_at,
+        detect_s: stats.detect_s,
+        respawn_s: stats.respawn_s,
+        restore_s: stats.restore_s,
+        replay_s: stats.replay_s,
+        replayed_cycles: stats.replayed_cycles,
+        total_s: stats.detect_s + stats.total_s(),
+        recoveries,
+        bit_identical,
+    }]
+}
+
+/// Prints the recovery rows.
+pub fn print_recovery(rows: &[RecoveryRow]) {
+    println!("Crash recovery: kill the AoT child mid-run, respawn + replay under supervision");
+    if rows.is_empty() {
+        println!("  (skipped: rustc unavailable)");
+        return;
+    }
+    println!(
+        "{:<10} {:>7} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "Design",
+        "cycles",
+        "kill@",
+        "detect(s)",
+        "respawn(s)",
+        "restore(s)",
+        "replay(s)",
+        "replayed",
+        "total(s)",
+        "identical"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>7} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>8} {:>10.4} {:>10}",
+            r.design,
+            r.cycles,
+            r.kill_at,
+            r.detect_s,
+            r.respawn_s,
+            r.restore_s,
+            r.replay_s,
+            r.replayed_cycles,
+            r.total_s,
+            r.bit_identical
+        );
+    }
+}
+
 /// Logical cores of the measurement host — recorded into
 /// `BENCH_interp.json` so thread-scaling rows can be judged (an
 /// `EssentialMt` "slowdown" on a 1-core host measures barrier

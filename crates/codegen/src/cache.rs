@@ -42,6 +42,7 @@
 use crate::build::{binary_name, cache_resident_sim, run_rustc, AotError, AotOptions, AotSim};
 use crate::rust::emit_rust;
 use gsim_graph::Graph;
+use gsim_sim::FaultPlan;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -108,6 +109,9 @@ pub struct ArtifactCache {
     /// Per-key build locks: dedups concurrent compiles of one design.
     building: Mutex<HashMap<u128, Arc<Mutex<()>>>>,
     tmp_seq: AtomicU64,
+    /// Deterministic fault injection for the chaos suite (empty in
+    /// production use).
+    faults: FaultPlan,
 }
 
 impl ArtifactCache {
@@ -132,7 +136,20 @@ impl ArtifactCache {
             evictions: AtomicU64::new(0),
             building: Mutex::new(HashMap::new()),
             tmp_seq: AtomicU64::new(0),
+            faults: FaultPlan::default(),
         })
+    }
+
+    /// Arms deterministic fault injection on the publish path: the
+    /// cache honours [`FaultPlan::publish_io_error`] (the tmp-dir
+    /// write fails as if the disk were full, leaving no half-entry)
+    /// and [`FaultPlan::torn_publish`] (the compiled binary is
+    /// truncated after the `ok` marker records its full size, so the
+    /// next [`probe`](ArtifactCache::compile) must reject the entry).
+    /// Chaos tests call this before sharing the cache; production
+    /// callers leave the default empty plan.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// The cache root directory.
@@ -196,10 +213,26 @@ impl ArtifactCache {
         let built = (|| -> Result<Duration, AotError> {
             let source = tmp.join("sim.rs");
             let binary = tmp.join(binary_name());
+            if self.faults.publish_io_error {
+                // Injected disk-full: fail before anything lands in
+                // the tmp dir, like a real ENOSPC on the first write.
+                return Err(AotError::Io(std::io::Error::other(
+                    "injected fault: no space left on device",
+                )));
+            }
             std::fs::write(&source, &emit.code)?;
             let rustc_time = run_rustc(&source, &binary)?;
             let size = std::fs::metadata(&binary)?.len();
             std::fs::write(tmp.join("ok"), size.to_string())?;
+            if self.faults.torn_publish {
+                // Injected torn write: the `ok` marker records the
+                // full size but the binary on disk is shorter, which
+                // the next probe must detect and tear down.
+                std::fs::File::options()
+                    .write(true)
+                    .open(&binary)?
+                    .set_len(size / 2)?;
+            }
             Ok(rustc_time)
         })();
         let rustc_time = match built {

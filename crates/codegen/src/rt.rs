@@ -764,3 +764,70 @@ pub fn parse_stimulus(text: &str) -> Result<StimulusFile, String> {
     }
     Ok(StimulusFile { loads, frames })
 }
+
+// -------------------------------------------------- state serialization
+
+/// Appends `v` to a state blob as lowercase hex followed by a `.`
+/// separator. The blob stays one whitespace-free ASCII token, so it
+/// travels verbatim on the line-oriented wire protocols.
+pub fn push_hex(s: &mut String, v: u128) {
+    use std::fmt::Write as _;
+    let _ = write!(s, "{v:x}.");
+}
+
+/// Appends a word slice to a state blob, one `.`-terminated hex token
+/// per word (little-endian word order, same as the in-memory layout).
+pub fn push_hex_words(s: &mut String, words: &[u64]) {
+    for &w in words {
+        push_hex(s, w as u128);
+    }
+}
+
+/// Streaming parser for the `.`-separated hex blobs `push_hex`
+/// produces; the consuming side of `save_state`/`load_state` in the
+/// emitted simulator. Parsing is strict: a malformed or missing token
+/// yields `None` and the caller rejects the whole blob.
+pub struct HexStream<'a> {
+    it: std::str::Split<'a, char>,
+}
+
+impl<'a> HexStream<'a> {
+    /// Starts reading `blob` from the first token.
+    pub fn new(blob: &'a str) -> HexStream<'a> {
+        HexStream {
+            it: blob.split('.'),
+        }
+    }
+
+    /// The next token as a `u128`, or `None` on exhaustion/bad hex.
+    pub fn next_u128(&mut self) -> Option<u128> {
+        let tok = self.it.next()?;
+        if tok.is_empty() || tok.len() > 32 {
+            return None;
+        }
+        u128::from_str_radix(tok, 16).ok()
+    }
+
+    /// The next token as a `u64`, or `None` on exhaustion/overflow.
+    pub fn next_u64(&mut self) -> Option<u64> {
+        u64::try_from(self.next_u128()?).ok()
+    }
+
+    /// Fills `out` from the next `out.len()` tokens; `false` on any
+    /// missing or bad token.
+    pub fn fill_words(&mut self, out: &mut [u64]) -> bool {
+        for w in out {
+            match self.next_u64() {
+                Some(v) => *w = v,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// `true` once every token has been consumed (the trailing `.`
+    /// leaves one final empty fragment).
+    pub fn at_end(&mut self) -> bool {
+        matches!(self.it.next(), None | Some(""))
+    }
+}

@@ -220,3 +220,44 @@ fn store_entry_masks_and_zero_extends() {
     rt::store_entry(&mut mem, 2, 2, &[7], 70);
     assert_eq!((mem[2], mem[3]), (7, 0));
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // The state-blob codec (`save_state`/`load_state` in the emitted
+    // simulator): every word sequence must survive the `.`-separated
+    // hex encoding exactly, and the stream must report exhaustion.
+    #[test]
+    fn state_blob_roundtrip(all in proptest::collection::vec(any::<u64>(), 10),
+                            hi in any::<u64>(), lo in any::<u64>(), keep in 0usize..=10) {
+        let words = &all[..keep];
+        let scalar = (hi as u128) << 64 | lo as u128;
+        let mut blob = String::new();
+        rt::push_hex(&mut blob, scalar);
+        rt::push_hex_words(&mut blob, words);
+
+        let mut rd = rt::HexStream::new(&blob);
+        prop_assert_eq!(rd.next_u128(), Some(scalar));
+        let mut back = vec![0u64; words.len()];
+        prop_assert!(rd.fill_words(&mut back), "every word token present");
+        prop_assert_eq!(&back[..], words);
+        prop_assert!(rd.at_end(), "no trailing tokens");
+    }
+}
+
+/// Malformed blobs are rejected, not misparsed: empty tokens, junk
+/// hex, overlong tokens, and u64 overflow all read as `None`/`false`.
+#[test]
+fn state_blob_rejects_malformed_tokens() {
+    assert_eq!(rt::HexStream::new("").next_u128(), None);
+    assert_eq!(rt::HexStream::new("xyz.").next_u128(), None);
+    let overlong = format!("{}.", "f".repeat(33));
+    assert_eq!(rt::HexStream::new(&overlong).next_u128(), None);
+    // 2^64 fits a u128 token but overflows the u64 reader.
+    assert_eq!(rt::HexStream::new("10000000000000000.").next_u64(), None);
+    let mut short = rt::HexStream::new("a.");
+    assert!(!short.fill_words(&mut [0u64; 2]), "truncated blob rejected");
+    let mut trailing = rt::HexStream::new("a.b.");
+    assert_eq!(trailing.next_u64(), Some(0xa));
+    assert!(!trailing.at_end(), "unconsumed token detected");
+}

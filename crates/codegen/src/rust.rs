@@ -1340,6 +1340,97 @@ impl Emitter<'_> {
         let _ = writeln!(load, "        }}");
         let _ = writeln!(load, "    }}");
 
+        // ---- state externalization (crash recovery) ----
+        // `save_state` serializes every state element — signal values
+        // and register shadows in layout order, then memories, the
+        // activation words, and the counters — as one `.`-separated
+        // hex token. `load_state` is its strict inverse; feeding a
+        // blob to a *fresh* process of the same artifact reproduces
+        // the source simulation bit for bit (the supervisor's
+        // checkpoint/restore primitive, wire commands `state` /
+        // `loadstate`).
+        let mut state_fns = String::new();
+        let _ = writeln!(state_fns, "    fn save_state(&self) -> String {{");
+        let _ = writeln!(
+            state_fns,
+            "        let mut s = String::with_capacity({});",
+            (self.layout.data_bytes * 2 + 64).next_power_of_two()
+        );
+        for e in &self.layout.entries {
+            let repr = Repr::for_width(e.width);
+            let mut emit_field = |name: String| {
+                let _ = match repr {
+                    Repr::Small(_) => {
+                        writeln!(state_fns, "        rt::push_hex(&mut s, {name} as u128);")
+                    }
+                    Repr::U128 => writeln!(state_fns, "        rt::push_hex(&mut s, {name});"),
+                    Repr::Wide(_) => {
+                        writeln!(state_fns, "        rt::push_hex_words(&mut s, &{name});")
+                    }
+                };
+            };
+            emit_field(format!("self.n{}", e.node.index()));
+            if e.is_reg {
+                emit_field(format!("self.n{}_next", e.node.index()));
+            }
+        }
+        for m in 0..g.mems().len() {
+            let _ = writeln!(state_fns, "        rt::push_hex_words(&mut s, &self.m{m});");
+        }
+        let _ = writeln!(state_fns, "        rt::push_hex_words(&mut s, &self.act);");
+        for c in ["cycles", "supernode_evals", "node_evals", "value_changes"] {
+            let _ = writeln!(state_fns, "        rt::push_hex(&mut s, self.{c} as u128);");
+        }
+        let _ = writeln!(state_fns, "        s");
+        let _ = writeln!(state_fns, "    }}");
+        let _ = writeln!(state_fns);
+        let _ = writeln!(
+            state_fns,
+            "    fn load_state(&mut self, blob: &str) -> bool {{"
+        );
+        let _ = writeln!(state_fns, "        let mut it = rt::HexStream::new(blob);");
+        for e in &self.layout.entries {
+            let repr = Repr::for_width(e.width);
+            let mut emit_field = |name: String| {
+                let _ = match repr {
+                    Repr::Small(b) => writeln!(
+                        state_fns,
+                        "        self.{name} = match it.next_u64().and_then(|v| u{b}::try_from(v).ok()) {{ Some(v) => v, None => return false }};"
+                    ),
+                    Repr::U128 => writeln!(
+                        state_fns,
+                        "        self.{name} = match it.next_u128() {{ Some(v) => v, None => return false }};"
+                    ),
+                    Repr::Wide(_) => writeln!(
+                        state_fns,
+                        "        if !it.fill_words(&mut self.{name}) {{ return false; }}"
+                    ),
+                };
+            };
+            emit_field(format!("n{}", e.node.index()));
+            if e.is_reg {
+                emit_field(format!("n{}_next", e.node.index()));
+            }
+        }
+        for m in 0..g.mems().len() {
+            let _ = writeln!(
+                state_fns,
+                "        if !it.fill_words(&mut self.m{m}) {{ return false; }}"
+            );
+        }
+        let _ = writeln!(
+            state_fns,
+            "        if !it.fill_words(&mut self.act) {{ return false; }}"
+        );
+        for c in ["cycles", "supernode_evals", "node_evals", "value_changes"] {
+            let _ = writeln!(
+                state_fns,
+                "        self.{c} = match it.next_u64() {{ Some(v) => v, None => return false }};"
+            );
+        }
+        let _ = writeln!(state_fns, "        it.at_end()");
+        let _ = writeln!(state_fns, "    }}");
+
         // ---- outputs + by-name signal lookup ----
         let hex_of = |repr: Option<Repr>, id: NodeId| -> String {
             match repr {
@@ -1514,6 +1605,8 @@ impl Emitter<'_> {
         let _ = writeln!(body);
         body.push_str(&load);
         let _ = writeln!(body);
+        body.push_str(&state_fns);
+        let _ = writeln!(body);
         body.push_str(&outputs);
         let _ = writeln!(body, "}}");
         let _ = writeln!(body);
@@ -1653,6 +1746,22 @@ fn main_template(design: &str) -> String {
 /// commands flush their single response line immediately.
 fn serve(mut sim: Sim) {
     use std::io::{BufRead as _, Write as _};
+    // Deterministic fault injection for the chaos suite: the spawner
+    // plants GSIM_CHILD_FAULT (`exit_at_cycle=N` / `stall_at_cycle=N`)
+    // and this process misbehaves at exactly that cycle — an abort
+    // with no goodbye (crash / OOM-kill stand-in) or an alive-but-
+    // silent stall (deadline-path stand-in).
+    let mut exit_at_cycle: Option<u64> = None;
+    let mut stall_at_cycle: Option<u64> = None;
+    if let Ok(spec) = std::env::var("GSIM_CHILD_FAULT") {
+        for part in spec.split(',') {
+            if let Some(v) = part.trim().strip_prefix("exit_at_cycle=") {
+                exit_at_cycle = v.parse().ok();
+            } else if let Some(v) = part.trim().strip_prefix("stall_at_cycle=") {
+                stall_at_cycle = v.parse().ok();
+            }
+        }
+    }
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -1684,6 +1793,14 @@ fn serve(mut sim: Sim) {
                 let n: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(1);
                 for _ in 0..n {
                     sim.cycle();
+                    if exit_at_cycle == Some(sim.cycles) {
+                        std::process::abort();
+                    }
+                    if stall_at_cycle == Some(sim.cycles) {
+                        loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        }
+                    }
                 }
             }
             Some("load") => match it.next() {
@@ -1778,6 +1895,25 @@ fn serve(mut sim: Sim) {
                 }
                 None => {
                     let _ = writeln!(out, "err protocol restore needs <id>");
+                }
+            },
+            Some("state") => {
+                let _ = writeln!(out, "state {} {}", sim.cycles, sim.save_state());
+                let _ = out.flush();
+            }
+            Some("loadstate") => match it.next() {
+                Some(blob) => {
+                    // Parse into a scratch copy so a bad blob cannot
+                    // leave the live simulation half-overwritten.
+                    let mut fresh = sim.clone();
+                    if fresh.load_state(blob) {
+                        sim = fresh;
+                    } else {
+                        let _ = writeln!(out, "err protocol state blob does not match this design");
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "err protocol loadstate needs <blob>");
                 }
             },
             Some("sync") => {

@@ -14,12 +14,15 @@
 //! for arbitrarily many poke/step/peek interactions.
 
 use crate::build::{AotError, AotSim, ArtifactDir};
-use gsim_sim::{Counters, GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
+use gsim_sim::{
+    Counters, FaultPlan, GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId,
+};
 use gsim_value::Value;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::path::Path;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::Arc;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 impl From<AotError> for GsimError {
     fn from(e: AotError) -> Self {
@@ -40,6 +43,13 @@ impl From<crate::rust::EmitError> for GsimError {
 /// cost at roughly one buffered write.
 const SYNC_CHUNK: u64 = 128;
 
+/// Default per-operation response deadline: generous enough for a
+/// heavyweight design stepping a full pipeline chunk, short enough
+/// that a wedged child surfaces as [`GsimError::Timeout`] instead of
+/// hanging the driver forever. Override with
+/// [`AotSession::set_deadline`].
+pub const DEFAULT_OP_DEADLINE: Duration = Duration::from_secs(30);
+
 /// A live connection to a compiled simulator process in server mode.
 ///
 /// Created by [`AotSim::session`]; implements the backend-agnostic
@@ -48,11 +58,33 @@ const SYNC_CHUNK: u64 = 128;
 /// dropped (its stdin closes); the scratch directory holding the
 /// binary stays alive as long as either the session or its `AotSim`
 /// does.
+///
+/// # Supervision
+///
+/// The session is *supervised*: responses are read on a dedicated
+/// thread, so every protocol turn carries a deadline
+/// ([`GsimError::Timeout`] when the child stops responding) and child
+/// death is detected — EOF on the pipe, a failed write, or a
+/// `try_wait` liveness check at each fence — and surfaced as a typed
+/// [`GsimError::SessionLost`] carrying the exit status, instead of a
+/// hang or a bare broken-pipe error. After either failure the session
+/// is **poisoned**: every subsequent call fails fast with
+/// [`GsimError::SessionLost`], and dropping it kills the child
+/// outright rather than waiting for a graceful exit. Wrap sessions in
+/// [`gsim_sim::SupervisedSession`] to recover automatically
+/// (respawn + checkpoint import + journal replay) instead of
+/// propagating the loss.
 #[derive(Debug)]
 pub struct AotSession {
     child: Child,
     stdin: Option<ChildStdin>,
-    stdout: BufReader<ChildStdout>,
+    /// Response lines, fed by the reader thread; `recv_timeout` on
+    /// this channel is what gives every read a deadline.
+    lines: mpsc::Receiver<std::io::Result<String>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    deadline: Duration,
+    /// Set on the first transport failure; fail-fast from then on.
+    poisoned: bool,
     cycle: u64,
     /// Cycles stepped since the last `sync` fence.
     unsynced: u64,
@@ -80,11 +112,38 @@ impl AotSim {
     /// Returns [`AotError::RunFailed`] when the process cannot be
     /// spawned or its pipes cannot be set up.
     pub fn session_in(&self, cwd: Option<&Path>) -> Result<AotSession, AotError> {
+        self.session_with(cwd, &FaultPlan::default())
+    }
+
+    /// Like [`AotSim::session_in`], with a [`FaultPlan`] applied to
+    /// the child: its child-fault knobs travel in the
+    /// `GSIM_CHILD_FAULT` environment variable. An empty plan
+    /// *removes* the variable, so a supervisor respawning after an
+    /// injected crash gets a healthy child rather than re-inheriting
+    /// the fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AotError::RunFailed`] when the process cannot be
+    /// spawned or its pipes cannot be set up.
+    pub fn session_with(
+        &self,
+        cwd: Option<&Path>,
+        faults: &FaultPlan,
+    ) -> Result<AotSession, AotError> {
         let mut cmd = Command::new(&self.binary_path);
         cmd.arg("--serve")
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        match faults.child_env() {
+            Some(spec) => {
+                cmd.env("GSIM_CHILD_FAULT", spec);
+            }
+            None => {
+                cmd.env_remove("GSIM_CHILD_FAULT");
+            }
+        }
         if let Some(dir) = cwd {
             cmd.current_dir(dir);
         }
@@ -99,10 +158,38 @@ impl AotSim {
             .stdout
             .take()
             .ok_or_else(|| AotError::RunFailed("no stdout pipe".into()))?;
+        // All reads happen on a dedicated thread so the session can
+        // bound every response wait with `recv_timeout` — a blocking
+        // `read_line` on the pipe itself could hang forever on a
+        // stalled child.
+        let (tx, lines) = mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        let trimmed = line.trim_end().len();
+                        line.truncate(trimmed);
+                        if tx.send(Ok(line)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
         Ok(AotSession {
             child,
             stdin: Some(stdin),
-            stdout: BufReader::new(stdout),
+            lines,
+            reader: Some(reader),
+            deadline: DEFAULT_OP_DEADLINE,
+            poisoned: false,
             cycle: 0,
             unsynced: 0,
             _dir: self.dir_handle(),
@@ -113,40 +200,106 @@ impl AotSim {
 impl Drop for AotSession {
     fn drop(&mut self) {
         // Closing stdin ends the server's command loop; reap the child
-        // so no zombie outlives the session.
+        // so no zombie outlives the session. A poisoned child gets no
+        // goodbye — it may be wedged and would never exit on its own.
         drop(self.stdin.take());
+        if self.poisoned {
+            let _ = self.child.kill();
+        }
         let _ = self.child.wait();
+        // The child's stdout is closed now, so the reader thread sees
+        // EOF and exits promptly.
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
     }
 }
 
 impl AotSession {
-    fn writer(&mut self) -> Result<&mut ChildStdin, GsimError> {
-        self.stdin
-            .as_mut()
-            .ok_or_else(|| GsimError::Io("server stdin closed".into()))
+    /// Overrides the per-operation response deadline (default
+    /// [`DEFAULT_OP_DEADLINE`]). Chaos tests shorten it to surface
+    /// injected stalls quickly.
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline;
+    }
+
+    /// The compiled simulator's process id (for tests that kill the
+    /// child out from under the session).
+    pub fn child_id(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Poisons the session and classifies the transport failure: if
+    /// the child is observably dead (`try_wait`), the error carries
+    /// its exit status.
+    fn lost(&mut self, context: &str) -> GsimError {
+        self.poisoned = true;
+        match self.child.try_wait() {
+            Ok(Some(status)) => {
+                GsimError::SessionLost(format!("compiled simulator exited ({status}); {context}"))
+            }
+            _ => GsimError::SessionLost(context.to_string()),
+        }
+    }
+
+    /// Fail-fast gate plus a cheap liveness probe, run on every fence
+    /// and query turn: a child that died since the last turn is
+    /// reported as [`GsimError::SessionLost`] before any pipe traffic.
+    fn check_alive(&mut self) -> Result<(), GsimError> {
+        if self.poisoned {
+            return Err(GsimError::SessionLost(
+                "session poisoned by an earlier transport failure".into(),
+            ));
+        }
+        if let Ok(Some(status)) = self.child.try_wait() {
+            self.poisoned = true;
+            return Err(GsimError::SessionLost(format!(
+                "compiled simulator exited ({status})"
+            )));
+        }
+        Ok(())
     }
 
     fn send(&mut self, line: &str) -> Result<(), GsimError> {
-        let w = self.writer()?;
-        writeln!(w, "{line}").map_err(|e| GsimError::Io(format!("server write: {e}")))
+        if self.poisoned {
+            return Err(GsimError::SessionLost(
+                "session poisoned by an earlier transport failure".into(),
+            ));
+        }
+        let Some(w) = self.stdin.as_mut() else {
+            return Err(GsimError::Io("server stdin closed".into()));
+        };
+        match writeln!(w, "{line}") {
+            Ok(()) => Ok(()),
+            // A write failure almost always means the child is gone
+            // (EPIPE); classify it with the exit status.
+            Err(e) => Err(self.lost(&format!("server write: {e}"))),
+        }
     }
 
     fn flush(&mut self) -> Result<(), GsimError> {
-        self.writer()?
-            .flush()
-            .map_err(|e| GsimError::Io(format!("server flush: {e}")))
+        let Some(w) = self.stdin.as_mut() else {
+            return Err(GsimError::Io("server stdin closed".into()));
+        };
+        match w.flush() {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.lost(&format!("server flush: {e}"))),
+        }
     }
 
     fn read_line(&mut self) -> Result<String, GsimError> {
-        let mut line = String::new();
-        let n = self
-            .stdout
-            .read_line(&mut line)
-            .map_err(|e| GsimError::Io(format!("server read: {e}")))?;
-        if n == 0 {
-            return Err(GsimError::Io("server process exited".into()));
+        match self.lines.recv_timeout(self.deadline) {
+            Ok(Ok(line)) => Ok(line),
+            Ok(Err(e)) => Err(self.lost(&format!("server read: {e}"))),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.lost("server closed its output")),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.poisoned = true;
+                Err(GsimError::Timeout(format!(
+                    "no response from the compiled simulator within {:?} (cycle {})",
+                    self.deadline, self.cycle
+                )))
+            }
         }
-        Ok(line.trim_end().to_string())
     }
 
     /// Fences the pipeline: sends `sync`, then drains queued `err`
@@ -154,6 +307,7 @@ impl AotSession {
     /// first queued error if any, else the server's cycle count —
     /// which also resynchronizes the local mirror after `restore`.
     fn sync(&mut self) -> Result<u64, GsimError> {
+        self.check_alive()?;
         self.send("sync")?;
         self.flush()?;
         self.unsynced = 0;
@@ -179,6 +333,7 @@ impl AotSession {
     /// One query round trip (the stream must be fenced, which every
     /// public method maintains as an invariant).
     fn query(&mut self, req: &str) -> Result<String, GsimError> {
+        self.check_alive()?;
         self.send(req)?;
         self.flush()?;
         let line = self.read_line()?;
@@ -389,5 +544,23 @@ impl Session for AotSession {
                 }
             })
             .collect()
+    }
+
+    fn export_state(&mut self) -> Result<Option<Vec<u8>>, GsimError> {
+        let line = self.query("state")?;
+        let mut it = line.split_whitespace();
+        let (Some("state"), Some(_cycle), Some(blob)) = (it.next(), it.next(), it.next()) else {
+            return Err(GsimError::Protocol(format!("bad state response: {line}")));
+        };
+        Ok(Some(blob.as_bytes().to_vec()))
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> Result<(), GsimError> {
+        let blob = std::str::from_utf8(state)
+            .map_err(|_| GsimError::Protocol("state blob is not ASCII".into()))?;
+        self.send(&format!("loadstate {blob}"))?;
+        // The fence surfaces a rejected blob and resynchronizes
+        // `cycle()` with the imported state.
+        self.sync().map(|_| ())
     }
 }

@@ -3,9 +3,9 @@
 //! corruption and eviction, and a deduplicated concurrent cold start.
 //! All tests are skipped (with a note) on hosts without `rustc`.
 
-use gsim_codegen::{rustc_available, AotOptions, ArtifactCache, ArtifactKey};
+use gsim_codegen::{rustc_available, AotError, AotOptions, ArtifactCache, ArtifactKey};
 use gsim_graph::Graph;
-use gsim_sim::Session;
+use gsim_sim::{FaultPlan, Session};
 
 const COUNTER: &str = r#"
 circuit Counter :
@@ -190,5 +190,126 @@ fn concurrent_cold_start_dedups_to_one_rustc() {
     let s = cache.stats();
     assert_eq!(s.compiles, 1, "one rustc for {clients} concurrent requests");
     assert_eq!(s.hits + s.misses, clients, "every request counted");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Names of everything under the cache root (entries, tmp dirs,
+/// leftovers of any kind) — the no-half-entry assertions read this.
+fn root_contents(root: &std::path::Path) -> Vec<String> {
+    match std::fs::read_dir(root) {
+        Ok(read) => read
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// A publish that dies of a full disk (injected before anything is
+/// written) fails with a clean typed error and leaves *nothing*
+/// behind — no half-entry, no stranded tmp dir. Clearing the fault
+/// makes the same cache compile normally. The failure path needs no
+/// `rustc` (the fault fires before the compiler would run).
+#[test]
+fn disk_full_publish_fails_cleanly_with_no_half_entry() {
+    let root = fresh_root("diskfull");
+    let mut cache = ArtifactCache::new(&root, 4).unwrap();
+    cache.set_faults(FaultPlan {
+        publish_io_error: true,
+        ..FaultPlan::default()
+    });
+    let graph = graph_of(COUNTER);
+
+    let err = cache
+        .compile(&graph, &AotOptions::default())
+        .expect_err("injected disk-full must fail the publish");
+    assert!(matches!(err, AotError::Io(_)), "typed I/O error: {err}");
+    assert_eq!(
+        root_contents(&root),
+        Vec::<String>::new(),
+        "a failed publish leaves no half-entry and no tmp leftovers"
+    );
+
+    // The cache itself is not poisoned: with the fault cleared, the
+    // same handle publishes normally.
+    cache.set_faults(FaultPlan::default());
+    if rustc_available() {
+        let sim = cache.compile(&graph, &AotOptions::default()).unwrap();
+        assert!(!sim.from_cache);
+        assert_eq!(run_counter(&sim, 20), 19);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A torn publish (binary truncated *after* the `ok` marker recorded
+/// the full size) must read as absent to every later open — here under
+/// 8-thread concurrent load on a fresh cache, which dedups the repair
+/// to exactly one recompile and serves everyone a working binary.
+#[test]
+fn torn_publish_is_detected_under_concurrent_load() {
+    if !rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let root = fresh_root("torn");
+    let graph = graph_of(COUNTER);
+    {
+        let mut torn = ArtifactCache::new(&root, 4).unwrap();
+        torn.set_faults(FaultPlan {
+            torn_publish: true,
+            ..FaultPlan::default()
+        });
+        let _ = torn.compile(&graph, &AotOptions::default()).unwrap();
+    }
+
+    let cache = ArtifactCache::new(&root, 4).unwrap();
+    let clients = 8;
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let sim = cache.compile(&graph, &AotOptions::default()).unwrap();
+                assert_eq!(run_counter(&sim, 20), 19, "repaired artifact runs");
+            });
+        }
+    });
+    let s = cache.stats();
+    assert_eq!(s.compiles, 1, "one repair for {clients} concurrent opens");
+    assert_eq!(s.hits + s.misses, clients, "every open counted");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Eviction racing an in-flight session: a capacity-1 cache evicts
+/// design A's entry while a session on A is still running. The live
+/// session keeps working (the child holds the binary's inode), and a
+/// later open of A recompiles transparently.
+#[test]
+fn eviction_does_not_break_an_inflight_session() {
+    if !rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let root = fresh_root("evict_race");
+    let cache = ArtifactCache::new(&root, 1).unwrap();
+    let a = graph_of(COUNTER);
+    let b = graph_of(COUNTER_BY_3);
+
+    let sim_a = cache.compile(&a, &AotOptions::default()).unwrap();
+    let mut live = sim_a.session().expect("session on A");
+    live.poke_u64("reset", 0).unwrap();
+    live.poke_u64("en", 1).unwrap();
+    live.step(10).unwrap();
+
+    // Evict A's entry out from under the running session.
+    let _ = cache.compile(&b, &AotOptions::default()).unwrap();
+    assert_eq!(cache.stats().evictions, 1, "capacity 1 evicted A");
+
+    // The in-flight session is unaffected by the eviction.
+    live.step(10).unwrap();
+    assert_eq!(live.peek("out").unwrap().to_u64().unwrap(), 19);
+    drop(live);
+
+    // A's next open sees the entry gone and recompiles.
+    let back = cache.compile(&a, &AotOptions::default()).unwrap();
+    assert!(!back.from_cache, "evicted design must recompile");
+    assert_eq!(run_counter(&back, 20), 19);
     let _ = std::fs::remove_dir_all(&root);
 }

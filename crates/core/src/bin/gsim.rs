@@ -306,6 +306,7 @@ fn cmd_serve(args: &[String]) {
     let mut cache_capacity: Option<usize> = None;
     let mut max_sessions: Option<usize> = None;
     let mut idle_timeout: Option<u64> = None;
+    let mut faults: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -314,6 +315,7 @@ fn cmd_serve(args: &[String]) {
             "--cache-capacity" => cache_capacity = Some(parse(it.next(), "--cache-capacity")),
             "--max-sessions" => max_sessions = Some(parse(it.next(), "--max-sessions")),
             "--idle-timeout" => idle_timeout = Some(parse(it.next(), "--idle-timeout")),
+            "--faults" => faults = it.next().cloned(),
             other => die(&format!("unknown serve flag {other}")),
         }
     }
@@ -329,6 +331,14 @@ fn cmd_serve(args: &[String]) {
     if let Some(secs) = idle_timeout {
         cfg.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
     }
+    // Chaos harnesses inject deterministic faults via --faults or the
+    // GSIM_FAULT environment variable (flag wins when both are set).
+    cfg.faults = match faults {
+        Some(spec) => {
+            gsim::FaultPlan::parse(&spec).unwrap_or_else(|e| die(&format!("--faults: {e}")))
+        }
+        None => gsim::FaultPlan::from_env(),
+    };
     let server = Server::start(cfg).unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
     // Parseable readiness line (tests/scripts wait for it).
     println!("listening {}", server.endpoint());
@@ -360,8 +370,11 @@ fn cmd_client(args: &[String]) {
     }
     let socket = socket.unwrap_or_else(|| die("client needs --socket <endpoint>"));
     let ep = Endpoint::parse(&socket);
+    // Bounded reconnect-with-backoff: rides out a service that is
+    // still binding its socket (scripts start `serve` concurrently).
     let mut session =
-        ClientSession::connect(&ep).unwrap_or_else(|e| die(&format!("cannot connect: {e}")));
+        ClientSession::connect_with_retry(&ep, 5, std::time::Duration::from_millis(50))
+            .unwrap_or_else(|e| die(&format!("cannot connect: {e}")));
     if let Some(path) = input {
         let src = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
@@ -421,7 +434,7 @@ fn usage() {
          [--no-fuse] [--no-layout] [--no-threaded] [--cycles N] \
          [--emit-cpp out.cc] [--emit-rust out.rs]\n\
          gsim serve --socket <ep> --cache-dir <dir> [--cache-capacity N] \
-         [--max-sessions N] [--idle-timeout SECS]\n\
+         [--max-sessions N] [--idle-timeout SECS] [--faults SPEC]\n\
          gsim client <design.fir> --socket <ep> [--backend aot|interp|jit] \
          [--cycles N] [--stats] [--shutdown]"
     );

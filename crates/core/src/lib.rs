@@ -51,8 +51,9 @@ pub use gsim_graph::Graph;
 pub use gsim_passes::{PassOptions, PassStats};
 pub use gsim_server::{ClientSession, Endpoint, Server, ServerConfig, ServiceStats};
 pub use gsim_sim::{
-    Counters, EngineKind, FusionStats, GsimError, InputFrame, InputHandle, Session, SessionFrame,
-    SimOptions, Simulator, SnapshotId,
+    Counters, EngineKind, FaultPlan, FusionStats, GsimError, InputFrame, InputHandle,
+    RecoveryStats, Session, SessionFactory, SessionFrame, SimOptions, Simulator, SnapshotId,
+    SuperviseOptions, SupervisedSession,
 };
 
 use gsim_partition::{Algorithm, PartitionOptions};

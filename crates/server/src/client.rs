@@ -26,8 +26,10 @@ const SYNC_CHUNK: u64 = 128;
 pub struct DesignInfo {
     /// Content-addressed artifact key (32 hex digits).
     pub key: String,
-    /// `"hit"` (cached binary reused), `"miss"` (compiled now), or
-    /// `"interp"` (interpreter backend — no artifact).
+    /// `"hit"` (cached binary reused), `"miss"` (compiled now),
+    /// `"interp"` / `"jit"` (in-process backends — no artifact), or
+    /// `"fallback"` (an `aot` request whose compile failed, served on
+    /// the in-process `jit` backend instead of refused).
     pub status: String,
     /// Server-side milliseconds from request to ready.
     pub ready_ms: u64,
@@ -58,6 +60,34 @@ impl ClientSession {
             cycle: 0,
             unsynced: 0,
         })
+    }
+
+    /// Connects with bounded retry: up to `attempts` tries, sleeping
+    /// `backoff` before the second and doubling it each further try.
+    /// Rides out a service that is still binding its socket (or
+    /// briefly restarting) without hammering it.
+    ///
+    /// # Errors
+    ///
+    /// The *last* attempt's socket error once the budget is spent.
+    pub fn connect_with_retry(
+        ep: &Endpoint,
+        attempts: u32,
+        backoff: std::time::Duration,
+    ) -> std::io::Result<ClientSession> {
+        let mut wait = backoff;
+        let mut last = None;
+        for tried in 0..attempts.max(1) {
+            if tried > 0 {
+                std::thread::sleep(wait);
+                wait *= 2;
+            }
+            match ClientSession::connect(ep) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("no connection attempts made")))
     }
 
     /// Sends FIRRTL source and binds this session to the compiled
@@ -353,6 +383,29 @@ impl Session for ClientSession {
     fn signals(&mut self) -> Result<Vec<SignalInfo>, GsimError> {
         let payload = self.list_line("signals")?;
         Self::parse_signal_list(&payload)
+    }
+
+    fn export_state(&mut self) -> Result<Option<Vec<u8>>, GsimError> {
+        let line = match self.query("state") {
+            // The server signals a non-exporting backend with a
+            // `config` error; the trait contract for that is `None`.
+            Err(GsimError::Config(_)) => return Ok(None),
+            other => other?,
+        };
+        let mut it = line.split_whitespace();
+        let (Some("state"), Some(_cycle), Some(blob)) = (it.next(), it.next(), it.next()) else {
+            return Err(GsimError::Protocol(format!("bad state response: {line}")));
+        };
+        Ok(Some(blob.as_bytes().to_vec()))
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> Result<(), GsimError> {
+        let blob = std::str::from_utf8(state)
+            .map_err(|_| GsimError::Protocol("state blob is not ASCII".into()))?;
+        self.send(&format!("loadstate {blob}"))?;
+        // The fence surfaces a rejected blob and resynchronizes the
+        // local cycle mirror with the imported state's cycle count.
+        self.sync().map(|_| ())
     }
 
     fn memories(&mut self) -> Result<Vec<MemoryInfo>, GsimError> {

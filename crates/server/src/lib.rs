@@ -15,10 +15,22 @@
 //!   runs once per distinct design, not once per client; `jit` is the
 //!   in-process threaded-code backend, no `rustc` involved) and binds
 //!   the session to it. Response:
-//!   `ready <key> <hit|miss|interp|jit> <ms>`.
+//!   `ready <key> <hit|miss|interp|jit|fallback> <ms>` — `fallback`
+//!   means an `aot` request whose compile failed was degraded to the
+//!   in-process `jit` backend instead of being refused.
 //! * `stats` — service counters:
-//!   `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n>`.
+//!   `stats sessions <n> active <n> hits <n> misses <n> compiles <n>
+//!   evictions <n> panics <n> fallbacks <n>`.
 //! * `shutdown` — stops the whole server (test/admin facility).
+//!
+//! Fault tolerance: every session thread runs inside a
+//! `catch_unwind` boundary (a panicking session answers
+//! `err backend …` and frees its pool slot; the server keeps
+//! serving, counting the event in `stats … panics`), and AoT
+//! sessions are wrapped in a [`gsim_sim::SupervisedSession`] whose
+//! factory recompiles through the artifact cache — a dead child
+//! process is respawned (even past an eviction) and replayed to the
+//! exact pre-crash state.
 //!
 //! After `design`, every simulation command (`poke`, `step`, `peek`,
 //! `list`, `sync`, …) behaves exactly as on a local session: the

@@ -6,11 +6,11 @@
 //! emitted binary runs in `--serve` mode.
 //!
 //! Semantics (documented in full on [`gsim_sim::Session`]): mutating
-//! commands (`poke`, `load`, `step`, `restore`) are silent on success
-//! and *queue* their errors; `sync` drains the queue (in command
-//! order) and answers `ok <cycle>`; queries (`peek`, `counters`,
-//! `snapshot`, `list`) answer exactly one request each — `list` with
-//! its fixed three lines.
+//! commands (`poke`, `load`, `step`, `restore`, `loadstate`) are
+//! silent on success and *queue* their errors; `sync` drains the
+//! queue (in command order) and answers `ok <cycle>`; queries
+//! (`peek`, `counters`, `snapshot`, `state`, `list`) answer exactly
+//! one request each — `list` with its fixed three lines.
 
 use gsim_sim::{GsimError, Session};
 use gsim_value::Value;
@@ -153,6 +153,29 @@ impl SessionProto {
                     Err(e) => writeln!(out, "{}", e.to_wire())?,
                 }
                 out.flush()?;
+            }
+            Some("state") => {
+                match sess.export_state() {
+                    Ok(Some(blob)) => writeln!(
+                        out,
+                        "state {} {}",
+                        sess.cycle(),
+                        String::from_utf8_lossy(&blob)
+                    )?,
+                    Ok(None) => writeln!(
+                        out,
+                        "{}",
+                        GsimError::Config("this backend does not export state".into()).to_wire()
+                    )?,
+                    Err(e) => writeln!(out, "{}", e.to_wire())?,
+                }
+                out.flush()?;
+            }
+            Some("loadstate") => {
+                let blob = it.next().unwrap_or("");
+                if let Err(e) = sess.import_state(blob.as_bytes()) {
+                    self.queued.push(e.to_wire());
+                }
             }
             Some("list") => {
                 match (sess.inputs(), sess.signals(), sess.memories()) {

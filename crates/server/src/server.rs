@@ -19,7 +19,10 @@
 use crate::net::{Endpoint, Listener, Stream};
 use crate::proto::{Flow, SessionProto};
 use gsim_codegen::{AotOptions, ArtifactCache, ArtifactKey, CacheStats};
-use gsim_sim::{GsimError, Session, SimOptions, Simulator};
+use gsim_sim::{
+    FaultPlan, GsimError, Session, SessionFactory, SimOptions, Simulator, SuperviseOptions,
+    SupervisedSession,
+};
 use std::collections::HashMap;
 use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::path::PathBuf;
@@ -43,6 +46,14 @@ pub struct ServerConfig {
     /// Per-session idle bound: a connection with no traffic for this
     /// long is closed (`None` = unbounded).
     pub idle_timeout: Option<Duration>,
+    /// Deterministic fault injection for the chaos suite (empty in
+    /// production). Honoured by the artifact cache (publish faults),
+    /// the session loop (`reset_session_at_cmd`,
+    /// `panic_session_at_cmd`, `short_writes`), and the AoT child
+    /// processes (`kill_child_at_cycle` / `stall_child_at_cycle`,
+    /// first spawn only — respawns come up clean so recovery can
+    /// succeed).
+    pub faults: FaultPlan,
 }
 
 impl ServerConfig {
@@ -54,6 +65,7 @@ impl ServerConfig {
             cache_capacity: ArtifactCache::DEFAULT_CAPACITY,
             max_sessions: 64,
             idle_timeout: Some(Duration::from_secs(300)),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -65,6 +77,12 @@ pub struct ServiceStats {
     pub sessions: u64,
     /// Currently connected sessions.
     pub active: u64,
+    /// Session threads that panicked (caught at the `catch_unwind`
+    /// boundary; the server keeps serving).
+    pub panics: u64,
+    /// AoT `design` requests degraded to the in-process `jit` backend
+    /// because the compile failed.
+    pub fallbacks: u64,
     /// Artifact-cache counters.
     pub cache: CacheStats,
 }
@@ -73,13 +91,15 @@ impl ServiceStats {
     /// Renders the `stats …` wire line.
     pub fn render_wire(&self) -> String {
         format!(
-            "stats sessions {} active {} hits {} misses {} compiles {} evictions {}",
+            "stats sessions {} active {} hits {} misses {} compiles {} evictions {} panics {} fallbacks {}",
             self.sessions,
             self.active,
             self.cache.hits,
             self.cache.misses,
             self.cache.compiles,
-            self.cache.evictions
+            self.cache.evictions,
+            self.panics,
+            self.fallbacks
         )
     }
 
@@ -103,6 +123,8 @@ impl ServiceStats {
                 compiles: field("compiles")?,
                 evictions: field("evictions")?,
             },
+            panics: field("panics")?,
+            fallbacks: field("fallbacks")?,
         })
     }
 }
@@ -117,6 +139,8 @@ struct Shared {
     stop: AtomicBool,
     sessions_total: AtomicU64,
     active: AtomicU64,
+    panics: AtomicU64,
+    fallbacks: AtomicU64,
     next_id: AtomicU64,
     /// The session pool's roster: a writer clone per live connection,
     /// so shutdown can unblock every parked read.
@@ -128,6 +152,8 @@ impl Shared {
         ServiceStats {
             sessions: self.sessions_total.load(Ordering::Relaxed),
             active: self.active.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
     }
@@ -162,8 +188,9 @@ impl Server {
     ///
     /// Returns the bind / cache-directory error.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
-        let cache = ArtifactCache::new(&cfg.cache_dir, cfg.cache_capacity)
+        let mut cache = ArtifactCache::new(&cfg.cache_dir, cfg.cache_capacity)
             .map_err(|e| std::io::Error::other(e.to_string()))?;
+        cache.set_faults(cfg.faults.clone());
         let (listener, endpoint) = Listener::bind(&cfg.endpoint)?;
         let shared = Arc::new(Shared {
             cache,
@@ -172,6 +199,8 @@ impl Server {
             stop: AtomicBool::new(false),
             sessions_total: AtomicU64::new(0),
             active: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
             registry: Mutex::new(HashMap::new()),
         });
@@ -269,7 +298,28 @@ fn serve_connection(shared: &Arc<Shared>, stream: Stream, id: u64) {
 
     let scratch = shared.cfg.cache_dir.join("scratch").join(id.to_string());
     let _ = std::fs::create_dir_all(&scratch);
-    let result = session_loop(shared, stream, &scratch);
+
+    // The protocol loop runs inside a `catch_unwind` boundary: a bug
+    // (or an injected `panic_session_at_cmd`) in one session thread
+    // must not take the process — and with it every other tenant —
+    // down. The client is told with a typed `err backend` line on the
+    // registry's writer clone; the pool slot is reclaimed below either
+    // way.
+    let panic_writer = stream.try_clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        session_loop(shared, stream, &scratch)
+    }));
+    if result.is_err() {
+        shared.panics.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut w) = panic_writer {
+            let _ = writeln!(
+                w,
+                "{}",
+                GsimError::Backend("session thread panicked".into()).to_wire()
+            );
+            let _ = w.flush();
+        }
+    }
 
     // Cleanup is unconditional: pool slot, roster entry, scratch dir.
     shared.active.fetch_sub(1, Ordering::SeqCst);
@@ -282,15 +332,42 @@ fn serve_connection(shared: &Arc<Shared>, stream: Stream, id: u64) {
     let _ = result;
 }
 
+/// The session loop's write half, with the `short_writes` fault
+/// applied: one byte per `write` call, so chaos tests prove every
+/// client reassembles arbitrarily fragmented wire lines.
+struct SessionWriter {
+    stream: Stream,
+    short: bool,
+}
+
+impl std::io::Write for SessionWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.short && !buf.is_empty() {
+            self.stream.write(&buf[..1])
+        } else {
+            self.stream.write(buf)
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
 fn session_loop(
     shared: &Arc<Shared>,
     stream: Stream,
     scratch: &std::path::Path,
 ) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
+    let faults = shared.cfg.faults.clone();
+    let mut writer = SessionWriter {
+        stream: stream.try_clone()?,
+        short: faults.short_writes,
+    };
     let mut reader = BufReader::new(stream);
     let mut proto = SessionProto::new();
     let mut session: Option<Box<dyn Session>> = None;
+    let mut cmds: u64 = 0;
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -316,6 +393,17 @@ fn session_loop(
             Err(e) => return Err(e),
         }
         let line = line.trim_end();
+        if !line.is_empty() {
+            cmds += 1;
+            if faults.reset_session_at_cmd == Some(cmds) {
+                // Injected connection reset: drop both stream halves
+                // without a farewell, like a yanked network cable.
+                return Ok(());
+            }
+            if faults.panic_session_at_cmd == Some(cmds) {
+                panic!("injected fault: session panic at command {cmds}");
+            }
+        }
         let mut it = line.split_whitespace();
         match it.next() {
             Some("design") => {
@@ -376,8 +464,15 @@ fn session_loop(
 /// Compiles FIRRTL source into a session: through the artifact cache
 /// for the AoT backend (the child process runs in the per-session
 /// scratch directory), in-process for the interpreter.
+///
+/// The AoT path is fault-tolerant on both axes: the session is
+/// wrapped in a [`SupervisedSession`] whose factory recompiles
+/// through the cache (so a dead child respawns even after its
+/// artifact was evicted), and a failed compile degrades to the
+/// in-process `jit` backend with status `"fallback"` instead of
+/// refusing the design.
 fn open_design(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     src: &str,
     backend: &str,
     scratch: &std::path::Path,
@@ -401,12 +496,57 @@ fn open_design(
             Ok((Box::new(sim), key, "jit"))
         }
         "aot" => {
-            let opts = AotOptions::default();
-            let sim = shared.cache.compile(&optimized, &opts)?;
-            let status = if sim.from_cache { "hit" } else { "miss" };
-            let key = ArtifactKey::fingerprint(&sim.emit.code).to_string();
-            let sess = sim.session_in(Some(scratch))?;
-            Ok((Box::new(sess), key, status))
+            // The factory compiles *inside* the supervisor so a
+            // respawn after artifact eviction transparently rebuilds;
+            // it reports key/status out through `info` so the initial
+            // spawn is not double-compiled just to learn them. Child
+            // faults apply to the first spawn only: a respawned child
+            // that re-inherited `kill_child_at_cycle` would die again
+            // and again until the recovery budget ran out.
+            let info: Arc<Mutex<Option<(String, bool)>>> = Arc::new(Mutex::new(None));
+            let factory_info = Arc::clone(&info);
+            let factory_shared = Arc::clone(shared);
+            let factory_graph = optimized.clone();
+            let factory_scratch = scratch.to_path_buf();
+            let mut first_spawn = true;
+            let factory: SessionFactory = Box::new(move || {
+                let sim = factory_shared
+                    .cache
+                    .compile(&factory_graph, &AotOptions::default())?;
+                if let Ok(mut slot) = factory_info.lock() {
+                    *slot = Some((
+                        ArtifactKey::fingerprint(&sim.emit.code).to_string(),
+                        sim.from_cache,
+                    ));
+                }
+                let plan = if first_spawn {
+                    factory_shared.cfg.faults.clone()
+                } else {
+                    FaultPlan::default()
+                };
+                first_spawn = false;
+                let sess = sim.session_with(Some(&factory_scratch), &plan)?;
+                Ok(Box::new(sess) as Box<dyn Session>)
+            });
+            match SupervisedSession::new(factory, SuperviseOptions::default()) {
+                Ok(sup) => {
+                    let (key, from_cache) = info
+                        .lock()
+                        .ok()
+                        .and_then(|slot| slot.clone())
+                        .unwrap_or_else(|| (ArtifactKey::fingerprint(src).to_string(), false));
+                    let status = if from_cache { "hit" } else { "miss" };
+                    Ok((Box::new(sup), key, status))
+                }
+                Err(_) => {
+                    // Graceful degradation: serve the design anyway on
+                    // the in-process threaded-code backend and say so.
+                    shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    let sim = Simulator::compile(&optimized, &SimOptions::threaded())?;
+                    let key = ArtifactKey::fingerprint(src).to_string();
+                    Ok((Box::new(sim), key, "fallback"))
+                }
+            }
         }
         other => Err(GsimError::Config(format!(
             "unknown backend {other:?} (expected aot, interp, or jit)"

@@ -1,0 +1,219 @@
+//! Deterministic fault injection for the chaos test suite.
+//!
+//! A [`FaultPlan`] names the exact failures to inject into a run —
+//! kill the AoT child after cycle N, tear a cache publish, reset a
+//! service socket at the Kth command — with **no wall-clock
+//! randomness**: every knob is keyed to a deterministic count
+//! (cycles executed, commands received), so a chaos test that passes
+//! once passes always and a failure reproduces under `--nocapture`
+//! with the same plan string.
+//!
+//! Plans travel as compact comma-separated specs
+//! (`kill_child_at_cycle=40,torn_publish`) so they fit in an
+//! environment variable (`GSIM_FAULT`), a CLI flag, or a config
+//! field. The components that honour a plan are:
+//!
+//! * the emitted AoT simulator (`GSIM_CHILD_FAULT`, derived via
+//!   [`FaultPlan::child_env`]): `kill_child_at_cycle` aborts the
+//!   process after that cycle, `stall_child_at_cycle` stops
+//!   responding without exiting (exercising the deadline path);
+//! * the artifact cache: `torn_publish` truncates the compiled
+//!   binary after its `ok` marker is written (a torn write the
+//!   next `probe` must detect), `publish_io_error` makes the tmp
+//!   write fail (disk-full) without leaving a half-entry;
+//! * the service: `reset_session_at_cmd` hard-drops a connection at
+//!   the Nth command, `panic_session_at_cmd` panics the session
+//!   thread there (exercising `catch_unwind`), `short_writes`
+//!   delivers every wire write one byte at a time.
+
+/// A deterministic set of faults to inject into one run.
+///
+/// The default plan is empty (no faults). Tests construct plans
+/// directly or via [`FaultPlan::parse`]; services read one from the
+/// environment with [`FaultPlan::from_env`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Abort the compiled AoT child process after it completes this
+    /// simulation cycle (a deterministic stand-in for `kill -9` /
+    /// OOM-kill mid-run).
+    pub kill_child_at_cycle: Option<u64>,
+    /// Make the AoT child stop responding (without exiting) after
+    /// this cycle, so drivers hit their per-operation deadline.
+    pub stall_child_at_cycle: Option<u64>,
+    /// Truncate the compiled binary after the cache entry's `ok`
+    /// marker is written — a torn publish the next open must detect.
+    pub torn_publish: bool,
+    /// Fail the cache's tmp-dir write as if the disk were full; the
+    /// publish must error cleanly and leave no half-entry behind.
+    pub publish_io_error: bool,
+    /// Deliver every service wire write one byte at a time (short
+    /// writes a correct reader must reassemble).
+    pub short_writes: bool,
+    /// Hard-drop the service connection when the session receives
+    /// its Nth command (1-based).
+    pub reset_session_at_cmd: Option<u64>,
+    /// Panic the service session thread when it receives its Nth
+    /// command (1-based) — exercises the `catch_unwind` boundary.
+    pub panic_session_at_cmd: Option<u64>,
+}
+
+impl FaultPlan {
+    /// `true` if this plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Parses a compact spec: comma-separated `knob=value` pairs (for
+    /// counted faults) and bare flags (for boolean ones), e.g.
+    /// `kill_child_at_cycle=40,torn_publish,short_writes`. The empty
+    /// string is the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first unknown knob or unparsable value.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (part, None),
+            };
+            let counted = |v: Option<&str>| -> Result<Option<u64>, String> {
+                let v = v.ok_or_else(|| format!("fault knob {key} needs =<count>"))?;
+                v.parse()
+                    .map(Some)
+                    .map_err(|_| format!("fault knob {key}: bad count {v:?}"))
+            };
+            let flag = |v: Option<&str>| -> Result<bool, String> {
+                match v {
+                    None | Some("1") | Some("true") => Ok(true),
+                    Some("0") | Some("false") => Ok(false),
+                    Some(other) => Err(format!("fault knob {key}: bad flag {other:?}")),
+                }
+            };
+            match key {
+                "kill_child_at_cycle" => plan.kill_child_at_cycle = counted(value)?,
+                "stall_child_at_cycle" => plan.stall_child_at_cycle = counted(value)?,
+                "reset_session_at_cmd" => plan.reset_session_at_cmd = counted(value)?,
+                "panic_session_at_cmd" => plan.panic_session_at_cmd = counted(value)?,
+                "torn_publish" => plan.torn_publish = flag(value)?,
+                "publish_io_error" => plan.publish_io_error = flag(value)?,
+                "short_writes" => plan.short_writes = flag(value)?,
+                other => return Err(format!("unknown fault knob {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan named by the `GSIM_FAULT` environment variable, or the
+    /// empty plan if unset. An unparsable spec is an immediate panic —
+    /// a chaos run with a typo'd plan must not silently test nothing.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("GSIM_FAULT") {
+            Ok(spec) => match FaultPlan::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => panic!("GSIM_FAULT: {e}"),
+            },
+            Err(_) => FaultPlan::default(),
+        }
+    }
+
+    /// Renders the child-process slice of this plan as the value of
+    /// the `GSIM_CHILD_FAULT` environment variable the emitted AoT
+    /// simulator understands (`exit_at_cycle=N` / `stall_at_cycle=N`),
+    /// or `None` if no child fault is planned. Spawners that pass
+    /// `None` must *remove* the variable so a respawned child does not
+    /// inherit the fault and die again.
+    pub fn child_env(&self) -> Option<String> {
+        let mut parts = Vec::new();
+        if let Some(n) = self.kill_child_at_cycle {
+            parts.push(format!("exit_at_cycle={n}"));
+        }
+        if let Some(n) = self.stall_child_at_cycle {
+            parts.push(format!("stall_at_cycle={n}"));
+        }
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join(","))
+        }
+    }
+
+    /// Renders the plan back into the spec grammar [`FaultPlan::parse`]
+    /// accepts (round-trips exactly; the empty plan renders as `""`).
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.kill_child_at_cycle {
+            parts.push(format!("kill_child_at_cycle={n}"));
+        }
+        if let Some(n) = self.stall_child_at_cycle {
+            parts.push(format!("stall_child_at_cycle={n}"));
+        }
+        if self.torn_publish {
+            parts.push("torn_publish".into());
+        }
+        if self.publish_io_error {
+            parts.push("publish_io_error".into());
+        }
+        if self.short_writes {
+            parts.push("short_writes".into());
+        }
+        if let Some(n) = self.reset_session_at_cmd {
+            parts.push(format!("reset_session_at_cmd={n}"));
+        }
+        if let Some(n) = self.panic_session_at_cmd {
+            parts.push(format!("panic_session_at_cmd={n}"));
+        }
+        parts.join(",")
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "(no faults)")
+        } else {
+            write!(f, "{}", self.render())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FaultPlan;
+
+    #[test]
+    fn parse_render_round_trip() {
+        let specs = [
+            "",
+            "kill_child_at_cycle=40",
+            "stall_child_at_cycle=8,short_writes",
+            "torn_publish,publish_io_error,reset_session_at_cmd=5,panic_session_at_cmd=3",
+        ];
+        for spec in specs {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan, "{spec}");
+        }
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn child_env_covers_only_child_faults() {
+        let plan = FaultPlan::parse("kill_child_at_cycle=7,torn_publish").unwrap();
+        assert_eq!(plan.child_env().as_deref(), Some("exit_at_cycle=7"));
+        assert_eq!(FaultPlan::default().child_env(), None);
+        let both = FaultPlan::parse("kill_child_at_cycle=7,stall_child_at_cycle=9").unwrap();
+        assert_eq!(
+            both.child_env().as_deref(),
+            Some("exit_at_cycle=7,stall_at_cycle=9")
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FaultPlan::parse("warp_core_breach").is_err());
+        assert!(FaultPlan::parse("kill_child_at_cycle").is_err());
+        assert!(FaultPlan::parse("kill_child_at_cycle=soon").is_err());
+        assert!(FaultPlan::parse("torn_publish=maybe").is_err());
+    }
+}

@@ -97,16 +97,20 @@ mod counters;
 mod engine;
 mod exec;
 mod executor;
+mod fault;
 mod image;
 mod session;
 mod storage;
+mod supervise;
 mod threaded;
 
 pub use compile::FusionStats;
 pub use counters::Counters;
 pub use engine::{InputFrame, InputHandle, Simulator};
+pub use fault::FaultPlan;
 pub use session::{GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
 pub use storage::MemArena;
+pub use supervise::{RecoveryStats, SessionFactory, SuperviseOptions, SupervisedSession};
 
 use gsim_partition::PartitionOptions;
 

@@ -35,6 +35,8 @@
 //! | `list` | three lines: `inputs`, `signals`, `mems` (see below) | design introspection |
 //! | `snapshot` | `snap <id>` | saves the full simulation state |
 //! | `restore <id>` | silent / `err unknown-snapshot <id>` | rolls back to a saved state |
+//! | `state` | `state <cycle> <blob>` | exports the full simulation state as one opaque ASCII token |
+//! | `loadstate <blob>` | silent / `err protocol ...` | imports a blob from `state` (any process instance of the same artifact) |
 //! | `sync` | `ok <cycle>` | barrier: all prior commands have been applied |
 //! | `exit` | (process exits 0) | closing stdin has the same effect |
 //!
@@ -50,10 +52,19 @@
 //! reads until the `ok`: any queued `err` lines arrive first, in
 //! command order. `err` lines start with a machine-readable class
 //! (`unknown-input`, `unknown-signal`, `unknown-memory`,
-//! `mem-too-large`, `unknown-snapshot`, `protocol`, `io`, …) that maps
-//! onto the corresponding [`GsimError`] variant; the mapping is
-//! implemented once, in both directions, by [`GsimError::to_wire`] and
-//! [`GsimError::from_wire`].
+//! `mem-too-large`, `unknown-snapshot`, `protocol`, `io`, `timeout`,
+//! `session-lost`, …) that maps onto the corresponding [`GsimError`]
+//! variant; the mapping is implemented once, in both directions, by
+//! [`GsimError::to_wire`] and [`GsimError::from_wire`].
+//!
+//! `state`/`loadstate` are the crash-recovery primitives: the exported
+//! blob is a deterministic, whitespace-free serialization of every
+//! state element (signal values, register shadows, memories, the
+//! activation set, the cycle count, and the semantic counters), and
+//! importing it into a *different* process running the same compiled
+//! artifact reproduces the source simulation bit for bit. The
+//! supervisor (`SupervisedSession`) checkpoints through these
+//! commands and replays its command journal on top after a crash.
 //!
 //! # Service protocol (gsim-server)
 //!
@@ -64,9 +75,16 @@
 //!
 //! | request | response | notes |
 //! |---|---|---|
-//! | `design <nbytes> [aot\|interp\|jit]` | `ready <key> <hit\|miss\|interp\|jit> <ms>` | the next `nbytes` bytes are FIRRTL source; `aot` goes through the artifact cache, `interp`/`jit` compile in-process (`jit` = the threaded-code backend, AoT-class dispatch with no compiler in the loop) |
-//! | `stats` | `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n>` | service-level counters |
+//! | `design <nbytes> [aot\|interp\|jit]` | `ready <key> <hit\|miss\|interp\|jit\|fallback> <ms>` | the next `nbytes` bytes are FIRRTL source; `aot` goes through the artifact cache, `interp`/`jit` compile in-process (`jit` = the threaded-code backend, AoT-class dispatch with no compiler in the loop) |
+//! | `stats` | `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n> panics <n> fallbacks <n>` | service-level counters |
 //! | `shutdown` | `ok <cycle>` | stops the whole server (test/admin facility) |
+//!
+//! `ready … fallback` is graceful degradation: an `aot` request whose
+//! compile failed (rustc missing, build error, corrupt artifact) is
+//! served by the in-process `jit` backend instead of erroring the
+//! tenant; the session speaks the identical protocol. `panics` counts
+//! session threads that died to a caught panic (the tenant got a typed
+//! `err backend` line); `fallbacks` counts degraded `aot` requests.
 
 use crate::counters::Counters;
 use crate::CompileError;
@@ -118,6 +136,16 @@ pub enum GsimError {
     /// unresponsive compiled-simulator process, or an internal error a
     /// server reported without a more specific class.
     Backend(String),
+    /// A backend operation exceeded its deadline: the process or peer
+    /// is still attached but stopped responding (stalled child, wedged
+    /// socket). The session is poisoned — a supervisor should respawn
+    /// and replay rather than retry on the same transport.
+    Timeout(String),
+    /// The backend process or connection behind this session is gone:
+    /// the AoT child exited (crash, OOM-kill, `kill -9`) or the server
+    /// dropped the connection. Carries what is known about the death
+    /// (exit status, signal, or the transport error).
+    SessionLost(String),
 }
 
 impl std::fmt::Display for GsimError {
@@ -137,6 +165,8 @@ impl std::fmt::Display for GsimError {
             GsimError::Io(m) => write!(f, "i/o failure: {m}"),
             GsimError::Protocol(m) => write!(f, "protocol violation: {m}"),
             GsimError::Backend(m) => write!(f, "backend failure: {m}"),
+            GsimError::Timeout(m) => write!(f, "operation timed out: {m}"),
+            GsimError::SessionLost(m) => write!(f, "session lost: {m}"),
         }
     }
 }
@@ -163,6 +193,8 @@ impl GsimError {
             GsimError::Io(_) => "io",
             GsimError::Protocol(_) => "protocol",
             GsimError::Backend(_) => "backend",
+            GsimError::Timeout(_) => "timeout",
+            GsimError::SessionLost(_) => "session-lost",
         }
     }
 
@@ -187,6 +219,8 @@ impl GsimError {
             GsimError::Io(m) => format!("err io {m}"),
             GsimError::Protocol(m) => format!("err protocol {m}"),
             GsimError::Backend(m) => format!("err backend {m}"),
+            GsimError::Timeout(m) => format!("err timeout {m}"),
+            GsimError::SessionLost(m) => format!("err session-lost {m}"),
         }
     }
 
@@ -221,16 +255,26 @@ impl GsimError {
             "io" => GsimError::Io(payload.to_string()),
             "protocol" => GsimError::Protocol(payload.to_string()),
             "backend" => GsimError::Backend(payload.to_string()),
+            "timeout" => GsimError::Timeout(payload.to_string()),
+            "session-lost" => GsimError::SessionLost(payload.to_string()),
             _ => GsimError::Backend(format!("server error: {rest}")),
         }
     }
 
     /// `true` for errors meaning the transport or backend itself is
-    /// lost (as opposed to a bad request): [`GsimError::Io`] and
-    /// [`GsimError::Backend`]. Pipelining drivers abort on these and
-    /// keep going on everything else.
+    /// lost (as opposed to a bad request): [`GsimError::Io`],
+    /// [`GsimError::Backend`], [`GsimError::Timeout`], and
+    /// [`GsimError::SessionLost`]. Pipelining drivers abort on these
+    /// and keep going on everything else; supervisors treat them as
+    /// the trigger for respawn-and-replay recovery.
     pub fn is_fatal(&self) -> bool {
-        matches!(self, GsimError::Io(_) | GsimError::Backend(_))
+        matches!(
+            self,
+            GsimError::Io(_)
+                | GsimError::Backend(_)
+                | GsimError::Timeout(_)
+                | GsimError::SessionLost(_)
+        )
     }
 }
 
@@ -450,6 +494,47 @@ pub trait Session {
     /// As [`Session::inputs`].
     fn memories(&mut self) -> Result<Vec<MemoryInfo>, GsimError>;
 
+    /// Exports the complete simulation state as an opaque,
+    /// self-contained blob — the crash-recovery primitive behind
+    /// [`crate::SupervisedSession`]. Unlike [`Session::snapshot`]
+    /// (whose id lives and dies with the backend instance), the blob
+    /// survives the session: feeding it to [`Session::import_state`]
+    /// on a *fresh* session of the same design reproduces this
+    /// simulation bit for bit, including cycle count and counters.
+    ///
+    /// The blob is guaranteed to be a single ASCII token (no
+    /// whitespace or newlines), so it can travel on the line-oriented
+    /// wire protocols verbatim.
+    ///
+    /// Returns `Ok(None)` on backends that do not support state
+    /// externalization (the default); such sessions can still be
+    /// supervised, but recovery replays the journal from cycle 0.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Backend`] / [`GsimError::SessionLost`] if the
+    /// backend is lost.
+    fn export_state(&mut self) -> Result<Option<Vec<u8>>, GsimError> {
+        Ok(None)
+    }
+
+    /// Overwrites the complete simulation state from a blob produced
+    /// by [`Session::export_state`] on any session of the same
+    /// compiled design.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Config`] on backends without state support (the
+    /// default); [`GsimError::Protocol`] for a blob that does not
+    /// match this design; [`GsimError::Backend`] /
+    /// [`GsimError::SessionLost`] if the backend is lost.
+    fn import_state(&mut self, state: &[u8]) -> Result<(), GsimError> {
+        let _ = state;
+        Err(GsimError::Config(
+            "this backend does not support state import".into(),
+        ))
+    }
+
     /// [`Session::poke`] from a `u64`.
     ///
     /// # Errors
@@ -466,5 +551,87 @@ pub trait Session {
     /// As [`Session::peek`].
     fn peek_u64(&mut self, name: &str) -> Result<Option<u64>, GsimError> {
         Ok(self.peek(name)?.to_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::GsimError;
+    use crate::CompileError;
+
+    /// One representative of every variant — the full taxonomy.
+    fn taxonomy() -> Vec<GsimError> {
+        vec![
+            GsimError::Compile(CompileError::InvalidGraph("bad graph".into())),
+            GsimError::Parse("expected circuit".into()),
+            GsimError::Config("engine mismatch".into()),
+            GsimError::UnknownSignal("foo".into()),
+            GsimError::NotAnInput("out".into()),
+            GsimError::UnknownMemory("ram".into()),
+            GsimError::MemImageTooLarge {
+                name: "ram".into(),
+                depth: 16,
+                len: 32,
+            },
+            GsimError::UnknownSnapshot(7),
+            GsimError::Io("broken pipe".into()),
+            GsimError::Protocol("bad token".into()),
+            GsimError::Backend("rustc exploded".into()),
+            GsimError::Timeout("sync exceeded 250ms".into()),
+            GsimError::SessionLost("child exited: signal 9".into()),
+        ]
+    }
+
+    #[test]
+    fn wire_round_trip_covers_every_variant() {
+        for err in taxonomy() {
+            let line = err.to_wire();
+            assert!(line.starts_with("err "), "wire line {line:?}");
+            let back = GsimError::from_wire(&line);
+            // `Compile` crosses the wire as its rendered message and
+            // comes back re-wrapped; everything else is exact.
+            match (&err, &back) {
+                (GsimError::Compile(_), GsimError::Compile(_)) => {}
+                _ => assert_eq!(err, back, "round trip of {line:?}"),
+            }
+            assert_eq!(err.wire_class(), back.wire_class());
+            assert_eq!(err.is_fatal(), back.is_fatal());
+            // Decoding also works without the `err ` prefix.
+            let stripped = GsimError::from_wire(line.strip_prefix("err ").unwrap());
+            assert_eq!(back.wire_class(), stripped.wire_class());
+        }
+    }
+
+    #[test]
+    fn fatality_classification() {
+        for err in taxonomy() {
+            let fatal = matches!(
+                err,
+                GsimError::Io(_)
+                    | GsimError::Backend(_)
+                    | GsimError::Timeout(_)
+                    | GsimError::SessionLost(_)
+            );
+            assert_eq!(err.is_fatal(), fatal, "{err}");
+        }
+    }
+
+    #[test]
+    fn unknown_wire_class_degrades_to_backend() {
+        let e = GsimError::from_wire("err quantum-flux something odd");
+        assert!(matches!(e, GsimError::Backend(_)));
+        assert!(e.is_fatal());
+    }
+
+    #[test]
+    fn wire_classes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for err in taxonomy() {
+            assert!(
+                seen.insert(err.wire_class()),
+                "duplicate {}",
+                err.wire_class()
+            );
+        }
     }
 }

@@ -1,0 +1,304 @@
+//! Chaos suite for session supervision: deterministic faults
+//! ([`gsim::FaultPlan`]) kill, stall, or `kill -9` the compiled AoT
+//! child mid-run, and the tests pin the recovery contract — a
+//! [`gsim::SupervisedSession`] comes back **bit-identical** to an
+//! uninterrupted run (checked per cycle, per named output, against
+//! `RefInterp`), and an unsupervised session surfaces the typed
+//! [`gsim::GsimError::SessionLost`] / [`gsim::GsimError::Timeout`]
+//! instead of hanging. All AoT tests skip (with a note) on hosts
+//! without `rustc`.
+
+mod common;
+
+use common::{named_outputs, stim_word};
+use gsim::{
+    Compiler, FaultPlan, GsimError, Preset, Session, SessionFactory, SuperviseOptions,
+    SupervisedSession,
+};
+use gsim_graph::interp::RefInterp;
+use gsim_graph::Graph;
+
+const DESIGN: &str = r#"
+circuit ChaosDut :
+  module ChaosDut :
+    input clock : Clock
+    input reset : UInt<1>
+    input a : UInt<16>
+    input b : UInt<16>
+    output sum : UInt<17>
+    output acc : UInt<16>
+    output hi : UInt<16>
+    reg r : UInt<16>, clock with : (reset => (reset, UInt<16>(0)))
+    reg h : UInt<16>, clock with : (reset => (reset, UInt<16>(0)))
+    r <= tail(add(r, xor(a, b)), 1)
+    h <= mux(gt(a, b), a, b)
+    sum <= add(a, b)
+    acc <= r
+    hi <= h
+"#;
+
+fn dut_graph() -> Graph {
+    gsim_firrtl::compile(DESIGN).expect("compiles")
+}
+
+/// Cycle `c`'s stimulus, shared by the faulty run and the reference.
+fn frame_at(c: u64) -> Vec<(String, u64)> {
+    vec![
+        ("reset".to_string(), u64::from(c % 13 == 9)),
+        ("a".to_string(), stim_word(c, 1) & 0xffff),
+        ("b".to_string(), stim_word(c, 2) & 0xffff),
+    ]
+}
+
+/// Drives `s` and a fresh `RefInterp` over the same stimulus and
+/// asserts every named output is bit-identical every cycle — the
+/// supervised run under fault injection must be indistinguishable
+/// from a run that never crashed.
+fn assert_bit_identical(label: &str, graph: &Graph, s: &mut dyn Session, cycles: u64) {
+    let outputs = named_outputs(graph);
+    let mut reference = RefInterp::new(graph).unwrap();
+    for c in 0..cycles {
+        for (name, v) in frame_at(c) {
+            reference.poke_u64(&name, v).unwrap();
+            s.poke_u64(&name, v)
+                .unwrap_or_else(|e| panic!("{label}: poke {name} at cycle {c}: {e}"));
+        }
+        reference.step();
+        s.step(1)
+            .unwrap_or_else(|e| panic!("{label}: step at cycle {c}: {e}"));
+        for out in &outputs {
+            let got = s
+                .peek(out)
+                .unwrap_or_else(|e| panic!("{label}: peek {out} at cycle {c}: {e}"));
+            assert_eq!(
+                &got,
+                reference.peek(out).unwrap(),
+                "{label}: {out} diverged from RefInterp at cycle {c}"
+            );
+        }
+    }
+}
+
+/// A factory over one compiled artifact: the first spawn carries the
+/// fault plan, respawns come up clean (mirroring the server's
+/// first-spawn-only policy — recovery must not re-inherit the fault).
+fn faulty_factory(sim: gsim::AotSim, first_plan: FaultPlan) -> SessionFactory {
+    let mut first = true;
+    Box::new(move || {
+        let plan = if first {
+            first = false;
+            first_plan.clone()
+        } else {
+            FaultPlan::default()
+        };
+        let sess = sim.session_with(None, &plan)?;
+        Ok(Box::new(sess) as Box<dyn Session>)
+    })
+}
+
+/// The tentpole chaos check: the AoT child is killed mid-run and the
+/// supervisor's respawn + checkpoint import + journal replay must be
+/// invisible — every output of every cycle still matches `RefInterp`.
+#[test]
+fn supervisor_recovers_bit_identical_after_child_kill() {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let graph = dut_graph();
+    let (sim, _) = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_aot()
+        .unwrap();
+    let plan = FaultPlan {
+        kill_child_at_cycle: Some(40),
+        ..FaultPlan::default()
+    };
+    let mut sup = SupervisedSession::new(
+        faulty_factory(sim, plan),
+        SuperviseOptions {
+            checkpoint_every: 16,
+            max_recoveries: 3,
+        },
+    )
+    .unwrap();
+    assert!(sup.exportable(), "AoT sessions support state export");
+
+    assert_bit_identical("chaos/kill", &graph, &mut sup, 96);
+
+    assert_eq!(sup.recoveries(), 1, "exactly one recovery for one kill");
+    let stats = sup.last_recovery().expect("recovery stats recorded");
+    assert_eq!(stats.trigger, "session-lost", "a dead child, not a stall");
+    assert!(
+        stats.replayed_cycles <= 16,
+        "replay bounded by the checkpoint period, got {}",
+        stats.replayed_cycles
+    );
+}
+
+/// A stalled child (responsive process, silent wire) trips the
+/// per-operation deadline instead of hanging, and the supervisor
+/// recovers from the timeout exactly as it does from a death.
+#[test]
+fn supervisor_recovers_from_a_stalled_child() {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let graph = dut_graph();
+    let (sim, _) = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_aot()
+        .unwrap();
+    let plan = FaultPlan {
+        stall_child_at_cycle: Some(20),
+        ..FaultPlan::default()
+    };
+    let mut first = true;
+    let factory: SessionFactory = Box::new(move || {
+        let p = if first {
+            first = false;
+            plan.clone()
+        } else {
+            FaultPlan::default()
+        };
+        let mut sess = sim.session_with(None, &p)?;
+        // Short deadline so the injected stall surfaces quickly.
+        sess.set_deadline(std::time::Duration::from_millis(250));
+        Ok(Box::new(sess) as Box<dyn Session>)
+    });
+    let mut sup = SupervisedSession::new(
+        factory,
+        SuperviseOptions {
+            checkpoint_every: 8,
+            max_recoveries: 2,
+        },
+    )
+    .unwrap();
+
+    assert_bit_identical("chaos/stall", &graph, &mut sup, 48);
+
+    assert_eq!(sup.recoveries(), 1);
+    assert_eq!(
+        sup.last_recovery().unwrap().trigger,
+        "timeout",
+        "a stall is detected by the deadline, not by EOF"
+    );
+}
+
+/// An *unsupervised* session must not hang on a real `kill -9`: the
+/// very next operation comes back as a typed `SessionLost`, and the
+/// session stays poisoned (fail-fast) from then on.
+#[test]
+fn sigkilled_child_surfaces_session_lost() {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let graph = dut_graph();
+    let (sim, _) = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_aot()
+        .unwrap();
+    let mut s = sim.session().unwrap();
+    s.poke_u64("a", 3).unwrap();
+    s.step(4).unwrap();
+
+    let status = std::process::Command::new("kill")
+        .args(["-9", &s.child_id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -9 delivered");
+
+    let err = s.peek("sum").unwrap_err();
+    assert!(
+        matches!(err, GsimError::SessionLost(_)),
+        "expected SessionLost, got {err}"
+    );
+    // Poisoned: every further operation fails fast with the same class.
+    let again = s.peek("sum").unwrap_err();
+    assert!(matches!(again, GsimError::SessionLost(_)), "{again}");
+}
+
+/// An unsupervised session against a stalled (not dead) child: the
+/// operation deadline converts the hang into a typed `Timeout`.
+#[test]
+fn stalled_child_hits_the_deadline() {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let graph = dut_graph();
+    let (sim, _) = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_aot()
+        .unwrap();
+    let plan = FaultPlan {
+        stall_child_at_cycle: Some(4),
+        ..FaultPlan::default()
+    };
+    let mut s = sim.session_with(None, &plan).unwrap();
+    s.set_deadline(std::time::Duration::from_millis(250));
+    s.poke_u64("a", 1).unwrap();
+
+    let err = s
+        .step(8)
+        .and_then(|()| s.peek("sum").map(|_| ()))
+        .unwrap_err();
+    assert!(
+        matches!(err, GsimError::Timeout(_)),
+        "expected Timeout, got {err}"
+    );
+    assert!(err.is_fatal(), "a deadline expiry poisons the session");
+}
+
+/// `export_state` / `import_state` round trip between two independent
+/// AoT child processes: the imported session continues bit-identical
+/// to the exporter — the primitive supervision's checkpoints rely on.
+#[test]
+fn state_round_trips_across_processes() {
+    if !gsim_codegen::rustc_available() {
+        eprintln!("note: rustc unavailable, skipping");
+        return;
+    }
+    let graph = dut_graph();
+    let outputs = named_outputs(&graph);
+    let (sim, _) = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_aot()
+        .unwrap();
+
+    let mut a = sim.session().unwrap();
+    for c in 0..20 {
+        for (name, v) in frame_at(c) {
+            a.poke_u64(&name, v).unwrap();
+        }
+        a.step(1).unwrap();
+    }
+    let blob = a
+        .export_state()
+        .unwrap()
+        .expect("AoT sessions export state");
+
+    let mut b = sim.session().unwrap();
+    b.import_state(&blob).unwrap();
+    assert_eq!(b.cycle(), a.cycle(), "cycle counter travels in the state");
+    assert_eq!(b.counters().unwrap(), a.counters().unwrap());
+
+    // Both timelines continue identically from the shared state.
+    for c in 20..40 {
+        for (name, v) in frame_at(c) {
+            a.poke_u64(&name, v).unwrap();
+            b.poke_u64(&name, v).unwrap();
+        }
+        a.step(1).unwrap();
+        b.step(1).unwrap();
+        for out in &outputs {
+            assert_eq!(
+                a.peek(out).unwrap(),
+                b.peek(out).unwrap(),
+                "{out} diverged after import at cycle {c}"
+            );
+        }
+    }
+}
