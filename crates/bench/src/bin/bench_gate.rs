@@ -43,6 +43,7 @@ const TOP_KEYS: &[&str] = &[
     "session",
     "service",
     "recovery",
+    "explore",
 ];
 const THREAD_ROW_KEYS: &[&str] = &["engine", "threads", "hz", "speedup"];
 const DISPATCH_ROW_KEYS: &[&str] = &[
@@ -121,6 +122,27 @@ const RECOVERY_ROW_KEYS: &[&str] = &[
     "bit_identical",
 ];
 
+const EXPLORE_ROW_KEYS: &[&str] = &[
+    "design",
+    "backend",
+    "branches",
+    "cycles",
+    "warmup",
+    "explore_s",
+    "branches_per_s",
+    "branch_s",
+    "cold_open_s",
+    "speedup_vs_cold",
+    "compiles",
+    "workers",
+    "forks",
+    "recoveries",
+    "retries",
+    "bit_identical",
+    "snapshot_owned_bytes",
+    "snapshot_deep_bytes",
+];
+
 /// Maximum allowed ratio between the two fresh runs' counters.
 const MAX_COUNTER_DRIFT: f64 = 2.0;
 
@@ -144,6 +166,16 @@ const MAX_LOWERING_MS: f64 = 100.0;
 /// still catching a recovery path that degenerated into a recompile
 /// or a full rerun.
 const MAX_RECOVERY_TOTAL_S: f64 = 5.0;
+
+/// The scenario-exploration claim, enforced on the committed
+/// baseline's `explore` aot row: forking a warmed compiled session
+/// must beat opening a cold session per branch by at least this
+/// factor. The cold path pays emit + `rustc -O` + spawn + warmup
+/// (seconds); a forked branch pays an export/import round trip plus
+/// the branch run (milliseconds), so the real ratio is in the
+/// hundreds — 10x is the floor that still catches the pool quietly
+/// recompiling per branch.
+const MIN_EXPLORE_SPEEDUP_VS_COLD: f64 = 10.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -217,6 +249,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         ("session", SESSION_ROW_KEYS),
         ("service", SERVICE_ROW_KEYS),
         ("recovery", RECOVERY_ROW_KEYS),
+        ("explore", EXPLORE_ROW_KEYS),
     ] {
         let Some(rows) = doc.get(arr_key).and_then(Json::as_arr) else {
             failures.push(format!("{path}: {arr_key:?} is not an array"));
@@ -225,6 +258,8 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         // The AoT-backed blocks may legitimately be empty on a
         // rustc-less host; `check_labels` still catches them
         // *vanishing* relative to a baseline that has them.
+        // (`explore` is not in this list: its interp and jit rows
+        // need no rustc, so the block must never be empty.)
         let aot_backed = matches!(arr_key, "aot" | "session" | "service" | "recovery");
         if !aot_backed && rows.is_empty() {
             failures.push(format!("{path}: {arr_key:?} is empty"));
@@ -254,7 +289,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
 fn check_labels(base: &Json, new: &Json, failures: &mut Vec<String>) {
     let arr_len =
         |doc: &Json, key: &str| doc.get(key).and_then(Json::as_arr).map_or(0, <[Json]>::len);
-    for key in ["aot", "session", "service", "recovery"] {
+    for key in ["aot", "session", "service", "recovery", "explore"] {
         if arr_len(base, key) > 0 && arr_len(new, key) == 0 {
             failures.push(format!(
                 "fresh run recorded no {key:?} rows although the baseline has them \
@@ -319,6 +354,59 @@ fn check_baseline_claims(base: &Json, path: &str, failures: &mut Vec<String>) {
         ));
     }
     check_recovery_claims(base, path, failures);
+    check_explore_claims(base, path, failures);
+}
+
+/// The committed baseline's `explore` rows must back the
+/// snapshot-fork claims: every branch bit-identical to the sequential
+/// reference replay on every backend, no fatal-error retries, and on
+/// the aot row exactly one host-compiler invocation with a per-branch
+/// speedup of at least [`MIN_EXPLORE_SPEEDUP_VS_COLD`] over a cold
+/// session per branch.
+fn check_explore_claims(base: &Json, path: &str, failures: &mut Vec<String>) {
+    use std::cmp::Ordering::Less;
+    let Some(rows) = base.get("explore").and_then(Json::as_arr) else {
+        return; // missing block already reported by check_schema
+    };
+    for row in rows {
+        let backend = row
+            .get("backend")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        if row.get("bit_identical") != Some(&Json::Bool(true)) {
+            failures.push(format!(
+                "{path}: explore row {backend:?} is not bit-identical to the \
+                 sequential reference replay — forked branches are diverging wrong"
+            ));
+        }
+        let num = |k: &str| row.get(k).and_then(Json::as_num).unwrap_or(f64::NAN);
+        if num("retries") != 0.0 {
+            failures.push(format!(
+                "{path}: explore row {backend:?} needed {} fatal-error retries \
+                 on an uninjected run",
+                num("retries")
+            ));
+        }
+        if backend == "aot" {
+            if num("compiles") != 1.0 {
+                failures.push(format!(
+                    "{path}: explore aot row recorded {} compiles — the pool must \
+                     fork siblings of one compiled binary (expected exactly 1)",
+                    num("compiles")
+                ));
+            }
+            let speedup = num("speedup_vs_cold");
+            if matches!(
+                speedup.partial_cmp(&MIN_EXPLORE_SPEEDUP_VS_COLD),
+                None | Some(Less)
+            ) {
+                failures.push(format!(
+                    "{path}: explore aot row's speedup vs a cold session per branch \
+                     is {speedup:.1}x (claim: at least {MIN_EXPLORE_SPEEDUP_VS_COLD}x)"
+                ));
+            }
+        }
+    }
 }
 
 /// The committed baseline's `recovery` rows must back the

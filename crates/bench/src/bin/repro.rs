@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|explore|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
@@ -10,8 +10,8 @@
 //! a ~6.2M-node XiangShan stand-in — expect long compile times).
 //!
 //! `--json` additionally runs the thread-scaling, dispatch-breakdown,
-//! threaded-backend, AoT, persistent-session, simulation-service, and
-//! crash-recovery experiments and writes their
+//! threaded-backend, AoT, persistent-session, simulation-service,
+//! crash-recovery, and scenario-exploration experiments and writes their
 //! cycles/sec + counter breakdowns (plus `host_cores`, the AoT
 //! emit/rustc/size/speed rows, and the session-amortization rows) to
 //! `BENCH_interp.json` (or the given path) so CI can track the
@@ -157,6 +157,14 @@ fn main() {
         section("Crash recovery");
         exp::print_recovery(recovery_rows.as_ref().unwrap());
     }
+    let mut explore_rows = None;
+    if wants("explore") || json {
+        explore_rows = Some(exp::explore(&suite, &cfg));
+    }
+    if wants("explore") {
+        section("Scenario exploration");
+        exp::print_explore(explore_rows.as_ref().unwrap());
+    }
     if wants("fig6") {
         section("Figure 6");
         exp::print_fig6(&exp::fig6(&suite, &cfg));
@@ -200,6 +208,7 @@ fn main() {
             session_rows.as_deref().unwrap_or(&[]),
             service_rows.as_deref().unwrap_or(&[]),
             recovery_rows.as_deref().unwrap_or(&[]),
+            explore_rows.as_deref().unwrap_or(&[]),
         );
         std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("# wrote {path}");
@@ -221,6 +230,7 @@ fn render_json(
     session: &[exp::SessionRow],
     service: &[exp::ServiceRow],
     recovery: &[exp::RecoveryRow],
+    explore: &[exp::ExploreRow],
 ) -> String {
     let host_cores = exp::host_cores();
     let max_threads = threads.iter().map(|r| r.threads).max().unwrap_or(1);
@@ -235,7 +245,7 @@ fn render_json(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gsim-bench-interp/6\",\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/7\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
         cfg.scale, cfg.cycles, smoke
@@ -337,6 +347,38 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"explore\": [\n");
+    for (i, r) in explore.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"design\": \"{}\", \"backend\": \"{}\", \"branches\": {}, \
+             \"cycles\": {}, \"warmup\": {}, \"explore_s\": {:.4}, \
+             \"branches_per_s\": {:.2}, \"branch_s\": {:.5}, \"cold_open_s\": {:.4}, \
+             \"speedup_vs_cold\": {:.2}, \"compiles\": {}, \"workers\": {}, \
+             \"forks\": {}, \"recoveries\": {}, \"retries\": {}, \
+             \"bit_identical\": {}, \"snapshot_owned_bytes\": {}, \
+             \"snapshot_deep_bytes\": {}}}{}\n",
+            r.design,
+            r.backend,
+            r.branches,
+            r.cycles,
+            r.warmup,
+            r.explore_s,
+            r.branches_per_s,
+            r.branch_s,
+            r.cold_open_s,
+            r.speedup_vs_cold,
+            r.compiles,
+            r.workers,
+            r.forks,
+            r.recoveries,
+            r.retries,
+            r.bit_identical,
+            r.snapshot_owned_bytes,
+            r.snapshot_deep_bytes,
+            comma(i, explore.len())
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"threaded\": [\n");
     for (i, r) in threaded.iter().enumerate() {
         s.push_str(&format!(
@@ -408,7 +450,7 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|fig6|fig7|fig8|fig9|table3|table4|factors] \
+        "repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|explore|fig6|fig7|fig8|fig9|table3|table4|factors] \
          [--scale F] [--cycles N] [--json [PATH]]"
     );
 }

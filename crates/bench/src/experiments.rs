@@ -494,7 +494,7 @@ pub fn aot(suite: &[SuiteDesign], cfg: &Config) -> Vec<AotRow> {
                 continue;
             }
         };
-        let stim = gsim::Stimulus {
+        let stim = gsim::Scenario {
             loads: loads.clone(),
             frames: frames.clone(),
         };
@@ -658,7 +658,7 @@ pub fn session_amortization(suite: &[SuiteDesign], cfg: &Config) -> Vec<SessionR
     // fresh process + stimulus file + report parse.
     let t1 = std::time::Instant::now();
     for i in 0..steps {
-        let stim = gsim::Stimulus {
+        let stim = gsim::Scenario {
             loads: loads.clone(),
             frames: vec![vec![("reset".to_string(), u64::from(i < 2))]],
         };
@@ -937,9 +937,13 @@ pub struct RecoveryRow {
     pub bit_identical: bool,
 }
 
-/// Drives the recovery workload: reset for two cycles, then free-run.
-fn recovery_drive(i: u64, f: &mut gsim::SessionFrame) {
-    f.set("reset", u64::from(i < 2));
+/// The recovery workload: reset for two cycles, then free-run (inputs
+/// hold their last driven values).
+fn recovery_scenario() -> gsim::Scenario {
+    gsim::Scenario::new()
+        .frame(&[("reset", 1)])
+        .repeat(1)
+        .frame(&[("reset", 0)])
 }
 
 /// The `recovery` experiment: run stuCore's AoT session once clean
@@ -971,8 +975,8 @@ pub fn recovery(suite: &[SuiteDesign], cfg: &Config) -> Vec<RecoveryRow> {
     // Uninterrupted reference run.
     let mut clean = aot_sim.session().expect("spawn reference session");
     clean.load_mem("imem", &image).expect("load imem");
-    clean
-        .run_driven(cycles, &mut recovery_drive)
+    recovery_scenario()
+        .run_for(&mut clean, cycles)
         .expect("reference run");
     let signals = clean.signals().expect("list signals");
     let reference: Vec<(String, String)> = signals
@@ -1013,9 +1017,18 @@ pub fn recovery(suite: &[SuiteDesign], cfg: &Config) -> Vec<RecoveryRow> {
     // bursts accumulate in the journal between checkpoints, so the
     // mid-burst kill exercises checkpoint import *and* journal replay.
     let mut left = cycles;
+    let mut first_burst = true;
     while left > 0 {
         let burst = left.min(16);
-        sup.run_driven(burst, &mut recovery_drive)
+        // The reset frames land in the first burst; later bursts run
+        // with inputs held, which is what the closure drove too.
+        let stim = if first_burst {
+            recovery_scenario()
+        } else {
+            gsim::Scenario::new()
+        };
+        first_burst = false;
+        stim.run_for(&mut sup, burst)
             .expect("supervised run must recover");
         left -= burst;
     }
@@ -1081,6 +1094,242 @@ pub fn print_recovery(rows: &[RecoveryRow]) {
             r.total_s,
             r.bit_identical
         );
+    }
+}
+
+// ------------------------------------------- scenario exploration
+
+/// One backend's scenario-exploration measurement: `branches`
+/// perturbed variants of one stimulus fanned out from a single warmed
+/// snapshot, against the cost of opening a cold session per branch.
+#[derive(Debug)]
+pub struct ExploreRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Backend explored (`interp`, `jit`, or `aot`).
+    pub backend: &'static str,
+    /// Branches explored.
+    pub branches: usize,
+    /// Cycles each branch ran past the fork point.
+    pub cycles: u64,
+    /// Warm-up cycles before the shared snapshot.
+    pub warmup: u64,
+    /// Wall seconds for the whole exploration.
+    pub explore_s: f64,
+    /// Branches completed per second.
+    pub branches_per_s: f64,
+    /// Average seconds per branch (`explore_s / branches`).
+    pub branch_s: f64,
+    /// Seconds to open + warm a cold session of this backend — what
+    /// every branch would pay without fork (includes the one `rustc`
+    /// on the aot row).
+    pub cold_open_s: f64,
+    /// `(cold_open_s + branch_s) / branch_s`: per-branch speedup over
+    /// the open-a-cold-session-per-branch alternative.
+    pub speedup_vs_cold: f64,
+    /// Host-compiler (`rustc`) invocations the whole exploration
+    /// needed: 1 on the aot row (the pool is forked siblings of one
+    /// compiled binary), 0 on the in-process rows.
+    pub compiles: u64,
+    /// Worker threads the explorer used.
+    pub workers: usize,
+    /// Pool sessions obtained by forking the warmed core.
+    pub forks: usize,
+    /// Pool sessions obtained from the recovery factory.
+    pub recoveries: usize,
+    /// Fatal-error branch retries (normally 0).
+    pub retries: u64,
+    /// `true` when every branch's end-state peeks matched a
+    /// sequential replay on the reference interpreter exactly.
+    pub bit_identical: bool,
+    /// Memory-arena bytes the interp core's snapshot privately owned
+    /// after the run (copy-on-write; 0 until something writes a
+    /// shared arena). Interp row only.
+    pub snapshot_owned_bytes: usize,
+    /// Memory-arena bytes an eager deep-copy snapshot would have
+    /// duplicated. Interp row only.
+    pub snapshot_deep_bytes: usize,
+}
+
+/// The `explore` experiment: on stuCore (a real CPU with a loaded
+/// program image), measure snapshot-fork exploration on every backend
+/// and check each branch against a sequential replay on the reference
+/// interpreter. Backends that need `rustc` are skipped when the host
+/// has none.
+pub fn explore(suite: &[SuiteDesign], cfg: &Config) -> Vec<ExploreRow> {
+    let Some(d) = suite.iter().find(|d| d.name == "stuCore") else {
+        return Vec::new();
+    };
+    let branches = 8usize;
+    let cycles = cfg.cycles.clamp(16, 256);
+    let warmup = 8u64;
+    let image = programs::coremark_mini(20).image;
+    let warm = gsim::Scenario::new()
+        .frame(&[("reset", 1)])
+        .repeat(1)
+        .frame(&[("reset", 0)]);
+    let base = gsim::Scenario {
+        loads: Vec::new(),
+        frames: aot_frames(&d.graph, cycles),
+    };
+    let watch: Vec<String> = d
+        .graph
+        .outputs()
+        .iter()
+        .map(|&o| d.graph.display_name(o))
+        .collect();
+
+    // The bit-identity oracle: branch i replayed sequentially on a
+    // cold reference interpreter (unoptimized full-cycle preset).
+    let reference: Vec<Vec<(String, gsim::Value)>> = (0..branches)
+        .map(|i| {
+            let (mut r, _) = Compiler::new(&d.graph)
+                .preset(Preset::Verilator)
+                .build()
+                .expect("reference interpreter compiles");
+            r.load_mem("imem", &image).expect("load imem");
+            warm.run_for(&mut r, warmup).expect("reference warmup");
+            base.perturb(i as u64)
+                .run_for(&mut r, cycles)
+                .expect("reference branch");
+            watch
+                .iter()
+                .map(|n| (n.clone(), Session::peek(&mut r, n).expect("reference peek")))
+                .collect()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for (backend, engine) in [
+        ("interp", EngineChoice::Essential),
+        ("jit", EngineChoice::Threaded),
+        ("aot", EngineChoice::Aot),
+    ] {
+        if engine == EngineChoice::Aot && !gsim_codegen::rustc_available() {
+            eprintln!("# explore: rustc unavailable on this host, skipping aot");
+            continue;
+        }
+        // Cold open: build + load + warm — the per-branch price of
+        // not forking (the aot row pays its single rustc here).
+        let t0 = std::time::Instant::now();
+        let mut session = match Compiler::new(&d.graph)
+            .preset(Preset::Gsim)
+            .build_session(engine)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("# explore: {backend} failed to build: {e}");
+                continue;
+            }
+        };
+        session.load_mem("imem", &image).expect("load imem");
+        warm.run_for(session.as_mut(), warmup).expect("warmup");
+        let cold_open_s = t0.elapsed().as_secs_f64();
+
+        let opts = gsim::ExploreOptions {
+            watch: watch.clone(),
+            ..gsim::ExploreOptions::default()
+        };
+        let t1 = std::time::Instant::now();
+        let report = gsim::Explorer::new(session.as_mut())
+            .options(opts)
+            .run(&base, branches, None)
+            .expect("exploration succeeds");
+        let explore_s = t1.elapsed().as_secs_f64();
+        let branch_s = explore_s / branches as f64;
+
+        let mut bit_identical = report.branches.len() == branches;
+        for b in &report.branches {
+            if b.cycle != warmup + cycles || b.peeks != reference[b.index] {
+                bit_identical = false;
+            }
+        }
+
+        // Copy-on-write accounting, on a concrete interpreter core:
+        // snapshot, write-heavy run, then ask what the snapshot
+        // privately owns vs what a deep clone would have copied.
+        let (snapshot_owned_bytes, snapshot_deep_bytes) = if backend == "interp" {
+            let (mut sim, _) = Compiler::new(&d.graph)
+                .preset(Preset::Gsim)
+                .build()
+                .expect("interp core compiles");
+            sim.load_mem("imem", &image).expect("load imem");
+            warm.run_for(&mut sim, warmup).expect("warmup");
+            sim.take_snapshot();
+            base.run_for(&mut sim, cycles).expect("post-snapshot run");
+            sim.snapshot_mem_bytes()
+        } else {
+            (0, 0)
+        };
+
+        rows.push(ExploreRow {
+            design: d.name,
+            backend,
+            branches: report.branches.len(),
+            cycles,
+            warmup,
+            explore_s,
+            branches_per_s: report.branches.len() as f64 / explore_s.max(1e-12),
+            branch_s,
+            cold_open_s,
+            speedup_vs_cold: (cold_open_s + branch_s) / branch_s.max(1e-12),
+            compiles: u64::from(engine == EngineChoice::Aot),
+            workers: report.workers,
+            forks: report.forks,
+            recoveries: report.recoveries,
+            retries: report.total_retries(),
+            bit_identical,
+            snapshot_owned_bytes,
+            snapshot_deep_bytes,
+        });
+    }
+    rows
+}
+
+/// Prints the exploration rows.
+pub fn print_explore(rows: &[ExploreRow]) {
+    println!("Scenario exploration: N branches from one warmed snapshot vs a cold session each");
+    if rows.is_empty() {
+        println!("  (skipped: suite has no stuCore)");
+        return;
+    }
+    println!(
+        "{:<10} {:<7} {:>8} {:>7} {:>10} {:>12} {:>9} {:>8} {:>6} {:>6} {:>8} {:>10}",
+        "Design",
+        "backend",
+        "branches",
+        "cycles",
+        "branch(s)",
+        "cold-open(s)",
+        "speedup",
+        "compiles",
+        "forks",
+        "recov",
+        "retries",
+        "identical"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:<7} {:>8} {:>7} {:>10.4} {:>12.4} {:>8.1}x {:>8} {:>6} {:>6} {:>8} {:>10}",
+            r.design,
+            r.backend,
+            r.branches,
+            r.cycles,
+            r.branch_s,
+            r.cold_open_s,
+            r.speedup_vs_cold,
+            r.compiles,
+            r.forks,
+            r.recoveries,
+            r.retries,
+            r.bit_identical
+        );
+        if r.backend == "interp" {
+            println!(
+                "  snapshot mem arenas: {} B owned (copy-on-write) of {} B a deep clone would copy",
+                r.snapshot_owned_bytes, r.snapshot_deep_bytes
+            );
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! directory, invokes the host `rustc` (no cargo, no network, no
 //! dependencies — the emitted program is fully standalone), and returns
 //! an [`AotSim`] handle that can run the compiled binary over a
-//! [`Stimulus`] stream and parse its peeks + counters report.
+//! [`gsim_sim::Scenario`] and parse its peeks + counters report.
 //!
 //! The scratch directory is deleted when the [`AotSim`] is dropped
 //! unless [`AotOptions::keep_dir`] is set.
@@ -12,6 +12,7 @@
 use crate::rust::{emit_rust, EmitError, RustOutput};
 use gsim_graph::Graph;
 use gsim_partition::PartitionOptions;
+use gsim_sim::Scenario;
 use gsim_value::Value;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -92,42 +93,13 @@ pub fn rustc_available() -> bool {
 }
 
 /// One run's worth of stimulus for a compiled simulator.
-#[derive(Debug, Clone, Default)]
-pub struct Stimulus {
-    /// Memory images applied before cycle 0 (one `u64` per entry).
-    pub loads: Vec<(String, Vec<u64>)>,
-    /// Per-cycle input pokes (cycles beyond the last frame hold their
-    /// inputs). Values are masked to the input width by the simulator.
-    pub frames: Vec<Vec<(String, u64)>>,
-}
-
-impl Stimulus {
-    /// Renders the driver-side stimulus into the text format the
-    /// emitted simulator parses (`rt::parse_stimulus`).
-    pub fn render(&self) -> String {
-        let mut s = String::new();
-        for (mem, image) in &self.loads {
-            s.push_str("!load ");
-            s.push_str(mem);
-            for w in image {
-                s.push_str(&format!(" {w:x}"));
-            }
-            s.push('\n');
-        }
-        for frame in &self.frames {
-            let mut first = true;
-            for (name, v) in frame {
-                if !first {
-                    s.push(' ');
-                }
-                first = false;
-                s.push_str(&format!("{name}={v:x}"));
-            }
-            s.push('\n');
-        }
-        s
-    }
-}
+///
+/// Deprecated alias: the typed stimulus value now lives in `gsim_sim`
+/// as [`Scenario`] — one representation shared by the interpreter
+/// engines, the AoT driver, the wire protocol, and the bench harness.
+/// The fields and the `render()` text format are identical.
+#[deprecated(since = "0.9.0", note = "use `gsim_sim::Scenario`")]
+pub type Stimulus = Scenario;
 
 /// The parsed report of one compiled-simulator run.
 #[derive(Debug, Clone, Default)]
@@ -342,7 +314,7 @@ impl AotSim {
     ///
     /// Returns [`AotError`] when the binary fails or its report cannot
     /// be parsed.
-    pub fn run(&self, cycles: u64, stimulus: &Stimulus, trace: bool) -> Result<AotRun, AotError> {
+    pub fn run(&self, cycles: u64, stimulus: &Scenario, trace: bool) -> Result<AotRun, AotError> {
         let seq = self.run_counter.get();
         self.run_counter.set(seq + 1);
         // Run-scoped scratch lives in the system temp dir, never in
@@ -452,11 +424,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stimulus_renders_loads_and_frames() {
-        let s = Stimulus {
-            loads: vec![("imem".into(), vec![0x13, 0xff])],
-            frames: vec![vec![("rst".into(), 1)], vec![], vec![("rst".into(), 0)]],
-        };
+    fn scenario_renders_what_the_emitted_parser_accepts() {
+        let s = Scenario::new()
+            .load("imem", vec![0x13, 0xff])
+            .frame(&[("rst", 1)])
+            .hold(1)
+            .frame(&[("rst", 0)]);
         let text = s.render();
         assert_eq!(text, "!load imem 13 ff\nrst=1\n\nrst=0\n");
         let parsed = crate::rt::parse_stimulus(&text).unwrap();

@@ -19,7 +19,7 @@ use gsim_sim::{
 };
 use gsim_value::Value;
 use std::io::{BufRead as _, BufReader, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
@@ -88,6 +88,12 @@ pub struct AotSession {
     cycle: u64,
     /// Cycles stepped since the last `sync` fence.
     unsynced: u64,
+    /// The compiled binary this session's child runs — retained so
+    /// [`Session::clone_at_snapshot`] can spawn a sibling process from
+    /// the same artifact (no `rustc` involved in a fork).
+    binary: PathBuf,
+    /// Working directory forks inherit (see [`AotSim::session_in`]).
+    cwd: Option<PathBuf>,
     _dir: Arc<ArtifactDir>,
 }
 
@@ -131,70 +137,85 @@ impl AotSim {
         cwd: Option<&Path>,
         faults: &FaultPlan,
     ) -> Result<AotSession, AotError> {
-        let mut cmd = Command::new(&self.binary_path);
-        cmd.arg("--serve")
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
-        match faults.child_env() {
-            Some(spec) => {
-                cmd.env("GSIM_CHILD_FAULT", spec);
-            }
-            None => {
-                cmd.env_remove("GSIM_CHILD_FAULT");
-            }
+        spawn_serve(&self.binary_path, cwd, faults, self.dir_handle())
+    }
+}
+
+/// Spawns `binary --serve` and wires up the session plumbing (pipes,
+/// deadline reader thread). Factored out of [`AotSim::session_with`]
+/// so a live session can fork a sibling process from the same binary
+/// without holding an `AotSim` handle.
+fn spawn_serve(
+    binary: &Path,
+    cwd: Option<&Path>,
+    faults: &FaultPlan,
+    dir: Arc<ArtifactDir>,
+) -> Result<AotSession, AotError> {
+    let mut cmd = Command::new(binary);
+    cmd.arg("--serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    match faults.child_env() {
+        Some(spec) => {
+            cmd.env("GSIM_CHILD_FAULT", spec);
         }
-        if let Some(dir) = cwd {
-            cmd.current_dir(dir);
+        None => {
+            cmd.env_remove("GSIM_CHILD_FAULT");
         }
-        let mut child = cmd
-            .spawn()
-            .map_err(|e| AotError::RunFailed(format!("cannot spawn server: {e}")))?;
-        let stdin = child
-            .stdin
-            .take()
-            .ok_or_else(|| AotError::RunFailed("no stdin pipe".into()))?;
-        let stdout = child
-            .stdout
-            .take()
-            .ok_or_else(|| AotError::RunFailed("no stdout pipe".into()))?;
-        // All reads happen on a dedicated thread so the session can
-        // bound every response wait with `recv_timeout` — a blocking
-        // `read_line` on the pipe itself could hang forever on a
-        // stalled child.
-        let (tx, lines) = mpsc::channel();
-        let reader = std::thread::spawn(move || {
-            let mut reader = BufReader::new(stdout);
-            loop {
-                let mut line = String::new();
-                match reader.read_line(&mut line) {
-                    Ok(0) => break,
-                    Ok(_) => {
-                        let trimmed = line.trim_end().len();
-                        line.truncate(trimmed);
-                        if tx.send(Ok(line)).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) => {
-                        let _ = tx.send(Err(e));
+    }
+    if let Some(d) = cwd {
+        cmd.current_dir(d);
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| AotError::RunFailed(format!("cannot spawn server: {e}")))?;
+    let stdin = child
+        .stdin
+        .take()
+        .ok_or_else(|| AotError::RunFailed("no stdin pipe".into()))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| AotError::RunFailed("no stdout pipe".into()))?;
+    // All reads happen on a dedicated thread so the session can
+    // bound every response wait with `recv_timeout` — a blocking
+    // `read_line` on the pipe itself could hang forever on a
+    // stalled child.
+    let (tx, lines) = mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let trimmed = line.trim_end().len();
+                    line.truncate(trimmed);
+                    if tx.send(Ok(line)).is_err() {
                         break;
                     }
                 }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
             }
-        });
-        Ok(AotSession {
-            child,
-            stdin: Some(stdin),
-            lines,
-            reader: Some(reader),
-            deadline: DEFAULT_OP_DEADLINE,
-            poisoned: false,
-            cycle: 0,
-            unsynced: 0,
-            _dir: self.dir_handle(),
-        })
-    }
+        }
+    });
+    Ok(AotSession {
+        child,
+        stdin: Some(stdin),
+        lines,
+        reader: Some(reader),
+        deadline: DEFAULT_OP_DEADLINE,
+        poisoned: false,
+        cycle: 0,
+        unsynced: 0,
+        binary: binary.to_path_buf(),
+        cwd: cwd.map(Path::to_path_buf),
+        _dir: dir,
+    })
 }
 
 impl Drop for AotSession {
@@ -427,6 +448,7 @@ impl Session for AotSession {
         self.sync().map(|_| ())
     }
 
+    #[allow(deprecated)] // the pipelined wire override must shadow the shim
     fn run_driven(
         &mut self,
         n: u64,
@@ -544,6 +566,27 @@ impl Session for AotSession {
                 }
             })
             .collect()
+    }
+
+    fn clone_at_snapshot(&mut self) -> Result<Box<dyn Session + Send>, GsimError> {
+        // Forking a compiled session costs one state export plus one
+        // process spawn from the *same* cached binary — `rustc` never
+        // runs again. The fork always gets a healthy environment (no
+        // inherited fault injection) so chaos plans apply only to the
+        // session they were opened with.
+        let blob = self.export_state()?.ok_or_else(|| {
+            GsimError::Unsupported("compiled simulator does not export state".into())
+        })?;
+        let mut fork = spawn_serve(
+            &self.binary,
+            self.cwd.as_deref(),
+            &FaultPlan::default(),
+            Arc::clone(&self._dir),
+        )
+        .map_err(|e| GsimError::Backend(format!("cannot fork compiled session: {e}")))?;
+        fork.set_deadline(self.deadline);
+        fork.import_state(&blob)?;
+        Ok(Box::new(fork))
     }
 
     fn export_state(&mut self) -> Result<Option<Vec<u8>>, GsimError> {

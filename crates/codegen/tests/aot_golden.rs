@@ -3,8 +3,9 @@
 //! `rustc --edition 2021 --emit=metadata` (fast — no codegen), and a
 //! small design compiles and simulates end to end.
 
-use gsim_codegen::{compile_aot, emit_rust, AotOptions, Stimulus};
+use gsim_codegen::{compile_aot, emit_rust, AotOptions};
 use gsim_partition::PartitionOptions;
+use gsim_sim::Scenario;
 use std::process::Command;
 
 const COUNTER: &str = r#"
@@ -115,10 +116,7 @@ fn counter_compiles_and_runs_end_to_end() {
     let sim = compile_aot(&g, &AotOptions::default()).unwrap_or_else(|e| panic!("{e}"));
     assert!(sim.binary_bytes > 0);
     // en=1 for 10 cycles -> out shows the pre-edge value 9.
-    let stim = Stimulus {
-        loads: vec![],
-        frames: vec![vec![("en".into(), 1)]],
-    };
+    let stim = Scenario::new().frame(&[("en", 1)]);
     let run = sim.run(10, &stim, true).unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(run.peek("out"), Some(&gsim_value::Value::from_u64(9, 8)));
     assert_eq!(run.peek_u64("out"), Some(9));
@@ -190,10 +188,41 @@ fn server_session_counter_interactive() {
         s.restore(gsim_sim::SnapshotId::from_raw(999)).unwrap_err(),
         GsimError::UnknownSnapshot(999)
     ));
-    // run_driven pipelines frames through the same process.
-    s.run_driven(4, &mut |c, frame| {
-        frame.set("en", u64::from(c % 2 == 0));
-    })
-    .unwrap();
+    // run_scenario pipelines frames through the same process.
+    let sc = Scenario::new()
+        .frame(&[("en", 1)])
+        .frame(&[("en", 0)])
+        .frame(&[("en", 1)])
+        .frame(&[("en", 0)]);
+    s.run_scenario(&sc).unwrap();
     assert!(s.peek_u64("out").unwrap().is_some());
+}
+
+/// Forking a live compiled session spawns a sibling process from the
+/// same binary (no recompile) with bit-identical state, and the two
+/// timelines diverge independently.
+#[test]
+fn forked_session_diverges_without_recompile() {
+    use gsim_sim::Session as _;
+    if !gsim_codegen::rustc_available() {
+        eprintln!("skipping: rustc not available on this host");
+        return;
+    }
+    let g = gsim_firrtl::compile(COUNTER).unwrap();
+    let sim = compile_aot(&g, &AotOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    let mut s = sim.session().unwrap();
+    s.poke_u64("en", 1).unwrap();
+    s.step(5).unwrap();
+    let mut fork = s.clone_at_snapshot().unwrap();
+    assert_eq!(fork.backend(), "aot");
+    assert_eq!(fork.cycle(), s.cycle());
+    assert_eq!(fork.peek_u64("out").unwrap(), s.peek_u64("out").unwrap());
+    assert_eq!(fork.counters().unwrap(), s.counters().unwrap());
+    // Diverge: the fork keeps counting, the parent freezes.
+    s.poke_u64("en", 0).unwrap();
+    fork.poke_u64("en", 1).unwrap();
+    s.step(5).unwrap();
+    fork.step(5).unwrap();
+    assert_eq!(fork.peek_u64("out").unwrap(), Some(9));
+    assert_eq!(s.peek_u64("out").unwrap(), Some(5));
 }

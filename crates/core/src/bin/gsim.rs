@@ -19,6 +19,11 @@
 //!
 //! gsim client <design.fir> --socket <ep>       # remote session (tests/CI)
 //!             [--backend aot|interp|jit] [--cycles N] [--stats] [--shutdown]
+//!
+//! gsim explore <design.fir> --branches N       # snapshot-fork scenario exploration
+//!             [--backend interp|jit|aot] [--scenario file] [--cycles N]
+//!             [--warmup N] [--workers N] [--watch a,b] [--divergence]
+//!             [--socket <ep>]                  # run remotely on a service session
 //! ```
 //!
 //! Endpoints are `tcp:<addr>`, `unix:<path>`, or bare forms (a string
@@ -31,6 +36,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&args[1..]),
         Some("client") => return cmd_client(&args[1..]),
+        Some("explore") => return cmd_explore(&args[1..]),
         _ => {}
     }
     let mut input: Option<String> = None;
@@ -422,6 +428,165 @@ fn cmd_client(args: &[String]) {
     }
 }
 
+/// `gsim explore`: warm one session, fork it into a worker pool, and
+/// run N perturbed variants of a scenario — printing the same
+/// canonical `branch` lines locally (via [`gsim::BranchResult`]) and
+/// remotely (via the service's `explore` command), so the two modes
+/// diff textually.
+fn cmd_explore(args: &[String]) {
+    let mut input: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut backend = "interp".to_string();
+    let mut branches: usize = 8;
+    let mut scenario_file: Option<String> = None;
+    let mut cycles: u64 = 100;
+    let mut warmup: u64 = 0;
+    let mut workers: usize = 0;
+    let mut watch: Vec<String> = Vec::new();
+    let mut divergence = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = it.next().cloned(),
+            "--backend" => backend = it.next().cloned().unwrap_or(backend),
+            "--branches" => branches = parse(it.next(), "--branches"),
+            "--scenario" => scenario_file = it.next().cloned(),
+            "--cycles" => cycles = parse(it.next(), "--cycles"),
+            "--warmup" => warmup = parse(it.next(), "--warmup"),
+            "--workers" => workers = parse(it.next(), "--workers"),
+            "--watch" => {
+                watch = it
+                    .next()
+                    .map(|s| s.split(',').map(str::to_string).collect())
+                    .unwrap_or_default();
+            }
+            "--divergence" => divergence = true,
+            other if !other.starts_with('-') => input = Some(other.to_string()),
+            other => die(&format!("unknown explore flag {other}")),
+        }
+    }
+    let path = input.unwrap_or_else(|| die("explore needs a <design.fir>"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+
+    // The base scenario: an explicit stimulus file, or a synthesized
+    // one driving every data input to 1 for `--cycles` cycles (a
+    // frame per cycle, so `perturb` has values to vary).
+    let scenario_of = |inputs: &[String]| -> gsim::Scenario {
+        match &scenario_file {
+            Some(f) => {
+                let text = std::fs::read_to_string(f)
+                    .unwrap_or_else(|e| die(&format!("cannot read {f}: {e}")));
+                gsim::Scenario::parse(&text).unwrap_or_else(|e| die(&e.to_string()))
+            }
+            None => {
+                let frame: Vec<(&str, u64)> = inputs
+                    .iter()
+                    .filter(|n| n.as_str() != "reset" && n.as_str() != "clock")
+                    .map(|n| (n.as_str(), 1))
+                    .collect();
+                gsim::Scenario::new()
+                    .frame(&frame)
+                    .repeat(cycles.saturating_sub(1))
+            }
+        }
+    };
+
+    if let Some(socket) = socket {
+        // Remote: one service session explores on the server side and
+        // streams back the canonical branch lines.
+        let ep = gsim::Endpoint::parse(&socket);
+        let mut session =
+            ClientSession::connect_with_retry(&ep, 5, std::time::Duration::from_millis(50))
+                .unwrap_or_else(|e| die(&format!("cannot connect: {e}")));
+        let info = session
+            .open_design(&src, &backend)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        eprintln!(
+            "ready    : key={} status={} ({} ms)",
+            info.key, info.status, info.ready_ms
+        );
+        if warmup > 0 {
+            session.step(warmup).unwrap_or_else(|e| die(&e.to_string()));
+        }
+        let inputs: Vec<String> = session
+            .inputs()
+            .unwrap_or_else(|e| die(&e.to_string()))
+            .into_iter()
+            .map(|i| i.name)
+            .collect();
+        let sc = scenario_of(&inputs);
+        let start = std::time::Instant::now();
+        let lines = session
+            .explore(&sc, branches)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        let secs = start.elapsed().as_secs_f64();
+        for line in &lines {
+            println!("{line}");
+        }
+        eprintln!(
+            "explored {} branches x {} cycles in {:.3} s ({:.1} branches/s) [remote session]",
+            lines.len(),
+            sc.cycles(),
+            secs,
+            lines.len() as f64 / secs.max(1e-12)
+        );
+        return;
+    }
+
+    let graph = gsim_firrtl::compile(&src).unwrap_or_else(|e| die(&e));
+    let engine = match backend.as_str() {
+        "interp" => gsim::EngineChoice::Essential,
+        "jit" => gsim::EngineChoice::Threaded,
+        "aot" => gsim::EngineChoice::Aot,
+        other => die(&format!("unknown backend {other} (interp|jit|aot)")),
+    };
+    let mut session = Compiler::new(&graph)
+        .preset(Preset::Gsim)
+        .build_session(engine)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    if warmup > 0 {
+        session.step(warmup).unwrap_or_else(|e| die(&e.to_string()));
+    }
+    let inputs: Vec<String> = session
+        .inputs()
+        .unwrap_or_else(|e| die(&e.to_string()))
+        .into_iter()
+        .map(|i| i.name)
+        .collect();
+    let sc = scenario_of(&inputs);
+    let opts = gsim::ExploreOptions {
+        workers,
+        watch,
+        divergence,
+        ..gsim::ExploreOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let report = gsim::Explorer::new(&mut *session)
+        .options(opts)
+        .run(&sc, branches, None)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let secs = start.elapsed().as_secs_f64();
+    for b in &report.branches {
+        println!("{}", b.render_wire());
+        if let Some(d) = b.divergence_cycle {
+            eprintln!("  branch {} diverged at cycle {d}", b.index);
+        }
+    }
+    eprintln!(
+        "explored {} branches x {} cycles in {:.3} s ({:.1} branches/s; \
+         {} workers, {} forks, {} recoveries, {} retries)",
+        report.branches.len(),
+        sc.cycles(),
+        secs,
+        report.branches.len() as f64 / secs.max(1e-12),
+        report.workers,
+        report.forks,
+        report.recoveries,
+        report.total_retries()
+    );
+}
+
 fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
     v.and_then(|s| s.parse().ok())
         .unwrap_or_else(|| die(&format!("{flag} needs a number")))
@@ -436,7 +601,10 @@ fn usage() {
          gsim serve --socket <ep> --cache-dir <dir> [--cache-capacity N] \
          [--max-sessions N] [--idle-timeout SECS] [--faults SPEC]\n\
          gsim client <design.fir> --socket <ep> [--backend aot|interp|jit] \
-         [--cycles N] [--stats] [--shutdown]"
+         [--cycles N] [--stats] [--shutdown]\n\
+         gsim explore <design.fir> [--branches N] [--backend interp|jit|aot] \
+         [--scenario file] [--cycles N] [--warmup N] [--workers N] \
+         [--watch a,b] [--divergence] [--socket <ep>]"
     );
 }
 

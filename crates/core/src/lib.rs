@@ -20,6 +20,10 @@
 //!   the multi-tenant simulation service: many concurrent remote
 //!   sessions over one content-addressed compiled-artifact cache
 //!   (CLI: `gsim serve` / `gsim client`).
+//! * [`Scenario`] / [`Explorer`] (re-exported from `gsim_sim`) — the
+//!   typed stimulus description shared by every backend and the
+//!   snapshot-fork exploration engine that runs N divergent branches
+//!   of it from one warmed state (CLI: `gsim explore`).
 //!
 //! # Quickstart
 //!
@@ -46,14 +50,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use gsim_codegen::{AotRun, AotSession, AotSim, ArtifactCache, ArtifactKey, Stimulus};
+#[allow(deprecated)] // kept so downstream `Stimulus` users get the rename hint
+pub use gsim_codegen::Stimulus;
+pub use gsim_codegen::{AotRun, AotSession, AotSim, ArtifactCache, ArtifactKey};
 pub use gsim_graph::Graph;
 pub use gsim_passes::{PassOptions, PassStats};
 pub use gsim_server::{ClientSession, Endpoint, Server, ServerConfig, ServiceStats};
 pub use gsim_sim::{
-    Counters, EngineKind, FaultPlan, FusionStats, GsimError, InputFrame, InputHandle,
-    RecoveryStats, Session, SessionFactory, SessionFrame, SimOptions, Simulator, SnapshotId,
-    SuperviseOptions, SupervisedSession,
+    BranchResult, Counters, EngineKind, ExploreOptions, ExploreReport, Explorer, FaultPlan,
+    FusionStats, GsimError, InputFrame, InputHandle, MemoryInfo, RecoveryStats, Scenario,
+    SendSessionFactory, Session, SessionFactory, SessionFrame, SignalInfo, SimOptions, Simulator,
+    SnapshotId, SuperviseOptions, SupervisedSession, Value,
 };
 
 use gsim_partition::{Algorithm, PartitionOptions};

@@ -12,7 +12,9 @@
 
 use crate::net::{Endpoint, Stream};
 use crate::server::ServiceStats;
-use gsim_sim::{Counters, GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
+use gsim_sim::{
+    Counters, GsimError, MemoryInfo, Scenario, Session, SessionFrame, SignalInfo, SnapshotId,
+};
 use gsim_value::Value;
 use std::io::{BufRead as _, BufReader, Write as _};
 
@@ -132,6 +134,37 @@ impl ClientSession {
         let line = self.query("stats")?;
         ServiceStats::parse_wire(&line)
             .ok_or_else(|| GsimError::Protocol(format!("bad stats response: {line}")))
+    }
+
+    /// Runs `n` perturbed branches of `scenario` on the server, forked
+    /// from the session's current state, and returns the streamed
+    /// `branch` wire lines verbatim (the format of
+    /// [`gsim_sim::BranchResult::render_wire`], index order). The
+    /// remote session is back at its pre-explore state afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Typed simulation errors travel back as `err` lines; transport
+    /// failures are [`GsimError::Io`].
+    pub fn explore(&mut self, scenario: &Scenario, n: usize) -> Result<Vec<String>, GsimError> {
+        let text = scenario.render();
+        self.send(&format!("explore {n} {}", text.len()))?;
+        let w = self.writer()?;
+        w.write_all(text.as_bytes())
+            .map_err(|e| GsimError::Io(format!("scenario upload: {e}")))?;
+        self.flush()?;
+        let mut branches = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.starts_with("err ") {
+                return Err(GsimError::from_wire(&line));
+            }
+            if let Some(rest) = line.strip_prefix("ok") {
+                self.cycle = rest.trim().parse().unwrap_or(self.cycle);
+                return Ok(branches);
+            }
+            branches.push(line);
+        }
     }
 
     /// Asks the server to shut down (test/admin facility).
@@ -296,6 +329,7 @@ impl Session for ClientSession {
         self.sync().map(|_| ())
     }
 
+    #[allow(deprecated)] // the pipelined wire override must shadow the shim
     fn run_driven(
         &mut self,
         n: u64,

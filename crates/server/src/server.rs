@@ -20,8 +20,8 @@ use crate::net::{Endpoint, Listener, Stream};
 use crate::proto::{Flow, SessionProto};
 use gsim_codegen::{AotOptions, ArtifactCache, ArtifactKey, CacheStats};
 use gsim_sim::{
-    FaultPlan, GsimError, Session, SessionFactory, SimOptions, Simulator, SuperviseOptions,
-    SupervisedSession,
+    ExploreOptions, Explorer, FaultPlan, GsimError, Scenario, Session, SessionFactory, SimOptions,
+    Simulator, SuperviseOptions, SupervisedSession,
 };
 use std::collections::HashMap;
 use std::io::{BufRead as _, BufReader, Read as _, Write as _};
@@ -423,6 +423,29 @@ fn session_loop(
                 }
                 writer.flush()?;
             }
+            Some("explore") => {
+                let n: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                let nbytes: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                let mut payload = vec![0u8; nbytes];
+                reader.read_exact(&mut payload)?;
+                match session.as_deref_mut() {
+                    Some(sess) => match run_explore(sess, &payload, n) {
+                        Ok(report) => {
+                            for b in &report.branches {
+                                writeln!(writer, "{}", b.render_wire())?;
+                            }
+                            writeln!(writer, "ok {}", sess.cycle())?;
+                        }
+                        Err(e) => writeln!(writer, "{}", e.to_wire())?,
+                    },
+                    None => writeln!(
+                        writer,
+                        "{}",
+                        GsimError::Protocol("no design loaded".into()).to_wire()
+                    )?,
+                }
+                writer.flush()?;
+            }
             Some("stats") => {
                 writeln!(writer, "{}", shared.stats().render_wire())?;
                 writer.flush()?;
@@ -459,6 +482,26 @@ fn session_loop(
             None => {} // blank line
         }
     }
+}
+
+/// Serves one `explore <n> <nbytes>` request: parses the uploaded
+/// scenario text, forks the open session's current state
+/// ([`Session::clone_at_snapshot`] — CoW in-process forks for
+/// interp/jit, sibling processes from the same cached binary for
+/// AoT), and runs `n` perturbed branches. The session is handed back
+/// at its pre-explore state, so the tenant continues where it left
+/// off.
+fn run_explore(
+    sess: &mut dyn Session,
+    payload: &[u8],
+    n: usize,
+) -> Result<gsim_sim::ExploreReport, GsimError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| GsimError::Protocol("scenario payload is not UTF-8".into()))?;
+    let sc = Scenario::parse(text)?;
+    Explorer::new(sess)
+        .options(ExploreOptions::default())
+        .run(&sc, n, None)
 }
 
 /// Compiles FIRRTL source into a session: through the artifact cache

@@ -17,6 +17,7 @@ use crate::{CompileError, EngineKind, SimOptions};
 use gsim_graph::Graph;
 use gsim_value::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A resolved top-level input, for allocation-free per-cycle stimulus
 /// through [`Simulator::run_driven`].
@@ -85,7 +86,10 @@ fn apply_frame<S: StateStore, A: ActiveBits>(
 /// interface; behaviour is bit-identical across engines (pinned by
 /// differential tests against the reference interpreter).
 pub struct Simulator {
-    c: Compiled,
+    /// The compiled design, read-only at runtime and shared (`Arc`)
+    /// between a simulator and its [`Simulator::fork`] children, so a
+    /// fork costs state copies only — never a recompile.
+    c: Arc<Compiled>,
     opts: SimOptions,
     state: Vec<u64>,
     scratch: Vec<u64>,
@@ -105,8 +109,9 @@ pub struct Simulator {
     /// `threaded_dispatch` on). When present, `state` is the combined
     /// `[state | scratch | consts]` arena the records index into; the
     /// persistent state occupies the prefix at unchanged offsets, so
-    /// every poke/peek/commit/snapshot path works untouched.
-    threaded: Option<ThreadedProg>,
+    /// every poke/peek/commit/snapshot path works untouched. Shared
+    /// (`Arc`) with forks, like the compiled design.
+    threaded: Option<Arc<ThreadedProg>>,
     /// Saved states for [`Session::snapshot`] / [`Session::restore`].
     snapshots: Vec<SimSnapshot>,
     /// Name → node id for every top-level input, prebuilt at compile
@@ -149,7 +154,7 @@ impl Simulator {
         let mut c = compile::compile(graph, opts)?;
         let mems = std::mem::take(&mut c.mems);
         let threaded = (opts.engine == EngineKind::Threaded && opts.threaded_dispatch)
-            .then(|| threaded::lower(&c));
+            .then(|| Arc::new(threaded::lower(&c)));
         let state = match &threaded {
             // Combined arena: persistent state in the prefix (same
             // offsets as the plain engines), scratch and the const
@@ -194,7 +199,7 @@ impl Simulator {
             .map(|(name, &id)| (name.clone(), id))
             .collect();
         Ok(Simulator {
-            c,
+            c: Arc::new(c),
             opts: *opts,
             state,
             scratch,
@@ -457,10 +462,18 @@ impl Simulator {
     /// Saves the complete simulation state (signals, memories, active
     /// bits, cycle count, counters) and returns a handle for
     /// [`Simulator::restore_snapshot`].
+    ///
+    /// Memory arenas are saved copy-on-write: the snapshot *shares*
+    /// each arena's word storage with the live simulation, and the
+    /// words are copied only when the live side (or a restore) first
+    /// writes to a shared arena. A design whose memories are
+    /// read-only ROM images therefore snapshots in O(signal state),
+    /// not O(signal state + memories) — see
+    /// [`Simulator::snapshot_mem_bytes`] for the measured difference.
     pub fn take_snapshot(&mut self) -> SnapshotId {
         self.snapshots.push(SimSnapshot {
             state: self.state.clone(),
-            mems: self.mems.clone(),
+            mems: self.mems.clone(), // CoW: shares arena storage
             flags: self.flags.clone(),
             fired: self.fired.clone(),
             dirty_mems: self.dirty_mems.clone(),
@@ -468,6 +481,53 @@ impl Simulator {
             cycle: self.cycle,
         });
         SnapshotId::from_raw(self.snapshots.len() as u64 - 1)
+    }
+
+    /// Copy-on-write accounting for the snapshot stack: bytes of
+    /// memory-arena storage the snapshots actually own privately
+    /// versus the bytes an eager deep copy per snapshot would have
+    /// duplicated. An arena still sharing its words with the live
+    /// simulation costs nothing until one side writes.
+    pub fn snapshot_mem_bytes(&self) -> (usize, usize) {
+        let mut owned = 0;
+        let mut deep = 0;
+        for snap in &self.snapshots {
+            for (saved, live) in snap.mems.iter().zip(&self.mems) {
+                deep += saved.storage_bytes();
+                if !saved.shares_storage_with(live) {
+                    owned += saved.storage_bytes();
+                }
+            }
+        }
+        (owned, deep)
+    }
+
+    /// Forks this simulation: a new, independent [`Simulator`] whose
+    /// observable state (signals, memories, cycle count, counters)
+    /// equals this one's right now. The compiled design and lowered
+    /// threaded-code program are shared (`Arc`), and memory arenas
+    /// are shared copy-on-write, so a fork costs one signal-state
+    /// copy — no recompilation, no memory duplication until a branch
+    /// writes. Snapshot handles are session-local and do not carry
+    /// over to the fork.
+    pub fn fork(&self) -> Simulator {
+        Simulator {
+            c: Arc::clone(&self.c),
+            opts: self.opts,
+            state: self.state.clone(),
+            scratch: self.scratch.clone(),
+            mems: self.mems.clone(), // CoW: shares arena storage
+            flags: self.flags.clone(),
+            fired: self.fired.clone(),
+            supernode_regs: self.supernode_regs.clone(),
+            dirty_mems: self.dirty_mems.clone(),
+            reset_snap: self.reset_snap.clone(),
+            counters: self.counters,
+            cycle: self.cycle,
+            threaded: self.threaded.clone(),
+            snapshots: Vec::new(),
+            input_ids: self.input_ids.clone(),
+        }
     }
 
     /// Rolls the simulation back to a saved state. Replay after a
@@ -907,6 +967,7 @@ impl Session for Simulator {
         Ok(())
     }
 
+    #[allow(deprecated)]
     fn run_driven(
         &mut self,
         n: u64,
@@ -951,6 +1012,10 @@ impl Session for Simulator {
 
     fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError> {
         self.restore_snapshot(id)
+    }
+
+    fn clone_at_snapshot(&mut self) -> Result<Box<dyn Session + Send>, GsimError> {
+        Ok(Box::new(self.fork()))
     }
 
     fn inputs(&mut self) -> Result<Vec<SignalInfo>, GsimError> {
@@ -1242,6 +1307,84 @@ circuit W :
             sim.run_driven(0, |_, _| panic!("drive must not be called for n = 0"));
             assert_eq!(sim.cycle(), 5, "engine {name}");
             assert_eq!(sim.peek_u64("out"), before, "engine {name}");
+        }
+    }
+
+    const MEMCIRC: &str = r#"
+circuit M :
+  module M :
+    input clock : Clock
+    input waddr : UInt<3>
+    input wdata : UInt<16>
+    input wen : UInt<1>
+    input raddr : UInt<3>
+    output q : UInt<16>
+    mem ram :
+      data-type => UInt<16>
+      depth => 8
+      read-latency => 0
+      write-latency => 1
+      reader => r
+      writer => w
+    ram.r.addr <= raddr
+    ram.r.en <= UInt<1>(1)
+    ram.w.addr <= waddr
+    ram.w.data <= wdata
+    ram.w.en <= wen
+    q <= ram.r.data
+"#;
+
+    #[test]
+    fn snapshots_share_mem_storage_until_write() {
+        let g = gsim_firrtl::compile(MEMCIRC).unwrap();
+        let mut sim = Simulator::compile(&g, &SimOptions::default()).unwrap();
+        sim.load_mem("ram", &[9; 8]).unwrap();
+        sim.poke_u64("wen", 0).unwrap();
+        sim.run(3);
+        let id = sim.take_snapshot();
+        // No memory write since the snapshot: storage is still shared.
+        let (owned, deep) = sim.snapshot_mem_bytes();
+        assert_eq!(owned, 0, "read-only arena must stay shared");
+        assert!(deep > 0);
+        // A committed memory write unshares the live arena.
+        sim.poke_u64("wen", 1).unwrap();
+        sim.poke_u64("waddr", 2).unwrap();
+        sim.poke_u64("wdata", 0x1234).unwrap();
+        sim.step();
+        let (owned, deep2) = sim.snapshot_mem_bytes();
+        assert_eq!(owned, deep2);
+        assert_eq!(deep, deep2);
+        // The snapshot preserved the pre-write image.
+        sim.restore_snapshot(id).unwrap();
+        assert_eq!(sim.read_mem("ram", 2).unwrap().to_u64(), Some(9));
+    }
+
+    #[test]
+    fn fork_diverges_independently() {
+        let g = gsim_firrtl::compile(MEMCIRC).unwrap();
+        for (name, opts) in engines() {
+            let mut sim = Simulator::compile(&g, &opts).unwrap();
+            sim.load_mem("ram", &[5; 8]).unwrap();
+            sim.poke_u64("raddr", 1).unwrap();
+            sim.poke_u64("wen", 0).unwrap();
+            sim.run(2);
+            let mut child = sim.fork();
+            assert_eq!(child.cycle(), sim.cycle(), "engine {name}");
+            assert_eq!(child.counters(), sim.counters(), "engine {name}");
+            // The child writes; the parent must not observe it. The
+            // write commits at the end of the first step; the
+            // combinational read reflects it on the next sweep.
+            child.poke_u64("wen", 1).unwrap();
+            child.poke_u64("waddr", 1).unwrap();
+            child.poke_u64("wdata", 0xbeef).unwrap();
+            child.step();
+            child.poke_u64("wen", 0).unwrap();
+            child.step();
+            sim.run(2);
+            assert_eq!(child.read_mem("ram", 1).unwrap().to_u64(), Some(0xbeef));
+            assert_eq!(child.peek_u64("q"), Some(0xbeef), "engine {name}");
+            assert_eq!(sim.peek_u64("q"), Some(5), "engine {name} parent");
+            assert_eq!(sim.read_mem("ram", 1).unwrap().to_u64(), Some(5));
         }
     }
 

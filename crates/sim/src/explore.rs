@@ -1,0 +1,661 @@
+//! Snapshot-fork scenario exploration: one warmed-up simulation,
+//! fanned out into N divergent [`Scenario`] branches.
+//!
+//! The persistent-session work made *latency* cheap — one compile,
+//! arbitrarily many interactions. This module makes *throughput*
+//! cheap: an [`Explorer`] takes a session that has already been
+//! warmed to an interesting state, captures that state once, and runs
+//! N branch scenarios (typically a [`Scenario::perturb`] corpus)
+//! across a worker pool, each branch starting from the shared
+//! snapshot and evolving independently. Forking is copy-on-write
+//! where the backend allows it:
+//!
+//! * **interp / jit** — [`crate::Simulator::fork`] shares the
+//!   compiled design, the lowered threaded-code program, and every
+//!   memory arena behind `Arc`s; a fork copies signal state only.
+//! * **AoT** — one [`Session::export_state`] blob is imported into a
+//!   pool of sibling processes spawned from the *same* compiled
+//!   binary, so N branches cost one `rustc` invocation total.
+//!
+//! Workers snapshot their fork once and [`Session::restore`] between
+//! branches, so each branch pays state-restore, not session-open.
+//! Every branch is bit-pinned: running the same perturbed scenario
+//! sequentially on the reference interpreter produces identical
+//! peeks, and a sequential replay on the same backend produces
+//! identical counters (the differential tests enforce both).
+//!
+//! A branch that dies mid-run (an AoT child killed under it) is
+//! retried on a fresh session from the recovery factory, bounded by
+//! [`ExploreOptions::max_retries`]; retries are reported per branch.
+
+use crate::counters::Counters;
+use crate::scenario::Scenario;
+use crate::session::{GsimError, Session};
+use gsim_value::Value;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A thread-safe factory producing fresh sessions *at the fork
+/// point* (same design, same warmed-up state): the recovery path the
+/// [`Explorer`] uses to replace a branch worker whose session died,
+/// and the fork source for backends without
+/// [`Session::clone_at_snapshot`]. For the AoT backend the cheap
+/// recipe is importing a saved [`Session::export_state`] blob; for
+/// in-process backends, replaying the warm-up scenario.
+pub type SendSessionFactory = dyn Fn() -> Result<Box<dyn Session + Send>, GsimError> + Send + Sync;
+
+/// Tuning knobs for one [`Explorer::run`] call.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Branch worker threads. `0` (the default) uses the host's
+    /// available parallelism, capped at the branch count.
+    pub workers: usize,
+    /// How many times a single branch may be retried on a fresh
+    /// session after a fatal (transport-class) error before the
+    /// whole exploration fails.
+    pub max_retries: u32,
+    /// Signals recorded per branch. Empty (the default) records the
+    /// portable [`Session::signals`] list.
+    pub watch: Vec<String>,
+    /// Track each branch's divergence cycle (first cycle its watched
+    /// values differ from branch 0's). Costs a per-cycle peek per
+    /// watched signal, so throughput benchmarks turn it off.
+    pub divergence: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            workers: 0,
+            max_retries: 2,
+            watch: Vec::new(),
+            divergence: false,
+        }
+    }
+}
+
+/// The outcome of one explored branch.
+#[derive(Debug, Clone)]
+pub struct BranchResult {
+    /// Branch index `i` (the branch ran `base.perturb(i)`).
+    pub index: usize,
+    /// The session's cycle count when the branch finished.
+    pub cycle: u64,
+    /// Watched signal values at the end of the branch.
+    pub peeks: Vec<(String, Value)>,
+    /// Semantic counters at the end of the branch (cumulative since
+    /// the session opened, so they are fork-invariant: a sequential
+    /// replay from a cold session reports the same numbers).
+    pub counters: Counters,
+    /// The pass/fail predicate's verdict, when one was supplied.
+    pub pass: Option<bool>,
+    /// First cycle at which this branch's watched values differed
+    /// from branch 0's (`None` for branch 0 itself, for branches
+    /// that never diverged, or when divergence tracking is off).
+    pub divergence_cycle: Option<u64>,
+    /// Fatal-error retries this branch consumed (normally 0).
+    pub retries: u32,
+}
+
+impl BranchResult {
+    /// Renders the canonical `branch` wire line:
+    /// `branch <i> <cycle> <name>=<hex>... counters <cycles>
+    /// <supernode_evals> <node_evals> <value_changes>`. The service
+    /// streams exactly this per branch, and the CLI prints it for
+    /// local runs, so a remote exploration can be diffed textually
+    /// against a local replay.
+    pub fn render_wire(&self) -> String {
+        let mut s = format!("branch {} {}", self.index, self.cycle);
+        for (name, v) in &self.peeks {
+            s.push_str(&format!(" {name}={v:x}"));
+        }
+        s.push_str(&format!(
+            " counters {} {} {} {}",
+            self.counters.cycles,
+            self.counters.supernode_evals,
+            self.counters.node_evals,
+            self.counters.value_changes
+        ));
+        s
+    }
+}
+
+/// Aggregate statistics for one [`Explorer::run`] call.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Per-branch results, in branch-index order.
+    pub branches: Vec<BranchResult>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Sessions obtained by [`Session::clone_at_snapshot`] on the
+    /// warmed core.
+    pub forks: usize,
+    /// Sessions obtained from the recovery factory (pool fill-in
+    /// where the backend cannot fork, plus fatal-error retries).
+    pub recoveries: usize,
+}
+
+impl ExploreReport {
+    /// Total fatal-error retries across all branches.
+    pub fn total_retries(&self) -> u64 {
+        self.branches.iter().map(|b| b.retries as u64).sum()
+    }
+}
+
+/// Runs N divergent scenario branches from one shared snapshot of a
+/// warmed-up session.
+///
+/// The core session is borrowed for the duration of the run and
+/// handed back in the state it was in (forks and a snapshot/restore
+/// round trip are the only operations applied to it), so a
+/// long-lived interactive session — a server tenant — can explore
+/// mid-flight and continue afterwards.
+pub struct Explorer<'a> {
+    core: &'a mut dyn Session,
+    recover: Option<&'a SendSessionFactory>,
+    opts: ExploreOptions,
+}
+
+impl<'a> Explorer<'a> {
+    /// An explorer forking from `core`, which must already be at the
+    /// state branches should start from (warmed up by the caller).
+    pub fn new(core: &'a mut dyn Session) -> Explorer<'a> {
+        Explorer {
+            core,
+            recover: None,
+            opts: ExploreOptions::default(),
+        }
+    }
+
+    /// Supplies the recovery factory: fresh sessions at the fork
+    /// point, used to retry branches whose session died and to fill
+    /// the pool on backends that cannot fork.
+    pub fn with_recovery(mut self, recover: &'a SendSessionFactory) -> Explorer<'a> {
+        self.recover = Some(recover);
+        self
+    }
+
+    /// Replaces the option block (see [`ExploreOptions`]).
+    pub fn options(mut self, opts: ExploreOptions) -> Explorer<'a> {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs branches `0..n`, where branch `i` executes
+    /// `base.perturb(i as u64)` (branch 0 is the base scenario
+    /// itself), and returns per-branch results in index order.
+    ///
+    /// `pass` is an optional verdict predicate evaluated once per
+    /// branch result.
+    ///
+    /// # Errors
+    ///
+    /// Any session error a branch run hits after its retry budget is
+    /// exhausted; [`GsimError::UnknownSignal`] when a watched signal
+    /// does not resolve; fork/recovery errors while building the
+    /// worker pool. [`GsimError::Unsupported`] from
+    /// [`Session::clone_at_snapshot`] is *not* an error — the
+    /// explorer falls back to the recovery factory, or to running
+    /// all branches sequentially on the core itself.
+    pub fn run(
+        &mut self,
+        base: &Scenario,
+        n: usize,
+        pass: Option<&dyn Fn(&BranchResult) -> bool>,
+    ) -> Result<ExploreReport, GsimError> {
+        let mut report = ExploreReport {
+            branches: Vec::with_capacity(n),
+            workers: 0,
+            forks: 0,
+            recoveries: 0,
+        };
+        if n == 0 {
+            return Ok(report);
+        }
+        let watch: Vec<String> = if self.opts.watch.is_empty() {
+            self.core.signals()?.into_iter().map(|s| s.name).collect()
+        } else {
+            self.opts.watch.clone()
+        };
+        // Branch 0's per-cycle trace, for divergence tracking.
+        let base_trace = if self.opts.divergence {
+            let snap = self.core.snapshot()?;
+            let mut trace = Vec::with_capacity(base.cycles() as usize);
+            run_branch(self.core, base, &watch, Some(&mut trace))?;
+            self.core.restore(snap)?;
+            Some(trace)
+        } else {
+            None
+        };
+
+        // Build the worker pool: forks first, recovery fill-in, and a
+        // sequential run on the core itself as the universal fallback.
+        let want_workers = if self.opts.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.opts.workers
+        }
+        .min(n)
+        .max(1);
+        let mut pool: Vec<Box<dyn Session + Send>> = Vec::new();
+        for _ in 0..want_workers {
+            match self.core.clone_at_snapshot() {
+                Ok(s) => {
+                    report.forks += 1;
+                    pool.push(s);
+                }
+                Err(GsimError::Unsupported(_)) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if pool.is_empty() {
+            if let Some(recover) = self.recover {
+                for _ in 0..want_workers {
+                    pool.push(recover()?);
+                    report.recoveries += 1;
+                }
+            }
+        }
+
+        let retry_budget = self.opts.max_retries;
+        let next = AtomicUsize::new(0);
+        let recoveries = AtomicUsize::new(0);
+        let recover = self.recover;
+        let base_trace = base_trace.as_deref();
+
+        let mut results: Vec<BranchResult> = if pool.is_empty() {
+            // No fork support and no recovery factory: run every
+            // branch on the core, snapshot/restore between branches.
+            report.workers = 1;
+            let snap = self.core.snapshot()?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let sc = base.perturb(i as u64);
+                let mut trace = Vec::new();
+                let (cycle, peeks, counters) =
+                    run_branch(self.core, &sc, &watch, base_trace.map(|_| &mut trace))?;
+                out.push(finish_branch(
+                    i, cycle, peeks, counters, 0, base_trace, &trace,
+                ));
+                self.core.restore(snap)?;
+            }
+            out
+        } else {
+            report.workers = pool.len();
+            let watch = &watch;
+            let worker =
+                |mut session: Box<dyn Session + Send>| -> Result<Vec<BranchResult>, GsimError> {
+                    let mut snap = session.snapshot()?;
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return Ok(out);
+                        }
+                        let sc = base.perturb(i as u64);
+                        let mut retries = 0u32;
+                        loop {
+                            let mut trace = Vec::new();
+                            let attempt = session.restore(snap).and_then(|()| {
+                                run_branch(
+                                    session.as_mut(),
+                                    &sc,
+                                    watch,
+                                    base_trace.map(|_| &mut trace),
+                                )
+                            });
+                            match attempt {
+                                Ok((cycle, peeks, counters)) => {
+                                    out.push(finish_branch(
+                                        i, cycle, peeks, counters, retries, base_trace, &trace,
+                                    ));
+                                    break;
+                                }
+                                Err(e) if e.is_fatal() && retries < retry_budget => {
+                                    let Some(recover) = recover else {
+                                        return Err(e);
+                                    };
+                                    session = recover()?;
+                                    snap = session.snapshot()?;
+                                    recoveries.fetch_add(1, Ordering::Relaxed);
+                                    retries += 1;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                };
+            let per_worker: Vec<Result<Vec<BranchResult>, GsimError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = pool
+                        .into_iter()
+                        .map(|session| scope.spawn(|| worker(session)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("explore worker panicked"))
+                        .collect()
+                });
+            let mut all = Vec::with_capacity(n);
+            for r in per_worker {
+                all.extend(r?);
+            }
+            all
+        };
+        report.recoveries += recoveries.load(Ordering::Relaxed);
+        results.sort_by_key(|b| b.index);
+        if let Some(pass) = pass {
+            for b in &mut results {
+                b.pass = Some(pass(b));
+            }
+        }
+        report.branches = results;
+        Ok(report)
+    }
+}
+
+/// Builds one [`BranchResult`], computing the divergence cycle from
+/// the branch's recorded trace against branch 0's.
+fn finish_branch(
+    index: usize,
+    cycle: u64,
+    peeks: Vec<(String, Value)>,
+    counters: Counters,
+    retries: u32,
+    base_trace: Option<&[Vec<Value>]>,
+    trace: &[Vec<Value>],
+) -> BranchResult {
+    let divergence_cycle = base_trace.and_then(|base| {
+        trace
+            .iter()
+            .zip(base)
+            .position(|(a, b)| a != b)
+            .map(|c| c as u64)
+    });
+    BranchResult {
+        index,
+        cycle,
+        peeks,
+        counters,
+        pass: None,
+        divergence_cycle,
+        retries,
+    }
+}
+
+/// What [`run_branch`] observes: the session's end cycle, the
+/// watched peeks, and the cumulative counters.
+type BranchObservation = (u64, Vec<(String, Value)>, Counters);
+
+/// Runs one scenario on `session` and collects the branch
+/// observations. With `trace` supplied, the run is stepped
+/// cycle-by-cycle and the watched values are recorded after every
+/// cycle (the divergence-tracking slow path); otherwise the scenario
+/// goes through the backend's batched [`Session::run_scenario`] fast
+/// path.
+fn run_branch(
+    session: &mut dyn Session,
+    sc: &Scenario,
+    watch: &[String],
+    trace: Option<&mut Vec<Vec<Value>>>,
+) -> Result<BranchObservation, GsimError> {
+    match trace {
+        None => session.run_scenario(sc)?,
+        Some(trace) => {
+            for (mem, image) in &sc.loads {
+                session.load_mem(mem, image)?;
+            }
+            for frame in &sc.frames {
+                for (name, v) in frame {
+                    session.poke(name, Value::from_u64(*v, 64))?;
+                }
+                session.step(1)?;
+                let mut row = Vec::with_capacity(watch.len());
+                for w in watch {
+                    row.push(session.peek(w)?);
+                }
+                trace.push(row);
+            }
+        }
+    }
+    let mut peeks = Vec::with_capacity(watch.len());
+    for w in watch {
+        peeks.push((w.clone(), session.peek(w)?));
+    }
+    let counters = session.counters()?;
+    Ok((session.cycle(), peeks, counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SnapshotId;
+    use crate::{SimOptions, Simulator};
+    use std::sync::Mutex;
+
+    const COUNTER: &str = r#"
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    input inc : UInt<4>
+    output out : UInt<16>
+    reg c : UInt<16>, clock with : (reset => (reset, UInt<16>(0)))
+    when en :
+      c <= tail(add(c, inc), 4)
+    out <= c
+"#;
+
+    fn open(opts: SimOptions) -> Box<dyn Session + Send> {
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        Box::new(Simulator::compile(&g, &opts).unwrap())
+    }
+
+    fn warmup() -> Scenario {
+        Scenario::new()
+            .frame(&[("reset", 1), ("en", 0), ("inc", 0)])
+            .frame(&[("reset", 0), ("en", 1), ("inc", 1)])
+            .repeat(3)
+    }
+
+    fn base() -> Scenario {
+        Scenario::new().frame(&[("inc", 2)]).repeat(7)
+    }
+
+    /// Sequential replay: cold session + warmup + branch must equal
+    /// the explored branch bit for bit (peeks and counters).
+    fn replay(opts: SimOptions, branch: &Scenario) -> (Vec<(String, Value)>, Counters) {
+        let mut s = open(opts);
+        s.run_scenario(&warmup()).unwrap();
+        s.run_scenario(branch).unwrap();
+        let peeks = vec![("out".to_string(), s.peek("out").unwrap())];
+        (peeks, s.counters().unwrap())
+    }
+
+    #[test]
+    fn explored_branches_match_sequential_replay() {
+        for opts in [SimOptions::default(), SimOptions::threaded()] {
+            let mut core = open(opts);
+            core.run_scenario(&warmup()).unwrap();
+            let cycle0 = core.cycle();
+            let report = Explorer::new(core.as_mut())
+                .options(ExploreOptions {
+                    workers: 3,
+                    watch: vec!["out".into()],
+                    ..ExploreOptions::default()
+                })
+                .run(
+                    &base(),
+                    9,
+                    Some(&|b: &BranchResult| b.peeks[0].1.to_u64().unwrap() < 0x8000),
+                )
+                .unwrap();
+            assert_eq!(report.branches.len(), 9);
+            assert_eq!(report.forks, 3);
+            assert_eq!(report.recoveries, 0);
+            // The core came back at the fork point.
+            assert_eq!(core.cycle(), cycle0);
+            for (i, b) in report.branches.iter().enumerate() {
+                assert_eq!(b.index, i);
+                assert_eq!(b.pass, Some(true));
+                assert_eq!(b.retries, 0);
+                let (peeks, counters) = replay(opts, &base().perturb(i as u64));
+                assert_eq!(b.peeks, peeks, "branch {i} peeks");
+                assert_eq!(b.counters, counters, "branch {i} counters");
+            }
+            // Perturbed branches actually explore distinct states.
+            let distinct: std::collections::HashSet<_> = report
+                .branches
+                .iter()
+                .map(|b| b.peeks[0].1.to_u64().unwrap())
+                .collect();
+            assert!(distinct.len() > 1);
+        }
+    }
+
+    #[test]
+    fn divergence_cycle_is_first_observable_difference() {
+        let mut core = open(SimOptions::default());
+        core.run_scenario(&warmup()).unwrap();
+        let sc = base();
+        let report = Explorer::new(core.as_mut())
+            .options(ExploreOptions {
+                workers: 2,
+                watch: vec!["out".into()],
+                divergence: true,
+                ..ExploreOptions::default()
+            })
+            .run(&sc, 5, None)
+            .unwrap();
+        assert_eq!(
+            report.branches[0].divergence_cycle, None,
+            "branch 0 is the base"
+        );
+        // `out` mirrors the accumulating register as evaluated during
+        // the sweep (pre-commit), so an `inc` poke that first differs
+        // from the base on frame `p` — after masking to the input's 4
+        // bits — becomes observable one cycle later, at trace row
+        // `p + 1` (or never, if the scenario ends first).
+        for b in &report.branches[1..] {
+            let perturbed = sc.perturb(b.index as u64);
+            let expect = sc
+                .frames
+                .iter()
+                .zip(&perturbed.frames)
+                .position(|(bf, pf)| bf[0].1 & 0xf != pf[0].1 & 0xf)
+                .map(|p| p as u64 + 1)
+                .filter(|&c| c < sc.cycles());
+            assert_eq!(b.divergence_cycle, expect, "branch {}", b.index);
+        }
+    }
+
+    /// A session wrapper that cannot fork and injects one fatal error
+    /// mid-branch: exercises the sequential fallback (no recovery)
+    /// and the retry path (with recovery).
+    struct Flaky {
+        inner: Box<dyn Session + Send>,
+        fuse: &'static Mutex<i64>,
+    }
+
+    impl Session for Flaky {
+        fn backend(&self) -> &'static str {
+            "flaky"
+        }
+        fn cycle(&self) -> u64 {
+            self.inner.cycle()
+        }
+        fn poke(&mut self, name: &str, v: Value) -> Result<(), GsimError> {
+            self.inner.poke(name, v)
+        }
+        fn peek(&mut self, name: &str) -> Result<Value, GsimError> {
+            self.inner.peek(name)
+        }
+        fn load_mem(&mut self, name: &str, image: &[u64]) -> Result<(), GsimError> {
+            self.inner.load_mem(name, image)
+        }
+        fn step(&mut self, n: u64) -> Result<(), GsimError> {
+            let mut fuse = self.fuse.lock().unwrap();
+            *fuse -= 1;
+            if *fuse == 0 {
+                return Err(GsimError::SessionLost("chaos: child killed".into()));
+            }
+            drop(fuse);
+            self.inner.step(n)
+        }
+        fn counters(&mut self) -> Result<Counters, GsimError> {
+            self.inner.counters()
+        }
+        fn snapshot(&mut self) -> Result<SnapshotId, GsimError> {
+            self.inner.snapshot()
+        }
+        fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError> {
+            self.inner.restore(id)
+        }
+        fn inputs(&mut self) -> Result<Vec<crate::SignalInfo>, GsimError> {
+            self.inner.inputs()
+        }
+        fn signals(&mut self) -> Result<Vec<crate::SignalInfo>, GsimError> {
+            self.inner.signals()
+        }
+        fn memories(&mut self) -> Result<Vec<crate::MemoryInfo>, GsimError> {
+            self.inner.memories()
+        }
+    }
+
+    #[test]
+    fn fatal_mid_branch_is_retried_via_recovery() {
+        static FUSE: Mutex<i64> = Mutex::new(-1);
+        *FUSE.lock().unwrap() = 20; // one injected loss, mid-exploration
+        let recover = || -> Result<Box<dyn Session + Send>, GsimError> {
+            let mut s: Box<dyn Session + Send> = Box::new(Flaky {
+                inner: open(SimOptions::default()),
+                fuse: &FUSE,
+            });
+            s.run_scenario(&warmup())?;
+            Ok(s)
+        };
+        let mut core = recover().unwrap();
+        let report = Explorer::new(core.as_mut())
+            .with_recovery(&recover)
+            .options(ExploreOptions {
+                workers: 2,
+                watch: vec!["out".into()],
+                ..ExploreOptions::default()
+            })
+            .run(&base(), 6, None)
+            .unwrap();
+        assert_eq!(report.branches.len(), 6);
+        assert_eq!(report.total_retries(), 1);
+        assert!(report.recoveries >= 3); // 2 pool opens + 1 retry
+                                         // The retried branch still matches its sequential replay.
+        for b in &report.branches {
+            let (peeks, _) = replay(SimOptions::default(), &base().perturb(b.index as u64));
+            assert_eq!(b.peeks, peeks, "branch {}", b.index);
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_without_fork_or_recovery() {
+        static FUSE: Mutex<i64> = Mutex::new(-1);
+        let mut core: Box<dyn Session + Send> = Box::new(Flaky {
+            inner: open(SimOptions::default()),
+            fuse: &FUSE,
+        });
+        core.run_scenario(&warmup()).unwrap();
+        let report = Explorer::new(core.as_mut())
+            .options(ExploreOptions {
+                watch: vec!["out".into()],
+                ..ExploreOptions::default()
+            })
+            .run(&base(), 4, None)
+            .unwrap();
+        assert_eq!(report.branches.len(), 4);
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.forks, 0);
+        for b in &report.branches {
+            let (peeks, counters) = replay(SimOptions::default(), &base().perturb(b.index as u64));
+            assert_eq!(b.peeks, peeks);
+            assert_eq!(b.counters, counters);
+        }
+    }
+}

@@ -97,8 +97,10 @@ mod counters;
 mod engine;
 mod exec;
 mod executor;
+mod explore;
 mod fault;
 mod image;
+mod scenario;
 mod session;
 mod storage;
 mod supervise;
@@ -107,9 +109,14 @@ mod threaded;
 pub use compile::FusionStats;
 pub use counters::Counters;
 pub use engine::{InputFrame, InputHandle, Simulator};
+pub use explore::{BranchResult, ExploreOptions, ExploreReport, Explorer, SendSessionFactory};
 pub use fault::FaultPlan;
+pub use scenario::Scenario;
 pub use session::{GsimError, MemoryInfo, Session, SessionFrame, SignalInfo, SnapshotId};
 pub use storage::MemArena;
+// `Session::peek` and `BranchResult::peeks` speak `Value`; re-export
+// it so downstream crates can name what they receive.
+pub use gsim_value::Value;
 pub use supervise::{RecoveryStats, SessionFactory, SuperviseOptions, SupervisedSession};
 
 use gsim_partition::PartitionOptions;

@@ -76,6 +76,7 @@
 //! | request | response | notes |
 //! |---|---|---|
 //! | `design <nbytes> [aot\|interp\|jit]` | `ready <key> <hit\|miss\|interp\|jit\|fallback> <ms>` | the next `nbytes` bytes are FIRRTL source; `aot` goes through the artifact cache, `interp`/`jit` compile in-process (`jit` = the threaded-code backend, AoT-class dispatch with no compiler in the loop) |
+//! | `explore <n> <nbytes>` | `branch <i> <cycle> <name>=<hex>... <counters...>` × n, then `ok <cycle>` | the next `nbytes` bytes are a scenario in the stimulus text format; the server forks the open session's current state and runs `n` `perturb(i)` branches, streaming one `branch` line per result (index order) |
 //! | `stats` | `stats sessions <n> active <n> hits <n> misses <n> compiles <n> evictions <n> panics <n> fallbacks <n>` | service-level counters |
 //! | `shutdown` | `ok <cycle>` | stops the whole server (test/admin facility) |
 //!
@@ -87,6 +88,7 @@
 //! `err backend` line); `fallbacks` counts degraded `aot` requests.
 
 use crate::counters::Counters;
+use crate::scenario::Scenario;
 use crate::CompileError;
 use gsim_value::Value;
 
@@ -146,6 +148,11 @@ pub enum GsimError {
     /// dropped the connection. Carries what is known about the death
     /// (exit status, signal, or the transport error).
     SessionLost(String),
+    /// The operation is not supported by this backend: a capability
+    /// gap (e.g. [`Session::clone_at_snapshot`] on a backend that
+    /// cannot fork), not a failure. Non-fatal — the session remains
+    /// usable; callers fall back to a slower path.
+    Unsupported(String),
 }
 
 impl std::fmt::Display for GsimError {
@@ -167,6 +174,7 @@ impl std::fmt::Display for GsimError {
             GsimError::Backend(m) => write!(f, "backend failure: {m}"),
             GsimError::Timeout(m) => write!(f, "operation timed out: {m}"),
             GsimError::SessionLost(m) => write!(f, "session lost: {m}"),
+            GsimError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }
     }
 }
@@ -195,6 +203,7 @@ impl GsimError {
             GsimError::Backend(_) => "backend",
             GsimError::Timeout(_) => "timeout",
             GsimError::SessionLost(_) => "session-lost",
+            GsimError::Unsupported(_) => "unsupported",
         }
     }
 
@@ -221,6 +230,7 @@ impl GsimError {
             GsimError::Backend(m) => format!("err backend {m}"),
             GsimError::Timeout(m) => format!("err timeout {m}"),
             GsimError::SessionLost(m) => format!("err session-lost {m}"),
+            GsimError::Unsupported(m) => format!("err unsupported {m}"),
         }
     }
 
@@ -257,6 +267,7 @@ impl GsimError {
             "backend" => GsimError::Backend(payload.to_string()),
             "timeout" => GsimError::Timeout(payload.to_string()),
             "session-lost" => GsimError::SessionLost(payload.to_string()),
+            "unsupported" => GsimError::Unsupported(payload.to_string()),
             _ => GsimError::Backend(format!("server error: {rest}")),
         }
     }
@@ -422,6 +433,16 @@ pub trait Session {
     /// `n` cycles, and the AoT session pipelines the whole run into
     /// the compiled process with a bounded number of wire round trips.
     ///
+    /// Deprecated as the *public* stimulus surface: closures cannot be
+    /// serialized, compared, perturbed, or sent over the wire, so
+    /// harnesses should describe stimulus as a [`Scenario`] and call
+    /// [`Session::run_scenario`] (which routes through this fast path
+    /// internally). The default implementation is a portable
+    /// poke-per-cycle shim, so `Session` implementors no longer need
+    /// to provide it — backends with a cheaper batched path (the
+    /// interpreter's persistent worker teams, the AoT session's
+    /// pipelining) still override it.
+    ///
     /// # Errors
     ///
     /// Propagates poke errors ([`GsimError::UnknownSignal`] /
@@ -431,11 +452,101 @@ pub trait Session {
     /// chunk already in flight) the first error, and the first error
     /// is reported when the call returns. [`GsimError::Backend`]
     /// aborts immediately — the backend itself is lost.
+    #[deprecated(
+        since = "0.9.0",
+        note = "describe stimulus as a `Scenario` and call `run_scenario`"
+    )]
     fn run_driven(
         &mut self,
         n: u64,
         drive: &mut dyn FnMut(u64, &mut SessionFrame),
-    ) -> Result<(), GsimError>;
+    ) -> Result<(), GsimError> {
+        let start = self.cycle();
+        let mut frame = SessionFrame::default();
+        let mut first_err: Option<GsimError> = None;
+        for k in 0..n {
+            if first_err.is_none() {
+                frame.clear();
+                drive(start + k, &mut frame);
+                for (name, v) in frame.pokes() {
+                    match self.poke(name, Value::from_u64(*v, 64)) {
+                        Ok(()) => {}
+                        Err(e) if e.is_fatal() => return Err(e),
+                        Err(e) => {
+                            first_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            self.step(1)?;
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies a [`Scenario`] to this session: memory loads first,
+    /// then every frame through the backend's driven-run fast path.
+    /// The session is left at `cycle() + scenario.cycles()`. This is
+    /// the one stimulus entry point shared by the CLI, the bench
+    /// harness, the exploration engine, and the wire — the typed
+    /// replacement for ad-hoc `run_driven` closures.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_driven`]: load errors
+    /// ([`GsimError::UnknownMemory`] /
+    /// [`GsimError::MemImageTooLarge`]) abort before any cycle runs;
+    /// poke errors still complete the run and are reported at the
+    /// end; fatal errors abort immediately.
+    fn run_scenario(&mut self, scenario: &Scenario) -> Result<(), GsimError> {
+        for (mem, image) in &scenario.loads {
+            self.load_mem(mem, image)?;
+        }
+        let n = scenario.cycles();
+        if n == 0 {
+            return Ok(());
+        }
+        let start = self.cycle();
+        let frames = &scenario.frames;
+        #[allow(deprecated)]
+        self.run_driven(n, &mut |cycle, frame| {
+            if let Some(pokes) = frames.get((cycle - start) as usize) {
+                for (name, v) in pokes {
+                    frame.set(name, *v);
+                }
+            }
+        })
+    }
+
+    /// Forks this session: returns a *new* session of the same
+    /// compiled design whose simulation state (signals, registers,
+    /// memories, cycle count, counters) equals this session's state
+    /// at the time of the call, and which then evolves independently.
+    /// This is the primitive behind [`crate::Explorer`]'s
+    /// snapshot-fork scenario fan-out.
+    ///
+    /// The default implementation cannot fork (constructing a fresh
+    /// backend instance needs a factory the trait does not carry) and
+    /// returns [`GsimError::Unsupported`]; in-process backends
+    /// override it with a cheap copy-on-write clone, and process
+    /// backends override it by spawning a sibling process and
+    /// importing an [`Session::export_state`] blob.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Unsupported`] when this backend cannot fork
+    /// (callers fall back to opening a session via their own factory
+    /// and replaying); transport-class errors when a process backend
+    /// fails mid-fork.
+    fn clone_at_snapshot(&mut self) -> Result<Box<dyn Session + Send>, GsimError> {
+        Err(GsimError::Unsupported(format!(
+            "backend {:?} cannot fork a running session",
+            self.backend()
+        )))
+    }
 
     /// The semantic cost counters accumulated so far. Backends without
     /// a given counter report it as zero; `cycles`, `node_evals`,
@@ -579,6 +690,7 @@ mod tests {
             GsimError::Backend("rustc exploded".into()),
             GsimError::Timeout("sync exceeded 250ms".into()),
             GsimError::SessionLost("child exited: signal 9".into()),
+            GsimError::Unsupported("this backend cannot fork".into()),
         ]
     }
 

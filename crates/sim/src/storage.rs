@@ -1,6 +1,7 @@
 //! Value storage: slot references, state arenas, memory arenas.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which arena a [`Slot`] lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +100,14 @@ impl StateStore for AtomicStateRef<'_> {
 
 /// A simulated memory: `depth` entries of `width` bits, stored as flat
 /// words.
+///
+/// The word storage lives behind an [`Arc`] with copy-on-write
+/// semantics: `clone()` (and hence every snapshot) *shares* the
+/// underlying allocation, and the backing words are copied only when
+/// a write lands on an arena whose storage is shared
+/// ([`Arc::make_mut`]). A read-only arena — a ROM image loaded once —
+/// therefore costs one allocation total no matter how many snapshots
+/// or forked simulators reference it.
 #[derive(Debug, Clone)]
 pub struct MemArena {
     /// Memory name (for the load/peek API).
@@ -108,7 +117,7 @@ pub struct MemArena {
     /// Entry width in bits.
     pub width: u32,
     words_per_entry: usize,
-    data: Vec<u64>,
+    data: Arc<Vec<u64>>,
 }
 
 impl MemArena {
@@ -119,7 +128,7 @@ impl MemArena {
             depth,
             width,
             words_per_entry,
-            data: vec![0; words_per_entry * depth as usize],
+            data: Arc::new(vec![0; words_per_entry * depth as usize]),
         }
     }
 
@@ -146,20 +155,37 @@ impl MemArena {
         &self.data
     }
 
-    /// Mutable view of the flat word storage.
+    /// Mutable view of the flat word storage. Unshares the backing
+    /// allocation first when snapshots still reference it (CoW).
     #[inline]
     pub(crate) fn words_mut(&mut self) -> &mut [u64] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Mutable words of entry `addr`.
+    /// Mutable words of entry `addr`. Unshares the backing allocation
+    /// first when snapshots still reference it (CoW).
     #[inline]
     pub(crate) fn entry_mut(&mut self, addr: u64) -> Option<&mut [u64]> {
         if addr >= self.depth {
             return None;
         }
         let base = addr as usize * self.words_per_entry;
-        Some(&mut self.data[base..base + self.words_per_entry])
+        Some(&mut Arc::make_mut(&mut self.data)[base..base + self.words_per_entry])
+    }
+
+    /// `true` when this arena and `other` share the same backing
+    /// allocation (neither side has written since the clone) — the
+    /// copy-on-write accounting hook for snapshot-size measurement.
+    #[inline]
+    pub fn shares_storage_with(&self, other: &MemArena) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Size of the backing word storage in bytes (what a deep clone
+    /// of this arena would copy).
+    #[inline]
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
     }
 
     /// Loads an image of `u64` entries starting at address 0.
@@ -176,11 +202,13 @@ impl MemArena {
         } else {
             (1u64 << self.width) - 1
         };
+        let wpe = self.words_per_entry;
+        let data = Arc::make_mut(&mut self.data);
         for (i, &w) in image.iter().enumerate() {
-            let base = i * self.words_per_entry;
-            self.data[base] = w & mask;
-            for k in 1..self.words_per_entry {
-                self.data[base + k] = 0;
+            let base = i * wpe;
+            data[base] = w & mask;
+            for k in 1..wpe {
+                data[base + k] = 0;
             }
         }
         Ok(())
@@ -207,6 +235,19 @@ mod tests {
         m.load_image(&[0x1ff, 2, 3]).unwrap();
         assert_eq!(m.entry(0).unwrap()[0], 0xff);
         assert!(m.load_image(&[0; 5]).is_err());
+    }
+
+    #[test]
+    fn clone_shares_until_first_write() {
+        let mut m = MemArena::new("m".into(), 8, 64);
+        m.load_image(&[1, 2, 3]).unwrap();
+        let snap = m.clone();
+        assert!(m.shares_storage_with(&snap));
+        assert_eq!(m.storage_bytes(), 64);
+        m.entry_mut(0).unwrap()[0] = 99;
+        assert!(!m.shares_storage_with(&snap));
+        assert_eq!(snap.entry(0).unwrap()[0], 1);
+        assert_eq!(m.entry(0).unwrap()[0], 99);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 mod common;
 
 use common::{assert_sessions_match_reference, preset_sessions, push_aot_session, stim_word};
-use gsim::{Compiler, EngineChoice, Preset, Stimulus};
+use gsim::{Compiler, EngineChoice, Preset, Scenario};
 use gsim_codegen::{compile_aot, AotOptions};
 use gsim_workloads::programs;
 
@@ -59,7 +59,7 @@ fn counter_fir_matches_reference_and_interpreter() {
         .build_aot()
         .unwrap();
     assert!(report.code_bytes > 0 && report.binary_bytes > 0);
-    let stim = Stimulus {
+    let stim = Scenario {
         loads: vec![],
         frames: frames.clone(),
     };
@@ -86,15 +86,12 @@ fn counter_fir_matches_reference_and_interpreter() {
         .preset(Preset::Gsim)
         .build_session(EngineChoice::Aot)
         .unwrap();
+    let quiet_scenario = Scenario {
+        loads: vec![],
+        frames: quiet.clone(),
+    };
     for s in [&mut qinterp, &mut qaot] {
-        s.run_driven(40, &mut |c, frame| {
-            if let Some(row) = quiet.get(c as usize) {
-                for (name, v) in row {
-                    frame.set(name, *v);
-                }
-            }
-        })
-        .unwrap();
+        s.run_scenario(&quiet_scenario).unwrap();
     }
     let (ic, ac) = (qinterp.counters().unwrap(), qaot.counters().unwrap());
     for (key, want, got) in [
@@ -171,7 +168,7 @@ fn stu_core_program_matches_reference() {
 
     // Run-to-run determinism of the batch path on a real program:
     // identical typed peeks and counters from two respawned runs.
-    let stim = Stimulus {
+    let stim = Scenario {
         loads: loads.clone(),
         frames: frames.clone(),
     };
@@ -239,7 +236,7 @@ fn randomized_netlists_match_reference() {
         assert_sessions_match_reference(tag, &graph, &mut sessions, cycles, &[], &frames);
 
         // Batch rerun determinism on the randomized netlist.
-        let stim = Stimulus {
+        let stim = Scenario {
             loads: vec![],
             frames: frames.clone(),
         };

@@ -257,3 +257,61 @@ fn remote_introspection_matches_local() {
     server.stop();
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
+
+/// The scenario-exploration wire command over a Unix-domain socket:
+/// `explore 8 <nbytes>` on a warmed remote session streams one
+/// canonical `branch` line per perturbed branch, and every line is
+/// byte-identical to a local explorer replay over the same compiled
+/// image (pass pipeline + default engine options, exactly as the
+/// service builds interp sessions). The remote session itself is
+/// handed back untouched at its pre-explore cycle.
+#[test]
+fn remote_explore_matches_local_replay() {
+    let warm_cycles = 6u64;
+    let branches = 8usize;
+    let sock = std::env::temp_dir().join(format!("gsim_svc_explore_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let cache_dir =
+        std::env::temp_dir().join(format!("gsim_svc_e2e_{}_explore", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut server = Server::start(ServerConfig::new(Endpoint::Unix(sock.clone()), &cache_dir))
+        .expect("server binds a unix socket");
+    let ep = server.endpoint().clone();
+
+    let warm = gsim::Scenario {
+        loads: vec![],
+        frames: frames_for(5, warm_cycles),
+    };
+    let base = gsim::Scenario {
+        loads: vec![],
+        frames: frames_for(6, 24),
+    };
+
+    let mut remote = ClientSession::connect(&ep).expect("connect");
+    remote.open_design(DESIGN, "interp").expect("open design");
+    remote.run_scenario(&warm).expect("remote warmup");
+    let lines = remote.explore(&base, branches).expect("remote explore");
+    assert_eq!(lines.len(), branches, "one wire line per branch");
+    assert_eq!(
+        remote.cycle(),
+        warm_cycles,
+        "session handed back pre-explore"
+    );
+
+    // Local replay down the exact same build path the service uses
+    // for `interp` sessions.
+    let (optimized, _) = gsim_passes::run(dut_graph(), &gsim_passes::PassOptions::all());
+    let mut local =
+        gsim_sim::Simulator::compile(&optimized, &gsim_sim::SimOptions::default()).unwrap();
+    local.run_scenario(&warm).expect("local warmup");
+    let report = gsim::Explorer::new(&mut local)
+        .run(&base, branches, None)
+        .expect("local explore");
+    for (remote_line, b) in lines.iter().zip(&report.branches) {
+        assert_eq!(remote_line, &b.render_wire(), "branch {}", b.index);
+    }
+    drop(remote);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_file(&sock);
+}
