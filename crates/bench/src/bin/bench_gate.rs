@@ -44,6 +44,7 @@ const TOP_KEYS: &[&str] = &[
     "service",
     "recovery",
     "explore",
+    "wave",
 ];
 const THREAD_ROW_KEYS: &[&str] = &["engine", "threads", "hz", "speedup"];
 const DISPATCH_ROW_KEYS: &[&str] = &[
@@ -143,6 +144,17 @@ const EXPLORE_ROW_KEYS: &[&str] = &[
     "snapshot_deep_bytes",
 ];
 
+const WAVE_ROW_KEYS: &[&str] = &[
+    "design",
+    "mode",
+    "signals",
+    "cycles",
+    "hz",
+    "relative",
+    "vcd_bytes",
+    "bytes_per_cycle",
+];
+
 /// Maximum allowed ratio between the two fresh runs' counters.
 const MAX_COUNTER_DRIFT: f64 = 2.0;
 
@@ -176,6 +188,15 @@ const MAX_RECOVERY_TOTAL_S: f64 = 5.0;
 /// hundreds — 10x is the floor that still catches the pool quietly
 /// recompiling per branch.
 const MIN_EXPLORE_SPEEDUP_VS_COLD: f64 = 10.0;
+
+/// The waveform subsystem's zero-cost-when-off claim, enforced on the
+/// committed baseline: with no trace active, the wave experiment's
+/// `off` row must run at least this fraction of the dispatch
+/// experiment's untraced "GSIM" speed on the same design and
+/// workload. Tracing is gated at lowering time, so the true ratio is
+/// ~1.0; the floor absorbs run-to-run noise between the two
+/// experiments.
+const MIN_WAVE_OFF_RATIO: f64 = 0.95;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -250,6 +271,7 @@ fn check_schema(doc: &Json, path: &str, failures: &mut Vec<String>) {
         ("service", SERVICE_ROW_KEYS),
         ("recovery", RECOVERY_ROW_KEYS),
         ("explore", EXPLORE_ROW_KEYS),
+        ("wave", WAVE_ROW_KEYS),
     ] {
         let Some(rows) = doc.get(arr_key).and_then(Json::as_arr) else {
             failures.push(format!("{path}: {arr_key:?} is not an array"));
@@ -355,6 +377,59 @@ fn check_baseline_claims(base: &Json, path: &str, failures: &mut Vec<String>) {
     }
     check_recovery_claims(base, path, failures);
     check_explore_claims(base, path, failures);
+    check_wave_claims(base, path, failures);
+}
+
+/// The committed baseline's `wave` rows must back the waveform
+/// subsystem's claims. Zero-cost-when-off: the off row's speed must
+/// be at least [`MIN_WAVE_OFF_RATIO`] of the dispatch experiment's
+/// untraced "GSIM" row (same design, same workload, no tracer
+/// anywhere) — a lower number means tracing leaked a per-store cost
+/// into the hot loop even when no trace is active. Measured-when-on:
+/// the traced rows must actually have produced VCD bytes (a full
+/// trace that wrote nothing was measured wrong).
+fn check_wave_claims(base: &Json, path: &str, failures: &mut Vec<String>) {
+    use std::cmp::Ordering::{Greater, Less};
+    let Some(rows) = base.get("wave").and_then(Json::as_arr) else {
+        return; // missing block already reported by check_schema
+    };
+    let row = |mode: &str| {
+        rows.iter()
+            .find(|r| r.get("mode").and_then(Json::as_str) == Some(mode))
+    };
+    let num = |r: &Json, k: &str| r.get(k).and_then(Json::as_num).unwrap_or(f64::NAN);
+    let Some(off) = row("off") else {
+        failures.push(format!("{path}: wave block has no \"off\" row"));
+        return;
+    };
+    let dispatch_hz = base
+        .get("dispatch")
+        .and_then(Json::as_arr)
+        .and_then(|rows| {
+            rows.iter()
+                .find(|r| r.get("label").and_then(Json::as_str) == Some("GSIM"))
+        })
+        .map_or(f64::NAN, |r| num(r, "hz"));
+    let off_hz = num(off, "hz");
+    let floor = MIN_WAVE_OFF_RATIO * dispatch_hz;
+    if matches!(off_hz.partial_cmp(&floor), None | Some(Less)) {
+        failures.push(format!(
+            "{path}: wave off row runs at {off_hz:.0} cyc/s vs the dispatch GSIM row's \
+             {dispatch_hz:.0} — below the {MIN_WAVE_OFF_RATIO}x zero-cost-when-off floor"
+        ));
+    }
+    for mode in ["subset", "full"] {
+        match row(mode) {
+            None => failures.push(format!("{path}: wave block has no {mode:?} row")),
+            Some(r) => {
+                if !matches!(num(r, "vcd_bytes").partial_cmp(&0.0), Some(Greater)) {
+                    failures.push(format!(
+                        "{path}: wave {mode} row emitted no VCD bytes — the trace was not live"
+                    ));
+                }
+            }
+        }
+    }
 }
 
 /// The committed baseline's `explore` rows must back the

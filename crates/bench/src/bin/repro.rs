@@ -1,7 +1,7 @@
 //! `repro` — regenerates the GSIM paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|explore|fig6|fig7|fig8|fig9|table3|table4|factors]
+//! repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|explore|wave|fig6|fig7|fig8|fig9|table3|table4|factors]
 //!       [--scale F] [--cycles N] [--json [PATH]]
 //! ```
 //!
@@ -11,7 +11,8 @@
 //!
 //! `--json` additionally runs the thread-scaling, dispatch-breakdown,
 //! threaded-backend, AoT, persistent-session, simulation-service,
-//! crash-recovery, and scenario-exploration experiments and writes their
+//! crash-recovery, scenario-exploration, and waveform-capture
+//! experiments and writes their
 //! cycles/sec + counter breakdowns (plus `host_cores`, the AoT
 //! emit/rustc/size/speed rows, and the session-amortization rows) to
 //! `BENCH_interp.json` (or the given path) so CI can track the
@@ -165,6 +166,14 @@ fn main() {
         section("Scenario exploration");
         exp::print_explore(explore_rows.as_ref().unwrap());
     }
+    let mut wave_rows = None;
+    if wants("wave") || json {
+        wave_rows = Some(exp::wave(xiangshan(), &cfg));
+    }
+    if wants("wave") {
+        section("Waveform capture");
+        exp::print_wave(xiangshan().name, wave_rows.as_ref().unwrap());
+    }
     if wants("fig6") {
         section("Figure 6");
         exp::print_fig6(&exp::fig6(&suite, &cfg));
@@ -209,6 +218,7 @@ fn main() {
             service_rows.as_deref().unwrap_or(&[]),
             recovery_rows.as_deref().unwrap_or(&[]),
             explore_rows.as_deref().unwrap_or(&[]),
+            wave_rows.as_deref().unwrap_or(&[]),
         );
         std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!("# wrote {path}");
@@ -231,6 +241,7 @@ fn render_json(
     service: &[exp::ServiceRow],
     recovery: &[exp::RecoveryRow],
     explore: &[exp::ExploreRow],
+    wave: &[exp::WaveRow],
 ) -> String {
     let host_cores = exp::host_cores();
     let max_threads = threads.iter().map(|r| r.threads).max().unwrap_or(1);
@@ -245,7 +256,7 @@ fn render_json(
     };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gsim-bench-interp/7\",\n");
+    s.push_str("  \"schema\": \"gsim-bench-interp/8\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"cycles\": {}, \"smoke\": {},\n",
         cfg.scale, cfg.cycles, smoke
@@ -379,6 +390,24 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"wave\": [\n");
+    for (i, r) in wave.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"design\": \"{}\", \"mode\": \"{}\", \"signals\": {}, \
+             \"cycles\": {}, \"hz\": {:.1}, \"relative\": {:.4}, \
+             \"vcd_bytes\": {}, \"bytes_per_cycle\": {:.2}}}{}\n",
+            r.design,
+            r.mode,
+            r.signals,
+            r.cycles,
+            r.hz,
+            r.relative,
+            r.vcd_bytes,
+            r.bytes_per_cycle,
+            comma(i, wave.len())
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"threaded\": [\n");
     for (i, r) in threaded.iter().enumerate() {
         s.push_str(&format!(
@@ -450,7 +479,7 @@ fn section(name: &str) {
 
 fn usage() {
     println!(
-        "repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|explore|fig6|fig7|fig8|fig9|table3|table4|factors] \
+        "repro [all|table1|threads|dispatch|threaded|aot|session|service|recovery|explore|wave|fig6|fig7|fig8|fig9|table3|table4|factors] \
          [--scale F] [--cycles N] [--json [PATH]]"
     );
 }

@@ -1333,6 +1333,145 @@ pub fn print_explore(rows: &[ExploreRow]) {
     }
 }
 
+// ------------------------------------------------- waveform capture
+
+/// One tracing configuration of the waveform-overhead experiment:
+/// the same design and stimulus with tracing off, tracing a signal
+/// subset (the design's outputs), and tracing everything.
+#[derive(Debug)]
+pub struct WaveRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Tracing mode: `off`, `subset`, or `full`.
+    pub mode: &'static str,
+    /// Signals captured by the tracer (0 when off).
+    pub signals: usize,
+    /// Cycles measured.
+    pub cycles: u64,
+    /// Simulation speed in cycles per second.
+    pub hz: f64,
+    /// `hz / off_hz` — the fraction of untraced speed this mode
+    /// keeps (1.0 on the off row by definition).
+    pub relative: f64,
+    /// VCD bytes emitted over the measured cycles (0 when off).
+    pub vcd_bytes: u64,
+    /// `vcd_bytes / cycles`.
+    pub bytes_per_cycle: f64,
+}
+
+/// Measures one tracing mode: the dispatch workload with an optional
+/// change-driven VCD capture into a byte-counting sink (the bytes are
+/// counted, not kept, so the sink cost is the stream-encoding cost,
+/// not an allocator benchmark).
+fn measure_wave_mode(
+    graph: &Graph,
+    cycles: u64,
+    select: Option<&[String]>,
+    traced: bool,
+) -> (f64, u64, usize) {
+    let (mut sim, _) = Compiler::new(graph)
+        .preset(Preset::Gsim)
+        .build()
+        .expect("compiles");
+    let handles: Vec<_> = (0..64)
+        .map_while(|l| sim.input_handle(&format!("op_in_{l}")))
+        .collect();
+    let mut stim = low_activity_profile().stimulus(handles.len().max(1), 0xDEC0DE);
+    sim.poke_u64("reset", 1).ok();
+    sim.run(2);
+    sim.poke_u64("reset", 0).ok();
+    sim.run_driven(crate::harness::WARMUP_CYCLES.min(cycles), |_, frame| {
+        let ops = stim.next_cycle();
+        for (h, &op) in handles.iter().zip(&ops) {
+            frame.set(*h, op);
+        }
+    });
+    let counter = gsim_wave::CountingWriter::new();
+    let mut signals = 0;
+    if traced {
+        sim.trace_start(select, Box::new(gsim_wave::VcdWriter::new(counter.clone())))
+            .expect("trace_start");
+        signals = match select {
+            Some(names) => names.len(),
+            None => Session::signals(&mut sim)
+                .expect("signals")
+                .iter()
+                .filter(|s| s.width > 0)
+                .count(),
+        };
+    }
+    let start = std::time::Instant::now();
+    sim.run_driven(cycles, |_, frame| {
+        let ops = stim.next_cycle();
+        for (h, &op) in handles.iter().zip(&ops) {
+            frame.set(*h, op);
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    if traced {
+        Session::trace_stop(&mut sim).expect("trace_stop");
+    }
+    (cycles as f64 / seconds.max(1e-12), counter.bytes(), signals)
+}
+
+/// The `wave` experiment: tracing overhead on the dispatch workload —
+/// off (the zero-cost-when-off claim: the tracer is compiled out of
+/// the hot loop, so this row must track the dispatch experiment's
+/// untraced speed), the design's outputs only, and a full trace of
+/// every named signal, each with VCD bytes per cycle.
+pub fn wave(design: &SuiteDesign, cfg: &Config) -> Vec<WaveRow> {
+    let outputs: Vec<String> = design
+        .graph
+        .outputs()
+        .iter()
+        .map(|&o| design.graph.display_name(o))
+        .collect();
+    let modes: [(&'static str, Option<&[String]>, bool); 3] = [
+        ("off", None, false),
+        ("subset", Some(&outputs), true),
+        ("full", None, true),
+    ];
+    let mut rows: Vec<WaveRow> = Vec::new();
+    let mut off_hz = 0.0;
+    for (mode, select, traced) in modes {
+        let (hz, vcd_bytes, signals) = measure_wave_mode(&design.graph, cfg.cycles, select, traced);
+        if rows.is_empty() {
+            off_hz = hz;
+        }
+        rows.push(WaveRow {
+            design: design.name,
+            mode,
+            signals,
+            cycles: cfg.cycles,
+            hz,
+            relative: hz / off_hz.max(1e-12),
+            vcd_bytes,
+            bytes_per_cycle: vcd_bytes as f64 / cfg.cycles.max(1) as f64,
+        });
+    }
+    rows
+}
+
+/// Prints the waveform-overhead rows.
+pub fn print_wave(design: &str, rows: &[WaveRow]) {
+    println!("Waveform capture on {design} (dispatch workload): change-driven VCD overhead");
+    println!(
+        "{:<8} {:>8} {:>16} {:>9} {:>12} {:>12}",
+        "mode", "signals", "speed (cyc/s)", "relative", "VCD bytes", "bytes/cyc"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>8} {:>16} {:>9} {:>12} {:>12.1}",
+            r.mode,
+            r.signals,
+            format!("{:.0}", r.hz),
+            format!("{:.2}x", r.relative),
+            r.vcd_bytes,
+            r.bytes_per_cycle
+        );
+    }
+}
+
 /// Logical cores of the measurement host — recorded into
 /// `BENCH_interp.json` so thread-scaling rows can be judged (an
 /// `EssentialMt` "slowdown" on a 1-core host measures barrier

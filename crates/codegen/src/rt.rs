@@ -831,3 +831,115 @@ impl<'a> HexStream<'a> {
         matches!(self.it.next(), None | Some(""))
     }
 }
+
+// ----------------------------------------------------------- VCD output
+
+/// IEEE-1364 VCD identifier codes: bijective base-94 over the
+/// printable range `!`..`~` (mirrors `gsim_wave::id_code`, so the two
+/// writers assign identical codes for identical signal indices).
+pub fn vcd_id(mut n: usize) -> String {
+    let mut buf = Vec::new();
+    loop {
+        buf.push(b'!' + (n % 94) as u8);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    buf.reverse();
+    String::from_utf8(buf).expect("printable ASCII")
+}
+
+/// Converts a canonical lowercase-hex value (the wire/peek rendering)
+/// to VCD binary digits: no leading zeros, `"0"` for zero.
+pub fn hex_to_vcd_bin(hex: &str) -> String {
+    let mut s = String::with_capacity(hex.len() * 4);
+    for c in hex.chars() {
+        let d = c.to_digit(16).unwrap_or(0);
+        for b in (0..4).rev() {
+            let bit = (d >> b) & 1;
+            if s.is_empty() && bit == 0 {
+                continue;
+            }
+            s.push(if bit == 1 { '1' } else { '0' });
+        }
+    }
+    if s.is_empty() {
+        s.push('0');
+    }
+    s
+}
+
+/// A minimal change-driven VCD writer over hex-rendered values: the
+/// emitted simulator's `--vcd` mode. Produces the same dialect
+/// `gsim_wave` writes and parses (single module scope, `#` time
+/// stamps only when time advances, `b<bin>` vectors / scalar digits),
+/// so `gsim wavediff` canonicalizes both identically. Write errors
+/// are latched and reported by [`Vcd::finish`].
+pub struct Vcd<W: std::io::Write> {
+    out: W,
+    widths: Vec<u32>,
+    cur_time: Option<u64>,
+    failed: bool,
+}
+
+impl<W: std::io::Write> Vcd<W> {
+    /// Writes the declaration header for `signals` under one module
+    /// scope named `top`. Zero-width signals must be excluded by the
+    /// caller.
+    pub fn new(mut out: W, top: &str, signals: &[(&str, u32)]) -> Vcd<W> {
+        let mut failed = writeln!(out, "$timescale 1ns $end").is_err()
+            || writeln!(out, "$scope module {top} $end").is_err();
+        for (i, (name, width)) in signals.iter().enumerate() {
+            failed |= writeln!(out, "$var wire {width} {} {name} $end", vcd_id(i)).is_err();
+        }
+        failed |= writeln!(out, "$upscope $end").is_err()
+            || writeln!(out, "$enddefinitions $end").is_err();
+        Vcd {
+            out,
+            widths: signals.iter().map(|&(_, w)| w).collect(),
+            cur_time: None,
+            failed,
+        }
+    }
+
+    fn stamp(&mut self, time: u64) {
+        if self.cur_time != Some(time) {
+            self.failed |= writeln!(self.out, "#{time}").is_err();
+            self.cur_time = Some(time);
+        }
+    }
+
+    fn value(&mut self, signal: usize, hex: &str) {
+        let id = vcd_id(signal);
+        if self.widths[signal] == 1 {
+            let bit = if hex == "0" { '0' } else { '1' };
+            self.failed |= writeln!(self.out, "{bit}{id}").is_err();
+        } else {
+            self.failed |= writeln!(self.out, "b{} {id}", hex_to_vcd_bin(hex)).is_err();
+        }
+    }
+
+    /// Emits the `$dumpvars` baseline: every signal's value at `time`.
+    pub fn baseline(&mut self, time: u64, values: &[String]) {
+        self.stamp(time);
+        self.failed |= writeln!(self.out, "$dumpvars").is_err();
+        for (i, hex) in values.iter().enumerate() {
+            self.value(i, hex);
+        }
+        self.failed |= writeln!(self.out, "$end").is_err();
+    }
+
+    /// Records one value change at `time` (times must be monotonic).
+    pub fn change(&mut self, time: u64, signal: usize, hex: &str) {
+        self.stamp(time);
+        self.value(signal, hex);
+    }
+
+    /// Flushes; `false` if any write failed along the way.
+    pub fn finish(&mut self) -> bool {
+        self.failed |= self.out.flush().is_err();
+        !self.failed
+    }
+}

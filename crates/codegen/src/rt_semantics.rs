@@ -261,3 +261,73 @@ fn state_blob_rejects_malformed_tokens() {
     assert_eq!(trailing.next_u64(), Some(0xa));
     assert!(!trailing.at_end(), "unconsumed token detected");
 }
+
+/// The embedded VCD writer must emit the exact dialect `gsim_wave`
+/// writes and parses: identical base-94 id codes, identical binary
+/// rendering, and — for the same change history — a byte stream that
+/// `gsim_wave::parse_vcd` canonicalizes to the same wave the
+/// `gsim_wave` writer produces. This is what lets `gsim wavediff`
+/// compare an emitted binary's `--vcd` output against a local
+/// capture without a normalization pass.
+#[test]
+fn embedded_vcd_writer_matches_gsim_wave_dialect() {
+    use gsim_wave::{WaveSignal, WaveSink};
+
+    for n in [0usize, 1, 93, 94, 95, 94 * 94 - 1, 94 * 94, 123_456] {
+        assert_eq!(rt::vcd_id(n), gsim_wave::id_code(n), "id code for {n}");
+    }
+    assert_eq!(rt::hex_to_vcd_bin("0"), "0");
+    assert_eq!(rt::hex_to_vcd_bin("00"), "0");
+    assert_eq!(rt::hex_to_vcd_bin("1"), "1");
+    assert_eq!(rt::hex_to_vcd_bin("a5"), "10100101");
+    assert_eq!(rt::hex_to_vcd_bin("0f"), "1111");
+
+    // The same design and change history through both writers.
+    let names: [(&str, u32); 3] = [("out", 8), ("halt", 1), ("wide", 96)];
+    let baseline: [&[u64]; 3] = [&[0], &[0], &[0, 0]];
+    let changes: [(u64, usize, &[u64]); 5] = [
+        (1, 0, &[0xa5]),
+        (1, 2, &[u64::MAX, 0xffff_ffff]),
+        (3, 1, &[1]),
+        (3, 0, &[0x42]),
+        (7, 2, &[0, 0]),
+    ];
+
+    let mut emitted = Vec::new();
+    let mut vcd = rt::Vcd::new(&mut emitted, "top", &names);
+    let hex = |words: &[u64], w: u32| gsim_wave::words_to_hex(words, w);
+    let base_hex: Vec<String> = names
+        .iter()
+        .zip(baseline)
+        .map(|(&(_, w), v)| hex(v, w))
+        .collect();
+    vcd.baseline(0, &base_hex);
+    for &(t, i, words) in &changes {
+        vcd.change(t, i, &hex(words, names[i].1));
+    }
+    assert!(vcd.finish(), "embedded writer reported a write failure");
+
+    let signals: Vec<WaveSignal> = names.iter().map(|&(n, w)| WaveSignal::new(n, w)).collect();
+    let mut reference = Vec::new();
+    let mut writer = gsim_wave::VcdWriter::new(&mut reference);
+    writer.start("top", &signals).unwrap();
+    let base_words: Vec<Vec<u64>> = baseline.iter().map(|v| v.to_vec()).collect();
+    writer.dumpvars(0, &base_words).unwrap();
+    for &(t, i, words) in &changes {
+        writer.change(t, i, words).unwrap();
+    }
+    WaveSink::finish(&mut writer).unwrap();
+
+    let a = gsim_wave::parse_vcd(std::str::from_utf8(&emitted).unwrap()).unwrap();
+    let b = gsim_wave::parse_vcd(std::str::from_utf8(&reference).unwrap()).unwrap();
+    let diffs = gsim_wave::diff(&a, &b);
+    assert!(
+        diffs.is_empty(),
+        "embedded vs gsim_wave VCD diverge:\n{}",
+        diffs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1643,6 +1643,7 @@ fn main_template(design: &str) -> String {
     let mut trace = false;
     let mut serve_mode = false;
     let mut stim_path: Option<String> = None;
+    let mut vcd_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1656,8 +1657,11 @@ fn main_template(design: &str) -> String {
             "--trace" => trace = true,
             "--serve" => serve_mode = true,
             "--stimulus" => stim_path = it.next().cloned(),
+            "--vcd" => vcd_path = it.next().cloned(),
             "--help" | "-h" => {
-                println!("usage: sim [--cycles N] [--trace] [--serve] [--stimulus FILE|-]");
+                println!(
+                    "usage: sim [--cycles N] [--trace] [--serve] [--stimulus FILE|-] [--vcd FILE]"
+                );
                 return;
             }
             other => die(&format!("unknown flag {other}")),
@@ -1693,6 +1697,27 @@ fn main_template(design: &str) -> String {
     use std::io::Write as _;
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
+    // Change-driven VCD capture over the full portable signal surface:
+    // baseline at time 0, then one record per post-cycle value change,
+    // detected against a hex shadow (the same canonical rendering the
+    // wire protocol and `peek` use, so every backend's VCD
+    // canonicalizes identically under `gsim wavediff`).
+    let mut vcd = vcd_path.as_deref().map(|p| {
+        let f = std::fs::File::create(p)
+            .unwrap_or_else(|e| die(&format!("cannot create {p}: {e}")));
+        let sigs: Vec<(&str, u32)> = SIGNALS_META
+            .iter()
+            .copied()
+            .filter(|&(_, w)| w > 0)
+            .collect();
+        let shadow: Vec<String> = sigs
+            .iter()
+            .map(|&(n, _)| sim.signal(n).map_or_else(|| String::from("0"), |(_, h)| h))
+            .collect();
+        let mut w = rt::Vcd::new(std::io::BufWriter::new(f), "top", &sigs);
+        w.baseline(sim.cycles, &shadow);
+        (w, sigs, shadow)
+    });
     let t0 = std::time::Instant::now();
     for c in 0..cycles {
         if let Some(frame) = stim.frames.get(c as usize) {
@@ -1703,12 +1728,27 @@ fn main_template(design: &str) -> String {
             }
         }
         sim.cycle();
+        if let Some((w, sigs, shadow)) = vcd.as_mut() {
+            for (i, &(n, _)) in sigs.iter().enumerate() {
+                if let Some((_, h)) = sim.signal(n) {
+                    if h != shadow[i] {
+                        w.change(sim.cycles, i, &h);
+                        shadow[i] = h;
+                    }
+                }
+            }
+        }
         if trace {
             let _ = write!(out, "trace {c}");
             for (n, _w, v) in sim.outputs() {
                 let _ = write!(out, " {n}={v}");
             }
             let _ = writeln!(out);
+        }
+    }
+    if let Some((mut w, _, _)) = vcd.take() {
+        if !w.finish() {
+            die("vcd write failed");
         }
     }
     let secs = t0.elapsed().as_secs_f64();
@@ -1766,6 +1806,11 @@ fn serve(mut sim: Sim) {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut snaps: Vec<Sim> = Vec::new();
+    // Active trace subscription: indices into SIGNALS_META plus the
+    // hex shadow change detection compares against. Empty when off —
+    // the per-cycle cost is then one `is_empty` test.
+    let mut traced: Vec<usize> = Vec::new();
+    let mut trace_shadow: Vec<String> = Vec::new();
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(l) => l,
@@ -1800,6 +1845,9 @@ fn serve(mut sim: Sim) {
                         loop {
                             std::thread::sleep(std::time::Duration::from_secs(3600));
                         }
+                    }
+                    if !traced.is_empty() {
+                        stream_changes(&sim, &mut out, &traced, &mut trace_shadow);
                     }
                 }
             }
@@ -1889,7 +1937,14 @@ fn serve(mut sim: Sim) {
                 let _ = out.flush();
             }
             Some("restore") => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(id) if id < snaps.len() => sim = snaps[id].clone(),
+                Some(id) if id < snaps.len() => {
+                    sim = snaps[id].clone();
+                    // The state jumped: stream whatever moved so the
+                    // subscriber's view stays change-complete.
+                    if !traced.is_empty() {
+                        stream_changes(&sim, &mut out, &traced, &mut trace_shadow);
+                    }
+                }
                 Some(id) => {
                     let _ = writeln!(out, "err unknown-snapshot {id}");
                 }
@@ -1908,12 +1963,68 @@ fn serve(mut sim: Sim) {
                     let mut fresh = sim.clone();
                     if fresh.load_state(blob) {
                         sim = fresh;
+                        if !traced.is_empty() {
+                            stream_changes(&sim, &mut out, &traced, &mut trace_shadow);
+                        }
                     } else {
                         let _ = writeln!(out, "err protocol state blob does not match this design");
                     }
                 }
                 None => {
                     let _ = writeln!(out, "err protocol loadstate needs <blob>");
+                }
+            },
+            Some("trace") => match it.next() {
+                Some("on") => {
+                    let names: Vec<&str> = it.collect();
+                    let mut sel: Vec<usize> = Vec::new();
+                    let mut ok = true;
+                    if names.is_empty() {
+                        sel.extend((0..SIGNALS_META.len()).filter(|&i| SIGNALS_META[i].1 > 0));
+                    } else {
+                        for n in names {
+                            match SIGNALS_META.iter().position(|&(s, _)| s == n) {
+                                // Zero-width signals carry no values;
+                                // they are silently excluded, exactly
+                                // as the in-process tracer does.
+                                Some(i) if SIGNALS_META[i].1 > 0 => sel.push(i),
+                                Some(_) => {}
+                                None => {
+                                    let _ = writeln!(out, "err unknown-signal {n}");
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if ok {
+                        traced = sel;
+                        trace_shadow = traced
+                            .iter()
+                            .map(|&i| {
+                                sim.signal(SIGNALS_META[i].0)
+                                    .map_or_else(|| String::from("0"), |(_, h)| h)
+                            })
+                            .collect();
+                        // Baseline burst: one record per traced
+                        // signal at the current cycle, so the
+                        // subscriber can reconstruct absolute values.
+                        for (k, &i) in traced.iter().enumerate() {
+                            let _ = writeln!(
+                                out,
+                                "chg {} {} {}",
+                                sim.cycles, SIGNALS_META[i].0, trace_shadow[k]
+                            );
+                        }
+                        let _ = out.flush();
+                    }
+                }
+                Some("off") => {
+                    traced.clear();
+                    trace_shadow.clear();
+                }
+                _ => {
+                    let _ = writeln!(out, "err protocol trace needs on|off");
                 }
             },
             Some("sync") => {
@@ -1923,6 +2034,27 @@ fn serve(mut sim: Sim) {
             Some("exit") => break,
             Some(other) => {
                 let _ = writeln!(out, "err protocol unknown command {other:?}");
+            }
+        }
+    }
+}
+
+/// Streams `chg <cycle> <name> <hex>` records for every traced signal
+/// whose value moved since the shadow copy (unsolicited records — the
+/// protocol guarantees they precede any command response that
+/// observes the post-change state).
+fn stream_changes(
+    sim: &Sim,
+    out: &mut impl std::io::Write,
+    traced: &[usize],
+    shadow: &mut [String],
+) {
+    for (k, &i) in traced.iter().enumerate() {
+        let name = SIGNALS_META[i].0;
+        if let Some((_, h)) = sim.signal(name) {
+            if h != shadow[k] {
+                let _ = writeln!(out, "chg {} {name} {h}", sim.cycles);
+                shadow[k] = h;
             }
         }
     }

@@ -94,6 +94,10 @@ pub struct AotSession {
     binary: PathBuf,
     /// Working directory forks inherit (see [`AotSim::session_in`]).
     cwd: Option<PathBuf>,
+    /// Reassembles unsolicited `chg` records into the caller's
+    /// [`gsim_wave::WaveSink`] while a trace subscription is active;
+    /// `None` when tracing is off.
+    router: Option<gsim_wave::ChgRouter>,
     _dir: Arc<ArtifactDir>,
 }
 
@@ -214,6 +218,7 @@ fn spawn_serve(
         unsynced: 0,
         binary: binary.to_path_buf(),
         cwd: cwd.map(Path::to_path_buf),
+        router: None,
         _dir: dir,
     })
 }
@@ -323,6 +328,24 @@ impl AotSession {
         }
     }
 
+    /// Reads the next *response* line: unsolicited `chg` trace records
+    /// are routed into the active wave subscription (or dropped when
+    /// none is active — a defensive guard, the server only streams
+    /// after `trace on`) so protocol readers see exactly the line
+    /// counts the command grammar promises.
+    fn next_line(&mut self) -> Result<String, GsimError> {
+        loop {
+            let line = self.read_line()?;
+            if line.starts_with("chg ") {
+                if let Some(router) = self.router.as_mut() {
+                    router.feed(&line);
+                }
+                continue;
+            }
+            return Ok(line);
+        }
+    }
+
     /// Fences the pipeline: sends `sync`, then drains queued `err`
     /// lines (in command order) until the matching `ok`. Returns the
     /// first queued error if any, else the server's cycle count —
@@ -335,7 +358,7 @@ impl AotSession {
         let mut first_err = None;
         let server_cycle;
         loop {
-            let line = self.read_line()?;
+            let line = self.next_line()?;
             if let Some(rest) = line.strip_prefix("ok") {
                 server_cycle = rest.trim().parse().unwrap_or(self.cycle);
                 break;
@@ -357,7 +380,7 @@ impl AotSession {
         self.check_alive()?;
         self.send(req)?;
         self.flush()?;
-        let line = self.read_line()?;
+        let line = self.next_line()?;
         if line.starts_with("err ") {
             return Err(GsimError::from_wire(&line));
         }
@@ -372,7 +395,7 @@ impl AotSession {
         self.flush()?;
         let mut found = None;
         for expect in ["inputs", "signals", "mems"] {
-            let line = self.read_line()?;
+            let line = self.next_line()?;
             if line.starts_with("err ") {
                 return Err(GsimError::from_wire(&line));
             }
@@ -492,6 +515,73 @@ impl Session for AotSession {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    fn trace_start(
+        &mut self,
+        signals: Option<&[String]>,
+        sink: Box<dyn gsim_wave::WaveSink>,
+    ) -> Result<(), GsimError> {
+        if self.router.is_some() {
+            return Err(GsimError::Config(
+                "a trace is already active on this session".into(),
+            ));
+        }
+        // Resolve the traced subset client-side so a typo is a typed
+        // error before any wire traffic, mirroring the in-process
+        // backends. The server re-validates, but its `err` would only
+        // surface at the next fence.
+        let all = self.signals()?;
+        let selected: Vec<SignalInfo> = match signals {
+            None => all,
+            Some(names) => names
+                .iter()
+                .map(|n| {
+                    all.iter()
+                        .find(|s| &s.name == n)
+                        .cloned()
+                        .ok_or_else(|| GsimError::UnknownSignal(n.clone()))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let mut cmd = String::from("trace on");
+        for s in &selected {
+            cmd.push(' ');
+            cmd.push_str(&s.name);
+        }
+        // The router mirrors the server's zero-width exclusion so the
+        // baseline completes.
+        let wave_sigs: Vec<gsim_wave::WaveSignal> = selected
+            .iter()
+            .filter(|s| s.width > 0)
+            .map(|s| gsim_wave::WaveSignal::new(&s.name, s.width))
+            .collect();
+        self.router = Some(gsim_wave::ChgRouter::new("top", wave_sigs, sink));
+        self.send(&cmd)?;
+        // The fence pulls the baseline burst through `next_line` into
+        // the router before returning.
+        match self.sync() {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.router = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn trace_stop(&mut self) -> Result<(), GsimError> {
+        if self.router.is_none() {
+            return Err(GsimError::Config(
+                "no trace is active on this session".into(),
+            ));
+        }
+        // `trace off` is silent on success; the fence both confirms it
+        // and pulls every record still queued in the pipe through
+        // `next_line` into the router before we tear it down.
+        let res = self.send("trace off").and_then(|()| self.sync());
+        let router = self.router.take().expect("checked above");
+        res?;
+        router.finish().map_err(|e| GsimError::Io(e.to_string()))
     }
 
     fn counters(&mut self) -> Result<Counters, GsimError> {

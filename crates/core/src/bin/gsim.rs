@@ -11,6 +11,7 @@
 //!                 [--no-layout]                # ablate the locality state layout
 //!                 [--no-threaded]              # ablate threaded-code dispatch (jit)
 //!                 [--cycles N]                 # simulate (zero inputs)
+//!                 [--vcd out.vcd]              # change-driven waveform capture
 //!                 [--emit-cpp out.cc]
 //!                 [--emit-rust out.rs]         # the AoT backend's source
 //!
@@ -18,7 +19,11 @@
 //!             [--cache-capacity N] [--max-sessions N] [--idle-timeout SECS]
 //!
 //! gsim client <design.fir> --socket <ep>       # remote session (tests/CI)
-//!             [--backend aot|interp|jit] [--cycles N] [--stats] [--shutdown]
+//!             [--backend aot|interp|jit] [--cycles N] [--vcd out.vcd]
+//!             [--stats] [--shutdown]
+//!
+//! gsim wavediff <a.vcd> <b.vcd>                # canonicalize + diff two VCDs
+//!                                              # (exit 1 when histories differ)
 //!
 //! gsim explore <design.fir> --branches N       # snapshot-fork scenario exploration
 //!             [--backend interp|jit|aot] [--scenario file] [--cycles N]
@@ -37,6 +42,7 @@ fn main() {
         Some("serve") => return cmd_serve(&args[1..]),
         Some("client") => return cmd_client(&args[1..]),
         Some("explore") => return cmd_explore(&args[1..]),
+        Some("wavediff") => return cmd_wavediff(&args[1..]),
         _ => {}
     }
     let mut input: Option<String> = None;
@@ -47,6 +53,7 @@ fn main() {
     let mut no_layout = false;
     let mut no_threaded = false;
     let mut cycles: u64 = 0;
+    let mut vcd: Option<String> = None;
     let mut emit_cpp: Option<String> = None;
     let mut emit_rust: Option<String> = None;
     let mut backend = "interp";
@@ -85,6 +92,7 @@ fn main() {
             "--no-layout" => no_layout = true,
             "--no-threaded" => no_threaded = true,
             "--cycles" => cycles = parse(it.next(), "--cycles"),
+            "--vcd" => vcd = it.next().cloned(),
             "--emit-cpp" => emit_cpp = it.next().cloned(),
             "--emit-rust" => emit_rust = it.next().cloned(),
             "--help" | "-h" => {
@@ -99,6 +107,9 @@ fn main() {
         usage();
         std::process::exit(2);
     };
+    if vcd.is_some() && cycles == 0 {
+        die("--vcd captures value changes while simulating; give it --cycles N");
+    }
     // `--threads` upgrades a preset to its multithreaded engine.
     if let Some(n) = threads {
         preset = match preset {
@@ -150,7 +161,15 @@ fn main() {
             // instruction stream to fuse, lower, or relayout.
             die("--no-fuse/--no-layout/--no-threaded ablate the interpreter's execution image and do not apply to the aot backend");
         }
-        run_aot(&graph, &path, preset, opts, cycles, emit_rust.as_deref());
+        run_aot(
+            &graph,
+            &path,
+            preset,
+            opts,
+            cycles,
+            vcd.as_deref(),
+            emit_rust.as_deref(),
+        );
         return;
     }
 
@@ -195,7 +214,15 @@ fn main() {
         // Both backends route the actual simulation through the
         // backend-agnostic `Session` trait, so this path and the AoT
         // path below print byte-identical stdout (CI diffs them).
+        if let Some(p) = vcd.as_deref() {
+            Session::trace_start(&mut sim, None, open_vcd(p))
+                .unwrap_or_else(|e| die(&e.to_string()));
+        }
         simulate(&mut sim, &graph, cycles, "");
+        if let Some(p) = vcd.as_deref() {
+            Session::trace_stop(&mut sim).unwrap_or_else(|e| die(&e.to_string()));
+            eprintln!("vcd      : {p}");
+        }
         let c = Session::counters(&mut sim).unwrap_or_default();
         eprintln!(
             "activity factor: {:.2}%",
@@ -272,6 +299,7 @@ fn run_aot(
     preset: Preset,
     opts: gsim::OptOptions,
     cycles: u64,
+    vcd: Option<&str>,
     emit_rust: Option<&str>,
 ) {
     let (sim, report) = Compiler::new(graph)
@@ -300,7 +328,20 @@ fn run_aot(
     }
     if cycles > 0 {
         let mut session = sim.session().unwrap_or_else(|e| die(&e.to_string()));
+        // Tracing goes through the session's wire subscription
+        // (`trace on` + streamed `chg` records), so the VCD this
+        // writes is the compiled binary's own change detection —
+        // diffable bit-for-bit against the interpreter backends'.
+        if let Some(p) = vcd {
+            session
+                .trace_start(None, open_vcd(p))
+                .unwrap_or_else(|e| die(&e.to_string()));
+        }
         simulate(&mut session, graph, cycles, " [compiled binary]");
+        if let Some(p) = vcd {
+            session.trace_stop().unwrap_or_else(|e| die(&e.to_string()));
+            eprintln!("vcd      : {p}");
+        }
     }
 }
 
@@ -360,6 +401,7 @@ fn cmd_client(args: &[String]) {
     let mut socket: Option<String> = None;
     let mut backend = "aot".to_string();
     let mut cycles: u64 = 0;
+    let mut vcd: Option<String> = None;
     let mut stats = false;
     let mut shutdown = false;
     let mut it = args.iter();
@@ -368,11 +410,15 @@ fn cmd_client(args: &[String]) {
             "--socket" => socket = it.next().cloned(),
             "--backend" => backend = it.next().cloned().unwrap_or(backend),
             "--cycles" => cycles = parse(it.next(), "--cycles"),
+            "--vcd" => vcd = it.next().cloned(),
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
             other if !other.starts_with('-') => input = Some(other.to_string()),
             other => die(&format!("unknown client flag {other}")),
         }
+    }
+    if vcd.is_some() && cycles == 0 {
+        die("--vcd captures value changes while simulating; give it --cycles N");
     }
     let socket = socket.unwrap_or_else(|| die("client needs --socket <endpoint>"));
     let ep = Endpoint::parse(&socket);
@@ -392,6 +438,14 @@ fn cmd_client(args: &[String]) {
             info.key, info.status, info.ready_ms
         );
         if cycles > 0 {
+            // The remote trace subscription: the server streams `chg`
+            // records over the same socket, and the client session
+            // reassembles them into the VCD file.
+            if let Some(p) = vcd.as_deref() {
+                session
+                    .trace_start(None, open_vcd(p))
+                    .unwrap_or_else(|e| die(&e.to_string()));
+            }
             let start = std::time::Instant::now();
             session.step(cycles).unwrap_or_else(|e| die(&e.to_string()));
             let secs = start.elapsed().as_secs_f64();
@@ -401,6 +455,10 @@ fn cmd_client(args: &[String]) {
                 secs,
                 cycles as f64 / secs.max(1e-12) / 1e3
             );
+            if let Some(p) = vcd.as_deref() {
+                session.trace_stop().unwrap_or_else(|e| die(&e.to_string()));
+                eprintln!("vcd      : {p}");
+            }
             // The design's portable signal surface, via the wire-level
             // `list` command: print outputs exactly like the local
             // backends (signals = outputs then inputs, deduplicated).
@@ -587,6 +645,51 @@ fn cmd_explore(args: &[String]) {
     );
 }
 
+/// `gsim wavediff`: parse two VCD files, canonicalize their change
+/// histories, and report the differences — the CI matrix's
+/// cross-backend correctness check. Exit status 0 means the signal
+/// histories are identical; 1 means they differ (each difference on
+/// its own stdout line).
+fn cmd_wavediff(args: &[String]) {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    let [a_path, b_path] = files.as_slice() else {
+        die("wavediff needs exactly two .vcd files");
+    };
+    let read = |p: &str| -> gsim::Wave {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
+        gsim::parse_vcd(&text).unwrap_or_else(|e| die(&format!("{p}: {e}")))
+    };
+    let a = read(a_path);
+    let b = read(b_path);
+    let diffs = gsim::wave_diff(&a, &b);
+    if diffs.is_empty() {
+        println!(
+            "identical: {} signals, {} vs {} change records",
+            a.signals.len(),
+            a.changes.len(),
+            b.changes.len()
+        );
+        return;
+    }
+    for d in &diffs {
+        println!("{d}");
+    }
+    eprintln!(
+        "error: {} signal histories differ ({a_path} vs {b_path})",
+        diffs.len()
+    );
+    std::process::exit(1);
+}
+
+/// Opens a `--vcd` output file as a boxed wave sink for
+/// [`Session::trace_start`].
+fn open_vcd(path: &str) -> Box<dyn gsim::WaveSink> {
+    let f =
+        std::fs::File::create(path).unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+    Box::new(gsim::VcdWriter::new(std::io::BufWriter::new(f)))
+}
+
 fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
     v.and_then(|s| s.parse().ok())
         .unwrap_or_else(|| die(&format!("{flag} needs a number")))
@@ -596,15 +699,16 @@ fn usage() {
     println!(
         "gsim <design.fir> [--preset gsim|verilator|essent|arcilator] \
          [--backend interp|jit|aot] [--threads N] [--max-supernode-size N] \
-         [--no-fuse] [--no-layout] [--no-threaded] [--cycles N] \
+         [--no-fuse] [--no-layout] [--no-threaded] [--cycles N] [--vcd out.vcd] \
          [--emit-cpp out.cc] [--emit-rust out.rs]\n\
          gsim serve --socket <ep> --cache-dir <dir> [--cache-capacity N] \
          [--max-sessions N] [--idle-timeout SECS] [--faults SPEC]\n\
          gsim client <design.fir> --socket <ep> [--backend aot|interp|jit] \
-         [--cycles N] [--stats] [--shutdown]\n\
+         [--cycles N] [--vcd out.vcd] [--stats] [--shutdown]\n\
          gsim explore <design.fir> [--branches N] [--backend interp|jit|aot] \
          [--scenario file] [--cycles N] [--warmup N] [--workers N] \
-         [--watch a,b] [--divergence] [--socket <ep>]"
+         [--watch a,b] [--divergence] [--socket <ep>]\n\
+         gsim wavediff <a.vcd> <b.vcd>"
     );
 }
 

@@ -24,6 +24,11 @@
 //!   typed stimulus description shared by every backend and the
 //!   snapshot-fork exploration engine that runs N divergent branches
 //!   of it from one warmed state (CLI: `gsim explore`).
+//! * [`Wave`] / [`VcdWriter`] / [`wave_diff`] (re-exported from
+//!   `gsim_wave`) — change-driven waveform capture from every
+//!   backend via [`Session::trace_start`], IEEE-1364 VCD in and out,
+//!   and canonicalized cross-backend comparison (CLI: `gsim --vcd`,
+//!   `gsim wavediff`).
 //!
 //! # Quickstart
 //!
@@ -61,6 +66,10 @@ pub use gsim_sim::{
     FusionStats, GsimError, InputFrame, InputHandle, MemoryInfo, RecoveryStats, Scenario,
     SendSessionFactory, Session, SessionFactory, SessionFrame, SignalInfo, SimOptions, Simulator,
     SnapshotId, SuperviseOptions, SupervisedSession, Value,
+};
+pub use gsim_wave::{
+    diff as wave_diff, first_difference, parse_vcd, MemSink, VcdWriter, Wave, WaveCell, WaveDiff,
+    WaveSignal, WaveSink,
 };
 
 use gsim_partition::{Algorithm, PartitionOptions};

@@ -1,0 +1,169 @@
+//! Cross-backend waveform equivalence: the interpreter, the threaded
+//! (jit) engine, and — when `rustc` is available — the AoT backend
+//! must produce *bit-identical* canonical change histories for the
+//! same design and stimulus. This is the test behind the
+//! `gsim wavediff` CI gate: not just final outputs, the entire value
+//! history of every observable signal over the whole run.
+
+use gsim::{Compiler, EngineChoice, Graph, Preset, Session};
+use gsim_wave::{SharedBuf, VcdWriter};
+
+fn backends() -> Vec<EngineChoice> {
+    let mut v = vec![EngineChoice::Essential, EngineChoice::Threaded];
+    if gsim_codegen::rustc_available() {
+        v.push(EngineChoice::Aot);
+    } else {
+        eprintln!("skipping AoT leg: rustc not available");
+    }
+    v
+}
+
+/// Captures `drive` on a fresh session of `engine` with full tracing
+/// into a real VCD byte stream (through [`VcdWriter`], so the text
+/// format itself is part of what is compared), then parses it back.
+fn capture(
+    graph: &Graph,
+    engine: EngineChoice,
+    label: &str,
+    drive: &dyn Fn(&mut dyn Session),
+) -> gsim::Wave {
+    let mut session = Compiler::new(graph)
+        .preset(Preset::Gsim)
+        .build_session(engine)
+        .unwrap_or_else(|e| panic!("{label}: build {engine:?}: {e}"));
+    let buf = SharedBuf::new();
+    session
+        .trace_start(None, Box::new(VcdWriter::new(buf.clone())))
+        .unwrap_or_else(|e| panic!("{label}: trace_start on {engine:?}: {e}"));
+    drive(session.as_mut());
+    session
+        .trace_stop()
+        .unwrap_or_else(|e| panic!("{label}: trace_stop on {engine:?}: {e}"));
+    let text = String::from_utf8(buf.drain()).expect("VCD output is UTF-8");
+    gsim::parse_vcd(&text).unwrap_or_else(|e| panic!("{label}: {engine:?} emitted bad VCD: {e}"))
+}
+
+/// Runs the same stimulus on every backend and diffs each capture
+/// against the interpreter's, failing with the full `wavediff` report
+/// on any divergence.
+fn assert_equivalent(graph: &Graph, label: &str, drive: &dyn Fn(&mut dyn Session)) {
+    let engines = backends();
+    let base = capture(graph, engines[0], label, drive);
+    assert!(
+        !base.changes.is_empty(),
+        "{label}: baseline capture recorded no changes"
+    );
+    for &engine in &engines[1..] {
+        let other = capture(graph, engine, label, drive);
+        let diffs = gsim::wave_diff(&base, &other);
+        assert!(
+            diffs.is_empty(),
+            "{label}: {:?} vs {engine:?} waveform histories differ:\n{}",
+            engines[0],
+            diffs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn counter_example_is_wave_identical_across_backends() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/counter.fir"
+    ))
+    .expect("read examples/counter.fir");
+    let graph = gsim_firrtl::compile(&src).expect("compile counter.fir");
+    assert_equivalent(&graph, "counter.fir", &|s| {
+        s.poke_u64("reset", 1).unwrap();
+        s.step(2).unwrap();
+        s.poke_u64("reset", 0).unwrap();
+        s.step(64).unwrap();
+        // A mid-run reset pulse exercises the change-detection path
+        // for a value that goes back to a previously-seen state.
+        s.poke_u64("reset", 1).unwrap();
+        s.step(1).unwrap();
+        s.poke_u64("reset", 0).unwrap();
+        s.step(16).unwrap();
+    });
+}
+
+#[test]
+fn stucore_fib_is_wave_identical_across_backends() {
+    let graph = gsim_designs::stu_core();
+    let prog = gsim_workloads::programs::fib(12);
+    let cycles = prog.max_cycles;
+    let expected = prog.expected_result;
+    assert_equivalent(&graph, "stuCore-fib", &move |s| {
+        s.load_mem("imem", &prog.image).unwrap();
+        s.poke_u64("reset", 1).unwrap();
+        s.step(2).unwrap();
+        s.poke_u64("reset", 0).unwrap();
+        s.step(cycles).unwrap();
+        // Identical waves are only meaningful if the program actually
+        // ran: check the architectural result on every backend too.
+        assert_eq!(s.peek_u64("halt").unwrap(), Some(1), "fib did not halt");
+        assert_eq!(s.peek_u64("result").unwrap(), Some(expected));
+    });
+}
+
+#[test]
+fn reset_synchronizer_is_wave_identical_across_backends() {
+    let graph = gsim_designs::reset_synchronizer();
+    assert_equivalent(&graph, "reset-synchronizer", &|s| {
+        // Pulse the async reset at awkward offsets: this design is
+        // specifically adversarial about *when* within a commit the
+        // reset chain is sampled, so the change histories disagree if
+        // any backend applies reset a cycle early.
+        s.poke_u64("rst", 1).unwrap();
+        s.step(3).unwrap();
+        s.poke_u64("rst", 0).unwrap();
+        s.step(21).unwrap();
+        s.poke_u64("rst", 1).unwrap();
+        s.step(1).unwrap();
+        s.poke_u64("rst", 0).unwrap();
+        s.step(13).unwrap();
+    });
+}
+
+/// Deterministic per-input stimulus for the randomized netlists: a
+/// splitmix-style mix of the cycle and input index, truncated by the
+/// backend to the port's declared width (the `poke` contract).
+fn mix(cycle: u64, lane: u64) -> u64 {
+    let mut z = (cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ (lane.wrapping_mul(0xbf58_476d));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 27)
+}
+
+fn drive_synth(s: &mut dyn Session, cycles: u64) {
+    let inputs: Vec<String> = s
+        .inputs()
+        .unwrap()
+        .into_iter()
+        .map(|i| i.name)
+        .filter(|n| n != "clock" && n != "reset")
+        .collect();
+    s.poke_u64("reset", 1).unwrap();
+    s.step(2).unwrap();
+    s.poke_u64("reset", 0).unwrap();
+    for c in 0..cycles {
+        for (lane, name) in inputs.iter().enumerate() {
+            s.poke_u64(name, mix(c, lane as u64)).unwrap();
+        }
+        s.step(1).unwrap();
+    }
+}
+
+#[test]
+fn randomized_netlists_are_wave_identical_across_backends() {
+    for (name, target_nodes) in [("Rocket", 600), ("BOOM", 900)] {
+        let params = gsim_designs::SynthParams::for_target(name, target_nodes);
+        let graph = gsim_designs::synth_core(&params);
+        let label = format!("synth-{name}");
+        assert_equivalent(&graph, &label, &|s| drive_synth(s, 48));
+    }
+}

@@ -44,6 +44,10 @@ pub struct ClientSession {
     writer: Stream,
     cycle: u64,
     unsynced: u64,
+    /// Reassembles unsolicited `chg` records into the caller's
+    /// [`gsim_wave::WaveSink`] while a trace subscription is active;
+    /// `None` when tracing is off.
+    router: Option<gsim_wave::ChgRouter>,
 }
 
 impl ClientSession {
@@ -61,6 +65,7 @@ impl ClientSession {
             writer,
             cycle: 0,
             unsynced: 0,
+            router: None,
         })
     }
 
@@ -106,7 +111,7 @@ impl ClientSession {
         w.write_all(firrtl.as_bytes())
             .map_err(|e| GsimError::Io(format!("design upload: {e}")))?;
         self.flush()?;
-        let line = self.read_line()?;
+        let line = self.next_line()?;
         if line.starts_with("err ") {
             return Err(GsimError::from_wire(&line));
         }
@@ -155,7 +160,7 @@ impl ClientSession {
         self.flush()?;
         let mut branches = Vec::new();
         loop {
-            let line = self.read_line()?;
+            let line = self.next_line()?;
             if line.starts_with("err ") {
                 return Err(GsimError::from_wire(&line));
             }
@@ -210,6 +215,24 @@ impl ClientSession {
         Ok(line.trim_end().to_string())
     }
 
+    /// Reads the next *response* line: unsolicited `chg` trace records
+    /// are routed into the active wave subscription (or dropped when
+    /// none is active — a defensive guard, the server only streams
+    /// after `trace on`) so protocol readers see exactly the line
+    /// counts the command grammar promises.
+    fn next_line(&mut self) -> Result<String, GsimError> {
+        loop {
+            let line = self.read_line()?;
+            if line.starts_with("chg ") {
+                if let Some(router) = self.router.as_mut() {
+                    router.feed(&line);
+                }
+                continue;
+            }
+            return Ok(line);
+        }
+    }
+
     /// Fences the pipeline: `sync`, drain queued `err` lines until the
     /// matching `ok`, resynchronize the local cycle mirror.
     fn sync(&mut self) -> Result<u64, GsimError> {
@@ -219,7 +242,7 @@ impl ClientSession {
         let mut first_err = None;
         let server_cycle;
         loop {
-            let line = self.read_line()?;
+            let line = self.next_line()?;
             if let Some(rest) = line.strip_prefix("ok") {
                 server_cycle = rest.trim().parse().unwrap_or(self.cycle);
                 break;
@@ -240,7 +263,7 @@ impl ClientSession {
     fn query(&mut self, req: &str) -> Result<String, GsimError> {
         self.send(req)?;
         self.flush()?;
-        let line = self.read_line()?;
+        let line = self.next_line()?;
         if line.starts_with("err ") {
             return Err(GsimError::from_wire(&line));
         }
@@ -253,7 +276,7 @@ impl ClientSession {
         self.flush()?;
         let mut found = None;
         for expect in ["inputs", "signals", "mems"] {
-            let line = self.read_line()?;
+            let line = self.next_line()?;
             if line.starts_with("err ") {
                 return Err(GsimError::from_wire(&line));
             }
@@ -407,6 +430,75 @@ impl Session for ClientSession {
     fn restore(&mut self, id: SnapshotId) -> Result<(), GsimError> {
         self.send(&format!("restore {}", id.raw()))?;
         self.sync().map(|_| ())
+    }
+
+    fn trace_start(
+        &mut self,
+        signals: Option<&[String]>,
+        sink: Box<dyn gsim_wave::WaveSink>,
+    ) -> Result<(), GsimError> {
+        if self.router.is_some() {
+            return Err(GsimError::Config(
+                "a trace is already active on this session".into(),
+            ));
+        }
+        // Resolve the traced subset client-side so a typo is a typed
+        // error before any wire traffic, mirroring `AotSession`. The
+        // server re-validates, but its `err` would only surface at
+        // the next fence.
+        let all = self.signals()?;
+        let selected: Vec<SignalInfo> = match signals {
+            None => all,
+            Some(subset) => subset
+                .iter()
+                .map(|name| {
+                    all.iter()
+                        .find(|s| &s.name == name)
+                        .cloned()
+                        .ok_or_else(|| GsimError::UnknownSignal(name.clone()))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let mut cmd = String::from("trace on");
+        for s in &selected {
+            cmd.push(' ');
+            cmd.push_str(&s.name);
+        }
+        // The router mirrors the server's zero-width exclusion so the
+        // baseline completes.
+        let wave_sigs: Vec<gsim_wave::WaveSignal> = selected
+            .iter()
+            .filter(|s| s.width > 0)
+            .map(|s| gsim_wave::WaveSignal::new(&s.name, s.width))
+            .collect();
+        self.router = Some(gsim_wave::ChgRouter::new("top", wave_sigs, sink));
+        self.send(&cmd)?;
+        // The fence pulls the baseline burst through `next_line` into
+        // the router before returning.
+        match self.sync() {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.router = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn trace_stop(&mut self) -> Result<(), GsimError> {
+        if self.router.is_none() {
+            return Err(GsimError::Config(
+                "no trace is active on this session".into(),
+            ));
+        }
+        // `trace off` is silent on success; the fence both confirms it
+        // and pulls every record still queued in the pipe through
+        // `next_line` into the router before we tear it down.
+        let res = self
+            .send("trace off")
+            .and_then(|()| self.sync().map(|_| ()));
+        let router = self.router.take().expect("checked above");
+        res?;
+        router.finish().map_err(|e| GsimError::Io(e.to_string()))
     }
 
     fn inputs(&mut self) -> Result<Vec<SignalInfo>, GsimError> {

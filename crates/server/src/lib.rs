@@ -33,9 +33,15 @@
 //! exact pre-crash state.
 //!
 //! After `design`, every simulation command (`poke`, `step`, `peek`,
-//! `list`, `sync`, …) behaves exactly as on a local session: the
-//! server bridges the wire onto a `Box<dyn Session>` ([`proto`]), so
-//! the AoT and interpreter backends are served by the same loop.
+//! `list`, `sync`, `trace on|off`, …) behaves exactly as on a local
+//! session: the server bridges the wire onto a `Box<dyn Session>`
+//! ([`proto`]), so the AoT and interpreter backends are served by the
+//! same loop — including streamed waveform capture: `trace on`
+//! subscribes the connection to unsolicited `chg <cycle> <name>
+//! <hex>` value-change records (see [`gsim_sim::Session`]'s wire
+//! table), which [`ClientSession`] (via
+//! [`gsim_sim::Session::trace_start`]) reassembles into any
+//! [`gsim_wave::WaveSink`].
 //!
 //! The matching [`ClientSession`] implements [`gsim_sim::Session`]
 //! over the socket, which is what makes the service transparently

@@ -6,14 +6,25 @@
 //! emitted binary runs in `--serve` mode.
 //!
 //! Semantics (documented in full on [`gsim_sim::Session`]): mutating
-//! commands (`poke`, `load`, `step`, `restore`, `loadstate`) are
-//! silent on success and *queue* their errors; `sync` drains the
+//! commands (`poke`, `load`, `step`, `restore`, `loadstate`, `trace`)
+//! are silent on success and *queue* their errors; `sync` drains the
 //! queue (in command order) and answers `ok <cycle>`; queries
 //! (`peek`, `counters`, `snapshot`, `state`, `list`) answer exactly
 //! one request each — `list` with its fixed three lines.
+//!
+//! Tracing: `trace on [<signal>…]` subscribes the connection to
+//! value-change records. The bridge installs a
+//! [`gsim_wave::LineSink`] over a [`gsim_wave::SharedBuf`] via
+//! [`Session::trace_start`]; the session (any backend) feeds it, and
+//! the bridge drains the buffered `chg <cycle> <name> <hex>` lines
+//! onto the wire after every state-moving command — so, exactly as in
+//! the emitted binary's `--serve` loop, unsolicited records always
+//! precede the next command response that could observe the
+//! post-change state.
 
 use gsim_sim::{GsimError, Session};
 use gsim_value::Value;
+use gsim_wave::{LineSink, SharedBuf};
 use std::io::Write;
 
 /// What [`SessionProto::handle_line`] did with a line.
@@ -28,10 +39,15 @@ pub enum Flow {
 }
 
 /// Per-connection protocol state: the queued-error buffer that gives
-/// mutating commands their pipelined, silent-on-success semantics.
+/// mutating commands their pipelined, silent-on-success semantics,
+/// plus the active trace subscription's staging buffer.
 #[derive(Debug, Default)]
 pub struct SessionProto {
     queued: Vec<String>,
+    /// `Some` while a `trace on` subscription is active: the shared
+    /// buffer the session's [`gsim_wave::LineSink`] writes `chg`
+    /// records into, drained onto the wire between commands.
+    trace_buf: Option<SharedBuf>,
 }
 
 impl SessionProto {
@@ -46,9 +62,24 @@ impl SessionProto {
         self.queued.push(e.to_wire());
     }
 
+    /// Drains any `chg` records the active trace sink staged since
+    /// the last drain onto the wire, keeping the protocol's ordering
+    /// guarantee: records precede the next response that could
+    /// observe the post-change state.
+    fn drain_trace(&mut self, out: &mut impl Write) -> std::io::Result<()> {
+        if let Some(buf) = &self.trace_buf {
+            if !buf.is_empty() {
+                out.write_all(&buf.drain())?;
+                out.flush()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Answers `sync`: queued errors in command order, then
     /// `ok <cycle>`.
     pub fn sync(&mut self, cycle: u64, out: &mut impl Write) -> std::io::Result<()> {
+        self.drain_trace(out)?;
         for line in self.queued.drain(..) {
             writeln!(out, "{line}")?;
         }
@@ -121,12 +152,14 @@ impl SessionProto {
                 if let Err(e) = sess.step(n) {
                     self.queued.push(e.to_wire());
                 }
+                self.drain_trace(out)?;
             }
             Some("restore") => {
                 let raw: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(u64::MAX);
                 if let Err(e) = sess.restore(gsim_sim::SnapshotId::from_raw(raw)) {
                     self.queued.push(e.to_wire());
                 }
+                self.drain_trace(out)?;
             }
             Some("peek") => {
                 let name = it.next().unwrap_or("");
@@ -176,7 +209,55 @@ impl SessionProto {
                 if let Err(e) = sess.import_state(blob.as_bytes()) {
                     self.queued.push(e.to_wire());
                 }
+                self.drain_trace(out)?;
             }
+            Some("trace") => match it.next() {
+                Some("on") => {
+                    if self.trace_buf.is_some() {
+                        self.queued.push(
+                            GsimError::Config("a trace is already active on this session".into())
+                                .to_wire(),
+                        );
+                        return Ok(Flow::Handled);
+                    }
+                    let names: Vec<String> = it.map(str::to_string).collect();
+                    let buf = SharedBuf::new();
+                    // The session validates the subset (typed
+                    // `unknown-signal` surfaces at the next fence) and
+                    // writes the baseline burst into the sink on
+                    // success; drain it so the burst precedes
+                    // everything that follows.
+                    match sess.trace_start(
+                        (!names.is_empty()).then_some(names.as_slice()),
+                        Box::new(LineSink::new(buf.clone())),
+                    ) {
+                        Ok(()) => {
+                            self.trace_buf = Some(buf);
+                            self.drain_trace(out)?;
+                        }
+                        Err(e) => self.queued.push(e.to_wire()),
+                    }
+                }
+                Some("off") => {
+                    if self.trace_buf.is_none() {
+                        self.queued.push(
+                            GsimError::Config("no trace is active on this session".into())
+                                .to_wire(),
+                        );
+                        return Ok(Flow::Handled);
+                    }
+                    if let Err(e) = sess.trace_stop() {
+                        self.queued.push(e.to_wire());
+                    }
+                    // Flush whatever the sink staged up to the stop,
+                    // then drop the subscription.
+                    self.drain_trace(out)?;
+                    self.trace_buf = None;
+                }
+                _ => self
+                    .queued
+                    .push(GsimError::Protocol(format!("bad trace: {line}")).to_wire()),
+            },
             Some("list") => {
                 match (sess.inputs(), sess.signals(), sess.memories()) {
                     (Ok(ins), Ok(sigs), Ok(mems)) => {

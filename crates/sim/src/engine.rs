@@ -16,6 +16,7 @@ use crate::threaded::{self, ThreadedProg};
 use crate::{CompileError, EngineKind, SimOptions};
 use gsim_graph::Graph;
 use gsim_value::Value;
+use gsim_wave::{Tracer, WaveSignal, WaveSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -118,6 +119,20 @@ pub struct Simulator {
     /// time so the trait's by-name frame stepping pays no per-call
     /// map construction.
     input_ids: std::collections::HashMap<String, u32>,
+    /// Active waveform capture ([`Simulator::trace_start`]). `None`
+    /// when tracing is off — the *only* cost the untraced hot path
+    /// pays is this option check once per `run_driven` call, not per
+    /// store or per cycle.
+    trace: Option<SimTrace>,
+}
+
+/// One active capture: the traced signals' state slots plus the
+/// change-detecting [`Tracer`] feeding the user's sink.
+struct SimTrace {
+    /// `(state offset, words)` per traced signal, aligned with the
+    /// signal list the tracer was built from.
+    slots: Vec<(usize, usize)>,
+    tracer: Tracer,
 }
 
 /// One saved simulation state: everything a later cycle can observe.
@@ -214,6 +229,7 @@ impl Simulator {
             threaded,
             snapshots: Vec::new(),
             input_ids,
+            trace: None,
         })
     }
 
@@ -407,6 +423,24 @@ impl Simulator {
     where
         F: FnMut(u64, &mut InputFrame),
     {
+        if self.trace.is_none() {
+            // Untraced hot path: one option check per call, then the
+            // engines run exactly the pre-tracing code.
+            return self.run_driven_untraced(n, &mut drive);
+        }
+        // Traced: capture after every cycle. Cycle-at-a-time stepping
+        // also makes the multithreaded engines observable per cycle
+        // (they only publish their atomic images at scope exit).
+        for _ in 0..n {
+            self.run_driven_untraced(1, &mut drive);
+            self.capture_trace();
+        }
+    }
+
+    fn run_driven_untraced<F>(&mut self, n: u64, drive: &mut F)
+    where
+        F: FnMut(u64, &mut InputFrame),
+    {
         if n == 0 {
             // No cycle runs, so no frame is driven — on any engine.
             return;
@@ -444,11 +478,106 @@ impl Simulator {
                     self.step_threaded();
                 }
             }
-            EngineKind::FullCycleMt { threads } => self.run_full_mt(n, threads.max(1), &mut drive),
-            EngineKind::EssentialMt { threads } => {
-                self.run_essential_mt(n, threads.max(1), &mut drive)
-            }
+            EngineKind::FullCycleMt { threads } => self.run_full_mt(n, threads.max(1), drive),
+            EngineKind::EssentialMt { threads } => self.run_essential_mt(n, threads.max(1), drive),
         }
+    }
+
+    /// Starts change-driven waveform capture into `sink` (see
+    /// [`Session::trace_start`] for the full contract). The traced
+    /// set is the portable signal surface ([`Session::signals`]) or
+    /// the validated subset `signals`, in request order; the header
+    /// and baseline snapshot are emitted immediately at the current
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::UnknownSignal`] for a subset name outside the
+    /// portable surface; [`GsimError::Config`] if a trace is already
+    /// active.
+    pub fn trace_start(
+        &mut self,
+        signals: Option<&[String]>,
+        sink: Box<dyn WaveSink>,
+    ) -> Result<(), GsimError> {
+        if self.trace.is_some() {
+            return Err(GsimError::Config(
+                "a trace is already active on this session".into(),
+            ));
+        }
+        let selected: Vec<(String, u32)> = match signals {
+            None => self.c.io_signals.clone(),
+            Some(names) => {
+                let avail: std::collections::HashMap<&str, u32> = self
+                    .c
+                    .io_signals
+                    .iter()
+                    .map(|(n, w)| (n.as_str(), *w))
+                    .collect();
+                let mut sel = Vec::with_capacity(names.len());
+                for n in names {
+                    let &w = avail
+                        .get(n.as_str())
+                        .ok_or_else(|| GsimError::UnknownSignal(n.clone()))?;
+                    sel.push((n.clone(), w));
+                }
+                sel
+            }
+        };
+        let wave_sigs: Vec<WaveSignal> = selected
+            .iter()
+            .map(|(n, w)| WaveSignal::new(n, *w))
+            .collect();
+        let slots: Vec<(usize, usize)> = selected
+            .iter()
+            .map(|(n, _)| {
+                let id = self.c.names[n.as_str()];
+                let slot = self.c.node_slot[id as usize];
+                (slot.off as usize, slot.words as usize)
+            })
+            .collect();
+        let mut tracer = Tracer::new("top", &wave_sigs, sink);
+        let state = &self.state;
+        tracer.begin(self.cycle, &mut |i, buf| {
+            let (off, words) = slots[i];
+            buf.extend_from_slice(&state[off..off + words]);
+        });
+        self.trace = Some(SimTrace { slots, tracer });
+        Ok(())
+    }
+
+    /// Stops waveform capture, finishing the sink. See
+    /// [`Session::trace_stop`].
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Config`] if no trace is active; [`GsimError::Io`]
+    /// for a latched or final sink failure.
+    pub fn trace_stop(&mut self) -> Result<(), GsimError> {
+        let tr = self
+            .trace
+            .take()
+            .ok_or_else(|| GsimError::Config("no trace is active on this session".into()))?;
+        tr.tracer.finish().map_err(|e| GsimError::Io(e.to_string()))
+    }
+
+    /// Post-cycle capture: compares every traced signal against the
+    /// tracer's shadow and emits change records stamped with the
+    /// just-completed cycle. The trace is taken out of `self` for the
+    /// duration so the read closure can borrow `self.state`.
+    fn capture_trace(&mut self) {
+        let Some(mut tr) = self.trace.take() else {
+            return;
+        };
+        {
+            let SimTrace { slots, tracer } = &mut tr;
+            let state = &self.state;
+            tracer.capture(self.cycle, &mut |i, buf| {
+                let (off, words) = slots[i];
+                buf.extend_from_slice(&state[off..off + words]);
+            });
+        }
+        self.trace = Some(tr);
     }
 
     /// Time the threaded-code lowering pass took at compile time
@@ -527,6 +656,9 @@ impl Simulator {
             threaded: self.threaded.clone(),
             snapshots: Vec::new(),
             input_ids: self.input_ids.clone(),
+            // Traces are session-local: the fork starts untraced (the
+            // Explorer attaches its own per-branch sink).
+            trace: None,
         }
     }
 
@@ -1053,6 +1185,18 @@ impl Session for Simulator {
             })
             .collect())
     }
+
+    fn trace_start(
+        &mut self,
+        signals: Option<&[String]>,
+        sink: Box<dyn WaveSink>,
+    ) -> Result<(), GsimError> {
+        Simulator::trace_start(self, signals, sink)
+    }
+
+    fn trace_stop(&mut self) -> Result<(), GsimError> {
+        Simulator::trace_stop(self)
+    }
 }
 
 #[cfg(test)]
@@ -1394,5 +1538,72 @@ circuit M :
         let mut sim = Simulator::compile(&g, &SimOptions::default()).unwrap();
         assert!(sim.poke_u64("out", 1).is_err());
         assert!(sim.poke_u64("missing", 1).is_err());
+    }
+
+    #[test]
+    fn traced_waves_are_identical_across_engines() {
+        use gsim_wave::{first_difference, WaveCell};
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        let mut waves = Vec::new();
+        for (name, opts) in engines() {
+            let mut sim = Simulator::compile(&g, &opts).unwrap();
+            let cell = WaveCell::new();
+            sim.trace_start(None, Box::new(cell.sink())).unwrap();
+            sim.poke_u64("en", 1).unwrap();
+            sim.run(6);
+            sim.poke_u64("en", 0).unwrap();
+            sim.run(3);
+            sim.poke_u64("reset", 1).unwrap();
+            sim.run(2);
+            sim.trace_stop().unwrap();
+            waves.push((name, cell.take()));
+        }
+        let (base_name, base) = &waves[0];
+        assert!(
+            base.changes
+                .iter()
+                .any(|&(_, s, _)| base.signals[s].name == "out"),
+            "trace must record the counter output"
+        );
+        for (name, wave) in &waves[1..] {
+            assert_eq!(
+                first_difference(base, wave),
+                None,
+                "engine {name} wave diverged from {base_name}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_subset_and_errors() {
+        use gsim_wave::WaveCell;
+        let g = gsim_firrtl::compile(COUNTER).unwrap();
+        let mut sim = Simulator::compile(&g, &SimOptions::default()).unwrap();
+        // Unknown subset name is rejected up front, leaving no trace.
+        let cell = WaveCell::new();
+        let err = sim
+            .trace_start(Some(&["nope".to_string()]), Box::new(cell.sink()))
+            .unwrap_err();
+        assert!(matches!(err, GsimError::UnknownSignal(n) if n == "nope"));
+        assert!(matches!(sim.trace_stop(), Err(GsimError::Config(_))));
+        // A subset traces only the named signals; double-start fails.
+        let cell = WaveCell::new();
+        sim.trace_start(Some(&["out".to_string()]), Box::new(cell.sink()))
+            .unwrap();
+        let second = WaveCell::new();
+        assert!(matches!(
+            sim.trace_start(None, Box::new(second.sink())),
+            Err(GsimError::Config(_))
+        ));
+        sim.poke_u64("en", 1).unwrap();
+        sim.run(4);
+        sim.trace_stop().unwrap();
+        let wave = cell.take();
+        assert_eq!(wave.signals.len(), 1);
+        assert_eq!(wave.signals[0].name, "out");
+        // Baseline at cycle 0 plus per-cycle increments of `out`:
+        // values 0,1,2,3 at times 0,2,3,4 (the first enabled cycle
+        // leaves out at 0; it becomes observable one cycle later).
+        assert!(wave.changes.len() >= 4, "{:?}", wave.changes);
     }
 }

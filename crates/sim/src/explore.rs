@@ -24,6 +24,12 @@
 //! peeks, and a sequential replay on the same backend produces
 //! identical counters (the differential tests enforce both).
 //!
+//! With [`ExploreOptions::divergence`] on, every branch also captures
+//! a change-driven waveform of the watched signals (where the backend
+//! supports [`Session::trace_start`]) and reports its divergence from
+//! branch 0 as the *first differing change* — an absolute cycle — not
+//! just the first differing end-of-branch peek.
+//!
 //! A branch that dies mid-run (an AoT child killed under it) is
 //! retried on a fresh session from the recovery factory, bounded by
 //! [`ExploreOptions::max_retries`]; retries are reported per branch.
@@ -32,6 +38,7 @@ use crate::counters::Counters;
 use crate::scenario::Scenario;
 use crate::session::{GsimError, Session};
 use gsim_value::Value;
+use gsim_wave::{first_difference, Wave, WaveCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A thread-safe factory producing fresh sessions *at the fork
@@ -54,11 +61,19 @@ pub struct ExploreOptions {
     /// whole exploration fails.
     pub max_retries: u32,
     /// Signals recorded per branch. Empty (the default) records the
-    /// portable [`Session::signals`] list.
+    /// portable [`Session::signals`] list; a non-empty list is
+    /// validated against that list up front, so a typo fails the
+    /// whole run with [`GsimError::UnknownSignal`] before any branch
+    /// is forked rather than mid-fan-out.
     pub watch: Vec<String>,
-    /// Track each branch's divergence cycle (first cycle its watched
-    /// values differ from branch 0's). Costs a per-cycle peek per
-    /// watched signal, so throughput benchmarks turn it off.
+    /// Track each branch's divergence cycle and capture per-branch
+    /// waveforms. On backends with [`Session::trace_start`] support
+    /// each branch records a change-driven [`Wave`] of the watched
+    /// signals and divergence is the branch's *first differing
+    /// change* against branch 0's wave; on backends without capture
+    /// the explorer falls back to per-cycle peek rows (same
+    /// divergence cycle, no wave). Costs per-cycle observation, so
+    /// throughput benchmarks turn it off.
     pub divergence: bool,
 }
 
@@ -88,10 +103,18 @@ pub struct BranchResult {
     pub counters: Counters,
     /// The pass/fail predicate's verdict, when one was supplied.
     pub pass: Option<bool>,
-    /// First cycle at which this branch's watched values differed
-    /// from branch 0's (`None` for branch 0 itself, for branches
-    /// that never diverged, or when divergence tracking is off).
+    /// First *absolute* cycle at which this branch's watched-signal
+    /// history differed from branch 0's — the first differing change
+    /// when waves are captured, the first differing per-cycle peek
+    /// row on the fallback path (both stamp the same cycle). `None`
+    /// for branch 0 itself, for branches that never diverged, or when
+    /// divergence tracking is off.
     pub divergence_cycle: Option<u64>,
+    /// This branch's captured waveform of the watched signals (time
+    /// axis = absolute cycles, baseline at the fork point). `Some`
+    /// only when [`ExploreOptions::divergence`] is on and the branch
+    /// session supports [`Session::trace_start`].
+    pub wave: Option<Wave>,
     /// Fatal-error retries this branch consumed (normally 0).
     pub retries: u32,
 }
@@ -211,20 +234,36 @@ impl<'a> Explorer<'a> {
         if n == 0 {
             return Ok(report);
         }
+        let portable: Vec<String> = self.core.signals()?.into_iter().map(|s| s.name).collect();
         let watch: Vec<String> = if self.opts.watch.is_empty() {
-            self.core.signals()?.into_iter().map(|s| s.name).collect()
+            portable
         } else {
+            // Validate the watch list up front: a typo fails here,
+            // typed, before any fork — not mid-fan-out inside a
+            // worker with branches already in flight.
+            let known: std::collections::HashSet<&str> =
+                portable.iter().map(|s| s.as_str()).collect();
+            for w in &self.opts.watch {
+                if !known.contains(w.as_str()) {
+                    return Err(GsimError::UnknownSignal(w.clone()));
+                }
+            }
             self.opts.watch.clone()
         };
-        // Branch 0's per-cycle trace, for divergence tracking.
-        let base_trace = if self.opts.divergence {
+        let fork_cycle = self.core.cycle();
+        // Branch 0's observation baseline, for divergence tracking: a
+        // captured wave where the backend supports tracing, per-cycle
+        // peek rows otherwise.
+        let div: DivBase = if self.opts.divergence {
             let snap = self.core.snapshot()?;
-            let mut trace = Vec::with_capacity(base.cycles() as usize);
-            run_branch(self.core, base, &watch, Some(&mut trace))?;
+            let (_, wave, rows) = run_branch_div(self.core, base, &watch, DivKind::Wave)?;
             self.core.restore(snap)?;
-            Some(trace)
+            match wave {
+                Some(w) => DivBase::Wave(w),
+                None => DivBase::Peeks(rows),
+            }
         } else {
-            None
+            DivBase::Off
         };
 
         // Build the worker pool: forks first, recovery fill-in, and a
@@ -260,7 +299,6 @@ impl<'a> Explorer<'a> {
         let next = AtomicUsize::new(0);
         let recoveries = AtomicUsize::new(0);
         let recover = self.recover;
-        let base_trace = base_trace.as_deref();
 
         let mut results: Vec<BranchResult> = if pool.is_empty() {
             // No fork support and no recovery factory: run every
@@ -270,18 +308,15 @@ impl<'a> Explorer<'a> {
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
                 let sc = base.perturb(i as u64);
-                let mut trace = Vec::new();
-                let (cycle, peeks, counters) =
-                    run_branch(self.core, &sc, &watch, base_trace.map(|_| &mut trace))?;
-                out.push(finish_branch(
-                    i, cycle, peeks, counters, 0, base_trace, &trace,
-                ));
+                let (obs, wave, rows) = run_branch_div(self.core, &sc, &watch, div.kind())?;
+                out.push(finish_branch(i, obs, 0, &div, wave, &rows, fork_cycle));
                 self.core.restore(snap)?;
             }
             out
         } else {
             report.workers = pool.len();
             let watch = &watch;
+            let div = &div;
             let worker =
                 |mut session: Box<dyn Session + Send>| -> Result<Vec<BranchResult>, GsimError> {
                     let mut snap = session.snapshot()?;
@@ -294,19 +329,13 @@ impl<'a> Explorer<'a> {
                         let sc = base.perturb(i as u64);
                         let mut retries = 0u32;
                         loop {
-                            let mut trace = Vec::new();
                             let attempt = session.restore(snap).and_then(|()| {
-                                run_branch(
-                                    session.as_mut(),
-                                    &sc,
-                                    watch,
-                                    base_trace.map(|_| &mut trace),
-                                )
+                                run_branch_div(session.as_mut(), &sc, watch, div.kind())
                             });
                             match attempt {
-                                Ok((cycle, peeks, counters)) => {
+                                Ok((obs, wave, rows)) => {
                                     out.push(finish_branch(
-                                        i, cycle, peeks, counters, retries, base_trace, &trace,
+                                        i, obs, retries, div, wave, &rows, fork_cycle,
                                     ));
                                     break;
                                 }
@@ -353,24 +382,65 @@ impl<'a> Explorer<'a> {
     }
 }
 
+/// Branch 0's recorded observation history — the baseline every
+/// other branch's history is diffed against for divergence tracking.
+enum DivBase {
+    /// Divergence tracking is off; branches run the batched fast path.
+    Off,
+    /// A change-driven [`Wave`] of the watched signals, captured via
+    /// [`Session::trace_start`]. Divergence is the first differing
+    /// change between two waves.
+    Wave(Wave),
+    /// Per-cycle peek rows: the fallback for backends without wave
+    /// capture. Divergence is the first differing row, translated to
+    /// an absolute cycle.
+    Peeks(Vec<Vec<Value>>),
+}
+
+/// How a branch should observe its history (the discriminant of
+/// [`DivBase`], threadable by value into worker closures).
+#[derive(Clone, Copy, PartialEq)]
+enum DivKind {
+    Off,
+    Wave,
+    Peeks,
+}
+
+impl DivBase {
+    fn kind(&self) -> DivKind {
+        match self {
+            DivBase::Off => DivKind::Off,
+            DivBase::Wave(_) => DivKind::Wave,
+            DivBase::Peeks(_) => DivKind::Peeks,
+        }
+    }
+}
+
 /// Builds one [`BranchResult`], computing the divergence cycle from
-/// the branch's recorded trace against branch 0's.
+/// the branch's recorded history against branch 0's baseline.
 fn finish_branch(
     index: usize,
-    cycle: u64,
-    peeks: Vec<(String, Value)>,
-    counters: Counters,
+    obs: BranchObservation,
     retries: u32,
-    base_trace: Option<&[Vec<Value>]>,
-    trace: &[Vec<Value>],
+    div: &DivBase,
+    wave: Option<Wave>,
+    rows: &[Vec<Value>],
+    fork_cycle: u64,
 ) -> BranchResult {
-    let divergence_cycle = base_trace.and_then(|base| {
-        trace
+    let (cycle, peeks, counters) = obs;
+    let divergence_cycle = match div {
+        DivBase::Off => None,
+        // The tracer stamps each change with the cycle *after* which
+        // the value is observable, so wave times are already absolute.
+        DivBase::Wave(base) => wave.as_ref().and_then(|w| first_difference(base, w)),
+        // Peek row `r` holds the values observable after cycle
+        // `fork_cycle + r + 1`.
+        DivBase::Peeks(base) => rows
             .iter()
             .zip(base)
             .position(|(a, b)| a != b)
-            .map(|c| c as u64)
-    });
+            .map(|r| fork_cycle + r as u64 + 1),
+    };
     BranchResult {
         index,
         cycle,
@@ -378,6 +448,7 @@ fn finish_branch(
         counters,
         pass: None,
         divergence_cycle,
+        wave,
         retries,
     }
 }
@@ -385,6 +456,60 @@ fn finish_branch(
 /// What [`run_branch`] observes: the session's end cycle, the
 /// watched peeks, and the cumulative counters.
 type BranchObservation = (u64, Vec<(String, Value)>, Counters);
+
+/// What [`run_branch_div`] returns: the observation plus the recorded
+/// history — a captured wave (wave mode) or per-cycle peek rows
+/// (fallback mode).
+type BranchRecord = (BranchObservation, Option<Wave>, Vec<Vec<Value>>);
+
+/// Runs one branch under the requested divergence-observation mode
+/// and returns the observation plus the recorded history: a captured
+/// wave (wave mode) or per-cycle peek rows (fallback mode).
+///
+/// `DivKind::Wave` degrades to peek rows when this particular
+/// session lacks [`Session::trace_start`] (a recovery session of a
+/// different backend than the core); the branch then reports no
+/// divergence cycle rather than failing.
+fn run_branch_div(
+    session: &mut dyn Session,
+    sc: &Scenario,
+    watch: &[String],
+    kind: DivKind,
+) -> Result<BranchRecord, GsimError> {
+    match kind {
+        DivKind::Off => {
+            let obs = run_branch(session, sc, watch, None)?;
+            Ok((obs, None, Vec::new()))
+        }
+        DivKind::Wave => {
+            let cell = WaveCell::new();
+            match session.trace_start(Some(watch), Box::new(cell.sink())) {
+                Ok(()) => {
+                    let obs = match run_branch(session, sc, watch, None) {
+                        Ok(obs) => obs,
+                        Err(e) => {
+                            // Don't leave the session with an active
+                            // trace: a retry would hit `Config`.
+                            let _ = session.trace_stop();
+                            return Err(e);
+                        }
+                    };
+                    session.trace_stop()?;
+                    Ok((obs, Some(cell.take()), Vec::new()))
+                }
+                Err(GsimError::Unsupported(_)) => {
+                    run_branch_div(session, sc, watch, DivKind::Peeks)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        DivKind::Peeks => {
+            let mut rows = Vec::new();
+            let obs = run_branch(session, sc, watch, Some(&mut rows))?;
+            Ok((obs, None, rows))
+        }
+    }
+}
 
 /// Runs one scenario on `session` and collects the branch
 /// observations. With `trace` supplied, the run is stepped
@@ -517,6 +642,7 @@ circuit Counter :
     fn divergence_cycle_is_first_observable_difference() {
         let mut core = open(SimOptions::default());
         core.run_scenario(&warmup()).unwrap();
+        let cycle0 = core.cycle();
         let sc = base();
         let report = Explorer::new(core.as_mut())
             .options(ExploreOptions {
@@ -534,8 +660,9 @@ circuit Counter :
         // `out` mirrors the accumulating register as evaluated during
         // the sweep (pre-commit), so an `inc` poke that first differs
         // from the base on frame `p` — after masking to the input's 4
-        // bits — becomes observable one cycle later, at trace row
-        // `p + 1` (or never, if the scenario ends first).
+        // bits — becomes observable one cycle after that frame's
+        // clock edge, i.e. at absolute cycle `cycle0 + p + 2` (or
+        // never, if the scenario ends first).
         for b in &report.branches[1..] {
             let perturbed = sc.perturb(b.index as u64);
             let expect = sc
@@ -543,10 +670,17 @@ circuit Counter :
                 .iter()
                 .zip(&perturbed.frames)
                 .position(|(bf, pf)| bf[0].1 & 0xf != pf[0].1 & 0xf)
-                .map(|p| p as u64 + 1)
-                .filter(|&c| c < sc.cycles());
+                .map(|p| cycle0 + p as u64 + 2)
+                .filter(|&c| c <= cycle0 + sc.cycles());
             assert_eq!(b.divergence_cycle, expect, "branch {}", b.index);
+            // The in-process backend supports capture, so each branch
+            // carries its wave: time axis absolute, watched subset.
+            let wave = b.wave.as_ref().expect("branch wave");
+            assert_eq!(wave.signals.len(), 1);
+            assert_eq!(wave.signals[0].name, "out");
+            assert!(wave.changes.iter().all(|&(t, _, _)| t >= cycle0));
         }
+        assert!(report.branches[0].wave.is_some(), "branch 0 keeps its wave");
     }
 
     /// A session wrapper that cannot fork and injects one fatal error

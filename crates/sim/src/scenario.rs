@@ -197,6 +197,16 @@ impl Scenario {
             if line.starts_with('#') {
                 continue;
             }
+            if line == "!load" {
+                // Without this exact match a bare `!load` falls
+                // through to the frame branch and reports a
+                // misleading `expected name=hex` at the right line
+                // but for the wrong reason.
+                return Err(GsimError::Parse(format!(
+                    "line {}: !load needs a memory name",
+                    ln + 1
+                )));
+            }
             if let Some(rest) = line.strip_prefix("!load ") {
                 let mut it = rest.split_whitespace();
                 let mem = it.next().ok_or_else(|| {
@@ -298,6 +308,21 @@ mod tests {
             matches!(&e, GsimError::Parse(m) if m.contains("oversized")),
             "{e}"
         );
+    }
+
+    /// A bare `!load` used to fall through to the frame branch and
+    /// report `expected name=hex` — the error must instead name the
+    /// real problem, pinned to the offending line, and survive a
+    /// wire round trip.
+    #[test]
+    fn bare_load_reports_its_line_and_cause() {
+        let e = Scenario::parse("a=1\n!load\n").unwrap_err();
+        let GsimError::Parse(m) = &e else {
+            panic!("expected Parse, got {e}");
+        };
+        assert_eq!(m, "line 2: !load needs a memory name");
+        let rt = GsimError::from_wire(&e.to_wire());
+        assert_eq!(rt.to_string(), e.to_string(), "wire round trip");
     }
 
     #[test]

@@ -38,7 +38,20 @@
 //! | `state` | `state <cycle> <blob>` | exports the full simulation state as one opaque ASCII token |
 //! | `loadstate <blob>` | silent / `err protocol ...` | imports a blob from `state` (any process instance of the same artifact) |
 //! | `sync` | `ok <cycle>` | barrier: all prior commands have been applied |
+//! | `trace on [<name>...]` | `chg` burst (see below) / `err unknown-signal <name>` | starts streaming value changes; no names = every `list`-able signal |
+//! | `trace off` | silent | stops streaming |
 //! | `exit` | (process exits 0) | closing stdin has the same effect |
+//!
+//! While tracing is on, the server interleaves unsolicited
+//! `chg <cycle> <name> <hex>` records into its output: one per traced
+//! signal when tracing starts (the baseline burst, stamped with the
+//! current cycle), then one per value change per cycle, always
+//! *before* the response to the command that caused them. Clients
+//! route any line starting `chg ` to their wave sink and treat the
+//! remainder of the stream unchanged — this is what
+//! [`Session::trace_start`] / [`Session::trace_stop`] speak on the
+//! process-backed sessions, with `gsim_wave`'s `ChgRouter`
+//! reassembling the records into a `WaveSink`.
 //!
 //! `list` is the introspection query: it prints exactly three lines —
 //! `inputs <name>:<width> ...` (top-level inputs, declaration order),
@@ -644,6 +657,56 @@ pub trait Session {
         Err(GsimError::Config(
             "this backend does not support state import".into(),
         ))
+    }
+
+    /// Starts change-driven waveform capture into `sink`: the sink
+    /// receives a header and a baseline snapshot at the current
+    /// cycle, then one change record per traced signal per cycle in
+    /// which its value changed, stamped with the cycle *after* which
+    /// the new value is observable (the same value [`Session::peek`]
+    /// would read at that point). `signals` selects a subset of
+    /// [`Session::signals`] to trace; `None` traces all of them.
+    /// Capture runs until [`Session::trace_stop`] and is
+    /// change-driven and backend-agnostic, so two peek-equivalent
+    /// backends produce canonically identical waves (`gsim wavediff`
+    /// pins exactly this).
+    ///
+    /// At most one trace can be active per session. Sink write
+    /// failures do not fail the simulation; they are latched and
+    /// reported by [`Session::trace_stop`].
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::UnknownSignal`] for a subset name that is not in
+    /// [`Session::signals`]; [`GsimError::Config`] if a trace is
+    /// already active; [`GsimError::Unsupported`] on backends without
+    /// capture (the default — callers fall back to peek-based
+    /// observation); transport-class errors on process backends.
+    fn trace_start(
+        &mut self,
+        signals: Option<&[String]>,
+        sink: Box<dyn gsim_wave::WaveSink>,
+    ) -> Result<(), GsimError> {
+        let _ = (signals, sink);
+        Err(GsimError::Unsupported(format!(
+            "backend {:?} cannot capture waveforms",
+            self.backend()
+        )))
+    }
+
+    /// Stops waveform capture and finishes the sink (flushing file
+    /// sinks), surfacing the first sink error latched during capture.
+    ///
+    /// # Errors
+    ///
+    /// [`GsimError::Config`] if no trace is active; [`GsimError::Io`]
+    /// for a latched or final sink failure; [`GsimError::Unsupported`]
+    /// on backends without capture (the default).
+    fn trace_stop(&mut self) -> Result<(), GsimError> {
+        Err(GsimError::Unsupported(format!(
+            "backend {:?} cannot capture waveforms",
+            self.backend()
+        )))
     }
 
     /// [`Session::poke`] from a `u64`.

@@ -409,6 +409,23 @@ impl Session for SupervisedSession {
         }
     }
 
+    fn trace_start(
+        &mut self,
+        signals: Option<&[String]>,
+        sink: Box<dyn gsim_wave::WaveSink>,
+    ) -> Result<(), GsimError> {
+        // Forwarded directly rather than via `attempt`: the sink is a
+        // linear resource, so a crash recovery cannot re-arm it. A
+        // trace that was active when the inner session died simply
+        // ends at the crash cycle; the replacement session comes back
+        // untraced.
+        self.inner.trace_start(signals, sink)
+    }
+
+    fn trace_stop(&mut self) -> Result<(), GsimError> {
+        self.inner.trace_stop()
+    }
+
     fn counters(&mut self) -> Result<Counters, GsimError> {
         self.attempt(&mut |s| s.counters())
     }

@@ -1,0 +1,266 @@
+//! Canonical waveform comparison: the engine behind `gsim wavediff`
+//! and the Explorer's first-differing-change divergence report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::vcd::{words_to_hex, Wave};
+
+/// One difference between two waves. `a`/`b` refer to the two
+/// arguments of [`diff`] in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveDiff {
+    /// A signal declared in only one wave.
+    OnlyIn {
+        /// `"a"` or `"b"`.
+        side: &'static str,
+        /// The signal's name.
+        name: String,
+    },
+    /// A signal declared with different widths.
+    Width {
+        /// The signal's name.
+        name: String,
+        /// Width in wave `a`.
+        a: u32,
+        /// Width in wave `b`.
+        b: u32,
+    },
+    /// The first point where a signal's canonical change sequences
+    /// disagree. `None` on one side means that side's sequence ended
+    /// (no further changes) while the other still has one.
+    Value {
+        /// The signal's name.
+        name: String,
+        /// Time of the first disagreement.
+        time: u64,
+        /// `a`'s value at that point as hex, if it has one.
+        a: Option<String>,
+        /// `b`'s value at that point as hex, if it has one.
+        b: Option<String>,
+    },
+}
+
+impl fmt::Display for WaveDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveDiff::OnlyIn { side, name } => {
+                write!(f, "signal {name}: only in {side}")
+            }
+            WaveDiff::Width { name, a, b } => {
+                write!(f, "signal {name}: width {a} in a vs {b} in b")
+            }
+            WaveDiff::Value { name, time, a, b } => {
+                let show = |v: &Option<String>| match v {
+                    Some(h) => h.clone(),
+                    None => "(no change)".to_string(),
+                };
+                write!(
+                    f,
+                    "signal {name}: first difference at time {time}: a={} b={}",
+                    show(a),
+                    show(b)
+                )
+            }
+        }
+    }
+}
+
+/// Diffs two waves after canonicalization ([`Wave::canonical`]):
+/// signals present on one side only, width mismatches, and — for
+/// each signal common to both — the *first* point where the
+/// canonical change sequences disagree. Redundant records (repeated
+/// values, multiple records at one time) never produce differences,
+/// so waves from different writers compare by signal history, not by
+/// byte layout. Results are ordered by signal name.
+pub fn diff(a: &Wave, b: &Wave) -> Vec<WaveDiff> {
+    let index = |w: &Wave| -> BTreeMap<String, usize> {
+        w.signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect()
+    };
+    let ia = index(a);
+    let ib = index(b);
+    let ca = a.canonical();
+    let cb = b.canonical();
+
+    let mut names: Vec<&String> = ia.keys().chain(ib.keys()).collect();
+    names.sort();
+    names.dedup();
+
+    let mut out = Vec::new();
+    for name in names {
+        let (sa, sb) = match (ia.get(name), ib.get(name)) {
+            (Some(&sa), Some(&sb)) => (sa, sb),
+            (Some(_), None) => {
+                out.push(WaveDiff::OnlyIn {
+                    side: "a",
+                    name: name.clone(),
+                });
+                continue;
+            }
+            (None, Some(_)) => {
+                out.push(WaveDiff::OnlyIn {
+                    side: "b",
+                    name: name.clone(),
+                });
+                continue;
+            }
+            (None, None) => unreachable!("name came from one of the indexes"),
+        };
+        let (wa, wb) = (a.signals[sa].width, b.signals[sb].width);
+        if wa != wb {
+            out.push(WaveDiff::Width {
+                name: name.clone(),
+                a: wa,
+                b: wb,
+            });
+            continue;
+        }
+        let (qa, qb) = (&ca[sa], &cb[sb]);
+        for k in 0..qa.len().max(qb.len()) {
+            match (qa.get(k), qb.get(k)) {
+                (Some(ra), Some(rb)) if ra == rb => continue,
+                (ra, rb) => {
+                    let time = match (ra, rb) {
+                        (Some(ra), Some(rb)) => ra.0.min(rb.0),
+                        (Some(ra), None) => ra.0,
+                        (None, Some(rb)) => rb.0,
+                        (None, None) => unreachable!("k < max len"),
+                    };
+                    out.push(WaveDiff::Value {
+                        name: name.clone(),
+                        time,
+                        a: ra.map(|r| words_to_hex(&r.1, wa)),
+                        b: rb.map(|r| words_to_hex(&r.1, wb)),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The earliest time at which the two waves' signal histories
+/// disagree: `None` if they are canonically identical, the minimum
+/// [`WaveDiff::Value`] time otherwise. Structural differences
+/// (missing signals, width mismatches) make the waves incomparable
+/// from the start and report `Some(0)`. The Explorer uses this to
+/// report branch divergence as the first differing *change*.
+pub fn first_difference(a: &Wave, b: &Wave) -> Option<u64> {
+    let ds = diff(a, b);
+    if ds.is_empty() {
+        return None;
+    }
+    ds.iter()
+        .map(|d| match d {
+            WaveDiff::Value { time, .. } => *time,
+            WaveDiff::OnlyIn { .. } | WaveDiff::Width { .. } => 0,
+        })
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcd::WaveSignal;
+
+    fn wave(signals: &[(&str, u32)], changes: &[(u64, usize, u64)]) -> Wave {
+        Wave {
+            top: "top".into(),
+            signals: signals
+                .iter()
+                .map(|&(n, w)| WaveSignal::new(n, w))
+                .collect(),
+            changes: changes.iter().map(|&(t, s, v)| (t, s, vec![v])).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_histories_diff_empty_despite_redundancy() {
+        let a = wave(&[("x", 8)], &[(0, 0, 1), (2, 0, 5)]);
+        // Same history with a redundant repeat and a same-time overwrite.
+        let b = wave(&[("x", 8)], &[(0, 0, 3), (0, 0, 1), (1, 0, 1), (2, 0, 5)]);
+        assert!(diff(&a, &b).is_empty());
+        assert_eq!(first_difference(&a, &b), None);
+    }
+
+    #[test]
+    fn reports_first_value_difference_only() {
+        let a = wave(&[("x", 8)], &[(0, 0, 1), (2, 0, 5), (4, 0, 9)]);
+        let b = wave(&[("x", 8)], &[(0, 0, 1), (3, 0, 6), (4, 0, 9)]);
+        let ds = diff(&a, &b);
+        assert_eq!(
+            ds,
+            vec![WaveDiff::Value {
+                name: "x".into(),
+                time: 2,
+                a: Some("5".into()),
+                b: Some("6".into()),
+            }]
+        );
+        assert_eq!(first_difference(&a, &b), Some(2));
+    }
+
+    #[test]
+    fn reports_missing_trailing_changes() {
+        let a = wave(&[("x", 8)], &[(0, 0, 1), (2, 0, 5)]);
+        let b = wave(&[("x", 8)], &[(0, 0, 1)]);
+        let ds = diff(&a, &b);
+        assert_eq!(
+            ds,
+            vec![WaveDiff::Value {
+                name: "x".into(),
+                time: 2,
+                a: Some("5".into()),
+                b: None,
+            }]
+        );
+        assert_eq!(first_difference(&a, &b), Some(2));
+    }
+
+    #[test]
+    fn structural_differences() {
+        let a = wave(&[("x", 8), ("y", 4)], &[]);
+        let b = wave(&[("x", 16), ("z", 1)], &[]);
+        let ds = diff(&a, &b);
+        assert_eq!(
+            ds,
+            vec![
+                WaveDiff::Width {
+                    name: "x".into(),
+                    a: 8,
+                    b: 16
+                },
+                WaveDiff::OnlyIn {
+                    side: "a",
+                    name: "y".into()
+                },
+                WaveDiff::OnlyIn {
+                    side: "b",
+                    name: "z".into()
+                },
+            ]
+        );
+        assert_eq!(first_difference(&a, &b), Some(0));
+        // Display stays stable (wavediff prints these lines).
+        assert_eq!(ds[0].to_string(), "signal x: width 8 in a vs 16 in b");
+        assert_eq!(ds[1].to_string(), "signal y: only in a");
+    }
+
+    #[test]
+    fn divergence_takes_earliest_time_across_signals() {
+        let a = wave(
+            &[("x", 8), ("y", 8)],
+            &[(0, 0, 1), (0, 1, 1), (5, 0, 2), (3, 1, 9)],
+        );
+        let b = wave(
+            &[("x", 8), ("y", 8)],
+            &[(0, 0, 1), (0, 1, 1), (5, 0, 3), (3, 1, 8)],
+        );
+        assert_eq!(first_difference(&a, &b), Some(3));
+    }
+}

@@ -1,0 +1,455 @@
+//! Where captured changes go: the [`WaveSink`] trait and its
+//! standard implementations.
+//!
+//! A sink receives exactly one [`WaveSink::start`] header, then one
+//! [`WaveSink::dumpvars`] baseline snapshot, then zero or more
+//! [`WaveSink::change`] records in non-decreasing time order, then
+//! one [`WaveSink::finish`]. [`crate::VcdWriter`] is the file-format
+//! sink; this module holds the in-memory sink the Explorer uses
+//! ([`MemSink`]), the wire-protocol sink servers use ([`LineSink`]),
+//! the wire-protocol *source* clients use ([`ChgRouter`]), and two
+//! small plumbing adapters ([`SharedBuf`], [`CountingWriter`]).
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::vcd::{hex_to_words, words_to_hex, Wave, WaveSignal};
+
+/// Receives a change stream: header, baseline, changes, finish.
+///
+/// Sinks are `Send` so a traced session can cross threads (the
+/// Explorer runs branches on a worker pool). Methods return
+/// `io::Result` so file- and socket-backed sinks can surface write
+/// failures; the capture layer latches the first error and stops
+/// feeding the sink rather than failing the simulation itself.
+pub trait WaveSink: Send {
+    /// Declares the scope name and the traced signal table. Called
+    /// exactly once, before any values.
+    fn start(&mut self, top: &str, signals: &[WaveSignal]) -> io::Result<()>;
+
+    /// The baseline snapshot: one value per declared signal (same
+    /// order), stamped with the capture start time.
+    fn dumpvars(&mut self, time: u64, values: &[Vec<u64>]) -> io::Result<()>;
+
+    /// One value change: `signal` indexes the table from
+    /// [`WaveSink::start`]; `words` are masked little-endian limbs.
+    fn change(&mut self, time: u64, signal: usize, words: &[u64]) -> io::Result<()>;
+
+    /// Flush and close. Default: no-op.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A cloneable handle to a [`Wave`] being filled in by a [`MemSink`].
+///
+/// The Explorer hands the sink to a session (which wants ownership)
+/// while keeping a cell to read the wave back after the branch runs.
+#[derive(Debug, Clone, Default)]
+pub struct WaveCell(Arc<Mutex<Wave>>);
+
+impl WaveCell {
+    /// A cell holding an empty wave.
+    pub fn new() -> WaveCell {
+        WaveCell::default()
+    }
+
+    /// A [`MemSink`] that records into this cell.
+    pub fn sink(&self) -> MemSink {
+        MemSink { cell: self.clone() }
+    }
+
+    /// Takes the recorded wave out, leaving an empty one.
+    pub fn take(&self) -> Wave {
+        std::mem::take(&mut self.0.lock().expect("wave cell poisoned"))
+    }
+
+    /// A clone of the wave recorded so far.
+    pub fn snapshot(&self) -> Wave {
+        self.0.lock().expect("wave cell poisoned").clone()
+    }
+}
+
+/// Records the change stream into an in-memory [`Wave`] via a
+/// [`WaveCell`]. The baseline snapshot is recorded as one change per
+/// signal at the baseline time, matching what [`crate::parse_vcd`]
+/// produces for a `$dumpvars` block.
+#[derive(Debug)]
+pub struct MemSink {
+    cell: WaveCell,
+}
+
+impl WaveSink for MemSink {
+    fn start(&mut self, top: &str, signals: &[WaveSignal]) -> io::Result<()> {
+        let mut w = self.cell.0.lock().expect("wave cell poisoned");
+        *w = Wave {
+            top: top.to_string(),
+            signals: signals.to_vec(),
+            changes: Vec::new(),
+        };
+        Ok(())
+    }
+
+    fn dumpvars(&mut self, time: u64, values: &[Vec<u64>]) -> io::Result<()> {
+        let mut w = self.cell.0.lock().expect("wave cell poisoned");
+        for (i, v) in values.iter().enumerate() {
+            w.changes.push((time, i, v.clone()));
+        }
+        Ok(())
+    }
+
+    fn change(&mut self, time: u64, signal: usize, words: &[u64]) -> io::Result<()> {
+        let mut w = self.cell.0.lock().expect("wave cell poisoned");
+        w.changes.push((time, signal, words.to_vec()));
+        Ok(())
+    }
+}
+
+/// Emits the change stream as wire-protocol lines: one
+/// `chg <time> <name> <hex>` per record, the format the server and
+/// the AoT serve loop stream to clients. The baseline snapshot is
+/// emitted as one `chg` line per signal (clients reconstruct the
+/// `$dumpvars` block from the first full burst — see [`ChgRouter`]).
+pub struct LineSink<W: Write + Send> {
+    out: W,
+    names: Vec<String>,
+    widths: Vec<u32>,
+}
+
+impl<W: Write + Send> LineSink<W> {
+    /// Wraps `out`; nothing is written until [`WaveSink::start`].
+    pub fn new(out: W) -> LineSink<W> {
+        LineSink {
+            out,
+            names: Vec::new(),
+            widths: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write + Send> WaveSink for LineSink<W> {
+    fn start(&mut self, _top: &str, signals: &[WaveSignal]) -> io::Result<()> {
+        self.names = signals.iter().map(|s| s.name.clone()).collect();
+        self.widths = signals.iter().map(|s| s.width).collect();
+        Ok(())
+    }
+
+    fn dumpvars(&mut self, time: u64, values: &[Vec<u64>]) -> io::Result<()> {
+        for (i, v) in values.iter().enumerate() {
+            writeln!(
+                self.out,
+                "chg {time} {} {}",
+                self.names[i],
+                words_to_hex(v, self.widths[i])
+            )?;
+        }
+        Ok(())
+    }
+
+    fn change(&mut self, time: u64, signal: usize, words: &[u64]) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "chg {time} {} {}",
+            self.names[signal],
+            words_to_hex(words, self.widths[signal])
+        )?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// A cloneable shared byte buffer implementing [`Write`].
+///
+/// The server's protocol handler installs a [`LineSink`] over one of
+/// these, then drains it onto the client socket after each command so
+/// streamed `chg` records always precede the command's reply.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// Takes all buffered bytes out.
+    pub fn drain(&self) -> Vec<u8> {
+        std::mem::take(&mut self.0.lock().expect("shared buf poisoned"))
+    }
+
+    /// Whether the buffer currently holds any bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().expect("shared buf poisoned").is_empty()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buf poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A [`Write`] adapter that counts bytes as they pass through — the
+/// bench harness wraps a [`crate::VcdWriter`]'s output with one to
+/// measure VCD bytes per cycle without keeping the bytes.
+#[derive(Debug, Clone, Default)]
+pub struct CountingWriter(Arc<AtomicU64>);
+
+impl CountingWriter {
+    /// A fresh counter at zero.
+    pub fn new() -> CountingWriter {
+        CountingWriter::default()
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The client side of streamed tracing: feeds wire-protocol
+/// `chg <time> <name> <hex>` lines into any [`WaveSink`].
+///
+/// The server emits one `chg` line per traced signal as the baseline
+/// burst when tracing starts, then one line per change. The router
+/// knows the traced signal table up front (the client chose it), so
+/// it treats the first `signals.len()` lines as the baseline,
+/// forwards them as a single [`WaveSink::dumpvars`], and streams the
+/// rest as [`WaveSink::change`] records.
+///
+/// [`ChgRouter::feed`] is infallible by design — it is called from
+/// deep inside client read loops — so parse and sink errors are
+/// latched and surfaced by [`ChgRouter::finish`].
+pub struct ChgRouter {
+    top: String,
+    signals: Vec<WaveSignal>,
+    index: HashMap<String, usize>,
+    sink: Box<dyn WaveSink>,
+    baseline: Vec<Option<Vec<u64>>>,
+    baseline_time: u64,
+    remaining: usize,
+    error: Option<io::Error>,
+}
+
+impl std::fmt::Debug for ChgRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChgRouter")
+            .field("top", &self.top)
+            .field("signals", &self.signals.len())
+            .field("baseline_remaining", &self.remaining)
+            .field("errored", &self.error.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChgRouter {
+    /// A router for the given traced-signal table, forwarding into
+    /// `sink`. The sink's `start` is deferred until the baseline
+    /// burst completes so a failed `trace on` never half-opens it.
+    pub fn new(top: &str, signals: Vec<WaveSignal>, sink: Box<dyn WaveSink>) -> ChgRouter {
+        let index = signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        let remaining = signals.len();
+        let baseline = vec![None; signals.len()];
+        ChgRouter {
+            top: top.to_string(),
+            signals,
+            index,
+            sink,
+            baseline,
+            baseline_time: 0,
+            remaining,
+            error: None,
+        }
+    }
+
+    /// Routes one wire line that already matched the `chg ` prefix.
+    /// Malformed lines and sink failures are latched (first error
+    /// wins) and subsequent lines are ignored.
+    pub fn feed(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.feed_inner(line) {
+            self.error = Some(e);
+        }
+    }
+
+    fn feed_inner(&mut self, line: &str) -> io::Result<()> {
+        let bad =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{what}: {line:?}"));
+        let mut it = line.split_whitespace();
+        if it.next() != Some("chg") {
+            return Err(bad("not a chg record"));
+        }
+        let time: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad chg time"))?;
+        let name = it.next().ok_or_else(|| bad("chg missing signal name"))?;
+        let hex = it.next().ok_or_else(|| bad("chg missing value"))?;
+        let &idx = self
+            .index
+            .get(name)
+            .ok_or_else(|| bad("chg for untraced signal"))?;
+        let words =
+            hex_to_words(hex, self.signals[idx].width).ok_or_else(|| bad("bad chg value"))?;
+        if self.remaining > 0 {
+            self.baseline_time = time;
+            if self.baseline[idx].replace(words).is_none() {
+                self.remaining -= 1;
+            }
+            if self.remaining == 0 {
+                self.sink.start(&self.top, &self.signals)?;
+                let values: Vec<Vec<u64>> = self
+                    .baseline
+                    .iter_mut()
+                    .map(|v| v.take().expect("baseline complete"))
+                    .collect();
+                self.sink.dumpvars(self.baseline_time, &values)?;
+            }
+            return Ok(());
+        }
+        self.sink.change(time, idx, &words)
+    }
+
+    /// Finishes the stream: surfaces the first latched error, then
+    /// the sink's own [`WaveSink::finish`]. An incomplete baseline
+    /// (tracing stopped before every signal reported) is an error.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.remaining > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "trace ended with incomplete baseline ({} signals missing)",
+                    self.remaining
+                ),
+            ));
+        }
+        self.sink.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigs() -> Vec<WaveSignal> {
+        vec![WaveSignal::new("a", 1), WaveSignal::new("b", 72)]
+    }
+
+    #[test]
+    fn mem_sink_records_baseline_and_changes() {
+        let cell = WaveCell::new();
+        let mut s = cell.sink();
+        s.start("top", &sigs()).unwrap();
+        s.dumpvars(3, &[vec![1], vec![0x10, 0x1]]).unwrap();
+        s.change(4, 0, &[0]).unwrap();
+        s.finish().unwrap();
+        let w = cell.take();
+        assert_eq!(w.top, "top");
+        assert_eq!(w.signals, sigs());
+        assert_eq!(
+            w.changes,
+            vec![(3, 0, vec![1]), (3, 1, vec![0x10, 0x1]), (4, 0, vec![0])]
+        );
+        assert_eq!(cell.take(), Wave::default(), "take drains the cell");
+    }
+
+    #[test]
+    fn line_sink_emits_chg_records() {
+        let mut s = LineSink::new(Vec::new());
+        s.start("top", &sigs()).unwrap();
+        s.dumpvars(0, &[vec![1], vec![0x10, 0x1]]).unwrap();
+        s.change(2, 1, &[0xff, 0]).unwrap();
+        s.finish().unwrap();
+        let text = String::from_utf8(s.out).unwrap();
+        assert_eq!(text, "chg 0 a 1\nchg 0 b 10000000000000010\nchg 2 b ff\n");
+    }
+
+    #[test]
+    fn chg_router_reconstructs_stream() {
+        let cell = WaveCell::new();
+        let mut r = ChgRouter::new("top", sigs(), Box::new(cell.sink()));
+        r.feed("chg 5 a 1");
+        r.feed("chg 5 b 10");
+        r.feed("chg 7 a 0");
+        r.feed("chg 9 b ff");
+        r.finish().unwrap();
+        let w = cell.take();
+        assert_eq!(w.top, "top");
+        assert_eq!(w.signals, sigs());
+        assert_eq!(
+            w.changes,
+            vec![
+                (5, 0, vec![1]),
+                (5, 1, vec![0x10, 0]),
+                (7, 0, vec![0]),
+                (9, 1, vec![0xff, 0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn chg_router_latches_errors() {
+        let cell = WaveCell::new();
+        let mut r = ChgRouter::new("top", sigs(), Box::new(cell.sink()));
+        r.feed("chg 0 a 1");
+        r.feed("chg 0 nosuch 5");
+        r.feed("chg 0 b 2");
+        let e = r.finish().unwrap_err();
+        assert!(e.to_string().contains("untraced"), "{e}");
+
+        let cell = WaveCell::new();
+        let mut r = ChgRouter::new("top", sigs(), Box::new(cell.sink()));
+        r.feed("chg 0 a 1");
+        let e = r.finish().unwrap_err();
+        assert!(e.to_string().contains("incomplete baseline"), "{e}");
+    }
+
+    #[test]
+    fn shared_buf_and_counting_writer() {
+        let buf = SharedBuf::new();
+        let mut w = buf.clone();
+        w.write_all(b"hello").unwrap();
+        assert!(!buf.is_empty());
+        assert_eq!(buf.drain(), b"hello");
+        assert!(buf.is_empty());
+
+        let c = CountingWriter::new();
+        let mut w = c.clone();
+        w.write_all(b"12345").unwrap();
+        w.write_all(b"678").unwrap();
+        assert_eq!(c.bytes(), 8);
+    }
+}

@@ -1,0 +1,210 @@
+//! The backend-agnostic capture layer.
+//!
+//! A [`Tracer`] sits between a simulation backend and a
+//! [`WaveSink`]. The backend only has to answer one question — "read
+//! signal *i* into this buffer" — via the callback passed to
+//! [`Tracer::begin`] and [`Tracer::capture`]; the tracer owns a
+//! shadow copy of every traced value and emits a change record
+//! exactly when a post-cycle read differs from the shadow. Because
+//! the comparison happens on the architectural values every backend
+//! already exposes (the same values `peek` reads), two backends that
+//! are peek-equivalent at every cycle produce *identical* change
+//! streams — which is precisely the property `gsim wavediff` pins.
+
+use std::io;
+
+use crate::sink::WaveSink;
+use crate::vcd::{limbs, mask_words, WaveSignal};
+
+/// Captures change-driven records from any backend into a
+/// [`WaveSink`].
+///
+/// Zero-width signals are filtered out at construction: VCD cannot
+/// declare them and they carry no values. The read callback receives
+/// the signal's index in the *original* list passed to
+/// [`Tracer::new`], so backends can keep one slot table regardless
+/// of filtering.
+pub struct Tracer {
+    top: String,
+    /// `(original index, signal)` for each traced (width > 0) signal.
+    sigs: Vec<(usize, WaveSignal)>,
+    shadow: Vec<Vec<u64>>,
+    sink: Box<dyn WaveSink>,
+    started: bool,
+    error: Option<io::Error>,
+    buf: Vec<u64>,
+}
+
+impl Tracer {
+    /// A tracer for `signals` (zero-width entries are dropped)
+    /// feeding `sink`. Nothing is emitted until [`Tracer::begin`].
+    pub fn new(top: &str, signals: &[WaveSignal], sink: Box<dyn WaveSink>) -> Tracer {
+        let sigs: Vec<(usize, WaveSignal)> = signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.width > 0)
+            .map(|(i, s)| (i, s.clone()))
+            .collect();
+        let shadow = sigs
+            .iter()
+            .map(|(_, s)| vec![0u64; limbs(s.width)])
+            .collect();
+        Tracer {
+            top: top.to_string(),
+            sigs,
+            shadow,
+            sink,
+            started: false,
+            error: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Number of traced signals after zero-width filtering.
+    pub fn traced(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Emits the header and the baseline snapshot at `time`, filling
+    /// the shadow from `read` (which must write signal `orig_index`'s
+    /// current value into the provided buffer, resizing it as
+    /// needed). Call once, before the first [`Tracer::capture`].
+    pub fn begin(&mut self, time: u64, read: &mut dyn FnMut(usize, &mut Vec<u64>)) {
+        if self.started || self.error.is_some() {
+            return;
+        }
+        self.started = true;
+        for (k, (orig, sig)) in self.sigs.iter().enumerate() {
+            let shadow = &mut self.shadow[k];
+            shadow.clear();
+            read(*orig, shadow);
+            shadow.resize(limbs(sig.width), 0);
+            mask_words(shadow, sig.width);
+        }
+        let table: Vec<WaveSignal> = self.sigs.iter().map(|(_, s)| s.clone()).collect();
+        let r = self
+            .sink
+            .start(&self.top, &table)
+            .and_then(|()| self.sink.dumpvars(time, &self.shadow));
+        if let Err(e) = r {
+            self.error = Some(e);
+        }
+    }
+
+    /// Compares every traced signal against its shadow and emits a
+    /// change record at `time` for each difference, updating the
+    /// shadow. Sink errors are latched (first wins) and stop further
+    /// emission; capture itself never fails the simulation.
+    pub fn capture(&mut self, time: u64, read: &mut dyn FnMut(usize, &mut Vec<u64>)) {
+        if !self.started || self.error.is_some() {
+            return;
+        }
+        let buf = &mut self.buf;
+        for (k, (orig, sig)) in self.sigs.iter().enumerate() {
+            buf.clear();
+            read(*orig, buf);
+            buf.resize(limbs(sig.width), 0);
+            mask_words(buf, sig.width);
+            let shadow = &mut self.shadow[k];
+            if buf != shadow {
+                shadow.clone_from(buf);
+                if let Err(e) = self.sink.change(time, k, buf) {
+                    self.error = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Finishes the capture: surfaces the first latched sink error,
+    /// then the sink's own [`WaveSink::finish`].
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::WaveCell;
+    use crate::vcd::Wave;
+
+    /// A toy backend: a value table the test mutates between cycles.
+    fn read_from(vals: &[Vec<u64>]) -> impl FnMut(usize, &mut Vec<u64>) + '_ {
+        move |i, buf| buf.extend_from_slice(&vals[i])
+    }
+
+    #[test]
+    fn emits_only_changes_and_masks_to_width() {
+        let sigs = vec![
+            WaveSignal::new("a", 4),
+            WaveSignal::new("b", 64),
+            WaveSignal::new("w", 130),
+        ];
+        let cell = WaveCell::new();
+        let mut tr = Tracer::new("top", &sigs, Box::new(cell.sink()));
+        assert_eq!(tr.traced(), 3);
+
+        let mut vals = vec![vec![0x1f], vec![7], vec![1, 2, 0xffff]];
+        tr.begin(10, &mut read_from(&vals));
+        // a masked to 4 bits, w's top limb masked to 2 bits.
+        vals = vec![vec![0x1f], vec![8], vec![1, 2, 0xffff]];
+        tr.capture(11, &mut read_from(&vals));
+        // No change at all this cycle.
+        tr.capture(12, &mut read_from(&vals));
+        vals = vec![vec![0x2f], vec![8], vec![1, 3, 0xffff]];
+        tr.capture(13, &mut read_from(&vals));
+        tr.finish().unwrap();
+
+        let w = cell.take();
+        assert_eq!(
+            w.changes,
+            vec![
+                (10, 0, vec![0xf]),
+                (10, 1, vec![7]),
+                (10, 2, vec![1, 2, 3]),
+                (11, 1, vec![8]),
+                // 0x2f masks to 0xf == shadow: no record for `a`.
+                (13, 2, vec![1, 3, 3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_width_signals_are_excluded() {
+        let sigs = vec![
+            WaveSignal::new("a", 8),
+            WaveSignal::new("ghost", 0),
+            WaveSignal::new("b", 8),
+        ];
+        let cell = WaveCell::new();
+        let mut tr = Tracer::new("top", &sigs, Box::new(cell.sink()));
+        assert_eq!(tr.traced(), 2);
+        // The read callback still sees original indices 0 and 2.
+        let mut seen = Vec::new();
+        tr.begin(0, &mut |i, buf| {
+            seen.push(i);
+            buf.push(i as u64);
+        });
+        assert_eq!(seen, vec![0, 2]);
+        tr.finish().unwrap();
+        let w = cell.take();
+        assert_eq!(
+            w.signals,
+            vec![WaveSignal::new("a", 8), WaveSignal::new("b", 8)]
+        );
+        assert_eq!(w.changes, vec![(0, 0, vec![0]), (0, 1, vec![2])]);
+    }
+
+    #[test]
+    fn capture_before_begin_is_a_no_op() {
+        let cell = WaveCell::new();
+        let mut tr = Tracer::new("top", &[WaveSignal::new("a", 8)], Box::new(cell.sink()));
+        tr.capture(5, &mut |_, buf| buf.push(1));
+        tr.finish().unwrap();
+        assert_eq!(cell.take(), Wave::default());
+    }
+}

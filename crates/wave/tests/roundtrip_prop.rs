@@ -1,0 +1,115 @@
+//! Property test: `parse_vcd(VcdWriter(x))` round-trips arbitrary
+//! change lists, and canonicalization makes the round trip
+//! diff-clean even when the generated stream is redundant.
+
+use gsim_wave::{diff, parse_vcd, VcdWriter, Wave, WaveSignal, WaveSink};
+use proptest::prelude::*;
+
+/// A generated trace: a signal table and a time-ordered change list
+/// (values already masked to each signal's width).
+fn arb_wave() -> impl Strategy<Value = Wave> {
+    proptest::collection::vec(1u32..200, 1..6).prop_flat_map(|widths| {
+        let signals: Vec<WaveSignal> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WaveSignal::new(&format!("sig_{i}"), w))
+            .collect();
+        let n = signals.len();
+        let change = (0u64..50, 0..n, proptest::collection::vec(any::<u64>(), 4));
+        (proptest::collection::vec(change, 0..40), Just(signals)).prop_map(|(raw, signals)| {
+            let mut changes: Vec<(u64, usize, Vec<u64>)> = raw
+                .into_iter()
+                .map(|(t, s, mut words)| {
+                    let limbs = (signals[s].width as usize).div_ceil(64).max(1);
+                    words.truncate(limbs);
+                    words.resize(limbs, 0);
+                    let rem = signals[s].width % 64;
+                    if rem != 0 {
+                        let last = words.len() - 1;
+                        words[last] &= (1u64 << rem) - 1;
+                    }
+                    (t, s, words)
+                })
+                .collect();
+            // The writer requires non-decreasing time.
+            changes.sort_by_key(|c| c.0);
+            Wave {
+                top: "top".to_string(),
+                signals,
+                changes,
+            }
+        })
+    })
+}
+
+fn write_vcd(wave: &Wave) -> String {
+    let mut w = VcdWriter::new(Vec::new());
+    w.start(&wave.top, &wave.signals).unwrap();
+    // Baseline: every signal at the first change time (or 0).
+    let t0 = wave.changes.first().map(|c| c.0).unwrap_or(0);
+    let baseline: Vec<Vec<u64>> = wave
+        .signals
+        .iter()
+        .map(|s| vec![0u64; (s.width as usize).div_ceil(64).max(1)])
+        .collect();
+    w.dumpvars(t0, &baseline).unwrap();
+    for (t, s, v) in &wave.changes {
+        w.change(*t, *s, v).unwrap();
+    }
+    w.finish().unwrap();
+    String::from_utf8(w.into_inner()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Writing then parsing preserves the signal table and the change
+    // list (with the baseline prepended), and emission is
+    // deterministic byte-for-byte.
+    #[test]
+    fn parser_inverts_writer(wave in arb_wave()) {
+        let text = write_vcd(&wave);
+        let parsed = parse_vcd(&text).unwrap();
+        prop_assert_eq!(&parsed.top, &wave.top);
+        prop_assert_eq!(&parsed.signals, &wave.signals);
+
+        // The parsed change list is exactly baseline + original list.
+        let t0 = wave.changes.first().map(|c| c.0).unwrap_or(0);
+        let mut expected: Vec<(u64, usize, Vec<u64>)> = wave
+            .signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (t0, i, vec![0u64; (s.width as usize).div_ceil(64).max(1)]))
+            .collect();
+        expected.extend(wave.changes.iter().cloned());
+        prop_assert_eq!(&parsed.changes, &expected);
+
+        // And emission is deterministic: same wave, same bytes.
+        let text2 = write_vcd(&wave);
+        prop_assert_eq!(text, text2);
+    }
+
+    // Two redundant encodings of the same history are diff-clean.
+    #[test]
+    fn canonical_diff_ignores_redundancy(wave in arb_wave()) {
+        let text = write_vcd(&wave);
+        let parsed = parse_vcd(&text).unwrap();
+        // Re-encode the *parsed* wave (baseline included) and parse
+        // again: same canonical history, so zero differences.
+        let mut w = VcdWriter::new(Vec::new());
+        w.start(&parsed.top, &parsed.signals).unwrap();
+        let baseline: Vec<Vec<u64>> = parsed
+            .signals
+            .iter()
+            .map(|s| vec![0u64; (s.width as usize).div_ceil(64).max(1)])
+            .collect();
+        w.dumpvars(parsed.changes.first().map(|c| c.0).unwrap_or(0), &baseline).unwrap();
+        for (t, s, v) in &parsed.changes {
+            w.change(*t, *s, v).unwrap();
+        }
+        w.finish().unwrap();
+        let text2 = String::from_utf8(w.into_inner()).unwrap();
+        let reparsed = parse_vcd(&text2).unwrap();
+        prop_assert!(diff(&parsed, &reparsed).is_empty());
+    }
+}
